@@ -1,0 +1,575 @@
+//! The atomic guarded statement (AGS) itself: guards, branches,
+//! disjunction, builder, and static validation.
+//!
+//! Concrete syntax from the paper (Figure 6-style):
+//!
+//! ```text
+//! ⟨ in(TSmain, "count", ?old) ⇒ out(TSmain, "count", old + 1) ⟩
+//! ```
+//!
+//! with disjunction:
+//!
+//! ```text
+//! ⟨ in(TS, "token")        ⇒ out(TS, "held", my_id)
+//! or rd(TS, "failure", ?h) ⇒ out(TS, "giveup", my_id) ⟩
+//! ```
+//!
+//! An AGS blocks until some branch's guard is satisfiable, then executes
+//! that branch's guard + body as one atomic step of the replicated tuple
+//! space state machine. `true` guards are always satisfiable.
+
+use crate::expr::Operand;
+use crate::ops::{BodyOp, MatchField, SpaceRef};
+use linda_tuple::TypeTag;
+use std::fmt;
+
+/// The blocking operation at the head of a branch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Guard {
+    /// `true ⇒ …`: always satisfiable, executes immediately.
+    True,
+    /// `in(ts, pattern) ⇒ …`: waits for a match, then withdraws it.
+    In {
+        /// Guarded space (must be stable).
+        ts: SpaceRef,
+        /// Match template.
+        pattern: Vec<MatchField>,
+    },
+    /// `rd(ts, pattern) ⇒ …`: waits for a match, then reads it.
+    Rd {
+        /// Guarded space (must be stable).
+        ts: SpaceRef,
+        /// Match template.
+        pattern: Vec<MatchField>,
+    },
+}
+
+impl Guard {
+    /// Number of formals the guard binds.
+    pub fn binds(&self) -> usize {
+        match self {
+            Guard::True => 0,
+            Guard::In { pattern, .. } | Guard::Rd { pattern, .. } => {
+                pattern.iter().filter(|f| f.is_bind()).count()
+            }
+        }
+    }
+
+    /// Types of the formals the guard binds, in order.
+    pub fn bind_types(&self) -> Vec<TypeTag> {
+        match self {
+            Guard::True => Vec::new(),
+            Guard::In { pattern, .. } | Guard::Rd { pattern, .. } => pattern
+                .iter()
+                .filter_map(|f| match f {
+                    MatchField::Bind(t) => Some(*t),
+                    MatchField::Expr(_) => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether this guard can always fire (i.e. is `true`).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Guard::True)
+    }
+}
+
+/// One `guard ⇒ body` alternative of an AGS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Branch {
+    /// The blocking guard.
+    pub guard: Guard,
+    /// Operations executed atomically once the guard fires.
+    pub body: Vec<BodyOp>,
+    /// Types of every formal bound in this branch (guard first, then body
+    /// ops in order) — the layout of [`AgsOutcome::bindings`].
+    pub formal_types: Vec<TypeTag>,
+}
+
+/// A complete atomic guarded statement: one or more branches combined by
+/// disjunction (`or`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ags {
+    /// The alternatives, tried in order.
+    pub branches: Vec<Branch>,
+}
+
+/// Result of executing an AGS, delivered back to the submitting process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgsOutcome {
+    /// Index of the branch that fired.
+    pub branch: usize,
+    /// Values of every formal bound in that branch, in formal-index order.
+    pub bindings: Vec<linda_tuple::Value>,
+}
+
+/// Static validation errors produced by [`AgsBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgsError {
+    /// An AGS must have at least one branch.
+    NoBranches,
+    /// A branch must contain a guard (possibly `true`) — builder misuse.
+    EmptyBranch,
+    /// Guards must target stable tuple spaces: their satisfiability must
+    /// be decidable identically at every replica.
+    GuardOnScratch,
+    /// Body `in`/`rd` must target stable spaces for the same reason.
+    BindFromScratch,
+    /// `move`/`copy` must read from a stable space.
+    MoveFromScratch,
+    /// An operand referenced formal `i` but only `bound` formals are bound
+    /// at that point in the branch.
+    UnboundFormal {
+        /// Referenced index.
+        index: u16,
+        /// Number of formals bound at that point.
+        bound: usize,
+    },
+    /// More formals than the wire format supports (u16).
+    TooManyFormals,
+}
+
+impl fmt::Display for AgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgsError::NoBranches => write!(f, "AGS has no branches"),
+            AgsError::EmptyBranch => write!(f, "branch has no guard"),
+            AgsError::GuardOnScratch => {
+                write!(f, "guard must target a stable tuple space")
+            }
+            AgsError::BindFromScratch => {
+                write!(f, "body in/rd must target a stable tuple space")
+            }
+            AgsError::MoveFromScratch => {
+                write!(f, "move/copy source must be a stable tuple space")
+            }
+            AgsError::UnboundFormal { index, bound } => {
+                write!(f, "operand references ?{index} but only {bound} formals are bound")
+            }
+            AgsError::TooManyFormals => write!(f, "too many formals in one branch"),
+        }
+    }
+}
+
+impl std::error::Error for AgsError {}
+
+fn check_operand(op: &Operand, bound: usize) -> Result<(), AgsError> {
+    if let Some(i) = op.max_formal() {
+        if (i as usize) >= bound {
+            return Err(AgsError::UnboundFormal { index: i, bound });
+        }
+    }
+    Ok(())
+}
+
+fn check_fields(fields: &[MatchField], bound: usize) -> Result<(), AgsError> {
+    for f in fields {
+        if let MatchField::Expr(op) = f {
+            check_operand(op, bound)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_branch(guard: &Guard, body: &[BodyOp]) -> Result<Vec<TypeTag>, AgsError> {
+    let mut types: Vec<TypeTag> = Vec::new();
+    match guard {
+        Guard::True => {}
+        Guard::In { ts, pattern } | Guard::Rd { ts, pattern } => {
+            if !ts.is_stable() {
+                return Err(AgsError::GuardOnScratch);
+            }
+            // Guard expression fields may not reference formals (nothing is
+            // bound yet).
+            check_fields(pattern, 0)?;
+            types.extend(guard.bind_types());
+        }
+    }
+    for op in body {
+        let bound = types.len();
+        match op {
+            BodyOp::Out { template, .. } => {
+                for o in template {
+                    check_operand(o, bound)?;
+                }
+            }
+            BodyOp::In { ts, pattern } | BodyOp::Rd { ts, pattern } => {
+                if !ts.is_stable() {
+                    return Err(AgsError::BindFromScratch);
+                }
+                check_fields(pattern, bound)?;
+                types.extend(op.bind_types());
+            }
+            BodyOp::Move { from, pattern, .. } | BodyOp::Copy { from, pattern, .. } => {
+                if !from.is_stable() {
+                    return Err(AgsError::MoveFromScratch);
+                }
+                check_fields(pattern, bound)?;
+            }
+        }
+    }
+    if types.len() > u16::MAX as usize {
+        return Err(AgsError::TooManyFormals);
+    }
+    Ok(types)
+}
+
+impl Ags {
+    /// Start building an AGS.
+    pub fn builder() -> AgsBuilder {
+        AgsBuilder::new()
+    }
+
+    /// Convenience: `⟨ true ⇒ out(ts, template) ⟩` — a plain Linda `out`.
+    pub fn out_one(ts: impl Into<SpaceRef>, template: Vec<Operand>) -> Ags {
+        Ags::builder()
+            .guard_true()
+            .out(ts, template)
+            .build()
+            .expect("out_one is statically valid")
+    }
+
+    /// Convenience: `⟨ in(ts, pattern) ⇒ ⟩` — a plain blocking Linda `in`.
+    pub fn in_one(ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Result<Ags, AgsError> {
+        Ags::builder().guard_in(ts, pattern).build()
+    }
+
+    /// Convenience: `⟨ rd(ts, pattern) ⇒ ⟩` — a plain blocking Linda `rd`.
+    pub fn rd_one(ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Result<Ags, AgsError> {
+        Ags::builder().guard_rd(ts, pattern).build()
+    }
+
+    /// Convenience for strong `inp`: `⟨ in(ts, p) ⇒ or true ⇒ ⟩`.
+    /// Branch 0 firing means "found" (with bindings); branch 1 means a
+    /// replica-agreed, absolute "no matching tuple existed".
+    pub fn inp_one(ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Result<Ags, AgsError> {
+        Ags::builder()
+            .guard_in(ts, pattern)
+            .or()
+            .guard_true()
+            .build()
+    }
+
+    /// Convenience for strong `rdp` (see [`Ags::inp_one`]).
+    pub fn rdp_one(ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Result<Ags, AgsError> {
+        Ags::builder()
+            .guard_rd(ts, pattern)
+            .or()
+            .guard_true()
+            .build()
+    }
+
+    /// Total number of TS operations (guards + body ops), the unit of the
+    /// paper's Table 1/2 marginal-cost accounting.
+    pub fn op_count(&self) -> usize {
+        self.branches
+            .iter()
+            .map(|b| usize::from(!b.guard.is_true()) + b.body.len())
+            .sum()
+    }
+
+    /// Whether some branch is guaranteed to fire immediately (has a `true`
+    /// guard) — such an AGS never blocks.
+    pub fn has_true_branch(&self) -> bool {
+        self.branches.iter().any(|b| b.guard.is_true())
+    }
+}
+
+/// Incremental builder for [`Ags`]. Operations are appended to the current
+/// branch; [`AgsBuilder::or`] starts a new branch.
+#[derive(Debug, Default)]
+pub struct AgsBuilder {
+    branches: Vec<(Option<Guard>, Vec<BodyOp>)>,
+    current: Option<(Option<Guard>, Vec<BodyOp>)>,
+}
+
+impl AgsBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cur(&mut self) -> &mut (Option<Guard>, Vec<BodyOp>) {
+        self.current.get_or_insert_with(|| (None, Vec::new()))
+    }
+
+    /// Set the current branch's guard to `true`.
+    pub fn guard_true(mut self) -> Self {
+        self.cur().0 = Some(Guard::True);
+        self
+    }
+
+    /// Set the current branch's guard to a blocking `in`.
+    pub fn guard_in(mut self, ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Self {
+        self.cur().0 = Some(Guard::In {
+            ts: ts.into(),
+            pattern,
+        });
+        self
+    }
+
+    /// Set the current branch's guard to a blocking `rd`.
+    pub fn guard_rd(mut self, ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Self {
+        self.cur().0 = Some(Guard::Rd {
+            ts: ts.into(),
+            pattern,
+        });
+        self
+    }
+
+    /// Append `out(ts, template)` to the current branch body.
+    pub fn out(mut self, ts: impl Into<SpaceRef>, template: Vec<Operand>) -> Self {
+        let ts = ts.into();
+        self.cur().1.push(BodyOp::Out { ts, template });
+        self
+    }
+
+    /// Append a body `in(ts, pattern)` (aborting if unmatched).
+    pub fn in_(mut self, ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Self {
+        let ts = ts.into();
+        self.cur().1.push(BodyOp::In { ts, pattern });
+        self
+    }
+
+    /// Append a body `rd(ts, pattern)` (aborting if unmatched).
+    pub fn rd(mut self, ts: impl Into<SpaceRef>, pattern: Vec<MatchField>) -> Self {
+        let ts = ts.into();
+        self.cur().1.push(BodyOp::Rd { ts, pattern });
+        self
+    }
+
+    /// Append `move(from, to, pattern)`.
+    pub fn move_(
+        mut self,
+        from: impl Into<SpaceRef>,
+        to: impl Into<SpaceRef>,
+        pattern: Vec<MatchField>,
+    ) -> Self {
+        let (from, to) = (from.into(), to.into());
+        self.cur().1.push(BodyOp::Move { from, to, pattern });
+        self
+    }
+
+    /// Append `copy(from, to, pattern)`.
+    pub fn copy(
+        mut self,
+        from: impl Into<SpaceRef>,
+        to: impl Into<SpaceRef>,
+        pattern: Vec<MatchField>,
+    ) -> Self {
+        let (from, to) = (from.into(), to.into());
+        self.cur().1.push(BodyOp::Copy { from, to, pattern });
+        self
+    }
+
+    /// Close the current branch and start the next disjunct.
+    pub fn or(mut self) -> Self {
+        if let Some(b) = self.current.take() {
+            self.branches.push(b);
+        }
+        self
+    }
+
+    /// Validate and produce the [`Ags`].
+    pub fn build(mut self) -> Result<Ags, AgsError> {
+        if let Some(b) = self.current.take() {
+            self.branches.push(b);
+        }
+        if self.branches.is_empty() {
+            return Err(AgsError::NoBranches);
+        }
+        let mut out = Vec::with_capacity(self.branches.len());
+        for (guard, body) in self.branches {
+            let guard = guard.ok_or(AgsError::EmptyBranch)?;
+            let formal_types = validate_branch(&guard, &body)?;
+            out.push(Branch {
+                guard,
+                body,
+                formal_types,
+            });
+        }
+        Ok(Ags { branches: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ScratchId, TsId};
+    use linda_tuple::TypeTag::*;
+
+    fn counter_ags() -> Ags {
+        // ⟨ in(ts0, "count", ?int) ⇒ out(ts0, "count", f0 + 1) ⟩
+        Ags::builder()
+            .guard_in(
+                TsId(0),
+                vec![MatchField::actual("count"), MatchField::bind(Int)],
+            )
+            .out(
+                TsId(0),
+                vec![Operand::cst("count"), Operand::formal(0).add(1)],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_counter_update() {
+        let ags = counter_ags();
+        assert_eq!(ags.branches.len(), 1);
+        assert_eq!(ags.branches[0].formal_types, vec![Int]);
+        assert_eq!(ags.op_count(), 2);
+        assert!(!ags.has_true_branch());
+    }
+
+    #[test]
+    fn disjunction_builds_two_branches() {
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::actual("token")])
+            .out(TsId(0), vec![Operand::cst("held"), Operand::SelfHost])
+            .or()
+            .guard_rd(
+                TsId(0),
+                vec![MatchField::actual("failure"), MatchField::bind(Int)],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(ags.branches.len(), 2);
+        assert_eq!(ags.branches[0].formal_types, vec![]);
+        assert_eq!(ags.branches[1].formal_types, vec![Int]);
+        assert_eq!(ags.op_count(), 3);
+    }
+
+    #[test]
+    fn body_in_extends_formals() {
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::bind(Int)])
+            .in_(TsId(0), vec![MatchField::bind(Str), MatchField::Expr(Operand::formal(0))])
+            .out(TsId(0), vec![Operand::formal(1)])
+            .build()
+            .unwrap();
+        assert_eq!(ags.branches[0].formal_types, vec![Int, Str]);
+    }
+
+    #[test]
+    fn unbound_formal_rejected() {
+        let err = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::bind(Int)])
+            .out(TsId(0), vec![Operand::formal(1)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AgsError::UnboundFormal { index: 1, bound: 1 });
+    }
+
+    #[test]
+    fn guard_exprs_may_not_reference_formals() {
+        let err = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::Expr(Operand::formal(0))])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AgsError::UnboundFormal { index: 0, bound: 0 });
+    }
+
+    #[test]
+    fn scratch_guard_rejected() {
+        let err = Ags::builder()
+            .guard_in(ScratchId(0), vec![MatchField::bind(Int)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AgsError::GuardOnScratch);
+    }
+
+    #[test]
+    fn scratch_body_in_rejected() {
+        let err = Ags::builder()
+            .guard_true()
+            .in_(ScratchId(0), vec![MatchField::bind(Int)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AgsError::BindFromScratch);
+    }
+
+    #[test]
+    fn scratch_move_source_rejected_but_dest_ok() {
+        let err = Ags::builder()
+            .guard_true()
+            .move_(ScratchId(0), TsId(0), vec![MatchField::bind(Int)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AgsError::MoveFromScratch);
+
+        let ok = Ags::builder()
+            .guard_true()
+            .move_(TsId(0), ScratchId(0), vec![MatchField::bind(Int)])
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn out_to_scratch_allowed() {
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::bind(Int)])
+            .out(ScratchId(3), vec![Operand::formal(0)])
+            .build()
+            .unwrap();
+        assert_eq!(ags.branches[0].body.len(), 1);
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert_eq!(Ags::builder().build().unwrap_err(), AgsError::NoBranches);
+    }
+
+    #[test]
+    fn branch_without_guard_rejected() {
+        let err = Ags::builder()
+            .out(TsId(0), vec![Operand::cst(1)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AgsError::EmptyBranch);
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let out = Ags::out_one(TsId(0), vec![Operand::cst("x")]);
+        assert!(out.has_true_branch());
+        assert_eq!(out.op_count(), 1);
+
+        let inp = Ags::inp_one(TsId(0), vec![MatchField::bind(Int)]).unwrap();
+        assert_eq!(inp.branches.len(), 2);
+        assert!(inp.has_true_branch());
+
+        let rdp = Ags::rdp_one(TsId(0), vec![MatchField::bind(Int)]).unwrap();
+        assert!(matches!(rdp.branches[0].guard, Guard::Rd { .. }));
+
+        let in1 = Ags::in_one(TsId(0), vec![MatchField::actual(1)]).unwrap();
+        assert!(!in1.has_true_branch());
+        let rd1 = Ags::rd_one(TsId(0), vec![MatchField::actual(1)]).unwrap();
+        assert_eq!(rd1.op_count(), 1);
+    }
+
+    #[test]
+    fn guard_bind_accounting() {
+        let g = Guard::In {
+            ts: TsId(0).into(),
+            pattern: vec![
+                MatchField::actual("a"),
+                MatchField::bind(Int),
+                MatchField::bind(Float),
+            ],
+        };
+        assert_eq!(g.binds(), 2);
+        assert_eq!(g.bind_types(), vec![Int, Float]);
+        assert!(!g.is_true());
+        assert!(Guard::True.is_true());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(AgsError::GuardOnScratch.to_string().contains("stable"));
+        assert!(AgsError::UnboundFormal { index: 2, bound: 1 }
+            .to_string()
+            .contains("?2"));
+    }
+}

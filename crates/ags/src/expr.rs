@@ -1,0 +1,565 @@
+//! The deterministic expression language of AGS bodies.
+//!
+//! FT-Linda deliberately excludes arbitrary computation from atomic guarded
+//! statements — that is what makes the single-multicast implementation
+//! possible — but it does allow "simple function application" on values
+//! bound by the guard (e.g. incrementing a distributed variable:
+//! `⟨ in("count", ?old) ⇒ out("count", old + 1) ⟩`). [`Operand`] is that
+//! language: constants, formal references, a few pure total-ish functions,
+//! and two environment values (the submitting host id and the totally
+//! ordered request sequence number, both identical at every replica).
+//!
+//! Every replica evaluates operands against the same bindings, so any
+//! error (type mismatch, division by zero, index out of range) is also
+//! deterministic and aborts the AGS identically everywhere.
+
+use linda_tuple::{TypeTag, Value};
+use std::fmt;
+
+/// Pure functions available inside AGS bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Func {
+    /// Addition (int+int, float+float).
+    Add = 0,
+    /// Subtraction.
+    Sub = 1,
+    /// Multiplication.
+    Mul = 2,
+    /// Division (int division truncates; division by zero aborts).
+    Div = 3,
+    /// Remainder (ints only).
+    Mod = 4,
+    /// Arithmetic negation.
+    Neg = 5,
+    /// Minimum of two numbers.
+    Min = 6,
+    /// Maximum of two numbers.
+    Max = 7,
+    /// Boolean not.
+    Not = 8,
+    /// Boolean and.
+    And = 9,
+    /// Boolean or.
+    Or = 10,
+    /// Equality on any two values of the same type.
+    Eq = 11,
+    /// Inequality.
+    Ne = 12,
+    /// Less-than on ints, floats (by numeric order), or strings.
+    Lt = 13,
+    /// Less-or-equal.
+    Le = 14,
+    /// Greater-than.
+    Gt = 15,
+    /// Greater-or-equal.
+    Ge = 16,
+    /// String concatenation.
+    Concat = 17,
+    /// Conditional: `If(cond, then, else)`.
+    If = 18,
+    /// Int → Float cast.
+    ToFloat = 19,
+    /// Float → Int cast (truncating; aborts on NaN/overflow).
+    ToInt = 20,
+}
+
+impl Func {
+    /// All functions in encoding order.
+    pub const ALL: [Func; 21] = [
+        Func::Add,
+        Func::Sub,
+        Func::Mul,
+        Func::Div,
+        Func::Mod,
+        Func::Neg,
+        Func::Min,
+        Func::Max,
+        Func::Not,
+        Func::And,
+        Func::Or,
+        Func::Eq,
+        Func::Ne,
+        Func::Lt,
+        Func::Le,
+        Func::Gt,
+        Func::Ge,
+        Func::Concat,
+        Func::If,
+        Func::ToFloat,
+        Func::ToInt,
+    ];
+
+    /// Decode from wire byte.
+    pub fn from_u8(b: u8) -> Option<Func> {
+        Func::ALL.get(b as usize).copied()
+    }
+
+    /// Number of arguments the function expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Neg | Func::Not | Func::ToFloat | Func::ToInt => 1,
+            Func::If => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// A value reference inside an AGS: evaluated identically at every replica.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A literal value.
+    Const(Value),
+    /// The i-th formal bound so far in this AGS branch (guard formals
+    /// first, then formals of earlier body `in`/`rd` ops, in field order).
+    Formal(u16),
+    /// Function application.
+    Apply(Func, Vec<Operand>),
+    /// The id of the host that submitted the AGS (used to tag tuples with
+    /// ownership, e.g. in-progress markers in the fault-tolerant
+    /// bag-of-tasks).
+    SelfHost,
+    /// The global sequence number Consul assigned to this AGS — a
+    /// replica-agreed unique id, handy for generating fresh task ids.
+    RequestSeq,
+}
+
+impl Operand {
+    /// Literal constructor.
+    pub fn cst<V: Into<Value>>(v: V) -> Operand {
+        Operand::Const(v.into())
+    }
+
+    /// Formal-reference constructor.
+    pub fn formal(i: u16) -> Operand {
+        Operand::Formal(i)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Add, vec![self, rhs.into()])
+    }
+    /// `self - rhs`.
+    pub fn sub(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Sub, vec![self, rhs.into()])
+    }
+    /// `self * rhs`.
+    pub fn mul(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Mul, vec![self, rhs.into()])
+    }
+    /// `self / rhs`.
+    pub fn div(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Div, vec![self, rhs.into()])
+    }
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Min, vec![self, rhs.into()])
+    }
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Max, vec![self, rhs.into()])
+    }
+    /// `self == rhs`.
+    pub fn eq(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Eq, vec![self, rhs.into()])
+    }
+    /// `self < rhs`.
+    pub fn lt(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Lt, vec![self, rhs.into()])
+    }
+    /// String concatenation.
+    pub fn concat(self, rhs: impl Into<Operand>) -> Operand {
+        Operand::Apply(Func::Concat, vec![self, rhs.into()])
+    }
+
+    /// Greatest formal index referenced (for validation).
+    pub fn max_formal(&self) -> Option<u16> {
+        match self {
+            Operand::Const(_) | Operand::SelfHost | Operand::RequestSeq => None,
+            Operand::Formal(i) => Some(*i),
+            Operand::Apply(_, args) => args.iter().filter_map(Operand::max_formal).max(),
+        }
+    }
+}
+
+impl<V: Into<Value>> From<V> for Operand {
+    fn from(v: V) -> Self {
+        Operand::Const(v.into())
+    }
+}
+
+/// Evaluation context: everything an operand may reference.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// Formals bound so far in this branch.
+    pub bindings: &'a [Value],
+    /// Id of the submitting host.
+    pub self_host: u32,
+    /// Totally-ordered sequence number of the AGS.
+    pub request_seq: u64,
+}
+
+/// Deterministic evaluation error; aborts the whole AGS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A formal index was out of range of the current bindings.
+    UnboundFormal(u16),
+    /// Arguments had types the function does not accept.
+    TypeMismatch {
+        /// The function applied.
+        func: Func,
+        /// Rendered argument types.
+        got: String,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// Float → int cast of NaN or out-of-range value.
+    BadCast,
+    /// Wrong number of arguments to a function (builder bug).
+    BadArity {
+        /// The function applied.
+        func: Func,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundFormal(i) => write!(f, "formal ?{i} not bound"),
+            EvalError::TypeMismatch { func, got } => {
+                write!(f, "{func:?} not applicable to ({got})")
+            }
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::BadCast => write!(f, "invalid numeric cast"),
+            EvalError::BadArity { func, got } => {
+                write!(f, "{func:?} expects {} args, got {got}", func.arity())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn type_names(args: &[Value]) -> String {
+    args.iter()
+        .map(|v| v.type_tag().name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn mismatch(func: Func, args: &[Value]) -> EvalError {
+    EvalError::TypeMismatch {
+        func,
+        got: type_names(args),
+    }
+}
+
+/// Apply `func` to already-evaluated arguments.
+pub fn apply(func: Func, args: &[Value]) -> Result<Value, EvalError> {
+    use Value::*;
+    if args.len() != func.arity() {
+        return Err(EvalError::BadArity {
+            func,
+            got: args.len(),
+        });
+    }
+    Ok(match (func, args) {
+        (Func::Add, [Int(a), Int(b)]) => Int(a.wrapping_add(*b)),
+        (Func::Add, [Float(a), Float(b)]) => Float(a + b),
+        (Func::Sub, [Int(a), Int(b)]) => Int(a.wrapping_sub(*b)),
+        (Func::Sub, [Float(a), Float(b)]) => Float(a - b),
+        (Func::Mul, [Int(a), Int(b)]) => Int(a.wrapping_mul(*b)),
+        (Func::Mul, [Float(a), Float(b)]) => Float(a * b),
+        (Func::Div, [Int(_), Int(0)]) => return Err(EvalError::DivideByZero),
+        (Func::Div, [Int(a), Int(b)]) => Int(a.wrapping_div(*b)),
+        (Func::Div, [Float(a), Float(b)]) => Float(a / b),
+        (Func::Mod, [Int(_), Int(0)]) => return Err(EvalError::DivideByZero),
+        (Func::Mod, [Int(a), Int(b)]) => Int(a.wrapping_rem(*b)),
+        (Func::Neg, [Int(a)]) => Int(a.wrapping_neg()),
+        (Func::Neg, [Float(a)]) => Float(-a),
+        (Func::Min, [Int(a), Int(b)]) => Int(*a.min(b)),
+        (Func::Min, [Float(a), Float(b)]) => Float(a.min(*b)),
+        (Func::Max, [Int(a), Int(b)]) => Int(*a.max(b)),
+        (Func::Max, [Float(a), Float(b)]) => Float(a.max(*b)),
+        (Func::Not, [Bool(a)]) => Bool(!a),
+        (Func::And, [Bool(a), Bool(b)]) => Bool(*a && *b),
+        (Func::Or, [Bool(a), Bool(b)]) => Bool(*a || *b),
+        (Func::Eq, [a, b]) => Bool(a == b),
+        (Func::Ne, [a, b]) => Bool(a != b),
+        (Func::Lt, [Int(a), Int(b)]) => Bool(a < b),
+        (Func::Lt, [Float(a), Float(b)]) => Bool(a < b),
+        (Func::Lt, [Str(a), Str(b)]) => Bool(a < b),
+        (Func::Le, [Int(a), Int(b)]) => Bool(a <= b),
+        (Func::Le, [Float(a), Float(b)]) => Bool(a <= b),
+        (Func::Le, [Str(a), Str(b)]) => Bool(a <= b),
+        (Func::Gt, [Int(a), Int(b)]) => Bool(a > b),
+        (Func::Gt, [Float(a), Float(b)]) => Bool(a > b),
+        (Func::Gt, [Str(a), Str(b)]) => Bool(a > b),
+        (Func::Ge, [Int(a), Int(b)]) => Bool(a >= b),
+        (Func::Ge, [Float(a), Float(b)]) => Bool(a >= b),
+        (Func::Ge, [Str(a), Str(b)]) => Bool(a >= b),
+        (Func::Concat, [Str(a), Str(b)]) => Str(format!("{a}{b}")),
+        (Func::If, [Bool(c), t, e]) => {
+            if *c {
+                t.clone()
+            } else {
+                e.clone()
+            }
+        }
+        (Func::ToFloat, [Int(a)]) => Float(*a as f64),
+        (Func::ToInt, [Float(a)]) => {
+            if a.is_nan() || *a < i64::MIN as f64 || *a > i64::MAX as f64 {
+                return Err(EvalError::BadCast);
+            }
+            Int(*a as i64)
+        }
+        (Func::ToInt, [Int(a)]) => Int(*a),
+        (Func::ToFloat, [Float(a)]) => Float(*a),
+        (f, args) => return Err(mismatch(f, args)),
+    })
+}
+
+impl Operand {
+    /// Evaluate the operand in `ctx`.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
+        match self {
+            Operand::Const(v) => Ok(v.clone()),
+            Operand::Formal(i) => ctx
+                .bindings
+                .get(*i as usize)
+                .cloned()
+                .ok_or(EvalError::UnboundFormal(*i)),
+            Operand::SelfHost => Ok(Value::Int(ctx.self_host as i64)),
+            Operand::RequestSeq => Ok(Value::Int(ctx.request_seq as i64)),
+            Operand::Apply(f, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(ctx))
+                    .collect::<Result<Vec<Value>, EvalError>>()?;
+                apply(*f, &vals)
+            }
+        }
+    }
+
+    /// Static result type when it can be inferred without bindings
+    /// (used by the builder for signature analysis of `out` templates).
+    pub fn static_type(&self, formal_types: &[TypeTag]) -> Option<TypeTag> {
+        match self {
+            Operand::Const(v) => Some(v.type_tag()),
+            Operand::Formal(i) => formal_types.get(*i as usize).copied(),
+            Operand::SelfHost | Operand::RequestSeq => Some(TypeTag::Int),
+            Operand::Apply(f, args) => {
+                let a0 = args.first().and_then(|a| a.static_type(formal_types));
+                match f {
+                    Func::Not | Func::And | Func::Or | Func::Eq | Func::Ne | Func::Lt
+                    | Func::Le | Func::Gt | Func::Ge => Some(TypeTag::Bool),
+                    Func::Concat => Some(TypeTag::Str),
+                    Func::ToFloat => Some(TypeTag::Float),
+                    Func::ToInt => Some(TypeTag::Int),
+                    Func::If => args.get(1).and_then(|a| a.static_type(formal_types)),
+                    _ => a0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(b: &'a [Value]) -> EvalCtx<'a> {
+        EvalCtx {
+            bindings: b,
+            self_host: 3,
+            request_seq: 77,
+        }
+    }
+
+    #[test]
+    fn constants_and_formals() {
+        let b = [Value::Int(10)];
+        let c = ctx(&b);
+        assert_eq!(Operand::cst(5).eval(&c), Ok(Value::Int(5)));
+        assert_eq!(Operand::formal(0).eval(&c), Ok(Value::Int(10)));
+        assert_eq!(
+            Operand::formal(1).eval(&c),
+            Err(EvalError::UnboundFormal(1))
+        );
+    }
+
+    #[test]
+    fn env_operands() {
+        let c = ctx(&[]);
+        assert_eq!(Operand::SelfHost.eval(&c), Ok(Value::Int(3)));
+        assert_eq!(Operand::RequestSeq.eval(&c), Ok(Value::Int(77)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let b = [Value::Int(10)];
+        let c = ctx(&b);
+        assert_eq!(
+            Operand::formal(0).add(1).eval(&c),
+            Ok(Value::Int(11))
+        );
+        assert_eq!(Operand::cst(7).sub(2).eval(&c), Ok(Value::Int(5)));
+        assert_eq!(Operand::cst(7).mul(2).eval(&c), Ok(Value::Int(14)));
+        assert_eq!(Operand::cst(7).div(2).eval(&c), Ok(Value::Int(3)));
+        assert_eq!(
+            Operand::cst(2.0).add(Operand::cst(0.5)).eval(&c),
+            Ok(Value::Float(2.5))
+        );
+        assert_eq!(Operand::cst(3).min(9).eval(&c), Ok(Value::Int(3)));
+        assert_eq!(Operand::cst(3).max(9).eval(&c), Ok(Value::Int(9)));
+    }
+
+    #[test]
+    fn wrapping_semantics_are_deterministic() {
+        let c = ctx(&[]);
+        assert_eq!(
+            Operand::cst(i64::MAX).add(1).eval(&c),
+            Ok(Value::Int(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn divide_by_zero_aborts() {
+        let c = ctx(&[]);
+        assert_eq!(
+            Operand::cst(1).div(0).eval(&c),
+            Err(EvalError::DivideByZero)
+        );
+        assert_eq!(
+            Operand::Apply(Func::Mod, vec![Operand::cst(1), Operand::cst(0)]).eval(&c),
+            Err(EvalError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let c = ctx(&[]);
+        assert_eq!(Operand::cst(1).lt(2).eval(&c), Ok(Value::Bool(true)));
+        assert_eq!(
+            Operand::cst("a").eq(Operand::cst("a")).eval(&c),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            Operand::Apply(Func::Not, vec![Operand::cst(true)]).eval(&c),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(
+            Operand::Apply(Func::And, vec![Operand::cst(true), Operand::cst(false)]).eval(&c),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(
+            Operand::Apply(Func::Or, vec![Operand::cst(true), Operand::cst(false)]).eval(&c),
+            Ok(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn string_ops() {
+        let c = ctx(&[]);
+        assert_eq!(
+            Operand::cst("ab").concat(Operand::cst("cd")).eval(&c),
+            Ok(Value::Str("abcd".into()))
+        );
+        assert_eq!(
+            Operand::Apply(Func::Lt, vec![Operand::cst("a"), Operand::cst("b")]).eval(&c),
+            Ok(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn conditional() {
+        let c = ctx(&[]);
+        let e = Operand::Apply(
+            Func::If,
+            vec![Operand::cst(true), Operand::cst(1), Operand::cst(2)],
+        );
+        assert_eq!(e.eval(&c), Ok(Value::Int(1)));
+    }
+
+    #[test]
+    fn casts() {
+        let c = ctx(&[]);
+        assert_eq!(
+            Operand::Apply(Func::ToFloat, vec![Operand::cst(2)]).eval(&c),
+            Ok(Value::Float(2.0))
+        );
+        assert_eq!(
+            Operand::Apply(Func::ToInt, vec![Operand::cst(2.9)]).eval(&c),
+            Ok(Value::Int(2))
+        );
+        assert_eq!(
+            Operand::Apply(Func::ToInt, vec![Operand::cst(f64::NAN)]).eval(&c),
+            Err(EvalError::BadCast)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let c = ctx(&[]);
+        let e = Operand::cst(1).add(Operand::cst("x"));
+        assert!(matches!(e.eval(&c), Err(EvalError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_arity_reported() {
+        let c = ctx(&[]);
+        let e = Operand::Apply(Func::Add, vec![Operand::cst(1)]);
+        assert_eq!(
+            e.eval(&c),
+            Err(EvalError::BadArity {
+                func: Func::Add,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn nested_expression() {
+        let b = [Value::Int(4), Value::Int(6)];
+        let c = ctx(&b);
+        // (f0 + f1) * 2
+        let e = Operand::formal(0).add(Operand::formal(1)).mul(2);
+        assert_eq!(e.eval(&c), Ok(Value::Int(20)));
+        assert_eq!(e.max_formal(), Some(1));
+    }
+
+    #[test]
+    fn static_types() {
+        let ft = [TypeTag::Int, TypeTag::Str];
+        assert_eq!(
+            Operand::formal(0).add(1).static_type(&ft),
+            Some(TypeTag::Int)
+        );
+        assert_eq!(
+            Operand::formal(1).concat(Operand::cst("x")).static_type(&ft),
+            Some(TypeTag::Str)
+        );
+        assert_eq!(Operand::SelfHost.static_type(&[]), Some(TypeTag::Int));
+        assert_eq!(
+            Operand::cst(1).lt(2).static_type(&[]),
+            Some(TypeTag::Bool)
+        );
+        assert_eq!(Operand::formal(9).static_type(&ft), None);
+    }
+
+    #[test]
+    fn func_roundtrip() {
+        for f in Func::ALL {
+            assert_eq!(Func::from_u8(f as u8), Some(f));
+        }
+        assert_eq!(Func::from_u8(99), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EvalError::DivideByZero.to_string().contains("zero"));
+        assert!(EvalError::UnboundFormal(2).to_string().contains("?2"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # ftlinda-ags
+//!
+//! The atomic guarded statement (AGS) — FT-Linda's unit of atomic tuple
+//! space update — as a validated intermediate representation:
+//!
+//! * [`Ags`]/[`Branch`]/[`Guard`]: `⟨ guard ⇒ body or guard ⇒ body … ⟩`
+//! * [`Operand`]: the deterministic expression language allowed in bodies
+//! * [`BodyOp`]: `out`, `in`, `rd`, `move`, `copy`
+//! * wire codec ([`encode_ags`]/[`decode_ags`]) for the single multicast
+//!   message that disseminates an AGS to every tuple-space replica
+//!
+//! The FT-lcc-style front-end in crate `ft-lcc` compiles a textual DSL to
+//! this IR; the replicated state machine in `ftlinda-kernel` executes it.
+//!
+//! ```
+//! use ftlinda_ags::{Ags, MatchField, Operand, TsId};
+//! use linda_tuple::TypeTag;
+//!
+//! // ⟨ in(ts, "count", ?old) ⇒ out(ts, "count", old + 1) ⟩
+//! let ags = Ags::builder()
+//!     .guard_in(TsId(0), vec![MatchField::actual("count"),
+//!                             MatchField::bind(TypeTag::Int)])
+//!     .out(TsId(0), vec![Operand::cst("count"), Operand::formal(0).add(1)])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(ags.op_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+#[path = "ags.rs"]
+mod ags_mod;
+mod expr;
+mod ops;
+mod wire;
+
+pub use ags_mod::{Ags, AgsBuilder, AgsError, AgsOutcome, Branch, Guard};
+pub use expr::{apply, EvalCtx, EvalError, Func, Operand};
+pub use ops::{resolve_pattern, resolve_template, BodyOp, MatchField, ScratchId, SpaceRef, TsId};
+pub use wire::{decode_ags, encode_ags, get_ags, put_ags, WireError};

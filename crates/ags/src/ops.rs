@@ -1,0 +1,298 @@
+//! Tuple-space operations as they appear inside an AGS.
+
+use crate::expr::{EvalCtx, EvalError, Operand};
+use linda_tuple::{PatField, Pattern, TypeTag, Value};
+use std::fmt;
+
+/// Identifier of a *stable* tuple space, assigned at creation time by the
+/// runtime and agreed on by all replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TsId(pub u32);
+
+impl fmt::Display for TsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts#{}", self.0)
+    }
+}
+
+/// Identifier of a *scratch* (volatile, host-local) tuple space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScratchId(pub u32);
+
+impl fmt::Display for ScratchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scratch#{}", self.0)
+    }
+}
+
+/// A tuple space referenced by an AGS operation.
+///
+/// Guards and body `in`/`rd` must target stable spaces (their outcome
+/// must be identical at every replica); `out` and the destination of
+/// `move`/`copy` may also target a scratch space, in which case only the
+/// submitting host materializes the tuples locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpaceRef {
+    /// A replicated stable tuple space.
+    Stable(TsId),
+    /// A volatile host-local space of the submitting process.
+    Scratch(ScratchId),
+}
+
+impl SpaceRef {
+    /// Whether this refers to a stable space.
+    pub fn is_stable(&self) -> bool {
+        matches!(self, SpaceRef::Stable(_))
+    }
+}
+
+impl From<TsId> for SpaceRef {
+    fn from(id: TsId) -> Self {
+        SpaceRef::Stable(id)
+    }
+}
+
+impl From<ScratchId> for SpaceRef {
+    fn from(id: ScratchId) -> Self {
+        SpaceRef::Scratch(id)
+    }
+}
+
+impl fmt::Display for SpaceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceRef::Stable(id) => write!(f, "{id}"),
+            SpaceRef::Scratch(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// One field of an AGS match template (the argument of `in`, `rd`,
+/// `move`, `copy`, or a guard).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchField {
+    /// A typed formal: binds the tuple's field to the next formal index.
+    Bind(TypeTag),
+    /// A computed actual: evaluated against current bindings, must equal
+    /// the tuple's field.
+    Expr(Operand),
+}
+
+impl MatchField {
+    /// Formal constructor.
+    pub fn bind(t: TypeTag) -> MatchField {
+        MatchField::Bind(t)
+    }
+
+    /// Actual constructor from anything convertible to a [`Value`].
+    pub fn actual<V: Into<Value>>(v: V) -> MatchField {
+        MatchField::Expr(Operand::Const(v.into()))
+    }
+
+    /// Whether this field binds a formal.
+    pub fn is_bind(&self) -> bool {
+        matches!(self, MatchField::Bind(_))
+    }
+}
+
+impl From<Operand> for MatchField {
+    fn from(o: Operand) -> Self {
+        MatchField::Expr(o)
+    }
+}
+
+/// Resolve a match template into a concrete [`Pattern`] by evaluating its
+/// expression fields against the bindings accumulated so far.
+pub fn resolve_pattern(fields: &[MatchField], ctx: &EvalCtx<'_>) -> Result<Pattern, EvalError> {
+    let mut out = Vec::with_capacity(fields.len());
+    for f in fields {
+        out.push(match f {
+            MatchField::Bind(t) => PatField::Formal(*t),
+            MatchField::Expr(op) => PatField::Actual(op.eval(ctx)?),
+        });
+    }
+    Ok(Pattern::new(out))
+}
+
+/// Resolve an `out` template into a concrete tuple.
+pub fn resolve_template(
+    template: &[Operand],
+    ctx: &EvalCtx<'_>,
+) -> Result<Vec<Value>, EvalError> {
+    template.iter().map(|op| op.eval(ctx)).collect()
+}
+
+/// An operation in an AGS body. Ordered; later operations see the formals
+/// bound by earlier `In`/`Rd` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyOp {
+    /// Deposit a tuple built from `template`.
+    Out {
+        /// Target space.
+        ts: SpaceRef,
+        /// Field expressions.
+        template: Vec<Operand>,
+    },
+    /// Withdraw the oldest matching tuple, binding its formals. The AGS
+    /// aborts (with rollback) if no tuple matches at execution time.
+    In {
+        /// Source space (must be stable).
+        ts: SpaceRef,
+        /// Match template.
+        pattern: Vec<MatchField>,
+    },
+    /// Read the oldest matching tuple, binding its formals; aborts if no
+    /// match.
+    Rd {
+        /// Source space (must be stable).
+        ts: SpaceRef,
+        /// Match template.
+        pattern: Vec<MatchField>,
+    },
+    /// Atomically transfer **all** tuples matching `pattern` from one
+    /// space to another (paper §3: used by recovery code to return
+    /// in-progress subtasks to the bag). Binds nothing; `Bind` fields act
+    /// as typed wildcards.
+    Move {
+        /// Source space (must be stable).
+        from: SpaceRef,
+        /// Destination space.
+        to: SpaceRef,
+        /// Match template (wildcards allowed).
+        pattern: Vec<MatchField>,
+    },
+    /// Like `Move` but copies, leaving the source intact.
+    Copy {
+        /// Source space (must be stable).
+        from: SpaceRef,
+        /// Destination space.
+        to: SpaceRef,
+        /// Match template (wildcards allowed).
+        pattern: Vec<MatchField>,
+    },
+}
+
+impl BodyOp {
+    /// Number of new formals this op binds.
+    pub fn binds(&self) -> usize {
+        match self {
+            BodyOp::In { pattern, .. } | BodyOp::Rd { pattern, .. } => {
+                pattern.iter().filter(|f| f.is_bind()).count()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Types of the formals this op binds, in order.
+    pub fn bind_types(&self) -> Vec<TypeTag> {
+        match self {
+            BodyOp::In { pattern, .. } | BodyOp::Rd { pattern, .. } => pattern
+                .iter()
+                .filter_map(|f| match f {
+                    MatchField::Bind(t) => Some(*t),
+                    MatchField::Expr(_) => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Short mnemonic for display and stats.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BodyOp::Out { .. } => "out",
+            BodyOp::In { .. } => "in",
+            BodyOp::Rd { .. } => "rd",
+            BodyOp::Move { .. } => "move",
+            BodyOp::Copy { .. } => "copy",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linda_tuple::tuple;
+
+    fn ctx<'a>(b: &'a [Value]) -> EvalCtx<'a> {
+        EvalCtx {
+            bindings: b,
+            self_host: 0,
+            request_seq: 0,
+        }
+    }
+
+    #[test]
+    fn space_ref_conversions() {
+        let s: SpaceRef = TsId(1).into();
+        assert!(s.is_stable());
+        let s2: SpaceRef = ScratchId(2).into();
+        assert!(!s2.is_stable());
+        assert_eq!(s.to_string(), "ts#1");
+        assert_eq!(s2.to_string(), "scratch#2");
+    }
+
+    #[test]
+    fn resolve_pattern_mixes_binds_and_exprs() {
+        let b = [Value::Int(5)];
+        let fields = [
+            MatchField::actual("job"),
+            MatchField::Expr(Operand::formal(0).add(1)),
+            MatchField::bind(TypeTag::Str),
+        ];
+        let p = resolve_pattern(&fields, &ctx(&b)).unwrap();
+        assert!(p.matches(&tuple!("job", 6, "payload")));
+        assert!(!p.matches(&tuple!("job", 5, "payload")));
+        assert_eq!(p.formal_count(), 1);
+    }
+
+    #[test]
+    fn resolve_pattern_propagates_errors() {
+        let fields = [MatchField::Expr(Operand::formal(3))];
+        assert_eq!(
+            resolve_pattern(&fields, &ctx(&[])),
+            Err(EvalError::UnboundFormal(3))
+        );
+    }
+
+    #[test]
+    fn resolve_template_builds_values() {
+        let b = [Value::Int(2)];
+        let t = [Operand::cst("r"), Operand::formal(0).mul(10)];
+        assert_eq!(
+            resolve_template(&t, &ctx(&b)).unwrap(),
+            vec![Value::Str("r".into()), Value::Int(20)]
+        );
+    }
+
+    #[test]
+    fn body_op_binds_and_types() {
+        let op = BodyOp::In {
+            ts: TsId(0).into(),
+            pattern: vec![
+                MatchField::actual("x"),
+                MatchField::bind(TypeTag::Int),
+                MatchField::bind(TypeTag::Float),
+            ],
+        };
+        assert_eq!(op.binds(), 2);
+        assert_eq!(op.bind_types(), vec![TypeTag::Int, TypeTag::Float]);
+        assert_eq!(op.mnemonic(), "in");
+
+        let out = BodyOp::Out {
+            ts: TsId(0).into(),
+            template: vec![Operand::cst(1)],
+        };
+        assert_eq!(out.binds(), 0);
+        assert!(out.bind_types().is_empty());
+
+        let mv = BodyOp::Move {
+            from: TsId(0).into(),
+            to: TsId(1).into(),
+            pattern: vec![MatchField::bind(TypeTag::Int)],
+        };
+        // Move wildcards are not bindings.
+        assert_eq!(mv.binds(), 0);
+        assert_eq!(mv.mnemonic(), "move");
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests for the AGS IR: wire round-trips over arbitrary valid
+//! statements, expression evaluation determinism, and validation
+//! soundness.
+
+use ftlinda_ags::{
+    decode_ags, encode_ags, Ags, AgsBuilder, EvalCtx, Func, MatchField, Operand, ScratchId, TsId,
+};
+use linda_tuple::{TypeTag, Value};
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        ".{0,8}".prop_map(Value::Str),
+    ]
+}
+
+/// Operands valid under `bound` formals.
+fn arb_operand(bound: u16) -> impl Strategy<Value = Operand> {
+    let leaf = if bound == 0 {
+        prop_oneof![
+            arb_scalar().prop_map(Operand::Const),
+            Just(Operand::SelfHost),
+            Just(Operand::RequestSeq),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            arb_scalar().prop_map(Operand::Const),
+            (0..bound).prop_map(Operand::Formal),
+            Just(Operand::SelfHost),
+            Just(Operand::RequestSeq),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        (
+            prop_oneof![
+                Just(Func::Add),
+                Just(Func::Sub),
+                Just(Func::Mul),
+                Just(Func::Min),
+                Just(Func::Max),
+                Just(Func::Eq),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(f, a, b)| Operand::Apply(f, vec![a, b]))
+    })
+}
+
+fn arb_tag() -> impl Strategy<Value = TypeTag> {
+    (0u8..7).prop_map(|b| TypeTag::from_u8(b).unwrap())
+}
+
+#[derive(Debug, Clone)]
+enum FieldSpec {
+    Bind(TypeTag),
+    Expr,
+}
+
+fn arb_fields(max: usize) -> impl Strategy<Value = Vec<FieldSpec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            arb_tag().prop_map(FieldSpec::Bind),
+            Just(FieldSpec::Expr),
+        ],
+        0..max,
+    )
+}
+
+/// Build a random but *valid* AGS: formal indices always within bounds,
+/// guards on stable spaces.
+fn arb_ags() -> impl Strategy<Value = Ags> {
+    (
+        // guard: None = true, Some(fields, is_in)
+        proptest::option::of((arb_fields(4), any::<bool>())),
+        // body ops: (kind 0..4, fields)
+        proptest::collection::vec((0u8..5, arb_fields(3)), 0..4),
+        any::<bool>(), // add a trailing `or true =>` branch
+    )
+        .prop_map(|(guard, body, add_true)| {
+            let mut bound: u16 = 0;
+            let mut b = AgsBuilder::new();
+            match guard {
+                None => b = b.guard_true(),
+                Some((fields, is_in)) => {
+                    let fs: Vec<MatchField> = fields
+                        .iter()
+                        .map(|f| match f {
+                            FieldSpec::Bind(t) => {
+                                bound += 1;
+                                MatchField::Bind(*t)
+                            }
+                            FieldSpec::Expr => MatchField::actual(1i64),
+                        })
+                        .collect();
+                    b = if is_in {
+                        b.guard_in(TsId(0), fs)
+                    } else {
+                        b.guard_rd(TsId(0), fs)
+                    };
+                }
+            }
+            for (kind, fields) in body {
+                match kind {
+                    0 => {
+                        // out: template of operands over current bound
+                        let tmpl: Vec<Operand> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, _)| {
+                                if bound > 0 && i % 2 == 0 {
+                                    Operand::Formal((i as u16) % bound)
+                                } else {
+                                    Operand::cst(i as i64)
+                                }
+                            })
+                            .collect();
+                        b = b.out(TsId(0), tmpl);
+                    }
+                    1 | 2 => {
+                        let fs: Vec<MatchField> = fields
+                            .iter()
+                            .map(|f| match f {
+                                FieldSpec::Bind(t) => {
+                                    bound += 1;
+                                    MatchField::Bind(*t)
+                                }
+                                FieldSpec::Expr => MatchField::actual("k"),
+                            })
+                            .collect();
+                        b = if kind == 1 {
+                            b.in_(TsId(0), fs)
+                        } else {
+                            b.rd(TsId(0), fs)
+                        };
+                    }
+                    3 => {
+                        let fs: Vec<MatchField> = fields
+                            .iter()
+                            .map(|f| match f {
+                                FieldSpec::Bind(t) => MatchField::Bind(*t),
+                                FieldSpec::Expr => MatchField::actual(2i64),
+                            })
+                            .collect();
+                        b = b.move_(TsId(0), TsId(1), fs);
+                    }
+                    _ => {
+                        let fs: Vec<MatchField> = fields
+                            .iter()
+                            .map(|f| match f {
+                                FieldSpec::Bind(t) => MatchField::Bind(*t),
+                                FieldSpec::Expr => MatchField::actual(false),
+                            })
+                            .collect();
+                        b = b.copy(TsId(0), ScratchId(0), fs);
+                    }
+                }
+            }
+            if add_true {
+                b = b.or().guard_true();
+            }
+            b.build().expect("constructed to be valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_valid_ags_roundtrips(ags in arb_ags()) {
+        let enc = encode_ags(&ags);
+        prop_assert_eq!(decode_ags(&enc).unwrap(), ags);
+    }
+
+    #[test]
+    fn truncated_ags_never_panics(ags in arb_ags(), cut in 0usize..128) {
+        let enc = encode_ags(&ags);
+        if cut < enc.len() {
+            prop_assert!(decode_ags(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_ags(&bytes); // any result is fine; no panic
+    }
+
+    #[test]
+    fn expression_evaluation_is_deterministic(
+        op in arb_operand(3),
+        a in any::<i64>(),
+        b in any::<i64>(),
+        c in any::<i64>(),
+        host in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        let bindings = [Value::Int(a), Value::Int(b), Value::Int(c)];
+        let ctx = EvalCtx { bindings: &bindings, self_host: host, request_seq: seq };
+        let r1 = op.eval(&ctx);
+        let r2 = op.eval(&ctx);
+        prop_assert_eq!(r1, r2, "same inputs, same result (replica determinism)");
+    }
+
+    #[test]
+    fn op_count_matches_structure(ags in arb_ags()) {
+        let counted = ags.op_count();
+        let manual: usize = ags
+            .branches
+            .iter()
+            .map(|br| usize::from(!br.guard.is_true()) + br.body.len())
+            .sum();
+        prop_assert_eq!(counted, manual);
+    }
+
+    #[test]
+    fn formal_types_match_binds(ags in arb_ags()) {
+        for br in &ags.branches {
+            let mut expect = br.guard.bind_types();
+            for op in &br.body {
+                expect.extend(op.bind_types());
+            }
+            prop_assert_eq!(&br.formal_types, &expect);
+        }
+    }
+}

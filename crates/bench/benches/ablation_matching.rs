@@ -1,0 +1,80 @@
+//! A2 — tuple-store ablation: signature-indexed store vs linear scan.
+//!
+//! DESIGN.md §6: the FT-lcc signature catalog exists because matching
+//! should be signature-bucketed rather than a scan of the whole space.
+//! We populate stores with N tuples across several signatures and head
+//! values, then measure `rd`-style lookups and `in`+`out` churn.
+//! Expected shape: the indexed store is ~O(1) in N for head-keyed
+//! patterns while the linear store degrades linearly — the gap widening
+//! to orders of magnitude at 10⁵ tuples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linda_bench::{int_tuple, rng};
+use linda_space::{IndexedStore, LinearStore, Store};
+use linda_tuple::{pat, tuple};
+use std::time::Duration;
+
+fn populate(store: &mut dyn Store, n: usize) {
+    let mut r = rng(7);
+    let heads = ["alpha", "beta", "gamma", "delta"];
+    for i in 0..n {
+        let head = heads[i % heads.len()];
+        match i % 3 {
+            0 => store.insert(int_tuple(head, 2, &mut r)),
+            1 => store.insert(int_tuple(head, 3, &mut r)),
+            _ => store.insert(tuple!(head, i as i64, 0.5)),
+        }
+    }
+    // One needle per store, inserted in the middle-ish of the bucket.
+    store.insert(tuple!("needle", 1, 2));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_matching_read");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let mut idx = IndexedStore::new();
+        populate(&mut idx, n);
+        let mut lin = LinearStore::new();
+        populate(&mut lin, n);
+        let needle = pat!("needle", ?int, ?int);
+        g.bench_function(format!("indexed_read_{n}"), |b| {
+            b.iter(|| idx.read(&needle).unwrap())
+        });
+        g.bench_function(format!("linear_read_{n}"), |b| {
+            b.iter(|| lin.read(&needle).unwrap())
+        });
+        // Wildcard-head pattern: exercises the non-indexed path too.
+        let wide = pat!(?str, 1, 2);
+        g.bench_function(format!("indexed_read_wildhead_{n}"), |b| {
+            b.iter(|| idx.read(&wide))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_matching_churn");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut idx = IndexedStore::new();
+        populate(&mut idx, n);
+        let mut lin = LinearStore::new();
+        populate(&mut lin, n);
+        let p = pat!("needle", ?int, ?int);
+        g.bench_function(format!("indexed_take_out_{n}"), |b| {
+            b.iter(|| {
+                let t = idx.take(&p).unwrap();
+                idx.insert(t);
+            })
+        });
+        g.bench_function(format!("linear_take_out_{n}"), |b| {
+            b.iter(|| {
+                let t = lin.take(&p).unwrap();
+                lin.insert(t);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E7 — barrier round latency vs party count, AGS barrier vs the naive
+//! plain-Linda barrier.
+//!
+//! The AGS barrier's arrival is one atomic increment (one multicast);
+//! the naive barrier needs separate in + out (two multicasts and a crash
+//! window). Expected shape: per-round cost grows roughly linearly with
+//! parties (every arrival is an ordered AGS through one sequencer), with
+//! the naive variant ~2× the messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda::{Cluster, Runtime, TsId};
+use linda_paradigms::TsBarrier;
+use linda_tuple::{pat, tuple};
+use std::time::Duration;
+
+/// Plain-Linda barrier arrival: separate in and out (the unsafe shape).
+fn naive_wait(rt: &Runtime, ts: TsId, parties: i64, gen: i64) {
+    let t = rt.in_(ts, &pat!("nbar", gen, ?int)).unwrap();
+    let n = t[2].as_int().unwrap() + 1;
+    rt.out(ts, tuple!("nbar", gen, n)).unwrap();
+    rt.rd(ts, &pat!("nbar", gen, parties)).unwrap();
+}
+
+fn run_rounds_ags(rts: &[Runtime], bar: TsBarrier, rounds: i64, base: i64) {
+    let handles: Vec<_> = rts
+        .iter()
+        .map(|rt| {
+            let rt = rt.clone();
+            std::thread::spawn(move || {
+                for g in 0..rounds {
+                    bar.wait(&rt, base + g).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nE7 — barrier rounds (10 per iteration):");
+    let mut g = c.benchmark_group("fig_barrier");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for parties in [2usize, 3, 4] {
+        let (cluster, rts) = Cluster::new(parties as u32);
+        let ts = rts[0].create_stable_ts("bar").unwrap();
+        let bar = TsBarrier::create(&rts[0], ts, parties).unwrap();
+        // Generations advance monotonically across iterations.
+        let mut next_gen = 0i64;
+        g.bench_function(format!("ags_parties_{parties}"), |b| {
+            b.iter(|| {
+                run_rounds_ags(&rts, bar, 10, next_gen);
+                next_gen += 10;
+            })
+        });
+        cluster.shutdown();
+    }
+
+    // Naive two-step barrier for the message-cost contrast (failure-free
+    // only — it has the crash window).
+    for parties in [2usize, 3] {
+        let (cluster, rts) = Cluster::new(parties as u32);
+        let ts = rts[0].create_stable_ts("bar").unwrap();
+        let mut next_gen = 0i64;
+        g.bench_function(format!("naive_parties_{parties}"), |b| {
+            b.iter(|| {
+                for gen in next_gen..next_gen + 10 {
+                    rts[0].out(ts, tuple!("nbar", gen, 0)).unwrap();
+                    let handles: Vec<_> = rts
+                        .iter()
+                        .map(|rt| {
+                            let rt = rt.clone();
+                            let parties = parties as i64;
+                            std::thread::spawn(move || naive_wait(&rt, ts, parties, gen))
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                }
+                next_gen += 10;
+            })
+        });
+        cluster.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E4 / Figures 2–3 — distributed-variable update: atomic AGS vs the
+//! plain-Linda two-step `in`;`out`.
+//!
+//! The figures are code listings, so the measurable content is the cost
+//! relationship: the atomic update is ONE ordered multicast where the
+//! two-step version needs TWO (and leaves the crash window in between).
+//! We measure per-update latency for both forms and report the message
+//! counts, then sweep updater contention.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda::Cluster;
+use linda_paradigms::DistVar;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("vars").unwrap();
+    let v = DistVar::create(&rts[0], ts, "x", 0).unwrap();
+
+    // Message accounting: atomic = 1 broadcast, two-step = 2 broadcasts.
+    cluster.reset_net_stats();
+    v.fetch_add(&rts[1], 1).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let (atomic_msgs, _) = cluster.net_stats();
+    cluster.reset_net_stats();
+    v.update_unsafe_two_step(&rts[1], |x| x + 1, false).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let (twostep_msgs, _) = cluster.net_stats();
+    println!("\nE4 — distributed variable update:");
+    linda_bench::print_row("atomic AGS update, network messages", atomic_msgs);
+    linda_bench::print_row("two-step in/out update, network messages", twostep_msgs);
+    assert!(twostep_msgs > atomic_msgs);
+
+    let mut g = c.benchmark_group("fig_distvar");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("atomic_ags_update", |b| {
+        b.iter(|| v.fetch_add(&rts[1], 1).unwrap())
+    });
+    g.bench_function("two_step_update", |b| {
+        b.iter(|| v.update_unsafe_two_step(&rts[1], |x| x + 1, false).unwrap())
+    });
+    g.finish();
+
+    // Contention sweep: total time for 60 increments split across 1..3
+    // updater threads (atomic form; correctness under contention is what
+    // the two-step form cannot give).
+    println!("\nE4b — 60 atomic increments under contention:");
+    let mut g = c.benchmark_group("fig_distvar_contention");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for updaters in [1usize, 2, 3] {
+        g.bench_function(format!("updaters_{updaters}"), |b| {
+            b.iter(|| {
+                let per = 60 / updaters;
+                let hs: Vec<_> = (0..updaters)
+                    .map(|i| {
+                        let rt = rts[i].clone();
+                        let v = v.clone();
+                        std::thread::spawn(move || {
+                            for _ in 0..per {
+                                v.fetch_add(&rt, 1).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

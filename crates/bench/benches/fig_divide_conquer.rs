@@ -1,0 +1,53 @@
+//! E6 — fault-tolerant divide-and-conquer (adaptive quadrature).
+//!
+//! Completion time of ∫sin over [0,π] at decreasing tolerance (more
+//! interval splitting ⇒ more AGS traffic) and worker-count scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda::Cluster;
+use linda_paradigms::DivideConquer;
+use std::time::Duration;
+
+fn run_once(workers: usize, tol: f64) -> f64 {
+    let (cluster, rts) = Cluster::new(workers as u32 + 1);
+    let dc = DivideConquer::create(&rts[0], "quad", 0.0, std::f64::consts::PI).unwrap();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| dc.spawn_worker(rts[w + 1].clone(), f64::sin, tol))
+        .collect();
+    let v = dc.wait_result(&rts[0]).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    cluster.shutdown();
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nE6 — adaptive quadrature of sin over [0, π]:");
+    // Verify convergence once per configuration.
+    for tol in [1e-8, 1e-10] {
+        let v = run_once(2, tol);
+        linda_bench::print_row(
+            &format!("result at tol {tol:.0e}"),
+            format!("{v:.10} (exact 2.0)"),
+        );
+        assert!((v - 2.0).abs() < 1e-5);
+    }
+
+    let mut g = c.benchmark_group("fig_divide_conquer");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for workers in [1usize, 2, 3] {
+        g.bench_function(format!("workers_{workers}_tol_1e-8"), |b| {
+            b.iter(|| run_once(workers, 1e-8))
+        });
+    }
+    for tol in [1e-6, 1e-10] {
+        g.bench_function(format!("tolerance_{tol:.0e}_workers_2"), |b| {
+            b.iter(|| run_once(2, tol))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

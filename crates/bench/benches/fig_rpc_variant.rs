@@ -1,0 +1,51 @@
+//! E8 / Figures 16–17 — the tuple-server RPC variant.
+//!
+//! Figure 17's point: a host without a local replica forwards each AGS
+//! via RPC to a request handler on a tuple server, paying one extra round
+//! trip. We measure direct (library-on-replica) vs RPC clients at
+//! several simulated RPC latencies; expected shape: direct ≈ RPC@0 minus
+//! queue hop, and RPC latency adds exactly 2× the one-way hop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda::{Ags, Cluster, MatchField as MF, Operand, TupleServer, TypeTag};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    rts[0].out(ts, linda_tuple::tuple!("count", 0)).unwrap();
+    let server = TupleServer::start(rts[0].clone(), 2);
+    let ags = Ags::builder()
+        .guard_in(ts, vec![MF::actual("count"), MF::bind(TypeTag::Int)])
+        .out(ts, vec![Operand::cst("count"), Operand::formal(0).add(1)])
+        .build()
+        .unwrap();
+
+    println!("\nE8 — direct library vs tuple-server RPC:");
+    let mut g = c.benchmark_group("fig_rpc_variant");
+    g.sample_size(15).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("direct_library", |b| {
+        b.iter(|| rts[1].execute(&ags).unwrap())
+    });
+
+    for (label, hop_us) in [("rpc_0us", 0u64), ("rpc_100us", 100), ("rpc_500us", 500)] {
+        let client = server.client(Duration::from_micros(hop_us));
+        // Print an estimate row alongside the Criterion stats.
+        let reps = 30;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            client.execute(&ags).unwrap();
+        }
+        linda_bench::print_row(
+            label,
+            format!("{:>9.1} µs/AGS", t0.elapsed().as_secs_f64() * 1e6 / reps as f64),
+        );
+        g.bench_function(label, |b| b.iter(|| client.execute(&ags).unwrap()));
+    }
+    g.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

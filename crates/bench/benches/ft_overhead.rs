@@ -1,0 +1,71 @@
+//! E10 — the price of stability: volatile local Linda vs replicated
+//! stable tuple spaces.
+//!
+//! The same out+in workload runs against (a) a `LocalSpace` (classic
+//! Linda, one process, no fault tolerance), and (b) stable TSs replicated
+//! on 1–5 hosts. Expected shape: the stable path costs orders of
+//! magnitude more than a local mutex-protected store (every op is an
+//! ordered multicast + replicated apply), growing mildly with replica
+//! count — which is why FT-Linda also keeps *scratch* spaces local.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda::{Ags, Cluster, MatchField as MF, Operand, TypeTag};
+use linda_space::LocalSpace;
+use linda_tuple::{pat, tuple};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ft_overhead");
+    g.sample_size(15).measurement_time(Duration::from_secs(2));
+
+    // Baseline: classic local Linda.
+    let ls = LocalSpace::new();
+    ls.out(tuple!("x", 0));
+    g.bench_function("local_space_out_in", |b| {
+        b.iter(|| {
+            ls.out(tuple!("x", 1));
+            ls.in_(&pat!("x", ?int)).unwrap();
+        })
+    });
+
+    // Scratch space via the runtime (local, unreplicated).
+    let (cluster1, rts1) = Cluster::new(1);
+    let (_sid, scratch) = rts1[0].create_scratch();
+    g.bench_function("scratch_space_out_in", |b| {
+        b.iter(|| {
+            scratch.out(tuple!("x", 1));
+            scratch.in_(&pat!("x", ?int)).unwrap();
+        })
+    });
+
+    // Stable spaces at increasing replica counts.
+    println!("\nE10 — out+in pair cost by replication degree:");
+    for n in [1u32, 2, 3, 5] {
+        let (cluster, rts) = Cluster::new(n);
+        let ts = rts[0].create_stable_ts("main").unwrap();
+        let ags = Ags::builder()
+            .guard_true()
+            .out(ts, vec![Operand::cst("x"), Operand::cst(1)])
+            .in_(ts, vec![MF::actual("x"), MF::bind(TypeTag::Int)])
+            .build()
+            .unwrap();
+        let reps = 200;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            rts[0].execute(&ags).unwrap();
+        }
+        linda_bench::print_row(
+            &format!("stable TS, {n} replicas"),
+            format!("{:>9.1} µs", t0.elapsed().as_secs_f64() * 1e6 / reps as f64),
+        );
+        g.bench_function(format!("stable_{n}_replicas_out_in"), |b| {
+            b.iter(|| rts[0].execute(&ags).unwrap())
+        });
+        cluster.shutdown();
+    }
+    g.finish();
+    cluster1.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

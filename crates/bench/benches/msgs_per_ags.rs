@@ -1,0 +1,122 @@
+//! E9 — the headline implementation claim: **one multicast per AGS**,
+//! regardless of how many tuple operations it contains.
+//!
+//! We count physical network messages and bytes for AGSs with 1–16 body
+//! operations and compare against two simulated baselines:
+//!
+//! * **per-op multicast** — each tuple operation ordered separately (what
+//!   a naive replicated-Linda does): messages grow linearly with ops.
+//! * **2PC-style** — prepare + vote + commit rounds per atomic group
+//!   (what transaction-based designs like PLinda pay): ~3 rounds of n
+//!   messages regardless of ops, i.e. a constant ~3× the FT-Linda cost.
+//!
+//! Expected shape (and the paper's point): FT-Linda's message count is
+//! flat in ops-per-AGS; only bytes grow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda::{Ags, Cluster, MatchField as MF, Operand, Runtime, TsId, TypeTag};
+use std::time::Duration;
+
+const HOSTS: u64 = 4;
+
+fn nop_ags(ts: TsId, nops: usize) -> Ags {
+    let mut b = Ags::builder().guard_true();
+    for i in 0..nops {
+        b = b
+            .out(ts, vec![Operand::cst("s"), Operand::cst(i as i64)])
+            .in_(ts, vec![MF::actual("s"), MF::bind(TypeTag::Int)]);
+    }
+    b.build().unwrap()
+}
+
+/// Messages/bytes for one FT-Linda AGS with `nops` out+in pairs.
+fn measure_ftlinda(rts: &[Runtime], cluster: &Cluster, ts: TsId, nops: usize) -> (u64, u64) {
+    std::thread::sleep(Duration::from_millis(20));
+    cluster.reset_net_stats();
+    rts[1].execute(&nop_ags(ts, nops)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    cluster.net_stats()
+}
+
+/// Baseline: each op ordered as its own AGS (per-op multicast).
+fn measure_per_op(rts: &[Runtime], cluster: &Cluster, ts: TsId, nops: usize) -> (u64, u64) {
+    std::thread::sleep(Duration::from_millis(20));
+    cluster.reset_net_stats();
+    for i in 0..nops {
+        rts[1]
+            .execute(&Ags::out_one(ts, vec![Operand::cst("s"), Operand::cst(i as i64)]))
+            .unwrap();
+        rts[1]
+            .execute(&Ags::in_one(ts, vec![MF::actual("s"), MF::bind(TypeTag::Int)]).unwrap())
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    cluster.net_stats()
+}
+
+/// Analytic 2PC baseline (prepare to n-1, n-1 votes, commit to n-1 —
+/// per atomic group), using the measured FT-Linda byte volume for the
+/// prepare payload.
+fn twopc_messages() -> u64 {
+    3 * (HOSTS - 1)
+}
+
+fn bench(c: &mut Criterion) {
+    let (cluster, rts) = Cluster::new(HOSTS as u32);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+
+    println!("\nE9 — messages per atomic group of N tuple-op pairs (4 hosts):");
+    println!(
+        "    {:<8} {:>16} {:>16} {:>14} {:>12}",
+        "ops", "FT-Linda msgs", "per-op msgs", "2PC msgs", "FT bytes"
+    );
+    for nops in [1usize, 2, 4, 8, 16] {
+        let (ft_m, ft_b) = measure_ftlinda(&rts, &cluster, ts, nops);
+        let (po_m, _) = measure_per_op(&rts, &cluster, ts, nops);
+        println!(
+            "    {:<8} {:>16} {:>16} {:>14} {:>12}",
+            nops,
+            ft_m,
+            po_m,
+            twopc_messages(),
+            ft_b
+        );
+        // The claim itself, asserted: constant message count.
+        assert_eq!(ft_m, HOSTS, "1 submit + (n-1) ordered, flat in ops");
+        assert_eq!(po_m, 2 * nops as u64 * HOSTS);
+    }
+    println!();
+
+    // Criterion angle: per-AGS wall time flat-ish vs per-op linear.
+    let mut g = c.benchmark_group("msgs_per_ags_latency");
+    g.sample_size(15).measurement_time(Duration::from_secs(2));
+    for nops in [1usize, 4, 16] {
+        let ags = nop_ags(ts, nops);
+        g.bench_function(format!("ftlinda_{nops}_op_pairs"), |b| {
+            b.iter(|| rts[1].execute(&ags).unwrap())
+        });
+        g.bench_function(format!("per_op_{nops}_op_pairs"), |b| {
+            b.iter(|| {
+                for i in 0..nops {
+                    rts[1]
+                        .execute(&Ags::out_one(
+                            ts,
+                            vec![Operand::cst("s"), Operand::cst(i as i64)],
+                        ))
+                        .unwrap();
+                    rts[1]
+                        .execute(
+                            &Ags::in_one(ts, vec![MF::actual("s"), MF::bind(TypeTag::Int)])
+                                .unwrap(),
+                        )
+                        .unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

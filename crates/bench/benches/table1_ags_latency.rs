@@ -1,0 +1,112 @@
+//! E1 / Table 1 — latency of AGS processing by the TS state machine.
+//!
+//! The paper's Table 1 (Sun-3) reports the base cost of processing a null
+//! AGS plus the *marginal* cost of including different types of `in` and
+//! `out` operations in the body. We reproduce the same rows on one
+//! kernel: decode + execute of the ordered request, exactly the work the
+//! paper's state machine performs per AGS. The printed table gives the
+//! paper-style summary; the Criterion groups give rigorous statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda_ags::{Ags, MatchField as MF, Operand, TsId};
+use ftlinda_kernel::{Kernel, Request};
+use linda_bench::*;
+use linda_tuple::TypeTag;
+use std::time::{Duration, Instant};
+
+/// Kernel preloaded with steady-state tuples for the in/out workloads.
+fn base_kernel() -> (Kernel, u64) {
+    seeded_kernel(|k, seq| {
+        for fields in [0usize, 2, 4, 6] {
+            apply_request(k, seq, &Request::Ags(out_ags(fields)));
+        }
+    })
+}
+
+fn rows() -> Vec<(&'static str, Ags)> {
+    let inp_absent = Ags::inp_one(TsId(0), vec![MF::actual("absent")]).unwrap();
+    let rd_found = Ags::rd_one(
+        TsId(0),
+        vec![MF::actual("t"), MF::bind(TypeTag::Int), MF::bind(TypeTag::Int)],
+    )
+    .unwrap();
+    let move_self = Ags::builder()
+        .guard_true()
+        .copy(TsId(0), TsId(0), vec![MF::actual("absent-too")])
+        .build()
+        .unwrap();
+    vec![
+        ("null AGS (true => )", null_ags()),
+        ("out, 2 int fields", in_out_ags(2, 0)),
+        ("out, 4 int fields", in_out_ags(4, 0)),
+        ("out, 6 int fields", in_out_ags(6, 0)),
+        ("in, all actuals (2 fields)", in_out_ags(2, 0)),
+        ("in, 2 formals", in_out_ags(2, 2)),
+        ("in, 4 formals", in_out_ags(4, 4)),
+        ("in, 6 formals", in_out_ags(6, 6)),
+        ("rd, 2 formals", rd_found),
+        ("inp on absent tuple (strong false)", inp_absent),
+        ("copy with empty match set", move_self),
+    ]
+}
+
+fn print_table() {
+    println!("\nTable 1 reproduction — AGS processing latency (this machine):");
+    let base = measure_ns_per_apply(&base_kernel, &encoded(&null_ags()), 20_000);
+    print_row("null AGS base cost", format!("{base:9.0} ns"));
+    for (label, ags) in rows().into_iter().skip(1) {
+        let ns = measure_ns_per_apply(&base_kernel, &encoded(&ags), 20_000);
+        print_row(
+            label,
+            format!("{ns:9.0} ns  (marginal {:+9.0} ns)", ns - base),
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (label, ags) in rows() {
+        let enc = encoded(&ags);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let (mut k, mut seq) = base_kernel();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    apply_encoded(&mut k, &mut seq, &enc);
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+
+    // Marginal cost scaling: body length 1..8 of the same out+in pair.
+    let mut g = c.benchmark_group("table1_body_scaling");
+    g.sample_size(15).measurement_time(Duration::from_secs(1));
+    for nops in [1usize, 2, 4, 8] {
+        let mut b = Ags::builder().guard_true();
+        for _ in 0..nops {
+            b = b
+                .out(TsId(0), vec![Operand::cst("s"), Operand::cst(1)])
+                .in_(TsId(0), vec![MF::actual("s"), MF::bind(TypeTag::Int)]);
+        }
+        let enc = encoded(&b.build().unwrap());
+        g.bench_function(format!("{}_out_in_pairs", nops), |bch| {
+            bch.iter_custom(|iters| {
+                let (mut k, mut seq) = base_kernel();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    apply_encoded(&mut k, &mut seq, &enc);
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E2 / Table 2 — AGS processing latency on a second configuration.
+//!
+//! The paper's Table 2 repeats Table 1 on i386 hardware; the point of the
+//! second table is how the costs *scale* with the platform and the data.
+//! Our second axis is payload shape: the same out+in AGS carrying scalar
+//! ints, strings of growing size, and raw byte payloads — exercising the
+//! codec and matcher the way bigger tuples did on the slower machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftlinda_ags::{Ags, MatchField as MF, Operand, TsId};
+use ftlinda_kernel::Request;
+use linda_bench::*;
+use linda_tuple::{TypeTag, Value};
+use std::time::{Duration, Instant};
+
+fn payload_roundtrip_ags(payload: Value) -> Ags {
+    // ⟨ in("p", ?same-type) ⇒ out("p", const payload) ⟩: steady state.
+    let tag = payload.type_tag();
+    Ags::builder()
+        .guard_in(TsId(0), vec![MF::actual("p"), MF::bind(tag)])
+        .out(TsId(0), vec![Operand::cst("p"), Operand::Const(payload)])
+        .build()
+        .unwrap()
+}
+
+fn kernel_with(payload: Value) -> impl Fn() -> (ftlinda_kernel::Kernel, u64) {
+    move || {
+        let payload = payload.clone();
+        seeded_kernel(move |k, seq| {
+            apply_request(
+                k,
+                seq,
+                &Request::Ags(Ags::out_one(
+                    TsId(0),
+                    vec![Operand::cst("p"), Operand::Const(payload)],
+                )),
+            );
+        })
+    }
+}
+
+fn cases() -> Vec<(String, Value)> {
+    let mut v: Vec<(String, Value)> = vec![
+        ("int".into(), Value::Int(42)),
+        ("float".into(), Value::Float(1.5)),
+    ];
+    for len in [16usize, 256, 1024, 4096] {
+        v.push((format!("str_{len}B"), Value::Str("x".repeat(len))));
+        v.push((format!("bytes_{len}B"), Value::Bytes(vec![7u8; len])));
+    }
+    v
+}
+
+fn print_table() {
+    println!("\nTable 2 reproduction — in+out AGS latency by payload shape:");
+    for (label, payload) in cases() {
+        let mk = kernel_with(payload.clone());
+        let enc = encoded(&payload_roundtrip_ags(payload));
+        let ns = measure_ns_per_apply(&|| mk(), &enc, 10_000);
+        print_row(&label, format!("{ns:9.0} ns/AGS"));
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("table2_payload");
+    g.sample_size(15).measurement_time(Duration::from_secs(1));
+    for (label, payload) in cases() {
+        let mk = kernel_with(payload.clone());
+        let enc = encoded(&payload_roundtrip_ags(payload));
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let (mut k, mut seq) = mk();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    apply_encoded(&mut k, &mut seq, &enc);
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+
+    // The typing axis: `?str` formal vs exact actual match on a 1 KiB
+    // string (actual match must compare the whole payload).
+    let mut g = c.benchmark_group("table2_match_kind");
+    g.sample_size(15).measurement_time(Duration::from_secs(1));
+    let big = Value::Str("x".repeat(1024));
+    for (label, pat_field) in [
+        ("formal_?str", MF::bind(TypeTag::Str)),
+        ("actual_1KiB", MF::Expr(Operand::Const(big.clone()))),
+    ] {
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("p"), pat_field])
+            .out(TsId(0), vec![Operand::cst("p"), Operand::Const(big.clone())])
+            .build()
+            .unwrap();
+        let mk = kernel_with(big.clone());
+        let enc = encoded(&ags);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let (mut k, mut seq) = mk();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    apply_encoded(&mut k, &mut seq, &enc);
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

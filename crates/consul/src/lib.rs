@@ -1,0 +1,32 @@
+//! # consul-sim
+//!
+//! A simulated stand-in for Consul, the communication substrate the paper
+//! builds FT-Linda on: a network of fail-silent workstations with
+//! totally-ordered atomic multicast, membership/failure notification, and
+//! message accounting.
+//!
+//! Components:
+//!
+//! * [`SimNet`] — the simulated LAN: per-link latency + jitter, FIFO
+//!   links, crash/restart injection, a delayed perfect failure detector.
+//! * [`SeqGroup`]/[`SeqMember`] — fixed-sequencer total-order multicast
+//!   with coordinator failover, gap repair, and log-replay rejoin. This is
+//!   what the FT-Linda runtime uses.
+//! * [`IsisGroup`]/[`IsisMember`] — ISIS-style agreed-timestamp ordering
+//!   (failure-free), for the ordering-protocol ablation (A1).
+//! * [`NetStats`]/[`OrderStats`] — the measurement instruments for the
+//!   "one multicast per AGS" experiment (E9).
+
+#![warn(missing_docs)]
+
+mod isis;
+mod net;
+mod order;
+mod sequencer;
+mod stats;
+
+pub use isis::{IsisGroup, IsisMember, IsisMsg};
+pub use net::{Heartbeat, HostId, NetConfig, NetEvent, SimNet, WireSized};
+pub use order::{Delivery, LocalId, Protocol, Record, RecordBody};
+pub use sequencer::{SeqGroup, SeqMember, SeqMsg};
+pub use stats::{NetStats, OrderStats};

@@ -1,0 +1,200 @@
+//! Common types for totally-ordered atomic multicast.
+//!
+//! Consul's job in the FT-Linda architecture (paper §5.1) is to take AGS
+//! request messages from the library, disseminate them to every tuple
+//! space replica, and deliver them **in the same total order everywhere**,
+//! interleaving membership changes into that order so replicas insert
+//! failure tuples at identical points in the command stream.
+
+use crate::net::HostId;
+use bytes::Bytes;
+
+/// Identifier a sender assigns to its own broadcast; `(origin, local)` is
+/// globally unique and lets the origin recognize its own delivery.
+pub type LocalId = u64;
+
+/// The body of an ordered record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordBody {
+    /// An application payload (an encoded AGS request, for FT-Linda).
+    App(Bytes),
+    /// Membership change: `host` failed. Replicas deposit failure tuples
+    /// when they deliver this.
+    Fail(HostId),
+    /// Membership change: `host` (re)joined.
+    Join(HostId),
+}
+
+/// One entry of the totally-ordered stream. `seq` is contiguous from 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Global sequence number (contiguous, starting at 1).
+    pub seq: u64,
+    /// Host that originated the record (for `App`: the submitting host;
+    /// for view changes: the coordinator that emitted it).
+    pub origin: HostId,
+    /// Origin-local id of the broadcast (0 for view changes).
+    pub local: LocalId,
+    /// Payload.
+    pub body: RecordBody,
+}
+
+impl Record {
+    /// Approximate wire size of the record in bytes.
+    pub fn wire_size(&self) -> usize {
+        let body = match &self.body {
+            RecordBody::App(p) => p.len(),
+            _ => 4,
+        };
+        8 + 4 + 8 + 1 + body
+    }
+}
+
+/// What the ordering layer hands to the application (the TS replica state
+/// machine), in identical order at every member.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// An application message.
+    App {
+        /// Global sequence number.
+        seq: u64,
+        /// Submitting host.
+        origin: HostId,
+        /// Origin-local broadcast id.
+        local: LocalId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// `host` failed; ordered like any message.
+    Fail {
+        /// Global sequence number.
+        seq: u64,
+        /// The failed host.
+        host: HostId,
+    },
+    /// `host` (re)joined.
+    Join {
+        /// Global sequence number.
+        seq: u64,
+        /// The joined host.
+        host: HostId,
+    },
+}
+
+impl Delivery {
+    /// The record's global sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Delivery::App { seq, .. } | Delivery::Fail { seq, .. } | Delivery::Join { seq, .. } => {
+                *seq
+            }
+        }
+    }
+
+    /// Convert a [`Record`] into the corresponding delivery event.
+    pub fn from_record(r: &Record) -> Delivery {
+        match &r.body {
+            RecordBody::App(p) => Delivery::App {
+                seq: r.seq,
+                origin: r.origin,
+                local: r.local,
+                payload: p.clone(),
+            },
+            RecordBody::Fail(h) => Delivery::Fail {
+                seq: r.seq,
+                host: *h,
+            },
+            RecordBody::Join(h) => Delivery::Join {
+                seq: r.seq,
+                host: *h,
+            },
+        }
+    }
+}
+
+/// Which total-order protocol a group runs (ablation A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Fixed-sequencer with coordinator failover: one extra hop to the
+    /// sequencer, constant message cost, survives crashes. The default,
+    /// and the protocol used by the FT-Linda runtime.
+    #[default]
+    Sequencer,
+    /// ISIS-style agreed timestamps: no coordinator, two phases, higher
+    /// message cost. Implemented for failure-free operation only (used by
+    /// the ordering ablation benchmark).
+    Isis,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_from_record() {
+        let r = Record {
+            seq: 3,
+            origin: HostId(1),
+            local: 9,
+            body: RecordBody::App(Bytes::from_static(b"xy")),
+        };
+        match Delivery::from_record(&r) {
+            Delivery::App {
+                seq,
+                origin,
+                local,
+                payload,
+            } => {
+                assert_eq!((seq, origin, local), (3, HostId(1), 9));
+                assert_eq!(&payload[..], b"xy");
+            }
+            other => panic!("wrong delivery {other:?}"),
+        }
+        assert_eq!(Delivery::from_record(&r).seq(), 3);
+
+        let f = Record {
+            seq: 4,
+            origin: HostId(0),
+            local: 0,
+            body: RecordBody::Fail(HostId(2)),
+        };
+        assert_eq!(
+            Delivery::from_record(&f),
+            Delivery::Fail {
+                seq: 4,
+                host: HostId(2)
+            }
+        );
+
+        let j = Record {
+            seq: 5,
+            origin: HostId(0),
+            local: 0,
+            body: RecordBody::Join(HostId(2)),
+        };
+        assert_eq!(
+            Delivery::from_record(&j),
+            Delivery::Join {
+                seq: 5,
+                host: HostId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = Record {
+            seq: 1,
+            origin: HostId(0),
+            local: 1,
+            body: RecordBody::App(Bytes::from_static(b"a")),
+        };
+        let big = Record {
+            seq: 1,
+            origin: HostId(0),
+            local: 1,
+            body: RecordBody::App(Bytes::from(vec![0u8; 100])),
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,1068 @@
+//! Fixed-sequencer atomic multicast with coordinator failover.
+//!
+//! This is the workhorse total-order protocol of the reproduction (the
+//! paper's Consul used Psync-based ordering; a sequencer gives the same
+//! interface guarantees — total order, view changes ordered with
+//! messages — with a simpler protocol whose costs are easy to account).
+//!
+//! Normal operation: a member submits `(local_id, payload)` to the
+//! coordinator, which assigns the next global sequence number and
+//! multicasts the ordered record to all members. Members deliver records
+//! in contiguous sequence order.
+//!
+//! Failure handling (fail-silent crashes, perfect delayed detector):
+//!
+//! * **Coordinator crash** — the lowest-id live member becomes
+//!   coordinator-elect, queries every live member for its log suffix
+//!   (`SyncQuery`/`SyncReply`), merges the collected records (per-link
+//!   FIFO guarantees each member holds a contiguous prefix, so the
+//!   longest is a superset), then resumes assignment and emits an ordered
+//!   `Fail` record for the dead coordinator. Members resubmit their
+//!   unacked broadcasts to the new coordinator; duplicate submissions are
+//!   detected by `(origin, local)` and answered with a retransmission
+//!   instead of a second sequence number, so delivery is exactly-once.
+//! * **Member crash** — the coordinator emits an ordered `Fail` record
+//!   (deduplicated per incarnation against the log).
+//! * **Gaps** — a member receiving a record beyond its contiguous prefix
+//!   NACKs the coordinator, which retransmits from its complete log.
+//! * **Restart** — the rejoining host broadcasts `JoinReq` (with retry);
+//!   the coordinator replies with a `Snapshot` of the full ordered log
+//!   (production systems transfer a state checkpoint; replaying the log
+//!   reaches the identical replica state and keeps the protocol small)
+//!   and emits an ordered `Join` record.
+
+use crate::net::{HostId, NetConfig, NetEvent, SimNet, WireSized};
+use crate::order::{Delivery, LocalId, Record, RecordBody};
+use crate::stats::OrderStats;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Protocol messages of the sequencer group.
+#[derive(Debug, Clone)]
+pub enum SeqMsg {
+    /// Origin → coordinator: please order this payload.
+    Submit {
+        /// Origin-local broadcast id.
+        local: LocalId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// Coordinator → members: record with its global sequence number.
+    Ordered(Record),
+    /// Coordinator-elect → members: send me your log after `have`.
+    SyncQuery {
+        /// Length of the elect's contiguous log.
+        have: u64,
+    },
+    /// Member → coordinator-elect: the requested suffix.
+    SyncReply {
+        /// Records with `seq > have` held by the replying member.
+        records: Vec<Record>,
+    },
+    /// Member → coordinator: my log is contiguous up to `from - 1`,
+    /// retransmit from `from`.
+    Nack {
+        /// First missing sequence number.
+        from: u64,
+    },
+    /// Coordinator → member: gap repair.
+    Retransmit {
+        /// The missing records.
+        records: Vec<Record>,
+    },
+    /// Restarted host → all: let me back in.
+    JoinReq,
+    /// Heartbeat (only in heartbeat-detection mode).
+    Ping,
+    /// Coordinator → joiner: full ordered log and current live set.
+    Snapshot {
+        /// Complete log.
+        records: Vec<Record>,
+        /// Coordinator's current live set.
+        live: Vec<HostId>,
+    },
+}
+
+impl WireSized for SeqMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            SeqMsg::Submit { payload, .. } => 1 + 8 + payload.len(),
+            SeqMsg::Ordered(r) => 1 + r.wire_size(),
+            SeqMsg::SyncQuery { .. } => 9,
+            SeqMsg::SyncReply { records } => {
+                1 + records.iter().map(Record::wire_size).sum::<usize>()
+            }
+            SeqMsg::Nack { .. } => 9,
+            SeqMsg::Retransmit { records } => {
+                1 + records.iter().map(Record::wire_size).sum::<usize>()
+            }
+            SeqMsg::JoinReq => 1,
+            SeqMsg::Ping => 1,
+            SeqMsg::Snapshot { records, live } => {
+                1 + records.iter().map(Record::wire_size).sum::<usize>() + live.len() * 4
+            }
+        }
+    }
+}
+
+/// The full per-member protocol state machine. All methods assume the
+/// member's lock is held; network sends from inside are safe (the router
+/// never takes member locks).
+struct State {
+    me: HostId,
+    universe: Vec<HostId>,
+    live: BTreeSet<HostId>,
+    coord: HostId,
+    joined: bool,
+
+    net: SimNet<SeqMsg>,
+    dtx: crossbeam::channel::Sender<Delivery>,
+    stats: Arc<OrderStats>,
+
+    // Member side.
+    log: Vec<Record>,
+    buffer: BTreeMap<u64, Record>,
+    pending_submits: BTreeMap<LocalId, Bytes>,
+    next_local: LocalId,
+    nacked_for: Option<u64>,
+    /// Hosts with a `Fail` record not yet superseded by a `Join` record.
+    failed_recorded: BTreeSet<HostId>,
+
+    // Coordinator side.
+    coord_synced: bool,
+    next_seq: u64,
+    assigned: HashMap<(HostId, LocalId), u64>,
+    recipients: BTreeSet<HostId>,
+    sync_waiting: BTreeSet<HostId>,
+    sync_records: BTreeMap<u64, Record>,
+    buffered_submits: Vec<(HostId, LocalId, Bytes)>,
+    buffered_nacks: Vec<(HostId, u64)>,
+    pending_fails: BTreeSet<HostId>,
+    pending_joins: Vec<HostId>,
+
+    // Heartbeat failure detection (None = oracle notices from SimNet).
+    hb: Option<crate::net::Heartbeat>,
+    last_heard: HashMap<HostId, std::time::Instant>,
+    last_ping: std::time::Instant,
+}
+
+impl State {
+    fn is_coord(&self) -> bool {
+        self.coord == self.me
+    }
+
+    fn log_len(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn on_event(&mut self, ev: NetEvent<SeqMsg>) {
+        match ev {
+            NetEvent::Msg { from, msg } => {
+                self.last_heard.insert(from, std::time::Instant::now());
+                self.on_msg(from, msg)
+            }
+            NetEvent::CrashNotice(h) => self.on_crash(h),
+            NetEvent::JoinNotice(h) => {
+                if h != self.me {
+                    self.live.insert(h);
+                }
+            }
+        }
+    }
+
+    fn on_msg(&mut self, from: HostId, msg: SeqMsg) {
+        match msg {
+            SeqMsg::Submit { local, payload } => {
+                if self.is_coord() {
+                    self.coord_submit(from, local, payload);
+                }
+                // else: drop; origin resubmits after its detector fires.
+            }
+            SeqMsg::Ordered(rec) => self.accept_record(rec),
+            SeqMsg::SyncQuery { have } => {
+                let records: Vec<Record> =
+                    self.log.iter().filter(|r| r.seq > have).cloned().collect();
+                self.net.send(self.me, from, SeqMsg::SyncReply { records });
+            }
+            SeqMsg::SyncReply { records } => {
+                if !self.is_coord() || self.coord_synced {
+                    return;
+                }
+                for r in records {
+                    self.sync_records.insert(r.seq, r);
+                }
+                self.sync_waiting.remove(&from);
+                if self.sync_waiting.is_empty() {
+                    self.finish_sync();
+                }
+            }
+            SeqMsg::Nack { from: missing } => {
+                if self.is_coord() && self.coord_synced {
+                    self.serve_nack(from, missing);
+                } else if self.is_coord() {
+                    self.buffered_nacks.push((from, missing));
+                }
+            }
+            SeqMsg::Retransmit { records } => {
+                for rec in records {
+                    self.accept_record(rec);
+                }
+            }
+            SeqMsg::JoinReq => {
+                if self.is_coord() && self.coord_synced {
+                    self.serve_join(from);
+                } else if self.is_coord() {
+                    self.pending_joins.push(from);
+                }
+            }
+            SeqMsg::Ping => {}
+            SeqMsg::Snapshot { records, live } => {
+                if self.joined {
+                    return; // duplicate snapshot from a retried JoinReq
+                }
+                self.live = live.into_iter().collect();
+                self.live.insert(self.me);
+                self.coord = from;
+                self.joined = true;
+                for rec in records {
+                    self.accept_record(rec);
+                }
+            }
+        }
+    }
+
+    /// Core append path: deliver `rec` if it extends the contiguous log,
+    /// buffer it if ahead, ignore duplicates.
+    fn accept_record(&mut self, rec: Record) {
+        if rec.seq <= self.log_len() {
+            return;
+        }
+        if rec.seq > self.log_len() + 1 {
+            let expected = self.log_len() + 1;
+            self.buffer.insert(rec.seq, rec);
+            if self.nacked_for != Some(expected) {
+                self.nacked_for = Some(expected);
+                self.stats.record_retransmit();
+                let coord = self.coord;
+                self.net.send(self.me, coord, SeqMsg::Nack { from: expected });
+            }
+            return;
+        }
+        self.append_and_deliver(rec);
+        while let Some(next) = self.buffer.remove(&(self.log_len() + 1)) {
+            self.append_and_deliver(next);
+        }
+        self.nacked_for = None;
+    }
+
+    fn append_and_deliver(&mut self, rec: Record) {
+        debug_assert_eq!(rec.seq, self.log_len() + 1);
+        match &rec.body {
+            RecordBody::App(_) => {
+                if rec.origin == self.me {
+                    self.pending_submits.remove(&rec.local);
+                }
+            }
+            RecordBody::Fail(h) => {
+                self.failed_recorded.insert(*h);
+                self.stats.record_view_change();
+            }
+            RecordBody::Join(h) => {
+                self.failed_recorded.remove(h);
+                self.live.insert(*h);
+                self.last_heard.insert(*h, std::time::Instant::now());
+                self.stats.record_view_change();
+            }
+        }
+        let delivery = Delivery::from_record(&rec);
+        self.log.push(rec);
+        self.stats.record_delivery();
+        let _ = self.dtx.send(delivery);
+    }
+
+    /// Heartbeat mode: send periodic pings and declare silent peers
+    /// crashed. Called from the member thread on every loop iteration.
+    fn heartbeat_tick(&mut self) {
+        let Some(hb) = self.hb else { return };
+        if !self.joined {
+            return;
+        }
+        let now = std::time::Instant::now();
+        if now.duration_since(self.last_ping) >= hb.period {
+            self.last_ping = now;
+            let me = self.me;
+            let peers: Vec<HostId> = self
+                .universe
+                .iter()
+                .copied()
+                .filter(|p| *p != me)
+                .collect();
+            self.net.multicast(me, peers, SeqMsg::Ping);
+        }
+        let silent: Vec<HostId> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|p| {
+                *p != self.me
+                    && self
+                        .last_heard
+                        .get(p)
+                        .is_none_or(|t| now.duration_since(*t) > hb.timeout)
+            })
+            .collect();
+        for h in silent {
+            self.on_crash(h);
+        }
+    }
+
+    fn on_crash(&mut self, h: HostId) {
+        if !self.live.contains(&h) {
+            return; // already handled (heartbeat detectors can refire)
+        }
+        self.live.remove(&h);
+        self.recipients.remove(&h);
+        if h == self.coord {
+            let new_coord = match self.live.iter().next() {
+                Some(c) => *c,
+                None => return,
+            };
+            self.coord = new_coord;
+            self.nacked_for = None;
+            if new_coord == self.me {
+                // Become coordinator-elect; sync with every live peer.
+                self.coord_synced = false;
+                self.pending_fails.insert(h);
+                self.sync_records.clear();
+                self.sync_waiting = self
+                    .live
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.me)
+                    .collect();
+                let have = self.log_len();
+                let peers: Vec<HostId> = self.sync_waiting.iter().copied().collect();
+                for p in peers {
+                    self.net.send(self.me, p, SeqMsg::SyncQuery { have });
+                }
+                if self.sync_waiting.is_empty() {
+                    self.finish_sync();
+                }
+            } else {
+                // Resubmit unacked broadcasts to the new coordinator.
+                let me = self.me;
+                let pend: Vec<(LocalId, Bytes)> = self
+                    .pending_submits
+                    .iter()
+                    .map(|(l, p)| (*l, p.clone()))
+                    .collect();
+                for (local, payload) in pend {
+                    self.stats.record_retransmit();
+                    self.net
+                        .send(me, new_coord, SeqMsg::Submit { local, payload });
+                }
+            }
+        } else if self.is_coord() {
+            if self.coord_synced {
+                self.emit_fail(h);
+            } else {
+                self.pending_fails.insert(h);
+                if self.sync_waiting.remove(&h) && self.sync_waiting.is_empty() {
+                    self.finish_sync();
+                }
+            }
+        }
+    }
+
+    fn finish_sync(&mut self) {
+        let recs: Vec<Record> = self.sync_records.values().cloned().collect();
+        self.sync_records.clear();
+        for rec in recs {
+            self.accept_record(rec);
+        }
+        self.next_seq = self.log_len() + 1;
+        self.assigned = self
+            .log
+            .iter()
+            .filter(|r| matches!(r.body, RecordBody::App(_)))
+            .map(|r| ((r.origin, r.local), r.seq))
+            .collect();
+        self.recipients = self.live.clone();
+        self.coord_synced = true;
+
+        let fails: Vec<HostId> = self.pending_fails.iter().copied().collect();
+        self.pending_fails.clear();
+        for h in fails {
+            self.emit_fail(h);
+        }
+        // Re-inject our own unacked submissions (the old coordinator may
+        // have died holding them). `coord_submit` dedups anything that did
+        // make it into the log.
+        let me = self.me;
+        let pend: Vec<(LocalId, Bytes)> = self
+            .pending_submits
+            .iter()
+            .map(|(l, p)| (*l, p.clone()))
+            .collect();
+        for (local, payload) in pend {
+            self.coord_submit(me, local, payload);
+        }
+        let subs = std::mem::take(&mut self.buffered_submits);
+        for (origin, local, payload) in subs {
+            self.coord_submit(origin, local, payload);
+        }
+        let nacks = std::mem::take(&mut self.buffered_nacks);
+        for (from, missing) in nacks {
+            self.serve_nack(from, missing);
+        }
+        let joins = std::mem::take(&mut self.pending_joins);
+        for j in joins {
+            self.serve_join(j);
+        }
+    }
+
+    fn emit_fail(&mut self, h: HostId) {
+        if self.failed_recorded.contains(&h) {
+            return; // already recorded for this incarnation
+        }
+        let rec = Record {
+            seq: self.next_seq,
+            origin: self.me,
+            local: 0,
+            body: RecordBody::Fail(h),
+        };
+        self.next_seq += 1;
+        self.distribute(rec);
+    }
+
+    fn serve_nack(&mut self, from: HostId, missing: u64) {
+        let records: Vec<Record> = self
+            .log
+            .iter()
+            .filter(|r| r.seq >= missing)
+            .cloned()
+            .collect();
+        if !records.is_empty() {
+            self.net.send(self.me, from, SeqMsg::Retransmit { records });
+        }
+    }
+
+    fn serve_join(&mut self, joiner: HostId) {
+        self.live.insert(joiner);
+        self.recipients.insert(joiner);
+        self.net.send(
+            self.me,
+            joiner,
+            SeqMsg::Snapshot {
+                records: self.log.clone(),
+                live: self.live.iter().copied().collect(),
+            },
+        );
+        if self.failed_recorded.contains(&joiner) {
+            let rec = Record {
+                seq: self.next_seq,
+                origin: self.me,
+                local: 0,
+                body: RecordBody::Join(joiner),
+            };
+            self.next_seq += 1;
+            self.distribute(rec);
+        }
+    }
+
+    /// Coordinator path for a submission: assign the next sequence number
+    /// (or answer a duplicate with a retransmission) and distribute.
+    fn coord_submit(&mut self, origin: HostId, local: LocalId, payload: Bytes) {
+        if !self.coord_synced {
+            self.buffered_submits.push((origin, local, payload));
+            return;
+        }
+        if let Some(&seq) = self.assigned.get(&(origin, local)) {
+            if origin != self.me {
+                if let Some(rec) = self.log.get((seq - 1) as usize) {
+                    self.stats.record_retransmit();
+                    self.net.send(
+                        self.me,
+                        origin,
+                        SeqMsg::Retransmit {
+                            records: vec![rec.clone()],
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        let rec = Record {
+            seq: self.next_seq,
+            origin,
+            local,
+            body: RecordBody::App(payload),
+        };
+        self.next_seq += 1;
+        self.assigned.insert((origin, local), rec.seq);
+        self.distribute(rec);
+    }
+
+    /// Multicast an ordered record to all recipients and self-deliver.
+    fn distribute(&mut self, rec: Record) {
+        let me = self.me;
+        let dests: Vec<HostId> = self
+            .recipients
+            .iter()
+            .copied()
+            .filter(|h| *h != me)
+            .collect();
+        self.net.multicast(me, dests, SeqMsg::Ordered(rec.clone()));
+        self.accept_record(rec);
+    }
+}
+
+/// Handle to one member of a sequencer group. The protocol runs on a
+/// dedicated thread; [`SeqMember::broadcast`] may be called from any
+/// thread; ordered deliveries arrive on the channel returned by
+/// [`SeqMember::deliveries`].
+pub struct SeqMember {
+    me: HostId,
+    net: SimNet<SeqMsg>,
+    state: Arc<Mutex<State>>,
+    deliveries: crossbeam::channel::Receiver<Delivery>,
+    stats: Arc<OrderStats>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Factory/controller for a sequencer group over a simulated network.
+pub struct SeqGroup {
+    net: SimNet<SeqMsg>,
+    universe: Vec<HostId>,
+    stats: Arc<OrderStats>,
+}
+
+impl SeqGroup {
+    /// Create a group of `n` members, all initially live, host 0 as the
+    /// initial coordinator.
+    pub fn new(n: u32, cfg: NetConfig) -> (SeqGroup, Vec<SeqMember>) {
+        let (net, rxs) = SimNet::<SeqMsg>::new(n, cfg);
+        let universe: Vec<HostId> = (0..n).map(HostId).collect();
+        let stats = Arc::new(OrderStats::default());
+        let members = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                Self::spawn_member(HostId(i as u32), &net, &universe, rx, stats.clone(), true)
+            })
+            .collect();
+        (
+            SeqGroup {
+                net,
+                universe,
+                stats,
+            },
+            members,
+        )
+    }
+
+    fn spawn_member(
+        me: HostId,
+        net: &SimNet<SeqMsg>,
+        universe: &[HostId],
+        rx: crossbeam::channel::Receiver<NetEvent<SeqMsg>>,
+        stats: Arc<OrderStats>,
+        initially_joined: bool,
+    ) -> SeqMember {
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let live: BTreeSet<HostId> = universe.iter().copied().collect();
+        let state = Arc::new(Mutex::new(State {
+            me,
+            universe: universe.to_vec(),
+            live: live.clone(),
+            coord: universe[0],
+            joined: initially_joined,
+            net: net.clone(),
+            dtx,
+            stats: stats.clone(),
+            log: Vec::new(),
+            buffer: BTreeMap::new(),
+            pending_submits: BTreeMap::new(),
+            next_local: 1,
+            nacked_for: None,
+            failed_recorded: BTreeSet::new(),
+            coord_synced: initially_joined && me == universe[0],
+            next_seq: 1,
+            assigned: HashMap::new(),
+            recipients: live,
+            sync_waiting: BTreeSet::new(),
+            sync_records: BTreeMap::new(),
+            buffered_submits: Vec::new(),
+            buffered_nacks: Vec::new(),
+            pending_fails: BTreeSet::new(),
+            pending_joins: Vec::new(),
+            hb: net.config().heartbeats,
+            last_heard: universe
+                .iter()
+                .map(|h| (*h, std::time::Instant::now()))
+                .collect(),
+            last_ping: std::time::Instant::now(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let member = SeqMember {
+            me,
+            net: net.clone(),
+            state: state.clone(),
+            deliveries: drx,
+            stats,
+            stop: stop.clone(),
+        };
+        let tick = net
+            .config()
+            .heartbeats
+            .map(|hb| (hb.period / 2).max(Duration::from_millis(1)))
+            .unwrap_or(Duration::from_millis(50));
+        std::thread::Builder::new()
+            .name(format!("seq-{me}"))
+            .spawn(move || loop {
+                if stop.load(AtomicOrdering::Relaxed) {
+                    return;
+                }
+                match rx.recv_timeout(tick) {
+                    Ok(ev) => {
+                        let mut st = state.lock();
+                        st.on_event(ev);
+                        st.heartbeat_tick();
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        state.lock().heartbeat_tick();
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn member");
+        member
+    }
+
+    /// Crash a member (fail-silent).
+    pub fn crash(&self, host: HostId) {
+        self.net.crash(host);
+    }
+
+    /// Restart a crashed member: returns a fresh handle that rejoins the
+    /// group and replays the ordered log (all deliveries are re-emitted
+    /// to its application from sequence 1).
+    pub fn restart(&self, host: HostId) -> SeqMember {
+        let rx = self.net.restart(host);
+        let member =
+            Self::spawn_member(host, &self.net, &self.universe, rx, self.stats.clone(), false);
+        // Rejoin with retry until a snapshot arrives.
+        let state = member.state.clone();
+        let net = member.net.clone();
+        let stop = member.stop.clone();
+        let me = member.me;
+        std::thread::Builder::new()
+            .name(format!("join-{me}"))
+            .spawn(move || loop {
+                {
+                    let st = state.lock();
+                    if st.joined || stop.load(AtomicOrdering::Relaxed) {
+                        return;
+                    }
+                }
+                let peers: Vec<HostId> = state
+                    .lock()
+                    .universe
+                    .iter()
+                    .copied()
+                    .filter(|h| *h != me)
+                    .collect();
+                for p in peers {
+                    net.send(me, p, SeqMsg::JoinReq);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            })
+            .expect("spawn join retry");
+        member
+    }
+
+    /// The simulated network (for stats and direct fault injection).
+    pub fn net(&self) -> &SimNet<SeqMsg> {
+        &self.net
+    }
+
+    /// Ordering-layer statistics.
+    pub fn stats(&self) -> &OrderStats {
+        &self.stats
+    }
+
+    /// Tear down the network router.
+    pub fn shutdown(&self) {
+        self.net.shutdown();
+    }
+}
+
+impl SeqMember {
+    /// This member's host id.
+    pub fn host(&self) -> HostId {
+        self.me
+    }
+
+    /// Submit a payload for totally-ordered delivery to every member.
+    /// Returns the origin-local id; the corresponding [`Delivery::App`]
+    /// (`origin == self`, same `local`) signals completion.
+    pub fn broadcast(&self, payload: Bytes) -> LocalId {
+        self.stats.record_broadcast();
+        let mut st = self.state.lock();
+        let local = st.next_local;
+        st.next_local += 1;
+        st.pending_submits.insert(local, payload.clone());
+        if st.is_coord() {
+            let me = st.me;
+            st.coord_submit(me, local, payload);
+        } else {
+            let (me, coord) = (st.me, st.coord);
+            drop(st);
+            self.net.send(me, coord, SeqMsg::Submit { local, payload });
+        }
+        local
+    }
+
+    /// The ordered delivery stream.
+    pub fn deliveries(&self) -> &crossbeam::channel::Receiver<Delivery> {
+        &self.deliveries
+    }
+
+    /// Stop this member's protocol thread (teardown).
+    pub fn stop(&self) {
+        self.stop.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// Number of records this member has delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.state.lock().log_len()
+    }
+
+    /// Snapshot of the member's delivered log (tests/debugging).
+    pub fn log(&self) -> Vec<Record> {
+        self.state.lock().log.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    fn drain_until<F: FnMut(&Delivery) -> bool>(
+        m: &SeqMember,
+        mut done: F,
+        within: Duration,
+    ) -> Vec<Delivery> {
+        let deadline = Instant::now() + within;
+        let mut out = Vec::new();
+        while Instant::now() < deadline {
+            match m.deliveries().recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => {
+                    let stop = done(&d);
+                    out.push(d);
+                    if stop {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        out
+    }
+
+    fn collect_n(m: &SeqMember, n: usize, within: Duration) -> Vec<Delivery> {
+        let mut count = 0;
+        drain_until(
+            m,
+            |_| {
+                count += 1;
+                count >= n
+            },
+            within,
+        )
+    }
+
+    #[test]
+    fn single_member_self_order() {
+        let (g, ms) = SeqGroup::new(1, NetConfig::instant());
+        let local = ms[0].broadcast(Bytes::from_static(b"hello"));
+        let ds = collect_n(&ms[0], 1, Duration::from_secs(2));
+        assert_eq!(ds.len(), 1);
+        match &ds[0] {
+            Delivery::App {
+                seq,
+                origin,
+                local: l,
+                payload,
+            } => {
+                assert_eq!(*seq, 1);
+                assert_eq!(*origin, HostId(0));
+                assert_eq!(*l, local);
+                assert_eq!(&payload[..], b"hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        g.shutdown();
+    }
+
+    #[test]
+    fn three_members_same_total_order() {
+        let (g, ms) = SeqGroup::new(3, NetConfig::instant());
+        let per = 20;
+        for i in 0..per {
+            for m in &ms {
+                m.broadcast(Bytes::from(format!("{}-{}", m.host(), i)));
+            }
+        }
+        let total = per * 3;
+        let logs: Vec<Vec<Delivery>> = ms
+            .iter()
+            .map(|m| collect_n(m, total, Duration::from_secs(5)))
+            .collect();
+        for log in &logs {
+            assert_eq!(log.len(), total, "every member delivers everything");
+        }
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+        for (i, d) in logs[0].iter().enumerate() {
+            assert_eq!(d.seq(), (i + 1) as u64);
+        }
+        g.shutdown();
+    }
+
+    #[test]
+    fn concurrent_broadcasters_exactly_once() {
+        let (g, ms) = SeqGroup::new(3, NetConfig::lan(Duration::from_micros(100)));
+        let ms = Arc::new(ms);
+        let per = 50;
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let ms = ms.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        ms[i].broadcast(Bytes::from(format!("{i}:{k}")));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = per * 3;
+        let log0 = collect_n(&ms[0], total, Duration::from_secs(10));
+        assert_eq!(log0.len(), total);
+        let mut seen = HashSet::new();
+        for d in &log0 {
+            if let Delivery::App { payload, .. } = d {
+                assert!(seen.insert(payload.clone()), "duplicate delivery");
+            }
+        }
+        assert_eq!(seen.len(), total);
+        g.shutdown();
+    }
+
+    #[test]
+    fn member_crash_produces_one_fail_record() {
+        let (g, ms) = SeqGroup::new(3, NetConfig::instant());
+        ms[0].broadcast(Bytes::from_static(b"a"));
+        let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
+        g.crash(HostId(2));
+        let ds = drain_until(
+            &ms[0],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(2)),
+            Duration::from_secs(2),
+        );
+        let fails = ds
+            .iter()
+            .filter(|d| matches!(d, Delivery::Fail { .. }))
+            .count();
+        assert_eq!(fails, 1);
+        let ds1 = drain_until(
+            &ms[1],
+            |d| matches!(d, Delivery::Fail { .. }),
+            Duration::from_secs(2),
+        );
+        assert_eq!(
+            ds.iter()
+                .find(|d| matches!(d, Delivery::Fail { .. }))
+                .map(Delivery::seq),
+            ds1.iter()
+                .find(|d| matches!(d, Delivery::Fail { .. }))
+                .map(Delivery::seq)
+        );
+        g.shutdown();
+    }
+
+    #[test]
+    fn coordinator_failover_preserves_order_and_liveness() {
+        let (g, ms) = SeqGroup::new(3, NetConfig::instant());
+        for i in 0..10 {
+            ms[1].broadcast(Bytes::from(format!("pre{i}")));
+        }
+        let _ = collect_n(&ms[1], 10, Duration::from_secs(3));
+        let _ = collect_n(&ms[2], 10, Duration::from_secs(3));
+        g.crash(HostId(0)); // the coordinator
+        let _ = drain_until(
+            &ms[1],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(0)),
+            Duration::from_secs(3),
+        );
+        for i in 0..10 {
+            ms[2].broadcast(Bytes::from(format!("post{i}")));
+        }
+        let d1 = collect_n(&ms[1], 10, Duration::from_secs(3));
+        let apps1: Vec<_> = d1
+            .iter()
+            .filter(|d| matches!(d, Delivery::App { .. }))
+            .collect();
+        assert_eq!(apps1.len(), 10);
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(ms[1].log(), ms[2].log());
+        g.shutdown();
+    }
+
+    #[test]
+    fn inflight_submission_to_dead_coordinator_is_not_lost() {
+        let cfg = NetConfig {
+            latency: Duration::from_millis(5),
+            detect_delay: Duration::from_millis(2),
+            ..NetConfig::default()
+        };
+        let (g, ms) = SeqGroup::new(3, cfg);
+        ms[1].broadcast(Bytes::from_static(b"risky"));
+        g.crash(HostId(0));
+        let ds = drain_until(
+            &ms[2],
+            |d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"risky"),
+            Duration::from_secs(3),
+        );
+        assert!(
+            ds.iter()
+                .any(|d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"risky")),
+            "submission lost after coordinator crash"
+        );
+        g.shutdown();
+    }
+
+    #[test]
+    fn double_failover() {
+        let (g, ms) = SeqGroup::new(4, NetConfig::instant());
+        ms[3].broadcast(Bytes::from_static(b"a"));
+        let _ = collect_n(&ms[3], 1, Duration::from_secs(2));
+        g.crash(HostId(0));
+        let _ = drain_until(
+            &ms[3],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(0)),
+            Duration::from_secs(3),
+        );
+        g.crash(HostId(1));
+        let _ = drain_until(
+            &ms[3],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(1)),
+            Duration::from_secs(3),
+        );
+        ms[3].broadcast(Bytes::from_static(b"b"));
+        let ds = drain_until(
+            &ms[2],
+            |d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"b"),
+            Duration::from_secs(3),
+        );
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"b")));
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(ms[2].log(), ms[3].log());
+        g.shutdown();
+    }
+
+    #[test]
+    fn restart_rejoins_and_replays_full_log() {
+        let (g, ms) = SeqGroup::new(3, NetConfig::instant());
+        for i in 0..5 {
+            ms[0].broadcast(Bytes::from(format!("x{i}")));
+        }
+        let _ = collect_n(&ms[1], 5, Duration::from_secs(3));
+        g.crash(HostId(2));
+        let _ = drain_until(
+            &ms[1],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(2)),
+            Duration::from_secs(3),
+        );
+        let m2 = g.restart(HostId(2));
+        let ds = drain_until(
+            &m2,
+            |d| matches!(d, Delivery::Join { host, .. } if *host == HostId(2)),
+            Duration::from_secs(5),
+        );
+        let apps = ds
+            .iter()
+            .filter(|d| matches!(d, Delivery::App { .. }))
+            .count();
+        assert_eq!(apps, 5, "joiner must replay all app records");
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(2))));
+        m2.broadcast(Bytes::from_static(b"back"));
+        let ds2 = drain_until(
+            &m2,
+            |d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"back"),
+            Duration::from_secs(3),
+        );
+        assert!(!ds2.is_empty());
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(ms[0].log(), m2.log());
+        g.shutdown();
+    }
+
+    #[test]
+    fn message_cost_is_n_messages_per_broadcast() {
+        // 1 Submit + (n-1) Ordered per broadcast from a non-coordinator;
+        // coordinator broadcasts cost n-1. This is the "single multicast
+        // message per AGS" accounting baseline for E9.
+        let (g, ms) = SeqGroup::new(4, NetConfig::instant());
+        g.net().stats().reset();
+        ms[1].broadcast(Bytes::from_static(b"m"));
+        let _ = collect_n(&ms[1], 1, Duration::from_secs(2));
+        std::thread::sleep(Duration::from_millis(50));
+        let (msgs, _) = g.net().stats().snapshot();
+        assert_eq!(msgs, 4, "1 submit + 3 ordered");
+        g.net().stats().reset();
+        ms[0].broadcast(Bytes::from_static(b"m"));
+        let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
+        std::thread::sleep(Duration::from_millis(50));
+        let (msgs, _) = g.net().stats().snapshot();
+        assert_eq!(msgs, 3, "coordinator pays only the fan-out");
+        g.shutdown();
+    }
+
+    #[test]
+    fn latency_network_converges() {
+        let cfg = NetConfig::lan(Duration::from_micros(500));
+        let (g, ms) = SeqGroup::new(3, cfg);
+        for i in 0..30 {
+            ms[(i % 3) as usize].broadcast(Bytes::from(format!("{i}")));
+        }
+        for m in ms.iter() {
+            let ds = collect_n(m, 30, Duration::from_secs(10));
+            assert_eq!(ds.len(), 30);
+        }
+        assert_eq!(ms[0].log(), ms[1].log());
+        assert_eq!(ms[1].log(), ms[2].log());
+        g.shutdown();
+    }
+
+    #[test]
+    fn delivered_count_tracks_log() {
+        let (g, ms) = SeqGroup::new(2, NetConfig::instant());
+        ms[0].broadcast(Bytes::from_static(b"1"));
+        let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
+        assert_eq!(ms[0].delivered_count(), 1);
+        g.shutdown();
+    }
+}

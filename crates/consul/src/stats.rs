@@ -1,0 +1,145 @@
+//! Message and byte accounting.
+//!
+//! Experiment E9 checks the paper's headline implementation claim: one
+//! ordered multicast per AGS, independent of how many tuple operations the
+//! AGS contains. These counters are the measurement instrument: the
+//! network layer counts physical messages/bytes, and the ordering layer
+//! counts logical broadcasts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for network traffic. All methods are lock-free.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl NetStats {
+    /// Record one physical message of `size` bytes.
+    pub fn record_msg(&self, size: usize) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Total physical messages sent since creation (or last reset).
+    pub fn messages(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counters (between benchmark phases).
+    pub fn reset(&self) {
+        self.msgs.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot `(messages, bytes)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.messages(), self.bytes())
+    }
+}
+
+/// Counters for the ordering layer: logical broadcasts vs. physical
+/// messages lets experiments separate protocol overhead from fan-out.
+#[derive(Debug, Default)]
+pub struct OrderStats {
+    broadcasts: AtomicU64,
+    delivered: AtomicU64,
+    view_changes: AtomicU64,
+    retransmits: AtomicU64,
+}
+
+impl OrderStats {
+    /// Record one logical atomic broadcast submitted.
+    pub fn record_broadcast(&self) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one message delivered to the application in total order.
+    pub fn record_delivery(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a membership view change.
+    pub fn record_view_change(&self) {
+        self.view_changes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a retransmission (gap repair or resubmission).
+    pub fn record_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Logical broadcasts submitted.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Ordered deliveries to the application.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// View changes observed.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes.load(Ordering::Relaxed)
+    }
+
+    /// Retransmissions performed.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_stats_accumulate_and_reset() {
+        let s = NetStats::default();
+        s.record_msg(10);
+        s.record_msg(20);
+        assert_eq!(s.snapshot(), (2, 30));
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0));
+    }
+
+    #[test]
+    fn order_stats_accumulate() {
+        let s = OrderStats::default();
+        s.record_broadcast();
+        s.record_delivery();
+        s.record_delivery();
+        s.record_view_change();
+        s.record_retransmit();
+        assert_eq!(s.broadcasts(), 1);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.view_changes(), 1);
+        assert_eq!(s.retransmits(), 1);
+    }
+
+    #[test]
+    fn net_stats_threadsafe() {
+        let s = std::sync::Arc::new(NetStats::default());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_msg(1);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot(), (4000, 4000));
+    }
+}

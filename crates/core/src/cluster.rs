@@ -1,0 +1,128 @@
+//! Cluster assembly and fault injection.
+//!
+//! A [`Cluster`] is the simulated network of workstations: it owns the
+//! Consul group and hands out one [`Runtime`] per host. Crashing and
+//! restarting hosts goes through the cluster, mirroring how the paper's
+//! evaluation kills workstations under a running application.
+
+use crate::runtime::Runtime;
+use consul_sim::{HostId, NetConfig, SeqGroup};
+use std::time::Duration;
+
+/// Builder for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    hosts: u32,
+    net: NetConfig,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            hosts: 3,
+            net: NetConfig::instant(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of hosts (replicas). The paper's prototype used 3 Sun-3s.
+    pub fn hosts(mut self, n: u32) -> Self {
+        self.hosts = n;
+        self
+    }
+
+    /// Simulated network configuration (latency, jitter, detection delay).
+    pub fn net(mut self, cfg: NetConfig) -> Self {
+        self.net = cfg;
+        self
+    }
+
+    /// LAN-like latency shortcut.
+    pub fn latency(mut self, one_way: Duration) -> Self {
+        self.net = NetConfig::lan(one_way);
+        self
+    }
+
+    /// Use heartbeat-based failure detection instead of the simulated
+    /// oracle detector: crashes are discovered from ping silence, as a
+    /// real deployment would.
+    pub fn heartbeats(mut self, period: Duration, timeout: Duration) -> Self {
+        self.net.heartbeats = Some(consul_sim::Heartbeat { period, timeout });
+        self
+    }
+
+    /// Build the cluster and one runtime per host.
+    pub fn build(self) -> (Cluster, Vec<Runtime>) {
+        let (group, members) = SeqGroup::new(self.hosts, self.net);
+        let runtimes: Vec<Runtime> = members.into_iter().map(Runtime::new).collect();
+        (
+            Cluster {
+                group,
+                runtimes: runtimes.clone(),
+            },
+            runtimes,
+        )
+    }
+}
+
+/// A running FT-Linda cluster over the simulated network.
+pub struct Cluster {
+    group: SeqGroup,
+    runtimes: Vec<Runtime>,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Convenience: `n` hosts, zero-latency network.
+    pub fn new(n: u32) -> (Cluster, Vec<Runtime>) {
+        Cluster::builder().hosts(n).build()
+    }
+
+    /// Crash a host (fail-silent). Every surviving replica will deposit a
+    /// `("failure", host)` tuple into each stable TS once the failure is
+    /// detected and ordered.
+    pub fn crash(&self, host: HostId) {
+        self.group.crash(host);
+    }
+
+    /// Restart a crashed host. The fresh runtime replays the ordered log
+    /// and converges to the surviving replicas' state; a `Join` record is
+    /// ordered into the stream.
+    pub fn restart(&self, host: HostId) -> Runtime {
+        Runtime::new(self.group.restart(host))
+    }
+
+    /// Network statistics (physical messages/bytes) — experiment E9.
+    pub fn net_stats(&self) -> (u64, u64) {
+        self.group.net().stats().snapshot()
+    }
+
+    /// Reset network statistics between measurement phases.
+    pub fn reset_net_stats(&self) {
+        self.group.net().stats().reset();
+    }
+
+    /// Ordering-layer statistics.
+    pub fn order_stats(&self) -> &consul_sim::OrderStats {
+        self.group.stats()
+    }
+
+    /// Tear everything down.
+    pub fn shutdown(&self) {
+        for rt in &self.runtimes {
+            rt.shutdown();
+        }
+        self.group.shutdown();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,65 @@
+//! Errors surfaced by the FT-Linda client API.
+
+use ftlinda_kernel::ExecError;
+use std::fmt;
+
+/// Client-visible failure of an FT-Linda operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtError {
+    /// The AGS executed but its body failed deterministically (state was
+    /// rolled back at every replica).
+    Exec(ExecError),
+    /// The local runtime has shut down (cluster torn down or host
+    /// crashed under this client).
+    Shutdown,
+    /// An `execute_timeout` deadline expired while the AGS was still
+    /// blocked. The AGS remains queued and may still fire later; the
+    /// caller should treat the handle as abandoned.
+    Timeout,
+    /// The AGS failed static validation before submission.
+    Invalid(ftlinda_ags::AgsError),
+}
+
+impl fmt::Display for FtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtError::Exec(e) => write!(f, "AGS execution failed: {e}"),
+            FtError::Shutdown => write!(f, "FT-Linda runtime shut down"),
+            FtError::Timeout => write!(f, "timed out waiting for AGS"),
+            FtError::Invalid(e) => write!(f, "invalid AGS: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+impl From<ExecError> for FtError {
+    fn from(e: ExecError) -> Self {
+        FtError::Exec(e)
+    }
+}
+
+impl From<ftlinda_ags::AgsError> for FtError {
+    fn from(e: ftlinda_ags::AgsError) -> Self {
+        FtError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FtError::Shutdown.to_string().contains("shut down"));
+        assert!(FtError::Timeout.to_string().contains("timed out"));
+        assert!(
+            FtError::Exec(ExecError::BodyUnmatched { op_index: 0 })
+                .to_string()
+                .contains("execution failed")
+        );
+        assert!(FtError::Invalid(ftlinda_ags::AgsError::NoBranches)
+            .to_string()
+            .contains("invalid"));
+    }
+}

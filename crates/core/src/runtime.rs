@@ -1,0 +1,400 @@
+//! The per-host FT-Linda runtime: the library a process links against.
+//!
+//! Each host runs one [`Runtime`]. It owns the host's replica [`Kernel`],
+//! an apply thread that feeds the kernel the totally-ordered delivery
+//! stream, and the completion plumbing that resolves a client's blocking
+//! call when *this* host's kernel reports the client's AGS as executed.
+//!
+//! The paper's Figure 15 architecture maps as: FT-Linda library =
+//! [`Runtime`] methods; Consul = `consul_sim::SeqMember`; TS state
+//! machine = `ftlinda_kernel::Kernel`.
+
+use crate::error::FtError;
+use consul_sim::{HostId, LocalId, SeqMember};
+use crossbeam::channel::{Receiver, Sender};
+use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
+use ftlinda_kernel::{encode_request, Kernel, KernelNote, Request};
+use linda_space::LocalSpace;
+use linda_tuple::{PatField, Pattern, Tuple, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Failure/recovery events observable by application code (in addition to
+/// the failure *tuples* deposited in every stable TS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtEvent {
+    /// A host was detected as failed (ordered with the command stream).
+    HostFailed(HostId),
+    /// A host rejoined.
+    HostJoined(HostId),
+}
+
+type CompletionTx = Sender<Result<CompletionOk, FtError>>;
+
+/// Successful completion payload routed back to a waiting client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompletionOk {
+    /// An AGS fired.
+    Ags(AgsOutcome),
+    /// A `CreateTs` resolved.
+    Ts(TsId),
+}
+
+struct Shared {
+    waiting: Mutex<HashMap<LocalId, CompletionTx>>,
+    events: Mutex<Vec<Sender<FtEvent>>>,
+    kernel: Mutex<Kernel>,
+    alive: AtomicBool,
+    next_scratch: AtomicU32,
+}
+
+/// Handle to the FT-Linda runtime on one host. Cloneable; clones share
+/// the host's kernel and connection.
+#[derive(Clone)]
+pub struct Runtime {
+    host: HostId,
+    member: Arc<SeqMember>,
+    shared: Arc<Shared>,
+}
+
+impl Runtime {
+    /// Wire a runtime on top of an ordered-multicast member. Spawns the
+    /// apply thread. (Use [`crate::Cluster`] rather than calling this
+    /// directly.)
+    pub fn new(member: SeqMember) -> Runtime {
+        let host = member.host();
+        let (note_tx, note_rx) = crossbeam::channel::unbounded::<KernelNote>();
+        let shared = Arc::new(Shared {
+            waiting: Mutex::new(HashMap::new()),
+            events: Mutex::new(Vec::new()),
+            kernel: Mutex::new(Kernel::new(host, note_tx)),
+            alive: AtomicBool::new(true),
+            next_scratch: AtomicU32::new(0),
+        });
+        let member = Arc::new(member);
+        let rt = Runtime {
+            host,
+            member: member.clone(),
+            shared: shared.clone(),
+        };
+        std::thread::Builder::new()
+            .name(format!("ftlinda-apply-{host}"))
+            .spawn(move || loop {
+                let d = match member.deliveries().recv_timeout(Duration::from_millis(100)) {
+                    Ok(d) => d,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if !shared.alive.load(AtomicOrdering::Relaxed) {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        shared.alive.store(false, AtomicOrdering::Relaxed);
+                        // Wake all waiters with Shutdown.
+                        let mut w = shared.waiting.lock();
+                        for (_, tx) in w.drain() {
+                            let _ = tx.send(Err(FtError::Shutdown));
+                        }
+                        return;
+                    }
+                };
+                shared.kernel.lock().apply(&d);
+                // Route kernel notes produced by this apply.
+                for note in note_rx.try_iter() {
+                    match note {
+                        KernelNote::Completed { local, result, .. } => {
+                            if let Some(tx) = shared.waiting.lock().remove(&local) {
+                                let _ = tx.send(
+                                    result
+                                        .map(CompletionOk::Ags)
+                                        .map_err(FtError::Exec),
+                                );
+                            }
+                        }
+                        KernelNote::TsCreated { local, id, .. } => {
+                            if let Some(tx) = shared.waiting.lock().remove(&local) {
+                                let _ = tx.send(Ok(CompletionOk::Ts(id)));
+                            }
+                        }
+                        KernelNote::HostFailed { host, .. } => {
+                            Self::publish(&shared, FtEvent::HostFailed(host));
+                        }
+                        KernelNote::HostJoined { host, .. } => {
+                            Self::publish(&shared, FtEvent::HostJoined(host));
+                        }
+                        KernelNote::Malformed { .. } => {}
+                    }
+                }
+            })
+            .expect("spawn apply thread");
+        rt
+    }
+
+    fn publish(shared: &Shared, ev: FtEvent) {
+        let mut subs = shared.events.lock();
+        subs.retain(|tx| tx.send(ev.clone()).is_ok());
+    }
+
+    /// This runtime's host id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Subscribe to failure/recovery events.
+    pub fn events(&self) -> Receiver<FtEvent> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.shared.events.lock().push(tx);
+        rx
+    }
+
+    fn submit(&self, req: &Request) -> Receiver<Result<CompletionOk, FtError>> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let payload = bytes::Bytes::from(encode_request(req));
+        // Hold the waiting lock across broadcast + insert so the apply
+        // thread cannot route the completion before the waiter exists.
+        let mut w = self.shared.waiting.lock();
+        let local = self.member.broadcast(payload);
+        w.insert(local, tx);
+        rx
+    }
+
+    fn await_ok(
+        &self,
+        rx: Receiver<Result<CompletionOk, FtError>>,
+        timeout: Option<Duration>,
+    ) -> Result<CompletionOk, FtError> {
+        match timeout {
+            None => rx.recv().map_err(|_| FtError::Shutdown)?,
+            Some(t) => match rx.recv_timeout(t) {
+                Ok(r) => r,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(FtError::Timeout),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(FtError::Shutdown),
+            },
+        }
+    }
+
+    // ----- stable tuple spaces -------------------------------------------
+
+    /// Create (or look up) a stable tuple space by name. Stable spaces are
+    /// replicated on every host; their contents survive any minority of
+    /// crashes and are updated with one multicast per AGS.
+    pub fn create_stable_ts(&self, name: &str) -> Result<TsId, FtError> {
+        let rx = self.submit(&Request::CreateTs { name: name.into() });
+        match self.await_ok(rx, None)? {
+            CompletionOk::Ts(id) => Ok(id),
+            CompletionOk::Ags(_) => unreachable!("create resolved as AGS"),
+        }
+    }
+
+    /// Execute an AGS, blocking until it fires (or fails).
+    pub fn execute(&self, ags: &Ags) -> Result<AgsOutcome, FtError> {
+        let rx = self.submit(&Request::Ags(ags.clone()));
+        match self.await_ok(rx, None)? {
+            CompletionOk::Ags(o) => Ok(o),
+            CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+        }
+    }
+
+    /// Submit an AGS without waiting: returns a handle whose
+    /// [`AgsHandle::wait`] blocks for the outcome. Useful for pipelining
+    /// many independent statements (each is still one ordered multicast).
+    pub fn execute_async(&self, ags: &Ags) -> AgsHandle {
+        AgsHandle {
+            rx: self.submit(&Request::Ags(ags.clone())),
+        }
+    }
+
+    /// Execute an AGS with a client-side deadline. On `Timeout` the AGS
+    /// remains blocked at the replicas and may fire later (its effects
+    /// then occur without a visible completion).
+    pub fn execute_timeout(&self, ags: &Ags, t: Duration) -> Result<AgsOutcome, FtError> {
+        let rx = self.submit(&Request::Ags(ags.clone()));
+        match self.await_ok(rx, Some(t))? {
+            CompletionOk::Ags(o) => Ok(o),
+            CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+        }
+    }
+
+    // ----- classic Linda sugar over AGSs ---------------------------------
+
+    /// Linda `out` to a stable space: `⟨ true ⇒ out(ts, tuple) ⟩`.
+    pub fn out(&self, ts: TsId, tuple: Tuple) -> Result<(), FtError> {
+        let template = tuple
+            .into_fields()
+            .into_iter()
+            .map(Operand::Const)
+            .collect();
+        self.execute(&Ags::out_one(ts, template)).map(|_| ())
+    }
+
+    /// Blocking Linda `in` on a stable space. Returns the full withdrawn
+    /// tuple (actuals re-attached to the bound formals).
+    pub fn in_(&self, ts: TsId, pattern: &Pattern) -> Result<Tuple, FtError> {
+        let ags = Ags::in_one(ts, pattern_fields(pattern))?;
+        let out = self.execute(&ags)?;
+        Ok(rebuild_tuple(pattern, &out.bindings))
+    }
+
+    /// Blocking Linda `rd` on a stable space.
+    pub fn rd(&self, ts: TsId, pattern: &Pattern) -> Result<Tuple, FtError> {
+        let ags = Ags::rd_one(ts, pattern_fields(pattern))?;
+        let out = self.execute(&ags)?;
+        Ok(rebuild_tuple(pattern, &out.bindings))
+    }
+
+    /// Strong `inp`: a `None` is an absolute guarantee that no matching
+    /// tuple existed at this point of the total order (paper §5: of other
+    /// distributed Linda implementations, only PLinda offers this).
+    pub fn inp(&self, ts: TsId, pattern: &Pattern) -> Result<Option<Tuple>, FtError> {
+        let ags = Ags::inp_one(ts, pattern_fields(pattern))?;
+        let out = self.execute(&ags)?;
+        Ok((out.branch == 0).then(|| rebuild_tuple(pattern, &out.bindings)))
+    }
+
+    /// Strong `rdp` (see [`Runtime::inp`]).
+    pub fn rdp(&self, ts: TsId, pattern: &Pattern) -> Result<Option<Tuple>, FtError> {
+        let ags = Ags::rdp_one(ts, pattern_fields(pattern))?;
+        let out = self.execute(&ags)?;
+        Ok((out.branch == 0).then(|| rebuild_tuple(pattern, &out.bindings)))
+    }
+
+    // ----- scratch spaces -------------------------------------------------
+
+    /// Create a volatile, host-local scratch tuple space. The returned
+    /// [`LocalSpace`] is the direct (cheap, unreplicated) interface; the
+    /// [`ScratchId`] lets AGS bodies `out`/`move` into it.
+    pub fn create_scratch(&self) -> (ScratchId, LocalSpace) {
+        let id = ScratchId(self.shared.next_scratch.fetch_add(1, AtomicOrdering::Relaxed));
+        let space = LocalSpace::new();
+        self.shared.kernel.lock().register_scratch(id, space.clone());
+        (id, space)
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Deterministic digest of this host's replica state (tests).
+    pub fn digest(&self) -> u64 {
+        self.shared.kernel.lock().digest()
+    }
+
+    /// Number of tuples in a stable space at this replica.
+    pub fn stable_len(&self, ts: TsId) -> Option<usize> {
+        self.shared.kernel.lock().stable_len(ts)
+    }
+
+    /// Snapshot a stable space at this replica.
+    pub fn snapshot(&self, ts: TsId) -> Option<Vec<Tuple>> {
+        self.shared.kernel.lock().snapshot(ts)
+    }
+
+    /// Number of blocked AGSs at this replica.
+    pub fn blocked_len(&self) -> usize {
+        self.shared.kernel.lock().blocked_len()
+    }
+
+    /// Sequence number of the last applied record.
+    pub fn applied_seq(&self) -> u64 {
+        self.shared.kernel.lock().applied_seq()
+    }
+
+    /// Stop the apply thread (cluster teardown).
+    pub fn shutdown(&self) {
+        self.shared.alive.store(false, AtomicOrdering::Relaxed);
+        self.member.stop();
+        let mut w = self.shared.waiting.lock();
+        for (_, tx) in w.drain() {
+            let _ = tx.send(Err(FtError::Shutdown));
+        }
+    }
+}
+
+/// An in-flight AGS submitted with [`Runtime::execute_async`].
+pub struct AgsHandle {
+    rx: Receiver<Result<CompletionOk, FtError>>,
+}
+
+impl AgsHandle {
+    /// Block for the outcome.
+    pub fn wait(self) -> Result<AgsOutcome, FtError> {
+        match self.rx.recv().map_err(|_| FtError::Shutdown)?? {
+            CompletionOk::Ags(o) => Ok(o),
+            CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+        }
+    }
+
+    /// Block with a deadline (see [`Runtime::execute_timeout`] caveats).
+    pub fn wait_timeout(self, t: Duration) -> Result<AgsOutcome, FtError> {
+        match self.rx.recv_timeout(t) {
+            Ok(r) => match r? {
+                CompletionOk::Ags(o) => Ok(o),
+                CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+            },
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(FtError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(FtError::Shutdown),
+        }
+    }
+
+    /// Whether the outcome has arrived (non-blocking probe).
+    pub fn is_ready(&self) -> bool {
+        !self.rx.is_empty()
+    }
+}
+
+/// Convert a plain [`Pattern`] into AGS match fields.
+pub fn pattern_fields(p: &Pattern) -> Vec<MatchField> {
+    p.fields()
+        .iter()
+        .map(|f| match f {
+            PatField::Actual(v) => MatchField::Expr(Operand::Const(v.clone())),
+            PatField::Formal(t) => MatchField::Bind(*t),
+        })
+        .collect()
+}
+
+/// Reassemble the matched tuple from a pattern and the bound formals.
+pub fn rebuild_tuple(p: &Pattern, bindings: &[Value]) -> Tuple {
+    let mut bi = 0;
+    Tuple::new(
+        p.fields()
+            .iter()
+            .map(|f| match f {
+                PatField::Actual(v) => v.clone(),
+                PatField::Formal(_) => {
+                    let v = bindings[bi].clone();
+                    bi += 1;
+                    v
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linda_tuple::{pat, tuple, TypeTag};
+
+    #[test]
+    fn pattern_fields_roundtrip() {
+        let p = pat!("job", ?int, 2.5);
+        let fields = pattern_fields(&p);
+        assert_eq!(fields.len(), 3);
+        assert!(matches!(fields[1], MatchField::Bind(TypeTag::Int)));
+    }
+
+    #[test]
+    fn rebuild_tuple_interleaves() {
+        let p = pat!("job", ?int, "x", ?str);
+        let t = rebuild_tuple(&p, &[Value::Int(4), Value::Str("s".into())]);
+        assert_eq!(t, tuple!("job", 4, "x", "s"));
+    }
+
+    #[test]
+    fn rebuild_all_actuals() {
+        let p = pat!("a", 1);
+        assert_eq!(rebuild_tuple(&p, &[]), tuple!("a", 1));
+    }
+}

@@ -1,0 +1,194 @@
+//! The tuple-server RPC variant (paper §5.4, Figures 16/17).
+//!
+//! The paper's base architecture runs the FT-Linda library, Consul, and a
+//! TS state machine on *every* participating host. The alternative it
+//! sketches for hosts that should not carry replicas (e.g. personal
+//! workstations donating idle cycles to a Piranha-style computation) is a
+//! **tuple server**: the library forwards each AGS over RPC to a request
+//! handler on a server host, which submits it to Consul as before and
+//! returns the result. The cost is one extra round trip per AGS.
+//!
+//! [`TupleServer`] wraps a full [`Runtime`] and serves RPC clients;
+//! [`RpcClient`] implements the same blocking call surface with the extra
+//! hop (with a configurable simulated RPC latency so experiment E8 can
+//! sweep it).
+
+use crate::error::FtError;
+use crate::runtime::Runtime;
+use ftlinda_ags::{Ags, AgsOutcome, TsId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+enum RpcRequest {
+    CreateTs {
+        name: String,
+        reply: crossbeam::channel::Sender<Result<TsId, FtError>>,
+    },
+    Execute {
+        ags: Box<Ags>,
+        reply: crossbeam::channel::Sender<Result<AgsOutcome, FtError>>,
+    },
+}
+
+/// A request handler running on a replica-hosting machine, serving
+/// library calls forwarded from non-replica hosts.
+pub struct TupleServer {
+    tx: crossbeam::channel::Sender<RpcRequest>,
+    alive: Arc<AtomicBool>,
+}
+
+impl TupleServer {
+    /// Start a server backed by `rt` with `handlers` worker threads (the
+    /// paper's request handler processes).
+    pub fn start(rt: Runtime, handlers: usize) -> TupleServer {
+        let (tx, rx) = crossbeam::channel::unbounded::<RpcRequest>();
+        let alive = Arc::new(AtomicBool::new(true));
+        for i in 0..handlers.max(1) {
+            let rx = rx.clone();
+            let rt = rt.clone();
+            let alive = alive.clone();
+            std::thread::Builder::new()
+                .name(format!("tuple-server-{i}"))
+                .spawn(move || {
+                    while alive.load(Ordering::Relaxed) {
+                        match rx.recv_timeout(Duration::from_millis(100)) {
+                            Ok(RpcRequest::CreateTs { name, reply }) => {
+                                let _ = reply.send(rt.create_stable_ts(&name));
+                            }
+                            Ok(RpcRequest::Execute { ags, reply }) => {
+                                let _ = reply.send(rt.execute(&ags));
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                        }
+                    }
+                })
+                .expect("spawn tuple server handler");
+        }
+        TupleServer { tx, alive }
+    }
+
+    /// Connect a client with the given simulated one-way RPC latency.
+    pub fn client(&self, rpc_latency: Duration) -> RpcClient {
+        RpcClient {
+            tx: self.tx.clone(),
+            latency: rpc_latency,
+        }
+    }
+
+    /// Stop the handler threads.
+    pub fn stop(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+}
+
+impl Drop for TupleServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// An FT-Linda client on a host with no local replica: every operation
+/// pays one RPC round trip to the tuple server in addition to the normal
+/// AGS cost.
+#[derive(Clone)]
+pub struct RpcClient {
+    tx: crossbeam::channel::Sender<RpcRequest>,
+    latency: Duration,
+}
+
+impl RpcClient {
+    fn hop(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+
+    /// Create (or look up) a stable space via the server.
+    pub fn create_stable_ts(&self, name: &str) -> Result<TsId, FtError> {
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        self.hop();
+        self.tx
+            .send(RpcRequest::CreateTs {
+                name: name.into(),
+                reply: rtx,
+            })
+            .map_err(|_| FtError::Shutdown)?;
+        let r = rrx.recv().map_err(|_| FtError::Shutdown)?;
+        self.hop();
+        r
+    }
+
+    /// Execute an AGS via the server (blocking).
+    pub fn execute(&self, ags: &Ags) -> Result<AgsOutcome, FtError> {
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        self.hop();
+        self.tx
+            .send(RpcRequest::Execute {
+                ags: Box::new(ags.clone()),
+                reply: rtx,
+            })
+            .map_err(|_| FtError::Shutdown)?;
+        let r = rrx.recv().map_err(|_| FtError::Shutdown)?;
+        self.hop();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use ftlinda_ags::{MatchField as MF, Operand};
+    use linda_tuple::TypeTag;
+
+    #[test]
+    fn rpc_client_round_trip() {
+        let (cluster, rts) = Cluster::new(2);
+        let server = TupleServer::start(rts[0].clone(), 2);
+        let client = server.client(Duration::ZERO);
+        let ts = client.create_stable_ts("main").unwrap();
+        client
+            .execute(&Ags::out_one(ts, vec![Operand::cst("x"), Operand::cst(1)]))
+            .unwrap();
+        let o = client
+            .execute(
+                &Ags::in_one(ts, vec![MF::actual("x"), MF::bind(TypeTag::Int)]).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(o.bindings[0].as_int(), Some(1));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn rpc_and_direct_clients_interoperate() {
+        let (cluster, rts) = Cluster::new(2);
+        let server = TupleServer::start(rts[0].clone(), 1);
+        let client = server.client(Duration::ZERO);
+        let ts = rts[1].create_stable_ts("shared").unwrap();
+        let ts2 = client.create_stable_ts("shared").unwrap();
+        assert_eq!(ts, ts2);
+        client
+            .execute(&Ags::out_one(ts, vec![Operand::cst("from-rpc")]))
+            .unwrap();
+        assert_eq!(
+            rts[1].in_(ts, &linda_tuple::pat!("from-rpc")).unwrap(),
+            linda_tuple::tuple!("from-rpc")
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn rpc_latency_is_paid_per_call() {
+        let (cluster, rts) = Cluster::new(2);
+        let server = TupleServer::start(rts[0].clone(), 1);
+        let slow = server.client(Duration::from_millis(10));
+        let ts = slow.create_stable_ts("main").unwrap();
+        let t0 = std::time::Instant::now();
+        slow.execute(&Ags::out_one(ts, vec![Operand::cst(1)]))
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20), "two hops");
+        cluster.shutdown();
+    }
+}

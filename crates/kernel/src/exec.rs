@@ -1,0 +1,626 @@
+//! The AGS execution engine: atomic, deterministic, with exact rollback.
+//!
+//! An AGS executes as one step of the replicated state machine. Guard
+//! satisfiability is probed first (branches in order, first satisfiable
+//! fires — so `⟨ in(p) ⇒ … or true ⇒ … ⟩` gives the paper's *strong*
+//! `inp` semantics); the chosen branch's guard and body then run against
+//! the stores under an undo log. Any failure during the body — a body
+//! `in`/`rd` with no match, an expression error — rolls the stores back
+//! to the exact pre-AGS state (including tuple ages) and reports a
+//! deterministic error. Because every replica evaluates the same branch
+//! against identical state, all replicas commit or abort identically.
+//!
+//! Writes to *scratch* spaces (volatile, owner-local) are buffered and
+//! returned to the caller on commit: only the submitting host
+//! materializes them, and only after the AGS is known to succeed.
+
+use ftlinda_ags::{
+    resolve_pattern, resolve_template, Ags, AgsOutcome, BodyOp, EvalCtx, EvalError, Guard,
+    MatchField, ScratchId, SpaceRef, TsId,
+};
+use linda_space::IndexedStore;
+use linda_tuple::{Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Deterministic execution failure; identical at every replica.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A body `in`/`rd` found no matching tuple at execution time.
+    BodyUnmatched {
+        /// Index of the failing op within the branch body.
+        op_index: usize,
+    },
+    /// Operand evaluation failed.
+    Eval(EvalError),
+    /// The referenced stable space does not exist (yet).
+    UnknownTs(TsId),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BodyUnmatched { op_index } => {
+                write!(f, "body op #{op_index} (in/rd) had no matching tuple")
+            }
+            ExecError::Eval(e) => write!(f, "expression error: {e}"),
+            ExecError::UnknownTs(id) => write!(f, "unknown stable tuple space {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+/// Why an AGS did not execute right now.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TryOutcome {
+    /// A branch fired; outcome + scratch writes for the owner.
+    Fired {
+        /// Which branch and what it bound.
+        outcome: AgsOutcome,
+        /// Deferred writes to the owner's scratch spaces.
+        scratch_outs: Vec<(ScratchId, Tuple)>,
+    },
+    /// No branch's guard was satisfiable; the AGS must block.
+    Blocked,
+    /// A branch fired but its body failed; state was rolled back.
+    Failed(ExecError),
+}
+
+/// One entry of the undo log.
+enum Undo {
+    /// Remove the tuple inserted under (ts, seq, sig_hash).
+    RemoveInserted { ts: TsId, seq: u64, sig: u64 },
+    /// Restore a withdrawn tuple at its original position.
+    RestoreTaken { ts: TsId, seq: u64, tuple: Tuple },
+}
+
+/// Execute `ags` against `stables` on behalf of `(self_host, request_seq)`.
+///
+/// Branch guards are probed in order; the first satisfiable branch
+/// executes atomically. Returns [`TryOutcome::Blocked`] when no branch can
+/// fire (the caller queues the AGS).
+pub fn try_execute(
+    stables: &mut BTreeMap<TsId, IndexedStore>,
+    ags: &Ags,
+    self_host: u32,
+    request_seq: u64,
+) -> TryOutcome {
+    for (bi, branch) in ags.branches.iter().enumerate() {
+        match probe_guard(stables, &branch.guard, self_host, request_seq) {
+            Ok(None) => continue, // guard not satisfiable now
+            Ok(Some(_)) => {
+                return execute_branch(stables, ags, bi, self_host, request_seq);
+            }
+            Err(e) => {
+                // Guard references an unknown space or has a broken
+                // expression: deterministic failure, no state touched.
+                return TryOutcome::Failed(e);
+            }
+        }
+    }
+    TryOutcome::Blocked
+}
+
+/// Check whether a guard could fire *right now* without mutating state.
+/// `Ok(Some(()))` = satisfiable, `Ok(None)` = must wait.
+pub fn probe_guard(
+    stables: &BTreeMap<TsId, IndexedStore>,
+    guard: &Guard,
+    self_host: u32,
+    request_seq: u64,
+) -> Result<Option<()>, ExecError> {
+    match guard {
+        Guard::True => Ok(Some(())),
+        Guard::In { ts, pattern } | Guard::Rd { ts, pattern } => {
+            let id = stable_id(*ts);
+            let store = stables.get(&id).ok_or(ExecError::UnknownTs(id))?;
+            let ctx = EvalCtx {
+                bindings: &[],
+                self_host,
+                request_seq,
+            };
+            let pat = resolve_pattern(pattern, &ctx)?;
+            Ok(linda_space::Store::contains(store, &pat).then_some(()))
+        }
+    }
+}
+
+fn stable_id(s: SpaceRef) -> TsId {
+    match s {
+        SpaceRef::Stable(id) => id,
+        // Validated away at build/decode time.
+        SpaceRef::Scratch(_) => unreachable!("scratch ref in stable-only position"),
+    }
+}
+
+fn execute_branch(
+    stables: &mut BTreeMap<TsId, IndexedStore>,
+    ags: &Ags,
+    branch_index: usize,
+    self_host: u32,
+    request_seq: u64,
+) -> TryOutcome {
+    let branch = &ags.branches[branch_index];
+    let mut bindings: Vec<Value> = Vec::with_capacity(branch.formal_types.len());
+    let mut undo: Vec<Undo> = Vec::new();
+    let mut scratch_outs: Vec<(ScratchId, Tuple)> = Vec::new();
+
+    let result = (|| -> Result<(), ExecError> {
+        // Guard execution (bindings + withdrawal for In).
+        match &branch.guard {
+            Guard::True => {}
+            Guard::In { ts, pattern } | Guard::Rd { ts, pattern } => {
+                let is_in = matches!(branch.guard, Guard::In { .. });
+                let id = stable_id(*ts);
+                let ctx = EvalCtx {
+                    bindings: &[],
+                    self_host,
+                    request_seq,
+                };
+                let pat = resolve_pattern(pattern, &ctx)?;
+                let store = stables.get_mut(&id).ok_or(ExecError::UnknownTs(id))?;
+                if is_in {
+                    let (seq, tuple) = store
+                        .take_tracked(&pat)
+                        .expect("guard probed satisfiable under the same lock");
+                    bindings.extend(pat.bind(&tuple).expect("matched"));
+                    undo.push(Undo::RestoreTaken { ts: id, seq, tuple });
+                } else {
+                    let tuple =
+                        linda_space::Store::read(store, &pat).expect("guard probed satisfiable");
+                    bindings.extend(pat.bind(&tuple).expect("matched"));
+                }
+            }
+        }
+
+        // Body execution.
+        for (oi, op) in branch.body.iter().enumerate() {
+            let ctx = EvalCtx {
+                bindings: &bindings,
+                self_host,
+                request_seq,
+            };
+            match op {
+                BodyOp::Out { ts, template } => {
+                    let fields = resolve_template(template, &ctx)?;
+                    let tuple = Tuple::new(fields);
+                    match ts {
+                        SpaceRef::Stable(id) => {
+                            let store =
+                                stables.get_mut(id).ok_or(ExecError::UnknownTs(*id))?;
+                            let sig = tuple.signature().stable_hash();
+                            let seq = store.insert_tracked(tuple);
+                            undo.push(Undo::RemoveInserted { ts: *id, seq, sig });
+                        }
+                        SpaceRef::Scratch(sid) => scratch_outs.push((*sid, tuple)),
+                    }
+                }
+                BodyOp::In { ts, pattern } => {
+                    let id = stable_id(*ts);
+                    let pat = resolve_pattern(pattern, &ctx)?;
+                    let store = stables.get_mut(&id).ok_or(ExecError::UnknownTs(id))?;
+                    match store.take_tracked(&pat) {
+                        Some((seq, tuple)) => {
+                            bindings.extend(pat.bind(&tuple).expect("matched"));
+                            undo.push(Undo::RestoreTaken { ts: id, seq, tuple });
+                        }
+                        None => return Err(ExecError::BodyUnmatched { op_index: oi }),
+                    }
+                }
+                BodyOp::Rd { ts, pattern } => {
+                    let id = stable_id(*ts);
+                    let pat = resolve_pattern(pattern, &ctx)?;
+                    let store = stables.get(&id).ok_or(ExecError::UnknownTs(id))?;
+                    match linda_space::Store::read(store, &pat) {
+                        Some(tuple) => bindings.extend(pat.bind(&tuple).expect("matched")),
+                        None => return Err(ExecError::BodyUnmatched { op_index: oi }),
+                    }
+                }
+                BodyOp::Move { from, to, pattern } => {
+                    let from_id = stable_id(*from);
+                    let pat = wildcard_pattern(pattern, &ctx)?;
+                    let store =
+                        stables.get_mut(&from_id).ok_or(ExecError::UnknownTs(from_id))?;
+                    let taken = store.take_all_tracked(&pat);
+                    for (seq, tuple) in &taken {
+                        undo.push(Undo::RestoreTaken {
+                            ts: from_id,
+                            seq: *seq,
+                            tuple: tuple.clone(),
+                        });
+                    }
+                    deposit_all(
+                        stables,
+                        *to,
+                        taken.into_iter().map(|(_, t)| t),
+                        &mut undo,
+                        &mut scratch_outs,
+                    )?;
+                }
+                BodyOp::Copy { from, to, pattern } => {
+                    let from_id = stable_id(*from);
+                    let pat = wildcard_pattern(pattern, &ctx)?;
+                    let store = stables.get(&from_id).ok_or(ExecError::UnknownTs(from_id))?;
+                    let copies = linda_space::Store::read_all(store, &pat);
+                    deposit_all(stables, *to, copies.into_iter(), &mut undo, &mut scratch_outs)?;
+                }
+            }
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => TryOutcome::Fired {
+            outcome: AgsOutcome {
+                branch: branch_index,
+                bindings,
+            },
+            scratch_outs,
+        },
+        Err(e) => {
+            rollback(stables, undo);
+            TryOutcome::Failed(e)
+        }
+    }
+}
+
+/// `move`/`copy` patterns treat `Bind` fields as wildcards (they bind
+/// nothing); expression fields still evaluate against current bindings.
+fn wildcard_pattern(
+    fields: &[MatchField],
+    ctx: &EvalCtx<'_>,
+) -> Result<linda_tuple::Pattern, ExecError> {
+    Ok(resolve_pattern(fields, ctx)?)
+}
+
+fn deposit_all(
+    stables: &mut BTreeMap<TsId, IndexedStore>,
+    to: SpaceRef,
+    tuples: impl Iterator<Item = Tuple>,
+    undo: &mut Vec<Undo>,
+    scratch_outs: &mut Vec<(ScratchId, Tuple)>,
+) -> Result<(), ExecError> {
+    match to {
+        SpaceRef::Stable(id) => {
+            // Existence check before inserting anything.
+            if !stables.contains_key(&id) {
+                return Err(ExecError::UnknownTs(id));
+            }
+            for t in tuples {
+                let sig = t.signature().stable_hash();
+                let store = stables.get_mut(&id).expect("checked");
+                let seq = store.insert_tracked(t);
+                undo.push(Undo::RemoveInserted { ts: id, seq, sig });
+            }
+        }
+        SpaceRef::Scratch(sid) => {
+            for t in tuples {
+                scratch_outs.push((sid, t));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rollback(stables: &mut BTreeMap<TsId, IndexedStore>, undo: Vec<Undo>) {
+    for entry in undo.into_iter().rev() {
+        match entry {
+            Undo::RemoveInserted { ts, seq, sig } => {
+                if let Some(store) = stables.get_mut(&ts) {
+                    store.remove_at(seq, sig);
+                }
+            }
+            Undo::RestoreTaken { ts, seq, tuple } => {
+                if let Some(store) = stables.get_mut(&ts) {
+                    store.restore_at(seq, tuple);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda_ags::{MatchField as MF, Operand};
+    use linda_space::Store;
+    use linda_tuple::TypeTag::*;
+    use linda_tuple::{pat, tuple};
+
+    fn one_space() -> BTreeMap<TsId, IndexedStore> {
+        let mut m = BTreeMap::new();
+        m.insert(TsId(0), IndexedStore::new());
+        m
+    }
+
+    fn two_spaces() -> BTreeMap<TsId, IndexedStore> {
+        let mut m = one_space();
+        m.insert(TsId(1), IndexedStore::new());
+        m
+    }
+
+    #[test]
+    fn true_guard_out_executes() {
+        let mut s = one_space();
+        let ags = Ags::out_one(TsId(0), vec![Operand::cst("x"), Operand::cst(1)]);
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Fired { outcome, .. } => {
+                assert_eq!(outcome.branch, 0);
+                assert!(outcome.bindings.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s[&TsId(0)].read(&pat!("x", 1)), Some(tuple!("x", 1)));
+    }
+
+    #[test]
+    fn counter_increment() {
+        let mut s = one_space();
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("count", 41));
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("count"), MF::bind(Int)])
+            .out(TsId(0), vec![Operand::cst("count"), Operand::formal(0).add(1)])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Fired { outcome, .. } => {
+                assert_eq!(outcome.bindings, vec![Value::Int(41)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s[&TsId(0)].read(&pat!("count", ?int)),
+            Some(tuple!("count", 42))
+        );
+        assert_eq!(s[&TsId(0)].len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_guard_blocks() {
+        let mut s = one_space();
+        let ags = Ags::in_one(TsId(0), vec![MF::actual("missing")]).unwrap();
+        assert_eq!(try_execute(&mut s, &ags, 0, 1), TryOutcome::Blocked);
+    }
+
+    #[test]
+    fn disjunction_prefers_first_satisfiable() {
+        let mut s = one_space();
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("b"));
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("a")])
+            .out(TsId(0), vec![Operand::cst("got-a")])
+            .or()
+            .guard_in(TsId(0), vec![MF::actual("b")])
+            .out(TsId(0), vec![Operand::cst("got-b")])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Fired { outcome, .. } => assert_eq!(outcome.branch, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(s[&TsId(0)].contains(&pat!("got-b")));
+    }
+
+    #[test]
+    fn strong_inp_semantics_via_true_branch() {
+        let mut s = one_space();
+        let ags = Ags::inp_one(TsId(0), vec![MF::actual("absent"), MF::bind(Int)]).unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Fired { outcome, .. } => {
+                assert_eq!(outcome.branch, 1, "true branch = definitive absence");
+                assert!(outcome.bindings.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("absent", 7));
+        match try_execute(&mut s, &ags, 0, 2) {
+            TryOutcome::Fired { outcome, .. } => {
+                assert_eq!(outcome.branch, 0);
+                assert_eq!(outcome.bindings, vec![Value::Int(7)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_in_failure_rolls_back_exactly() {
+        let mut s = one_space();
+        let store = s.get_mut(&TsId(0)).unwrap();
+        store.insert(tuple!("t", 1));
+        store.insert(tuple!("t", 2));
+        let before = store.snapshot();
+        // Guard takes ("t",1); body outs a marker; body in on a missing
+        // tuple fails → everything must roll back, ages intact.
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("t"), MF::bind(Int)])
+            .out(TsId(0), vec![Operand::cst("marker")])
+            .in_(TsId(0), vec![MF::actual("missing")])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Failed(ExecError::BodyUnmatched { op_index }) => {
+                assert_eq!(op_index, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s[&TsId(0)].snapshot(), before, "exact rollback");
+        // Age order preserved: oldest still comes out first.
+        assert_eq!(s.get_mut(&TsId(0)).unwrap().take(&pat!("t", ?int)), Some(tuple!("t", 1)));
+    }
+
+    #[test]
+    fn eval_error_rolls_back() {
+        let mut s = one_space();
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("n", 0));
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("n"), MF::bind(Int)])
+            .out(TsId(0), vec![Operand::cst(1).div(Operand::formal(0))])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Failed(ExecError::Eval(EvalError::DivideByZero)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s[&TsId(0)].read(&pat!("n", ?int)), Some(tuple!("n", 0)));
+    }
+
+    #[test]
+    fn body_in_can_consume_body_out() {
+        let mut s = one_space();
+        let ags = Ags::builder()
+            .guard_true()
+            .out(TsId(0), vec![Operand::cst("tmp"), Operand::cst(5)])
+            .in_(TsId(0), vec![MF::actual("tmp"), MF::bind(Int)])
+            .out(TsId(0), vec![Operand::cst("final"), Operand::formal(0).mul(2)])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Fired { outcome, .. } => {
+                assert_eq!(outcome.bindings, vec![Value::Int(5)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s[&TsId(0)].len(), 1);
+        assert!(s[&TsId(0)].contains(&pat!("final", 10)));
+    }
+
+    #[test]
+    fn move_transfers_all_matches() {
+        let mut s = two_spaces();
+        for i in 0..3 {
+            s.get_mut(&TsId(0)).unwrap().insert(tuple!("job", i));
+        }
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("keep"));
+        let ags = Ags::builder()
+            .guard_true()
+            .move_(TsId(0), TsId(1), vec![MF::actual("job"), MF::bind(Int)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            try_execute(&mut s, &ags, 0, 1),
+            TryOutcome::Fired { .. }
+        ));
+        assert_eq!(s[&TsId(0)].len(), 1);
+        assert_eq!(s[&TsId(1)].len(), 3);
+        assert_eq!(
+            s.get_mut(&TsId(1)).unwrap().take(&pat!("job", ?int)),
+            Some(tuple!("job", 0)),
+            "move preserves age order"
+        );
+    }
+
+    #[test]
+    fn copy_leaves_source() {
+        let mut s = two_spaces();
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("r", 1));
+        let ags = Ags::builder()
+            .guard_true()
+            .copy(TsId(0), TsId(1), vec![MF::actual("r"), MF::bind(Int)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            try_execute(&mut s, &ags, 0, 1),
+            TryOutcome::Fired { .. }
+        ));
+        assert_eq!(s[&TsId(0)].len(), 1);
+        assert_eq!(s[&TsId(1)].len(), 1);
+    }
+
+    #[test]
+    fn scratch_outs_are_deferred_not_applied() {
+        let mut s = one_space();
+        let ags = Ags::builder()
+            .guard_true()
+            .out(ScratchId(7), vec![Operand::cst("local"), Operand::SelfHost])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 3, 1) {
+            TryOutcome::Fired { scratch_outs, .. } => {
+                assert_eq!(scratch_outs, vec![(ScratchId(7), tuple!("local", 3))]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s[&TsId(0)].len(), 0);
+    }
+
+    #[test]
+    fn move_to_scratch_defers_deposit_but_removes_source() {
+        let mut s = one_space();
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("w", 1));
+        let ags = Ags::builder()
+            .guard_true()
+            .move_(TsId(0), ScratchId(0), vec![MF::actual("w"), MF::bind(Int)])
+            .build()
+            .unwrap();
+        match try_execute(&mut s, &ags, 0, 1) {
+            TryOutcome::Fired { scratch_outs, .. } => {
+                assert_eq!(scratch_outs, vec![(ScratchId(0), tuple!("w", 1))]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s[&TsId(0)].len(), 0);
+    }
+
+    #[test]
+    fn unknown_ts_fails_deterministically() {
+        let mut s = one_space();
+        let ags = Ags::out_one(TsId(9), vec![Operand::cst(1)]);
+        assert_eq!(
+            try_execute(&mut s, &ags, 0, 1),
+            TryOutcome::Failed(ExecError::UnknownTs(TsId(9)))
+        );
+    }
+
+    #[test]
+    fn unknown_ts_in_guard_fails_not_blocks() {
+        let mut s = one_space();
+        let ags = Ags::in_one(TsId(9), vec![MF::bind(Int)]).unwrap();
+        assert_eq!(
+            try_execute(&mut s, &ags, 0, 1),
+            TryOutcome::Failed(ExecError::UnknownTs(TsId(9)))
+        );
+    }
+
+    #[test]
+    fn self_host_and_seq_operands() {
+        let mut s = one_space();
+        let ags = Ags::out_one(TsId(0), vec![Operand::SelfHost, Operand::RequestSeq]);
+        assert!(matches!(
+            try_execute(&mut s, &ags, 5, 99),
+            TryOutcome::Fired { .. }
+        ));
+        assert!(s[&TsId(0)].contains(&pat!(5, 99)));
+    }
+
+    #[test]
+    fn rd_guard_binds_without_removal() {
+        let mut s = one_space();
+        s.get_mut(&TsId(0)).unwrap().insert(tuple!("cfg", 10));
+        let ags = Ags::builder()
+            .guard_rd(TsId(0), vec![MF::actual("cfg"), MF::bind(Int)])
+            .out(TsId(0), vec![Operand::cst("derived"), Operand::formal(0).mul(3)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            try_execute(&mut s, &ags, 0, 1),
+            TryOutcome::Fired { .. }
+        ));
+        assert!(s[&TsId(0)].contains(&pat!("cfg", 10)));
+        assert!(s[&TsId(0)].contains(&pat!("derived", 30)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExecError::BodyUnmatched { op_index: 2 }
+            .to_string()
+            .contains("#2"));
+        assert!(ExecError::UnknownTs(TsId(3)).to_string().contains("ts#3"));
+    }
+}

@@ -1,0 +1,624 @@
+//! The per-host tuple-space state machine.
+//!
+//! One [`Kernel`] runs on every host, fed the identical totally-ordered
+//! [`Delivery`] stream by the Consul layer. It holds the replicas of all
+//! stable tuple spaces, the deterministic blocked-AGS queue, and the
+//! owner-local scratch spaces.
+//!
+//! Determinism contract: given the same delivery stream, every kernel
+//! reaches the same stable-space state and the same blocked queue —
+//! verified by the `digest()`-based convergence tests and proptests. The
+//! only per-host divergence is *scratch* output (applied only where
+//! `origin == self`) and client notifications (only the origin host
+//! resolves its client's waiting call).
+
+use crate::exec::{try_execute, ExecError, TryOutcome};
+use crate::proto::{decode_request, Request};
+use consul_sim::{Delivery, HostId, LocalId};
+use ftlinda_ags::{Ags, AgsOutcome, ScratchId, TsId};
+use linda_space::{IndexedStore, LocalSpace, Store};
+use linda_tuple::{tuple, Tuple};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Notification from the kernel to the local FT-Linda runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelNote {
+    /// An AGS submitted by *this* host completed (fired or failed).
+    Completed {
+        /// Global sequence at which it executed.
+        seq: u64,
+        /// The submitter's local id.
+        local: LocalId,
+        /// Execution result.
+        result: Result<AgsOutcome, ExecError>,
+    },
+    /// A `CreateTs` submitted by this host resolved.
+    TsCreated {
+        /// Global sequence of the create.
+        seq: u64,
+        /// The submitter's local id.
+        local: LocalId,
+        /// The (possibly pre-existing) space id.
+        id: TsId,
+        /// Space name.
+        name: String,
+    },
+    /// A failure tuple was deposited for `host` (every host is notified;
+    /// monitors usually watch TS instead).
+    HostFailed {
+        /// Global sequence of the view change.
+        seq: u64,
+        /// The failed host.
+        host: HostId,
+    },
+    /// A host rejoined.
+    HostJoined {
+        /// Global sequence of the view change.
+        seq: u64,
+        /// The joined host.
+        host: HostId,
+    },
+    /// A delivered payload could not be decoded (corrupt message). The
+    /// record is skipped identically at every replica.
+    Malformed {
+        /// Global sequence of the bad record.
+        seq: u64,
+        /// Origin of the bad record.
+        origin: HostId,
+    },
+}
+
+/// A blocked AGS waiting for some guard to become satisfiable.
+#[derive(Debug, Clone)]
+struct BlockedAgs {
+    seq: u64,
+    origin: HostId,
+    local: LocalId,
+    ags: Ags,
+}
+
+/// The name of the distinguished failure tuple's head field (paper §2.3:
+/// the runtime converts fail-silent crashes into fail-stop by depositing
+/// a failure tuple into TS).
+pub const FAILURE_TUPLE_HEAD: &str = "failure";
+
+/// The replicated tuple-space state machine for one host.
+pub struct Kernel {
+    host: HostId,
+    stables: BTreeMap<TsId, IndexedStore>,
+    names: BTreeMap<String, TsId>,
+    next_ts: u32,
+    scratches: HashMap<ScratchId, LocalSpace>,
+    blocked: VecDeque<BlockedAgs>,
+    notes: crossbeam::channel::Sender<KernelNote>,
+    applied: u64,
+}
+
+impl Kernel {
+    /// Create a kernel for `host`; notifications go to `notes`.
+    pub fn new(host: HostId, notes: crossbeam::channel::Sender<KernelNote>) -> Self {
+        Kernel {
+            host,
+            stables: BTreeMap::new(),
+            names: BTreeMap::new(),
+            next_ts: 0,
+            scratches: HashMap::new(),
+            blocked: VecDeque::new(),
+            notes,
+            applied: 0,
+        }
+    }
+
+    /// Register an owner-local scratch space so AGS bodies can `out`/
+    /// `move` into it. Only this host materializes those writes.
+    pub fn register_scratch(&mut self, id: ScratchId, space: LocalSpace) {
+        self.scratches.insert(id, space);
+    }
+
+    /// Apply the next totally-ordered delivery. Must be called in
+    /// delivery order.
+    pub fn apply(&mut self, d: &Delivery) {
+        self.applied = d.seq();
+        match d {
+            Delivery::App {
+                seq,
+                origin,
+                local,
+                payload,
+            } => match decode_request(payload) {
+                Ok(Request::CreateTs { name }) => self.apply_create(*seq, *origin, *local, name),
+                Ok(Request::Ags(ags)) => self.apply_ags(*seq, *origin, *local, ags),
+                Err(_) => {
+                    self.note(KernelNote::Malformed {
+                        seq: *seq,
+                        origin: *origin,
+                    });
+                }
+            },
+            Delivery::Fail { seq, host } => {
+                // Deposit the distinguished failure tuple into every
+                // stable space, then retry blocked guards (a monitor may
+                // be blocked on exactly this tuple).
+                for store in self.stables.values_mut() {
+                    store.insert(tuple!(FAILURE_TUPLE_HEAD, host.0 as i64));
+                }
+                self.note(KernelNote::HostFailed {
+                    seq: *seq,
+                    host: *host,
+                });
+                self.retry_blocked();
+            }
+            Delivery::Join { seq, host } => {
+                self.note(KernelNote::HostJoined {
+                    seq: *seq,
+                    host: *host,
+                });
+            }
+        }
+    }
+
+    fn apply_create(&mut self, seq: u64, origin: HostId, local: LocalId, name: String) {
+        let id = match self.names.get(&name) {
+            Some(&id) => id,
+            None => {
+                let id = TsId(self.next_ts);
+                self.next_ts += 1;
+                self.names.insert(name.clone(), id);
+                self.stables.insert(id, IndexedStore::new());
+                id
+            }
+        };
+        if origin == self.host {
+            self.note(KernelNote::TsCreated {
+                seq,
+                local,
+                id,
+                name,
+            });
+        }
+    }
+
+    fn apply_ags(&mut self, seq: u64, origin: HostId, local: LocalId, ags: Ags) {
+        match try_execute(&mut self.stables, &ags, origin.0, seq) {
+            TryOutcome::Fired {
+                outcome,
+                scratch_outs,
+            } => {
+                self.commit_scratch(origin, scratch_outs);
+                if origin == self.host {
+                    self.note(KernelNote::Completed {
+                        seq,
+                        local,
+                        result: Ok(outcome),
+                    });
+                }
+                self.retry_blocked();
+            }
+            TryOutcome::Blocked => {
+                self.blocked.push_back(BlockedAgs {
+                    seq,
+                    origin,
+                    local,
+                    ags,
+                });
+            }
+            TryOutcome::Failed(e) => {
+                if origin == self.host {
+                    self.note(KernelNote::Completed {
+                        seq,
+                        local,
+                        result: Err(e),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Retry blocked AGSs in arrival order until a full pass fires
+    /// nothing. Every replica runs the identical loop, so blocked-queue
+    /// evolution is deterministic.
+    fn retry_blocked(&mut self) {
+        loop {
+            let mut fired_any = false;
+            let mut i = 0;
+            while i < self.blocked.len() {
+                let candidate = &self.blocked[i];
+                match try_execute(
+                    &mut self.stables,
+                    &candidate.ags,
+                    candidate.origin.0,
+                    candidate.seq,
+                ) {
+                    TryOutcome::Blocked => {
+                        i += 1;
+                    }
+                    TryOutcome::Fired {
+                        outcome,
+                        scratch_outs,
+                    } => {
+                        let b = self.blocked.remove(i).expect("index valid");
+                        self.commit_scratch(b.origin, scratch_outs);
+                        if b.origin == self.host {
+                            self.note(KernelNote::Completed {
+                                seq: b.seq,
+                                local: b.local,
+                                result: Ok(outcome),
+                            });
+                        }
+                        fired_any = true;
+                    }
+                    TryOutcome::Failed(e) => {
+                        let b = self.blocked.remove(i).expect("index valid");
+                        if b.origin == self.host {
+                            self.note(KernelNote::Completed {
+                                seq: b.seq,
+                                local: b.local,
+                                result: Err(e),
+                            });
+                        }
+                    }
+                }
+            }
+            if !fired_any {
+                return;
+            }
+        }
+    }
+
+    fn commit_scratch(&mut self, origin: HostId, outs: Vec<(ScratchId, Tuple)>) {
+        if origin != self.host {
+            return;
+        }
+        for (sid, t) in outs {
+            if let Some(space) = self.scratches.get(&sid) {
+                space.out(t);
+            }
+            // An unregistered scratch id is an owner-side programming
+            // error; the stable-space effects are already committed, so
+            // the write is dropped (documented in DESIGN.md).
+        }
+    }
+
+    fn note(&self, n: KernelNote) {
+        let _ = self.notes.send(n);
+    }
+
+    // ----- introspection -------------------------------------------------
+
+    /// This kernel's host id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Sequence number of the last applied delivery.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of AGSs currently blocked.
+    pub fn blocked_len(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Resolve a stable space by name, if created.
+    pub fn lookup(&self, name: &str) -> Option<TsId> {
+        self.names.get(name).copied()
+    }
+
+    /// Snapshot the contents of a stable space (insertion order).
+    pub fn snapshot(&self, id: TsId) -> Option<Vec<Tuple>> {
+        self.stables.get(&id).map(|s| s.snapshot())
+    }
+
+    /// Tuples in a stable space.
+    pub fn stable_len(&self, id: TsId) -> Option<usize> {
+        self.stables.get(&id).map(Store::len)
+    }
+
+    /// A deterministic digest of all stable-space contents and the
+    /// blocked queue — equal digests ⇒ converged replicas. Used heavily
+    /// by the replica-consistency tests.
+    pub fn digest(&self) -> u64 {
+        let mut h = linda_tuple::StableHasher::default();
+        for (id, store) in &self.stables {
+            h.write_u64(id.0 as u64 + 0x9e37);
+            for t in store.snapshot() {
+                t.hash(&mut h);
+            }
+        }
+        h.write_u64(0xb10c * (self.blocked.len() as u64 + 1));
+        for b in &self.blocked {
+            h.write_u64(b.seq);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::encode_request;
+    use bytes::Bytes;
+    use ftlinda_ags::{MatchField as MF, Operand};
+    use linda_tuple::TypeTag::*;
+    use linda_tuple::Value;
+
+    fn kernel() -> (Kernel, crossbeam::channel::Receiver<KernelNote>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (Kernel::new(HostId(0), tx), rx)
+    }
+
+    fn app(seq: u64, origin: u32, local: u64, req: &Request) -> Delivery {
+        Delivery::App {
+            seq,
+            origin: HostId(origin),
+            local,
+            payload: Bytes::from(encode_request(req)),
+        }
+    }
+
+    #[test]
+    fn create_ts_assigns_ids_in_order_and_dedups() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "a".into() }));
+        k.apply(&app(2, 0, 2, &Request::CreateTs { name: "b".into() }));
+        k.apply(&app(3, 0, 3, &Request::CreateTs { name: "a".into() }));
+        assert_eq!(k.lookup("a"), Some(TsId(0)));
+        assert_eq!(k.lookup("b"), Some(TsId(1)));
+        let notes: Vec<KernelNote> = rx.try_iter().collect();
+        assert_eq!(notes.len(), 3);
+        assert!(matches!(
+            &notes[2],
+            KernelNote::TsCreated { id: TsId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn foreign_create_not_notified() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 7, 1, &Request::CreateTs { name: "x".into() }));
+        assert_eq!(k.lookup("x"), Some(TsId(0)));
+        assert!(rx.try_iter().next().is_none());
+    }
+
+    #[test]
+    fn out_then_blocked_in_unblocks() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        let in_ags = Ags::in_one(TsId(0), vec![MF::actual("job"), MF::bind(Int)]).unwrap();
+        k.apply(&app(2, 0, 2, &Request::Ags(in_ags)));
+        assert_eq!(k.blocked_len(), 1);
+        let out_ags = Ags::out_one(TsId(0), vec![Operand::cst("job"), Operand::cst(5)]);
+        k.apply(&app(3, 0, 3, &Request::Ags(out_ags)));
+        assert_eq!(k.blocked_len(), 0);
+        let notes: Vec<KernelNote> = rx.try_iter().collect();
+        let completed: Vec<_> = notes
+            .iter()
+            .filter_map(|n| match n {
+                KernelNote::Completed { local, result, .. } => Some((*local, result.clone())),
+                _ => None,
+            })
+            .collect();
+        // local 3 (the out) completes, then local 2 (the unblocked in).
+        assert_eq!(completed.len(), 2);
+        assert!(completed.iter().any(|(l, r)| *l == 2
+            && matches!(r, Ok(o) if o.bindings == vec![Value::Int(5)])));
+    }
+
+    #[test]
+    fn blocked_queue_is_fifo_fair() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        // Two blocked ins on the same pattern; one out should wake the
+        // OLDER one.
+        let in_ags = Ags::in_one(TsId(0), vec![MF::actual("t"), MF::bind(Int)]).unwrap();
+        k.apply(&app(2, 0, 2, &Request::Ags(in_ags.clone())));
+        k.apply(&app(3, 0, 3, &Request::Ags(in_ags)));
+        assert_eq!(k.blocked_len(), 2);
+        k.apply(&app(
+            4,
+            0,
+            4,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("t"), Operand::cst(1)])),
+        ));
+        assert_eq!(k.blocked_len(), 1);
+        let woken: Vec<u64> = rx
+            .try_iter()
+            .filter_map(|n| match n {
+                KernelNote::Completed { local, result: Ok(_), .. } if local != 4 => Some(local),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(woken, vec![2], "oldest blocked AGS wins");
+    }
+
+    #[test]
+    fn cascading_unblock() {
+        let (mut k, _rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        // A blocked: in(a) then out(b). B blocked: in(b) then out(c).
+        let a = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("a")])
+            .out(TsId(0), vec![Operand::cst("b")])
+            .build()
+            .unwrap();
+        let b = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("b")])
+            .out(TsId(0), vec![Operand::cst("c")])
+            .build()
+            .unwrap();
+        k.apply(&app(2, 0, 2, &Request::Ags(b)));
+        k.apply(&app(3, 0, 3, &Request::Ags(a)));
+        assert_eq!(k.blocked_len(), 2);
+        // Dropping "a" fires A, whose out of "b" must cascade into B.
+        k.apply(&app(
+            4,
+            0,
+            4,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("a")])),
+        ));
+        assert_eq!(k.blocked_len(), 0);
+        assert_eq!(k.stable_len(TsId(0)), Some(1));
+        assert_eq!(k.snapshot(TsId(0)).unwrap()[0], tuple!("c"));
+    }
+
+    #[test]
+    fn failure_tuple_deposited_into_every_space_and_wakes_monitors() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "a".into() }));
+        k.apply(&app(2, 0, 2, &Request::CreateTs { name: "b".into() }));
+        // A monitor blocked on the failure tuple.
+        let monitor =
+            Ags::in_one(TsId(0), vec![MF::actual(FAILURE_TUPLE_HEAD), MF::bind(Int)]).unwrap();
+        k.apply(&app(3, 0, 3, &Request::Ags(monitor)));
+        assert_eq!(k.blocked_len(), 1);
+        k.apply(&Delivery::Fail {
+            seq: 4,
+            host: HostId(2),
+        });
+        assert_eq!(k.blocked_len(), 0, "monitor woken by failure tuple");
+        // Space b still holds its copy.
+        assert_eq!(
+            k.snapshot(TsId(1)).unwrap(),
+            vec![tuple!(FAILURE_TUPLE_HEAD, 2)]
+        );
+        let woke: Vec<KernelNote> = rx.try_iter().collect();
+        assert!(woke.iter().any(|n| matches!(
+            n,
+            KernelNote::Completed { local: 3, result: Ok(o), .. } if o.bindings == vec![Value::Int(2)]
+        )));
+        assert!(woke
+            .iter()
+            .any(|n| matches!(n, KernelNote::HostFailed { host: HostId(2), .. })));
+    }
+
+    #[test]
+    fn scratch_outs_applied_only_for_own_origin() {
+        let (mut k, _rx) = kernel();
+        let scratch = LocalSpace::new();
+        k.register_scratch(ScratchId(0), scratch.clone());
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        let ags = Ags::builder()
+            .guard_true()
+            .out(ScratchId(0), vec![Operand::cst("mine")])
+            .build()
+            .unwrap();
+        // Own origin → materialized.
+        k.apply(&app(2, 0, 2, &Request::Ags(ags.clone())));
+        assert_eq!(scratch.len(), 1);
+        // Foreign origin → not materialized here.
+        k.apply(&app(3, 5, 1, &Request::Ags(ags)));
+        assert_eq!(scratch.len(), 1);
+    }
+
+    #[test]
+    fn malformed_payload_noted_and_skipped() {
+        let (mut k, rx) = kernel();
+        k.apply(&Delivery::App {
+            seq: 1,
+            origin: HostId(4),
+            local: 1,
+            payload: Bytes::from_static(&[0xff, 0x00]),
+        });
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            KernelNote::Malformed {
+                origin: HostId(4),
+                ..
+            }
+        ));
+        assert_eq!(k.applied_seq(), 1);
+    }
+
+    #[test]
+    fn failed_ags_notifies_error() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        let bad = Ags::builder()
+            .guard_true()
+            .in_(TsId(0), vec![MF::actual("nope")])
+            .build()
+            .unwrap();
+        k.apply(&app(2, 0, 2, &Request::Ags(bad)));
+        let notes: Vec<KernelNote> = rx.try_iter().collect();
+        assert!(notes.iter().any(|n| matches!(
+            n,
+            KernelNote::Completed {
+                local: 2,
+                result: Err(ExecError::BodyUnmatched { .. }),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn two_kernels_converge_on_same_stream() {
+        let (tx1, _r1) = crossbeam::channel::unbounded();
+        let (tx2, _r2) = crossbeam::channel::unbounded();
+        let mut k1 = Kernel::new(HostId(0), tx1);
+        let mut k2 = Kernel::new(HostId(1), tx2);
+        let stream = vec![
+            app(1, 0, 1, &Request::CreateTs { name: "m".into() }),
+            app(
+                2,
+                0,
+                2,
+                &Request::Ags(Ags::out_one(
+                    TsId(0),
+                    vec![Operand::cst("count"), Operand::cst(0)],
+                )),
+            ),
+            app(
+                3,
+                1,
+                1,
+                &Request::Ags(
+                    Ags::builder()
+                        .guard_in(TsId(0), vec![MF::actual("count"), MF::bind(Int)])
+                        .out(TsId(0), vec![Operand::cst("count"), Operand::formal(0).add(1)])
+                        .build()
+                        .unwrap(),
+                ),
+            ),
+            Delivery::Fail {
+                seq: 4,
+                host: HostId(3),
+            },
+            app(
+                5,
+                1,
+                2,
+                &Request::Ags(
+                    Ags::in_one(TsId(0), vec![MF::actual("nothing"), MF::bind(Str)]).unwrap(),
+                ),
+            ),
+        ];
+        for d in &stream {
+            k1.apply(d);
+            k2.apply(d);
+        }
+        assert_eq!(k1.digest(), k2.digest());
+        assert_eq!(k1.snapshot(TsId(0)), k2.snapshot(TsId(0)));
+        assert_eq!(k1.blocked_len(), 1);
+        assert_eq!(k2.blocked_len(), 1);
+    }
+
+    #[test]
+    fn digest_differs_on_diverged_state() {
+        let (tx1, _r1) = crossbeam::channel::unbounded();
+        let (tx2, _r2) = crossbeam::channel::unbounded();
+        let mut k1 = Kernel::new(HostId(0), tx1);
+        let mut k2 = Kernel::new(HostId(1), tx2);
+        let create = app(1, 0, 1, &Request::CreateTs { name: "m".into() });
+        k1.apply(&create);
+        k2.apply(&create);
+        k1.apply(&app(
+            2,
+            0,
+            2,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst(1)])),
+        ));
+        assert_ne!(k1.digest(), k2.digest());
+    }
+}

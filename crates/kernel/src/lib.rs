@@ -1,0 +1,23 @@
+//! # ftlinda-kernel
+//!
+//! The replicated tuple-space state machine of FT-Linda. Every host runs
+//! one [`Kernel`] fed the identical totally-ordered delivery stream from
+//! the Consul layer; the kernel holds the replicas of all stable tuple
+//! spaces, executes atomic guarded statements with exact rollback,
+//! manages the deterministic blocked-AGS queue, and deposits the
+//! distinguished failure tuple when membership changes are delivered.
+//!
+//! The `ftlinda` crate wires kernels to `consul-sim` groups and exposes
+//! the user-facing API; this crate is the deterministic core that the
+//! replica-convergence property tests exercise directly.
+
+#![warn(missing_docs)]
+
+mod exec;
+#[path = "kernel.rs"]
+mod kernel_mod;
+mod proto;
+
+pub use exec::{probe_guard, try_execute, ExecError, TryOutcome};
+pub use kernel_mod::{Kernel, KernelNote, FAILURE_TUPLE_HEAD};
+pub use proto::{decode_request, encode_request, Request};

@@ -1,0 +1,115 @@
+//! The request protocol carried inside ordered multicast payloads.
+//!
+//! Every client interaction with stable tuple spaces is one of these
+//! requests, encoded into the single multicast message the paper's design
+//! calls for. All replicas decode and apply the same request at the same
+//! sequence number.
+
+use bytes::{Buf, BufMut};
+use ftlinda_ags::{decode_ags, encode_ags, Ags, WireError};
+use linda_tuple::{get_uvarint, put_uvarint, DecodeError};
+
+/// A command for the replicated tuple-space state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create (or look up) a stable tuple space by name. Idempotent: the
+    /// same name always resolves to the same id. The id is assigned
+    /// deterministically by creation order in the total order.
+    CreateTs {
+        /// Human-readable space name.
+        name: String,
+    },
+    /// Execute an atomic guarded statement.
+    Ags(Ags),
+}
+
+/// Encode a request into a fresh buffer.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    match req {
+        Request::CreateTs { name } => {
+            buf.put_u8(0);
+            put_uvarint(&mut buf, name.len() as u64);
+            buf.put_slice(name.as_bytes());
+        }
+        Request::Ags(ags) => {
+            buf.put_u8(1);
+            buf.extend_from_slice(&encode_ags(ags));
+        }
+    }
+    buf
+}
+
+/// Decode a request; validates embedded AGSs.
+pub fn decode_request(mut bytes: &[u8]) -> Result<Request, WireError> {
+    if bytes.is_empty() {
+        return Err(WireError::Codec(DecodeError::UnexpectedEof));
+    }
+    let tag = bytes.get_u8();
+    match tag {
+        0 => {
+            let n = get_uvarint(&mut bytes)? as usize;
+            if n > bytes.len() {
+                return Err(WireError::Codec(DecodeError::LengthOverrun {
+                    declared: n,
+                    remaining: bytes.len(),
+                }));
+            }
+            let name = std::str::from_utf8(&bytes[..n])
+                .map_err(|_| WireError::Codec(DecodeError::BadUtf8))?
+                .to_owned();
+            Ok(Request::CreateTs { name })
+        }
+        1 => Ok(Request::Ags(decode_ags(bytes)?)),
+        other => Err(WireError::BadDiscriminant(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda_ags::{MatchField, Operand, TsId};
+
+    #[test]
+    fn create_ts_roundtrip() {
+        let r = Request::CreateTs {
+            name: "main".into(),
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn ags_roundtrip() {
+        let ags = Ags::builder()
+            .guard_in(
+                TsId(0),
+                vec![MatchField::actual("c"), MatchField::bind(linda_tuple::TypeTag::Int)],
+            )
+            .out(TsId(0), vec![Operand::cst("c"), Operand::formal(0).add(1)])
+            .build()
+            .unwrap();
+        let r = Request::Ags(ags);
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        assert!(decode_request(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(matches!(
+            decode_request(&[9]),
+            Err(WireError::BadDiscriminant(9))
+        ));
+    }
+
+    #[test]
+    fn truncated_name_rejected() {
+        let mut buf = vec![0u8];
+        put_uvarint(&mut buf, 100);
+        buf.push(b'x');
+        assert!(decode_request(&buf).is_err());
+    }
+}

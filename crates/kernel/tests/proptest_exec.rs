@@ -1,0 +1,125 @@
+//! Property tests for the AGS execution engine: the all-or-nothing
+//! guarantee. A failed AGS must leave the stores *bit-identical*
+//! (including tuple insertion-order), and a blocked AGS must not touch
+//! them at all.
+
+use ftlinda_ags::{Ags, AgsBuilder, MatchField as MF, Operand, TsId};
+use ftlinda_kernel::{try_execute, TryOutcome};
+use linda_space::{IndexedStore, Store};
+use linda_tuple::{Tuple, TypeTag, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_store_contents() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(
+        (0usize..3, 0i64..5).prop_map(|(h, v)| {
+            Tuple::new(vec![
+                Value::Str(["a", "b", "c"][h].into()),
+                Value::Int(v),
+            ])
+        }),
+        0..12,
+    )
+}
+
+/// AGSs that may succeed, fail mid-body, or block — chosen to exercise
+/// all three paths against random store contents.
+fn arb_ags() -> impl Strategy<Value = Ags> {
+    (0usize..3, 0i64..6, any::<bool>(), 0usize..3).prop_map(|(h, v, fail_late, h2)| {
+        let head = ["a", "b", "c"][h];
+        let head2 = ["a", "b", "c"][h2];
+        let mut b = AgsBuilder::new()
+            .guard_in(TsId(0), vec![MF::actual(head), MF::bind(TypeTag::Int)])
+            .out(
+                TsId(0),
+                vec![Operand::cst("produced"), Operand::formal(0).add(1)],
+            )
+            // A move whose effect must also roll back on failure.
+            .move_(
+                TsId(0),
+                TsId(1),
+                vec![MF::actual(head2), MF::bind(TypeTag::Int)],
+            );
+        if fail_late {
+            // This body in only matches when the store happens to hold
+            // ("b", v) — often it doesn't, forcing rollback after the
+            // earlier effects.
+            b = b.in_(TsId(0), vec![MF::actual("b"), MF::actual(v)]);
+        }
+        b.build().unwrap()
+    })
+}
+
+fn stores_with(contents: &[Tuple]) -> BTreeMap<TsId, IndexedStore> {
+    let mut m = BTreeMap::new();
+    let mut s0 = IndexedStore::new();
+    for t in contents {
+        s0.insert(t.clone());
+    }
+    m.insert(TsId(0), s0);
+    m.insert(TsId(1), IndexedStore::new());
+    m
+}
+
+fn full_snapshot(stores: &BTreeMap<TsId, IndexedStore>) -> Vec<(u32, Vec<Tuple>)> {
+    stores
+        .iter()
+        .map(|(id, s)| (id.0, s.snapshot()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn failed_or_blocked_ags_changes_nothing(
+        contents in arb_store_contents(),
+        ags in arb_ags(),
+        host in 0u32..4,
+        seq in 1u64..1000,
+    ) {
+        let mut stores = stores_with(&contents);
+        let before = full_snapshot(&stores);
+        match try_execute(&mut stores, &ags, host, seq) {
+            TryOutcome::Fired { .. } => {
+                // Effects are allowed; spot-check conservation: guard
+                // removed one tuple, body added one, moves conserve
+                // total count across the two stores.
+                let total_before = before.iter().map(|(_, v)| v.len()).sum::<usize>();
+                let total_after: usize =
+                    stores.values().map(linda_space::Store::len).sum();
+                // in(-1) + out(+1) + move(0 net) + optional in(-1)
+                prop_assert!(
+                    total_after == total_before || total_after == total_before - 1
+                );
+            }
+            TryOutcome::Blocked | TryOutcome::Failed(_) => {
+                prop_assert_eq!(full_snapshot(&stores), before,
+                    "aborted AGS must be a perfect no-op");
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_hosts(
+        contents in arb_store_contents(),
+        ags in arb_ags(),
+        seq in 1u64..1000,
+    ) {
+        // The *stable-space* outcome may not depend on which replica
+        // evaluates it (host id only feeds SelfHost operands, which this
+        // generator does not use in stable outs... it does not at all).
+        let mut s1 = stores_with(&contents);
+        let mut s2 = stores_with(&contents);
+        let r1 = try_execute(&mut s1, &ags, 0, seq);
+        let r2 = try_execute(&mut s2, &ags, 3, seq);
+        // Same branch/blocked/failure classification:
+        let class = |r: &TryOutcome| match r {
+            TryOutcome::Fired { outcome, .. } => format!("fired{}", outcome.branch),
+            TryOutcome::Blocked => "blocked".into(),
+            TryOutcome::Failed(e) => format!("failed{e}"),
+        };
+        prop_assert_eq!(class(&r1), class(&r2));
+        prop_assert_eq!(full_snapshot(&s1), full_snapshot(&s2));
+    }
+}

@@ -1,0 +1,402 @@
+//! Lexer for the FT-lcc textual Linda DSL.
+//!
+//! The concrete syntax follows the paper's notation as closely as ASCII
+//! allows: `< guard => body or guard => body >` for AGSs, `?type name`
+//! for formals, `#`/`//` comments.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Char literal.
+    Char(char),
+    /// `<`
+    LAngle,
+    /// `>`
+    RAngle,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `?`
+    Question,
+    /// `=>`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokKind::Int(i) => write!(f, "integer {i}"),
+            TokKind::Float(x) => write!(f, "float {x}"),
+            TokKind::Str(s) => write!(f, "string {s:?}"),
+            TokKind::Char(c) => write!(f, "char '{c}'"),
+            TokKind::LAngle => write!(f, "`<`"),
+            TokKind::RAngle => write!(f, "`>`"),
+            TokKind::LParen => write!(f, "`(`"),
+            TokKind::RParen => write!(f, "`)`"),
+            TokKind::Comma => write!(f, "`,`"),
+            TokKind::Semi => write!(f, "`;`"),
+            TokKind::Question => write!(f, "`?`"),
+            TokKind::Arrow => write!(f, "`=>`"),
+            TokKind::Plus => write!(f, "`+`"),
+            TokKind::Minus => write!(f, "`-`"),
+            TokKind::Star => write!(f, "`*`"),
+            TokKind::Slash => write!(f, "`/`"),
+            TokKind::Percent => write!(f, "`%`"),
+            TokKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize the whole input (appends an `Eof` token).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col);
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '=' if chars.get(i + 1) == Some(&'>') => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                out.push(Token {
+                    kind: TokKind::Arrow,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        err!("unterminated string literal");
+                    }
+                    match chars[i] {
+                        '"' => {
+                            advance(&mut i, &mut line, &mut col);
+                            break;
+                        }
+                        '\\' => {
+                            advance(&mut i, &mut line, &mut col);
+                            if i >= chars.len() {
+                                err!("unterminated escape");
+                            }
+                            let e = chars[i];
+                            s.push(match e {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => err!("unknown escape \\{other}"),
+                            });
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                        ch => {
+                            s.push(ch);
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '\'' => {
+                advance(&mut i, &mut line, &mut col);
+                if i >= chars.len() {
+                    err!("unterminated char literal");
+                }
+                let ch = if chars[i] == '\\' {
+                    advance(&mut i, &mut line, &mut col);
+                    if i >= chars.len() {
+                        err!("unterminated escape");
+                    }
+                    let e = chars[i];
+                    match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        '\\' => '\\',
+                        '\'' => '\'',
+                        other => err!("unknown escape \\{other}"),
+                    }
+                } else {
+                    chars[i]
+                };
+                advance(&mut i, &mut line, &mut col);
+                if i >= chars.len() || chars[i] != '\'' {
+                    err!("unterminated char literal");
+                }
+                advance(&mut i, &mut line, &mut col);
+                out.push(Token {
+                    kind: TokKind::Char(ch),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    advance(&mut i, &mut line, &mut col);
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                }
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    is_float = true;
+                    advance(&mut i, &mut line, &mut col);
+                    if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = if is_float {
+                    TokKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal {text}"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                } else {
+                    TokKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("integer literal {text} out of range"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                };
+                out.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token {
+                    kind: TokKind::Ident(text),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                let kind = match c {
+                    '<' => TokKind::LAngle,
+                    '>' => TokKind::RAngle,
+                    '(' => TokKind::LParen,
+                    ')' => TokKind::RParen,
+                    ',' => TokKind::Comma,
+                    ';' => TokKind::Semi,
+                    '?' => TokKind::Question,
+                    '+' => TokKind::Plus,
+                    '-' => TokKind::Minus,
+                    '*' => TokKind::Star,
+                    '/' => TokKind::Slash,
+                    '%' => TokKind::Percent,
+                    other => err!("unexpected character `{other}`"),
+                };
+                advance(&mut i, &mut line, &mut col);
+                out.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_arrow() {
+        assert_eq!(
+            kinds("< => > ( ) , ; ? + - * / %"),
+            vec![
+                TokKind::LAngle,
+                TokKind::Arrow,
+                TokKind::RAngle,
+                TokKind::LParen,
+                TokKind::RParen,
+                TokKind::Comma,
+                TokKind::Semi,
+                TokKind::Question,
+                TokKind::Plus,
+                TokKind::Minus,
+                TokKind::Star,
+                TokKind::Slash,
+                TokKind::Percent,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds("42 2.5 1e3 \"hi\\n\" 'x' '\\n'"),
+            vec![
+                TokKind::Int(42),
+                TokKind::Float(2.5),
+                TokKind::Float(1000.0),
+                TokKind::Str("hi\n".into()),
+                TokKind::Char('x'),
+                TokKind::Char('\n'),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_comments() {
+        assert_eq!(
+            kinds("in out # comment\nrd // another\n_x9"),
+            vec![
+                TokKind::Ident("in".into()),
+                TokKind::Ident("out".into()),
+                TokKind::Ident("rd".into()),
+                TokKind::Ident("_x9".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_int() {
+        assert_eq!(
+            kinds("-3"),
+            vec![TokKind::Minus, TokKind::Int(3), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

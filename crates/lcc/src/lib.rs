@@ -1,0 +1,30 @@
+//! # ft-lcc
+//!
+//! An FT-lcc-style precompiler front-end: compiles a textual Linda DSL —
+//! an ASCII rendition of the paper's notation — into validated AGS IR,
+//! performing the same two tasks the paper attributes to FT-lcc (§5.2):
+//! signature analysis (cataloging the ordered type list of every pattern
+//! in the program) and AGS→opcode compilation.
+//!
+//! ```
+//! use ft_lcc::Compiler;
+//!
+//! let mut c = Compiler::new();
+//! let prog = c.compile(r#"
+//!     stable ts;
+//!     out(ts, "count", 0);
+//!     < in(ts, "count", ?int old) => out(ts, "count", old + 1) >
+//! "#).unwrap();
+//! assert_eq!(prog.statements.len(), 2);
+//! assert!(prog.catalog.len() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod lexer;
+mod parser;
+pub mod pretty;
+
+pub use lexer::{lex, LexError, TokKind, Token};
+pub use parser::{CompileError, Compiler, Program};
+pub use pretty::{print_ags, SpaceNames};

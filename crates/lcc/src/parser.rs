@@ -1,0 +1,631 @@
+//! Parser/compiler from the textual Linda DSL to AGS IR.
+//!
+//! FT-lcc's two jobs (paper §5.2) are reproduced:
+//!
+//! 1. **Signature analysis** — every pattern and `out` template the
+//!    program mentions is cataloged as an ordered type list in a
+//!    [`SignatureCatalog`] (used by the runtime's signature-indexed
+//!    matching).
+//! 2. **AGS compilation** — `< guard => body or ... >` statements become
+//!    validated [`Ags`] values ready for submission, with named formals
+//!    resolved to dense indices and expressions compiled to the
+//!    deterministic operand language.
+//!
+//! Grammar (ASCII rendition of the paper's notation):
+//!
+//! ```text
+//! program  := item*
+//! item     := 'stable' IDENT ';' | 'scratch' IDENT ';' | ags ';'? | op ';'
+//! ags      := '<' branch ('or' branch)* '>'
+//! branch   := guard '=>' op* (';'-separated)
+//! guard    := 'true' | ('in'|'rd') '(' space ',' fields ')'
+//! op       := ('out'|'in'|'rd') '(' space ',' fields ')'
+//!           | ('move'|'copy') '(' space ',' space ',' fields ')'
+//! fields   := field (',' field)*
+//! field    := '?' TYPE IDENT? | expr
+//! expr     := term (('+'|'-') term)*
+//! term     := factor (('*'|'/'|'%') factor)*
+//! factor   := literal | IDENT | IDENT '(' expr,* ')' | '(' expr ')' | '-' factor
+//! ```
+//!
+//! Builtin identifiers: `self` (submitting host id), `seq` (the AGS's
+//! global sequence number), `true`/`false`. Builtin functions: `min`,
+//! `max`, `eq`, `ne`, `lt`, `le`, `gt`, `ge`, `not`, `and`, `or_`,
+//! `concat`, `if_`, `int`, `float`.
+
+use crate::lexer::{lex, LexError, TokKind, Token};
+use ftlinda_ags::{
+    Ags, AgsBuilder, AgsError, Func, MatchField, Operand, ScratchId, SpaceRef, TsId,
+};
+use linda_tuple::{Signature, SignatureCatalog, TypeTag, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compiled program: the statements in source order plus the signature
+/// catalog FT-lcc would emit.
+#[derive(Debug)]
+pub struct Program {
+    /// Compiled statements (each one AGS; simple ops are wrapped).
+    pub statements: Vec<Ags>,
+    /// Every distinct pattern/template signature in the program.
+    pub catalog: SignatureCatalog,
+    /// Stable spaces declared with `stable name;` in declaration order.
+    pub declared_stables: Vec<String>,
+    /// Scratch spaces declared with `scratch name;`.
+    pub declared_scratches: Vec<String>,
+}
+
+/// A compile error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LexError> for CompileError {
+    fn from(e: LexError) -> Self {
+        CompileError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// The FT-lcc compiler front-end. Bind space names before compiling, or
+/// declare them in the source with `stable name;` / `scratch name;`
+/// (auto-assigned sequential ids in declaration order).
+#[derive(Debug, Default)]
+pub struct Compiler {
+    stables: HashMap<String, TsId>,
+    scratches: HashMap<String, ScratchId>,
+    next_stable: u32,
+    next_scratch: u32,
+}
+
+impl Compiler {
+    /// Fresh compiler with no bound spaces.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a stable space name to a runtime-assigned id.
+    pub fn bind_stable(&mut self, name: &str, id: TsId) -> &mut Self {
+        self.stables.insert(name.to_owned(), id);
+        if id.0 >= self.next_stable {
+            self.next_stable = id.0 + 1;
+        }
+        self
+    }
+
+    /// Bind a scratch space name.
+    pub fn bind_scratch(&mut self, name: &str, id: ScratchId) -> &mut Self {
+        self.scratches.insert(name.to_owned(), id);
+        if id.0 >= self.next_scratch {
+            self.next_scratch = id.0 + 1;
+        }
+        self
+    }
+
+    /// Compile a program.
+    pub fn compile(&mut self, src: &str) -> Result<Program, CompileError> {
+        let tokens = lex(src)?;
+        let mut p = Parser {
+            tokens,
+            pos: 0,
+            compiler: self,
+            catalog: SignatureCatalog::new(),
+            declared_stables: Vec::new(),
+            declared_scratches: Vec::new(),
+        };
+        let statements = p.program()?;
+        Ok(Program {
+            statements,
+            catalog: p.catalog,
+            declared_stables: p.declared_stables,
+            declared_scratches: p.declared_scratches,
+        })
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    compiler: &'a mut Compiler,
+    catalog: SignatureCatalog,
+    declared_stables: Vec<String>,
+    declared_scratches: Vec<String>,
+}
+
+/// Per-branch formal environment: names and types in binding order.
+#[derive(Default)]
+struct Env {
+    formals: Vec<(Option<String>, TypeTag)>,
+}
+
+impl Env {
+    fn lookup(&self, name: &str) -> Option<u16> {
+        self.formals
+            .iter()
+            .position(|(n, _)| n.as_deref() == Some(name))
+            .map(|i| i as u16)
+    }
+    fn types(&self) -> Vec<TypeTag> {
+        self.formals.iter().map(|(_, t)| *t).collect()
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        let t = self.peek();
+        Err(CompileError {
+            message: msg.into(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn expect(&mut self, kind: &TokKind) -> Result<(), CompileError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, CompileError> {
+        match &self.peek().kind {
+            TokKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn is_ident(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokKind::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> Result<Vec<Ags>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokKind::Eof => return Ok(out),
+                TokKind::LAngle => {
+                    out.push(self.ags()?);
+                    // optional trailing semicolon
+                    if self.peek().kind == TokKind::Semi {
+                        self.next();
+                    }
+                }
+                TokKind::Ident(s) if s == "stable" || s == "scratch" => {
+                    let kw = self.eat_ident()?;
+                    let name = self.eat_ident()?;
+                    self.expect(&TokKind::Semi)?;
+                    if kw == "stable" {
+                        if !self.compiler.stables.contains_key(&name) {
+                            let id = TsId(self.compiler.next_stable);
+                            self.compiler.next_stable += 1;
+                            self.compiler.stables.insert(name.clone(), id);
+                        }
+                        self.declared_stables.push(name);
+                    } else {
+                        if !self.compiler.scratches.contains_key(&name) {
+                            let id = ScratchId(self.compiler.next_scratch);
+                            self.compiler.next_scratch += 1;
+                            self.compiler.scratches.insert(name.clone(), id);
+                        }
+                        self.declared_scratches.push(name);
+                    }
+                }
+                TokKind::Ident(_) => {
+                    // a bare op: compile as a single-op AGS
+                    out.push(self.bare_op()?);
+                    self.expect(&TokKind::Semi)?;
+                }
+                other => return self.err(format!("expected statement, found {other}")),
+            }
+        }
+    }
+
+    /// A bare `out`/`in`/`rd`/`inp`/`rdp` statement outside an AGS.
+    fn bare_op(&mut self) -> Result<Ags, CompileError> {
+        let op = self.eat_ident()?;
+        let builder = Ags::builder();
+        let ags = match op.as_str() {
+            "out" => {
+                let (space, template) = self.out_args(&Env::default())?;
+                builder.guard_true().out(space, template)
+            }
+            "in" | "rd" | "inp" | "rdp" => {
+                let mut env = Env::default();
+                let (space, fields) = self.match_args(&mut env, true)?;
+                let b = if op.starts_with("in") {
+                    builder.guard_in(space, fields)
+                } else {
+                    builder.guard_rd(space, fields)
+                };
+                if op.ends_with('p') {
+                    b.or().guard_true()
+                } else {
+                    b
+                }
+            }
+            other => return self.err(format!("unknown operation `{other}`")),
+        };
+        self.finish(ags)
+    }
+
+    fn finish(&self, b: AgsBuilder) -> Result<Ags, CompileError> {
+        b.build().map_err(|e: AgsError| {
+            let t = &self.tokens[self.pos.saturating_sub(1)];
+            CompileError {
+                message: format!("invalid AGS: {e}"),
+                line: t.line,
+                col: t.col,
+            }
+        })
+    }
+
+    fn ags(&mut self) -> Result<Ags, CompileError> {
+        self.expect(&TokKind::LAngle)?;
+        let mut builder = Ags::builder();
+        let mut first = true;
+        loop {
+            if !first {
+                builder = builder.or();
+            }
+            first = false;
+            let mut env = Env::default();
+            // guard
+            builder = if self.is_ident("true") {
+                self.next();
+                builder.guard_true()
+            } else if self.is_ident("in") || self.is_ident("rd") {
+                let op = self.eat_ident()?;
+                let (space, fields) = self.match_args(&mut env, true)?;
+                if op == "in" {
+                    builder.guard_in(space, fields)
+                } else {
+                    builder.guard_rd(space, fields)
+                }
+            } else {
+                return self.err("expected guard (`true`, `in`, or `rd`)");
+            };
+            self.expect(&TokKind::Arrow)?;
+            // body: ops separated by `;`, ended by `or` or `>`
+            loop {
+                if self.is_ident("or") || self.peek().kind == TokKind::RAngle {
+                    break;
+                }
+                let op = self.eat_ident()?;
+                builder = match op.as_str() {
+                    "out" => {
+                        let (space, template) = self.out_args(&env)?;
+                        builder.out(space, template)
+                    }
+                    "in" => {
+                        let (space, fields) = self.match_args(&mut env, true)?;
+                        builder.in_(space, fields)
+                    }
+                    "rd" => {
+                        let (space, fields) = self.match_args(&mut env, true)?;
+                        builder.rd(space, fields)
+                    }
+                    "move" => {
+                        let (from, to, fields) = self.move_args(&mut env)?;
+                        builder.move_(from, to, fields)
+                    }
+                    "copy" => {
+                        let (from, to, fields) = self.move_args(&mut env)?;
+                        builder.copy(from, to, fields)
+                    }
+                    other => return self.err(format!("unknown body operation `{other}`")),
+                };
+                if self.peek().kind == TokKind::Semi {
+                    self.next();
+                }
+            }
+            if self.is_ident("or") {
+                self.next();
+                continue;
+            }
+            self.expect(&TokKind::RAngle)?;
+            return self.finish(builder);
+        }
+    }
+
+    fn space(&mut self) -> Result<SpaceRef, CompileError> {
+        let name = self.eat_ident()?;
+        if let Some(&id) = self.compiler.stables.get(&name) {
+            Ok(SpaceRef::Stable(id))
+        } else if let Some(&id) = self.compiler.scratches.get(&name) {
+            Ok(SpaceRef::Scratch(id))
+        } else {
+            self.err(format!("unknown tuple space `{name}`"))
+        }
+    }
+
+    /// `( space , fields )` where fields may bind formals.
+    fn match_args(
+        &mut self,
+        env: &mut Env,
+        allow_binds: bool,
+    ) -> Result<(SpaceRef, Vec<MatchField>), CompileError> {
+        self.expect(&TokKind::LParen)?;
+        let space = self.space()?;
+        let mut fields = Vec::new();
+        while self.peek().kind == TokKind::Comma {
+            self.next();
+            if self.peek().kind == TokKind::Question {
+                self.next();
+                let tname = self.eat_ident()?;
+                let tag = TypeTag::from_name(&tname).ok_or_else(|| CompileError {
+                    message: format!("unknown type `{tname}`"),
+                    line: self.peek().line,
+                    col: self.peek().col,
+                })?;
+                // optional binder name
+                let name = match &self.peek().kind {
+                    TokKind::Ident(s)
+                        if !["or"].contains(&s.as_str()) && !self.is_op_start() =>
+                    {
+                        let n = s.clone();
+                        self.next();
+                        Some(n)
+                    }
+                    _ => None,
+                };
+                if !allow_binds && name.is_some() {
+                    return self.err("wildcards in move/copy patterns cannot be named");
+                }
+                if name.is_some() && env.lookup(name.as_deref().unwrap()).is_some() {
+                    return self.err(format!(
+                        "formal `{}` already bound",
+                        name.as_deref().unwrap()
+                    ));
+                }
+                env.formals.push((name, tag));
+                fields.push(MatchField::Bind(tag));
+            } else {
+                let e = self.expr(env)?;
+                fields.push(MatchField::Expr(e));
+            }
+        }
+        self.expect(&TokKind::RParen)?;
+        self.catalog_fields(&fields, env);
+        Ok((space, fields))
+    }
+
+    fn is_op_start(&self) -> bool {
+        false // binder-name lookahead hook; names are plain identifiers
+    }
+
+    /// `( space , expr, ... )` for `out`.
+    fn out_args(&mut self, env: &Env) -> Result<(SpaceRef, Vec<Operand>), CompileError> {
+        self.expect(&TokKind::LParen)?;
+        let space = self.space()?;
+        let mut template = Vec::new();
+        while self.peek().kind == TokKind::Comma {
+            self.next();
+            template.push(self.expr(env)?);
+        }
+        self.expect(&TokKind::RParen)?;
+        self.catalog_template(&template, env);
+        Ok((space, template))
+    }
+
+    /// `( from , to , fields )` for `move`/`copy`.
+    fn move_args(
+        &mut self,
+        env: &mut Env,
+    ) -> Result<(SpaceRef, SpaceRef, Vec<MatchField>), CompileError> {
+        self.expect(&TokKind::LParen)?;
+        let from = self.space()?;
+        self.expect(&TokKind::Comma)?;
+        let to = self.space()?;
+        let mut fields = Vec::new();
+        let before = env.formals.len();
+        while self.peek().kind == TokKind::Comma {
+            self.next();
+            if self.peek().kind == TokKind::Question {
+                self.next();
+                let tname = self.eat_ident()?;
+                let tag = TypeTag::from_name(&tname).ok_or_else(|| CompileError {
+                    message: format!("unknown type `{tname}`"),
+                    line: self.peek().line,
+                    col: self.peek().col,
+                })?;
+                fields.push(MatchField::Bind(tag));
+            } else {
+                let e = self.expr(env)?;
+                fields.push(MatchField::Expr(e));
+            }
+        }
+        self.expect(&TokKind::RParen)?;
+        // move/copy wildcards bind nothing.
+        env.formals.truncate(before);
+        self.catalog_fields(&fields, env);
+        Ok((from, to, fields))
+    }
+
+    fn catalog_fields(&mut self, fields: &[MatchField], env: &Env) {
+        let tags: Option<Vec<TypeTag>> = fields
+            .iter()
+            .map(|f| match f {
+                MatchField::Bind(t) => Some(*t),
+                MatchField::Expr(op) => op.static_type(&env.types()),
+            })
+            .collect();
+        if let Some(tags) = tags {
+            self.catalog.intern(Signature::new(tags));
+        }
+    }
+
+    fn catalog_template(&mut self, template: &[Operand], env: &Env) {
+        let tags: Option<Vec<TypeTag>> = template
+            .iter()
+            .map(|op| op.static_type(&env.types()))
+            .collect();
+        if let Some(tags) = tags {
+            self.catalog.intern(Signature::new(tags));
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn expr(&mut self, env: &Env) -> Result<Operand, CompileError> {
+        let mut lhs = self.term(env)?;
+        loop {
+            let func = match self.peek().kind {
+                TokKind::Plus => Func::Add,
+                TokKind::Minus => Func::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.term(env)?;
+            lhs = Operand::Apply(func, vec![lhs, rhs]);
+        }
+    }
+
+    fn term(&mut self, env: &Env) -> Result<Operand, CompileError> {
+        let mut lhs = self.factor(env)?;
+        loop {
+            let func = match self.peek().kind {
+                TokKind::Star => Func::Mul,
+                TokKind::Slash => Func::Div,
+                TokKind::Percent => Func::Mod,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.factor(env)?;
+            lhs = Operand::Apply(func, vec![lhs, rhs]);
+        }
+    }
+
+    fn factor(&mut self, env: &Env) -> Result<Operand, CompileError> {
+        match self.peek().kind.clone() {
+            TokKind::Int(i) => {
+                self.next();
+                Ok(Operand::Const(Value::Int(i)))
+            }
+            TokKind::Float(x) => {
+                self.next();
+                Ok(Operand::Const(Value::Float(x)))
+            }
+            TokKind::Str(s) => {
+                self.next();
+                Ok(Operand::Const(Value::Str(s)))
+            }
+            TokKind::Char(c) => {
+                self.next();
+                Ok(Operand::Const(Value::Char(c)))
+            }
+            TokKind::Minus => {
+                self.next();
+                let inner = self.factor(env)?;
+                // Fold negated numeric literals so `-8` is the constant
+                // −8 (canonical IR), not an application of Neg.
+                Ok(match inner {
+                    Operand::Const(Value::Int(i)) => {
+                        Operand::Const(Value::Int(i.wrapping_neg()))
+                    }
+                    Operand::Const(Value::Float(x)) => Operand::Const(Value::Float(-x)),
+                    other => Operand::Apply(Func::Neg, vec![other]),
+                })
+            }
+            TokKind::LParen => {
+                self.next();
+                let e = self.expr(env)?;
+                self.expect(&TokKind::RParen)?;
+                Ok(e)
+            }
+            TokKind::Ident(name) => {
+                self.next();
+                if self.peek().kind == TokKind::LParen {
+                    return self.call(&name, env);
+                }
+                match name.as_str() {
+                    "true" => Ok(Operand::Const(Value::Bool(true))),
+                    "false" => Ok(Operand::Const(Value::Bool(false))),
+                    "self" => Ok(Operand::SelfHost),
+                    "seq" => Ok(Operand::RequestSeq),
+                    _ => match env.lookup(&name) {
+                        Some(i) => Ok(Operand::Formal(i)),
+                        None => self.err(format!("unknown identifier `{name}`")),
+                    },
+                }
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    fn call(&mut self, name: &str, env: &Env) -> Result<Operand, CompileError> {
+        let func = match name {
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "eq" => Func::Eq,
+            "ne" => Func::Ne,
+            "lt" => Func::Lt,
+            "le" => Func::Le,
+            "gt" => Func::Gt,
+            "ge" => Func::Ge,
+            "not" => Func::Not,
+            "and" => Func::And,
+            "or_" => Func::Or,
+            "concat" => Func::Concat,
+            "if_" => Func::If,
+            "int" => Func::ToInt,
+            "float" => Func::ToFloat,
+            other => return self.err(format!("unknown function `{other}`")),
+        };
+        self.expect(&TokKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokKind::RParen {
+            loop {
+                args.push(self.expr(env)?);
+                if self.peek().kind == TokKind::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen)?;
+        if args.len() != func.arity() {
+            return self.err(format!(
+                "`{name}` expects {} arguments, got {}",
+                func.arity(),
+                args.len()
+            ));
+        }
+        Ok(Operand::Apply(func, args))
+    }
+}

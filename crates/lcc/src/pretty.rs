@@ -1,0 +1,381 @@
+//! Pretty-printer: AGS IR back to DSL source.
+//!
+//! The inverse of the compiler, in the spirit of the Linda Program
+//! Builder the paper cites (its references 1-2): tools can synthesize AGSs
+//! programmatically and render them as readable FT-Linda source. The
+//! printer and compiler round-trip: `compile(print(ags)) == ags` for any
+//! AGS whose spaces are bound to names (verified by property tests).
+
+use ftlinda_ags::{Ags, BodyOp, Func, Guard, MatchField, Operand, ScratchId, SpaceRef, TsId};
+use linda_tuple::Value;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Maps space ids back to source names for printing.
+#[derive(Debug, Default, Clone)]
+pub struct SpaceNames {
+    stables: HashMap<TsId, String>,
+    scratches: HashMap<ScratchId, String>,
+}
+
+impl SpaceNames {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name a stable space.
+    pub fn stable(mut self, id: TsId, name: &str) -> Self {
+        self.stables.insert(id, name.to_owned());
+        self
+    }
+
+    /// Name a scratch space.
+    pub fn scratch(mut self, id: ScratchId, name: &str) -> Self {
+        self.scratches.insert(id, name.to_owned());
+        self
+    }
+
+    fn resolve(&self, s: SpaceRef) -> String {
+        match s {
+            SpaceRef::Stable(id) => self
+                .stables
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("ts{}", id.0)),
+            SpaceRef::Scratch(id) => self
+                .scratches
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("scratch{}", id.0)),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(x) => {
+            // Keep a decimal point so the lexer reads it back as a float.
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Char(c) => match c {
+            '\n' => out.push_str("'\\n'"),
+            '\t' => out.push_str("'\\t'"),
+            '\\' => out.push_str("'\\\\'"),
+            '\'' => out.push_str("'\\''"),
+            c => {
+                let _ = write!(out, "'{c}'");
+            }
+        },
+        Value::Str(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        // Bytes/Tuple literals have no DSL syntax; printed as calls the
+        // compiler rejects — callers embedding them must keep the IR form.
+        Value::Bytes(b) => {
+            let _ = write!(out, "bytes_literal_{}", b.len());
+        }
+        Value::Tuple(t) => {
+            let _ = write!(out, "tuple_literal_{}", t.len());
+        }
+    }
+}
+
+/// Precedence levels for infix printing.
+fn prec(op: &Operand) -> u8 {
+    match op {
+        Operand::Apply(Func::Add | Func::Sub, _) => 1,
+        Operand::Apply(Func::Mul | Func::Div | Func::Mod, _) => 2,
+        _ => 3,
+    }
+}
+
+fn func_name(f: Func) -> &'static str {
+    match f {
+        Func::Min => "min",
+        Func::Max => "max",
+        Func::Eq => "eq",
+        Func::Ne => "ne",
+        Func::Lt => "lt",
+        Func::Le => "le",
+        Func::Gt => "gt",
+        Func::Ge => "ge",
+        Func::Not => "not",
+        Func::And => "and",
+        Func::Or => "or_",
+        Func::Concat => "concat",
+        Func::If => "if_",
+        Func::ToInt => "int",
+        Func::ToFloat => "float",
+        Func::Add | Func::Sub | Func::Mul | Func::Div | Func::Mod | Func::Neg => {
+            unreachable!("infix/prefix operators")
+        }
+    }
+}
+
+fn write_operand(out: &mut String, op: &Operand, parent_prec: u8) {
+    match op {
+        Operand::Const(v) => write_value(out, v),
+        Operand::Formal(i) => {
+            let _ = write!(out, "f{i}");
+        }
+        Operand::SelfHost => out.push_str("self"),
+        Operand::RequestSeq => out.push_str("seq"),
+        Operand::Apply(Func::Neg, args) => {
+            out.push('-');
+            write_operand(out, &args[0], 3);
+        }
+        Operand::Apply(f @ (Func::Add | Func::Sub | Func::Mul | Func::Div | Func::Mod), args) => {
+            let my = prec(op);
+            let needs_parens = my < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            write_operand(out, &args[0], my);
+            out.push_str(match f {
+                Func::Add => " + ",
+                Func::Sub => " - ",
+                Func::Mul => " * ",
+                Func::Div => " / ",
+                Func::Mod => " % ",
+                _ => unreachable!(),
+            });
+            // Right operand needs strictly-higher precedence context for
+            // left-associative operators.
+            write_operand(out, &args[1], my + 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Operand::Apply(f, args) => {
+            let _ = write!(out, "{}(", func_name(*f));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_operand(out, a, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[MatchField], next_formal: &mut u16, bind_names: bool) {
+    for f in fields {
+        out.push_str(", ");
+        match f {
+            MatchField::Bind(t) => {
+                if bind_names {
+                    let _ = write!(out, "?{} f{}", t.name(), next_formal);
+                    *next_formal += 1;
+                } else {
+                    let _ = write!(out, "?{}", t.name());
+                }
+            }
+            MatchField::Expr(op) => write_operand(out, op, 0),
+        }
+    }
+}
+
+fn write_template(out: &mut String, template: &[Operand]) {
+    for op in template {
+        out.push_str(", ");
+        write_operand(out, op, 0);
+    }
+}
+
+/// Render one AGS as DSL source (without a trailing semicolon).
+pub fn print_ags(ags: &Ags, names: &SpaceNames) -> String {
+    let mut out = String::from("< ");
+    for (bi, br) in ags.branches.iter().enumerate() {
+        if bi > 0 {
+            out.push_str("\n  or ");
+        }
+        let mut next_formal: u16 = 0;
+        match &br.guard {
+            Guard::True => out.push_str("true"),
+            Guard::In { ts, pattern } => {
+                let _ = write!(out, "in({}", names.resolve(*ts));
+                write_fields(&mut out, pattern, &mut next_formal, true);
+                out.push(')');
+            }
+            Guard::Rd { ts, pattern } => {
+                let _ = write!(out, "rd({}", names.resolve(*ts));
+                write_fields(&mut out, pattern, &mut next_formal, true);
+                out.push(')');
+            }
+        }
+        out.push_str(" =>");
+        for op in &br.body {
+            out.push_str("\n    ");
+            match op {
+                BodyOp::Out { ts, template } => {
+                    let _ = write!(out, "out({}", names.resolve(*ts));
+                    write_template(&mut out, template);
+                    out.push(')');
+                }
+                BodyOp::In { ts, pattern } => {
+                    let _ = write!(out, "in({}", names.resolve(*ts));
+                    write_fields(&mut out, pattern, &mut next_formal, true);
+                    out.push(')');
+                }
+                BodyOp::Rd { ts, pattern } => {
+                    let _ = write!(out, "rd({}", names.resolve(*ts));
+                    write_fields(&mut out, pattern, &mut next_formal, true);
+                    out.push(')');
+                }
+                BodyOp::Move { from, to, pattern } => {
+                    let _ = write!(out, "move({}, {}", names.resolve(*from), names.resolve(*to));
+                    write_fields(&mut out, pattern, &mut next_formal, false);
+                    out.push(')');
+                }
+                BodyOp::Copy { from, to, pattern } => {
+                    let _ = write!(out, "copy({}, {}", names.resolve(*from), names.resolve(*to));
+                    write_fields(&mut out, pattern, &mut next_formal, false);
+                    out.push(')');
+                }
+            }
+            out.push(';');
+        }
+    }
+    out.push_str(" >");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use ftlinda_ags::MatchField as MF;
+    use linda_tuple::TypeTag::*;
+
+    fn names() -> SpaceNames {
+        SpaceNames::new()
+            .stable(TsId(0), "ts")
+            .stable(TsId(1), "ts2")
+            .scratch(ScratchId(0), "tmp")
+    }
+
+    fn roundtrip(ags: &Ags) {
+        let src = print_ags(ags, &names());
+        let mut c = Compiler::new();
+        c.bind_stable("ts", TsId(0));
+        c.bind_stable("ts2", TsId(1));
+        c.bind_scratch("tmp", ScratchId(0));
+        let prog = c
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{src}"));
+        assert_eq!(&prog.statements[0], ags, "roundtrip mismatch for:\n{src}");
+    }
+
+    #[test]
+    fn counter_update_roundtrips() {
+        roundtrip(
+            &Ags::builder()
+                .guard_in(TsId(0), vec![MF::actual("count"), MF::bind(Int)])
+                .out(
+                    TsId(0),
+                    vec![Operand::cst("count"), Operand::formal(0).add(1)],
+                )
+                .build()
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn disjunction_and_all_ops_roundtrip() {
+        roundtrip(
+            &Ags::builder()
+                .guard_rd(TsId(0), vec![MF::bind(Float), MF::actual(2.5)])
+                .in_(TsId(1), vec![MF::actual("k"), MF::bind(Str)])
+                .out(ScratchId(0), vec![Operand::formal(1), Operand::SelfHost])
+                .move_(TsId(0), TsId(1), vec![MF::bind(Int)])
+                .copy(TsId(1), ScratchId(0), vec![MF::actual(true)])
+                .or()
+                .guard_true()
+                .out(TsId(0), vec![Operand::RequestSeq])
+                .build()
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        // (1 + 2) * 3 vs 1 + 2 * 3 must print differently and reparse
+        // to the same trees.
+        roundtrip(&Ags::out_one(
+            TsId(0),
+            vec![Operand::cst(1).add(2).mul(3)],
+        ));
+        roundtrip(&Ags::out_one(
+            TsId(0),
+            vec![Operand::cst(1).add(Operand::cst(2).mul(3))],
+        ));
+        // Left-assoc subtraction: (1 - 2) - 3 vs 1 - (2 - 3).
+        roundtrip(&Ags::out_one(
+            TsId(0),
+            vec![Operand::cst(1).sub(2).sub(3)],
+        ));
+        roundtrip(&Ags::out_one(
+            TsId(0),
+            vec![Operand::cst(1).sub(Operand::cst(2).sub(3))],
+        ));
+    }
+
+    #[test]
+    fn functions_and_literals_roundtrip() {
+        roundtrip(&Ags::out_one(
+            TsId(0),
+            vec![
+                Operand::cst(2).min(3),
+                Operand::cst("a\"b\\c").concat(Operand::cst("d\ne")),
+                Operand::cst('\''),
+                Operand::cst(2.0),
+                Operand::cst(true).eq(Operand::cst(false)),
+                // `-literal` folds to a negative constant at parse time;
+                // Neg survives only over non-literal operands.
+                Operand::cst(-5),
+                Operand::Apply(Func::Neg, vec![Operand::SelfHost]),
+                Operand::Apply(
+                    Func::If,
+                    vec![Operand::cst(true), Operand::cst(1), Operand::cst(2)],
+                ),
+            ],
+        ));
+    }
+
+    #[test]
+    fn float_integral_value_keeps_decimal() {
+        let src = print_ags(
+            &Ags::out_one(TsId(0), vec![Operand::cst(3.0)]),
+            &names(),
+        );
+        assert!(src.contains("3.0"), "{src}");
+    }
+
+    #[test]
+    fn unnamed_spaces_get_fallback_names() {
+        let src = print_ags(&Ags::out_one(TsId(7), vec![Operand::cst(1)]), &SpaceNames::new());
+        assert!(src.contains("ts7"), "{src}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Compilation tests: DSL source → AGS IR, compared against the builder.
+
+use ft_lcc::Compiler;
+use ftlinda_ags::{Ags, MatchField as MF, Operand, ScratchId, TsId};
+use linda_tuple::TypeTag::*;
+
+fn compile_one(src: &str) -> Ags {
+    let mut c = Compiler::new();
+    c.bind_stable("ts", TsId(0));
+    c.bind_stable("ts2", TsId(1));
+    c.bind_scratch("tmp", ScratchId(0));
+    let mut p = c.compile(src).unwrap();
+    assert_eq!(p.statements.len(), 1, "expected one statement");
+    p.statements.remove(0)
+}
+
+#[test]
+fn bare_out() {
+    let got = compile_one(r#"out(ts, "count", 0);"#);
+    let want = Ags::out_one(TsId(0), vec![Operand::cst("count"), Operand::cst(0)]);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bare_in_with_named_formal() {
+    let got = compile_one(r#"in(ts, "count", ?int x);"#);
+    let want = Ags::in_one(
+        TsId(0),
+        vec![MF::actual("count"), MF::bind(Int)],
+    )
+    .unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bare_inp_gets_true_branch() {
+    let got = compile_one(r#"inp(ts, "x", ?int);"#);
+    let want = Ags::inp_one(TsId(0), vec![MF::actual("x"), MF::bind(Int)]).unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bare_rdp_gets_true_branch() {
+    let got = compile_one(r#"rdp(ts, ?str);"#);
+    let want = Ags::rdp_one(TsId(0), vec![MF::bind(Str)]).unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn counter_increment_ags() {
+    let got = compile_one(r#"< in(ts, "count", ?int old) => out(ts, "count", old + 1) >"#);
+    let want = Ags::builder()
+        .guard_in(TsId(0), vec![MF::actual("count"), MF::bind(Int)])
+        .out(
+            TsId(0),
+            vec![Operand::cst("count"), Operand::formal(0).add(1)],
+        )
+        .build()
+        .unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn disjunction_with_true_branch() {
+    let got = compile_one(
+        r#"< in(ts, "token") => out(ts, "held", self)
+           or true => out(ts, "gaveup", seq) >"#,
+    );
+    let want = Ags::builder()
+        .guard_in(TsId(0), vec![MF::actual("token")])
+        .out(TsId(0), vec![Operand::cst("held"), Operand::SelfHost])
+        .or()
+        .guard_true()
+        .out(TsId(0), vec![Operand::cst("gaveup"), Operand::RequestSeq])
+        .build()
+        .unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn body_in_extends_environment() {
+    let got = compile_one(
+        r#"< in(ts, "a", ?int x) =>
+             in(ts, "b", ?int y);
+             out(ts, "sum", x + y) >"#,
+    );
+    let want = Ags::builder()
+        .guard_in(TsId(0), vec![MF::actual("a"), MF::bind(Int)])
+        .in_(TsId(0), vec![MF::actual("b"), MF::bind(Int)])
+        .out(
+            TsId(0),
+            vec![
+                Operand::cst("sum"),
+                Operand::formal(0).add(Operand::formal(1)),
+            ],
+        )
+        .build()
+        .unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn move_and_copy_between_spaces() {
+    let got = compile_one(r#"< true => move(ts, ts2, "job", ?int); copy(ts2, tmp, ?str) >"#);
+    let want = Ags::builder()
+        .guard_true()
+        .move_(TsId(0), TsId(1), vec![MF::actual("job"), MF::bind(Int)])
+        .copy(TsId(1), ScratchId(0), vec![MF::bind(Str)])
+        .build()
+        .unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn arithmetic_precedence() {
+    let got = compile_one(r#"out(ts, 1 + 2 * 3 - 4 / 2);"#);
+    // 1 + (2*3) - (4/2)
+    let want = Ags::out_one(
+        TsId(0),
+        vec![Operand::cst(1)
+            .add(Operand::cst(2).mul(3))
+            .sub(Operand::cst(4).div(2))],
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn parens_and_unary_minus() {
+    let got = compile_one(r#"out(ts, -(1 + 2) * 3);"#);
+    let want = Ags::out_one(
+        TsId(0),
+        vec![Operand::Apply(
+            ftlinda_ags::Func::Neg,
+            vec![Operand::cst(1).add(2)],
+        )
+        .mul(3)],
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn functions_compile() {
+    let got = compile_one(r#"out(ts, min(1, 2), max(3, 4), if_(true, 1, 0), concat("a", "b"), int(2.5), float(7));"#);
+    match &got.branches[0].body[0] {
+        ftlinda_ags::BodyOp::Out { template, .. } => {
+            assert_eq!(template.len(), 6);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn float_and_literals() {
+    let got = compile_one(r#"out(ts, 2.5, 'c', "s", true, false);"#);
+    let want = Ags::out_one(
+        TsId(0),
+        vec![
+            Operand::cst(2.5),
+            Operand::cst('c'),
+            Operand::cst("s"),
+            Operand::cst(true),
+            Operand::cst(false),
+        ],
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn declarations_auto_assign_ids() {
+    let mut c = Compiler::new();
+    let p = c
+        .compile(
+            r#"
+            stable main;
+            stable aux;
+            scratch local;
+            out(main, 1);
+            out(aux, 2);
+            < in(main, ?int v) => out(local, v) >
+        "#,
+        )
+        .unwrap();
+    assert_eq!(p.declared_stables, vec!["main", "aux"]);
+    assert_eq!(p.declared_scratches, vec!["local"]);
+    assert_eq!(p.statements.len(), 3);
+    // main = TsId(0), aux = TsId(1), local = ScratchId(0)
+    assert_eq!(
+        p.statements[1],
+        Ags::out_one(TsId(1), vec![Operand::cst(2)])
+    );
+}
+
+#[test]
+fn signature_catalog_populated() {
+    let mut c = Compiler::new();
+    let p = c
+        .compile(
+            r#"
+            stable ts;
+            out(ts, "count", 0);
+            in(ts, "count", ?int);
+            out(ts, "name", "x");
+        "#,
+        )
+        .unwrap();
+    // (str,int) appears twice → interned once; (str,str) once.
+    assert_eq!(p.catalog.len(), 2);
+}
+
+#[test]
+fn paper_bag_of_tasks_worker_compiles() {
+    // The take/commit pair from the paper's FT bag-of-tasks, verbatim in
+    // the DSL.
+    let mut c = Compiler::new();
+    let p = c
+        .compile(
+            r#"
+            stable bag;
+            < in(bag, "subtask", ?int id, ?tuple payload) =>
+                out(bag, "inprog", self, id, payload) >
+            < in(bag, "inprog", self, 7, ?tuple p2) =>
+                out(bag, "result", 7, p2)
+              or true => >
+        "#,
+        )
+        .unwrap();
+    assert_eq!(p.statements.len(), 2);
+    assert_eq!(p.statements[0].branches[0].formal_types, vec![Int, Tuple]);
+    assert_eq!(p.statements[1].branches.len(), 2);
+}
+
+// ----- error reporting ----------------------------------------------------
+
+fn compile_err(src: &str) -> String {
+    let mut c = Compiler::new();
+    c.bind_stable("ts", TsId(0));
+    c.bind_scratch("tmp", ScratchId(0));
+    c.compile(src).unwrap_err().to_string()
+}
+
+#[test]
+fn unknown_space_reported() {
+    let e = compile_err(r#"out(nowhere, 1);"#);
+    assert!(e.contains("unknown tuple space"), "{e}");
+}
+
+#[test]
+fn unknown_identifier_reported() {
+    let e = compile_err(r#"out(ts, bogus);"#);
+    assert!(e.contains("unknown identifier"), "{e}");
+}
+
+#[test]
+fn unknown_type_reported() {
+    let e = compile_err(r#"in(ts, ?quux x);"#);
+    assert!(e.contains("unknown type"), "{e}");
+}
+
+#[test]
+fn duplicate_formal_reported() {
+    let e = compile_err(r#"< in(ts, ?int x, ?int x) => >"#);
+    assert!(e.contains("already bound"), "{e}");
+}
+
+#[test]
+fn scratch_guard_rejected_via_validation() {
+    let e = compile_err(r#"< in(tmp, ?int) => >"#);
+    assert!(e.contains("stable"), "{e}");
+}
+
+#[test]
+fn arity_mismatch_in_function() {
+    let e = compile_err(r#"out(ts, min(1));"#);
+    assert!(e.contains("expects 2"), "{e}");
+}
+
+#[test]
+fn missing_arrow_reported() {
+    let e = compile_err(r#"< in(ts, ?int) out(ts, 1) >"#);
+    assert!(e.contains("expected"), "{e}");
+}
+
+#[test]
+fn error_positions_are_plausible() {
+    let mut c = Compiler::new();
+    c.bind_stable("ts", TsId(0));
+    let err = c.compile("out(ts,\n   bogus);").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.col >= 3);
+}
+
+#[test]
+fn formals_referencable_across_guard_and_body() {
+    let got = compile_one(
+        r#"< in(ts, "var", ?int v) =>
+             out(ts, "var", v * v % 10) >"#,
+    );
+    let out_op = &got.branches[0].body[0];
+    match out_op {
+        ftlinda_ags::BodyOp::Out { template, .. } => {
+            let expected = Operand::Apply(
+                ftlinda_ags::Func::Mod,
+                vec![Operand::formal(0).mul(Operand::formal(0)), Operand::cst(10)],
+            );
+            assert_eq!(template[1], expected);
+        }
+        other => panic!("{other:?}"),
+    }
+}

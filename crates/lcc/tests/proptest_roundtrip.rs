@@ -1,0 +1,212 @@
+//! Property test: pretty-print → recompile is the identity on any
+//! DSL-expressible AGS.
+
+use ft_lcc::{print_ags, Compiler, SpaceNames};
+use ftlinda_ags::{AgsBuilder, Func, MatchField, Operand, ScratchId, TsId};
+use linda_tuple::{TypeTag, Value};
+use proptest::prelude::*;
+
+/// Printable scalar constants (Bytes/Tuple literals have no DSL syntax).
+fn arb_const() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Finite, exactly-representable floats round-trip through Display.
+        (-1000i32..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 _\\\\\"\n\t]{0,10}".prop_map(Value::Str),
+        prop_oneof![Just('a'), Just('Z'), Just('\''), Just('\\'), Just('\n')]
+            .prop_map(Value::Char),
+    ]
+}
+
+fn arb_operand(bound: u16) -> impl Strategy<Value = Operand> {
+    let leaf = if bound == 0 {
+        prop_oneof![
+            arb_const().prop_map(Operand::Const),
+            Just(Operand::SelfHost),
+            Just(Operand::RequestSeq),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            arb_const().prop_map(Operand::Const),
+            (0..bound).prop_map(Operand::Formal),
+            Just(Operand::SelfHost),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(Func::Add),
+                    Just(Func::Sub),
+                    Just(Func::Mul),
+                    Just(Func::Div),
+                    Just(Func::Mod),
+                    Just(Func::Min),
+                    Just(Func::Max),
+                    Just(Func::Eq),
+                    Just(Func::Lt),
+                    Just(Func::Concat),
+                ],
+                inner.clone(),
+                inner.clone(),
+            )
+                .prop_map(|(f, a, b)| Operand::Apply(f, vec![a, b])),
+            inner
+                .clone()
+                .prop_map(|a| Operand::Apply(Func::Neg, vec![a])),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Operand::Apply(Func::If, vec![c, t, e])),
+        ]
+    })
+}
+
+fn arb_tag() -> impl Strategy<Value = TypeTag> {
+    // All tags are printable as ?type.
+    (0u8..7).prop_map(|b| TypeTag::from_u8(b).unwrap())
+}
+
+#[derive(Debug, Clone)]
+enum FieldKind {
+    Bind(TypeTag),
+    Expr, // operand drawn separately
+}
+
+fn arb_field() -> impl Strategy<Value = FieldKind> {
+    prop_oneof![
+        arb_tag().prop_map(FieldKind::Bind),
+        Just(FieldKind::Expr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn print_then_compile_is_identity(
+        guard in proptest::option::of((proptest::collection::vec(arb_field(), 0..4), any::<bool>())),
+        body_shape in proptest::collection::vec((0u8..5, proptest::collection::vec(arb_field(), 0..3)), 0..4),
+        exprs in proptest::collection::vec(arb_operand(0), 8),
+        exprs_bound in proptest::collection::vec(arb_operand(4), 8),
+        add_true_branch in any::<bool>(),
+    ) {
+        // Assemble a valid AGS; expression fields draw from `exprs` when
+        // nothing is bound yet and `exprs_bound` (clamped) afterwards.
+        let mut bound: u16 = 0;
+        let mut ei = 0usize;
+        let mut pick = |bound: u16| -> Operand {
+            let op = if bound == 0 {
+                canon(&exprs[ei % exprs.len()])
+            } else {
+                canon(&clamp_formals(&exprs_bound[ei % exprs_bound.len()], bound))
+            };
+            ei += 1;
+            op
+        };
+        fn clamp_formals(op: &Operand, bound: u16) -> Operand {
+            match op {
+                Operand::Formal(i) => Operand::Formal(i % bound),
+                Operand::Apply(f, args) => Operand::Apply(
+                    *f,
+                    args.iter().map(|a| clamp_formals(a, bound)).collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+        /// Canonicalize as the parser does: fold Neg over numeric consts.
+        fn canon(op: &Operand) -> Operand {
+            match op {
+                Operand::Apply(Func::Neg, args) => {
+                    let inner = canon(&args[0]);
+                    match inner {
+                        Operand::Const(Value::Int(i)) => {
+                            Operand::Const(Value::Int(i.wrapping_neg()))
+                        }
+                        Operand::Const(Value::Float(x)) => {
+                            Operand::Const(Value::Float(-x))
+                        }
+                        other => Operand::Apply(Func::Neg, vec![other]),
+                    }
+                }
+                Operand::Apply(f, args) => {
+                    Operand::Apply(*f, args.iter().map(canon).collect())
+                }
+                other => other.clone(),
+            }
+        }
+        let mut b = AgsBuilder::new();
+        match &guard {
+            None => b = b.guard_true(),
+            Some((fields, is_in)) => {
+                let fs: Vec<MatchField> = fields.iter().map(|f| match f {
+                    FieldKind::Bind(t) => { bound += 1; MatchField::Bind(*t) }
+                    FieldKind::Expr => MatchField::Expr(pick(0)),
+                }).collect();
+                b = if *is_in { b.guard_in(TsId(0), fs) } else { b.guard_rd(TsId(0), fs) };
+            }
+        }
+        for (kind, fields) in &body_shape {
+            match kind {
+                0 => {
+                    let tmpl: Vec<Operand> =
+                        fields.iter().map(|_| pick(bound)).collect();
+                    b = b.out(TsId(0), tmpl);
+                }
+                1 | 2 => {
+                    // Expression fields may only reference formals bound
+                    // *before* this op (validator rule).
+                    let before = bound;
+                    let fs: Vec<MatchField> = fields.iter().map(|f| match f {
+                        FieldKind::Bind(t) => { bound += 1; MatchField::Bind(*t) }
+                        FieldKind::Expr => MatchField::Expr(pick(before)),
+                    }).collect();
+                    b = if *kind == 1 { b.in_(TsId(0), fs) } else { b.rd(TsId(0), fs) };
+                }
+                3 => {
+                    let fs: Vec<MatchField> = fields.iter().map(|f| match f {
+                        FieldKind::Bind(t) => MatchField::Bind(*t),
+                        FieldKind::Expr => MatchField::Expr(pick(bound)),
+                    }).collect();
+                    b = b.move_(TsId(0), TsId(1), fs);
+                }
+                _ => {
+                    let fs: Vec<MatchField> = fields.iter().map(|f| match f {
+                        FieldKind::Bind(t) => MatchField::Bind(*t),
+                        FieldKind::Expr => MatchField::Expr(pick(bound)),
+                    }).collect();
+                    b = b.copy(TsId(0), ScratchId(0), fs);
+                }
+            }
+        }
+        if add_true_branch {
+            b = b.or().guard_true();
+        }
+        let ags = match b.build() { Ok(a) => a, Err(e) => return Err(TestCaseError::fail(format!("invalid construction: {e}"))) };
+
+        // Round trip.
+        let names = SpaceNames::new()
+            .stable(TsId(0), "ts")
+            .stable(TsId(1), "ts2")
+            .scratch(ScratchId(0), "tmp");
+        let src = print_ags(&ags, &names);
+        let mut c = Compiler::new();
+        c.bind_stable("ts", TsId(0));
+        c.bind_stable("ts2", TsId(1));
+        c.bind_scratch("tmp", ScratchId(0));
+        let prog = c.compile(&src);
+        let prog = prop_assert_ok(prog, &src)?;
+        prop_assert_eq!(&prog.statements[0], &ags, "source:\n{}", src);
+    }
+}
+
+fn prop_assert_ok<T, E: std::fmt::Display>(
+    r: Result<T, E>,
+    src: &str,
+) -> Result<T, TestCaseError> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(e) => Err(TestCaseError::fail(format!("reparse failed: {e}\nsource:\n{src}"))),
+    }
+}

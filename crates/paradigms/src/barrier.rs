@@ -1,0 +1,253 @@
+//! Barrier synchronization in tuple space (paper §4 example).
+//!
+//! A generation-numbered counter tuple implements a P-party barrier:
+//! arrival is the atomic increment
+//! `⟨ in("bar", gen, ?n) ⇒ out("bar", gen, n+1) ⟩`, and the release
+//! condition is `rd("bar", gen, P)` — blocking until the counter tuple
+//! *with value P* exists. The last arriver also seeds the next
+//! generation's counter and garbage-collects the previous generation, so
+//! the barrier is cyclic with O(1) tuples. Because the increment is a
+//! single AGS, a crash can never strand the counter in a withdrawn state
+//! (the plain-Linda version has exactly that window).
+
+use ftlinda::{Ags, FtError, MatchField as MF, Operand, Runtime, TsId};
+use linda_tuple::{PatField, Pattern, TypeTag, Value};
+
+/// A cyclic barrier for `parties` participants.
+#[derive(Debug, Clone, Copy)]
+pub struct TsBarrier {
+    ts: TsId,
+    parties: i64,
+}
+
+impl TsBarrier {
+    /// Create the barrier and seed generation 0.
+    pub fn create(rt: &Runtime, ts: TsId, parties: usize) -> Result<TsBarrier, FtError> {
+        let b = TsBarrier {
+            ts,
+            parties: parties as i64,
+        };
+        rt.execute(&Ags::out_one(
+            ts,
+            vec![Operand::cst("bar"), Operand::cst(0i64), Operand::cst(0i64)],
+        ))?;
+        Ok(b)
+    }
+
+    /// Attach to an existing barrier.
+    pub fn attach(ts: TsId, parties: usize) -> TsBarrier {
+        TsBarrier {
+            ts,
+            parties: parties as i64,
+        }
+    }
+
+    /// Arrive at generation `gen` and block until all parties arrive.
+    /// The caller must use consecutive generations starting at 0.
+    pub fn wait(&self, rt: &Runtime, gen: i64) -> Result<(), FtError> {
+        // Atomic arrival. The last arriver (n+1 == P) also seeds the next
+        // generation's counter in the same AGS, keeping the barrier
+        // cyclic without a separate reset phase.
+        let arrive = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![MF::actual("bar"), MF::actual(gen), MF::bind(TypeTag::Int)],
+            )
+            .out(
+                self.ts,
+                vec![
+                    Operand::cst("bar"),
+                    Operand::cst(gen),
+                    Operand::formal(0).add(1),
+                ],
+            )
+            .build()?;
+        let o = rt.execute(&arrive)?;
+        let n_after = o.bindings[0].as_int().expect("count") + 1;
+        if n_after == self.parties {
+            // Seed next generation and retire the previous one (if any):
+            // both in one atomic statement.
+            let mut b = Ags::builder().guard_true().out(
+                self.ts,
+                vec![
+                    Operand::cst("bar"),
+                    Operand::cst(gen + 1),
+                    Operand::cst(0i64),
+                ],
+            );
+            if gen > 0 {
+                // The previous generation's counter is necessarily full
+                // (every party passed it to reach this one); withdraw it.
+                b = b.in_(
+                    self.ts,
+                    vec![
+                        MF::actual("bar"),
+                        MF::actual(gen - 1),
+                        MF::actual(self.parties),
+                    ],
+                );
+            }
+            rt.execute(&b.build()?)?;
+        }
+        // Release: block until the full counter for this generation
+        // exists.
+        rt.rd(
+            self.ts,
+            &Pattern::new(vec![
+                PatField::Actual(Value::Str("bar".into())),
+                PatField::Actual(Value::Int(gen)),
+                PatField::Actual(Value::Int(self.parties)),
+            ]),
+        )?;
+        Ok(())
+    }
+
+    /// The number of parties.
+    pub fn parties(&self) -> usize {
+        self.parties as usize
+    }
+}
+
+/// A counting semaphore in tuple space: `V` deposits a token, `P`
+/// withdraws one. With single-op atomicity these are already safe; they
+/// are provided for completeness of the paradigm library.
+#[derive(Debug, Clone)]
+pub struct TsSemaphore {
+    ts: TsId,
+    name: String,
+}
+
+impl TsSemaphore {
+    /// Create a semaphore with `initial` tokens.
+    pub fn create(
+        rt: &Runtime,
+        ts: TsId,
+        name: &str,
+        initial: usize,
+    ) -> Result<TsSemaphore, FtError> {
+        let s = TsSemaphore {
+            ts,
+            name: name.to_owned(),
+        };
+        for _ in 0..initial {
+            s.v(rt)?;
+        }
+        Ok(s)
+    }
+
+    /// `V` (signal): deposit one token.
+    pub fn v(&self, rt: &Runtime) -> Result<(), FtError> {
+        rt.execute(&Ags::out_one(
+            self.ts,
+            vec![Operand::cst("sem"), Operand::cst(self.name.as_str())],
+        ))
+        .map(|_| ())
+    }
+
+    /// `P` (wait): withdraw one token, blocking.
+    pub fn p(&self, rt: &Runtime) -> Result<(), FtError> {
+        rt.in_(
+            self.ts,
+            &Pattern::new(vec![
+                PatField::Actual(Value::Str("sem".into())),
+                PatField::Actual(Value::Str(self.name.clone())),
+            ]),
+        )
+        .map(|_| ())
+    }
+
+    /// Non-blocking `P`; `true` if a token was taken (strong semantics).
+    pub fn try_p(&self, rt: &Runtime) -> Result<bool, FtError> {
+        Ok(rt
+            .inp(
+                self.ts,
+                &Pattern::new(vec![
+                    PatField::Actual(Value::Str("sem".into())),
+                    PatField::Actual(Value::Str(self.name.clone())),
+                ]),
+            )?
+            .is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda::Cluster;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        let (cluster, rts) = Cluster::new(3);
+        let ts = rts[0].create_stable_ts("bar").unwrap();
+        let bar = TsBarrier::create(&rts[0], ts, 3).unwrap();
+        let phase = Arc::new(AtomicUsize::new(0));
+        let rounds = 4;
+        let handles: Vec<_> = rts
+            .iter()
+            .map(|rt| {
+                let rt = rt.clone();
+                let phase = phase.clone();
+                std::thread::spawn(move || {
+                    for gen in 0..rounds {
+                        // Everyone must observe phase >= gen before the
+                        // barrier releases anyone into gen+1.
+                        assert!(phase.load(Ordering::SeqCst) >= gen as usize);
+                        bar.wait(&rt, gen as i64).unwrap();
+                        phase.fetch_max(gen as usize + 1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), rounds);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn barrier_blocks_until_all_arrive() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("bar").unwrap();
+        let bar = TsBarrier::create(&rts[0], ts, 2).unwrap();
+        let rt1 = rts[1].clone();
+        let t = std::thread::spawn(move || {
+            bar.wait(&rt1, 0).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!t.is_finished(), "single arrival must block");
+        bar.wait(&rts[0], 0).unwrap();
+        t.join().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn semaphore_limits_tokens() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("sem").unwrap();
+        let sem = TsSemaphore::create(&rts[0], ts, "s", 2).unwrap();
+        assert!(sem.try_p(&rts[1]).unwrap());
+        assert!(sem.try_p(&rts[1]).unwrap());
+        assert!(!sem.try_p(&rts[1]).unwrap(), "no third token");
+        sem.v(&rts[0]).unwrap();
+        assert!(sem.try_p(&rts[1]).unwrap());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn semaphore_blocking_p() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("sem").unwrap();
+        let sem = TsSemaphore::create(&rts[0], ts, "s", 0).unwrap();
+        let sem2 = sem.clone();
+        let rt1 = rts[1].clone();
+        let t = std::thread::spawn(move || sem2.p(&rt1).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!t.is_finished());
+        sem.v(&rts[0]).unwrap();
+        t.join().unwrap();
+        cluster.shutdown();
+    }
+}

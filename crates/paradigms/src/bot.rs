@@ -1,0 +1,487 @@
+//! The fault-tolerant bag-of-tasks (paper §2.3 and §4, Figures 4/5/13).
+//!
+//! The bag-of-tasks (replicated worker) paradigm keeps subtask tuples in
+//! tuple space; workers repeatedly withdraw a subtask, solve it, and
+//! deposit a result. The paper's failure analysis: a worker that crashes
+//! after the `in` but before the `out` silently *loses the subtask*.
+//!
+//! FT-Linda's fix, reproduced here:
+//!
+//! * taking a subtask atomically leaves an **in-progress tuple** tagged
+//!   with the worker's host:
+//!   `⟨ in("subtask", ?id, ?p) ⇒ out("inprog", self, id, p) ⟩`
+//! * committing a result atomically retires the in-progress tuple:
+//!   `⟨ in("inprog", self, id, p) ⇒ out("result", id, r) or true ⇒ ⟩`
+//!   (the `or true` branch covers the case where a monitor already
+//!   reassigned our task because we were believed dead)
+//! * a **monitor** blocks on the distinguished failure tuple and moves
+//!   the dead host's in-progress tuples back into subtask form:
+//!   `⟨ in("failure", ?h) ⇒ ⟩` then repeatedly
+//!   `⟨ in("inprog", h, ?id, ?p) ⇒ out("subtask", id, p) or true ⇒ ⟩`
+//!
+//! Tasks are therefore executed *at least once*; results are keyed by
+//! task id, so duplicate executions are benign (first result wins).
+//!
+//! Termination uses a poison subtask with id −1 that each exiting worker
+//! re-deposits, so one poison pill drains any number of workers.
+
+use ftlinda::{Ags, FtError, MatchField as MF, Operand, Runtime, TsId};
+use linda_tuple::{PatField, Pattern, TypeTag, Value};
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+/// Reserved id of the poison subtask.
+pub const POISON_ID: i64 = -1;
+
+/// Reserved "host" in the failure-tuple space used to stop monitors.
+pub const MONITOR_STOP: i64 = -1;
+
+/// Handle to a bag-of-tasks living in one stable tuple space.
+#[derive(Debug, Clone, Copy)]
+pub struct BagOfTasks {
+    ts: TsId,
+}
+
+fn wrap(v: Value) -> Value {
+    Value::Tuple(vec![v])
+}
+
+fn unwrap(v: &Value) -> Value {
+    v.as_tuple().expect("wrapped payload")[0].clone()
+}
+
+impl BagOfTasks {
+    /// Create the bag in a fresh (or existing) stable tuple space.
+    pub fn create(rt: &Runtime, name: &str) -> Result<BagOfTasks, FtError> {
+        Ok(BagOfTasks {
+            ts: rt.create_stable_ts(name)?,
+        })
+    }
+
+    /// Use an existing space.
+    pub fn attach(ts: TsId) -> BagOfTasks {
+        BagOfTasks { ts }
+    }
+
+    /// The underlying stable space.
+    pub fn ts(&self) -> TsId {
+        self.ts
+    }
+
+    /// Seed the bag with subtasks; returns the assigned ids (0-based,
+    /// offset by `first_id`).
+    pub fn seed(
+        &self,
+        rt: &Runtime,
+        first_id: i64,
+        payloads: impl IntoIterator<Item = Value>,
+    ) -> Result<Vec<i64>, FtError> {
+        let mut ids = Vec::new();
+        for (i, p) in payloads.into_iter().enumerate() {
+            let id = first_id + i as i64;
+            self.add_task(rt, id, p)?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Deposit one subtask tuple.
+    pub fn add_task(&self, rt: &Runtime, id: i64, payload: Value) -> Result<(), FtError> {
+        rt.execute(&Ags::out_one(
+            self.ts,
+            vec![
+                Operand::cst("subtask"),
+                Operand::cst(id),
+                Operand::Const(wrap(payload)),
+            ],
+        ))
+        .map(|_| ())
+    }
+
+    /// Deposit the poison pill that drains workers (one is enough: each
+    /// exiting worker re-deposits it).
+    pub fn poison(&self, rt: &Runtime) -> Result<(), FtError> {
+        self.add_task(rt, POISON_ID, Value::Bool(false))
+    }
+
+    /// The atomic take: withdraw a subtask, leaving an in-progress marker
+    /// owned by this host. Returns `(id, payload)`.
+    pub fn take_task(&self, rt: &Runtime) -> Result<(i64, Value), FtError> {
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![
+                    MF::actual("subtask"),
+                    MF::bind(TypeTag::Int),
+                    MF::bind(TypeTag::Tuple),
+                ],
+            )
+            .out(
+                self.ts,
+                vec![
+                    Operand::cst("inprog"),
+                    Operand::SelfHost,
+                    Operand::formal(0),
+                    Operand::formal(1),
+                ],
+            )
+            .build()?;
+        let out = rt.execute(&ags)?;
+        let id = out.bindings[0].as_int().expect("task id");
+        Ok((id, unwrap(&out.bindings[1])))
+    }
+
+    /// The atomic commit: retire this host's in-progress marker for `id`
+    /// and deposit the result. Returns `false` if a monitor had already
+    /// reassigned the task (our marker was gone) — the result is then
+    /// discarded, someone else will redo the task.
+    pub fn commit_result(
+        &self,
+        rt: &Runtime,
+        id: i64,
+        payload: Value,
+        result: Value,
+    ) -> Result<bool, FtError> {
+        let me = rt.host().0 as i64;
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![
+                    MF::actual("inprog"),
+                    MF::actual(me),
+                    MF::actual(id),
+                    MF::Expr(Operand::Const(wrap(payload))),
+                ],
+            )
+            .out(
+                self.ts,
+                vec![
+                    Operand::cst("result"),
+                    Operand::cst(id),
+                    Operand::Const(wrap(result)),
+                ],
+            )
+            .or()
+            .guard_true()
+            .build()?;
+        Ok(rt.execute(&ags)?.branch == 0)
+    }
+
+    /// Retire a poison in-progress marker, re-depositing the pill for the
+    /// next worker.
+    pub(crate) fn pass_on_poison(&self, rt: &Runtime) -> Result<(), FtError> {
+        let me = rt.host().0 as i64;
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![
+                    MF::actual("inprog"),
+                    MF::actual(me),
+                    MF::actual(POISON_ID),
+                    MF::bind(TypeTag::Tuple),
+                ],
+            )
+            .out(
+                self.ts,
+                vec![
+                    Operand::cst("subtask"),
+                    Operand::cst(POISON_ID),
+                    Operand::formal(0),
+                ],
+            )
+            .or()
+            .guard_true()
+            .build()?;
+        rt.execute(&ags).map(|_| ())
+    }
+
+    /// Spawn a fault-tolerant worker thread. Returns the number of tasks
+    /// it completed (committed).
+    pub fn spawn_worker<F>(&self, rt: Runtime, f: F) -> JoinHandle<usize>
+    where
+        F: Fn(&Value) -> Value + Send + 'static,
+    {
+        let bag = *self;
+        std::thread::spawn(move || {
+            let mut done = 0usize;
+            loop {
+                let Ok((id, payload)) = bag.take_task(&rt) else {
+                    return done; // runtime shut down
+                };
+                if id == POISON_ID {
+                    let _ = bag.pass_on_poison(&rt);
+                    return done;
+                }
+                let result = f(&payload);
+                match bag.commit_result(&rt, id, payload, result) {
+                    Ok(true) => done += 1,
+                    Ok(false) => {} // monitor reassigned it; discard
+                    Err(_) => return done,
+                }
+            }
+        })
+    }
+
+    /// Spawn a **non-fault-tolerant** worker in the style of plain Linda
+    /// (paper Figure 4): the subtask is withdrawn with no in-progress
+    /// marker, so a crash mid-task loses it. Baseline for experiment E5.
+    pub fn spawn_worker_unsafe<F>(&self, rt: Runtime, f: F) -> JoinHandle<usize>
+    where
+        F: Fn(&Value) -> Value + Send + 'static,
+    {
+        let bag = *self;
+        std::thread::spawn(move || {
+            let mut done = 0usize;
+            let pat = Pattern::new(vec![
+                PatField::Actual(Value::Str("subtask".into())),
+                PatField::Formal(TypeTag::Int),
+                PatField::Formal(TypeTag::Tuple),
+            ]);
+            loop {
+                let Ok(t) = rt.in_(bag.ts, &pat) else {
+                    return done;
+                };
+                let id = t[1].as_int().expect("id");
+                if id == POISON_ID {
+                    let _ = rt.out(bag.ts, t);
+                    return done;
+                }
+                let result = f(&unwrap(&t[2]));
+                if rt
+                    .out(
+                        bag.ts,
+                        linda_tuple::Tuple::new(vec![
+                            Value::Str("result".into()),
+                            Value::Int(id),
+                            wrap(result),
+                        ]),
+                    )
+                    .is_err()
+                {
+                    return done;
+                }
+                done += 1;
+            }
+        })
+    }
+
+    /// Spawn the recovery monitor (paper Figure 13). It blocks on failure
+    /// tuples; for each failed host it moves that host's in-progress
+    /// tuples back into subtask form. Returns the number of failures
+    /// handled when stopped via [`BagOfTasks::stop_monitor`].
+    pub fn spawn_monitor(&self, rt: Runtime) -> JoinHandle<u32> {
+        let bag = *self;
+        std::thread::spawn(move || {
+            let mut handled = 0u32;
+            loop {
+                // Claim the next failure tuple (exactly one monitor
+                // cluster-wide wins each).
+                let take_failure = match Ags::in_one(
+                    bag.ts,
+                    vec![
+                        MF::actual(ftlinda::FAILURE_TUPLE_HEAD),
+                        MF::bind(TypeTag::Int),
+                    ],
+                ) {
+                    Ok(a) => a,
+                    Err(_) => return handled,
+                };
+                let Ok(out) = rt.execute(&take_failure) else {
+                    return handled;
+                };
+                let h = out.bindings[0].as_int().expect("host id");
+                if h == MONITOR_STOP {
+                    return handled;
+                }
+                // Reassign every in-progress task of the dead host.
+                let reassign = Ags::builder()
+                    .guard_in(
+                        bag.ts,
+                        vec![
+                            MF::actual("inprog"),
+                            MF::actual(h),
+                            MF::bind(TypeTag::Int),
+                            MF::bind(TypeTag::Tuple),
+                        ],
+                    )
+                    .out(
+                        bag.ts,
+                        vec![
+                            Operand::cst("subtask"),
+                            Operand::formal(0),
+                            Operand::formal(1),
+                        ],
+                    )
+                    .or()
+                    .guard_true()
+                    .build()
+                    .expect("static");
+                loop {
+                    match rt.execute(&reassign) {
+                        Ok(o) if o.branch == 0 => continue,
+                        Ok(_) => break,
+                        Err(_) => return handled,
+                    }
+                }
+                handled += 1;
+            }
+        })
+    }
+
+    /// Stop one monitor by feeding it a sentinel "failure".
+    pub fn stop_monitor(&self, rt: &Runtime) -> Result<(), FtError> {
+        rt.execute(&Ags::out_one(
+            self.ts,
+            vec![
+                Operand::cst(ftlinda::FAILURE_TUPLE_HEAD),
+                Operand::cst(MONITOR_STOP),
+            ],
+        ))
+        .map(|_| ())
+    }
+
+    /// Withdraw the result of task `id` (blocking).
+    pub fn take_result(&self, rt: &Runtime, id: i64) -> Result<Value, FtError> {
+        let p = Pattern::new(vec![
+            PatField::Actual(Value::Str("result".into())),
+            PatField::Actual(Value::Int(id)),
+            PatField::Formal(TypeTag::Tuple),
+        ]);
+        let t = rt.in_(self.ts, &p)?;
+        Ok(unwrap(&t[2]))
+    }
+
+    /// Collect results for all `ids` (blocking), in id order.
+    pub fn collect(&self, rt: &Runtime, ids: &[i64]) -> Result<BTreeMap<i64, Value>, FtError> {
+        let mut out = BTreeMap::new();
+        for &id in ids {
+            out.insert(id, self.take_result(rt, id)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda::{Cluster, HostId};
+    use std::time::Duration;
+
+    fn sq(v: &Value) -> Value {
+        let x = v.as_int().unwrap();
+        Value::Int(x * x)
+    }
+
+    #[test]
+    fn happy_path_all_tasks_complete() {
+        let (cluster, rts) = Cluster::new(3);
+        let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
+        let ids = bag
+            .seed(&rts[0], 0, (0..12).map(Value::Int))
+            .unwrap();
+        let workers: Vec<_> = rts
+            .iter()
+            .map(|rt| bag.spawn_worker(rt.clone(), sq))
+            .collect();
+        let results = bag.collect(&rts[0], &ids).unwrap();
+        assert_eq!(results.len(), 12);
+        for (id, v) in &results {
+            assert_eq!(v.as_int().unwrap(), id * id);
+        }
+        bag.poison(&rts[0]).unwrap();
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 12);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn single_poison_drains_all_workers() {
+        let (cluster, rts) = Cluster::new(2);
+        let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
+        let workers: Vec<_> = (0..4)
+            .map(|i| bag.spawn_worker(rts[i % 2].clone(), sq))
+            .collect();
+        bag.poison(&rts[0]).unwrap();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), 0);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_recovery_completes_all_tasks_exactly_once_in_results() {
+        let (cluster, rts) = Cluster::new(3);
+        let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
+
+        // Slow tasks so the crashed worker dies holding one.
+        let slow = |v: &Value| {
+            std::thread::sleep(Duration::from_millis(30));
+            sq(v)
+        };
+        let ids = bag.seed(&rts[0], 0, (0..8).map(Value::Int)).unwrap();
+
+        // Monitor on host 0, workers on hosts 1 and 2.
+        let monitor = bag.spawn_monitor(rts[0].clone());
+        let _w1 = bag.spawn_worker(rts[1].clone(), slow);
+        let _w2 = bag.spawn_worker(rts[2].clone(), slow);
+
+        // Let host 2 grab work, then kill it mid-task.
+        std::thread::sleep(Duration::from_millis(40));
+        cluster.crash(HostId(2));
+
+        // All tasks still complete (host 1 + recovery).
+        let results = bag.collect(&rts[0], &ids).unwrap();
+        assert_eq!(results.len(), 8);
+        for (id, v) in &results {
+            assert_eq!(v.as_int().unwrap(), id * id);
+        }
+        // No in-progress tuples left for the dead host once the monitor
+        // has run and host 1 drained the bag.
+        bag.stop_monitor(&rts[0]).unwrap();
+        let handled = monitor.join().unwrap();
+        assert!(handled >= 1, "monitor recovered the crashed host");
+        bag.poison(&rts[0]).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unsafe_worker_loses_task_on_crash() {
+        // The paper's Figure 4 failure: without the in-progress marker a
+        // crash strands the task forever.
+        let (cluster, rts) = Cluster::new(3);
+        let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
+        let ids = bag.seed(&rts[0], 0, (0..4).map(Value::Int)).unwrap();
+
+        let very_slow = |v: &Value| {
+            std::thread::sleep(Duration::from_millis(400));
+            sq(v)
+        };
+        // One unsafe worker on host 2 grabs a task and dies mid-work.
+        let _w = bag.spawn_worker_unsafe(rts[2].clone(), very_slow);
+        std::thread::sleep(Duration::from_millis(100));
+        cluster.crash(HostId(2));
+        // A monitor can't help: there is no in-progress tuple to recover.
+        let monitor = bag.spawn_monitor(rts[0].clone());
+        // Fast worker on host 1 drains what's left.
+        let _w1 = bag.spawn_worker(rts[1].clone(), sq);
+        std::thread::sleep(Duration::from_millis(300));
+        // Exactly one task is missing.
+        let present: Vec<i64> = ids
+            .iter()
+            .copied()
+            .filter(|id| {
+                let p = Pattern::new(vec![
+                    PatField::Actual(Value::Str("result".into())),
+                    PatField::Actual(Value::Int(*id)),
+                    PatField::Formal(TypeTag::Tuple),
+                ]);
+                matches!(rts[0].rdp(bag.ts(), &p), Ok(Some(_)))
+            })
+            .collect();
+        assert_eq!(present.len(), 3, "one task lost forever: {present:?}");
+        bag.stop_monitor(&rts[0]).unwrap();
+        monitor.join().unwrap();
+        bag.poison(&rts[0]).unwrap();
+        cluster.shutdown();
+    }
+}

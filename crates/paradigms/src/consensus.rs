@@ -1,0 +1,121 @@
+//! Distributed consensus on top of AGS disjunction (paper §2.3).
+//!
+//! The paper cites the impossibility of solving consensus with single-op
+//! Linda atomicity (its reference 38) as a key motivation for multi-op AGSs. With
+//! disjunction the solution is one statement:
+//!
+//! ```text
+//! ⟨ rd(ts, "decided", key, ?v) ⇒                      (someone decided)
+//! or true ⇒ out(ts, "decided", key, my_value) ⟩       (I decide)
+//! ```
+//!
+//! Because branch selection happens atomically against the totally
+//! ordered replica state, exactly one proposer's `true` branch fires
+//! first and every later proposer's `rd` branch observes that value —
+//! agreement, validity, and (crash-)termination all follow from the
+//! total order. Survivors always decide even if the winner crashes right
+//! afterwards, since the decision lives in a stable tuple space.
+
+use ftlinda::{Ags, FtError, MatchField as MF, Operand, Runtime, TsId};
+use linda_tuple::{TypeTag, Value};
+
+/// Propose `my_value` for the consensus instance `key`; returns the
+/// decided value (which is `my_value` iff this proposer won).
+pub fn propose(rt: &Runtime, ts: TsId, key: &str, my_value: i64) -> Result<i64, FtError> {
+    let ags = Ags::builder()
+        .guard_rd(
+            ts,
+            vec![
+                MF::actual("decided"),
+                MF::actual(key),
+                MF::bind(TypeTag::Int),
+            ],
+        )
+        .or()
+        .guard_true()
+        .out(
+            ts,
+            vec![
+                Operand::cst("decided"),
+                Operand::cst(key),
+                Operand::cst(my_value),
+            ],
+        )
+        .build()?;
+    let o = rt.execute(&ags)?;
+    Ok(match o.branch {
+        0 => o.bindings[0].as_int().expect("decided value"),
+        _ => my_value,
+    })
+}
+
+/// Read the decided value if any (strong semantics: `None` is definitive
+/// at this point of the total order).
+pub fn decided(rt: &Runtime, ts: TsId, key: &str) -> Result<Option<i64>, FtError> {
+    let p = linda_tuple::Pattern::new(vec![
+        linda_tuple::PatField::Actual(Value::Str("decided".into())),
+        linda_tuple::PatField::Actual(Value::Str(key.into())),
+        linda_tuple::PatField::Formal(TypeTag::Int),
+    ]);
+    Ok(rt
+        .rdp(ts, &p)?
+        .map(|t| t[2].as_int().expect("decided value")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda::{Cluster, HostId};
+
+    #[test]
+    fn single_proposer_decides_own_value() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("cons").unwrap();
+        assert_eq!(propose(&rts[0], ts, "k", 42).unwrap(), 42);
+        assert_eq!(decided(&rts[1], ts, "k").unwrap(), Some(42));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_proposers_agree() {
+        let (cluster, rts) = Cluster::new(3);
+        let ts = rts[0].create_stable_ts("cons").unwrap();
+        let handles: Vec<_> = rts
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| {
+                let rt = rt.clone();
+                std::thread::spawn(move || propose(&rt, ts, "k", 100 + i as i64).unwrap())
+            })
+            .collect();
+        let decisions: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
+        assert!((100..103).contains(&decisions[0]), "validity");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn decision_survives_winner_crash() {
+        let (cluster, rts) = Cluster::new(3);
+        let ts = rts[0].create_stable_ts("cons").unwrap();
+        let v = propose(&rts[2], ts, "k", 7).unwrap();
+        assert_eq!(v, 7);
+        cluster.crash(HostId(2));
+        // Survivors still see the decision (stable TS).
+        assert_eq!(propose(&rts[0], ts, "k", 99).unwrap(), 7);
+        assert_eq!(decided(&rts[1], ts, "k").unwrap(), Some(7));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn independent_keys_independent_decisions() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("cons").unwrap();
+        assert_eq!(propose(&rts[0], ts, "a", 1).unwrap(), 1);
+        assert_eq!(propose(&rts[1], ts, "b", 2).unwrap(), 2);
+        assert_eq!(decided(&rts[0], ts, "a").unwrap(), Some(1));
+        assert_eq!(decided(&rts[0], ts, "b").unwrap(), Some(2));
+        assert_eq!(decided(&rts[0], ts, "c").unwrap(), None);
+        cluster.shutdown();
+    }
+}

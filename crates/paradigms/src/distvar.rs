@@ -1,0 +1,232 @@
+//! The distributed shared variable (paper §2.3, Figure 2/3).
+//!
+//! A variable shared through tuple space is a tuple `(name, value)`:
+//! initialize with `out`, inspect with `rd`, and update with `in` + `out`.
+//! The paper's motivating failure: in plain Linda a process that crashes
+//! between the `in` and the `out` *loses the variable* — every other
+//! updater blocks forever. FT-Linda's fix is to make the `in`+`out` one
+//! atomic guarded statement. Both forms are provided here so the E4
+//! experiment can demonstrate the window.
+
+use ftlinda::{Ags, FtError, MatchField as MF, Operand, Runtime, TsId};
+use linda_tuple::{PatField, Pattern, TypeTag, Value};
+
+/// A distributed integer variable stored as `(name, value)` in a stable
+/// tuple space.
+#[derive(Debug, Clone)]
+pub struct DistVar {
+    ts: TsId,
+    name: String,
+}
+
+impl DistVar {
+    /// Create the variable with an initial value (idempotent `out`).
+    pub fn create(rt: &Runtime, ts: TsId, name: &str, init: i64) -> Result<DistVar, FtError> {
+        rt.execute(&Ags::out_one(
+            ts,
+            vec![Operand::cst(name), Operand::cst(init)],
+        ))?;
+        Ok(DistVar {
+            ts,
+            name: name.to_owned(),
+        })
+    }
+
+    /// Bind to an existing variable without initializing it.
+    pub fn attach(ts: TsId, name: &str) -> DistVar {
+        DistVar {
+            ts,
+            name: name.to_owned(),
+        }
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::new(vec![
+            PatField::Actual(Value::Str(self.name.clone())),
+            PatField::Formal(TypeTag::Int),
+        ])
+    }
+
+    /// Read the current value (blocking `rd`).
+    pub fn read(&self, rt: &Runtime) -> Result<i64, FtError> {
+        let t = rt.rd(self.ts, &self.pattern())?;
+        Ok(t[1].as_int().expect("int variable"))
+    }
+
+    /// Atomically apply `old → f(old)` where `f` is expressed in the AGS
+    /// operand language; returns the *old* value. This is the paper's
+    /// Figure 3: `⟨ in(name, ?old) ⇒ out(name, f(old)) ⟩` — one multicast,
+    /// crash-safe.
+    pub fn update(&self, rt: &Runtime, f: impl FnOnce(Operand) -> Operand) -> Result<i64, FtError> {
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![MF::actual(self.name.as_str()), MF::bind(TypeTag::Int)],
+            )
+            .out(
+                self.ts,
+                vec![Operand::cst(self.name.as_str()), f(Operand::formal(0))],
+            )
+            .build()?;
+        let out = rt.execute(&ags)?;
+        Ok(out.bindings[0].as_int().expect("int variable"))
+    }
+
+    /// Atomic add; returns the old value.
+    pub fn fetch_add(&self, rt: &Runtime, delta: i64) -> Result<i64, FtError> {
+        self.update(rt, |old| old.add(delta))
+    }
+
+    /// Atomic set; returns the old value.
+    pub fn swap(&self, rt: &Runtime, value: i64) -> Result<i64, FtError> {
+        self.update(rt, move |_| Operand::cst(value))
+    }
+
+    /// **Deliberately unsafe** two-step update in the style of plain
+    /// Linda (paper Figure 2): withdraw, compute in the application, then
+    /// deposit. If `crash_between` is true the second half is skipped,
+    /// reproducing the lost-variable failure for experiment E4.
+    pub fn update_unsafe_two_step(
+        &self,
+        rt: &Runtime,
+        f: impl FnOnce(i64) -> i64,
+        crash_between: bool,
+    ) -> Result<Option<i64>, FtError> {
+        let t = rt.in_(self.ts, &self.pattern())?;
+        let old = t[1].as_int().expect("int variable");
+        if crash_between {
+            // The "process" dies holding the variable: nothing is
+            // deposited and the tuple is gone.
+            return Ok(None);
+        }
+        rt.out(
+            self.ts,
+            linda_tuple::Tuple::new(vec![
+                Value::Str(self.name.clone()),
+                Value::Int(f(old)),
+            ]),
+        )?;
+        Ok(Some(old))
+    }
+
+    /// The variable's tuple space.
+    pub fn ts(&self) -> TsId {
+        self.ts
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda::Cluster;
+    use linda_tuple::pat;
+    use std::time::Duration;
+
+    #[test]
+    fn create_read_update() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("vars").unwrap();
+        let v = DistVar::create(&rts[0], ts, "x", 10).unwrap();
+        assert_eq!(v.read(&rts[1]).unwrap(), 10);
+        assert_eq!(v.fetch_add(&rts[1], 5).unwrap(), 10);
+        assert_eq!(v.read(&rts[0]).unwrap(), 15);
+        assert_eq!(v.swap(&rts[0], 100).unwrap(), 15);
+        assert_eq!(v.read(&rts[0]).unwrap(), 100);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn attach_sees_same_variable() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("vars").unwrap();
+        DistVar::create(&rts[0], ts, "y", 1).unwrap();
+        let v2 = DistVar::attach(ts, "y");
+        assert_eq!(v2.read(&rts[1]).unwrap(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_lossless() {
+        let (cluster, rts) = Cluster::new(3);
+        let ts = rts[0].create_stable_ts("vars").unwrap();
+        let v = DistVar::create(&rts[0], ts, "ctr", 0).unwrap();
+        let handles: Vec<_> = rts
+            .iter()
+            .map(|rt| {
+                let rt = rt.clone();
+                let v = v.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        v.fetch_add(&rt, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.read(&rts[0]).unwrap(), 60);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unsafe_two_step_loses_variable_on_crash() {
+        // Reproduces the paper's Figure 2 failure mode.
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("vars").unwrap();
+        let v = DistVar::create(&rts[0], ts, "z", 0).unwrap();
+        assert_eq!(
+            v.update_unsafe_two_step(&rts[0], |x| x + 1, true).unwrap(),
+            None
+        );
+        // The variable is gone: a read would block forever.
+        assert_eq!(rts[1].rdp(ts, &pat!("z", ?int)).unwrap(), None);
+        // Whereas the atomic update never exposes such a window; restore
+        // and verify.
+        rts[1].out(ts, linda_tuple::tuple!("z", 7)).unwrap();
+        assert_eq!(v.fetch_add(&rts[1], 1).unwrap(), 7);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn update_expression_error_leaves_variable_intact() {
+        let (cluster, rts) = Cluster::new(2);
+        let ts = rts[0].create_stable_ts("vars").unwrap();
+        let v = DistVar::create(&rts[0], ts, "w", 3).unwrap();
+        let r = v.update(&rts[0], |old| Operand::cst(1).div(old.sub(3)));
+        assert!(r.is_err(), "division by zero must fail");
+        // Rollback: the variable still exists with its old value.
+        assert_eq!(
+            rts[1]
+                .rd_timeout_helper(ts, &pat!("w", 3))
+                .unwrap(),
+            linda_tuple::tuple!("w", 3)
+        );
+        assert_eq!(v.read(&rts[0]).unwrap(), 3);
+        cluster.shutdown();
+    }
+
+    // Small helper so the test reads clearly.
+    trait RdHelper {
+        fn rd_timeout_helper(
+            &self,
+            ts: TsId,
+            p: &Pattern,
+        ) -> Result<linda_tuple::Tuple, FtError>;
+    }
+    impl RdHelper for Runtime {
+        fn rd_timeout_helper(
+            &self,
+            ts: TsId,
+            p: &Pattern,
+        ) -> Result<linda_tuple::Tuple, FtError> {
+            let _ = Duration::ZERO;
+            self.rd(ts, p)
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Fault-tolerant divide-and-conquer (paper §4.1).
+//!
+//! "The basic structure of divide and conquer is similar to the
+//! bag-of-tasks … The difference comes in the actions of the worker.
+//! Here, upon withdrawing a subtask tuple, the worker first determines if
+//! the subtask is small enough … If so, the task is performed and the
+//! result tuple deposited. If not, the worker divides the task and
+//! deposits the new subtasks back into the bag."
+//!
+//! The demonstration workload is adaptive quadrature: integrate f over
+//! `[lo, hi]`; an interval whose two-panel estimate is close enough to
+//! its one-panel estimate contributes to a shared accumulator, otherwise
+//! it splits. Both the split and the accumulate are single AGSs that also
+//! maintain an `("outstanding", n)` counter, so
+//! `rd("outstanding", 0)` is a crash-safe termination barrier:
+//!
+//! * split: `⟨ in("inprog", me, lo, hi) ⇒ out("task", lo, mid);
+//!   out("task", mid, hi); in("outstanding", ?n); out("outstanding", n+1) ⟩`
+//! * accumulate: `⟨ in("inprog", me, lo, hi) ⇒ in("acc", ?s);
+//!   out("acc", s + v); in("outstanding", ?n); out("outstanding", n−1) ⟩`
+//!
+//! Crash recovery reuses the bag-of-tasks monitor idiom: in-progress
+//! tuples of a failed host move back to task form.
+
+use ftlinda::{Ags, FtError, MatchField as MF, Operand, Runtime, TsId};
+use linda_tuple::{PatField, Pattern, TypeTag, Value};
+use std::thread::JoinHandle;
+
+/// A divide-and-conquer integration job over one stable tuple space.
+#[derive(Debug, Clone, Copy)]
+pub struct DivideConquer {
+    ts: TsId,
+}
+
+impl DivideConquer {
+    /// Create the job space and seed the root interval + accumulator.
+    pub fn create(rt: &Runtime, name: &str, lo: f64, hi: f64) -> Result<DivideConquer, FtError> {
+        let ts = rt.create_stable_ts(name)?;
+        let dc = DivideConquer { ts };
+        rt.execute(&Ags::out_one(
+            ts,
+            vec![Operand::cst("acc"), Operand::cst(0.0f64)],
+        ))?;
+        rt.execute(&Ags::out_one(
+            ts,
+            vec![Operand::cst("outstanding"), Operand::cst(1i64)],
+        ))?;
+        rt.execute(&Ags::out_one(
+            ts,
+            vec![Operand::cst("task"), Operand::cst(lo), Operand::cst(hi)],
+        ))?;
+        Ok(dc)
+    }
+
+    /// The underlying space.
+    pub fn ts(&self) -> TsId {
+        self.ts
+    }
+
+    /// Atomically withdraw a task interval, leaving an in-progress marker.
+    pub fn take(&self, rt: &Runtime) -> Result<(f64, f64), FtError> {
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![
+                    MF::actual("task"),
+                    MF::bind(TypeTag::Float),
+                    MF::bind(TypeTag::Float),
+                ],
+            )
+            .out(
+                self.ts,
+                vec![
+                    Operand::cst("inprog"),
+                    Operand::SelfHost,
+                    Operand::formal(0),
+                    Operand::formal(1),
+                ],
+            )
+            .build()?;
+        let o = rt.execute(&ags)?;
+        Ok((
+            o.bindings[0].as_float().expect("lo"),
+            o.bindings[1].as_float().expect("hi"),
+        ))
+    }
+
+    /// Atomically split `[lo, hi]` at `mid`, retiring the in-progress
+    /// marker and bumping the outstanding count. Returns `false` if a
+    /// monitor already reassigned the interval.
+    pub fn split(&self, rt: &Runtime, lo: f64, hi: f64, mid: f64) -> Result<bool, FtError> {
+        let me = rt.host().0 as i64;
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![
+                    MF::actual("inprog"),
+                    MF::actual(me),
+                    MF::actual(lo),
+                    MF::actual(hi),
+                ],
+            )
+            .out(self.ts, vec![Operand::cst("task"), Operand::cst(lo), Operand::cst(mid)])
+            .out(self.ts, vec![Operand::cst("task"), Operand::cst(mid), Operand::cst(hi)])
+            .in_(
+                self.ts,
+                vec![MF::actual("outstanding"), MF::bind(TypeTag::Int)],
+            )
+            .out(
+                self.ts,
+                vec![Operand::cst("outstanding"), Operand::formal(0).add(1)],
+            )
+            .or()
+            .guard_true()
+            .build()?;
+        Ok(rt.execute(&ags)?.branch == 0)
+    }
+
+    /// Atomically fold a finished interval's contribution into the
+    /// accumulator and decrement the outstanding count. Returns `false`
+    /// if a monitor already reassigned the interval.
+    pub fn accumulate(&self, rt: &Runtime, lo: f64, hi: f64, v: f64) -> Result<bool, FtError> {
+        let me = rt.host().0 as i64;
+        let ags = Ags::builder()
+            .guard_in(
+                self.ts,
+                vec![
+                    MF::actual("inprog"),
+                    MF::actual(me),
+                    MF::actual(lo),
+                    MF::actual(hi),
+                ],
+            )
+            .in_(self.ts, vec![MF::actual("acc"), MF::bind(TypeTag::Float)])
+            .out(
+                self.ts,
+                vec![
+                    Operand::cst("acc"),
+                    Operand::formal(0).add(Operand::cst(v)),
+                ],
+            )
+            .in_(
+                self.ts,
+                vec![MF::actual("outstanding"), MF::bind(TypeTag::Int)],
+            )
+            .out(
+                self.ts,
+                vec![Operand::cst("outstanding"), Operand::formal(1).sub(1)],
+            )
+            .or()
+            .guard_true()
+            .build()?;
+        Ok(rt.execute(&ags)?.branch == 0)
+    }
+
+    /// Block until all intervals are resolved, then read the integral.
+    pub fn wait_result(&self, rt: &Runtime) -> Result<f64, FtError> {
+        rt.rd(
+            self.ts,
+            &Pattern::new(vec![
+                PatField::Actual(Value::Str("outstanding".into())),
+                PatField::Actual(Value::Int(0)),
+            ]),
+        )?;
+        let t = rt.rd(
+            self.ts,
+            &Pattern::new(vec![
+                PatField::Actual(Value::Str("acc".into())),
+                PatField::Formal(TypeTag::Float),
+            ]),
+        )?;
+        Ok(t[1].as_float().expect("acc"))
+    }
+
+    /// Spawn a worker integrating `f` with tolerance `tol`. Exits when the
+    /// outstanding count reaches zero.
+    pub fn spawn_worker<F>(&self, rt: Runtime, f: F, tol: f64) -> JoinHandle<usize>
+    where
+        F: Fn(f64) -> f64 + Send + 'static,
+    {
+        let dc = *self;
+        std::thread::spawn(move || {
+            let mut done = 0usize;
+            let take_or_done = Ags::builder()
+                .guard_in(
+                    dc.ts,
+                    vec![
+                        MF::actual("task"),
+                        MF::bind(TypeTag::Float),
+                        MF::bind(TypeTag::Float),
+                    ],
+                )
+                .out(
+                    dc.ts,
+                    vec![
+                        Operand::cst("inprog"),
+                        Operand::SelfHost,
+                        Operand::formal(0),
+                        Operand::formal(1),
+                    ],
+                )
+                .or()
+                .guard_rd(dc.ts, vec![MF::actual("outstanding"), MF::actual(0i64)])
+                .build()
+                .expect("static");
+            loop {
+                // Disjunction: take a task, or observe global completion.
+                let Ok(o) = rt.execute(&take_or_done) else {
+                    return done;
+                };
+                if o.branch == 1 {
+                    return done;
+                }
+                let lo = o.bindings[0].as_float().expect("lo");
+                let hi = o.bindings[1].as_float().expect("hi");
+                let mid = 0.5 * (lo + hi);
+                let whole = simpson(&f, lo, hi);
+                let halves = simpson(&f, lo, mid) + simpson(&f, mid, hi);
+                let ok = if (whole - halves).abs() <= tol * (hi - lo) {
+                    dc.accumulate(&rt, lo, hi, halves)
+                } else {
+                    dc.split(&rt, lo, hi, mid)
+                };
+                match ok {
+                    Ok(true) => done += 1,
+                    Ok(false) => {}
+                    Err(_) => return done,
+                }
+            }
+        })
+    }
+
+    /// Spawn the recovery monitor (same idiom as the bag of tasks).
+    pub fn spawn_monitor(&self, rt: Runtime) -> JoinHandle<u32> {
+        let dc = *self;
+        std::thread::spawn(move || {
+            let mut handled = 0u32;
+            loop {
+                let take_failure = Ags::in_one(
+                    dc.ts,
+                    vec![
+                        MF::actual(ftlinda::FAILURE_TUPLE_HEAD),
+                        MF::bind(TypeTag::Int),
+                    ],
+                )
+                .expect("static");
+                let Ok(out) = rt.execute(&take_failure) else {
+                    return handled;
+                };
+                let h = out.bindings[0].as_int().expect("host");
+                if h == crate::bot::MONITOR_STOP {
+                    return handled;
+                }
+                let reassign = Ags::builder()
+                    .guard_in(
+                        dc.ts,
+                        vec![
+                            MF::actual("inprog"),
+                            MF::actual(h),
+                            MF::bind(TypeTag::Float),
+                            MF::bind(TypeTag::Float),
+                        ],
+                    )
+                    .out(
+                        dc.ts,
+                        vec![
+                            Operand::cst("task"),
+                            Operand::formal(0),
+                            Operand::formal(1),
+                        ],
+                    )
+                    .or()
+                    .guard_true()
+                    .build()
+                    .expect("static");
+                loop {
+                    match rt.execute(&reassign) {
+                        Ok(o) if o.branch == 0 => continue,
+                        Ok(_) => break,
+                        Err(_) => return handled,
+                    }
+                }
+                handled += 1;
+            }
+        })
+    }
+
+    /// Stop one monitor via the sentinel failure tuple.
+    pub fn stop_monitor(&self, rt: &Runtime) -> Result<(), FtError> {
+        rt.execute(&Ags::out_one(
+            self.ts,
+            vec![
+                Operand::cst(ftlinda::FAILURE_TUPLE_HEAD),
+                Operand::cst(crate::bot::MONITOR_STOP),
+            ],
+        ))
+        .map(|_| ())
+    }
+}
+
+/// Simpson's rule on one panel.
+fn simpson(f: &impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    let mid = 0.5 * (lo + hi);
+    (hi - lo) / 6.0 * (f(lo) + 4.0 * f(mid) + f(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda::{Cluster, HostId};
+    use std::time::Duration;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        let (cluster, rts) = Cluster::new(2);
+        let dc = DivideConquer::create(&rts[0], "quad", 0.0, 2.0).unwrap();
+        let workers: Vec<_> = rts
+            .iter()
+            .map(|rt| dc.spawn_worker(rt.clone(), |x| 3.0 * x * x, 1e-9))
+            .collect();
+        let v = dc.wait_result(&rts[0]).unwrap();
+        assert!((v - 8.0).abs() < 1e-6, "∫3x² over [0,2] = 8, got {v}");
+        for w in workers {
+            w.join().unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn integrates_transcendental_with_splitting() {
+        let (cluster, rts) = Cluster::new(3);
+        let dc = DivideConquer::create(&rts[0], "quad", 0.0, std::f64::consts::PI).unwrap();
+        let workers: Vec<_> = rts
+            .iter()
+            .map(|rt| dc.spawn_worker(rt.clone(), f64::sin, 1e-10))
+            .collect();
+        let v = dc.wait_result(&rts[0]).unwrap();
+        assert!((v - 2.0).abs() < 1e-6, "∫sin over [0,π] = 2, got {v}");
+        let splits: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(splits > 1, "adaptive refinement must have split");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn survives_worker_host_crash() {
+        let (cluster, rts) = Cluster::new(3);
+        let dc = DivideConquer::create(&rts[0], "quad", 0.0, 4.0).unwrap();
+        let monitor = dc.spawn_monitor(rts[0].clone());
+        // Slow integrand so host 2 dies mid-interval.
+        let slow = |x: f64| {
+            std::thread::sleep(Duration::from_micros(300));
+            x
+        };
+        let _w2 = dc.spawn_worker(rts[2].clone(), slow, 1e-12);
+        std::thread::sleep(Duration::from_millis(20));
+        cluster.crash(HostId(2));
+        let _w1 = dc.spawn_worker(rts[1].clone(), slow, 1e-12);
+        let v = dc.wait_result(&rts[1]).unwrap();
+        assert!((v - 8.0).abs() < 1e-6, "∫x over [0,4] = 8, got {v}");
+        dc.stop_monitor(&rts[0]).unwrap();
+        monitor.join().unwrap();
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,37 @@
+//! # linda-paradigms
+//!
+//! The fault-tolerant parallel-programming paradigms from the FT-Linda
+//! paper (§2.3, §4), implemented on the `ftlinda` runtime:
+//!
+//! * [`DistVar`] — the distributed shared variable, with both the atomic
+//!   AGS update (Figure 3) and the deliberately lossy plain-Linda
+//!   two-step update (Figure 2) for comparison.
+//! * [`BagOfTasks`] — the fault-tolerant replicated-worker paradigm:
+//!   in-progress tuples, result commit with reassignment tolerance, and
+//!   the failure-tuple monitor that returns a dead host's work to the bag.
+//! * [`DivideConquer`] — adaptive task splitting with an
+//!   `("outstanding", n)` counter maintained inside the same AGSs, giving
+//!   a crash-safe termination barrier (demonstrated as adaptive
+//!   quadrature).
+//! * [`TsBarrier`] / [`TsSemaphore`] — synchronization in tuple space.
+//! * [`Checkpoint`] — atomic versioned checkpoint cells (§2.2's stable-
+//!   storage use case).
+//! * [`consensus`] — one-shot distributed consensus via AGS disjunction,
+//!   the paper's flagship "impossible with single-op atomicity" example.
+
+#![warn(missing_docs)]
+
+mod barrier;
+mod bot;
+mod checkpoint;
+pub mod consensus;
+mod distvar;
+mod dnc;
+mod pool;
+
+pub use barrier::{TsBarrier, TsSemaphore};
+pub use checkpoint::Checkpoint;
+pub use bot::{BagOfTasks, MONITOR_STOP, POISON_ID};
+pub use distvar::DistVar;
+pub use dnc::DivideConquer;
+pub use pool::{AdaptivePool, Departure};

@@ -1,0 +1,235 @@
+//! Piranha-style adaptive worker pools (paper §2.3: "ease of utilizing
+//! idle workstation cycles [18, 14] … easy extension to fault-tolerant
+//! operation").
+//!
+//! In the Piranha model, workstations *advance* into a computation when
+//! idle and *retreat* when their owner returns. On FT-Linda this is a
+//! small layer over the bag-of-tasks: a retreat request is itself a
+//! tuple, checked by the worker between tasks with a strong `rdp`
+//! (definitive answer, no lost retreats), and an involuntary departure —
+//! a crash — is already covered by the failure-tuple monitor. The
+//! combination gives the paper's claim: adaptive parallelism *and* fault
+//! tolerance from the same two mechanisms.
+
+use crate::bot::{BagOfTasks, POISON_ID};
+use ftlinda::{Ags, FtError, MatchField as MF, Operand, Runtime, Value};
+use linda_tuple::{PatField, Pattern, TypeTag};
+use std::thread::JoinHandle;
+
+/// Why an adaptive worker stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Departure {
+    /// Drained by the poison pill (computation finished).
+    Poisoned,
+    /// Asked to retreat (owner reclaimed the workstation).
+    Retreated,
+    /// Runtime shut down underneath it.
+    Shutdown,
+}
+
+/// An adaptive pool over a [`BagOfTasks`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePool {
+    bag: BagOfTasks,
+}
+
+impl AdaptivePool {
+    /// Wrap an existing bag.
+    pub fn new(bag: BagOfTasks) -> AdaptivePool {
+        AdaptivePool { bag }
+    }
+
+    /// The underlying bag.
+    pub fn bag(&self) -> BagOfTasks {
+        self.bag
+    }
+
+    /// Ask the worker on `host` to retreat after its current task.
+    /// Idempotent: a second request while one is pending is a no-op
+    /// (strong `inp` of the previous tuple first would race; instead the
+    /// worker consumes exactly one tuple per retreat).
+    pub fn retreat(&self, rt: &Runtime, host: u32) -> Result<(), FtError> {
+        rt.execute(&Ags::out_one(
+            self.bag.ts(),
+            vec![Operand::cst("retreat"), Operand::cst(host as i64)],
+        ))
+        .map(|_| ())
+    }
+
+    /// Cancel a pending retreat request for `host` (the owner went idle
+    /// again before the worker noticed). Returns `true` if a request was
+    /// revoked, `false` if the worker had already retreated or none was
+    /// pending — a definitive answer, courtesy of strong `inp`.
+    pub fn advance(&self, rt: &Runtime, host: u32) -> Result<bool, FtError> {
+        let p = Pattern::new(vec![
+            PatField::Actual(Value::Str("retreat".into())),
+            PatField::Actual(Value::Int(host as i64)),
+        ]);
+        Ok(rt.inp(self.bag.ts(), &p)?.is_some())
+    }
+
+    /// Spawn an adaptive worker: between tasks it atomically checks for a
+    /// retreat request addressed to its host (consuming it), and leaves
+    /// the computation cleanly when one exists. Returns the departure
+    /// reason and the number of tasks completed.
+    pub fn spawn_adaptive_worker<F>(
+        &self,
+        rt: Runtime,
+        f: F,
+    ) -> JoinHandle<(Departure, usize)>
+    where
+        F: Fn(&Value) -> Value + Send + 'static,
+    {
+        let bag = self.bag;
+        std::thread::spawn(move || {
+            let mut done = 0usize;
+            let me = rt.host().0 as i64;
+            // ⟨ in("retreat", me) ⇒ or in("subtask", ?id, ?p) ⇒
+            //     out("inprog", self, id, p) ⟩
+            // One AGS: either a retreat is pending (preferred branch) or
+            // a subtask is taken with its in-progress marker. Blocks when
+            // neither exists — exactly the idle behaviour Piranha wants.
+            let step = Ags::builder()
+                .guard_in(
+                    bag.ts(),
+                    vec![MF::actual("retreat"), MF::actual(me)],
+                )
+                .or()
+                .guard_in(
+                    bag.ts(),
+                    vec![
+                        MF::actual("subtask"),
+                        MF::bind(TypeTag::Int),
+                        MF::bind(TypeTag::Tuple),
+                    ],
+                )
+                .out(
+                    bag.ts(),
+                    vec![
+                        Operand::cst("inprog"),
+                        Operand::SelfHost,
+                        Operand::formal(0),
+                        Operand::formal(1),
+                    ],
+                )
+                .build()
+                .expect("static");
+            loop {
+                let Ok(out) = rt.execute(&step) else {
+                    return (Departure::Shutdown, done);
+                };
+                if out.branch == 0 {
+                    return (Departure::Retreated, done);
+                }
+                let id = out.bindings[0].as_int().expect("id");
+                let payload = out.bindings[1].as_tuple().expect("wrapped")[0].clone();
+                if id == POISON_ID {
+                    // Pass the pill on and leave.
+                    let _ = bag.pass_on_poison(&rt);
+                    return (Departure::Poisoned, done);
+                }
+                let result = f(&payload);
+                match bag.commit_result(&rt, id, payload, result) {
+                    Ok(true) => done += 1,
+                    Ok(false) => {}
+                    Err(_) => return (Departure::Shutdown, done),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda::Cluster;
+    use std::time::Duration;
+
+    fn double(v: &Value) -> Value {
+        Value::Int(v.as_int().unwrap() * 2)
+    }
+
+    #[test]
+    fn retreat_stops_worker_and_others_finish() {
+        let (cluster, rts) = Cluster::new(3);
+        let bag = BagOfTasks::create(&rts[0], "pool").unwrap();
+        let pool = AdaptivePool::new(bag);
+        let slow = |v: &Value| {
+            std::thread::sleep(Duration::from_millis(10));
+            double(v)
+        };
+        let ids = bag.seed(&rts[0], 0, (0..12).map(Value::Int)).unwrap();
+        let w1 = pool.spawn_adaptive_worker(rts[1].clone(), slow);
+        let w2 = pool.spawn_adaptive_worker(rts[2].clone(), slow);
+        // Let host 2 start, then reclaim it.
+        std::thread::sleep(Duration::from_millis(25));
+        pool.retreat(&rts[0], 2).unwrap();
+        let (why, done2) = w2.join().unwrap();
+        assert_eq!(why, Departure::Retreated);
+        // Everything still completes through host 1.
+        let results = bag.collect(&rts[0], &ids).unwrap();
+        assert_eq!(results.len(), 12);
+        for (id, v) in &results {
+            assert_eq!(v.as_int().unwrap(), id * 2);
+        }
+        bag.poison(&rts[0]).unwrap();
+        let (why1, done1) = w1.join().unwrap();
+        assert_eq!(why1, Departure::Poisoned);
+        assert_eq!(done1 + done2, 12);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn advance_revokes_pending_retreat() {
+        let (cluster, rts) = Cluster::new(2);
+        let bag = BagOfTasks::create(&rts[0], "pool").unwrap();
+        let pool = AdaptivePool::new(bag);
+        pool.retreat(&rts[0], 1).unwrap();
+        // Revoked before any worker consumed it.
+        assert!(pool.advance(&rts[0], 1).unwrap());
+        assert!(!pool.advance(&rts[0], 1).unwrap(), "nothing left to revoke");
+        // Worker spawned now never sees a retreat: it drains the poison.
+        bag.poison(&rts[0]).unwrap();
+        let w = pool.spawn_adaptive_worker(rts[1].clone(), double);
+        let (why, _) = w.join().unwrap();
+        assert_eq!(why, Departure::Poisoned);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn idle_worker_blocks_until_work_or_retreat() {
+        let (cluster, rts) = Cluster::new(2);
+        let bag = BagOfTasks::create(&rts[0], "pool").unwrap();
+        let pool = AdaptivePool::new(bag);
+        let w = pool.spawn_adaptive_worker(rts[1].clone(), double);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!w.is_finished(), "no work, no retreat: worker blocks");
+        pool.retreat(&rts[0], 1).unwrap();
+        let (why, done) = w.join().unwrap();
+        assert_eq!((why, done), (Departure::Retreated, 0));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_during_adaptive_work_recovered_by_monitor() {
+        let (cluster, rts) = Cluster::new(3);
+        let bag = BagOfTasks::create(&rts[0], "pool").unwrap();
+        let pool = AdaptivePool::new(bag);
+        let ids = bag.seed(&rts[0], 0, (0..8).map(Value::Int)).unwrap();
+        let monitor = bag.spawn_monitor(rts[0].clone());
+        let slow = |v: &Value| {
+            std::thread::sleep(Duration::from_millis(15));
+            double(v)
+        };
+        let _w1 = pool.spawn_adaptive_worker(rts[1].clone(), slow);
+        let _w2 = pool.spawn_adaptive_worker(rts[2].clone(), slow);
+        std::thread::sleep(Duration::from_millis(40));
+        cluster.crash(ftlinda::HostId(2));
+        let results = bag.collect(&rts[0], &ids).unwrap();
+        assert_eq!(results.len(), 8);
+        bag.stop_monitor(&rts[0]).unwrap();
+        assert!(monitor.join().unwrap() >= 1);
+        bag.poison(&rts[0]).unwrap();
+        cluster.shutdown();
+    }
+}

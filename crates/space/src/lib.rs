@@ -1,0 +1,27 @@
+//! # linda-space
+//!
+//! Classic Linda as a Rust library: a concurrent, in-process tuple space
+//! with blocking `in`/`rd`, non-blocking `inp`/`rdp`, and `eval` (active
+//! tuples). This is the programming model of the original Linda papers;
+//! in the FT-Linda reproduction it doubles as the *scratch* (volatile,
+//! host-local) tuple space and as the per-replica backing store behind
+//! stable tuple spaces.
+//!
+//! ```
+//! use linda_space::LocalSpace;
+//! use linda_tuple::{tuple, pat};
+//!
+//! let ts = LocalSpace::new();
+//! ts.out(tuple!("count", 0));
+//! let t = ts.in_(&pat!("count", ?int)).unwrap();
+//! ts.out(tuple!("count", t[1].as_int().unwrap() + 1));
+//! assert_eq!(ts.rd(&pat!("count", ?int)).unwrap(), tuple!("count", 1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod space;
+mod store;
+
+pub use space::{EvalField, EvalHandle, LocalSpace, SpaceClosed};
+pub use store::{IndexedStore, LinearStore, Store};

@@ -1,0 +1,499 @@
+//! `LocalSpace`: a concurrent, in-process tuple space.
+//!
+//! This is classic Linda as a library: `out` deposits, `in`/`rd` block
+//! until a match exists, `inp`/`rdp` are the non-blocking predicate forms,
+//! and `eval` creates active tuples (processes whose results turn into
+//! passive tuples). In FT-Linda terms this is a *scratch* (volatile,
+//! host-local) tuple space; it also serves as the per-replica backing
+//! store of stable tuple spaces.
+
+use crate::store::{IndexedStore, Store};
+use linda_tuple::{Pattern, Tuple, Value};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned by blocking operations when the space is closed while
+/// (or before) they wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceClosed;
+
+impl std::fmt::Display for SpaceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("tuple space closed")
+    }
+}
+
+impl std::error::Error for SpaceClosed {}
+
+struct SpaceState {
+    store: IndexedStore,
+    closed: bool,
+}
+
+struct Inner {
+    state: Mutex<SpaceState>,
+    cond: Condvar,
+}
+
+/// A shared, thread-safe local tuple space. Cloning the handle is cheap
+/// and aliases the same space.
+#[derive(Clone)]
+pub struct LocalSpace {
+    inner: Arc<Inner>,
+}
+
+impl Default for LocalSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalSpace {
+    /// Create an empty space.
+    pub fn new() -> Self {
+        LocalSpace {
+            inner: Arc::new(Inner {
+                state: Mutex::new(SpaceState {
+                    store: IndexedStore::new(),
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Deposit a tuple (Linda `out`). Never blocks.
+    pub fn out(&self, t: Tuple) {
+        let mut st = self.inner.state.lock();
+        st.store.insert(t);
+        drop(st);
+        self.inner.cond.notify_all();
+    }
+
+    /// Deposit many tuples under one lock acquisition.
+    pub fn out_all<I: IntoIterator<Item = Tuple>>(&self, tuples: I) {
+        let mut st = self.inner.state.lock();
+        for t in tuples {
+            st.store.insert(t);
+        }
+        drop(st);
+        self.inner.cond.notify_all();
+    }
+
+    /// Blocking withdraw (Linda `in`): waits until a tuple matches `p`,
+    /// removes and returns it. Returns `Err(SpaceClosed)` if the space is
+    /// closed before a match appears.
+    pub fn in_(&self, p: &Pattern) -> Result<Tuple, SpaceClosed> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(t) = st.store.take(p) {
+                return Ok(t);
+            }
+            if st.closed {
+                return Err(SpaceClosed);
+            }
+            self.inner.cond.wait(&mut st);
+        }
+    }
+
+    /// Blocking read (Linda `rd`): like [`LocalSpace::in_`] but leaves the
+    /// tuple in place and returns a copy.
+    pub fn rd(&self, p: &Pattern) -> Result<Tuple, SpaceClosed> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(t) = st.store.read(p) {
+                return Ok(t);
+            }
+            if st.closed {
+                return Err(SpaceClosed);
+            }
+            self.inner.cond.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking withdraw (Linda `inp`). In a purely local space the
+    /// boolean answer is trivially "strong": the store is observed under
+    /// the lock.
+    pub fn inp(&self, p: &Pattern) -> Option<Tuple> {
+        self.inner.state.lock().store.take(p)
+    }
+
+    /// Non-blocking read (Linda `rdp`).
+    pub fn rdp(&self, p: &Pattern) -> Option<Tuple> {
+        self.inner.state.lock().store.read(p)
+    }
+
+    /// Blocking withdraw with a deadline. `None` on timeout,
+    /// `Err(SpaceClosed)` if closed.
+    pub fn in_timeout(&self, p: &Pattern, dur: Duration) -> Result<Option<Tuple>, SpaceClosed> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(t) = st.store.take(p) {
+                return Ok(Some(t));
+            }
+            if st.closed {
+                return Err(SpaceClosed);
+            }
+            if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
+                return Ok(st.store.take(p));
+            }
+        }
+    }
+
+    /// Blocking read with a deadline.
+    pub fn rd_timeout(&self, p: &Pattern, dur: Duration) -> Result<Option<Tuple>, SpaceClosed> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(t) = st.store.read(p) {
+                return Ok(Some(t));
+            }
+            if st.closed {
+                return Err(SpaceClosed);
+            }
+            if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
+                return Ok(st.store.read(p));
+            }
+        }
+    }
+
+    /// Withdraw every tuple matching `p` (at-once, under one lock).
+    pub fn take_all(&self, p: &Pattern) -> Vec<Tuple> {
+        self.inner.state.lock().store.take_all(p)
+    }
+
+    /// Copy every tuple matching `p`.
+    pub fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
+        self.inner.state.lock().store.read_all(p)
+    }
+
+    /// Number of tuples matching `p`.
+    pub fn count(&self, p: &Pattern) -> usize {
+        self.inner.state.lock().store.count(p)
+    }
+
+    /// Total number of tuples in the space.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().store.len()
+    }
+
+    /// Whether the space holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all tuples in insertion order.
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        self.inner.state.lock().store.snapshot()
+    }
+
+    /// Close the space: all current and future blocking calls return
+    /// `Err(SpaceClosed)` once no match is available. Deposited tuples
+    /// remain readable via the non-blocking operations.
+    pub fn close(&self) {
+        self.inner.state.lock().closed = true;
+        self.inner.cond.notify_all();
+    }
+
+    /// Whether [`LocalSpace::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// Linda `eval` with a single computation: spawn a process that runs
+    /// `f` and deposits its resulting tuple into this space when done.
+    /// Returns a handle that can be joined.
+    pub fn eval<F>(&self, f: F) -> EvalHandle
+    where
+        F: FnOnce() -> Tuple + Send + 'static,
+    {
+        let space = self.clone();
+        EvalHandle {
+            join: std::thread::spawn(move || {
+                let t = f();
+                space.out(t);
+            }),
+        }
+    }
+
+    /// Full Linda `eval` semantics: an *active tuple*. Each field is either
+    /// an immediate value or a function; all functions run concurrently and
+    /// when the last one finishes, the now-passive tuple is deposited.
+    ///
+    /// `eval("primes", 7, || is_prime(7))` from the Linda literature maps to
+    /// two [`EvalField::Now`] fields and one [`EvalField::Later`].
+    pub fn eval_active(&self, fields: Vec<EvalField>) -> EvalHandle {
+        let space = self.clone();
+        EvalHandle {
+            join: std::thread::spawn(move || {
+                let mut workers = Vec::new();
+                let mut slots: Vec<Option<Value>> = Vec::with_capacity(fields.len());
+                for (i, f) in fields.into_iter().enumerate() {
+                    match f {
+                        EvalField::Now(v) => slots.push(Some(v)),
+                        EvalField::Later(func) => {
+                            slots.push(None);
+                            workers.push((i, std::thread::spawn(func)));
+                        }
+                    }
+                }
+                for (i, w) in workers {
+                    // A panicking field poisons the whole active tuple:
+                    // propagate so the EvalHandle join reports it.
+                    let v = w.join().expect("active tuple field panicked");
+                    slots[i] = Some(v);
+                }
+                space.out(Tuple::new(
+                    slots.into_iter().map(|s| s.expect("slot filled")).collect(),
+                ));
+            }),
+        }
+    }
+}
+
+/// One field of an active tuple for [`LocalSpace::eval_active`].
+pub enum EvalField {
+    /// An already-evaluated value.
+    Now(Value),
+    /// A computation producing the field's value on its own thread.
+    Later(Box<dyn FnOnce() -> Value + Send + 'static>),
+}
+
+impl EvalField {
+    /// Convenience constructor for a computed field.
+    pub fn later<F: FnOnce() -> Value + Send + 'static>(f: F) -> Self {
+        EvalField::Later(Box::new(f))
+    }
+}
+
+impl<V: Into<Value>> From<V> for EvalField {
+    fn from(v: V) -> Self {
+        EvalField::Now(v.into())
+    }
+}
+
+/// Handle to a process created with `eval`.
+pub struct EvalHandle {
+    join: std::thread::JoinHandle<()>,
+}
+
+impl EvalHandle {
+    /// Wait for the process to finish. Returns `Err` if it panicked.
+    pub fn join(self) -> std::thread::Result<()> {
+        self.join.join()
+    }
+
+    /// Whether the process has finished.
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linda_tuple::{pat, tuple};
+    use std::time::Duration;
+
+    #[test]
+    fn out_then_in() {
+        let ls = LocalSpace::new();
+        ls.out(tuple!("x", 1));
+        assert_eq!(ls.in_(&pat!("x", ?int)).unwrap(), tuple!("x", 1));
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn rd_leaves_tuple() {
+        let ls = LocalSpace::new();
+        ls.out(tuple!("x", 1));
+        assert_eq!(ls.rd(&pat!("x", ?int)).unwrap(), tuple!("x", 1));
+        assert_eq!(ls.len(), 1);
+    }
+
+    #[test]
+    fn inp_rdp_nonblocking() {
+        let ls = LocalSpace::new();
+        assert_eq!(ls.inp(&pat!("x")), None);
+        assert_eq!(ls.rdp(&pat!("x")), None);
+        ls.out(tuple!("x"));
+        assert_eq!(ls.rdp(&pat!("x")), Some(tuple!("x")));
+        assert_eq!(ls.inp(&pat!("x")), Some(tuple!("x")));
+        assert_eq!(ls.inp(&pat!("x")), None);
+    }
+
+    #[test]
+    fn in_blocks_until_out() {
+        let ls = LocalSpace::new();
+        let ls2 = ls.clone();
+        let waiter = std::thread::spawn(move || ls2.in_(&pat!("sig", ?int)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        ls.out(tuple!("sig", 9));
+        assert_eq!(waiter.join().unwrap(), tuple!("sig", 9));
+    }
+
+    #[test]
+    fn rd_blocks_until_out() {
+        let ls = LocalSpace::new();
+        let ls2 = ls.clone();
+        let waiter = std::thread::spawn(move || ls2.rd(&pat!("sig")).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        ls.out(tuple!("sig"));
+        assert_eq!(waiter.join().unwrap(), tuple!("sig"));
+        assert_eq!(ls.len(), 1);
+    }
+
+    #[test]
+    fn competing_ins_get_distinct_tuples() {
+        let ls = LocalSpace::new();
+        let n = 8;
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let ls = ls.clone();
+                std::thread::spawn(move || ls.in_(&pat!("job", ?int)).unwrap())
+            })
+            .collect();
+        for i in 0..n {
+            ls.out(tuple!("job", i as i64));
+        }
+        let mut got: Vec<i64> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap()[1].as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n as i64).collect::<Vec<_>>());
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn in_timeout_expires() {
+        let ls = LocalSpace::new();
+        let r = ls.in_timeout(&pat!("never"), Duration::from_millis(30)).unwrap();
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn in_timeout_succeeds() {
+        let ls = LocalSpace::new();
+        ls.out(tuple!("t"));
+        let r = ls.in_timeout(&pat!("t"), Duration::from_millis(30)).unwrap();
+        assert_eq!(r, Some(tuple!("t")));
+    }
+
+    #[test]
+    fn rd_timeout_both_paths() {
+        let ls = LocalSpace::new();
+        assert_eq!(
+            ls.rd_timeout(&pat!("t"), Duration::from_millis(10)).unwrap(),
+            None
+        );
+        ls.out(tuple!("t"));
+        assert_eq!(
+            ls.rd_timeout(&pat!("t"), Duration::from_millis(10)).unwrap(),
+            Some(tuple!("t"))
+        );
+        assert_eq!(ls.len(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_in() {
+        let ls = LocalSpace::new();
+        let ls2 = ls.clone();
+        let waiter = std::thread::spawn(move || ls2.in_(&pat!("none")));
+        std::thread::sleep(Duration::from_millis(10));
+        ls.close();
+        assert_eq!(waiter.join().unwrap(), Err(SpaceClosed));
+        assert!(ls.is_closed());
+    }
+
+    #[test]
+    fn closed_space_still_serves_existing_matches() {
+        let ls = LocalSpace::new();
+        ls.out(tuple!("x"));
+        ls.close();
+        // A blocking call with an available match succeeds even when closed.
+        assert_eq!(ls.in_(&pat!("x")).unwrap(), tuple!("x"));
+        assert_eq!(ls.in_(&pat!("x")), Err(SpaceClosed));
+    }
+
+    #[test]
+    fn out_all_and_take_all() {
+        let ls = LocalSpace::new();
+        ls.out_all((0..10).map(|i| tuple!("n", i)));
+        assert_eq!(ls.count(&pat!("n", ?int)), 10);
+        let taken = ls.take_all(&pat!("n", ?int));
+        assert_eq!(taken.len(), 10);
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn read_all_copies() {
+        let ls = LocalSpace::new();
+        ls.out_all([tuple!("a", 1), tuple!("a", 2)]);
+        assert_eq!(ls.read_all(&pat!("a", ?int)).len(), 2);
+        assert_eq!(ls.len(), 2);
+    }
+
+    #[test]
+    fn eval_deposits_result() {
+        let ls = LocalSpace::new();
+        let h = ls.eval(|| tuple!("result", 21 * 2));
+        h.join().unwrap();
+        assert_eq!(ls.inp(&pat!("result", ?int)), Some(tuple!("result", 42)));
+    }
+
+    #[test]
+    fn eval_active_tuple_becomes_passive() {
+        let ls = LocalSpace::new();
+        let h = ls.eval_active(vec![
+            EvalField::from("primes"),
+            EvalField::from(7),
+            EvalField::later(|| Value::Bool(7 % 2 == 1)),
+        ]);
+        // The tuple must not be visible until every field completes.
+        h.join().unwrap();
+        assert_eq!(
+            ls.inp(&pat!("primes", ?int, ?bool)),
+            Some(tuple!("primes", 7, true))
+        );
+    }
+
+    #[test]
+    fn eval_active_runs_fields_concurrently() {
+        use std::sync::mpsc;
+        let ls = LocalSpace::new();
+        let (txa, rxa) = mpsc::channel::<()>();
+        let (txb, rxb) = mpsc::channel::<()>();
+        // Two fields that each wait for the other to start: only possible
+        // if they really run on separate threads.
+        let h = ls.eval_active(vec![
+            EvalField::later(move || {
+                txa.send(()).unwrap();
+                rxb.recv().unwrap();
+                Value::Int(1)
+            }),
+            EvalField::later(move || {
+                txb.send(()).unwrap();
+                rxa.recv().unwrap();
+                Value::Int(2)
+            }),
+        ]);
+        h.join().unwrap();
+        assert_eq!(ls.inp(&pat!(?int, ?int)), Some(tuple!(1, 2)));
+    }
+
+    #[test]
+    fn eval_handle_is_finished() {
+        let ls = LocalSpace::new();
+        let h = ls.eval(|| tuple!("done"));
+        h.join().unwrap();
+        assert_eq!(ls.rd(&pat!("done")).unwrap(), tuple!("done"));
+    }
+
+    #[test]
+    fn space_closed_error_displays() {
+        assert_eq!(SpaceClosed.to_string(), "tuple space closed");
+    }
+}

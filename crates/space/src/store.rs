@@ -1,0 +1,596 @@
+//! Tuple stores: the data structure behind a tuple space.
+//!
+//! Two implementations of the [`Store`] trait are provided:
+//!
+//! * [`IndexedStore`] — the production store. Tuples are bucketed by the
+//!   stable hash of their signature (arity + ordered field types), and
+//!   within a bucket a secondary index keyed by the *first field value*
+//!   accelerates the overwhelmingly common Linda idiom of patterns whose
+//!   head is a string constant (`("subtask", ?int, ?bytes)`).
+//! * [`LinearStore`] — a straight `Vec` scan, kept as the baseline for
+//!   ablation experiment A2.
+//!
+//! Both stores implement **oldest-match semantics**: `take`/`read` return
+//! the matching tuple that was inserted earliest. This determinism is not
+//! just a nicety — the replicated state machine (crate `ftlinda-kernel`)
+//! requires every replica to withdraw the *same* tuple for the same
+//! operation stream, and oldest-match also preserves causality for
+//! FIFO-producer/consumer patterns.
+
+use linda_tuple::{Pattern, StableMap, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Minimal interface of a tuple store (single-threaded; the concurrent
+/// wrapper lives in [`crate::LocalSpace`]).
+pub trait Store {
+    /// Deposit a tuple.
+    fn insert(&mut self, t: Tuple);
+    /// Withdraw the oldest tuple matching `p`, if any.
+    fn take(&mut self, p: &Pattern) -> Option<Tuple>;
+    /// Read (copy) the oldest tuple matching `p`, if any.
+    fn read(&self, p: &Pattern) -> Option<Tuple>;
+    /// Whether any tuple matches `p`.
+    fn contains(&self, p: &Pattern) -> bool {
+        self.read(p).is_some()
+    }
+    /// Number of tuples matching `p`.
+    fn count(&self, p: &Pattern) -> usize;
+    /// Withdraw *all* tuples matching `p`, oldest first (the `move` AGS op).
+    fn take_all(&mut self, p: &Pattern) -> Vec<Tuple>;
+    /// Copy all tuples matching `p`, oldest first (the `copy` AGS op).
+    fn read_all(&self, p: &Pattern) -> Vec<Tuple>;
+    /// Total number of stored tuples.
+    fn len(&self) -> usize;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Remove everything.
+    fn clear(&mut self);
+    /// Snapshot of all tuples in insertion order (for checkpointing and
+    /// state transfer to recovering replicas).
+    fn snapshot(&self) -> Vec<Tuple>;
+}
+
+/// One signature bucket of the [`IndexedStore`].
+#[derive(Debug, Default, Clone)]
+struct Bucket {
+    /// Insertion-ordered entries (key = global insertion sequence).
+    entries: BTreeMap<u64, Tuple>,
+    /// Secondary index: first-field value → insertion seqs with that head.
+    by_head: HashMap<Value, BTreeSet<u64>>,
+}
+
+impl Bucket {
+    fn insert(&mut self, seq: u64, t: Tuple) {
+        if let Some(head) = t.get(0) {
+            self.by_head.entry(head.clone()).or_default().insert(seq);
+        }
+        self.entries.insert(seq, t);
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<Tuple> {
+        let t = self.entries.remove(&seq)?;
+        if let Some(head) = t.get(0) {
+            if let Some(set) = self.by_head.get_mut(head) {
+                set.remove(&seq);
+                if set.is_empty() {
+                    self.by_head.remove(head);
+                }
+            }
+        }
+        Some(t)
+    }
+
+    /// Sequence numbers of candidate tuples for `p`, oldest first.
+    fn candidates<'a>(&'a self, p: &Pattern) -> Box<dyn Iterator<Item = u64> + 'a> {
+        match p.head_actual() {
+            Some(head) => match self.by_head.get(head) {
+                Some(set) => Box::new(set.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            None => Box::new(self.entries.keys().copied()),
+        }
+    }
+
+    fn find_first(&self, p: &Pattern) -> Option<u64> {
+        self.candidates(p)
+            .find(|seq| p.matches(&self.entries[seq]))
+    }
+
+    fn find_all(&self, p: &Pattern) -> Vec<u64> {
+        self.candidates(p)
+            .filter(|seq| p.matches(&self.entries[seq]))
+            .collect()
+    }
+}
+
+/// Signature-indexed tuple store with a first-field secondary index.
+#[derive(Debug, Default, Clone)]
+pub struct IndexedStore {
+    buckets: StableMap<u64, Bucket>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl IndexedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_for_pattern(&self, p: &Pattern) -> Option<&Bucket> {
+        self.buckets.get(&p.signature().stable_hash())
+    }
+
+    // ----- tracked operations -------------------------------------------
+    //
+    // The AGS execution engine needs *exact* rollback: an aborted atomic
+    // guarded statement must leave the store bit-identical (including
+    // tuple age/insertion order) at every replica. These inherent methods
+    // expose the internal sequence number so an undo log can restore a
+    // withdrawn tuple at its original position.
+
+    /// Insert and return the internal insertion sequence (for undo).
+    pub fn insert_tracked(&mut self, t: Tuple) -> u64 {
+        let key = t.signature().stable_hash();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buckets.entry(key).or_default().insert(seq, t);
+        self.len += 1;
+        seq
+    }
+
+    /// Withdraw the oldest match together with its sequence number.
+    pub fn take_tracked(&mut self, p: &Pattern) -> Option<(u64, Tuple)> {
+        let key = p.signature().stable_hash();
+        let bucket = self.buckets.get_mut(&key)?;
+        let seq = bucket.find_first(p)?;
+        let t = bucket.remove(seq)?;
+        self.len -= 1;
+        if bucket.entries.is_empty() {
+            self.buckets.remove(&key);
+        }
+        Some((seq, t))
+    }
+
+    /// Withdraw all matches together with their sequence numbers.
+    pub fn take_all_tracked(&mut self, p: &Pattern) -> Vec<(u64, Tuple)> {
+        let key = p.signature().stable_hash();
+        let Some(bucket) = self.buckets.get_mut(&key) else {
+            return Vec::new();
+        };
+        let seqs = bucket.find_all(p);
+        let out: Vec<(u64, Tuple)> = seqs
+            .into_iter()
+            .filter_map(|seq| bucket.remove(seq).map(|t| (seq, t)))
+            .collect();
+        self.len -= out.len();
+        if bucket.entries.is_empty() {
+            self.buckets.remove(&key);
+        }
+        out
+    }
+
+    /// Remove the tuple inserted under `seq` (undo of `insert_tracked`).
+    pub fn remove_at(&mut self, seq: u64, sig_hash: u64) -> Option<Tuple> {
+        let bucket = self.buckets.get_mut(&sig_hash)?;
+        let t = bucket.remove(seq)?;
+        self.len -= 1;
+        if bucket.entries.is_empty() {
+            self.buckets.remove(&sig_hash);
+        }
+        Some(t)
+    }
+
+    /// Re-insert a tuple at its original sequence position (undo of
+    /// `take_tracked`), restoring its age exactly.
+    pub fn restore_at(&mut self, seq: u64, t: Tuple) {
+        let key = t.signature().stable_hash();
+        self.buckets.entry(key).or_default().insert(seq, t);
+        self.len += 1;
+    }
+}
+
+impl Store for IndexedStore {
+    fn insert(&mut self, t: Tuple) {
+        let key = t.signature().stable_hash();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buckets.entry(key).or_default().insert(seq, t);
+        self.len += 1;
+    }
+
+    fn take(&mut self, p: &Pattern) -> Option<Tuple> {
+        let key = p.signature().stable_hash();
+        let bucket = self.buckets.get_mut(&key)?;
+        let seq = bucket.find_first(p)?;
+        let t = bucket.remove(seq);
+        if t.is_some() {
+            self.len -= 1;
+        }
+        if bucket.entries.is_empty() {
+            self.buckets.remove(&key);
+        }
+        t
+    }
+
+    fn read(&self, p: &Pattern) -> Option<Tuple> {
+        let bucket = self.bucket_for_pattern(p)?;
+        bucket.find_first(p).map(|seq| bucket.entries[&seq].clone())
+    }
+
+    fn count(&self, p: &Pattern) -> usize {
+        self.bucket_for_pattern(p)
+            .map_or(0, |b| b.find_all(p).len())
+    }
+
+    fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
+        let key = p.signature().stable_hash();
+        let Some(bucket) = self.buckets.get_mut(&key) else {
+            return Vec::new();
+        };
+        let seqs = bucket.find_all(p);
+        let out: Vec<Tuple> = seqs
+            .into_iter()
+            .filter_map(|seq| bucket.remove(seq))
+            .collect();
+        self.len -= out.len();
+        if bucket.entries.is_empty() {
+            self.buckets.remove(&key);
+        }
+        out
+    }
+
+    fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
+        self.bucket_for_pattern(p).map_or_else(Vec::new, |b| {
+            b.find_all(p)
+                .into_iter()
+                .map(|seq| b.entries[&seq].clone())
+                .collect()
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.buckets.clear();
+        self.len = 0;
+    }
+
+    fn snapshot(&self) -> Vec<Tuple> {
+        let mut all: Vec<(u64, Tuple)> = self
+            .buckets
+            .values()
+            .flat_map(|b| b.entries.iter().map(|(s, t)| (*s, t.clone())))
+            .collect();
+        all.sort_by_key(|(s, _)| *s);
+        all.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+/// Baseline store: a flat insertion-ordered vector with linear scans.
+/// Exists to quantify what signature indexing buys (ablation A2).
+#[derive(Debug, Default, Clone)]
+pub struct LinearStore {
+    entries: Vec<(u64, Tuple)>,
+    next_seq: u64,
+}
+
+impl LinearStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Store for LinearStore {
+    fn insert(&mut self, t: Tuple) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((seq, t));
+    }
+
+    fn take(&mut self, p: &Pattern) -> Option<Tuple> {
+        let idx = self.entries.iter().position(|(_, t)| p.matches(t))?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    fn read(&self, p: &Pattern) -> Option<Tuple> {
+        self.entries
+            .iter()
+            .find(|(_, t)| p.matches(t))
+            .map(|(_, t)| t.clone())
+    }
+
+    fn count(&self, p: &Pattern) -> usize {
+        self.entries.iter().filter(|(_, t)| p.matches(t)).count()
+    }
+
+    fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.entries.retain(|(_, t)| {
+            if p.matches(t) {
+                out.push(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
+        self.entries
+            .iter()
+            .filter(|(_, t)| p.matches(t))
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn snapshot(&self) -> Vec<Tuple> {
+        self.entries.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linda_tuple::{pat, tuple};
+
+    fn stores() -> Vec<Box<dyn Store>> {
+        vec![Box::new(IndexedStore::new()), Box::new(LinearStore::new())]
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        for mut s in stores() {
+            s.insert(tuple!("a", 1));
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.take(&pat!("a", ?int)), Some(tuple!("a", 1)));
+            assert_eq!(s.len(), 0);
+            assert!(s.is_empty());
+            assert_eq!(s.take(&pat!("a", ?int)), None);
+        }
+    }
+
+    #[test]
+    fn oldest_match_fifo() {
+        for mut s in stores() {
+            s.insert(tuple!("t", 1));
+            s.insert(tuple!("t", 2));
+            s.insert(tuple!("t", 3));
+            assert_eq!(s.take(&pat!("t", ?int)), Some(tuple!("t", 1)));
+            assert_eq!(s.take(&pat!("t", ?int)), Some(tuple!("t", 2)));
+            assert_eq!(s.take(&pat!("t", ?int)), Some(tuple!("t", 3)));
+        }
+    }
+
+    #[test]
+    fn oldest_match_skips_nonmatching_newer_head() {
+        for mut s in stores() {
+            s.insert(tuple!("x", 1));
+            s.insert(tuple!("y", 2));
+            s.insert(tuple!("x", 3));
+            // Head-indexed path: pattern with head actual "y".
+            assert_eq!(s.take(&pat!("y", ?int)), Some(tuple!("y", 2)));
+            // Generic path: all-formal pattern sees oldest overall.
+            assert_eq!(s.take(&pat!(?str, ?int)), Some(tuple!("x", 1)));
+            assert_eq!(s.take(&pat!(?str, ?int)), Some(tuple!("x", 3)));
+        }
+    }
+
+    #[test]
+    fn read_does_not_remove() {
+        for mut s in stores() {
+            s.insert(tuple!("a", 1));
+            assert_eq!(s.read(&pat!("a", ?int)), Some(tuple!("a", 1)));
+            assert_eq!(s.len(), 1);
+            assert!(s.contains(&pat!("a", ?int)));
+            assert!(!s.contains(&pat!("b", ?int)));
+        }
+    }
+
+    #[test]
+    fn count_and_read_all() {
+        for mut s in stores() {
+            for i in 0..5 {
+                s.insert(tuple!("n", i));
+            }
+            s.insert(tuple!("other", 1.0));
+            assert_eq!(s.count(&pat!("n", ?int)), 5);
+            assert_eq!(s.count(&pat!("n", 3)), 1);
+            assert_eq!(s.count(&pat!("zzz", ?int)), 0);
+            let all = s.read_all(&pat!("n", ?int));
+            assert_eq!(all.len(), 5);
+            assert_eq!(all[0], tuple!("n", 0));
+            assert_eq!(all[4], tuple!("n", 4));
+            assert_eq!(s.len(), 6);
+        }
+    }
+
+    #[test]
+    fn take_all_removes_only_matches() {
+        for mut s in stores() {
+            for i in 0..4 {
+                s.insert(tuple!("job", i));
+            }
+            s.insert(tuple!("done", 0));
+            let taken = s.take_all(&pat!("job", ?int));
+            assert_eq!(taken.len(), 4);
+            assert_eq!(taken[0], tuple!("job", 0));
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.take(&pat!("done", ?int)), Some(tuple!("done", 0)));
+        }
+    }
+
+    #[test]
+    fn signatures_do_not_cross_match() {
+        for mut s in stores() {
+            s.insert(tuple!("a", 1));
+            s.insert(tuple!("a", 1.0));
+            s.insert(tuple!("a", 1, 2));
+            assert_eq!(s.take(&pat!("a", ?float)), Some(tuple!("a", 1.0)));
+            assert_eq!(s.take(&pat!("a", ?int, ?int)), Some(tuple!("a", 1, 2)));
+            assert_eq!(s.take(&pat!("a", ?int)), Some(tuple!("a", 1)));
+        }
+    }
+
+    #[test]
+    fn duplicate_tuples_are_a_multiset() {
+        for mut s in stores() {
+            s.insert(tuple!("dup"));
+            s.insert(tuple!("dup"));
+            assert_eq!(s.count(&pat!("dup")), 2);
+            assert_eq!(s.take(&pat!("dup")), Some(tuple!("dup")));
+            assert_eq!(s.count(&pat!("dup")), 1);
+        }
+    }
+
+    #[test]
+    fn empty_tuple_storage() {
+        for mut s in stores() {
+            s.insert(tuple!());
+            assert_eq!(s.take(&pat!()), Some(tuple!()));
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_insertion_order() {
+        for mut s in stores() {
+            s.insert(tuple!("b", 2));
+            s.insert(tuple!("a", 1));
+            s.insert(tuple!("c", 3.0));
+            assert_eq!(
+                s.snapshot(),
+                vec![tuple!("b", 2), tuple!("a", 1), tuple!("c", 3.0)]
+            );
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        for mut s in stores() {
+            s.insert(tuple!(1));
+            s.insert(tuple!(2));
+            s.clear();
+            assert_eq!(s.len(), 0);
+            assert_eq!(s.take(&pat!(?int)), None);
+        }
+    }
+
+    #[test]
+    fn head_index_cleanup_after_removal() {
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("k", 1));
+        assert_eq!(s.take(&pat!("k", ?int)), Some(tuple!("k", 1)));
+        // Bucket is gone; reinsert works and matches again.
+        s.insert(tuple!("k", 2));
+        assert_eq!(s.read(&pat!("k", ?int)), Some(tuple!("k", 2)));
+    }
+
+    #[test]
+    fn mid_pattern_actuals_filter() {
+        for mut s in stores() {
+            s.insert(tuple!("p", 1, "x"));
+            s.insert(tuple!("p", 2, "y"));
+            assert_eq!(s.take(&pat!("p", ?int, "y")), Some(tuple!("p", 2, "y")));
+        }
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_random_workload() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut idx = IndexedStore::new();
+        let mut lin = LinearStore::new();
+        let heads = ["a", "b", "c"];
+        for _ in 0..2000 {
+            let op: u8 = rng.gen_range(0..4);
+            let head = heads[rng.gen_range(0..heads.len())];
+            let v: i64 = rng.gen_range(0..5);
+            match op {
+                0 => {
+                    let t = tuple!(head, v);
+                    idx.insert(t.clone());
+                    lin.insert(t);
+                }
+                1 => {
+                    let p = pat!(head, ?int);
+                    assert_eq!(idx.take(&p), lin.take(&p));
+                }
+                2 => {
+                    let p = pat!(head, v);
+                    assert_eq!(idx.read(&p), lin.read(&p));
+                }
+                _ => {
+                    let p = pat!(?str, v);
+                    assert_eq!(idx.count(&p), lin.count(&p));
+                }
+            }
+            assert_eq!(idx.len(), lin.len());
+        }
+        assert_eq!(idx.snapshot(), lin.snapshot());
+    }
+}
+
+#[cfg(test)]
+mod tracked_tests {
+    use super::*;
+    use linda_tuple::{pat, tuple};
+
+    #[test]
+    fn tracked_roundtrip_preserves_age() {
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("t", 1));
+        s.insert(tuple!("t", 2));
+        s.insert(tuple!("t", 3));
+        // Withdraw the middle one by value, then restore it.
+        let (seq, t) = s.take_tracked(&pat!("t", 2)).unwrap();
+        assert_eq!(t, tuple!("t", 2));
+        s.restore_at(seq, t);
+        // Age order must be exactly as before the withdrawal.
+        assert_eq!(s.take(&pat!("t", ?int)), Some(tuple!("t", 1)));
+        assert_eq!(s.take(&pat!("t", ?int)), Some(tuple!("t", 2)));
+        assert_eq!(s.take(&pat!("t", ?int)), Some(tuple!("t", 3)));
+    }
+
+    #[test]
+    fn remove_at_undoes_insert() {
+        let mut s = IndexedStore::new();
+        let t = tuple!("x", 9);
+        let sig = t.signature().stable_hash();
+        let seq = s.insert_tracked(t);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove_at(seq, sig), Some(tuple!("x", 9)));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.remove_at(seq, sig), None);
+    }
+
+    #[test]
+    fn take_all_tracked_restores() {
+        let mut s = IndexedStore::new();
+        for i in 0..4 {
+            s.insert(tuple!("job", i));
+        }
+        s.insert(tuple!("other"));
+        let taken = s.take_all_tracked(&pat!("job", ?int));
+        assert_eq!(taken.len(), 4);
+        assert_eq!(s.len(), 1);
+        for (seq, t) in taken {
+            s.restore_at(seq, t);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.take(&pat!("job", ?int)), Some(tuple!("job", 0)));
+    }
+}

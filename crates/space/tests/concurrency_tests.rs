@@ -1,0 +1,201 @@
+//! Concurrency stress tests for the classic Linda kernel: exactly-once
+//! withdrawal under contention, producer/consumer pipelines, eval
+//! process trees, and the master/worker idiom from the 1985 Linda
+//! papers running purely locally.
+
+use linda_space::{EvalField, LocalSpace};
+use linda_tuple::{pat, tuple, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn exactly_once_under_heavy_contention() {
+    let ls = LocalSpace::new();
+    let n_tuples = 2000i64;
+    let n_consumers = 8;
+    let consumers: Vec<_> = (0..n_consumers)
+        .map(|_| {
+            let ls = ls.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(t) = ls.in_(&pat!("item", ?int)) {
+                    let v = t[1].as_int().unwrap();
+                    if v < 0 {
+                        // poison: pass it on and stop
+                        ls.out(tuple!("item", -1));
+                        break;
+                    }
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    for i in 0..n_tuples {
+        ls.out(tuple!("item", i));
+    }
+    ls.out(tuple!("item", -1));
+    let mut all: Vec<i64> = consumers
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..n_tuples).collect::<Vec<_>>());
+}
+
+#[test]
+fn pipeline_stages_preserve_every_item() {
+    // stage1: ("raw", n) → ("cooked", n*2); stage2: ("cooked", m) → sum.
+    let ls = LocalSpace::new();
+    let n = 500i64;
+    let ls1 = ls.clone();
+    let stage1 = std::thread::spawn(move || {
+        for _ in 0..n {
+            let t = ls1.in_(&pat!("raw", ?int)).unwrap();
+            ls1.out(tuple!("cooked", t[1].as_int().unwrap() * 2));
+        }
+    });
+    let ls2 = ls.clone();
+    let stage2 = std::thread::spawn(move || {
+        let mut sum = 0i64;
+        for _ in 0..n {
+            let t = ls2.in_(&pat!("cooked", ?int)).unwrap();
+            sum += t[1].as_int().unwrap();
+        }
+        sum
+    });
+    for i in 0..n {
+        ls.out(tuple!("raw", i));
+    }
+    stage1.join().unwrap();
+    assert_eq!(stage2.join().unwrap(), (0..n).map(|i| i * 2).sum::<i64>());
+    assert!(ls.is_empty());
+}
+
+#[test]
+fn eval_tree_fans_out_and_collects() {
+    // A recursive eval tree: each node spawns two children until depth 0,
+    // each leaf deposits one tuple.
+    let ls = LocalSpace::new();
+    fn node(ls: &LocalSpace, depth: i64, id: i64) {
+        if depth == 0 {
+            ls.out(tuple!("leaf", id));
+            return;
+        }
+        let l1 = ls.clone();
+        let l2 = ls.clone();
+        let h1 = ls.eval(move || {
+            node(&l1, depth - 1, id * 2);
+            tuple!("join")
+        });
+        let h2 = ls.eval(move || {
+            node(&l2, depth - 1, id * 2 + 1);
+            tuple!("join")
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+    node(&ls, 4, 1);
+    assert_eq!(ls.count(&pat!("leaf", ?int)), 16);
+    let ids: HashSet<i64> = ls
+        .take_all(&pat!("leaf", ?int))
+        .into_iter()
+        .map(|t| t[1].as_int().unwrap())
+        .collect();
+    assert_eq!(ids, (16..32).collect::<HashSet<i64>>());
+}
+
+#[test]
+fn classic_master_worker_with_active_tuples() {
+    // The 1985 paper's signature pattern: eval() active tuples computing
+    // results that turn passive when done.
+    let ls = LocalSpace::new();
+    let handles: Vec<_> = (2..12i64)
+        .map(|n| {
+            ls.eval_active(vec![
+                EvalField::from("fact"),
+                EvalField::from(n),
+                EvalField::later(move || Value::Int((1..=n).product())),
+            ])
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Results are addressable by content.
+    let t = ls.rd(&pat!("fact", 5, ?int)).unwrap();
+    assert_eq!(t[2].as_int().unwrap(), 120);
+    let t = ls.rd(&pat!("fact", 10, ?int)).unwrap();
+    assert_eq!(t[2].as_int().unwrap(), 3628800);
+    assert_eq!(ls.count(&pat!("fact", ?int, ?int)), 10);
+}
+
+#[test]
+fn rd_waiters_all_wake_on_one_out() {
+    let ls = LocalSpace::new();
+    let readers: Vec<_> = (0..6)
+        .map(|_| {
+            let ls = ls.clone();
+            std::thread::spawn(move || ls.rd(&pat!("bcast", ?int)).unwrap())
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    ls.out(tuple!("bcast", 7));
+    for r in readers {
+        assert_eq!(r.join().unwrap(), tuple!("bcast", 7));
+    }
+    assert_eq!(ls.len(), 1, "rd leaves the tuple");
+}
+
+#[test]
+fn mixed_readers_and_takers() {
+    let ls = Arc::new(LocalSpace::new());
+    // One slot tuple cycles between takers; readers observe it whenever
+    // present; everything terminates cleanly.
+    ls.out(tuple!("slot", 0));
+    let takers: Vec<_> = (0..4)
+        .map(|_| {
+            let ls = ls.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let t = ls.in_(&pat!("slot", ?int)).unwrap();
+                    ls.out(tuple!("slot", t[1].as_int().unwrap() + 1));
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let ls = ls.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let t = ls.rd(&pat!("slot", ?int)).unwrap();
+                    assert!(t[1].as_int().unwrap() >= 0);
+                }
+            })
+        })
+        .collect();
+    for t in takers {
+        t.join().unwrap();
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(
+        ls.rd(&pat!("slot", ?int)).unwrap(),
+        tuple!("slot", 200),
+        "4 takers × 50 increments, none lost"
+    );
+}
+
+#[test]
+fn timeout_waiters_do_not_steal() {
+    let ls = LocalSpace::new();
+    // A timed-out in must not consume a tuple that arrives later for a
+    // different waiter.
+    let r = ls.in_timeout(&pat!("x"), Duration::from_millis(20)).unwrap();
+    assert_eq!(r, None);
+    ls.out(tuple!("x"));
+    assert_eq!(ls.in_(&pat!("x")).unwrap(), tuple!("x"));
+}

@@ -1,0 +1,431 @@
+//! Wire codec for tuples, values, and patterns.
+//!
+//! The paper's efficiency claim is that one multicast *message* per AGS
+//! suffices; message size accounting is therefore part of the reproduction
+//! (experiment E9). We hand-roll a compact binary format on top of `bytes`:
+//! LEB128 varints for lengths and integers (zigzag for signed), one tag
+//! byte per value.
+//!
+//! The format is self-describing and round-trips exactly (floats by bit
+//! pattern), so every replica decodes identical state-machine commands.
+
+use crate::pattern::{PatField, Pattern};
+use crate::tuple::Tuple;
+use crate::value::{TypeTag, Value};
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Errors from decoding a malformed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An unknown tag byte was encountered.
+    BadTag(u8),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A char field was not a valid Unicode scalar.
+    BadChar(u32),
+    /// A declared length was implausibly large for the remaining buffer.
+    LengthOverrun {
+        /// Length the buffer claimed.
+        declared: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            DecodeError::BadTag(b) => write!(f, "unknown tag byte {b:#04x}"),
+            DecodeError::VarintOverflow => write!(f, "varint longer than 64 bits"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::BadChar(c) => write!(f, "invalid unicode scalar {c:#x}"),
+            DecodeError::LengthOverrun {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining {remaining} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode an unsigned LEB128 varint.
+pub fn put_uvarint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned LEB128 varint.
+pub fn get_uvarint(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let b = buf.get_u8();
+        if shift == 63 && b > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        out |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::VarintOverflow);
+        }
+    }
+}
+
+/// Zigzag-encode a signed varint.
+pub fn put_ivarint(buf: &mut impl BufMut, v: i64) {
+    put_uvarint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Decode a zigzag signed varint.
+pub fn get_ivarint(buf: &mut impl Buf) -> Result<i64, DecodeError> {
+    let u = get_uvarint(buf)?;
+    Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+}
+
+fn get_len_checked(buf: &mut impl Buf) -> Result<usize, DecodeError> {
+    let n = get_uvarint(buf)? as usize;
+    if n > buf.remaining() {
+        return Err(DecodeError::LengthOverrun {
+            declared: n,
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(n)
+}
+
+/// Encode a single [`Value`] (tag byte + payload).
+pub fn put_value(buf: &mut impl BufMut, v: &Value) {
+    buf.put_u8(v.type_tag() as u8);
+    match v {
+        Value::Int(i) => put_ivarint(buf, *i),
+        Value::Float(x) => buf.put_u64_le(x.to_bits()),
+        Value::Bool(b) => buf.put_u8(*b as u8),
+        Value::Char(c) => buf.put_u32_le(*c as u32),
+        Value::Str(s) => {
+            put_uvarint(buf, s.len() as u64);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            put_uvarint(buf, b.len() as u64);
+            buf.put_slice(b);
+        }
+        Value::Tuple(fields) => {
+            put_uvarint(buf, fields.len() as u64);
+            for f in fields {
+                put_value(buf, f);
+            }
+        }
+    }
+}
+
+/// Decode a single [`Value`].
+pub fn get_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let tag = buf.get_u8();
+    let tag = TypeTag::from_u8(tag).ok_or(DecodeError::BadTag(tag))?;
+    Ok(match tag {
+        TypeTag::Int => Value::Int(get_ivarint(buf)?),
+        TypeTag::Float => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            Value::Float(f64::from_bits(buf.get_u64_le()))
+        }
+        TypeTag::Bool => {
+            if !buf.has_remaining() {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TypeTag::Char => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let c = buf.get_u32_le();
+            Value::Char(char::from_u32(c).ok_or(DecodeError::BadChar(c))?)
+        }
+        TypeTag::Str => {
+            let n = get_len_checked(buf)?;
+            let mut bytes = vec![0u8; n];
+            buf.copy_to_slice(&mut bytes);
+            Value::Str(String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?)
+        }
+        TypeTag::Bytes => {
+            let n = get_len_checked(buf)?;
+            let mut bytes = vec![0u8; n];
+            buf.copy_to_slice(&mut bytes);
+            Value::Bytes(bytes)
+        }
+        TypeTag::Tuple => {
+            let n = get_uvarint(buf)? as usize;
+            let mut fields = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                fields.push(get_value(buf)?);
+            }
+            Value::Tuple(fields)
+        }
+    })
+}
+
+/// Encode a [`Tuple`] (field count + fields).
+pub fn put_tuple(buf: &mut impl BufMut, t: &Tuple) {
+    put_uvarint(buf, t.arity() as u64);
+    for v in t.fields() {
+        put_value(buf, v);
+    }
+}
+
+/// Decode a [`Tuple`].
+pub fn get_tuple(buf: &mut impl Buf) -> Result<Tuple, DecodeError> {
+    let n = get_uvarint(buf)? as usize;
+    let mut fields = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        fields.push(get_value(buf)?);
+    }
+    Ok(Tuple::new(fields))
+}
+
+const PAT_ACTUAL: u8 = 0x40;
+const PAT_FORMAL: u8 = 0x41;
+
+/// Encode a [`Pattern`].
+pub fn put_pattern(buf: &mut impl BufMut, p: &Pattern) {
+    put_uvarint(buf, p.arity() as u64);
+    for f in p.fields() {
+        match f {
+            PatField::Actual(v) => {
+                buf.put_u8(PAT_ACTUAL);
+                put_value(buf, v);
+            }
+            PatField::Formal(t) => {
+                buf.put_u8(PAT_FORMAL);
+                buf.put_u8(*t as u8);
+            }
+        }
+    }
+}
+
+/// Decode a [`Pattern`].
+pub fn get_pattern(buf: &mut impl Buf) -> Result<Pattern, DecodeError> {
+    let n = get_uvarint(buf)? as usize;
+    let mut fields = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        match buf.get_u8() {
+            PAT_ACTUAL => fields.push(PatField::Actual(get_value(buf)?)),
+            PAT_FORMAL => {
+                if !buf.has_remaining() {
+                    return Err(DecodeError::UnexpectedEof);
+                }
+                let t = buf.get_u8();
+                fields.push(PatField::Formal(
+                    TypeTag::from_u8(t).ok_or(DecodeError::BadTag(t))?,
+                ));
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        }
+    }
+    Ok(Pattern::new(fields))
+}
+
+/// Encode a tuple into a fresh buffer (convenience).
+pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(t.size_bytes() + 8);
+    put_tuple(&mut buf, t);
+    buf
+}
+
+/// Decode a tuple from a byte slice, requiring full consumption.
+pub fn decode_tuple(mut bytes: &[u8]) -> Result<Tuple, DecodeError> {
+    let t = get_tuple(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(DecodeError::LengthOverrun {
+            declared: 0,
+            remaining: bytes.len(),
+        });
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pat, tuple};
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &v);
+        let mut slice = buf.as_slice();
+        let back = get_value(&mut slice).unwrap();
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "decoder must consume exactly");
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(Value::Int(0));
+        roundtrip_value(Value::Int(i64::MIN));
+        roundtrip_value(Value::Int(i64::MAX));
+        roundtrip_value(Value::Float(3.25));
+        roundtrip_value(Value::Float(f64::NAN));
+        roundtrip_value(Value::Float(-0.0));
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Bool(false));
+        roundtrip_value(Value::Char('💡'));
+        roundtrip_value(Value::Str(String::new()));
+        roundtrip_value(Value::Str("héllo".into()));
+        roundtrip_value(Value::Bytes(vec![]));
+        roundtrip_value(Value::Bytes((0..=255).collect()));
+        roundtrip_value(Value::Tuple(vec![
+            Value::Int(1),
+            Value::Tuple(vec![Value::Str("nested".into())]),
+        ]));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = tuple!("job", 42, 2.5, true, 'x');
+        let enc = encode_tuple(&t);
+        assert_eq!(decode_tuple(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let enc = encode_tuple(&Tuple::empty());
+        assert_eq!(enc, vec![0]);
+        assert_eq!(decode_tuple(&enc).unwrap(), Tuple::empty());
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let p = pat!("job", ?int, 2.5, ?str);
+        let mut buf = Vec::new();
+        put_pattern(&mut buf, &p);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_pattern(&mut slice).unwrap(), p);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(get_uvarint(&mut buf.as_slice()).unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(get_ivarint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_ints_are_small() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Int(5));
+        assert_eq!(buf.len(), 2, "tag + 1 varint byte");
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let enc = encode_tuple(&tuple!("job", 42));
+        for cut in 0..enc.len() {
+            assert!(
+                decode_tuple(&enc[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = encode_tuple(&tuple!(1));
+        enc.push(0xff);
+        assert!(decode_tuple(&enc).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = [0x99u8, 0x00];
+        assert!(matches!(
+            get_value(&mut buf.as_slice()),
+            Err(DecodeError::BadTag(0x99))
+        ));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Claim a 2^60-byte string with a 3-byte buffer.
+        let mut buf = Vec::new();
+        buf.put_u8(TypeTag::Str as u8);
+        put_uvarint(&mut buf, 1u64 << 60);
+        buf.put_u8(b'x');
+        assert!(matches!(
+            get_value(&mut buf.as_slice()),
+            Err(DecodeError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = Vec::new();
+        buf.put_u8(TypeTag::Str as u8);
+        put_uvarint(&mut buf, 2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert_eq!(get_value(&mut buf.as_slice()), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        let mut buf = Vec::new();
+        buf.put_u8(TypeTag::Char as u8);
+        buf.put_u32_le(0xD800); // surrogate
+        assert!(matches!(
+            get_value(&mut buf.as_slice()),
+            Err(DecodeError::BadChar(0xD800))
+        ));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let buf = [0xffu8; 11];
+        assert_eq!(
+            get_uvarint(&mut buf.as_slice()),
+            Err(DecodeError::VarintOverflow)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::BadTag(7);
+        assert!(e.to_string().contains("0x07"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # linda-tuple
+//!
+//! Tuple and pattern model for the FT-Linda reproduction: typed values,
+//! tuples, anti-tuples (patterns with typed formals), signature analysis,
+//! and a compact wire codec.
+//!
+//! This crate is the leaf of the workspace — everything else (the classic
+//! Linda kernel, the AGS compiler, the replicated state machine) builds on
+//! these types. Matching is *deterministic*: values compare bit-exactly
+//! (floats by IEEE bit pattern) so that replicated tuple spaces evolve
+//! identically on every host.
+//!
+//! ```
+//! use linda_tuple::{tuple, pat, Value};
+//!
+//! let t = tuple!("count", 41);
+//! let p = pat!("count", ?int);
+//! assert_eq!(p.bind(&t), Some(vec![Value::Int(41)]));
+//! ```
+
+#![warn(missing_docs)]
+
+mod codec;
+mod pattern;
+mod signature;
+mod tuple;
+mod value;
+
+pub use codec::{
+    decode_tuple, encode_tuple, get_ivarint, get_pattern, get_tuple, get_uvarint, get_value,
+    put_ivarint, put_pattern, put_tuple, put_uvarint, put_value, DecodeError,
+};
+pub use pattern::{PatField, Pattern};
+pub use signature::{
+    SigId, Signature, SignatureCatalog, StableBuildHasher, StableHasher, StableMap,
+};
+pub use tuple::Tuple;
+pub use value::{TypeTag, Value};

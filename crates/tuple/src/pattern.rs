@@ -1,0 +1,367 @@
+//! Patterns (anti-tuples) and associative matching.
+//!
+//! A pattern is a sequence of fields, each either an *actual* (a concrete
+//! value that must compare equal) or a *formal* (a typed wildcard `?T` that
+//! binds the corresponding tuple field). `in`/`rd` block until a tuple in
+//! the space matches; the formals then carry values back to the caller.
+
+use crate::signature::Signature;
+use crate::tuple::Tuple;
+use crate::value::{TypeTag, Value};
+use std::fmt;
+
+/// One field of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatField {
+    /// A concrete value that must be equal in the matched tuple.
+    Actual(Value),
+    /// A typed formal (`?int`, `?str`, ...) that binds the tuple's field.
+    Formal(TypeTag),
+}
+
+impl PatField {
+    /// The type this field requires of the tuple field at its position.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            PatField::Actual(v) => v.type_tag(),
+            PatField::Formal(t) => *t,
+        }
+    }
+
+    /// Whether this field is a formal.
+    pub fn is_formal(&self) -> bool {
+        matches!(self, PatField::Formal(_))
+    }
+}
+
+impl From<Value> for PatField {
+    fn from(v: Value) -> Self {
+        PatField::Actual(v)
+    }
+}
+
+impl From<TypeTag> for PatField {
+    fn from(t: TypeTag) -> Self {
+        PatField::Formal(t)
+    }
+}
+
+/// An anti-tuple: the argument of `in`, `rd`, `inp`, `rdp`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    fields: Vec<PatField>,
+}
+
+impl Pattern {
+    /// Build a pattern from its fields.
+    pub fn new(fields: Vec<PatField>) -> Self {
+        Pattern { fields }
+    }
+
+    /// A pattern of all formals with the given signature — matches *any*
+    /// tuple of that signature. Used by `move`/`copy` and recovery code.
+    pub fn any_with_signature(sig: &Signature) -> Self {
+        Pattern {
+            fields: sig.tags().iter().map(|&t| PatField::Formal(t)).collect(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the pattern has no fields (matches only the empty tuple).
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Borrow the fields.
+    pub fn fields(&self) -> &[PatField] {
+        &self.fields
+    }
+
+    /// Positions and types of the formals, in field order. The i-th entry
+    /// of the result corresponds to formal index i — the index space used
+    /// by AGS bodies to refer to guard-bound values.
+    pub fn formals(&self) -> Vec<(usize, TypeTag)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match f {
+                PatField::Formal(t) => Some((i, *t)),
+                PatField::Actual(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of formals.
+    pub fn formal_count(&self) -> usize {
+        self.fields.iter().filter(|f| f.is_formal()).count()
+    }
+
+    /// The signature this pattern can match (arity + ordered types). A
+    /// pattern matches only tuples with exactly this signature.
+    pub fn signature(&self) -> Signature {
+        self.fields.iter().map(PatField::type_tag).collect()
+    }
+
+    /// Test whether `tuple` matches this pattern.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        if tuple.arity() != self.fields.len() {
+            return false;
+        }
+        self.fields
+            .iter()
+            .zip(tuple.fields())
+            .all(|(p, v)| match p {
+                PatField::Actual(a) => a == v,
+                PatField::Formal(t) => *t == v.type_tag(),
+            })
+    }
+
+    /// Match and extract the formal bindings, in formal-index order.
+    /// Returns `None` when the tuple does not match.
+    pub fn bind(&self, tuple: &Tuple) -> Option<Vec<Value>> {
+        if !self.matches(tuple) {
+            return None;
+        }
+        Some(
+            self.fields
+                .iter()
+                .zip(tuple.fields())
+                .filter(|(p, _)| p.is_formal())
+                .map(|(_, v)| v.clone())
+                .collect(),
+        )
+    }
+
+    /// The longest prefix of actual values (used for constant-prefix
+    /// indexing in the tuple store: most Linda patterns start with a string
+    /// "name" actual, e.g. `("subtask", ?int)`).
+    pub fn actual_prefix(&self) -> &[PatField] {
+        let n = self
+            .fields
+            .iter()
+            .take_while(|f| !f.is_formal())
+            .count();
+        &self.fields[..n]
+    }
+
+    /// First-field actual value, if the first field is an actual. The store
+    /// uses it as a secondary bucket key.
+    pub fn head_actual(&self) -> Option<&Value> {
+        match self.fields.first() {
+            Some(PatField::Actual(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether every field is an actual — such a pattern matches exactly
+    /// one tuple value.
+    pub fn is_ground(&self) -> bool {
+        self.fields.iter().all(|f| !f.is_formal())
+    }
+
+    /// Convert a fully-actual pattern into the tuple it denotes.
+    pub fn to_tuple(&self) -> Option<Tuple> {
+        self.fields
+            .iter()
+            .map(|f| match f {
+                PatField::Actual(v) => Some(v.clone()),
+                PatField::Formal(_) => None,
+            })
+            .collect::<Option<Vec<Value>>>()
+            .map(Tuple::new)
+    }
+}
+
+impl From<&Tuple> for Pattern {
+    /// A ground pattern matching exactly `t`.
+    fn from(t: &Tuple) -> Self {
+        Pattern::new(t.fields().iter().cloned().map(PatField::Actual).collect())
+    }
+}
+
+impl FromIterator<PatField> for Pattern {
+    fn from_iter<I: IntoIterator<Item = PatField>>(iter: I) -> Self {
+        Pattern::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, p) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match p {
+                PatField::Actual(v) => write!(f, "{v}")?,
+                PatField::Formal(t) => write!(f, "?{t}")?,
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+/// Convenience constructor for patterns.
+///
+/// Actuals are written as expressions; formals as `?int`, `?float`, `?bool`,
+/// `?char`, `?str`, `?bytes`, `?tup`:
+///
+/// ```
+/// use linda_tuple::{pat, tuple};
+/// let p = pat!("count", ?int);
+/// assert!(p.matches(&tuple!("count", 17)));
+/// ```
+#[macro_export]
+macro_rules! pat {
+    (@formal int)   => { $crate::PatField::Formal($crate::TypeTag::Int) };
+    (@formal float) => { $crate::PatField::Formal($crate::TypeTag::Float) };
+    (@formal bool)  => { $crate::PatField::Formal($crate::TypeTag::Bool) };
+    (@formal char)  => { $crate::PatField::Formal($crate::TypeTag::Char) };
+    (@formal str)   => { $crate::PatField::Formal($crate::TypeTag::Str) };
+    (@formal bytes) => { $crate::PatField::Formal($crate::TypeTag::Bytes) };
+    (@formal tup)   => { $crate::PatField::Formal($crate::TypeTag::Tuple) };
+    (@parse [$($acc:expr,)*]) => { $crate::Pattern::new(vec![$($acc),*]) };
+    (@parse [$($acc:expr,)*] ? $t:ident $(, $($rest:tt)*)?) => {
+        $crate::pat!(@parse [$($acc,)* $crate::pat!(@formal $t),] $($($rest)*)?)
+    };
+    (@parse [$($acc:expr,)*] $v:expr $(, $($rest:tt)*)?) => {
+        $crate::pat!(@parse
+            [$($acc,)* $crate::PatField::Actual($crate::Value::from($v)),]
+            $($($rest)*)?)
+    };
+    () => { $crate::Pattern::new(vec![]) };
+    ($($rest:tt)+) => { $crate::pat!(@parse [] $($rest)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn ground_match() {
+        let p = pat!("count", 42);
+        assert!(p.matches(&tuple!("count", 42)));
+        assert!(!p.matches(&tuple!("count", 41)));
+        assert!(!p.matches(&tuple!("count", 42, 0)));
+        assert!(p.is_ground());
+        assert_eq!(p.to_tuple(), Some(tuple!("count", 42)));
+    }
+
+    #[test]
+    fn formal_match_and_bind() {
+        let p = pat!("count", ?int);
+        let t = tuple!("count", 7);
+        assert!(p.matches(&t));
+        assert_eq!(p.bind(&t), Some(vec![Value::Int(7)]));
+        assert_eq!(p.bind(&tuple!("other", 7)), None);
+        assert!(!p.is_ground());
+        assert_eq!(p.to_tuple(), None);
+    }
+
+    #[test]
+    fn formal_requires_type() {
+        let p = pat!("x", ?int);
+        assert!(!p.matches(&tuple!("x", 1.0)));
+        assert!(!p.matches(&tuple!("x", "1")));
+    }
+
+    #[test]
+    fn multiple_formals_bind_in_order() {
+        let p = pat!(?str, ?int, "end", ?float);
+        let t = tuple!("job", 3, "end", 2.5);
+        assert_eq!(
+            p.bind(&t),
+            Some(vec![
+                Value::Str("job".into()),
+                Value::Int(3),
+                Value::Float(2.5)
+            ])
+        );
+        assert_eq!(
+            p.formals(),
+            vec![(0, TypeTag::Str), (1, TypeTag::Int), (3, TypeTag::Float)]
+        );
+        assert_eq!(p.formal_count(), 3);
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_tuple_only() {
+        let p = Pattern::new(vec![]);
+        assert!(p.matches(&Tuple::empty()));
+        assert!(!p.matches(&tuple!(1)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn signature_agrees_with_matched_tuples() {
+        let p = pat!("job", ?int, ?float);
+        let t = tuple!("job", 1, 1.0);
+        assert!(p.matches(&t));
+        assert_eq!(p.signature(), t.signature());
+    }
+
+    #[test]
+    fn any_with_signature_matches_all_of_that_shape() {
+        let sig = tuple!("a", 1).signature();
+        let p = Pattern::any_with_signature(&sig);
+        assert!(p.matches(&tuple!("a", 1)));
+        assert!(p.matches(&tuple!("zzz", -5)));
+        assert!(!p.matches(&tuple!(1, "a")));
+    }
+
+    #[test]
+    fn head_actual_and_prefix() {
+        let p = pat!("job", 3, ?int);
+        assert_eq!(p.head_actual(), Some(&Value::Str("job".into())));
+        assert_eq!(p.actual_prefix().len(), 2);
+        let q = pat!(?str, 3);
+        assert_eq!(q.head_actual(), None);
+        assert_eq!(q.actual_prefix().len(), 0);
+    }
+
+    #[test]
+    fn pattern_from_tuple_is_ground() {
+        let t = tuple!("v", 9);
+        let p = Pattern::from(&t);
+        assert!(p.is_ground());
+        assert!(p.matches(&t));
+        assert!(!p.matches(&tuple!("v", 10)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(pat!("c", ?int).to_string(), "(\"c\", ?int)");
+    }
+
+    #[test]
+    fn all_formal_macro_kinds() {
+        let p = pat!(?int, ?float, ?bool, ?char, ?str, ?bytes, ?tup);
+        assert_eq!(
+            p.signature().tags(),
+            &[
+                TypeTag::Int,
+                TypeTag::Float,
+                TypeTag::Bool,
+                TypeTag::Char,
+                TypeTag::Str,
+                TypeTag::Bytes,
+                TypeTag::Tuple
+            ]
+        );
+        let t = tuple!(
+            1,
+            2.0,
+            true,
+            'c',
+            "s",
+            vec![1u8],
+            vec![Value::Int(1)]
+        );
+        assert!(p.matches(&t));
+    }
+}

@@ -1,0 +1,245 @@
+//! Tuple signatures and the signature catalog.
+//!
+//! The FT-lcc precompiler "analyzes and catalogs the signatures of all
+//! patterns used in TS operations within the program. This information
+//! consists of an ordered list of the types for each distinct pattern, and
+//! is used primarily for matching purposes" (§5.2). We reproduce both
+//! pieces: [`Signature`] is the ordered type list, and [`SignatureCatalog`]
+//! interns signatures to dense ids so the runtime can bucket tuples by
+//! signature instead of scanning the whole space (ablation A2).
+
+use crate::value::TypeTag;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The ordered list of field types of a tuple or pattern.
+///
+/// Matching in Linda is type-safe: a pattern can only match a tuple with an
+/// identical signature, so signatures partition tuple space into disjoint
+/// buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    tags: Vec<TypeTag>,
+}
+
+impl Signature {
+    /// Build a signature from an ordered type list.
+    pub fn new(tags: Vec<TypeTag>) -> Self {
+        Signature { tags }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The ordered type tags.
+    pub fn tags(&self) -> &[TypeTag] {
+        &self.tags
+    }
+
+    /// A stable 64-bit hash of the signature, usable as a cheap bucket key
+    /// that is identical across processes and replicas (FxHash-style FNV-1a
+    /// over the tag bytes; `DefaultHasher` is *not* guaranteed stable across
+    /// Rust releases, and replica determinism forbids per-process seeds).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h ^= self.tags.len() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for t in &self.tags {
+            h ^= *t as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<")?;
+        for (i, t) in self.tags.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(">")
+    }
+}
+
+impl FromIterator<TypeTag> for Signature {
+    fn from_iter<I: IntoIterator<Item = TypeTag>>(iter: I) -> Self {
+        Signature::new(iter.into_iter().collect())
+    }
+}
+
+/// Dense id for an interned signature; assigned in first-seen order by a
+/// [`SignatureCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigId(pub u32);
+
+impl fmt::Display for SigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig#{}", self.0)
+    }
+}
+
+/// Interning table mapping signatures to dense [`SigId`]s, mirroring the
+/// per-program signature catalog FT-lcc builds at compile time.
+#[derive(Debug, Default, Clone)]
+pub struct SignatureCatalog {
+    by_sig: HashMap<Signature, SigId>,
+    by_id: Vec<Signature>,
+}
+
+impl SignatureCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `sig`, returning its dense id (stable for the catalog's life).
+    pub fn intern(&mut self, sig: Signature) -> SigId {
+        if let Some(&id) = self.by_sig.get(&sig) {
+            return id;
+        }
+        let id = SigId(self.by_id.len() as u32);
+        self.by_id.push(sig.clone());
+        self.by_sig.insert(sig, id);
+        id
+    }
+
+    /// Look up a signature without interning.
+    pub fn get(&self, sig: &Signature) -> Option<SigId> {
+        self.by_sig.get(sig).copied()
+    }
+
+    /// Resolve an id back to its signature.
+    pub fn resolve(&self, id: SigId) -> Option<&Signature> {
+        self.by_id.get(id.0 as usize)
+    }
+
+    /// Number of distinct signatures seen.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate over `(id, signature)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SigId, &Signature)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SigId(i as u32), s))
+    }
+}
+
+/// Helper so `Signature` can feed `std` hash maps cheaply via its stable
+/// hash (identity hasher over `stable_hash()` output).
+#[derive(Default, Clone, Copy)]
+pub struct StableHasher(u64);
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a over the raw bytes; only used with small keys.
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+}
+
+/// `BuildHasher` for [`StableHasher`].
+#[derive(Default, Clone, Copy)]
+pub struct StableBuildHasher;
+
+impl std::hash::BuildHasher for StableBuildHasher {
+    type Hasher = StableHasher;
+    fn build_hasher(&self) -> StableHasher {
+        StableHasher::default()
+    }
+}
+
+/// A `HashMap` keyed deterministically (no per-process random seed), for use
+/// inside replicated state machines where iteration-independent behaviour
+/// matters and hashing must agree across replicas.
+pub type StableMap<K, V> = HashMap<K, V, StableBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::TypeTag::*;
+
+    #[test]
+    fn stable_hash_is_deterministic_and_discriminating() {
+        let a = Signature::new(vec![Str, Int]);
+        let b = Signature::new(vec![Str, Int]);
+        let c = Signature::new(vec![Int, Str]);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        // arity matters even with no tags vs one tag
+        assert_ne!(
+            Signature::new(vec![]).stable_hash(),
+            Signature::new(vec![Int]).stable_hash()
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Signature::new(vec![Str, Int]).to_string(), "<str,int>");
+        assert_eq!(Signature::new(vec![]).to_string(), "<>");
+    }
+
+    #[test]
+    fn catalog_interns_once() {
+        let mut cat = SignatureCatalog::new();
+        let s1 = Signature::new(vec![Str, Int]);
+        let s2 = Signature::new(vec![Str, Float]);
+        let id1 = cat.intern(s1.clone());
+        let id2 = cat.intern(s2.clone());
+        let id1b = cat.intern(s1.clone());
+        assert_eq!(id1, id1b);
+        assert_ne!(id1, id2);
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.resolve(id1), Some(&s1));
+        assert_eq!(cat.resolve(id2), Some(&s2));
+        assert_eq!(cat.get(&s1), Some(id1));
+        assert_eq!(cat.get(&Signature::new(vec![Bool])), None);
+        assert_eq!(cat.resolve(SigId(99)), None);
+    }
+
+    #[test]
+    fn catalog_iteration_in_id_order() {
+        let mut cat = SignatureCatalog::new();
+        cat.intern(Signature::new(vec![Int]));
+        cat.intern(Signature::new(vec![Str]));
+        let ids: Vec<u32> = cat.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn stable_map_usable() {
+        let mut m: StableMap<u64, i32> = StableMap::default();
+        m.insert(7, 1);
+        assert_eq!(m.get(&7), Some(&1));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Signature = [Int, Bool].into_iter().collect();
+        assert_eq!(s.tags(), &[Int, Bool]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tuples: the unit of communication in Linda.
+
+use crate::signature::Signature;
+use crate::value::{TypeTag, Value};
+use std::fmt;
+use std::ops::Index;
+
+/// An immutable, ordered sequence of [`Value`] fields.
+///
+/// Tuples are deposited into tuple space with `out` and withdrawn/read with
+/// `in`/`rd` by associative match against a [`crate::Pattern`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    fields: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from its fields.
+    pub fn new(fields: Vec<Value>) -> Self {
+        Tuple { fields }
+    }
+
+    /// The empty tuple (arity 0). Legal in Linda, occasionally used as a
+    /// pure synchronization token.
+    pub fn empty() -> Self {
+        Tuple { fields: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether this tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Borrow the fields.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Consume the tuple, yielding its fields.
+    pub fn into_fields(self) -> Vec<Value> {
+        self.fields
+    }
+
+    /// Field accessor; `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.fields.get(i)
+    }
+
+    /// The type signature of this tuple: its arity plus the ordered list of
+    /// field types. Two tuples can only be confused by matching when their
+    /// signatures coincide, which is what makes signature-indexed stores
+    /// correct (experiment A2).
+    pub fn signature(&self) -> Signature {
+        Signature::new(self.fields.iter().map(Value::type_tag).collect::<Vec<TypeTag>>())
+    }
+
+    /// Approximate payload size in bytes (for message accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.fields.iter().map(Value::size_bytes).sum::<usize>() + 4
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.fields[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(fields: Vec<Value>) -> Self {
+        Tuple::new(fields)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Convenience constructor: `tuple!("count", 42)` builds a two-field tuple.
+///
+/// Each argument is converted with `Into<Value>`.
+#[macro_export]
+macro_rules! tuple {
+    () => { $crate::Tuple::empty() };
+    ($($v:expr),+ $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple!("count", 42, 1.5);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::Str("count".into()));
+        assert_eq!(t.get(1), Some(&Value::Int(42)));
+        assert_eq!(t.get(3), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "()");
+        assert_eq!(tuple!(), t);
+    }
+
+    #[test]
+    fn signature_reflects_types() {
+        let t = tuple!("a", 1, 2.0, true);
+        let sig = t.signature();
+        assert_eq!(sig.arity(), 4);
+        assert_eq!(
+            sig.tags(),
+            &[TypeTag::Str, TypeTag::Int, TypeTag::Float, TypeTag::Bool]
+        );
+    }
+
+    #[test]
+    fn same_types_same_signature() {
+        assert_eq!(tuple!("a", 1).signature(), tuple!("b", 2).signature());
+        assert_ne!(tuple!("a", 1).signature(), tuple!(1, "a").signature());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple!("x", 1).to_string(), "(\"x\", 1)");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = (0..3).map(Value::from).collect();
+        assert_eq!(t, tuple!(0, 1, 2));
+    }
+
+    #[test]
+    fn into_fields_roundtrip() {
+        let t = tuple!(1, 2);
+        let f = t.clone().into_fields();
+        assert_eq!(Tuple::from(f), t);
+    }
+
+    #[test]
+    fn size_bytes_counts_payload() {
+        assert!(tuple!("abc", 1).size_bytes() >= 11);
+    }
+}

@@ -1,0 +1,467 @@
+//! Scalar values carried in tuple fields.
+//!
+//! Linda tuples are heterogeneous sequences of typed fields. The original
+//! C-Linda supported the C scalar types plus strings; we mirror that set.
+//! Floats compare by bit pattern so that `Value` is `Eq + Hash` and replica
+//! state machines behave identically on every host (the paper's replicated
+//! state machine approach requires deterministic matching).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The type of a tuple field, used in formal parameters (`?int`) and in
+/// signature analysis (the FT-lcc precompiler catalogs the ordered list of
+/// field types for every pattern in the program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TypeTag {
+    /// 64-bit signed integer (`int` in the paper's examples).
+    Int = 0,
+    /// 64-bit IEEE-754 float (`double`).
+    Float = 1,
+    /// Boolean.
+    Bool = 2,
+    /// Unicode scalar (`char`).
+    Char = 3,
+    /// Immutable string.
+    Str = 4,
+    /// Raw byte payload (used for opaque task descriptors).
+    Bytes = 5,
+    /// A nested tuple value (used e.g. for aggregate results).
+    Tuple = 6,
+}
+
+impl TypeTag {
+    /// All tags, in encoding order.
+    pub const ALL: [TypeTag; 7] = [
+        TypeTag::Int,
+        TypeTag::Float,
+        TypeTag::Bool,
+        TypeTag::Char,
+        TypeTag::Str,
+        TypeTag::Bytes,
+        TypeTag::Tuple,
+    ];
+
+    /// Decode a tag from its wire byte.
+    pub fn from_u8(b: u8) -> Option<TypeTag> {
+        TypeTag::ALL.get(b as usize).copied()
+    }
+
+    /// The lowercase name used by the textual DSL (`?int`, `?str`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeTag::Int => "int",
+            TypeTag::Float => "float",
+            TypeTag::Bool => "bool",
+            TypeTag::Char => "char",
+            TypeTag::Str => "str",
+            TypeTag::Bytes => "bytes",
+            TypeTag::Tuple => "tuple",
+        }
+    }
+
+    /// Parse a DSL type name.
+    pub fn from_name(s: &str) -> Option<TypeTag> {
+        Some(match s {
+            "int" => TypeTag::Int,
+            "float" | "double" => TypeTag::Float,
+            "bool" => TypeTag::Bool,
+            "char" => TypeTag::Char,
+            "str" | "string" => TypeTag::Str,
+            "bytes" => TypeTag::Bytes,
+            "tuple" => TypeTag::Tuple,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single tuple field value.
+///
+/// `Value` is `Eq`/`Hash`/`Ord` even though it contains floats: floats are
+/// compared by their IEEE-754 bit pattern. This makes tuple matching a
+/// deterministic function of the operation stream, which the replicated
+/// state machine relies on.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float (compared by bit pattern).
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Unicode scalar.
+    Char(char),
+    /// Immutable string.
+    Str(String),
+    /// Raw byte payload.
+    Bytes(Vec<u8>),
+    /// Nested tuple.
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    /// The runtime type of this value.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Int(_) => TypeTag::Int,
+            Value::Float(_) => TypeTag::Float,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Char(_) => TypeTag::Char,
+            Value::Str(_) => TypeTag::Str,
+            Value::Bytes(_) => TypeTag::Bytes,
+            Value::Tuple(_) => TypeTag::Tuple,
+        }
+    }
+
+    /// Integer accessor; `None` when the value is not an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float accessor.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Char accessor.
+    pub fn as_char(&self) -> Option<char> {
+        match self {
+            Value::Char(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Byte-payload accessor.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Nested-tuple accessor.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap + inline size in bytes, used by the message-size
+    /// accounting in the E9 experiment.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Char(_) => 4,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            Value::Tuple(t) => t.iter().map(Value::size_bytes).sum::<usize>() + 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Char(a), Value::Char(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.type_tag() as u8);
+        match self {
+            Value::Int(i) => state.write_i64(*i),
+            Value::Float(x) => state.write_u64(x.to_bits()),
+            Value::Bool(b) => state.write_u8(*b as u8),
+            Value::Char(c) => state.write_u32(*c as u32),
+            Value::Str(s) => s.hash(state),
+            Value::Bytes(b) => b.hash(state),
+            Value::Tuple(t) => {
+                state.write_usize(t.len());
+                for v in t {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: first by type tag, then by content (floats by bits).
+    /// Used only for deterministic tie-breaking, not arithmetic comparison.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering as O;
+        let t = (self.type_tag() as u8).cmp(&(other.type_tag() as u8));
+        if t != O::Equal {
+            return t;
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.to_bits().cmp(&b.to_bits()),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Char(a), Value::Char(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            (Value::Tuple(a), Value::Tuple(b)) => a.cmp(b),
+            _ => unreachable!("type tags compared equal"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Char(c) => write!(f, "'{c}'"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "b[{}]", b.len()),
+            Value::Tuple(t) => {
+                f.write_str("(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<char> for Value {
+    fn from(v: char) -> Self {
+        Value::Char(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value::Bytes(v.to_vec())
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Tuple(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn type_tags_roundtrip() {
+        for t in TypeTag::ALL {
+            assert_eq!(TypeTag::from_u8(t as u8), Some(t));
+            assert_eq!(TypeTag::from_name(t.name()), Some(t));
+        }
+        assert_eq!(TypeTag::from_u8(200), None);
+        assert_eq!(TypeTag::from_name("quux"), None);
+    }
+
+    #[test]
+    fn float_alias_names() {
+        assert_eq!(TypeTag::from_name("double"), Some(TypeTag::Float));
+        assert_eq!(TypeTag::from_name("string"), Some(TypeTag::Str));
+    }
+
+    #[test]
+    fn value_type_tags() {
+        assert_eq!(Value::Int(1).type_tag(), TypeTag::Int);
+        assert_eq!(Value::Float(1.0).type_tag(), TypeTag::Float);
+        assert_eq!(Value::Bool(true).type_tag(), TypeTag::Bool);
+        assert_eq!(Value::Char('x').type_tag(), TypeTag::Char);
+        assert_eq!(Value::Str("a".into()).type_tag(), TypeTag::Str);
+        assert_eq!(Value::Bytes(vec![1]).type_tag(), TypeTag::Bytes);
+        assert_eq!(Value::Tuple(vec![]).type_tag(), TypeTag::Tuple);
+    }
+
+    #[test]
+    fn nan_equals_itself_bitwise() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_distinct_from_positive_zero() {
+        // Bit-pattern equality: -0.0 != +0.0 so replicas never disagree on
+        // which tuple matched.
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
+    }
+
+    #[test]
+    fn cross_type_inequality() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Str("1".into()), Value::Int(1));
+        assert_ne!(Value::Bool(true), Value::Int(1));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), None);
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Char('z').as_char(), Some('z'));
+        assert_eq!(Value::Str("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Value::Bytes(vec![9]).as_bytes(), Some(&[9u8][..]));
+        assert_eq!(
+            Value::Tuple(vec![Value::Int(1)]).as_tuple(),
+            Some(&[Value::Int(1)][..])
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_and_type_major() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Int(3),
+            Value::Float(1.0),
+            Value::Int(1),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Int(1),
+                Value::Int(3),
+                Value::Float(1.0),
+                Value::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Value::Char('q').to_string(), "'q'");
+        assert_eq!(
+            Value::Tuple(vec![Value::Int(1), Value::Bool(false)]).to_string(),
+            "(1, false)"
+        );
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Value::Int(0).size_bytes(), 8);
+        assert_eq!(Value::Str("abcd".into()).size_bytes(), 4);
+        assert_eq!(Value::Bytes(vec![0; 16]).size_bytes(), 16);
+        assert!(Value::Tuple(vec![Value::Int(0), Value::Int(0)]).size_bytes() >= 16);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(5usize), Value::Int(5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(vec![1u8, 2]), Value::Bytes(vec![1, 2]));
+        assert_eq!(
+            Value::from(vec![Value::Int(1)]),
+            Value::Tuple(vec![Value::Int(1)])
+        );
+    }
+}

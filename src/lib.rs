@@ -1,0 +1,51 @@
+//! # linda-repro — FT-Linda, reproduced in Rust
+//!
+//! Workspace root crate: re-exports the whole reproduction so examples
+//! and integration tests can use one import, and downstream users can
+//! depend on a single crate.
+//!
+//! * [`ftlinda`] — the FT-Linda runtime (stable tuple spaces, AGSs).
+//! * [`linda_space`] — classic Linda (local concurrent tuple space).
+//! * [`linda_tuple`] — tuples, patterns, signatures, codec.
+//! * [`ftlinda_ags`] — the AGS intermediate representation.
+//! * [`consul_sim`] — simulated network + ordered atomic multicast.
+//! * [`ftlinda_kernel`] — the replicated TS state machine.
+//! * [`linda_paradigms`] — fault-tolerant programming paradigms.
+//! * [`ft_lcc`] — the FT-lcc-style DSL precompiler.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md`/`EXPERIMENTS.md`
+//! for the reproduction methodology.
+
+pub use consul_sim;
+pub use ft_lcc;
+pub use ftlinda;
+pub use ftlinda_ags;
+pub use ftlinda_kernel;
+pub use linda_paradigms;
+pub use linda_space;
+pub use linda_tuple;
+
+use ftlinda::{AgsOutcome, FtError, Runtime};
+
+/// Extension for running compiled FT-lcc programs against a live cluster.
+pub trait RunProgram {
+    /// Create this program's declared stable spaces (in declaration
+    /// order, so DSL ids line up with runtime ids) and execute its
+    /// statements in source order, round-robining across `rts`.
+    /// Returns the outcome of every statement.
+    fn run_on(&self, rts: &[Runtime]) -> Result<Vec<AgsOutcome>, FtError>;
+}
+
+impl RunProgram for ft_lcc::Program {
+    fn run_on(&self, rts: &[Runtime]) -> Result<Vec<AgsOutcome>, FtError> {
+        assert!(!rts.is_empty(), "need at least one runtime");
+        for name in &self.declared_stables {
+            rts[0].create_stable_ts(name)?;
+        }
+        self.statements
+            .iter()
+            .enumerate()
+            .map(|(i, ags)| rts[i % rts.len()].execute(ags))
+            .collect()
+    }
+}

@@ -1,0 +1,160 @@
+//! Failure-injection stress tests across the whole stack: randomized
+//! crash points, repeated crash/restart cycles, and recovery invariants.
+
+use ftlinda::{Cluster, HostId, NetConfig, Value};
+use linda_paradigms::BagOfTasks;
+use linda_tuple::pat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Bag-of-tasks completes under a randomly-timed worker crash, across
+/// several seeds (each seed = a different crash interleaving).
+#[test]
+fn bag_of_tasks_survives_random_crash_points() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (cluster, rts) = Cluster::new(3);
+        let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
+        let ids = bag
+            .seed(&rts[0], 0, (0..10).map(Value::Int))
+            .unwrap();
+        let monitor = bag.spawn_monitor(rts[0].clone());
+        let slow = |v: &Value| {
+            std::thread::sleep(Duration::from_millis(8));
+            Value::Int(v.as_int().unwrap() + 1000)
+        };
+        let _w1 = bag.spawn_worker(rts[1].clone(), slow);
+        let _w2 = bag.spawn_worker(rts[2].clone(), slow);
+        std::thread::sleep(Duration::from_millis(rng.gen_range(5..60)));
+        cluster.crash(HostId(2));
+        let results = bag.collect(&rts[0], &ids).unwrap();
+        assert_eq!(results.len(), 10, "seed {seed}: all tasks completed");
+        for (id, v) in &results {
+            assert_eq!(v.as_int().unwrap(), id + 1000, "seed {seed}");
+        }
+        bag.stop_monitor(&rts[0]).unwrap();
+        monitor.join().unwrap();
+        bag.poison(&rts[0]).unwrap();
+        cluster.shutdown();
+    }
+}
+
+/// Repeated crash/restart cycles of the same host: each incarnation
+/// replays to the survivors' state, and each crash yields exactly one
+/// fresh failure tuple.
+#[test]
+fn repeated_crash_restart_cycles_converge() {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    let mut current = rts[2].clone();
+    for round in 0..3 {
+        rts[0]
+            .out(ts, linda_tuple::tuple!("round", round as i64))
+            .unwrap();
+        cluster.crash(HostId(2));
+        // One failure tuple per incarnation.
+        let f = rts[0].in_(ts, &pat!("failure", 2)).unwrap();
+        assert_eq!(f, linda_tuple::tuple!("failure", 2));
+        assert_eq!(rts[1].rdp(ts, &pat!("failure", 2)).unwrap(), None);
+        current = cluster.restart(HostId(2));
+        let target = rts[0].applied_seq();
+        for _ in 0..300 {
+            if current.applied_seq() >= target {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            current.snapshot(ts),
+            rts[0].snapshot(ts),
+            "round {round}: replayed state matches"
+        );
+    }
+    // The final incarnation is fully functional.
+    current.out(ts, linda_tuple::tuple!("final")).unwrap();
+    assert_eq!(
+        rts[1].in_(ts, &pat!("final")).unwrap(),
+        linda_tuple::tuple!("final")
+    );
+    cluster.shutdown();
+}
+
+/// Crashing the coordinator (host 0) mid-traffic: ordering continues
+/// under the new coordinator and no AGS submitted by survivors is lost.
+#[test]
+fn coordinator_crash_under_load() {
+    let cfg = NetConfig {
+        latency: Duration::from_micros(200),
+        jitter: Duration::from_micros(50),
+        detect_delay: Duration::from_millis(1),
+        ..NetConfig::default()
+    };
+    let (cluster, rts) = Cluster::builder().hosts(3).net(cfg).build();
+    let ts = rts[1].create_stable_ts("main").unwrap();
+
+    // Host 1 pumps outs while host 0 (the coordinator) dies.
+    let rt1 = rts[1].clone();
+    let pump = std::thread::spawn(move || {
+        for i in 0..40i64 {
+            rt1.out(ts, linda_tuple::tuple!("n", i)).unwrap();
+        }
+    });
+    std::thread::sleep(Duration::from_millis(3));
+    cluster.crash(HostId(0));
+    pump.join().unwrap();
+
+    // Every deposited tuple is withdrawable exactly once.
+    let mut seen = Vec::new();
+    for _ in 0..40 {
+        let t = rts[2].in_(ts, &pat!("n", ?int)).unwrap();
+        seen.push(t[1].as_int().unwrap());
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    assert_eq!(rts[2].inp(ts, &pat!("n", ?int)).unwrap(), None);
+    cluster.shutdown();
+}
+
+/// Failure tuples from multiple crashes accumulate distinctly and a
+/// monitor-style consumer sees each exactly once.
+#[test]
+fn multiple_failures_distinct_tuples() {
+    let (cluster, rts) = Cluster::new(4);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    cluster.crash(HostId(2));
+    cluster.crash(HostId(3));
+    let mut failed: Vec<i64> = (0..2)
+        .map(|_| {
+            rts[0].in_(ts, &pat!("failure", ?int)).unwrap()[1]
+                .as_int()
+                .unwrap()
+        })
+        .collect();
+    failed.sort_unstable();
+    assert_eq!(failed, vec![2, 3]);
+    // No third failure tuple.
+    assert_eq!(rts[1].rdp(ts, &pat!("failure", ?int)).unwrap(), None);
+    cluster.shutdown();
+}
+
+/// Blocked AGSs survive an unrelated host's crash and still fire later.
+#[test]
+fn blocked_ags_survive_unrelated_crash() {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    let rt1 = rts[1].clone();
+    let waiter =
+        std::thread::spawn(move || rt1.in_(ts, &pat!("eventually", ?int)).unwrap());
+    std::thread::sleep(Duration::from_millis(30));
+    cluster.crash(HostId(2));
+    rts[0].rd(ts, &pat!("failure", 2)).unwrap();
+    rts[0]
+        .out(ts, linda_tuple::tuple!("eventually", 42))
+        .unwrap();
+    assert_eq!(
+        waiter.join().unwrap(),
+        linda_tuple::tuple!("eventually", 42)
+    );
+    cluster.shutdown();
+}

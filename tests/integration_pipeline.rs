@@ -1,0 +1,138 @@
+//! Full-stack integration: FT-lcc DSL → AGS IR → replicated cluster →
+//! paradigm library, all in one scenario.
+
+use ft_lcc::Compiler;
+use ftlinda::{Cluster, HostId, TsId};
+use linda_paradigms::{consensus, BagOfTasks, DistVar};
+use linda_tuple::{pat, tuple, Value};
+use std::time::Duration;
+
+/// A compiled DSL program drives a live cluster and interoperates with
+/// API-level clients on other hosts.
+#[test]
+fn dsl_program_runs_on_cluster() {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("warehouse").unwrap();
+
+    let mut compiler = Compiler::new();
+    compiler.bind_stable("warehouse", ts);
+    let program = compiler
+        .compile(
+            r#"
+            # initial stock
+            out(warehouse, "stock", "widgets", 10);
+            # an order consumes stock and records a shipment, atomically
+            < in(warehouse, "stock", "widgets", ?int n) =>
+                out(warehouse, "stock", "widgets", n - 3);
+                out(warehouse, "shipment", self, 3) >
+        "#,
+        )
+        .unwrap();
+
+    for (i, ags) in program.statements.iter().enumerate() {
+        rts[i % 3].execute(ags).unwrap();
+    }
+
+    // API-level client on another host observes the DSL program's effect.
+    assert_eq!(
+        rts[2].rd(ts, &pat!("stock", "widgets", ?int)).unwrap(),
+        tuple!("stock", "widgets", 7)
+    );
+    let shipment = rts[1].in_(ts, &pat!("shipment", ?int, 3)).unwrap();
+    assert_eq!(shipment[1].as_int().unwrap(), 1, "host1 executed stmt 1");
+    cluster.shutdown();
+}
+
+/// Bag-of-tasks, distributed variable, and consensus all share one
+/// cluster and interact through the same replicated spaces.
+#[test]
+fn paradigms_compose_on_one_cluster() {
+    let (cluster, rts) = Cluster::new(3);
+
+    // Elect a coordinator via consensus.
+    let cts = rts[0].create_stable_ts("control").unwrap();
+    let leader = consensus::propose(&rts[1], cts, "leader", 1).unwrap();
+    assert_eq!(leader, 1);
+
+    // The leader seeds a bag; everyone works; a DistVar counts commits.
+    let bag = BagOfTasks::create(&rts[leader as usize], "jobs").unwrap();
+    let ids = bag
+        .seed(&rts[leader as usize], 0, (1..=9).map(Value::Int))
+        .unwrap();
+    let done_ctr = DistVar::create(&rts[0], cts, "done", 0).unwrap();
+
+    let workers: Vec<_> = rts
+        .iter()
+        .map(|rt| {
+            let ctr = done_ctr.clone();
+            let rt2 = rt.clone();
+            bag.spawn_worker(rt.clone(), move |v| {
+                ctr.fetch_add(&rt2, 1).unwrap();
+                Value::Int(v.as_int().unwrap() * 10)
+            })
+        })
+        .collect();
+
+    let results = bag.collect(&rts[0], &ids).unwrap();
+    assert_eq!(results.len(), 9);
+    for (id, v) in &results {
+        assert_eq!(v.as_int().unwrap(), (id + 1) * 10);
+    }
+    assert_eq!(done_ctr.read(&rts[2]).unwrap(), 9);
+
+    bag.poison(&rts[0]).unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+    cluster.shutdown();
+}
+
+/// A restarted host replays history and immediately serves paradigm
+/// traffic again.
+#[test]
+fn restart_then_participate_in_paradigms() {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("vars").unwrap();
+    let v = DistVar::create(&rts[0], ts, "x", 0).unwrap();
+    for _ in 0..5 {
+        v.fetch_add(&rts[1], 1).unwrap();
+    }
+    cluster.crash(HostId(2));
+    rts[0].rd(ts, &pat!("failure", 2)).unwrap();
+    for _ in 0..5 {
+        v.fetch_add(&rts[0], 1).unwrap();
+    }
+    let rt2 = cluster.restart(HostId(2));
+    // Wait for convergence, then the restarted host updates the variable.
+    let target = rts[0].applied_seq();
+    for _ in 0..300 {
+        if rt2.applied_seq() >= target {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(v.fetch_add(&rt2, 1).unwrap(), 10);
+    assert_eq!(v.read(&rts[0]).unwrap(), 11);
+    cluster.shutdown();
+}
+
+/// The strong-inp guarantee holds across the DSL and API: after a
+/// definitive "absent" answer, a tuple inserted later is found.
+#[test]
+fn strong_semantics_across_frontends() {
+    let (cluster, rts) = Cluster::new(2);
+    let ts = rts[0].create_stable_ts("s").unwrap();
+    assert_eq!(ts, TsId(0));
+
+    let mut compiler = Compiler::new();
+    compiler.bind_stable("s", ts);
+    let inp = &compiler.compile(r#"inp(s, "flag", ?int);"#).unwrap().statements[0];
+
+    // Definitive absence (branch 1 = true branch fired).
+    assert_eq!(rts[1].execute(inp).unwrap().branch, 1);
+    rts[0].out(ts, tuple!("flag", 5)).unwrap();
+    let out = rts[1].execute(inp).unwrap();
+    assert_eq!(out.branch, 0);
+    assert_eq!(out.bindings, vec![Value::Int(5)]);
+    cluster.shutdown();
+}

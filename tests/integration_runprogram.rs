@@ -1,0 +1,48 @@
+//! Tests for the `RunProgram` convenience: compile-and-run in one call.
+
+use ft_lcc::Compiler;
+use ftlinda::Cluster;
+use linda_repro::RunProgram;
+use linda_tuple::{pat, tuple};
+
+#[test]
+fn run_on_creates_spaces_and_executes() {
+    let (cluster, rts) = Cluster::new(3);
+    let prog = Compiler::new()
+        .compile(
+            r#"
+            stable a;
+            stable b;
+            out(a, "x", 1);
+            out(b, "y", 2.5);
+            < in(a, "x", ?int v) => out(b, "moved", v * 100) >
+        "#,
+        )
+        .unwrap();
+    let outcomes = prog.run_on(&rts).unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(outcomes[2].bindings, vec![linda_tuple::Value::Int(1)]);
+    // Space ids were aligned by declaration order.
+    let b = rts[1].create_stable_ts("b").unwrap();
+    assert_eq!(
+        rts[2].rd(b, &pat!("moved", ?int)).unwrap(),
+        tuple!("moved", 100)
+    );
+    assert_eq!(rts[0].rd(b, &pat!("y", 2.5)).unwrap(), tuple!("y", 2.5));
+    cluster.shutdown();
+}
+
+#[test]
+fn run_on_reports_statement_failures() {
+    let (cluster, rts) = Cluster::new(2);
+    let prog = Compiler::new()
+        .compile(
+            r#"
+            stable s;
+            < true => in(s, "missing") >
+        "#,
+        )
+        .unwrap();
+    assert!(prog.run_on(&rts).is_err());
+    cluster.shutdown();
+}

@@ -1,0 +1,201 @@
+//! Property-based tests on the tuple model: matching laws, codec
+//! round-trips, and store-implementation equivalence.
+
+use linda_tuple::{
+    decode_tuple, encode_tuple, PatField, Pattern, Signature, Tuple, TypeTag, Value,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        any::<char>().prop_map(Value::Char),
+        ".{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        proptest::collection::vec(inner, 0..3).prop_map(Value::Tuple)
+    })
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_value(), 0..6).prop_map(Tuple::new)
+}
+
+/// A pattern derived from a tuple by independently blanking fields into
+/// typed formals — guaranteed to match the source tuple.
+fn pattern_of(t: &Tuple, mask: &[bool]) -> Pattern {
+    Pattern::new(
+        t.fields()
+            .iter()
+            .zip(mask.iter().chain(std::iter::repeat(&false)))
+            .map(|(v, blank)| {
+                if *blank {
+                    PatField::Formal(v.type_tag())
+                } else {
+                    PatField::Actual(v.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_roundtrips_any_tuple(t in arb_tuple()) {
+        let enc = encode_tuple(&t);
+        prop_assert_eq!(decode_tuple(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_encodings_never_panic(t in arb_tuple(), cut in 0usize..64) {
+        let enc = encode_tuple(&t);
+        if cut < enc.len() {
+            // Must error, never panic or succeed.
+            prop_assert!(decode_tuple(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn derived_pattern_always_matches(t in arb_tuple(), mask in proptest::collection::vec(any::<bool>(), 0..6)) {
+        let p = pattern_of(&t, &mask);
+        prop_assert!(p.matches(&t));
+        let bindings = p.bind(&t).unwrap();
+        prop_assert_eq!(bindings.len(), p.formal_count());
+        // Signatures agree whenever a match exists.
+        prop_assert_eq!(p.signature(), t.signature());
+    }
+
+    #[test]
+    fn bind_reconstructs_tuple(t in arb_tuple(), mask in proptest::collection::vec(any::<bool>(), 0..6)) {
+        let p = pattern_of(&t, &mask);
+        let bindings = p.bind(&t).unwrap();
+        // Interleaving actuals with bindings rebuilds the original tuple.
+        let rebuilt = ftlinda::rebuild_tuple(&p, &bindings);
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn arity_mismatch_never_matches(t in arb_tuple(), extra in arb_value()) {
+        let p = Pattern::from(&t);
+        let mut fields = t.fields().to_vec();
+        fields.push(extra);
+        let bigger = Tuple::new(fields);
+        prop_assert!(!p.matches(&bigger));
+    }
+
+    #[test]
+    fn signature_stable_hash_injective_on_small_sets(
+        tags_a in proptest::collection::vec(0u8..7, 0..6),
+        tags_b in proptest::collection::vec(0u8..7, 0..6),
+    ) {
+        let sa = Signature::new(tags_a.iter().map(|b| TypeTag::from_u8(*b).unwrap()).collect());
+        let sb = Signature::new(tags_b.iter().map(|b| TypeTag::from_u8(*b).unwrap()).collect());
+        if sa != sb {
+            // Not a theorem for arbitrary inputs, but over this tiny
+            // space FNV must separate them; a collision here would break
+            // bucket-count assumptions silently.
+            prop_assert_ne!(sa.stable_hash(), sb.stable_hash());
+        } else {
+            prop_assert_eq!(sa.stable_hash(), sb.stable_hash());
+        }
+    }
+
+    #[test]
+    fn value_equality_is_reflexive_and_hash_consistent(v in arb_value()) {
+        use std::hash::{Hash, Hasher};
+        prop_assert_eq!(&v, &v);
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h1);
+        v.clone().hash(&mut h2);
+        prop_assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn value_ordering_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => prop_assert_eq!(&a, &b),
+        }
+        // Transitivity (on the Less case).
+        if a.cmp(&b) == Less && b.cmp(&c) == Less {
+            prop_assert_eq!(a.cmp(&c), Less);
+        }
+    }
+}
+
+mod store_equivalence {
+    use super::*;
+    use linda_space::{IndexedStore, LinearStore, Store};
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Tuple),
+        Take(Pattern),
+        Read(Pattern),
+        TakeAll(Pattern),
+        Count(Pattern),
+    }
+
+    fn small_tuple() -> impl Strategy<Value = Tuple> {
+        (0usize..3, 0i64..4).prop_map(|(h, v)| {
+            linda_tuple::tuple!(["a", "b", "c"][h], v)
+        })
+    }
+
+    fn small_pattern() -> impl Strategy<Value = Pattern> {
+        (0usize..3, proptest::option::of(0i64..4)).prop_map(|(h, v)| {
+            let head = PatField::Actual(Value::Str(["a", "b", "c"][h].into()));
+            let second = match v {
+                Some(v) => PatField::Actual(Value::Int(v)),
+                None => PatField::Formal(TypeTag::Int),
+            };
+            Pattern::new(vec![head, second])
+        })
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            small_tuple().prop_map(Op::Insert),
+            small_pattern().prop_map(Op::Take),
+            small_pattern().prop_map(Op::Read),
+            small_pattern().prop_map(Op::TakeAll),
+            small_pattern().prop_map(Op::Count),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The indexed store and the linear baseline are observationally
+        /// equivalent on any operation sequence — the core guarantee the
+        /// A2 optimization must preserve.
+        #[test]
+        fn indexed_equals_linear(ops in proptest::collection::vec(arb_op(), 0..80)) {
+            let mut idx = IndexedStore::new();
+            let mut lin = LinearStore::new();
+            for op in ops {
+                match op {
+                    Op::Insert(t) => {
+                        idx.insert(t.clone());
+                        lin.insert(t);
+                    }
+                    Op::Take(p) => prop_assert_eq!(idx.take(&p), lin.take(&p)),
+                    Op::Read(p) => prop_assert_eq!(idx.read(&p), lin.read(&p)),
+                    Op::TakeAll(p) => prop_assert_eq!(idx.take_all(&p), lin.take_all(&p)),
+                    Op::Count(p) => prop_assert_eq!(idx.count(&p), lin.count(&p)),
+                }
+                prop_assert_eq!(idx.len(), lin.len());
+            }
+            prop_assert_eq!(idx.snapshot(), lin.snapshot());
+        }
+    }
+}
