@@ -145,7 +145,10 @@ impl fmt::Display for AgsError {
                 write!(f, "move/copy source must be a stable tuple space")
             }
             AgsError::UnboundFormal { index, bound } => {
-                write!(f, "operand references ?{index} but only {bound} formals are bound")
+                write!(
+                    f,
+                    "operand references ?{index} but only {bound} formals are bound"
+                )
             }
             AgsError::TooManyFormals => write!(f, "too many formals in one branch"),
         }
@@ -445,7 +448,10 @@ mod tests {
     fn body_in_extends_formals() {
         let ags = Ags::builder()
             .guard_in(TsId(0), vec![MatchField::bind(Int)])
-            .in_(TsId(0), vec![MatchField::bind(Str), MatchField::Expr(Operand::formal(0))])
+            .in_(
+                TsId(0),
+                vec![MatchField::bind(Str), MatchField::Expr(Operand::formal(0))],
+            )
             .out(TsId(0), vec![Operand::formal(1)])
             .build()
             .unwrap();

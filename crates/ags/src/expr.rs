@@ -124,6 +124,10 @@ pub enum Operand {
     RequestSeq,
 }
 
+// The arithmetic builder names (`add`, `sub`, …) deliberately mirror the
+// AGS expression language rather than implementing `std::ops` — operands
+// build an IR tree, they don't compute.
+#[allow(clippy::should_implement_trait)]
 impl Operand {
     /// Literal constructor.
     pub fn cst<V: Into<Value>>(v: V) -> Operand {
@@ -353,8 +357,15 @@ impl Operand {
             Operand::Apply(f, args) => {
                 let a0 = args.first().and_then(|a| a.static_type(formal_types));
                 match f {
-                    Func::Not | Func::And | Func::Or | Func::Eq | Func::Ne | Func::Lt
-                    | Func::Le | Func::Gt | Func::Ge => Some(TypeTag::Bool),
+                    Func::Not
+                    | Func::And
+                    | Func::Or
+                    | Func::Eq
+                    | Func::Ne
+                    | Func::Lt
+                    | Func::Le
+                    | Func::Gt
+                    | Func::Ge => Some(TypeTag::Bool),
                     Func::Concat => Some(TypeTag::Str),
                     Func::ToFloat => Some(TypeTag::Float),
                     Func::ToInt => Some(TypeTag::Int),
@@ -401,10 +412,7 @@ mod tests {
     fn arithmetic() {
         let b = [Value::Int(10)];
         let c = ctx(&b);
-        assert_eq!(
-            Operand::formal(0).add(1).eval(&c),
-            Ok(Value::Int(11))
-        );
+        assert_eq!(Operand::formal(0).add(1).eval(&c), Ok(Value::Int(11)));
         assert_eq!(Operand::cst(7).sub(2).eval(&c), Ok(Value::Int(5)));
         assert_eq!(Operand::cst(7).mul(2).eval(&c), Ok(Value::Int(14)));
         assert_eq!(Operand::cst(7).div(2).eval(&c), Ok(Value::Int(3)));
@@ -538,14 +546,13 @@ mod tests {
             Some(TypeTag::Int)
         );
         assert_eq!(
-            Operand::formal(1).concat(Operand::cst("x")).static_type(&ft),
+            Operand::formal(1)
+                .concat(Operand::cst("x"))
+                .static_type(&ft),
             Some(TypeTag::Str)
         );
         assert_eq!(Operand::SelfHost.static_type(&[]), Some(TypeTag::Int));
-        assert_eq!(
-            Operand::cst(1).lt(2).static_type(&[]),
-            Some(TypeTag::Bool)
-        );
+        assert_eq!(Operand::cst(1).lt(2).static_type(&[]), Some(TypeTag::Bool));
         assert_eq!(Operand::formal(9).static_type(&ft), None);
     }
 

@@ -115,10 +115,7 @@ pub fn resolve_pattern(fields: &[MatchField], ctx: &EvalCtx<'_>) -> Result<Patte
 }
 
 /// Resolve an `out` template into a concrete tuple.
-pub fn resolve_template(
-    template: &[Operand],
-    ctx: &EvalCtx<'_>,
-) -> Result<Vec<Value>, EvalError> {
+pub fn resolve_template(template: &[Operand], ctx: &EvalCtx<'_>) -> Result<Vec<Value>, EvalError> {
     template.iter().map(|op| op.eval(ctx)).collect()
 }
 

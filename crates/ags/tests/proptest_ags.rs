@@ -64,10 +64,7 @@ enum FieldSpec {
 
 fn arb_fields(max: usize) -> impl Strategy<Value = Vec<FieldSpec>> {
     proptest::collection::vec(
-        prop_oneof![
-            arb_tag().prop_map(FieldSpec::Bind),
-            Just(FieldSpec::Expr),
-        ],
+        prop_oneof![arb_tag().prop_map(FieldSpec::Bind), Just(FieldSpec::Expr),],
         0..max,
     )
 }

@@ -15,7 +15,9 @@ use std::time::Duration;
 fn wait_own(rx: &crossbeam::channel::Receiver<Delivery>, local: u64, me: consul_sim::HostId) {
     loop {
         match rx.recv_timeout(Duration::from_secs(5)).expect("delivery") {
-            Delivery::App { origin, local: l, .. } if origin == me && l == local => return,
+            Delivery::App {
+                origin, local: l, ..
+            } if origin == me && l == local => return,
             _ => continue,
         }
     }

@@ -38,9 +38,7 @@ fn bench(c: &mut Criterion) {
         };
         let (cluster, rts) = Cluster::builder().hosts(3).net(cfg).build();
         let ts = rts[0].create_stable_ts("main").unwrap();
-        rts[0]
-            .out(ts, linda_tuple::tuple!("count", 0))
-            .unwrap();
+        rts[0].out(ts, linda_tuple::tuple!("count", 0)).unwrap();
         let ags = counter_ags(ts);
         // Manual estimate for the printed table (non-coordinator host 1:
         // submit hop + ordered hop + apply).

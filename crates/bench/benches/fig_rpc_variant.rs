@@ -39,7 +39,10 @@ fn bench(c: &mut Criterion) {
         }
         linda_bench::print_row(
             label,
-            format!("{:>9.1} µs/AGS", t0.elapsed().as_secs_f64() * 1e6 / reps as f64),
+            format!(
+                "{:>9.1} µs/AGS",
+                t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+            ),
         );
         g.bench_function(label, |b| b.iter(|| client.execute(&ags).unwrap()));
     }

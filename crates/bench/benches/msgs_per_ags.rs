@@ -19,6 +19,28 @@ use std::time::Duration;
 
 const HOSTS: u64 = 4;
 
+/// Wait until the network message counter stops moving (three identical
+/// consecutive samples): every in-flight message for the previous
+/// measurement has landed.
+fn wait_net_quiesced(cluster: &Cluster) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut last = cluster.net_stats().0;
+    let mut stable = 0;
+    while std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+        let now = cluster.net_stats().0;
+        if now == last {
+            stable += 1;
+            if stable >= 3 {
+                return;
+            }
+        } else {
+            stable = 0;
+            last = now;
+        }
+    }
+}
+
 fn nop_ags(ts: TsId, nops: usize) -> Ags {
     let mut b = Ags::builder().guard_true();
     for i in 0..nops {
@@ -31,26 +53,29 @@ fn nop_ags(ts: TsId, nops: usize) -> Ags {
 
 /// Messages/bytes for one FT-Linda AGS with `nops` out+in pairs.
 fn measure_ftlinda(rts: &[Runtime], cluster: &Cluster, ts: TsId, nops: usize) -> (u64, u64) {
-    std::thread::sleep(Duration::from_millis(20));
+    wait_net_quiesced(cluster);
     cluster.reset_net_stats();
     rts[1].execute(&nop_ags(ts, nops)).unwrap();
-    std::thread::sleep(Duration::from_millis(30));
+    wait_net_quiesced(cluster);
     cluster.net_stats()
 }
 
 /// Baseline: each op ordered as its own AGS (per-op multicast).
 fn measure_per_op(rts: &[Runtime], cluster: &Cluster, ts: TsId, nops: usize) -> (u64, u64) {
-    std::thread::sleep(Duration::from_millis(20));
+    wait_net_quiesced(cluster);
     cluster.reset_net_stats();
     for i in 0..nops {
         rts[1]
-            .execute(&Ags::out_one(ts, vec![Operand::cst("s"), Operand::cst(i as i64)]))
+            .execute(&Ags::out_one(
+                ts,
+                vec![Operand::cst("s"), Operand::cst(i as i64)],
+            ))
             .unwrap();
         rts[1]
             .execute(&Ags::in_one(ts, vec![MF::actual("s"), MF::bind(TypeTag::Int)]).unwrap())
             .unwrap();
     }
-    std::thread::sleep(Duration::from_millis(30));
+    wait_net_quiesced(cluster);
     cluster.net_stats()
 }
 
@@ -84,6 +109,34 @@ fn bench(c: &mut Criterion) {
         // The claim itself, asserted: constant message count.
         assert_eq!(ft_m, HOSTS, "1 submit + (n-1) ordered, flat in ops");
         assert_eq!(po_m, 2 * nops as u64 * HOSTS);
+    }
+    println!();
+
+    // Per-stage AGS latency percentiles from the submitting host's
+    // metrics registry (the same data `Runtime::metrics_text` exposes).
+    let obs = rts[1].obs();
+    println!("E9 — per-stage AGS latency on the submitting host (µs):");
+    println!(
+        "    {:<32} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    for (name, help) in [
+        ("ftlinda_ags_submit_seconds", "submit"),
+        ("ftlinda_ags_order_seconds", "order"),
+        ("ftlinda_ags_execute_seconds", "execute"),
+        ("ftlinda_ags_notify_seconds", "notify"),
+        ("ftlinda_ags_total_seconds", "total"),
+    ] {
+        let snap = obs.histogram(name, help).snapshot();
+        let us = |q: Option<f64>| q.map_or(0.0, |s| s * 1e6);
+        println!(
+            "    {:<32} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+            name,
+            snap.count(),
+            us(snap.p50()),
+            us(snap.p95()),
+            us(snap.p99())
+        );
     }
     println!();
 

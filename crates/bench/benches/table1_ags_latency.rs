@@ -27,7 +27,11 @@ fn rows() -> Vec<(&'static str, Ags)> {
     let inp_absent = Ags::inp_one(TsId(0), vec![MF::actual("absent")]).unwrap();
     let rd_found = Ags::rd_one(
         TsId(0),
-        vec![MF::actual("t"), MF::bind(TypeTag::Int), MF::bind(TypeTag::Int)],
+        vec![
+            MF::actual("t"),
+            MF::bind(TypeTag::Int),
+            MF::bind(TypeTag::Int),
+        ],
     )
     .unwrap();
     let move_self = Ags::builder()

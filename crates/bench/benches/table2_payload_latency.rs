@@ -93,7 +93,10 @@ fn bench(c: &mut Criterion) {
     ] {
         let ags = Ags::builder()
             .guard_in(TsId(0), vec![MF::actual("p"), pat_field])
-            .out(TsId(0), vec![Operand::cst("p"), Operand::Const(big.clone())])
+            .out(
+                TsId(0),
+                vec![Operand::cst("p"), Operand::Const(big.clone())],
+            )
             .build()
             .unwrap();
         let mk = kernel_with(big.clone());

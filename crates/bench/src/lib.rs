@@ -125,6 +125,24 @@ pub fn print_row(label: &str, value: impl std::fmt::Display) {
     println!("    {label:<44} {value}");
 }
 
+/// Time `n` applications of `payload` on a fresh kernel from `mk`,
+/// returning nanoseconds per apply (median of 5 runs). Used by benches to
+/// print the paper-style table rows alongside Criterion's rigorous
+/// measurements.
+pub fn measure_ns_per_apply(mk: &dyn Fn() -> (Kernel, u64), payload: &bytes::Bytes, n: u64) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let (mut k, mut seq) = mk();
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            apply_encoded(&mut k, &mut seq, payload);
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / n as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[2]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,26 +176,4 @@ mod tests {
             .iter()
             .all(|t| pat!("t", ?int, ?int).matches(t)));
     }
-}
-
-/// Time `n` applications of `payload` on a fresh kernel from `mk`,
-/// returning nanoseconds per apply (median of 5 runs). Used by benches to
-/// print the paper-style table rows alongside Criterion's rigorous
-/// measurements.
-pub fn measure_ns_per_apply(
-    mk: &dyn Fn() -> (Kernel, u64),
-    payload: &bytes::Bytes,
-    n: u64,
-) -> f64 {
-    let mut samples = Vec::with_capacity(5);
-    for _ in 0..5 {
-        let (mut k, mut seq) = mk();
-        let t0 = std::time::Instant::now();
-        for _ in 0..n {
-            apply_encoded(&mut k, &mut seq, payload);
-        }
-        samples.push(t0.elapsed().as_nanos() as f64 / n as f64);
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[2]
 }

@@ -105,7 +105,8 @@ impl State {
                     },
                 );
                 self.keys.insert((from, local), key);
-                self.net.send(self.me, from, IsisMsg::ProposeTs { local, ts });
+                self.net
+                    .send(self.me, from, IsisMsg::ProposeTs { local, ts });
             }
             IsisMsg::ProposeTs { local, ts } => {
                 if let Some((props, want)) = self.collecting.get_mut(&local) {
@@ -264,7 +265,8 @@ impl IsisMember {
         st.collecting.insert(local, (Vec::new(), want));
         let me = st.me;
         let dests = st.universe.clone();
-        st.net.multicast(me, dests, IsisMsg::Propose { local, payload });
+        st.net
+            .multicast(me, dests, IsisMsg::Propose { local, payload });
         local
     }
 

@@ -228,8 +228,7 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
                             // Drop traffic to crashed hosts; control
                             // notices are delivered regardless (they come
                             // from the detector, not the host).
-                            let to_crashed =
-                                st.crashed.get(&item.to).copied().unwrap_or(false);
+                            let to_crashed = st.crashed.get(&item.to).copied().unwrap_or(false);
                             let deliver = match &item.event {
                                 NetEvent::Msg { .. } => !to_crashed,
                                 _ => !to_crashed,
@@ -251,7 +250,14 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
             .expect("spawn router");
     }
 
-    fn schedule(&self, st: &mut RouterState<M>, from: Option<HostId>, to: HostId, event: NetEvent<M>, extra: Duration) {
+    fn schedule(
+        &self,
+        st: &mut RouterState<M>,
+        from: Option<HostId>,
+        to: HostId,
+        event: NetEvent<M>,
+        extra: Duration,
+    ) {
         let now = Instant::now();
         let jitter = if self.inner.cfg.jitter.is_zero() {
             Duration::ZERO
@@ -289,7 +295,13 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
             return;
         }
         self.inner.stats.record_msg(msg.wire_size());
-        self.schedule(&mut st, Some(from), to, NetEvent::Msg { from, msg }, Duration::ZERO);
+        self.schedule(
+            &mut st,
+            Some(from),
+            to,
+            NetEvent::Msg { from, msg },
+            Duration::ZERO,
+        );
     }
 
     /// Best-effort multicast to a set of hosts (one accounted message per

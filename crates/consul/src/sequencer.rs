@@ -39,7 +39,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Protocol messages of the sequencer group.
 #[derive(Debug, Clone)]
@@ -122,6 +122,11 @@ struct State {
     net: SimNet<SeqMsg>,
     dtx: crossbeam::channel::Sender<Delivery>,
     stats: Arc<OrderStats>,
+    /// Broadcast → total-order self-delivery latency (the "order" stage
+    /// of the AGS lifecycle).
+    order_hist: Arc<linda_obs::Histogram>,
+    /// Submission instants of this member's own in-flight broadcasts.
+    broadcast_at: HashMap<LocalId, Instant>,
 
     // Member side.
     log: Vec<Record>,
@@ -248,7 +253,8 @@ impl State {
                 self.nacked_for = Some(expected);
                 self.stats.record_retransmit();
                 let coord = self.coord;
-                self.net.send(self.me, coord, SeqMsg::Nack { from: expected });
+                self.net
+                    .send(self.me, coord, SeqMsg::Nack { from: expected });
             }
             return;
         }
@@ -265,6 +271,9 @@ impl State {
             RecordBody::App(_) => {
                 if rec.origin == self.me {
                     self.pending_submits.remove(&rec.local);
+                    if let Some(t0) = self.broadcast_at.remove(&rec.local) {
+                        self.order_hist.observe(t0.elapsed());
+                    }
                 }
             }
             RecordBody::Fail(h) => {
@@ -295,12 +304,7 @@ impl State {
         if now.duration_since(self.last_ping) >= hb.period {
             self.last_ping = now;
             let me = self.me;
-            let peers: Vec<HostId> = self
-                .universe
-                .iter()
-                .copied()
-                .filter(|p| *p != me)
-                .collect();
+            let peers: Vec<HostId> = self.universe.iter().copied().filter(|p| *p != me).collect();
             self.net.multicast(me, peers, SeqMsg::Ping);
         }
         let silent: Vec<HostId> = self
@@ -532,6 +536,8 @@ pub struct SeqMember {
     deliveries: crossbeam::channel::Receiver<Delivery>,
     stats: Arc<OrderStats>,
     stop: Arc<AtomicBool>,
+    obs: Arc<linda_obs::Registry>,
+    join_error: Arc<Mutex<Option<String>>>,
 }
 
 /// Factory/controller for a sequencer group over a simulated network.
@@ -575,6 +581,11 @@ impl SeqGroup {
     ) -> SeqMember {
         let (dtx, drx) = crossbeam::channel::unbounded();
         let live: BTreeSet<HostId> = universe.iter().copied().collect();
+        let obs = Arc::new(linda_obs::Registry::new());
+        let order_hist = obs.histogram(
+            "ftlinda_ags_order_seconds",
+            "Broadcast to total-order self-delivery latency",
+        );
         let state = Arc::new(Mutex::new(State {
             me,
             universe: universe.to_vec(),
@@ -584,6 +595,8 @@ impl SeqGroup {
             net: net.clone(),
             dtx,
             stats: stats.clone(),
+            order_hist,
+            broadcast_at: HashMap::new(),
             log: Vec::new(),
             buffer: BTreeMap::new(),
             pending_submits: BTreeMap::new(),
@@ -615,6 +628,8 @@ impl SeqGroup {
             deliveries: drx,
             stats,
             stop: stop.clone(),
+            obs,
+            join_error: Arc::new(Mutex::new(None)),
         };
         let tick = net
             .config()
@@ -651,39 +666,82 @@ impl SeqGroup {
     /// Restart a crashed member: returns a fresh handle that rejoins the
     /// group and replays the ordered log (all deliveries are re-emitted
     /// to its application from sequence 1).
+    ///
+    /// Rejoining retries `JoinReq` with capped exponential backoff
+    /// (5 ms doubling to 160 ms) and gives up after
+    /// [`SeqGroup::MAX_JOIN_ATTEMPTS`] attempts — e.g. when every other
+    /// member is down, so no coordinator can ever answer. A give-up is
+    /// surfaced through [`SeqMember::rejoin_error`] and as a
+    /// `rejoin_failed` event in the member's observability registry.
     pub fn restart(&self, host: HostId) -> SeqMember {
         let rx = self.net.restart(host);
-        let member =
-            Self::spawn_member(host, &self.net, &self.universe, rx, self.stats.clone(), false);
-        // Rejoin with retry until a snapshot arrives.
+        let member = Self::spawn_member(
+            host,
+            &self.net,
+            &self.universe,
+            rx,
+            self.stats.clone(),
+            false,
+        );
         let state = member.state.clone();
         let net = member.net.clone();
         let stop = member.stop.clone();
         let me = member.me;
+        let join_error = member.join_error.clone();
+        let obs = member.obs.clone();
+        let attempts_total = obs.counter(
+            "ftlinda_rejoin_attempts_total",
+            "JoinReq rounds sent by a restarted member",
+        );
         std::thread::Builder::new()
             .name(format!("join-{me}"))
-            .spawn(move || loop {
-                {
-                    let st = state.lock();
-                    if st.joined || stop.load(AtomicOrdering::Relaxed) {
-                        return;
+            .spawn(move || {
+                let mut backoff = Duration::from_millis(5);
+                let cap = Duration::from_millis(160);
+                for _ in 0..Self::MAX_JOIN_ATTEMPTS {
+                    {
+                        let st = state.lock();
+                        if st.joined || stop.load(AtomicOrdering::Relaxed) {
+                            return;
+                        }
                     }
+                    attempts_total.inc();
+                    let peers: Vec<HostId> = state
+                        .lock()
+                        .universe
+                        .iter()
+                        .copied()
+                        .filter(|h| *h != me)
+                        .collect();
+                    for p in peers {
+                        net.send(me, p, SeqMsg::JoinReq);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(cap);
                 }
-                let peers: Vec<HostId> = state
-                    .lock()
-                    .universe
-                    .iter()
-                    .copied()
-                    .filter(|h| *h != me)
-                    .collect();
-                for p in peers {
-                    net.send(me, p, SeqMsg::JoinReq);
+                if state.lock().joined || stop.load(AtomicOrdering::Relaxed) {
+                    return;
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                let msg = format!(
+                    "{me} failed to rejoin after {} JoinReq attempts (no coordinator answered)",
+                    Self::MAX_JOIN_ATTEMPTS
+                );
+                *join_error.lock() = Some(msg);
+                obs.events().emit(linda_obs::Event::new(
+                    "rejoin_failed",
+                    vec![
+                        ("host".into(), me.to_string()),
+                        ("attempts".into(), Self::MAX_JOIN_ATTEMPTS.to_string()),
+                    ],
+                ));
             })
             .expect("spawn join retry");
         member
     }
+
+    /// JoinReq rounds a restarted member sends before declaring the
+    /// rejoin failed (~2 s wall clock with the capped backoff).
+    pub const MAX_JOIN_ATTEMPTS: u32 = 16;
 
     /// The simulated network (for stats and direct fault injection).
     pub fn net(&self) -> &SimNet<SeqMsg> {
@@ -716,6 +774,7 @@ impl SeqMember {
         let local = st.next_local;
         st.next_local += 1;
         st.pending_submits.insert(local, payload.clone());
+        st.broadcast_at.insert(local, Instant::now());
         if st.is_coord() {
             let me = st.me;
             st.coord_submit(me, local, payload);
@@ -745,6 +804,21 @@ impl SeqMember {
     /// Snapshot of the member's delivered log (tests/debugging).
     pub fn log(&self) -> Vec<Record> {
         self.state.lock().log.clone()
+    }
+
+    /// This member's observability registry: the order-stage latency
+    /// histogram (`ftlinda_ags_order_seconds`), rejoin counters, and the
+    /// structured-event sink. The FT-Linda runtime layers its own
+    /// instruments into the same registry.
+    pub fn obs(&self) -> Arc<linda_obs::Registry> {
+        self.obs.clone()
+    }
+
+    /// If this member was created by [`SeqGroup::restart`] and its rejoin
+    /// retries were exhausted without a coordinator answering, the error
+    /// description. `None` while retrying or after a successful rejoin.
+    pub fn rejoin_error(&self) -> Option<String> {
+        self.join_error.lock().clone()
     }
 }
 
@@ -786,6 +860,44 @@ mod tests {
             },
             within,
         )
+    }
+
+    /// Poll until both members report identical logs (condition-based
+    /// replacement for "sleep and hope they've converged").
+    fn assert_logs_converge(a: &SeqMember, b: &SeqMember, within: Duration) {
+        let deadline = Instant::now() + within;
+        loop {
+            let (la, lb) = (a.log(), b.log());
+            if la == lb {
+                return;
+            }
+            if Instant::now() >= deadline {
+                assert_eq!(la, lb, "logs did not converge within {within:?}");
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Poll until the physical message counter stops moving (three
+    /// consecutive identical samples), then return the final snapshot.
+    fn quiesced_msgs(g: &SeqGroup, within: Duration) -> u64 {
+        let deadline = Instant::now() + within;
+        let mut last = g.net().stats().snapshot().0;
+        let mut stable = 0;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            let now = g.net().stats().snapshot().0;
+            if now == last {
+                stable += 1;
+                if stable >= 3 {
+                    break;
+                }
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        last
     }
 
     #[test]
@@ -922,8 +1034,7 @@ mod tests {
             .filter(|d| matches!(d, Delivery::App { .. }))
             .collect();
         assert_eq!(apps1.len(), 10);
-        std::thread::sleep(Duration::from_millis(200));
-        assert_eq!(ms[1].log(), ms[2].log());
+        assert_logs_converge(&ms[1], &ms[2], Duration::from_secs(3));
         g.shutdown();
     }
 
@@ -976,8 +1087,7 @@ mod tests {
         assert!(ds
             .iter()
             .any(|d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"b")));
-        std::thread::sleep(Duration::from_millis(200));
-        assert_eq!(ms[2].log(), ms[3].log());
+        assert_logs_converge(&ms[2], &ms[3], Duration::from_secs(3));
         g.shutdown();
     }
 
@@ -1015,8 +1125,7 @@ mod tests {
             Duration::from_secs(3),
         );
         assert!(!ds2.is_empty());
-        std::thread::sleep(Duration::from_millis(200));
-        assert_eq!(ms[0].log(), m2.log());
+        assert_logs_converge(&ms[0], &m2, Duration::from_secs(3));
         g.shutdown();
     }
 
@@ -1029,14 +1138,12 @@ mod tests {
         g.net().stats().reset();
         ms[1].broadcast(Bytes::from_static(b"m"));
         let _ = collect_n(&ms[1], 1, Duration::from_secs(2));
-        std::thread::sleep(Duration::from_millis(50));
-        let (msgs, _) = g.net().stats().snapshot();
+        let msgs = quiesced_msgs(&g, Duration::from_secs(2));
         assert_eq!(msgs, 4, "1 submit + 3 ordered");
         g.net().stats().reset();
         ms[0].broadcast(Bytes::from_static(b"m"));
         let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
-        std::thread::sleep(Duration::from_millis(50));
-        let (msgs, _) = g.net().stats().snapshot();
+        let msgs = quiesced_msgs(&g, Duration::from_secs(2));
         assert_eq!(msgs, 3, "coordinator pays only the fan-out");
         g.shutdown();
     }

@@ -4,9 +4,23 @@
 //! Consul group and hands out one [`Runtime`] per host. Crashing and
 //! restarting hosts goes through the cluster, mirroring how the paper's
 //! evaluation kills workstations under a running application.
+//!
+//! The cluster also runs a *digest-divergence detector*: a background
+//! thread that periodically cross-checks [`Runtime::applied_digest`]
+//! across live hosts. Replica application is deterministic, so two hosts
+//! at the same applied sequence number must have identical digests; a
+//! mismatch means replica state has diverged (a bug, or deliberate fault
+//! injection in tests) and is surfaced as a `digest_divergence` event
+//! plus a `ftlinda_digest_divergence_total` counter on
+//! [`Cluster::obs`].
 
 use crate::runtime::Runtime;
 use consul_sim::{HostId, NetConfig, SeqGroup};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Builder for a [`Cluster`].
@@ -14,6 +28,7 @@ use std::time::Duration;
 pub struct ClusterBuilder {
     hosts: u32,
     net: NetConfig,
+    divergence_period: Option<Duration>,
 }
 
 impl Default for ClusterBuilder {
@@ -21,6 +36,7 @@ impl Default for ClusterBuilder {
         ClusterBuilder {
             hosts: 3,
             net: NetConfig::instant(),
+            divergence_period: Some(Duration::from_millis(10)),
         }
     }
 }
@@ -52,24 +68,48 @@ impl ClusterBuilder {
         self
     }
 
+    /// How often the divergence detector cross-checks replica digests.
+    pub fn divergence_period(mut self, p: Duration) -> Self {
+        self.divergence_period = Some(p);
+        self
+    }
+
+    /// Disable the background divergence detector.
+    pub fn no_divergence_detector(mut self) -> Self {
+        self.divergence_period = None;
+        self
+    }
+
     /// Build the cluster and one runtime per host.
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
         let (group, members) = SeqGroup::new(self.hosts, self.net);
         let runtimes: Vec<Runtime> = members.into_iter().map(Runtime::new).collect();
-        (
-            Cluster {
-                group,
-                runtimes: runtimes.clone(),
-            },
-            runtimes,
-        )
+        let by_host: HashMap<HostId, Runtime> =
+            runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
+        let cluster = Cluster {
+            group,
+            runtimes: Arc::new(Mutex::new(by_host)),
+            obs: Arc::new(linda_obs::Registry::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            detector: Mutex::new(None),
+        };
+        if let Some(period) = self.divergence_period {
+            cluster.spawn_detector(period);
+        }
+        (cluster, runtimes)
     }
 }
 
 /// A running FT-Linda cluster over the simulated network.
 pub struct Cluster {
     group: SeqGroup,
-    runtimes: Vec<Runtime>,
+    /// Current runtime per host, replaced on restart so the divergence
+    /// detector always samples the live incarnation.
+    runtimes: Arc<Mutex<HashMap<HostId, Runtime>>>,
+    /// Cluster-level registry: divergence counter + events.
+    obs: Arc<linda_obs::Registry>,
+    stop: Arc<AtomicBool>,
+    detector: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -83,6 +123,76 @@ impl Cluster {
         Cluster::builder().hosts(n).build()
     }
 
+    fn spawn_detector(&self, period: Duration) {
+        let runtimes = self.runtimes.clone();
+        let obs = self.obs.clone();
+        let stop = self.stop.clone();
+        let net = self.group.net().clone();
+        let divergences = obs.counter(
+            "ftlinda_digest_divergence_total",
+            "Replica digest mismatches observed at equal applied sequence",
+        );
+        let handle = std::thread::Builder::new()
+            .name("ftlinda-divergence".into())
+            .spawn(move || {
+                // Sequence numbers already reported, so a persistent
+                // divergence is surfaced once, not every tick.
+                let mut reported: HashSet<u64> = HashSet::new();
+                while !stop.load(AtomicOrdering::Relaxed) {
+                    std::thread::sleep(period);
+                    let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    let samples: Vec<(HostId, u64, u64)> = {
+                        let map = runtimes.lock();
+                        map.iter()
+                            .filter(|(h, _)| live.contains(h))
+                            .map(|(h, rt)| {
+                                let (seq, dig) = rt.applied_digest();
+                                (*h, seq, dig)
+                            })
+                            .collect()
+                    };
+                    // Group by applied seq; equal seq must imply equal
+                    // digest (deterministic application of the same
+                    // ordered prefix), so this never false-positives on
+                    // replicas that merely lag.
+                    let mut by_seq: HashMap<u64, Vec<(HostId, u64)>> = HashMap::new();
+                    for (h, seq, dig) in samples {
+                        by_seq.entry(seq).or_default().push((h, dig));
+                    }
+                    for (seq, group) in by_seq {
+                        if group.len() < 2 || reported.contains(&seq) {
+                            continue;
+                        }
+                        let first = group[0].1;
+                        if group.iter().any(|(_, d)| *d != first) {
+                            reported.insert(seq);
+                            divergences.inc();
+                            let mut fields = vec![("seq".to_string(), seq.to_string())];
+                            for (h, d) in &group {
+                                fields.push((format!("digest_h{}", h.0), format!("{d:#x}")));
+                            }
+                            obs.events()
+                                .emit(linda_obs::Event::new("digest_divergence", fields));
+                        }
+                    }
+                }
+            })
+            .expect("spawn divergence detector");
+        *self.detector.lock() = Some(handle);
+    }
+
+    /// Cluster-level observability registry: the divergence counter and
+    /// `digest_divergence` events live here (per-host pipeline metrics
+    /// live on each [`Runtime::obs`]).
+    pub fn obs(&self) -> Arc<linda_obs::Registry> {
+        self.obs.clone()
+    }
+
+    /// Render cluster-level metrics in Prometheus text format.
+    pub fn metrics_text(&self) -> String {
+        self.obs.render()
+    }
+
     /// Crash a host (fail-silent). Every surviving replica will deposit a
     /// `("failure", host)` tuple into each stable TS once the failure is
     /// detected and ordered.
@@ -94,7 +204,9 @@ impl Cluster {
     /// and converges to the surviving replicas' state; a `Join` record is
     /// ordered into the stream.
     pub fn restart(&self, host: HostId) -> Runtime {
-        Runtime::new(self.group.restart(host))
+        let rt = Runtime::new(self.group.restart(host));
+        self.runtimes.lock().insert(host, rt.clone());
+        rt
     }
 
     /// Network statistics (physical messages/bytes) — experiment E9.
@@ -112,9 +224,13 @@ impl Cluster {
         self.group.stats()
     }
 
-    /// Tear everything down.
+    /// Tear everything down (idempotent).
     pub fn shutdown(&self) {
-        for rt in &self.runtimes {
+        self.stop.store(true, AtomicOrdering::Relaxed);
+        if let Some(h) = self.detector.lock().take() {
+            let _ = h.join();
+        }
+        for rt in self.runtimes.lock().values() {
             rt.shutdown();
         }
         self.group.shutdown();

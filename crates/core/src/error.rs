@@ -53,11 +53,9 @@ mod tests {
     fn display_variants() {
         assert!(FtError::Shutdown.to_string().contains("shut down"));
         assert!(FtError::Timeout.to_string().contains("timed out"));
-        assert!(
-            FtError::Exec(ExecError::BodyUnmatched { op_index: 0 })
-                .to_string()
-                .contains("execution failed")
-        );
+        assert!(FtError::Exec(ExecError::BodyUnmatched { op_index: 0 })
+            .to_string()
+            .contains("execution failed"));
         assert!(FtError::Invalid(ftlinda_ags::AgsError::NoBranches)
             .to_string()
             .contains("invalid"));

@@ -42,11 +42,13 @@ mod server;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::FtError;
-pub use server::{RpcClient, TupleServer};
 pub use runtime::{pattern_fields, rebuild_tuple, AgsHandle, CompletionOk, FtEvent, Runtime};
+pub use server::{RpcClient, TupleServer};
 
 // Re-export the pieces users need to build AGSs and patterns.
 pub use consul_sim::{HostId, NetConfig};
 pub use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
 pub use ftlinda_kernel::{ExecError, FAILURE_TUPLE_HEAD};
+/// Observability primitives (metrics registry, histograms, event sink).
+pub use linda_obs as obs;
 pub use linda_tuple::{Pattern, Tuple, TypeTag, Value};

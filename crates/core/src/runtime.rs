@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Failure/recovery events observable by application code (in addition to
 /// the failure *tuples* deposited in every stable TS).
@@ -44,11 +44,18 @@ pub enum CompletionOk {
 }
 
 struct Shared {
-    waiting: Mutex<HashMap<LocalId, CompletionTx>>,
+    /// Per-call completion channel and submit instant, keyed by the
+    /// origin-local broadcast id.
+    waiting: Mutex<HashMap<LocalId, (CompletionTx, Instant)>>,
     events: Mutex<Vec<Sender<FtEvent>>>,
     kernel: Mutex<Kernel>,
     alive: AtomicBool,
     next_scratch: AtomicU32,
+    obs: Arc<linda_obs::Registry>,
+    hist_submit: Arc<linda_obs::Histogram>,
+    hist_notify: Arc<linda_obs::Histogram>,
+    hist_total: Arc<linda_obs::Histogram>,
+    completions: Arc<linda_obs::Counter>,
 }
 
 /// Handle to the FT-Linda runtime on one host. Cloneable; clones share
@@ -67,12 +74,36 @@ impl Runtime {
     pub fn new(member: SeqMember) -> Runtime {
         let host = member.host();
         let (note_tx, note_rx) = crossbeam::channel::unbounded::<KernelNote>();
+        let obs = member.obs();
+        let mut kernel = Kernel::new(host, note_tx);
+        kernel.attach_obs(&obs);
+        let hist_submit = obs.histogram(
+            "ftlinda_ags_submit_seconds",
+            "Client encode + broadcast handoff latency",
+        );
+        let hist_notify = obs.histogram(
+            "ftlinda_ags_notify_seconds",
+            "Kernel completion to client notify latency",
+        );
+        let hist_total = obs.histogram(
+            "ftlinda_ags_total_seconds",
+            "End-to-end AGS latency: submit to completion routed",
+        );
+        let completions = obs.counter(
+            "ftlinda_ags_completions_total",
+            "AGS/CreateTs completions routed to local clients",
+        );
         let shared = Arc::new(Shared {
             waiting: Mutex::new(HashMap::new()),
             events: Mutex::new(Vec::new()),
-            kernel: Mutex::new(Kernel::new(host, note_tx)),
+            kernel: Mutex::new(kernel),
             alive: AtomicBool::new(true),
             next_scratch: AtomicU32::new(0),
+            obs,
+            hist_submit,
+            hist_notify,
+            hist_total,
+            completions,
         });
         let member = Arc::new(member);
         let rt = Runtime {
@@ -95,7 +126,7 @@ impl Runtime {
                         shared.alive.store(false, AtomicOrdering::Relaxed);
                         // Wake all waiters with Shutdown.
                         let mut w = shared.waiting.lock();
-                        for (_, tx) in w.drain() {
+                        for (_, (tx, _)) in w.drain() {
                             let _ = tx.send(Err(FtError::Shutdown));
                         }
                         return;
@@ -104,19 +135,23 @@ impl Runtime {
                 shared.kernel.lock().apply(&d);
                 // Route kernel notes produced by this apply.
                 for note in note_rx.try_iter() {
+                    let routed_at = Instant::now();
                     match note {
                         KernelNote::Completed { local, result, .. } => {
-                            if let Some(tx) = shared.waiting.lock().remove(&local) {
-                                let _ = tx.send(
-                                    result
-                                        .map(CompletionOk::Ags)
-                                        .map_err(FtError::Exec),
-                                );
+                            if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
+                                shared.hist_total.observe(t0.elapsed());
+                                shared.completions.inc();
+                                let _ =
+                                    tx.send(result.map(CompletionOk::Ags).map_err(FtError::Exec));
+                                shared.hist_notify.observe(routed_at.elapsed());
                             }
                         }
                         KernelNote::TsCreated { local, id, .. } => {
-                            if let Some(tx) = shared.waiting.lock().remove(&local) {
+                            if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
+                                shared.hist_total.observe(t0.elapsed());
+                                shared.completions.inc();
                                 let _ = tx.send(Ok(CompletionOk::Ts(id)));
+                                shared.hist_notify.observe(routed_at.elapsed());
                             }
                         }
                         KernelNote::HostFailed { host, .. } => {
@@ -152,12 +187,15 @@ impl Runtime {
 
     fn submit(&self, req: &Request) -> Receiver<Result<CompletionOk, FtError>> {
         let (tx, rx) = crossbeam::channel::bounded(1);
+        let t0 = Instant::now();
         let payload = bytes::Bytes::from(encode_request(req));
         // Hold the waiting lock across broadcast + insert so the apply
         // thread cannot route the completion before the waiter exists.
         let mut w = self.shared.waiting.lock();
         let local = self.member.broadcast(payload);
-        w.insert(local, tx);
+        w.insert(local, (tx, t0));
+        drop(w);
+        self.shared.hist_submit.observe(t0.elapsed());
         rx
     }
 
@@ -267,9 +305,16 @@ impl Runtime {
     /// [`LocalSpace`] is the direct (cheap, unreplicated) interface; the
     /// [`ScratchId`] lets AGS bodies `out`/`move` into it.
     pub fn create_scratch(&self) -> (ScratchId, LocalSpace) {
-        let id = ScratchId(self.shared.next_scratch.fetch_add(1, AtomicOrdering::Relaxed));
+        let id = ScratchId(
+            self.shared
+                .next_scratch
+                .fetch_add(1, AtomicOrdering::Relaxed),
+        );
         let space = LocalSpace::new();
-        self.shared.kernel.lock().register_scratch(id, space.clone());
+        self.shared
+            .kernel
+            .lock()
+            .register_scratch(id, space.clone());
         (id, space)
     }
 
@@ -300,12 +345,64 @@ impl Runtime {
         self.shared.kernel.lock().applied_seq()
     }
 
+    /// Block until this replica has applied at least `seq` (e.g. a lagging
+    /// or restarted host catching up to `other.applied_seq()`). Returns
+    /// `false` if the deadline passes first.
+    pub fn wait_applied(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.applied_seq() >= seq {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Applied sequence number and state digest, read under one kernel
+    /// lock so they describe the same replica state (used by the
+    /// divergence detector: equal seq must imply equal digest).
+    pub fn applied_digest(&self) -> (u64, u64) {
+        let k = self.shared.kernel.lock();
+        (k.applied_seq(), k.digest())
+    }
+
+    // ----- observability ----------------------------------------------------
+
+    /// This host's metrics/event registry (shared with the sequencer
+    /// member and the kernel).
+    pub fn obs(&self) -> Arc<linda_obs::Registry> {
+        self.shared.obs.clone()
+    }
+
+    /// Render this host's metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.shared.obs.render()
+    }
+
+    /// If this (restarted) host exhausted its rejoin retry budget without
+    /// finding a live peer, the error message describing the give-up.
+    pub fn rejoin_error(&self) -> Option<String> {
+        self.member.rejoin_error()
+    }
+
+    /// Deposit a tuple directly into this replica's copy of a stable
+    /// space, bypassing the total order. Returns `false` if the space
+    /// does not exist here. **Test hook**: this deliberately breaks
+    /// replica determinism so divergence detection can be exercised.
+    #[doc(hidden)]
+    pub fn fault_inject_local(&self, ts: TsId, t: Tuple) -> bool {
+        self.shared.kernel.lock().fault_inject(ts, t)
+    }
+
     /// Stop the apply thread (cluster teardown).
     pub fn shutdown(&self) {
         self.shared.alive.store(false, AtomicOrdering::Relaxed);
         self.member.stop();
         let mut w = self.shared.waiting.lock();
-        for (_, tx) in w.drain() {
+        for (_, (tx, _)) in w.drain() {
             let _ = tx.send(Err(FtError::Shutdown));
         }
     }

@@ -36,6 +36,7 @@ enum RpcRequest {
 pub struct TupleServer {
     tx: crossbeam::channel::Sender<RpcRequest>,
     alive: Arc<AtomicBool>,
+    rt: Runtime,
 }
 
 impl TupleServer {
@@ -66,7 +67,13 @@ impl TupleServer {
                 })
                 .expect("spawn tuple server handler");
         }
-        TupleServer { tx, alive }
+        TupleServer { tx, alive, rt }
+    }
+
+    /// Render the backing host's metrics in Prometheus text format —
+    /// the natural scrape point when non-replica clients go through RPC.
+    pub fn metrics_text(&self) -> String {
+        self.rt.metrics_text()
     }
 
     /// Connect a client with the given simulated one-way RPC latency.
@@ -153,9 +160,7 @@ mod tests {
             .execute(&Ags::out_one(ts, vec![Operand::cst("x"), Operand::cst(1)]))
             .unwrap();
         let o = client
-            .execute(
-                &Ags::in_one(ts, vec![MF::actual("x"), MF::bind(TypeTag::Int)]).unwrap(),
-            )
+            .execute(&Ags::in_one(ts, vec![MF::actual("x"), MF::bind(TypeTag::Int)]).unwrap())
             .unwrap();
         assert_eq!(o.bindings[0].as_int(), Some(1));
         cluster.shutdown();

@@ -11,8 +11,10 @@ fn out_on_one_host_in_on_another() {
     rts[0].out(ts, tuple!("msg", 42)).unwrap();
     let got = rts[2].in_(ts, &pat!("msg", ?int)).unwrap();
     assert_eq!(got, tuple!("msg", 42));
-    // Withdrawn everywhere.
+    // Withdrawn everywhere (wait for lagging kernels to catch up to the
+    // withdrawing host before asserting).
     for rt in &rts {
+        assert!(rt.wait_applied(rts[2].applied_seq(), Duration::from_secs(5)));
         assert_eq!(rt.stable_len(ts), Some(0));
     }
     cluster.shutdown();
@@ -175,6 +177,7 @@ fn scratch_space_receives_ags_output() {
     );
     // Host 0's kernel did NOT materialize anything locally (scratch is
     // owner-local): its scratch table is empty (no scratch created).
+    assert!(rts[0].wait_applied(rts[1].applied_seq(), Duration::from_secs(5)));
     assert_eq!(rts[0].stable_len(ts), Some(0));
     cluster.shutdown();
 }
@@ -297,23 +300,20 @@ fn execute_async_pipelines_submissions() {
     let ts = rts[0].create_stable_ts("main").unwrap();
     // Fire 20 outs without waiting, then await them all.
     let handles: Vec<_> = (0..20i64)
-        .map(|i| {
-            rts[1].execute_async(&Ags::out_one(
-                ts,
-                vec![Operand::cst("n"), Operand::cst(i)],
-            ))
-        })
+        .map(|i| rts[1].execute_async(&Ags::out_one(ts, vec![Operand::cst("n"), Operand::cst(i)])))
         .collect();
     for h in handles {
         h.wait().unwrap();
     }
+    assert!(rts[2].wait_applied(rts[1].applied_seq(), Duration::from_secs(5)));
     assert_eq!(rts[2].stable_len(ts), Some(20));
     // Async blocking in with ready-probe.
-    let h = rts[2].execute_async(
-        &Ags::in_one(ts, vec![MF::actual("never-there")]).unwrap(),
-    );
+    let h = rts[2].execute_async(&Ags::in_one(ts, vec![MF::actual("never-there")]).unwrap());
     assert!(!h.is_ready());
-    assert_eq!(h.wait_timeout(Duration::from_millis(50)), Err(FtError::Timeout));
+    assert_eq!(
+        h.wait_timeout(Duration::from_millis(50)),
+        Err(FtError::Timeout)
+    );
     cluster.shutdown();
 }
 
@@ -350,6 +350,8 @@ fn move_between_stable_spaces_over_cluster() {
         .build()
         .unwrap();
     rts[1].execute(&ags).unwrap();
+    // execute() returns when host 1's kernel applies; host 0 may lag.
+    assert!(rts[0].wait_applied(rts[1].applied_seq(), Duration::from_secs(5)));
     assert_eq!(rts[0].stable_len(a), Some(1));
     assert_eq!(rts[0].stable_len(b), Some(5));
     // Age order preserved across the move.

@@ -193,8 +193,7 @@ fn execute_branch(
                     let tuple = Tuple::new(fields);
                     match ts {
                         SpaceRef::Stable(id) => {
-                            let store =
-                                stables.get_mut(id).ok_or(ExecError::UnknownTs(*id))?;
+                            let store = stables.get_mut(id).ok_or(ExecError::UnknownTs(*id))?;
                             let sig = tuple.signature().stable_hash();
                             let seq = store.insert_tracked(tuple);
                             undo.push(Undo::RemoveInserted { ts: *id, seq, sig });
@@ -226,8 +225,9 @@ fn execute_branch(
                 BodyOp::Move { from, to, pattern } => {
                     let from_id = stable_id(*from);
                     let pat = wildcard_pattern(pattern, &ctx)?;
-                    let store =
-                        stables.get_mut(&from_id).ok_or(ExecError::UnknownTs(from_id))?;
+                    let store = stables
+                        .get_mut(&from_id)
+                        .ok_or(ExecError::UnknownTs(from_id))?;
                     let taken = store.take_all_tracked(&pat);
                     for (seq, tuple) in &taken {
                         undo.push(Undo::RestoreTaken {
@@ -249,7 +249,13 @@ fn execute_branch(
                     let pat = wildcard_pattern(pattern, &ctx)?;
                     let store = stables.get(&from_id).ok_or(ExecError::UnknownTs(from_id))?;
                     let copies = linda_space::Store::read_all(store, &pat);
-                    deposit_all(stables, *to, copies.into_iter(), &mut undo, &mut scratch_outs)?;
+                    deposit_all(
+                        stables,
+                        *to,
+                        copies.into_iter(),
+                        &mut undo,
+                        &mut scratch_outs,
+                    )?;
                 }
             }
         }
@@ -366,7 +372,10 @@ mod tests {
         s.get_mut(&TsId(0)).unwrap().insert(tuple!("count", 41));
         let ags = Ags::builder()
             .guard_in(TsId(0), vec![MF::actual("count"), MF::bind(Int)])
-            .out(TsId(0), vec![Operand::cst("count"), Operand::formal(0).add(1)])
+            .out(
+                TsId(0),
+                vec![Operand::cst("count"), Operand::formal(0).add(1)],
+            )
             .build()
             .unwrap();
         match try_execute(&mut s, &ags, 0, 1) {
@@ -452,7 +461,10 @@ mod tests {
         }
         assert_eq!(s[&TsId(0)].snapshot(), before, "exact rollback");
         // Age order preserved: oldest still comes out first.
-        assert_eq!(s.get_mut(&TsId(0)).unwrap().take(&pat!("t", ?int)), Some(tuple!("t", 1)));
+        assert_eq!(
+            s.get_mut(&TsId(0)).unwrap().take(&pat!("t", ?int)),
+            Some(tuple!("t", 1))
+        );
     }
 
     #[test]
@@ -478,7 +490,10 @@ mod tests {
             .guard_true()
             .out(TsId(0), vec![Operand::cst("tmp"), Operand::cst(5)])
             .in_(TsId(0), vec![MF::actual("tmp"), MF::bind(Int)])
-            .out(TsId(0), vec![Operand::cst("final"), Operand::formal(0).mul(2)])
+            .out(
+                TsId(0),
+                vec![Operand::cst("final"), Operand::formal(0).mul(2)],
+            )
             .build()
             .unwrap();
         match try_execute(&mut s, &ags, 0, 1) {
@@ -605,7 +620,10 @@ mod tests {
         s.get_mut(&TsId(0)).unwrap().insert(tuple!("cfg", 10));
         let ags = Ags::builder()
             .guard_rd(TsId(0), vec![MF::actual("cfg"), MF::bind(Int)])
-            .out(TsId(0), vec![Operand::cst("derived"), Operand::formal(0).mul(3)])
+            .out(
+                TsId(0),
+                vec![Operand::cst("derived"), Operand::formal(0).mul(3)],
+            )
             .build()
             .unwrap();
         assert!(matches!(

@@ -20,6 +20,8 @@ use linda_space::{IndexedStore, LocalSpace, Store};
 use linda_tuple::{tuple, Tuple};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Notification from the kernel to the local FT-Linda runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +85,17 @@ struct BlockedAgs {
 /// a failure tuple into TS).
 pub const FAILURE_TUPLE_HEAD: &str = "failure";
 
+/// Observability handles resolved once at attach time so the apply path
+/// pays only atomic stores (absent when no registry is attached, e.g. in
+/// bare state-machine tests).
+struct KernelObs {
+    exec_hist: Arc<linda_obs::Histogram>,
+    blocked_depth: Arc<linda_obs::Gauge>,
+    stable_size: Arc<linda_obs::Gauge>,
+    applied_seq: Arc<linda_obs::Gauge>,
+    applied_total: Arc<linda_obs::Counter>,
+}
+
 /// The replicated tuple-space state machine for one host.
 pub struct Kernel {
     host: HostId,
@@ -93,6 +106,7 @@ pub struct Kernel {
     blocked: VecDeque<BlockedAgs>,
     notes: crossbeam::channel::Sender<KernelNote>,
     applied: u64,
+    obs: Option<KernelObs>,
 }
 
 impl Kernel {
@@ -107,6 +121,7 @@ impl Kernel {
             blocked: VecDeque::new(),
             notes,
             applied: 0,
+            obs: None,
         }
     }
 
@@ -116,9 +131,51 @@ impl Kernel {
         self.scratches.insert(id, space);
     }
 
+    /// Attach an observability registry: each applied record is timed
+    /// into `ftlinda_ags_execute_seconds`, and the blocked-queue depth,
+    /// total stable-space size, and applied sequence gauges are kept
+    /// current after every apply.
+    pub fn attach_obs(&mut self, reg: &linda_obs::Registry) {
+        self.obs = Some(KernelObs {
+            exec_hist: reg.histogram(
+                "ftlinda_ags_execute_seconds",
+                "Kernel execute duration per delivered record",
+            ),
+            blocked_depth: reg.gauge(
+                "ftlinda_blocked_ags",
+                "AGSs currently blocked at this replica",
+            ),
+            stable_size: reg.gauge(
+                "ftlinda_stable_tuples",
+                "Total tuples across all stable spaces at this replica",
+            ),
+            applied_seq: reg.gauge(
+                "ftlinda_applied_seq",
+                "Sequence number of the last applied record",
+            ),
+            applied_total: reg.counter(
+                "ftlinda_applied_records_total",
+                "Totally-ordered records applied by this kernel",
+            ),
+        });
+    }
+
     /// Apply the next totally-ordered delivery. Must be called in
     /// delivery order.
     pub fn apply(&mut self, d: &Delivery) {
+        let t0 = Instant::now();
+        self.apply_inner(d);
+        if let Some(obs) = &self.obs {
+            obs.exec_hist.observe(t0.elapsed());
+            obs.applied_total.inc();
+            obs.blocked_depth.set(self.blocked.len() as i64);
+            obs.stable_size
+                .set(self.stables.values().map(Store::len).sum::<usize>() as i64);
+            obs.applied_seq.set(self.applied as i64);
+        }
+    }
+
+    fn apply_inner(&mut self, d: &Delivery) {
         self.applied = d.seq();
         match d {
             Delivery::App {
@@ -286,6 +343,22 @@ impl Kernel {
 
     // ----- introspection -------------------------------------------------
 
+    /// Fault-injection hook: deposit a tuple into a stable space *locally
+    /// only*, bypassing the total order. This deliberately diverges this
+    /// replica from its peers; it exists so the digest-divergence
+    /// detector can be exercised under test. Returns `false` if the
+    /// space does not exist. Never call this from application code.
+    #[doc(hidden)]
+    pub fn fault_inject(&mut self, ts: TsId, t: Tuple) -> bool {
+        match self.stables.get_mut(&ts) {
+            Some(s) => {
+                s.insert(t);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// This kernel's host id.
     pub fn host(&self) -> HostId {
         self.host
@@ -402,8 +475,9 @@ mod tests {
             .collect();
         // local 3 (the out) completes, then local 2 (the unblocked in).
         assert_eq!(completed.len(), 2);
-        assert!(completed.iter().any(|(l, r)| *l == 2
-            && matches!(r, Ok(o) if o.bindings == vec![Value::Int(5)])));
+        assert!(completed
+            .iter()
+            .any(|(l, r)| *l == 2 && matches!(r, Ok(o) if o.bindings == vec![Value::Int(5)])));
     }
 
     #[test]
@@ -420,13 +494,20 @@ mod tests {
             4,
             0,
             4,
-            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("t"), Operand::cst(1)])),
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("t"), Operand::cst(1)],
+            )),
         ));
         assert_eq!(k.blocked_len(), 1);
         let woken: Vec<u64> = rx
             .try_iter()
             .filter_map(|n| match n {
-                KernelNote::Completed { local, result: Ok(_), .. } if local != 4 => Some(local),
+                KernelNote::Completed {
+                    local,
+                    result: Ok(_),
+                    ..
+                } if local != 4 => Some(local),
                 _ => None,
             })
             .collect();
@@ -488,9 +569,13 @@ mod tests {
             n,
             KernelNote::Completed { local: 3, result: Ok(o), .. } if o.bindings == vec![Value::Int(2)]
         )));
-        assert!(woke
-            .iter()
-            .any(|n| matches!(n, KernelNote::HostFailed { host: HostId(2), .. })));
+        assert!(woke.iter().any(|n| matches!(
+            n,
+            KernelNote::HostFailed {
+                host: HostId(2),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -576,7 +661,10 @@ mod tests {
                 &Request::Ags(
                     Ags::builder()
                         .guard_in(TsId(0), vec![MF::actual("count"), MF::bind(Int)])
-                        .out(TsId(0), vec![Operand::cst("count"), Operand::formal(0).add(1)])
+                        .out(
+                            TsId(0),
+                            vec![Operand::cst("count"), Operand::formal(0).add(1)],
+                        )
                         .build()
                         .unwrap(),
                 ),

@@ -83,7 +83,10 @@ mod tests {
         let ags = Ags::builder()
             .guard_in(
                 TsId(0),
-                vec![MatchField::actual("c"), MatchField::bind(linda_tuple::TypeTag::Int)],
+                vec![
+                    MatchField::actual("c"),
+                    MatchField::bind(linda_tuple::TypeTag::Int),
+                ],
             )
             .out(TsId(0), vec![Operand::cst("c"), Operand::formal(0).add(1)])
             .build()

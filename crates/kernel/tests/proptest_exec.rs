@@ -13,10 +13,7 @@ use std::collections::BTreeMap;
 fn arb_store_contents() -> impl Strategy<Value = Vec<Tuple>> {
     proptest::collection::vec(
         (0usize..3, 0i64..5).prop_map(|(h, v)| {
-            Tuple::new(vec![
-                Value::Str(["a", "b", "c"][h].into()),
-                Value::Int(v),
-            ])
+            Tuple::new(vec![Value::Str(["a", "b", "c"][h].into()), Value::Int(v)])
         }),
         0..12,
     )
@@ -62,10 +59,7 @@ fn stores_with(contents: &[Tuple]) -> BTreeMap<TsId, IndexedStore> {
 }
 
 fn full_snapshot(stores: &BTreeMap<TsId, IndexedStore>) -> Vec<(u32, Vec<Tuple>)> {
-    stores
-        .iter()
-        .map(|(id, s)| (id.0, s.snapshot()))
-        .collect()
+    stores.iter().map(|(id, s)| (id.0, s.snapshot())).collect()
 }
 
 proptest! {

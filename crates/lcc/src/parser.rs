@@ -394,9 +394,7 @@ impl<'a> Parser<'a> {
                 })?;
                 // optional binder name
                 let name = match &self.peek().kind {
-                    TokKind::Ident(s)
-                        if !["or"].contains(&s.as_str()) && !self.is_op_start() =>
-                    {
+                    TokKind::Ident(s) if !["or"].contains(&s.as_str()) && !self.is_op_start() => {
                         let n = s.clone();
                         self.next();
                         Some(n)
@@ -554,9 +552,7 @@ impl<'a> Parser<'a> {
                 // Fold negated numeric literals so `-8` is the constant
                 // −8 (canonical IR), not an application of Neg.
                 Ok(match inner {
-                    Operand::Const(Value::Int(i)) => {
-                        Operand::Const(Value::Int(i.wrapping_neg()))
-                    }
+                    Operand::Const(Value::Int(i)) => Operand::Const(Value::Int(i.wrapping_neg())),
                     Operand::Const(Value::Float(x)) => Operand::Const(Value::Float(-x)),
                     other => Operand::Apply(Func::Neg, vec![other]),
                 })

@@ -323,19 +323,13 @@ mod tests {
     fn precedence_preserved() {
         // (1 + 2) * 3 vs 1 + 2 * 3 must print differently and reparse
         // to the same trees.
-        roundtrip(&Ags::out_one(
-            TsId(0),
-            vec![Operand::cst(1).add(2).mul(3)],
-        ));
+        roundtrip(&Ags::out_one(TsId(0), vec![Operand::cst(1).add(2).mul(3)]));
         roundtrip(&Ags::out_one(
             TsId(0),
             vec![Operand::cst(1).add(Operand::cst(2).mul(3))],
         ));
         // Left-assoc subtraction: (1 - 2) - 3 vs 1 - (2 - 3).
-        roundtrip(&Ags::out_one(
-            TsId(0),
-            vec![Operand::cst(1).sub(2).sub(3)],
-        ));
+        roundtrip(&Ags::out_one(TsId(0), vec![Operand::cst(1).sub(2).sub(3)]));
         roundtrip(&Ags::out_one(
             TsId(0),
             vec![Operand::cst(1).sub(Operand::cst(2).sub(3))],
@@ -366,16 +360,16 @@ mod tests {
 
     #[test]
     fn float_integral_value_keeps_decimal() {
-        let src = print_ags(
-            &Ags::out_one(TsId(0), vec![Operand::cst(3.0)]),
-            &names(),
-        );
+        let src = print_ags(&Ags::out_one(TsId(0), vec![Operand::cst(3.0)]), &names());
         assert!(src.contains("3.0"), "{src}");
     }
 
     #[test]
     fn unnamed_spaces_get_fallback_names() {
-        let src = print_ags(&Ags::out_one(TsId(7), vec![Operand::cst(1)]), &SpaceNames::new());
+        let src = print_ags(
+            &Ags::out_one(TsId(7), vec![Operand::cst(1)]),
+            &SpaceNames::new(),
+        );
         assert!(src.contains("ts7"), "{src}");
     }
 }

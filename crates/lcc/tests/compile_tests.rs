@@ -24,11 +24,7 @@ fn bare_out() {
 #[test]
 fn bare_in_with_named_formal() {
     let got = compile_one(r#"in(ts, "count", ?int x);"#);
-    let want = Ags::in_one(
-        TsId(0),
-        vec![MF::actual("count"), MF::bind(Int)],
-    )
-    .unwrap();
+    let want = Ags::in_one(TsId(0), vec![MF::actual("count"), MF::bind(Int)]).unwrap();
     assert_eq!(got, want);
 }
 
@@ -129,18 +125,16 @@ fn parens_and_unary_minus() {
     let got = compile_one(r#"out(ts, -(1 + 2) * 3);"#);
     let want = Ags::out_one(
         TsId(0),
-        vec![Operand::Apply(
-            ftlinda_ags::Func::Neg,
-            vec![Operand::cst(1).add(2)],
-        )
-        .mul(3)],
+        vec![Operand::Apply(ftlinda_ags::Func::Neg, vec![Operand::cst(1).add(2)]).mul(3)],
     );
     assert_eq!(got, want);
 }
 
 #[test]
 fn functions_compile() {
-    let got = compile_one(r#"out(ts, min(1, 2), max(3, 4), if_(true, 1, 0), concat("a", "b"), int(2.5), float(7));"#);
+    let got = compile_one(
+        r#"out(ts, min(1, 2), max(3, 4), if_(true, 1, 0), concat("a", "b"), int(2.5), float(7));"#,
+    );
     match &got.branches[0].body[0] {
         ftlinda_ags::BodyOp::Out { template, .. } => {
             assert_eq!(template.len(), 6);

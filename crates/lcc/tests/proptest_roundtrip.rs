@@ -14,8 +14,7 @@ fn arb_const() -> impl Strategy<Value = Value> {
         (-1000i32..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
         any::<bool>().prop_map(Value::Bool),
         "[a-zA-Z0-9 _\\\\\"\n\t]{0,10}".prop_map(Value::Str),
-        prop_oneof![Just('a'), Just('Z'), Just('\''), Just('\\'), Just('\n')]
-            .prop_map(Value::Char),
+        prop_oneof![Just('a'), Just('Z'), Just('\''), Just('\\'), Just('\n')].prop_map(Value::Char),
     ]
 }
 
@@ -75,10 +74,7 @@ enum FieldKind {
 }
 
 fn arb_field() -> impl Strategy<Value = FieldKind> {
-    prop_oneof![
-        arb_tag().prop_map(FieldKind::Bind),
-        Just(FieldKind::Expr),
-    ]
+    prop_oneof![arb_tag().prop_map(FieldKind::Bind), Just(FieldKind::Expr),]
 }
 
 proptest! {
@@ -201,12 +197,11 @@ proptest! {
     }
 }
 
-fn prop_assert_ok<T, E: std::fmt::Display>(
-    r: Result<T, E>,
-    src: &str,
-) -> Result<T, TestCaseError> {
+fn prop_assert_ok<T, E: std::fmt::Display>(r: Result<T, E>, src: &str) -> Result<T, TestCaseError> {
     match r {
         Ok(v) => Ok(v),
-        Err(e) => Err(TestCaseError::fail(format!("reparse failed: {e}\nsource:\n{src}"))),
+        Err(e) => Err(TestCaseError::fail(format!(
+            "reparse failed: {e}\nsource:\n{src}"
+        ))),
     }
 }

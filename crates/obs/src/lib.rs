@@ -1,0 +1,515 @@
+//! # linda-obs
+//!
+//! Zero-dependency observability core for the FT-Linda reproduction.
+//!
+//! The paper's evaluation (§6) is built on counting — messages per AGS,
+//! latency per operation mix — and the reproduction needs the same
+//! numbers available *from a running system*, not just from bench
+//! harnesses. This crate provides the minimal instruments:
+//!
+//! * [`Counter`] — monotonic, lock-free.
+//! * [`Gauge`] — a settable signed level (queue depths, applied seq).
+//! * [`Histogram`] — fixed exponential buckets for latencies, with
+//!   p50/p95/p99 estimation from the bucket counts.
+//! * [`EventSink`] — a bounded ring of structured [`Event`]s (tracing
+//!   without a tracing dependency), used e.g. for replica
+//!   digest-divergence reports.
+//! * [`Registry`] — a named collection of the above, rendered as a
+//!   Prometheus text-exposition snapshot by [`Registry::render`].
+//!
+//! Everything is `std`-only (the build environment has no network access,
+//! and the point of a measurement instrument is to not perturb what it
+//! measures): handles are `Arc`s, hot-path updates are single atomic RMW
+//! operations, and locks are touched only at registration/render time.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an instantaneous signed level that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.v.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds in seconds: a 1-2-5 decade ladder
+/// from 1µs to 10s. The final implicit bucket is `+Inf`.
+pub const DEFAULT_LATENCY_BOUNDS: &[f64] = &[
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+    2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// A fixed-bucket histogram (cumulative-bucket semantics at render time,
+/// per-bucket counts internally). Observations are lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound, plus a final overflow (`+Inf`) slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations in nanoseconds (latencies up to ~584 years fit).
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_LATENCY_BOUNDS)
+    }
+}
+
+impl Histogram {
+    /// A histogram with the given strictly-increasing upper bounds
+    /// (seconds). An overflow bucket is appended automatically.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency observation.
+    pub fn observe(&self, d: Duration) {
+        self.observe_seconds(d.as_secs_f64());
+    }
+
+    /// Record one observation given in seconds.
+    pub fn observe_seconds(&self, s: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| s <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((s * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum_seconds: self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile estimation.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    bounds: Vec<f64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum_seconds: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_seconds
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in seconds by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// standard Prometheus `histogram_quantile` estimate. Returns `None`
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += n;
+            if (cumulative as f64) >= target && *n > 0 {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    // Overflow bucket: report its lower edge rather than
+                    // inventing an upper bound.
+                    .unwrap_or_else(|| *self.bounds.last().unwrap_or(&0.0));
+                let within = (target - prev as f64) / *n as f64;
+                return Some(lower + (upper - lower) * within.clamp(0.0, 1.0));
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Median estimate in seconds.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate in seconds.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate in seconds.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+/// A structured tracing event: a kind plus key/value fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event kind, e.g. `"digest_divergence"` or `"rejoin_failed"`.
+    pub kind: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Build an event from a kind and `(key, value)` pairs.
+    pub fn new<K: Into<String>>(kind: K, fields: Vec<(String, String)>) -> Self {
+        Event {
+            kind: kind.into(),
+            fields,
+        }
+    }
+
+    /// Value of the first field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A bounded ring buffer of recent [`Event`]s plus a total-emitted
+/// counter (so droppage of old events never hides *that* something
+/// happened).
+#[derive(Debug)]
+pub struct EventSink {
+    buf: Mutex<VecDeque<Event>>,
+    cap: usize,
+    total: AtomicU64,
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        Self::with_capacity(256)
+    }
+}
+
+impl EventSink {
+    /// A sink retaining at most `cap` recent events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventSink {
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(64))),
+            cap: cap.max(1),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an event.
+    pub fn emit(&self, ev: Event) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(ev);
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn recent_of(&self, kind: &str) -> Vec<Event> {
+        self.recent()
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+
+    /// Total events ever emitted (including dropped ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, (String, Arc<Counter>)>,
+    gauges: BTreeMap<String, (String, Arc<Gauge>)>,
+    histograms: BTreeMap<String, (String, Arc<Histogram>)>,
+}
+
+/// A named collection of instruments with Prometheus text rendering.
+///
+/// Registration is get-or-create by name, so independent components can
+/// share one registry without coordination; handles are cheap `Arc`s
+/// meant to be resolved once and kept.
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<Instruments>,
+    events: EventSink,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Instruments> {
+        self.instruments.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.lock()
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(Counter::default())))
+            .1
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.lock()
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(Gauge::default())))
+            .1
+            .clone()
+    }
+
+    /// Get or create the latency histogram `name` (default 1µs–10s
+    /// bucket ladder).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(Histogram::default())))
+            .1
+            .clone()
+    }
+
+    /// The registry's structured-event sink.
+    pub fn events(&self) -> &EventSink {
+        &self.events
+    }
+
+    /// Render every instrument in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}` series
+    /// for histograms).
+    pub fn render(&self) -> String {
+        let ins = self.lock();
+        let mut out = String::new();
+        for (name, (help, c)) in &ins.counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, (help, g)) in &ins.gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, (help, h)) in &ins.histograms {
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in snap.buckets.iter().enumerate() {
+                cumulative += n;
+                match snap.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", snap.sum_seconds);
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("reqs_total", "requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same instrument.
+        assert_eq!(r.counter("reqs_total", "requests").get(), 5);
+        let g = r.gauge("depth", "queue depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_observe_and_quantiles() {
+        let h = Histogram::default();
+        assert!(h.snapshot().quantile(0.5).is_none());
+        // 100 observations spread over 1ms..100ms.
+        for i in 1..=100u64 {
+            h.observe(Duration::from_millis(i));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.p50().unwrap();
+        let p99 = s.p99().unwrap();
+        assert!(p50 > 0.02 && p50 < 0.1, "p50 {p50} should be ~50ms");
+        assert!(p99 >= p50, "quantiles are monotone");
+        assert!(p99 <= 0.25, "p99 {p99} bounded by bucket edge");
+        assert!(s.sum_seconds() > 5.0 && s.sum_seconds() < 5.1);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = Histogram::new(&[0.001, 0.01]);
+        h.observe(Duration::from_secs(5));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        // Overflow quantile reports the last finite bound.
+        assert_eq!(s.quantile(0.99), Some(0.01));
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("a_total", "a counter").add(3);
+        r.gauge("b_depth", "a gauge").set(-2);
+        let h = r.histogram("lat_seconds", "a histogram");
+        h.observe(Duration::from_micros(3));
+        h.observe(Duration::from_millis(3));
+        let text = r.render();
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 3"));
+        assert!(text.contains("b_depth -2"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_seconds_count 2"));
+        // Buckets are cumulative: the 5e-6 bucket already holds the 3µs obs.
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000005\"} 1"));
+    }
+
+    #[test]
+    fn event_sink_ring_and_total() {
+        let sink = EventSink::with_capacity(2);
+        for i in 0..3 {
+            sink.emit(Event::new("tick", vec![("i".into(), i.to_string())]));
+        }
+        assert_eq!(sink.total(), 3);
+        let recent = sink.recent();
+        assert_eq!(recent.len(), 2, "oldest dropped");
+        assert_eq!(recent[0].field("i"), Some("1"));
+        assert_eq!(sink.recent_of("tick").len(), 2);
+        assert_eq!(sink.recent_of("other").len(), 0);
+    }
+
+    #[test]
+    fn concurrent_observations() {
+        let r = Arc::new(Registry::new());
+        let h = r.histogram("h", "");
+        let c = r.counter("c", "");
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let (h, c) = (h.clone(), c.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(Duration::from_micros(10));
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in hs {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

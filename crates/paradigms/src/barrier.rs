@@ -193,9 +193,9 @@ mod tests {
                     for gen in 0..rounds {
                         // Everyone must observe phase >= gen before the
                         // barrier releases anyone into gen+1.
-                        assert!(phase.load(Ordering::SeqCst) >= gen as usize);
+                        assert!(phase.load(Ordering::SeqCst) >= gen);
                         bar.wait(&rt, gen as i64).unwrap();
-                        phase.fetch_max(gen as usize + 1, Ordering::SeqCst);
+                        phase.fetch_max(gen + 1, Ordering::SeqCst);
                     }
                 })
             })

@@ -376,9 +376,7 @@ mod tests {
     fn happy_path_all_tasks_complete() {
         let (cluster, rts) = Cluster::new(3);
         let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
-        let ids = bag
-            .seed(&rts[0], 0, (0..12).map(Value::Int))
-            .unwrap();
+        let ids = bag.seed(&rts[0], 0, (0..12).map(Value::Int)).unwrap();
         let workers: Vec<_> = rts
             .iter()
             .map(|rt| bag.spawn_worker(rt.clone(), sq))

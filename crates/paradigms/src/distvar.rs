@@ -101,10 +101,7 @@ impl DistVar {
         }
         rt.out(
             self.ts,
-            linda_tuple::Tuple::new(vec![
-                Value::Str(self.name.clone()),
-                Value::Int(f(old)),
-            ]),
+            linda_tuple::Tuple::new(vec![Value::Str(self.name.clone()), Value::Int(f(old))]),
         )?;
         Ok(Some(old))
     }
@@ -202,9 +199,7 @@ mod tests {
         assert!(r.is_err(), "division by zero must fail");
         // Rollback: the variable still exists with its old value.
         assert_eq!(
-            rts[1]
-                .rd_timeout_helper(ts, &pat!("w", 3))
-                .unwrap(),
+            rts[1].rd_timeout_helper(ts, &pat!("w", 3)).unwrap(),
             linda_tuple::tuple!("w", 3)
         );
         assert_eq!(v.read(&rts[0]).unwrap(), 3);
@@ -213,18 +208,10 @@ mod tests {
 
     // Small helper so the test reads clearly.
     trait RdHelper {
-        fn rd_timeout_helper(
-            &self,
-            ts: TsId,
-            p: &Pattern,
-        ) -> Result<linda_tuple::Tuple, FtError>;
+        fn rd_timeout_helper(&self, ts: TsId, p: &Pattern) -> Result<linda_tuple::Tuple, FtError>;
     }
     impl RdHelper for Runtime {
-        fn rd_timeout_helper(
-            &self,
-            ts: TsId,
-            p: &Pattern,
-        ) -> Result<linda_tuple::Tuple, FtError> {
+        fn rd_timeout_helper(&self, ts: TsId, p: &Pattern) -> Result<linda_tuple::Tuple, FtError> {
             let _ = Duration::ZERO;
             self.rd(ts, p)
         }

@@ -100,8 +100,14 @@ impl DivideConquer {
                     MF::actual(hi),
                 ],
             )
-            .out(self.ts, vec![Operand::cst("task"), Operand::cst(lo), Operand::cst(mid)])
-            .out(self.ts, vec![Operand::cst("task"), Operand::cst(mid), Operand::cst(hi)])
+            .out(
+                self.ts,
+                vec![Operand::cst("task"), Operand::cst(lo), Operand::cst(mid)],
+            )
+            .out(
+                self.ts,
+                vec![Operand::cst("task"), Operand::cst(mid), Operand::cst(hi)],
+            )
             .in_(
                 self.ts,
                 vec![MF::actual("outstanding"), MF::bind(TypeTag::Int)],
@@ -134,10 +140,7 @@ impl DivideConquer {
             .in_(self.ts, vec![MF::actual("acc"), MF::bind(TypeTag::Float)])
             .out(
                 self.ts,
-                vec![
-                    Operand::cst("acc"),
-                    Operand::formal(0).add(Operand::cst(v)),
-                ],
+                vec![Operand::cst("acc"), Operand::formal(0).add(Operand::cst(v))],
             )
             .in_(
                 self.ts,
@@ -263,11 +266,7 @@ impl DivideConquer {
                     )
                     .out(
                         dc.ts,
-                        vec![
-                            Operand::cst("task"),
-                            Operand::formal(0),
-                            Operand::formal(1),
-                        ],
+                        vec![Operand::cst("task"), Operand::formal(0), Operand::formal(1)],
                     )
                     .or()
                     .guard_true()

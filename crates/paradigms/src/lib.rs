@@ -30,8 +30,8 @@ mod dnc;
 mod pool;
 
 pub use barrier::{TsBarrier, TsSemaphore};
-pub use checkpoint::Checkpoint;
 pub use bot::{BagOfTasks, MONITOR_STOP, POISON_ID};
+pub use checkpoint::Checkpoint;
 pub use distvar::DistVar;
 pub use dnc::DivideConquer;
 pub use pool::{AdaptivePool, Departure};

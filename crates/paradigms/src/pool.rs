@@ -72,11 +72,7 @@ impl AdaptivePool {
     /// retreat request addressed to its host (consuming it), and leaves
     /// the computation cleanly when one exists. Returns the departure
     /// reason and the number of tasks completed.
-    pub fn spawn_adaptive_worker<F>(
-        &self,
-        rt: Runtime,
-        f: F,
-    ) -> JoinHandle<(Departure, usize)>
+    pub fn spawn_adaptive_worker<F>(&self, rt: Runtime, f: F) -> JoinHandle<(Departure, usize)>
     where
         F: Fn(&Value) -> Value + Send + 'static,
     {
@@ -90,10 +86,7 @@ impl AdaptivePool {
             // a subtask is taken with its in-progress marker. Blocks when
             // neither exists — exactly the idle behaviour Piranha wants.
             let step = Ags::builder()
-                .guard_in(
-                    bag.ts(),
-                    vec![MF::actual("retreat"), MF::actual(me)],
-                )
+                .guard_in(bag.ts(), vec![MF::actual("retreat"), MF::actual(me)])
                 .or()
                 .guard_in(
                     bag.ts(),

@@ -370,7 +370,9 @@ mod tests {
     #[test]
     fn in_timeout_expires() {
         let ls = LocalSpace::new();
-        let r = ls.in_timeout(&pat!("never"), Duration::from_millis(30)).unwrap();
+        let r = ls
+            .in_timeout(&pat!("never"), Duration::from_millis(30))
+            .unwrap();
         assert_eq!(r, None);
     }
 
@@ -378,7 +380,9 @@ mod tests {
     fn in_timeout_succeeds() {
         let ls = LocalSpace::new();
         ls.out(tuple!("t"));
-        let r = ls.in_timeout(&pat!("t"), Duration::from_millis(30)).unwrap();
+        let r = ls
+            .in_timeout(&pat!("t"), Duration::from_millis(30))
+            .unwrap();
         assert_eq!(r, Some(tuple!("t")));
     }
 
@@ -386,12 +390,14 @@ mod tests {
     fn rd_timeout_both_paths() {
         let ls = LocalSpace::new();
         assert_eq!(
-            ls.rd_timeout(&pat!("t"), Duration::from_millis(10)).unwrap(),
+            ls.rd_timeout(&pat!("t"), Duration::from_millis(10))
+                .unwrap(),
             None
         );
         ls.out(tuple!("t"));
         assert_eq!(
-            ls.rd_timeout(&pat!("t"), Duration::from_millis(10)).unwrap(),
+            ls.rd_timeout(&pat!("t"), Duration::from_millis(10))
+                .unwrap(),
             Some(tuple!("t"))
         );
         assert_eq!(ls.len(), 1);

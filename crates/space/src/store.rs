@@ -62,11 +62,20 @@ struct Bucket {
 }
 
 impl Bucket {
-    fn insert(&mut self, seq: u64, t: Tuple) {
+    /// Insert under `seq`. Returns `true` if the sequence number was
+    /// fresh. A duplicate seq would silently shadow the older tuple in
+    /// `entries` while leaving a stale `by_head` entry behind, so callers
+    /// must treat `false` as a contract violation (see `insert_tracked`
+    /// / `restore_at`).
+    fn insert(&mut self, seq: u64, t: Tuple) -> bool {
+        if self.entries.contains_key(&seq) {
+            return false;
+        }
         if let Some(head) = t.get(0) {
             self.by_head.entry(head.clone()).or_default().insert(seq);
         }
         self.entries.insert(seq, t);
+        true
     }
 
     fn remove(&mut self, seq: u64) -> Option<Tuple> {
@@ -94,8 +103,7 @@ impl Bucket {
     }
 
     fn find_first(&self, p: &Pattern) -> Option<u64> {
-        self.candidates(p)
-            .find(|seq| p.matches(&self.entries[seq]))
+        self.candidates(p).find(|seq| p.matches(&self.entries[seq]))
     }
 
     fn find_all(&self, p: &Pattern) -> Vec<u64> {
@@ -136,8 +144,11 @@ impl IndexedStore {
         let key = t.signature().stable_hash();
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.buckets.entry(key).or_default().insert(seq, t);
-        self.len += 1;
+        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        debug_assert!(fresh, "insert_tracked allocated a duplicate seq {seq}");
+        if fresh {
+            self.len += 1;
+        }
         seq
     }
 
@@ -185,10 +196,23 @@ impl IndexedStore {
 
     /// Re-insert a tuple at its original sequence position (undo of
     /// `take_tracked`), restoring its age exactly.
-    pub fn restore_at(&mut self, seq: u64, t: Tuple) {
+    ///
+    /// # Contract
+    ///
+    /// `seq` must not currently be occupied — it must come from a
+    /// preceding `take_tracked`/`take_all_tracked` on this store. A
+    /// duplicate seq used to *silently overwrite* the resident tuple
+    /// (corrupting `len` and leaving a stale head-index entry); it is now
+    /// rejected: the store is left unchanged, `false` is returned, and
+    /// debug builds panic.
+    pub fn restore_at(&mut self, seq: u64, t: Tuple) -> bool {
         let key = t.signature().stable_hash();
-        self.buckets.entry(key).or_default().insert(seq, t);
-        self.len += 1;
+        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        debug_assert!(fresh, "restore_at seq {seq} is already occupied");
+        if fresh {
+            self.len += 1;
+        }
+        fresh
     }
 }
 
@@ -197,8 +221,11 @@ impl Store for IndexedStore {
         let key = t.signature().stable_hash();
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.buckets.entry(key).or_default().insert(seq, t);
-        self.len += 1;
+        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        debug_assert!(fresh, "insert allocated a duplicate seq {seq}");
+        if fresh {
+            self.len += 1;
+        }
     }
 
     fn take(&mut self, p: &Pattern) -> Option<Tuple> {
@@ -575,6 +602,27 @@ mod tracked_tests {
         assert_eq!(s.remove_at(seq, sig), Some(tuple!("x", 9)));
         assert_eq!(s.len(), 0);
         assert_eq!(s.remove_at(seq, sig), None);
+    }
+
+    #[test]
+    fn restore_at_rejects_occupied_seq() {
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("t", 1));
+        let (seq, t) = s.take_tracked(&pat!("t", 1)).unwrap();
+        assert!(s.restore_at(seq, t));
+        // The slot is occupied again: a second restore at the same seq
+        // must not overwrite it or corrupt `len`.
+        let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.restore_at(seq, tuple!("t", 99))
+        }));
+        if cfg!(debug_assertions) {
+            assert!(dup.is_err(), "debug builds panic on duplicate seq");
+        } else {
+            assert!(!dup.unwrap(), "release builds report the rejection");
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.read(&pat!("t", ?int)), Some(tuple!("t", 1)));
+        assert_eq!(s.count(&pat!("t", 99)), 0, "duplicate must not land");
     }
 
     #[test]

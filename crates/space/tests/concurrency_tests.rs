@@ -194,7 +194,9 @@ fn timeout_waiters_do_not_steal() {
     let ls = LocalSpace::new();
     // A timed-out in must not consume a tuple that arrives later for a
     // different waiter.
-    let r = ls.in_timeout(&pat!("x"), Duration::from_millis(20)).unwrap();
+    let r = ls
+        .in_timeout(&pat!("x"), Duration::from_millis(20))
+        .unwrap();
     assert_eq!(r, None);
     ls.out(tuple!("x"));
     assert_eq!(ls.in_(&pat!("x")).unwrap(), tuple!("x"));

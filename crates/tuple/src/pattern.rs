@@ -140,11 +140,7 @@ impl Pattern {
     /// indexing in the tuple store: most Linda patterns start with a string
     /// "name" actual, e.g. `("subtask", ?int)`).
     pub fn actual_prefix(&self) -> &[PatField] {
-        let n = self
-            .fields
-            .iter()
-            .take_while(|f| !f.is_formal())
-            .count();
+        let n = self.fields.iter().take_while(|f| !f.is_formal()).count();
         &self.fields[..n]
     }
 
@@ -353,15 +349,7 @@ mod tests {
                 TypeTag::Tuple
             ]
         );
-        let t = tuple!(
-            1,
-            2.0,
-            true,
-            'c',
-            "s",
-            vec![1u8],
-            vec![Value::Int(1)]
-        );
+        let t = tuple!(1, 2.0, true, 'c', "s", vec![1u8], vec![Value::Int(1)]);
         assert!(p.matches(&t));
     }
 }

@@ -56,7 +56,12 @@ impl Tuple {
     /// signatures coincide, which is what makes signature-indexed stores
     /// correct (experiment A2).
     pub fn signature(&self) -> Signature {
-        Signature::new(self.fields.iter().map(Value::type_tag).collect::<Vec<TypeTag>>())
+        Signature::new(
+            self.fields
+                .iter()
+                .map(Value::type_tag)
+                .collect::<Vec<TypeTag>>(),
+        )
     }
 
     /// Approximate payload size in bytes (for message accounting).

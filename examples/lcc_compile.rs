@@ -50,7 +50,10 @@ fn main() {
 
     for (i, ags) in program.statements.iter().enumerate() {
         let out = rts[i % 3].execute(ags).expect("statement executes");
-        println!("stmt {i}: branch {} bindings {:?}", out.branch, out.bindings);
+        println!(
+            "stmt {i}: branch {} bindings {:?}",
+            out.branch, out.bindings
+        );
     }
 
     // Audit: alice 75, bob 65, and the total is conserved.

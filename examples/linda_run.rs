@@ -33,8 +33,9 @@ const DEMO: &str = r#"
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let source = match args.get(1) {
-        Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_owned(),
     };
     let hosts: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);

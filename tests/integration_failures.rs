@@ -16,9 +16,7 @@ fn bag_of_tasks_survives_random_crash_points() {
         let mut rng = StdRng::seed_from_u64(seed);
         let (cluster, rts) = Cluster::new(3);
         let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
-        let ids = bag
-            .seed(&rts[0], 0, (0..10).map(Value::Int))
-            .unwrap();
+        let ids = bag.seed(&rts[0], 0, (0..10).map(Value::Int)).unwrap();
         let monitor = bag.spawn_monitor(rts[0].clone());
         let slow = |v: &Value| {
             std::thread::sleep(Duration::from_millis(8));
@@ -58,13 +56,10 @@ fn repeated_crash_restart_cycles_converge() {
         assert_eq!(f, linda_tuple::tuple!("failure", 2));
         assert_eq!(rts[1].rdp(ts, &pat!("failure", 2)).unwrap(), None);
         current = cluster.restart(HostId(2));
-        let target = rts[0].applied_seq();
-        for _ in 0..300 {
-            if current.applied_seq() >= target {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        assert!(
+            current.wait_applied(rts[0].applied_seq(), Duration::from_secs(5)),
+            "round {round}: restarted host never caught up"
+        );
         assert_eq!(
             current.snapshot(ts),
             rts[0].snapshot(ts),
@@ -144,9 +139,16 @@ fn blocked_ags_survive_unrelated_crash() {
     let (cluster, rts) = Cluster::new(3);
     let ts = rts[0].create_stable_ts("main").unwrap();
     let rt1 = rts[1].clone();
-    let waiter =
-        std::thread::spawn(move || rt1.in_(ts, &pat!("eventually", ?int)).unwrap());
-    std::thread::sleep(Duration::from_millis(30));
+    let waiter = std::thread::spawn(move || rt1.in_(ts, &pat!("eventually", ?int)).unwrap());
+    // Wait for the in_ to actually block at the replicas before crashing.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rts[0].blocked_len() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "waiter never blocked at the replicas"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
     cluster.crash(HostId(2));
     rts[0].rd(ts, &pat!("failure", 2)).unwrap();
     rts[0]

@@ -104,13 +104,10 @@ fn restart_then_participate_in_paradigms() {
     }
     let rt2 = cluster.restart(HostId(2));
     // Wait for convergence, then the restarted host updates the variable.
-    let target = rts[0].applied_seq();
-    for _ in 0..300 {
-        if rt2.applied_seq() >= target {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    assert!(
+        rt2.wait_applied(rts[0].applied_seq(), Duration::from_secs(5)),
+        "restarted host never caught up"
+    );
     assert_eq!(v.fetch_add(&rt2, 1).unwrap(), 10);
     assert_eq!(v.read(&rts[0]).unwrap(), 11);
     cluster.shutdown();
@@ -126,7 +123,10 @@ fn strong_semantics_across_frontends() {
 
     let mut compiler = Compiler::new();
     compiler.bind_stable("s", ts);
-    let inp = &compiler.compile(r#"inp(s, "flag", ?int);"#).unwrap().statements[0];
+    let inp = &compiler
+        .compile(r#"inp(s, "flag", ?int);"#)
+        .unwrap()
+        .statements[0];
 
     // Definitive absence (branch 1 = true branch fired).
     assert_eq!(rts[1].execute(inp).unwrap().branch, 1);

@@ -146,9 +146,7 @@ mod store_equivalence {
     }
 
     fn small_tuple() -> impl Strategy<Value = Tuple> {
-        (0usize..3, 0i64..4).prop_map(|(h, v)| {
-            linda_tuple::tuple!(["a", "b", "c"][h], v)
-        })
+        (0usize..3, 0i64..4).prop_map(|(h, v)| linda_tuple::tuple!(["a", "b", "c"][h], v))
     }
 
     fn small_pattern() -> impl Strategy<Value = Pattern> {

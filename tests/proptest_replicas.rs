@@ -29,10 +29,9 @@ fn to_ags(s: &Shape) -> Ags {
     let ts = TsId(0);
     let ts2 = TsId(1);
     match s {
-        Shape::Out { head, v } => Ags::out_one(
-            ts,
-            vec![Operand::cst(HEADS[*head]), Operand::cst(*v)],
-        ),
+        Shape::Out { head, v } => {
+            Ags::out_one(ts, vec![Operand::cst(HEADS[*head]), Operand::cst(*v)])
+        }
         Shape::In { head, formal } => {
             let f = if *formal {
                 MF::bind(TypeTag::Int)
@@ -115,8 +114,20 @@ fn build_stream(events: &[Event]) -> Vec<Delivery> {
             payload: Bytes::from(encode_request(req)),
         });
     };
-    push_app(&mut seq, 0, &Request::CreateTs { name: "main".into() }, &mut out);
-    push_app(&mut seq, 0, &Request::CreateTs { name: "aux".into() }, &mut out);
+    push_app(
+        &mut seq,
+        0,
+        &Request::CreateTs {
+            name: "main".into(),
+        },
+        &mut out,
+    );
+    push_app(
+        &mut seq,
+        0,
+        &Request::CreateTs { name: "aux".into() },
+        &mut out,
+    );
     push_app(
         &mut seq,
         0,
@@ -224,5 +235,108 @@ proptest! {
             .count();
         prop_assert!(ctrs <= 1, "counter duplicated: {ctrs}");
         prop_assert_eq!(ctrs, 1, "counter must survive (increments are atomic)");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-cluster convergence under random crash/restart schedules.
+// ---------------------------------------------------------------------------
+
+/// One step of a randomized fault schedule against a live 3-host cluster.
+#[derive(Debug, Clone)]
+enum FaultStep {
+    /// Deposit `n` tuples from a live host (picked by index preference).
+    Traffic { from: usize, n: u8 },
+    /// Crash the preferred host if that still leaves a majority.
+    Crash { host: usize },
+    /// Restart the preferred host if it is down.
+    Restart { host: usize },
+}
+
+fn arb_fault_step() -> impl Strategy<Value = FaultStep> {
+    prop_oneof![
+        3 => (0usize..3, 1u8..4).prop_map(|(from, n)| FaultStep::Traffic { from, n }),
+        1 => (0usize..3).prop_map(|host| FaultStep::Crash { host }),
+        1 => (0usize..3).prop_map(|host| FaultStep::Restart { host }),
+    ]
+}
+
+proptest! {
+    // Each case spins up a real cluster (threads, detector, network), so
+    // keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whole-stack convergence: under any random crash/restart schedule,
+    /// live replicas end with identical digests at the same applied seq,
+    /// and the background digest-divergence detector stays quiet.
+    #[test]
+    fn live_cluster_converges_and_detector_stays_quiet(
+        steps in proptest::collection::vec(arb_fault_step(), 1..8),
+    ) {
+        use ftlinda::Cluster;
+
+        let (cluster, rts) = Cluster::builder()
+            .hosts(3)
+            .divergence_period(std::time::Duration::from_millis(3))
+            .build();
+        let ts = rts[0].create_stable_ts("main").unwrap();
+        let mut live: Vec<Option<ftlinda::Runtime>> =
+            rts.iter().cloned().map(Some).collect();
+        let mut counter = 0i64;
+
+        for step in &steps {
+            match step {
+                FaultStep::Traffic { from, n } => {
+                    // Prefer the indexed host; fall back to any live one.
+                    let rt = live[*from]
+                        .as_ref()
+                        .or_else(|| live.iter().flatten().next())
+                        .unwrap();
+                    for _ in 0..*n {
+                        rt.out(ts, linda_tuple::tuple!("t", counter)).unwrap();
+                        counter += 1;
+                    }
+                }
+                FaultStep::Crash { host } => {
+                    let up = live.iter().flatten().count();
+                    if up > 2 && live[*host].is_some() {
+                        cluster.crash(HostId(*host as u32));
+                        live[*host] = None;
+                    }
+                }
+                FaultStep::Restart { host } => {
+                    if live[*host].is_none() {
+                        live[*host] = Some(cluster.restart(HostId(*host as u32)));
+                    }
+                }
+            }
+        }
+
+        // Every live replica must converge to the same (seq, digest).
+        let survivors: Vec<&ftlinda::Runtime> = live.iter().flatten().collect();
+        prop_assert!(survivors.len() >= 2);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let states: Vec<(u64, u64)> =
+                survivors.iter().map(|rt| rt.applied_digest()).collect();
+            if states.windows(2).all(|w| w[0] == w[1]) {
+                break;
+            }
+            prop_assert!(
+                std::time::Instant::now() < deadline,
+                "replicas never converged: {states:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        // Give the detector a few periods over the converged state, then
+        // require total silence: no counter ticks, no events.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let div = cluster
+            .obs()
+            .counter("ftlinda_digest_divergence_total", "");
+        prop_assert_eq!(div.get(), 0, "false-positive divergence");
+        prop_assert!(cluster.obs().events().recent_of("digest_divergence").is_empty());
+        cluster.shutdown();
     }
 }
