@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_matching-4d524fd508941ba6.d: crates/bench/benches/ablation_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_matching-4d524fd508941ba6.rmeta: crates/bench/benches/ablation_matching.rs Cargo.toml
+
+crates/bench/benches/ablation_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

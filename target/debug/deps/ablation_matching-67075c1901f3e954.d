@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_matching-67075c1901f3e954.d: crates/bench/benches/ablation_matching.rs
+
+/root/repo/target/debug/deps/ablation_matching-67075c1901f3e954: crates/bench/benches/ablation_matching.rs
+
+crates/bench/benches/ablation_matching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ordering-c8762e72f1d51259.d: crates/bench/benches/ablation_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ordering-c8762e72f1d51259.rmeta: crates/bench/benches/ablation_ordering.rs Cargo.toml
+
+crates/bench/benches/ablation_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ordering-d6626400a18d6c93.d: crates/bench/benches/ablation_ordering.rs
+
+/root/repo/target/debug/deps/ablation_ordering-d6626400a18d6c93: crates/bench/benches/ablation_ordering.rs
+
+crates/bench/benches/ablation_ordering.rs:

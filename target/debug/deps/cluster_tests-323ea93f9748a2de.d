@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_tests-323ea93f9748a2de.d: crates/core/tests/cluster_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_tests-323ea93f9748a2de.rmeta: crates/core/tests/cluster_tests.rs Cargo.toml
+
+crates/core/tests/cluster_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

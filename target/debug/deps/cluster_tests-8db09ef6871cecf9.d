@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_tests-8db09ef6871cecf9.d: crates/core/tests/cluster_tests.rs
+
+/root/repo/target/debug/deps/cluster_tests-8db09ef6871cecf9: crates/core/tests/cluster_tests.rs
+
+crates/core/tests/cluster_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_tests-aef7eda7fac3f817.d: crates/core/tests/cluster_tests.rs
+
+/root/repo/target/debug/deps/cluster_tests-aef7eda7fac3f817: crates/core/tests/cluster_tests.rs
+
+crates/core/tests/cluster_tests.rs:

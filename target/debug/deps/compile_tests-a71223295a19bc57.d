@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_tests-a71223295a19bc57.d: crates/lcc/tests/compile_tests.rs
+
+/root/repo/target/debug/deps/compile_tests-a71223295a19bc57: crates/lcc/tests/compile_tests.rs
+
+crates/lcc/tests/compile_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_tests-d433fa5bddf259f9.d: crates/lcc/tests/compile_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_tests-d433fa5bddf259f9.rmeta: crates/lcc/tests/compile_tests.rs Cargo.toml
+
+crates/lcc/tests/compile_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency_tests-cc66fccb96454e71.d: crates/space/tests/concurrency_tests.rs
+
+/root/repo/target/debug/deps/concurrency_tests-cc66fccb96454e71: crates/space/tests/concurrency_tests.rs
+
+crates/space/tests/concurrency_tests.rs:

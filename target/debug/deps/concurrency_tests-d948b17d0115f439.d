@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency_tests-d948b17d0115f439.d: crates/space/tests/concurrency_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency_tests-d948b17d0115f439.rmeta: crates/space/tests/concurrency_tests.rs Cargo.toml
+
+crates/space/tests/concurrency_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

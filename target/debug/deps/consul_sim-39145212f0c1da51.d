@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consul_sim-39145212f0c1da51.d: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+/root/repo/target/debug/deps/consul_sim-39145212f0c1da51: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+crates/consul/src/lib.rs:
+crates/consul/src/isis.rs:
+crates/consul/src/net.rs:
+crates/consul/src/order.rs:
+crates/consul/src/sequencer.rs:
+crates/consul/src/stats.rs:

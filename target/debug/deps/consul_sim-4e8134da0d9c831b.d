@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consul_sim-4e8134da0d9c831b.d: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+/root/repo/target/debug/deps/consul_sim-4e8134da0d9c831b: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+crates/consul/src/lib.rs:
+crates/consul/src/isis.rs:
+crates/consul/src/net.rs:
+crates/consul/src/order.rs:
+crates/consul/src/sequencer.rs:
+crates/consul/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/consul_sim-6b8c147a48bcb572.d: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsul_sim-6b8c147a48bcb572.rmeta: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs Cargo.toml
+
+crates/consul/src/lib.rs:
+crates/consul/src/isis.rs:
+crates/consul/src/net.rs:
+crates/consul/src/order.rs:
+crates/consul/src/sequencer.rs:
+crates/consul/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

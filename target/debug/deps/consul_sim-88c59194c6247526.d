@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consul_sim-88c59194c6247526.d: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+/root/repo/target/debug/deps/libconsul_sim-88c59194c6247526.rlib: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+/root/repo/target/debug/deps/libconsul_sim-88c59194c6247526.rmeta: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+crates/consul/src/lib.rs:
+crates/consul/src/isis.rs:
+crates/consul/src/net.rs:
+crates/consul/src/order.rs:
+crates/consul/src/sequencer.rs:
+crates/consul/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_ags_latency-404fda8ccb7f0a62.d: crates/bench/benches/e2e_ags_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_ags_latency-404fda8ccb7f0a62.rmeta: crates/bench/benches/e2e_ags_latency.rs Cargo.toml
+
+crates/bench/benches/e2e_ags_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

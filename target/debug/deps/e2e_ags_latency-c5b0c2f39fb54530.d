@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_ags_latency-c5b0c2f39fb54530.d: crates/bench/benches/e2e_ags_latency.rs
+
+/root/repo/target/debug/deps/e2e_ags_latency-c5b0c2f39fb54530: crates/bench/benches/e2e_ags_latency.rs
+
+crates/bench/benches/e2e_ags_latency.rs:

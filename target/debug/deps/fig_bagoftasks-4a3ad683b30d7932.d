@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_bagoftasks-4a3ad683b30d7932.d: crates/bench/benches/fig_bagoftasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_bagoftasks-4a3ad683b30d7932.rmeta: crates/bench/benches/fig_bagoftasks.rs Cargo.toml
+
+crates/bench/benches/fig_bagoftasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_bagoftasks-f7ae2fca10b7e7eb.d: crates/bench/benches/fig_bagoftasks.rs
+
+/root/repo/target/debug/deps/fig_bagoftasks-f7ae2fca10b7e7eb: crates/bench/benches/fig_bagoftasks.rs
+
+crates/bench/benches/fig_bagoftasks.rs:

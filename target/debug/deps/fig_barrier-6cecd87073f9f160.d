@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_barrier-6cecd87073f9f160.d: crates/bench/benches/fig_barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_barrier-6cecd87073f9f160.rmeta: crates/bench/benches/fig_barrier.rs Cargo.toml
+
+crates/bench/benches/fig_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_barrier-a24bc8dafc357008.d: crates/bench/benches/fig_barrier.rs
+
+/root/repo/target/debug/deps/fig_barrier-a24bc8dafc357008: crates/bench/benches/fig_barrier.rs
+
+crates/bench/benches/fig_barrier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_distvar-194102c27088e6e4.d: crates/bench/benches/fig_distvar.rs
+
+/root/repo/target/debug/deps/fig_distvar-194102c27088e6e4: crates/bench/benches/fig_distvar.rs
+
+crates/bench/benches/fig_distvar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_distvar-9720938369fd4daf.d: crates/bench/benches/fig_distvar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_distvar-9720938369fd4daf.rmeta: crates/bench/benches/fig_distvar.rs Cargo.toml
+
+crates/bench/benches/fig_distvar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_divide_conquer-8a5adf6003ed3051.d: crates/bench/benches/fig_divide_conquer.rs
+
+/root/repo/target/debug/deps/fig_divide_conquer-8a5adf6003ed3051: crates/bench/benches/fig_divide_conquer.rs
+
+crates/bench/benches/fig_divide_conquer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_divide_conquer-a36f979ec7843e7a.d: crates/bench/benches/fig_divide_conquer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_divide_conquer-a36f979ec7843e7a.rmeta: crates/bench/benches/fig_divide_conquer.rs Cargo.toml
+
+crates/bench/benches/fig_divide_conquer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

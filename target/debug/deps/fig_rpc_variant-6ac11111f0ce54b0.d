@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_rpc_variant-6ac11111f0ce54b0.d: crates/bench/benches/fig_rpc_variant.rs
+
+/root/repo/target/debug/deps/fig_rpc_variant-6ac11111f0ce54b0: crates/bench/benches/fig_rpc_variant.rs
+
+crates/bench/benches/fig_rpc_variant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_rpc_variant-e313457d2e850fc2.d: crates/bench/benches/fig_rpc_variant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_rpc_variant-e313457d2e850fc2.rmeta: crates/bench/benches/fig_rpc_variant.rs Cargo.toml
+
+crates/bench/benches/fig_rpc_variant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ft_lcc-21f00dd49f56986a.d: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+/root/repo/target/debug/deps/libft_lcc-21f00dd49f56986a.rlib: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+/root/repo/target/debug/deps/libft_lcc-21f00dd49f56986a.rmeta: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+crates/lcc/src/lib.rs:
+crates/lcc/src/lexer.rs:
+crates/lcc/src/parser.rs:
+crates/lcc/src/pretty.rs:

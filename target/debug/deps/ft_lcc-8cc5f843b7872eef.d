@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ft_lcc-8cc5f843b7872eef.d: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libft_lcc-8cc5f843b7872eef.rmeta: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs Cargo.toml
+
+crates/lcc/src/lib.rs:
+crates/lcc/src/lexer.rs:
+crates/lcc/src/parser.rs:
+crates/lcc/src/pretty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

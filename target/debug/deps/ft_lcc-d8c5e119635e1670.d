@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ft_lcc-d8c5e119635e1670.d: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+/root/repo/target/debug/deps/ft_lcc-d8c5e119635e1670: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+crates/lcc/src/lib.rs:
+crates/lcc/src/lexer.rs:
+crates/lcc/src/parser.rs:
+crates/lcc/src/pretty.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ft_overhead-611af4a723892721.d: crates/bench/benches/ft_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libft_overhead-611af4a723892721.rmeta: crates/bench/benches/ft_overhead.rs Cargo.toml
+
+crates/bench/benches/ft_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ft_overhead-dced12b965c2621d.d: crates/bench/benches/ft_overhead.rs
+
+/root/repo/target/debug/deps/ft_overhead-dced12b965c2621d: crates/bench/benches/ft_overhead.rs
+
+crates/bench/benches/ft_overhead.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftlinda-a3f4267ff1d41295.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libftlinda-a3f4267ff1d41295.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libftlinda-a3f4267ff1d41295.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftlinda-ac94a4b81137ce4d.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftlinda-ac94a4b81137ce4d.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

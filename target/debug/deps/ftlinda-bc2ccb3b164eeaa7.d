@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftlinda-bc2ccb3b164eeaa7.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/ftlinda-bc2ccb3b164eeaa7: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:

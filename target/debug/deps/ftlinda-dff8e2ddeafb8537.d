@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftlinda-dff8e2ddeafb8537.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftlinda-dff8e2ddeafb8537.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftlinda_ags-386282bd6397245b.d: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/debug/deps/libftlinda_ags-386282bd6397245b.rlib: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/debug/deps/libftlinda_ags-386282bd6397245b.rmeta: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+crates/ags/src/lib.rs:
+crates/ags/src/ags.rs:
+crates/ags/src/expr.rs:
+crates/ags/src/ops.rs:
+crates/ags/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftlinda_ags-3b8529d37bef731c.d: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftlinda_ags-3b8529d37bef731c.rmeta: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs Cargo.toml
+
+crates/ags/src/lib.rs:
+crates/ags/src/ags.rs:
+crates/ags/src/expr.rs:
+crates/ags/src/ops.rs:
+crates/ags/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftlinda_ags-3e1d13f1b2ba65a0.d: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/debug/deps/ftlinda_ags-3e1d13f1b2ba65a0: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+crates/ags/src/lib.rs:
+crates/ags/src/ags.rs:
+crates/ags/src/expr.rs:
+crates/ags/src/ops.rs:
+crates/ags/src/wire.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftlinda_kernel-2016e670eea35784.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/debug/deps/ftlinda_kernel-2016e670eea35784: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/proto.rs:

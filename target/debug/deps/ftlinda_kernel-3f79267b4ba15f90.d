@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftlinda_kernel-3f79267b4ba15f90.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/debug/deps/libftlinda_kernel-3f79267b4ba15f90.rlib: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/debug/deps/libftlinda_kernel-3f79267b4ba15f90.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/proto.rs:

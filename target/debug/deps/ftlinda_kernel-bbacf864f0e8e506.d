@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftlinda_kernel-bbacf864f0e8e506.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/debug/deps/ftlinda_kernel-bbacf864f0e8e506: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/proto.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftlinda_kernel-d602c6eb9a1f92db.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/debug/deps/libftlinda_kernel-d602c6eb9a1f92db.rlib: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/debug/deps/libftlinda_kernel-d602c6eb9a1f92db.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/proto.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftlinda_kernel-ed079af63c890982.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftlinda_kernel-ed079af63c890982.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/proto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

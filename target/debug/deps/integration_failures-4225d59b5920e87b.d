@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_failures-4225d59b5920e87b.d: tests/integration_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_failures-4225d59b5920e87b.rmeta: tests/integration_failures.rs Cargo.toml
+
+tests/integration_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

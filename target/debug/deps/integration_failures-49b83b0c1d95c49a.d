@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_failures-49b83b0c1d95c49a.d: tests/integration_failures.rs
+
+/root/repo/target/debug/deps/integration_failures-49b83b0c1d95c49a: tests/integration_failures.rs
+
+tests/integration_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_failures-f77c19f275e31759.d: tests/integration_failures.rs
+
+/root/repo/target/debug/deps/integration_failures-f77c19f275e31759: tests/integration_failures.rs
+
+tests/integration_failures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_observability-738dbece49942146.d: tests/integration_observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_observability-738dbece49942146.rmeta: tests/integration_observability.rs Cargo.toml
+
+tests/integration_observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

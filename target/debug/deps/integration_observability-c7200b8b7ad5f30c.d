@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_observability-c7200b8b7ad5f30c.d: tests/integration_observability.rs
+
+/root/repo/target/debug/deps/integration_observability-c7200b8b7ad5f30c: tests/integration_observability.rs
+
+tests/integration_observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-46044523a29bc80a.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-46044523a29bc80a: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

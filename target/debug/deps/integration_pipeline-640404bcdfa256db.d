@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pipeline-640404bcdfa256db.d: tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pipeline-640404bcdfa256db.rmeta: tests/integration_pipeline.rs Cargo.toml
+
+tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

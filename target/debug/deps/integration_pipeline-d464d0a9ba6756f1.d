@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-d464d0a9ba6756f1.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-d464d0a9ba6756f1: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

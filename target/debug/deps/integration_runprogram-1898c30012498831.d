@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_runprogram-1898c30012498831.d: tests/integration_runprogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_runprogram-1898c30012498831.rmeta: tests/integration_runprogram.rs Cargo.toml
+
+tests/integration_runprogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_runprogram-53edab2b2431f2c3.d: tests/integration_runprogram.rs
+
+/root/repo/target/debug/deps/integration_runprogram-53edab2b2431f2c3: tests/integration_runprogram.rs
+
+tests/integration_runprogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_runprogram-76e859efc8f6b78c.d: tests/integration_runprogram.rs
+
+/root/repo/target/debug/deps/integration_runprogram-76e859efc8f6b78c: tests/integration_runprogram.rs
+
+tests/integration_runprogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linda_bench-1597c618a1472310.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/linda_bench-1597c618a1472310: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linda_bench-1940960680a58171.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_bench-1940960680a58171.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_bench-1940960680a58171.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

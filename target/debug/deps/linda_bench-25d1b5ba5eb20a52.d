@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linda_bench-25d1b5ba5eb20a52.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_bench-25d1b5ba5eb20a52.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_bench-25d1b5ba5eb20a52.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

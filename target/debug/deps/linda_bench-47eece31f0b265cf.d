@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linda_bench-47eece31f0b265cf.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_bench-47eece31f0b265cf.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linda_bench-7600f9c930630ea2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/linda_bench-7600f9c930630ea2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

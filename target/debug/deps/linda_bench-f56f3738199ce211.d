@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linda_bench-f56f3738199ce211.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_bench-f56f3738199ce211.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

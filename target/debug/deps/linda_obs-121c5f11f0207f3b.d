@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linda_obs-121c5f11f0207f3b.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_obs-121c5f11f0207f3b.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_obs-121c5f11f0207f3b.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linda_obs-fabbe2256e0b46aa.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/linda_obs-fabbe2256e0b46aa: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

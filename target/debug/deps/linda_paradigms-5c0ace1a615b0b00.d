@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/linda_paradigms-5c0ace1a615b0b00.d: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/debug/deps/liblinda_paradigms-5c0ace1a615b0b00.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/debug/deps/liblinda_paradigms-5c0ace1a615b0b00.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/barrier.rs:
+crates/paradigms/src/bot.rs:
+crates/paradigms/src/checkpoint.rs:
+crates/paradigms/src/consensus.rs:
+crates/paradigms/src/distvar.rs:
+crates/paradigms/src/dnc.rs:
+crates/paradigms/src/pool.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/linda_paradigms-5f0a4f5edfa3ae0f.d: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_paradigms-5f0a4f5edfa3ae0f.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs Cargo.toml
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/barrier.rs:
+crates/paradigms/src/bot.rs:
+crates/paradigms/src/checkpoint.rs:
+crates/paradigms/src/consensus.rs:
+crates/paradigms/src/distvar.rs:
+crates/paradigms/src/dnc.rs:
+crates/paradigms/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

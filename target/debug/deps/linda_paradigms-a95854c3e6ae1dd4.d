@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/linda_paradigms-a95854c3e6ae1dd4.d: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/debug/deps/liblinda_paradigms-a95854c3e6ae1dd4.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/debug/deps/liblinda_paradigms-a95854c3e6ae1dd4.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/barrier.rs:
+crates/paradigms/src/bot.rs:
+crates/paradigms/src/checkpoint.rs:
+crates/paradigms/src/consensus.rs:
+crates/paradigms/src/distvar.rs:
+crates/paradigms/src/dnc.rs:
+crates/paradigms/src/pool.rs:

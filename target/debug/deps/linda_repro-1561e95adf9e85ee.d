@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linda_repro-1561e95adf9e85ee.d: src/lib.rs
+
+/root/repo/target/debug/deps/linda_repro-1561e95adf9e85ee: src/lib.rs
+
+src/lib.rs:

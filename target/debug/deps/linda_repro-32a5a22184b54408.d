@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linda_repro-32a5a22184b54408.d: src/lib.rs
+
+/root/repo/target/debug/deps/linda_repro-32a5a22184b54408: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linda_repro-646b65f5354e6425.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_repro-646b65f5354e6425.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linda_repro-c0fc284dd85c8dac.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_repro-c0fc284dd85c8dac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_repro-c0fc284dd85c8dac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linda_repro-d11e9382ea40aae7.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_repro-d11e9382ea40aae7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblinda_repro-d11e9382ea40aae7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linda_space-0143dd8e1e772abf.d: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/debug/deps/linda_space-0143dd8e1e772abf: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+crates/space/src/lib.rs:
+crates/space/src/space.rs:
+crates/space/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/linda_space-474f4ba9ba79fff0.d: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_space-474f4ba9ba79fff0.rmeta: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs Cargo.toml
+
+crates/space/src/lib.rs:
+crates/space/src/space.rs:
+crates/space/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

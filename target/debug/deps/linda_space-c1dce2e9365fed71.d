@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linda_space-c1dce2e9365fed71.d: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/debug/deps/liblinda_space-c1dce2e9365fed71.rlib: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/debug/deps/liblinda_space-c1dce2e9365fed71.rmeta: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+crates/space/src/lib.rs:
+crates/space/src/space.rs:
+crates/space/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/linda_space-ffa65fdec6c9407a.d: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_space-ffa65fdec6c9407a.rmeta: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs Cargo.toml
+
+crates/space/src/lib.rs:
+crates/space/src/space.rs:
+crates/space/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

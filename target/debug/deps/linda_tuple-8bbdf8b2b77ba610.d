@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/linda_tuple-8bbdf8b2b77ba610.d: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinda_tuple-8bbdf8b2b77ba610.rmeta: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs Cargo.toml
+
+crates/tuple/src/lib.rs:
+crates/tuple/src/codec.rs:
+crates/tuple/src/pattern.rs:
+crates/tuple/src/signature.rs:
+crates/tuple/src/tuple.rs:
+crates/tuple/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

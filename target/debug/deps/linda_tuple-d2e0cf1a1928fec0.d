@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/linda_tuple-d2e0cf1a1928fec0.d: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+/root/repo/target/debug/deps/linda_tuple-d2e0cf1a1928fec0: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+crates/tuple/src/lib.rs:
+crates/tuple/src/codec.rs:
+crates/tuple/src/pattern.rs:
+crates/tuple/src/signature.rs:
+crates/tuple/src/tuple.rs:
+crates/tuple/src/value.rs:

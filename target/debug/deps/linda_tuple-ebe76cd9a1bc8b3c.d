@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/linda_tuple-ebe76cd9a1bc8b3c.d: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+/root/repo/target/debug/deps/liblinda_tuple-ebe76cd9a1bc8b3c.rlib: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+/root/repo/target/debug/deps/liblinda_tuple-ebe76cd9a1bc8b3c.rmeta: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+crates/tuple/src/lib.rs:
+crates/tuple/src/codec.rs:
+crates/tuple/src/pattern.rs:
+crates/tuple/src/signature.rs:
+crates/tuple/src/tuple.rs:
+crates/tuple/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msgs_per_ags-6e63964ee88db24f.d: crates/bench/benches/msgs_per_ags.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsgs_per_ags-6e63964ee88db24f.rmeta: crates/bench/benches/msgs_per_ags.rs Cargo.toml
+
+crates/bench/benches/msgs_per_ags.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msgs_per_ags-8509b363b46831a4.d: crates/bench/benches/msgs_per_ags.rs
+
+/root/repo/target/debug/deps/msgs_per_ags-8509b363b46831a4: crates/bench/benches/msgs_per_ags.rs
+
+crates/bench/benches/msgs_per_ags.rs:

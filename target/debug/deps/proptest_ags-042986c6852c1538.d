@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ags-042986c6852c1538.d: crates/ags/tests/proptest_ags.rs
+
+/root/repo/target/debug/deps/proptest_ags-042986c6852c1538: crates/ags/tests/proptest_ags.rs
+
+crates/ags/tests/proptest_ags.rs:

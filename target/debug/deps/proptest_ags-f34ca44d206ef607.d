@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ags-f34ca44d206ef607.d: crates/ags/tests/proptest_ags.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ags-f34ca44d206ef607.rmeta: crates/ags/tests/proptest_ags.rs Cargo.toml
+
+crates/ags/tests/proptest_ags.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

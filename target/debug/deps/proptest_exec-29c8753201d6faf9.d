@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_exec-29c8753201d6faf9.d: crates/kernel/tests/proptest_exec.rs
+
+/root/repo/target/debug/deps/proptest_exec-29c8753201d6faf9: crates/kernel/tests/proptest_exec.rs
+
+crates/kernel/tests/proptest_exec.rs:

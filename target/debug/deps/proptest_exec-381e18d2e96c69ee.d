@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_exec-381e18d2e96c69ee.d: crates/kernel/tests/proptest_exec.rs
+
+/root/repo/target/debug/deps/proptest_exec-381e18d2e96c69ee: crates/kernel/tests/proptest_exec.rs
+
+crates/kernel/tests/proptest_exec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_exec-80c196d8eb0fea31.d: crates/kernel/tests/proptest_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_exec-80c196d8eb0fea31.rmeta: crates/kernel/tests/proptest_exec.rs Cargo.toml
+
+crates/kernel/tests/proptest_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_matching-3f5f945625279056.d: tests/proptest_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_matching-3f5f945625279056.rmeta: tests/proptest_matching.rs Cargo.toml
+
+tests/proptest_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

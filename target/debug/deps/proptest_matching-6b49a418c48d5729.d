@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_matching-6b49a418c48d5729.d: tests/proptest_matching.rs
+
+/root/repo/target/debug/deps/proptest_matching-6b49a418c48d5729: tests/proptest_matching.rs
+
+tests/proptest_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_matching-ddc7b8c876dc23e8.d: tests/proptest_matching.rs
+
+/root/repo/target/debug/deps/proptest_matching-ddc7b8c876dc23e8: tests/proptest_matching.rs
+
+tests/proptest_matching.rs:

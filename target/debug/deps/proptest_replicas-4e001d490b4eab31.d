@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_replicas-4e001d490b4eab31.d: tests/proptest_replicas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_replicas-4e001d490b4eab31.rmeta: tests/proptest_replicas.rs Cargo.toml
+
+tests/proptest_replicas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_replicas-56d01b7e8f62c430.d: tests/proptest_replicas.rs
+
+/root/repo/target/debug/deps/proptest_replicas-56d01b7e8f62c430: tests/proptest_replicas.rs
+
+tests/proptest_replicas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_replicas-a92fa710cafde3fd.d: tests/proptest_replicas.rs
+
+/root/repo/target/debug/deps/proptest_replicas-a92fa710cafde3fd: tests/proptest_replicas.rs
+
+tests/proptest_replicas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-8dfed21cccdde327.d: crates/lcc/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-8dfed21cccdde327: crates/lcc/tests/proptest_roundtrip.rs
+
+crates/lcc/tests/proptest_roundtrip.rs:

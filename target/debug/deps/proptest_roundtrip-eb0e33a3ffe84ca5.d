@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-eb0e33a3ffe84ca5.d: crates/lcc/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-eb0e33a3ffe84ca5.rmeta: crates/lcc/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/lcc/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

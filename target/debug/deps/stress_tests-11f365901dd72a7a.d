@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress_tests-11f365901dd72a7a.d: crates/consul/tests/stress_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress_tests-11f365901dd72a7a.rmeta: crates/consul/tests/stress_tests.rs Cargo.toml
+
+crates/consul/tests/stress_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_tests-74c2f1907bdfabb3.d: crates/consul/tests/stress_tests.rs
+
+/root/repo/target/debug/deps/stress_tests-74c2f1907bdfabb3: crates/consul/tests/stress_tests.rs
+
+crates/consul/tests/stress_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_tests-87d2639ffcc1e01b.d: crates/consul/tests/stress_tests.rs
+
+/root/repo/target/debug/deps/stress_tests-87d2639ffcc1e01b: crates/consul/tests/stress_tests.rs
+
+crates/consul/tests/stress_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_ags_latency-6cf7153048084a85.d: crates/bench/benches/table1_ags_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_ags_latency-6cf7153048084a85.rmeta: crates/bench/benches/table1_ags_latency.rs Cargo.toml
+
+crates/bench/benches/table1_ags_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

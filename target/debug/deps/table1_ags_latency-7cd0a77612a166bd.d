@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_ags_latency-7cd0a77612a166bd.d: crates/bench/benches/table1_ags_latency.rs
+
+/root/repo/target/debug/deps/table1_ags_latency-7cd0a77612a166bd: crates/bench/benches/table1_ags_latency.rs
+
+crates/bench/benches/table1_ags_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_payload_latency-5b526422d169c784.d: crates/bench/benches/table2_payload_latency.rs
+
+/root/repo/target/debug/deps/table2_payload_latency-5b526422d169c784: crates/bench/benches/table2_payload_latency.rs
+
+crates/bench/benches/table2_payload_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_payload_latency-ad7fd22422c04c07.d: crates/bench/benches/table2_payload_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_payload_latency-ad7fd22422c04c07.rmeta: crates/bench/benches/table2_payload_latency.rs Cargo.toml
+
+crates/bench/benches/table2_payload_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bag_of_tasks-76e632ab6f9a05d6.d: examples/bag_of_tasks.rs
+
+/root/repo/target/debug/examples/bag_of_tasks-76e632ab6f9a05d6: examples/bag_of_tasks.rs
+
+examples/bag_of_tasks.rs:

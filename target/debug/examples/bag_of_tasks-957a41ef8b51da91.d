@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bag_of_tasks-957a41ef8b51da91.d: examples/bag_of_tasks.rs
+
+/root/repo/target/debug/examples/bag_of_tasks-957a41ef8b51da91: examples/bag_of_tasks.rs
+
+examples/bag_of_tasks.rs:

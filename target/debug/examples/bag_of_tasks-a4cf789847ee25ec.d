@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bag_of_tasks-a4cf789847ee25ec.d: examples/bag_of_tasks.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbag_of_tasks-a4cf789847ee25ec.rmeta: examples/bag_of_tasks.rs Cargo.toml
+
+examples/bag_of_tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_failures-8643aa9474c991d8.d: examples/barrier_failures.rs
+
+/root/repo/target/debug/examples/barrier_failures-8643aa9474c991d8: examples/barrier_failures.rs
+
+examples/barrier_failures.rs:

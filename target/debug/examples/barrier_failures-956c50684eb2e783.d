@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/barrier_failures-956c50684eb2e783.d: examples/barrier_failures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbarrier_failures-956c50684eb2e783.rmeta: examples/barrier_failures.rs Cargo.toml
+
+examples/barrier_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_failures-ef3a9babfa5c569c.d: examples/barrier_failures.rs
+
+/root/repo/target/debug/examples/barrier_failures-ef3a9babfa5c569c: examples/barrier_failures.rs
+
+examples/barrier_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_variable-08fd4de6d84ab8a3.d: examples/distributed_variable.rs
+
+/root/repo/target/debug/examples/distributed_variable-08fd4de6d84ab8a3: examples/distributed_variable.rs
+
+examples/distributed_variable.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_variable-16bdd2dc7498814b.d: examples/distributed_variable.rs
+
+/root/repo/target/debug/examples/distributed_variable-16bdd2dc7498814b: examples/distributed_variable.rs
+
+examples/distributed_variable.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_variable-7ac263437035ef4d.d: examples/distributed_variable.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_variable-7ac263437035ef4d.rmeta: examples/distributed_variable.rs Cargo.toml
+
+examples/distributed_variable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

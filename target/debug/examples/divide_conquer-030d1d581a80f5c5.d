@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/divide_conquer-030d1d581a80f5c5.d: examples/divide_conquer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdivide_conquer-030d1d581a80f5c5.rmeta: examples/divide_conquer.rs Cargo.toml
+
+examples/divide_conquer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/divide_conquer-d459362fdfa4022a.d: examples/divide_conquer.rs
+
+/root/repo/target/debug/examples/divide_conquer-d459362fdfa4022a: examples/divide_conquer.rs
+
+examples/divide_conquer.rs:

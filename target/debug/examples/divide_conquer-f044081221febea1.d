@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/divide_conquer-f044081221febea1.d: examples/divide_conquer.rs
+
+/root/repo/target/debug/examples/divide_conquer-f044081221febea1: examples/divide_conquer.rs
+
+examples/divide_conquer.rs:

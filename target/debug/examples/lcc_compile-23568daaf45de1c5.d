@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lcc_compile-23568daaf45de1c5.d: examples/lcc_compile.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblcc_compile-23568daaf45de1c5.rmeta: examples/lcc_compile.rs Cargo.toml
+
+examples/lcc_compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

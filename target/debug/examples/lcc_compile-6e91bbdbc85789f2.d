@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lcc_compile-6e91bbdbc85789f2.d: examples/lcc_compile.rs
+
+/root/repo/target/debug/examples/lcc_compile-6e91bbdbc85789f2: examples/lcc_compile.rs
+
+examples/lcc_compile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lcc_compile-c978d8f2b80926d0.d: examples/lcc_compile.rs
+
+/root/repo/target/debug/examples/lcc_compile-c978d8f2b80926d0: examples/lcc_compile.rs
+
+examples/lcc_compile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/linda_run-60828aab3bedcb40.d: examples/linda_run.rs
+
+/root/repo/target/debug/examples/linda_run-60828aab3bedcb40: examples/linda_run.rs
+
+examples/linda_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/linda_run-c8a38cb16187c766.d: examples/linda_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblinda_run-c8a38cb16187c766.rmeta: examples/linda_run.rs Cargo.toml
+
+examples/linda_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/linda_run-f68a79513006c45e.d: examples/linda_run.rs
+
+/root/repo/target/debug/examples/linda_run-f68a79513006c45e: examples/linda_run.rs
+
+examples/linda_run.rs:

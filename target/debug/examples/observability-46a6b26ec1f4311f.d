@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-46a6b26ec1f4311f.d: examples/observability.rs
+
+/root/repo/target/debug/examples/observability-46a6b26ec1f4311f: examples/observability.rs
+
+examples/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7fc1c330c37de516.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7fc1c330c37de516: examples/quickstart.rs
+
+examples/quickstart.rs:

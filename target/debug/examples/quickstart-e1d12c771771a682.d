@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e1d12c771771a682.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e1d12c771771a682: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-660e25c6fb20cd90.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-660e25c6fb20cd90.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-660e25c6fb20cd90.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

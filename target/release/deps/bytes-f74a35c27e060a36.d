@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-f74a35c27e060a36.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f74a35c27e060a36.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f74a35c27e060a36.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

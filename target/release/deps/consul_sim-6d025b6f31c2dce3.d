@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/consul_sim-6d025b6f31c2dce3.d: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+/root/repo/target/release/deps/libconsul_sim-6d025b6f31c2dce3.rlib: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+/root/repo/target/release/deps/libconsul_sim-6d025b6f31c2dce3.rmeta: crates/consul/src/lib.rs crates/consul/src/isis.rs crates/consul/src/net.rs crates/consul/src/order.rs crates/consul/src/sequencer.rs crates/consul/src/stats.rs
+
+crates/consul/src/lib.rs:
+crates/consul/src/isis.rs:
+crates/consul/src/net.rs:
+crates/consul/src/order.rs:
+crates/consul/src/sequencer.rs:
+crates/consul/src/stats.rs:

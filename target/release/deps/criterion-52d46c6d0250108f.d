@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-52d46c6d0250108f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-52d46c6d0250108f.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-52d46c6d0250108f.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

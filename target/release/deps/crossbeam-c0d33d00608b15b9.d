@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-c0d33d00608b15b9.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c0d33d00608b15b9.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c0d33d00608b15b9.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ft_lcc-b131ba78ed537958.d: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+/root/repo/target/release/deps/libft_lcc-b131ba78ed537958.rlib: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+/root/repo/target/release/deps/libft_lcc-b131ba78ed537958.rmeta: crates/lcc/src/lib.rs crates/lcc/src/lexer.rs crates/lcc/src/parser.rs crates/lcc/src/pretty.rs
+
+crates/lcc/src/lib.rs:
+crates/lcc/src/lexer.rs:
+crates/lcc/src/parser.rs:
+crates/lcc/src/pretty.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftlinda-c97af251a903eb29.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libftlinda-c97af251a903eb29.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libftlinda-c97af251a903eb29.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftlinda-d492b6e9db877a30.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libftlinda-d492b6e9db877a30.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libftlinda-d492b6e9db877a30.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:

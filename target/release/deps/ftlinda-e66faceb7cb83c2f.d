@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftlinda-e66faceb7cb83c2f.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libftlinda-e66faceb7cb83c2f.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libftlinda-e66faceb7cb83c2f.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/runtime.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/runtime.rs:
+crates/core/src/server.rs:

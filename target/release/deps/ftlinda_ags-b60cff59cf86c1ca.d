@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftlinda_ags-b60cff59cf86c1ca.d: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/release/deps/libftlinda_ags-b60cff59cf86c1ca.rlib: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/release/deps/libftlinda_ags-b60cff59cf86c1ca.rmeta: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+crates/ags/src/lib.rs:
+crates/ags/src/ags.rs:
+crates/ags/src/expr.rs:
+crates/ags/src/ops.rs:
+crates/ags/src/wire.rs:

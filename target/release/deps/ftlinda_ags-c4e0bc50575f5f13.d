@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftlinda_ags-c4e0bc50575f5f13.d: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/release/deps/libftlinda_ags-c4e0bc50575f5f13.rlib: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+/root/repo/target/release/deps/libftlinda_ags-c4e0bc50575f5f13.rmeta: crates/ags/src/lib.rs crates/ags/src/ags.rs crates/ags/src/expr.rs crates/ags/src/ops.rs crates/ags/src/wire.rs
+
+crates/ags/src/lib.rs:
+crates/ags/src/ags.rs:
+crates/ags/src/expr.rs:
+crates/ags/src/ops.rs:
+crates/ags/src/wire.rs:

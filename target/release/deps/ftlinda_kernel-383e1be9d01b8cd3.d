@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ftlinda_kernel-383e1be9d01b8cd3.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/release/deps/libftlinda_kernel-383e1be9d01b8cd3.rlib: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+/root/repo/target/release/deps/libftlinda_kernel-383e1be9d01b8cd3.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs crates/kernel/src/kernel.rs crates/kernel/src/proto.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/proto.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/linda_bench-d89ac40571de8851.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblinda_bench-d89ac40571de8851.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblinda_bench-d89ac40571de8851.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/linda_obs-171b90d395a4b262.d: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/liblinda_obs-171b90d395a4b262.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/liblinda_obs-171b90d395a4b262.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/linda_obs-869c2e402ff44154.d: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/liblinda_obs-869c2e402ff44154.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/liblinda_obs-869c2e402ff44154.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/linda_paradigms-7a38ed9ddea8f5fc.d: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/release/deps/liblinda_paradigms-7a38ed9ddea8f5fc.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/release/deps/liblinda_paradigms-7a38ed9ddea8f5fc.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/barrier.rs:
+crates/paradigms/src/bot.rs:
+crates/paradigms/src/checkpoint.rs:
+crates/paradigms/src/consensus.rs:
+crates/paradigms/src/distvar.rs:
+crates/paradigms/src/dnc.rs:
+crates/paradigms/src/pool.rs:

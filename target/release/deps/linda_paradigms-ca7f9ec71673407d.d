@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/linda_paradigms-ca7f9ec71673407d.d: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/release/deps/liblinda_paradigms-ca7f9ec71673407d.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+/root/repo/target/release/deps/liblinda_paradigms-ca7f9ec71673407d.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/barrier.rs crates/paradigms/src/bot.rs crates/paradigms/src/checkpoint.rs crates/paradigms/src/consensus.rs crates/paradigms/src/distvar.rs crates/paradigms/src/dnc.rs crates/paradigms/src/pool.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/barrier.rs:
+crates/paradigms/src/bot.rs:
+crates/paradigms/src/checkpoint.rs:
+crates/paradigms/src/consensus.rs:
+crates/paradigms/src/distvar.rs:
+crates/paradigms/src/dnc.rs:
+crates/paradigms/src/pool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/linda_repro-c406e33be91339b7.d: src/lib.rs
+
+/root/repo/target/release/deps/liblinda_repro-c406e33be91339b7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblinda_repro-c406e33be91339b7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/linda_repro-f3122ba72b73a42e.d: src/lib.rs
+
+/root/repo/target/release/deps/liblinda_repro-f3122ba72b73a42e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblinda_repro-f3122ba72b73a42e.rmeta: src/lib.rs
+
+src/lib.rs:

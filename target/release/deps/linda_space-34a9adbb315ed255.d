@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/linda_space-34a9adbb315ed255.d: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/release/deps/liblinda_space-34a9adbb315ed255.rlib: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/release/deps/liblinda_space-34a9adbb315ed255.rmeta: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+crates/space/src/lib.rs:
+crates/space/src/space.rs:
+crates/space/src/store.rs:

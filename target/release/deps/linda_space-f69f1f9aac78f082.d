@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/linda_space-f69f1f9aac78f082.d: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/release/deps/liblinda_space-f69f1f9aac78f082.rlib: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+/root/repo/target/release/deps/liblinda_space-f69f1f9aac78f082.rmeta: crates/space/src/lib.rs crates/space/src/space.rs crates/space/src/store.rs
+
+crates/space/src/lib.rs:
+crates/space/src/space.rs:
+crates/space/src/store.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/linda_tuple-b97ebf1f859ee34b.d: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+/root/repo/target/release/deps/liblinda_tuple-b97ebf1f859ee34b.rlib: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+/root/repo/target/release/deps/liblinda_tuple-b97ebf1f859ee34b.rmeta: crates/tuple/src/lib.rs crates/tuple/src/codec.rs crates/tuple/src/pattern.rs crates/tuple/src/signature.rs crates/tuple/src/tuple.rs crates/tuple/src/value.rs
+
+crates/tuple/src/lib.rs:
+crates/tuple/src/codec.rs:
+crates/tuple/src/pattern.rs:
+crates/tuple/src/signature.rs:
+crates/tuple/src/tuple.rs:
+crates/tuple/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msgs_per_ags-58d51f986d905524.d: crates/bench/benches/msgs_per_ags.rs
+
+/root/repo/target/release/deps/msgs_per_ags-58d51f986d905524: crates/bench/benches/msgs_per_ags.rs
+
+crates/bench/benches/msgs_per_ags.rs:

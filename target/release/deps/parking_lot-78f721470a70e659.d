@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-78f721470a70e659.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-78f721470a70e659.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-78f721470a70e659.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e818014b98c439a3.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e818014b98c439a3.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e818014b98c439a3.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

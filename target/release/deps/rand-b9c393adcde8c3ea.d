@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b9c393adcde8c3ea.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b9c393adcde8c3ea.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b9c393adcde8c3ea.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

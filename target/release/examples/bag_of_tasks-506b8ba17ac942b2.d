@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bag_of_tasks-506b8ba17ac942b2.d: examples/bag_of_tasks.rs
+
+/root/repo/target/release/examples/bag_of_tasks-506b8ba17ac942b2: examples/bag_of_tasks.rs
+
+examples/bag_of_tasks.rs:

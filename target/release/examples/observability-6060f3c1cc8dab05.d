@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/observability-6060f3c1cc8dab05.d: examples/observability.rs
+
+/root/repo/target/release/examples/observability-6060f3c1cc8dab05: examples/observability.rs
+
+examples/observability.rs:

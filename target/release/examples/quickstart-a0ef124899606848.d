@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a0ef124899606848.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a0ef124899606848: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,219 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API this
+//! workspace's benches use (`benchmark_group`, `bench_function`,
+//! `iter`/`iter_custom`, `sample_size`, `measurement_time`, and the
+//! `criterion_group!`/`criterion_main!` macros). It runs each benchmark for
+//! the configured measurement time and prints mean/median per-iteration
+//! times — no statistical analysis, plots, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level harness handle; one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Accepts CLI configuration in real criterion; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, Duration::from_secs(2), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares throughput for reporting; a no-op here.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark body driver passed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times `routine`, repeatedly, until the sample budget is used.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / self.iters_per_sample.max(1) as u32);
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`] but the routine does its own timing: it
+    /// receives an iteration count and returns the elapsed time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        loop {
+            let elapsed = routine(self.iters_per_sample);
+            self.samples
+                .push(elapsed / self.iters_per_sample.max(1) as u32);
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // One warm-up call with a tiny budget so jits/caches settle.
+    let mut warmup = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        deadline: Instant::now(),
+    };
+    f(&mut warmup);
+
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+        deadline: Instant::now() + measurement_time,
+    };
+    f(&mut b);
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<48} mean {mean:>12?}  median {median:>12?}  ({n} samples)",
+        n = samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions as a single runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_custom_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(iters * 10))
+        });
+    }
+}

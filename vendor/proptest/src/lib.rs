@@ -1,0 +1,48 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the strategy combinators and `proptest!` runner macro this
+//! workspace's property tests use, generating inputs from a deterministic
+//! per-test seed. Differences from the real crate, on purpose:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`), the
+//!   case index, and the seed so it can be replayed, but is not minimized.
+//! * **No persisted regressions file.** Seeds derive from the test name, so
+//!   runs are reproducible without `proptest-regressions/`.
+//! * String "regex" strategies support the literal-class subset used here
+//!   (`.{m,n}`, `[chars]{m,n}`, `[^chars]{m,n}`), not full regex syntax.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for containers.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// `proptest::option` — strategies for `Option<T>`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `Some` (biased ~3:1) or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Strategy for "any" value of a primitive type, like `any::<i64>()`.
+pub fn any<T: strategy::ArbPrimitive>() -> strategy::Any<T> {
+    strategy::Any::new()
+}

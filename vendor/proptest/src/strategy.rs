@@ -1,0 +1,595 @@
+//! Value-generation strategies: the `Strategy` trait and its combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value` from an RNG.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a pure generator.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate from `self`, then feed the value to `f` to pick the next
+    /// strategy (dependent generation).
+    fn prop_flat_map<O, S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        S: Strategy<Value = O>,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (re-drawing up to a bound).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erase into a cheaply-cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Build recursive structures: `self` is the leaf case and `recurse`
+    /// wraps a strategy for depth *n* into one for depth *n+1*. `depth`
+    /// bounds nesting; the size hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            // Bias toward leaves so expected size stays bounded.
+            cur = Union::new(vec![(2, leaf.clone()), (1, deeper)]).boxed();
+        }
+        cur
+    }
+}
+
+/// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    S2: Strategy<Value = O>,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 draws in a row", self.whence);
+    }
+}
+
+/// Weighted union of same-typed strategies; backs `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights need not be normalized.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Self { arms, total }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms.last().expect("nonempty").1.generate(rng)
+    }
+}
+
+/// Length specification for [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        Self { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// See [`crate::option::of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        Self { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Primitive types supported by [`crate::any`].
+pub trait ArbPrimitive: fmt::Debug + Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbPrimitive for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbPrimitive for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl ArbPrimitive for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Arbitrary bit patterns, excluding NaN so equality-based
+        // properties (codec round-trips) remain meaningful.
+        loop {
+            let f = f64::from_bits(rng.gen::<u64>());
+            if !f.is_nan() {
+                return f;
+            }
+        }
+    }
+}
+
+impl ArbPrimitive for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        loop {
+            let f = f32::from_bits(rng.gen::<u64>() as u32);
+            if !f.is_nan() {
+                return f;
+            }
+        }
+    }
+}
+
+impl ArbPrimitive for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        // Mostly ASCII, sometimes any scalar value, for UTF-8 coverage.
+        if rng.gen_range(0..4u32) > 0 {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10ffff)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// See [`crate::any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: ArbPrimitive> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategy from a regex-like pattern. Supports exactly the shapes
+/// this workspace uses: `.{m,n}`, `[chars]{m,n}`, `[^chars]{m,n}`; any
+/// other pattern is treated as a literal string.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (class, min, max) = match parse_pattern(self) {
+            Some(p) => p,
+            None => return (*self).to_string(),
+        };
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+enum CharClass {
+    /// `.` — any char except newline; mostly printable ASCII.
+    Dot,
+    /// `[...]` — one of the listed chars.
+    OneOf(Vec<char>),
+    /// `[^...]` — any char except the listed ones.
+    NoneOf(Vec<char>),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharClass::Dot => loop {
+                let c = <char as ArbPrimitive>::arbitrary(rng);
+                if c != '\n' {
+                    return c;
+                }
+            },
+            CharClass::OneOf(set) => set[rng.gen_range(0..set.len())],
+            CharClass::NoneOf(set) => loop {
+                let c = <char as ArbPrimitive>::arbitrary(rng);
+                if !set.contains(&c) {
+                    return c;
+                }
+            },
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Option<(CharClass, usize, usize)> {
+    let (class, rest) = if let Some(stripped) = pat.strip_prefix('.') {
+        (CharClass::Dot, stripped)
+    } else if let Some(inner) = pat.strip_prefix('[') {
+        let close = inner.find(']')?;
+        let (body, rest) = (&inner[..close], &inner[close + 1..]);
+        let (negated, body) = match body.strip_prefix('^') {
+            Some(b) => (true, b),
+            None => (false, body),
+        };
+        let mut set = Vec::new();
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => set.push('\n'),
+                    Some('t') => set.push('\t'),
+                    Some('r') => set.push('\r'),
+                    Some(other) => set.push(other),
+                    None => return None,
+                }
+            } else {
+                set.push(c);
+            }
+        }
+        if negated {
+            (CharClass::NoneOf(set), rest)
+        } else {
+            (CharClass::OneOf(set), rest)
+        }
+    } else {
+        return None;
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    Some((class, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Weighted-or-plain union builder macro.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let s = (0usize..3, -3i64..4).prop_map(|(a, b)| (a, b * 2));
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut r);
+            assert!(a < 3);
+            assert!((-6..8).contains(&b) && b % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 3, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut r)) <= 7);
+        }
+    }
+
+    #[test]
+    fn str_pattern_strategies() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,12}".generate(&mut r);
+            assert!(s.chars().count() <= 12 && !s.contains('\n'));
+            let t = "[^\\n\\t]{0,10}".generate(&mut r);
+            assert!(t.chars().count() <= 10 && !t.contains('\n') && !t.contains('\t'));
+            let u = "[ab]{2,2}".generate(&mut r);
+            assert!(u.chars().all(|c| c == 'a' || c == 'b') && u.len() == 2);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The case runner behind the `proptest!` macro, and its error/config types.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Failure of a single generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed property with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self {
+            message: reason.into(),
+        }
+    }
+
+    /// A rejected case (treated the same as failure here — the shim does
+    /// not re-draw on rejection).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-test-body result used inside `proptest!`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Derive the base seed for a property: stable per test name, overridable
+/// with `PROPTEST_SEED` for replaying a whole run.
+fn base_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+/// Prints the inputs of the in-flight case if the body panics, so panicking
+/// failures are as debuggable as `prop_assert!` failures.
+pub struct PanicContext {
+    description: String,
+    armed: bool,
+}
+
+impl PanicContext {
+    /// Arm a context describing the current case.
+    pub fn new(description: String) -> Self {
+        Self {
+            description,
+            armed: true,
+        }
+    }
+
+    /// Disarm after the case body returns normally.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicContext {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("proptest case inputs: {}", self.description);
+        }
+    }
+}
+
+/// Run `cfg.cases` generated cases of the property `f`, panicking (with the
+/// case index, seed, and inputs) on the first failure.
+pub fn run_cases<F>(cfg: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng, &mut Vec<String>) -> TestCaseResult,
+{
+    let base = base_seed(name);
+    for case in 0..cfg.cases {
+        let seed = base ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs: Vec<String> = Vec::new();
+        if let Err(e) = f(&mut rng, &mut inputs) {
+            panic!(
+                "proptest property '{name}' failed at case {case}/{cases} \
+                 (PROPTEST_SEED={base}):\n  inputs: {inputs}\n  {e}",
+                cases = cfg.cases,
+                inputs = inputs.join(", "),
+            );
+        }
+    }
+}
+
+/// Assert a boolean condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`\n {}",
+            l,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Top-level property-test macro: an optional
+/// `#![proptest_config(..)]` followed by `#[test] fn name(pat in strategy, ..) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal item-muncher for [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                $cfg,
+                stringify!($name),
+                |__rng, __inputs| {
+                    $(
+                        let __v = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        __inputs.push(format!(
+                            "{} = {:?}", stringify!($pat), &__v
+                        ));
+                        let $pat = __v;
+                    )+
+                    let mut __panic_ctx = $crate::test_runner::PanicContext::new(
+                        __inputs.join(", "),
+                    );
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __panic_ctx.disarm();
+                    __result
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_len_in_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run_cases(
+            ProptestConfig::with_cases(10),
+            "always_fails",
+            |_rng, _inputs| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! Deterministic xoshiro256** generator behind `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` extension trait with
+//! `gen_range` / `gen` / `gen_bool`. Stream values differ from the real
+//! `rand` (different algorithm), which only affects which pseudo-random
+//! schedules tests explore, not correctness.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build from OS entropy — here, from the current time.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Types uniformly sampleable from a range. The blanket `SampleRange`
+/// impls below go through this trait so type inference can unify the range
+/// element type with `gen_range`'s return type (mirroring the real crate).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (((rng() as u128) % span) as i128 + lo as i128) as $t
+            }
+            fn sample_inclusive(rng: &mut dyn FnMut() -> u64, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (((rng() as u128) % span) as i128 + lo as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range in gen_range");
+        let unit = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, lo: f64, hi: f64) -> f64 {
+        Self::sample_half_open(rng, lo, f64::from_bits(hi.to_bits() + 1))
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from the "standard" distribution.
+    fn from_rng(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng(rng: &mut dyn FnMut() -> u64) -> $t {
+                rng() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_rng(rng: &mut dyn FnMut() -> u64) -> bool {
+        rng() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng(rng: &mut dyn FnMut() -> u64) -> f64 {
+        (rng() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Extension trait with the sampling helpers call sites use.
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+
+    /// Value from the standard distribution for `T`.
+    #[allow(clippy::wrong_self_convention)]
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::from_rng(&mut f)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's StdRng).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A time-seeded RNG (the real crate's thread-local generator).
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(5..60);
+            assert!((5..60).contains(&v));
+            let w: i64 = r.gen_range(-3i64..4);
+            assert!((-3..4).contains(&w));
+            let x = r.gen_range(0..=3u32);
+            assert!(x <= 3);
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn distribution_not_constant() {
+        let mut r = StdRng::seed_from_u64(2);
+        let vals: Vec<u64> = (0..20).map(|_| r.gen_range(0..1_000_000u64)).collect();
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+    }
+}
