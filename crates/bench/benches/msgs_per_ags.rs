@@ -86,6 +86,50 @@ fn twopc_messages() -> u64 {
     3 * (HOSTS - 1)
 }
 
+/// Run `submitters` threads each executing `per_submitter` single-out
+/// AGSs against a fresh cluster, with group commit on or off. Returns
+/// `(ags_total, ordered_multicasts, batches, elapsed_secs)`.
+fn measure_concurrent(
+    submitters: usize,
+    per_submitter: usize,
+    batch_on: bool,
+) -> (u64, u64, u64, f64) {
+    let mut b = Cluster::builder().hosts(HOSTS as u32);
+    if !batch_on {
+        b = b.no_batching();
+    }
+    let (cluster, rts) = b.build();
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    wait_net_quiesced(&cluster);
+    cluster.order_stats().reset();
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for i in 0..submitters {
+            let rt = &rts[i % rts.len()];
+            s.spawn(move || {
+                for k in 0..per_submitter {
+                    rt.execute(&Ags::out_one(
+                        ts,
+                        vec![Operand::cst("s"), Operand::cst(k as i64)],
+                    ))
+                    .unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    wait_net_quiesced(&cluster);
+    let stats = cluster.order_stats();
+    let out = (
+        (submitters * per_submitter) as u64,
+        stats.ordered_multicasts(),
+        stats.batches(),
+        elapsed,
+    );
+    cluster.shutdown();
+    out
+}
+
 fn bench(c: &mut Criterion) {
     let (cluster, rts) = Cluster::new(HOSTS as u32);
     let ts = rts[0].create_stable_ts("main").unwrap();
@@ -109,6 +153,44 @@ fn bench(c: &mut Criterion) {
         // The claim itself, asserted: constant message count.
         assert_eq!(ft_m, HOSTS, "1 submit + (n-1) ordered, flat in ops");
         assert_eq!(po_m, 2 * nops as u64 * HOSTS);
+    }
+    println!();
+
+    // E9b — group commit under concurrency: 8 submitters hammering the
+    // coordinator. Batching must beat one ordered multicast per AGS;
+    // disabling it must reproduce the classic one-record-per-AGS cost.
+    const SUBMITTERS: usize = 8;
+    const PER_SUBMITTER: usize = 150;
+    println!("E9b — ordered multicasts per AGS, {SUBMITTERS} concurrent submitters (4 hosts):");
+    println!(
+        "    {:<10} {:>8} {:>18} {:>10} {:>16} {:>14}",
+        "batching", "AGSs", "ordered multicasts", "batches", "multicasts/AGS", "AGS/sec"
+    );
+    for batch_on in [true, false] {
+        let (ags, multicasts, batches, secs) =
+            measure_concurrent(SUBMITTERS, PER_SUBMITTER, batch_on);
+        println!(
+            "    {:<10} {:>8} {:>18} {:>10} {:>16.3} {:>14.0}",
+            if batch_on { "on" } else { "off" },
+            ags,
+            multicasts,
+            batches,
+            multicasts as f64 / ags as f64,
+            ags as f64 / secs
+        );
+        if batch_on {
+            assert!(
+                multicasts < ags,
+                "group commit must order strictly fewer multicasts ({multicasts}) \
+                 than AGSs ({ags})"
+            );
+        } else {
+            assert_eq!(
+                multicasts, ags,
+                "batching off: exactly one ordered multicast per AGS"
+            );
+            assert_eq!(batches, 0, "batching off: no coalesced flushes");
+        }
     }
     println!();
 

@@ -13,11 +13,31 @@ use bytes::Bytes;
 /// globally unique and lets the origin recognize its own delivery.
 pub type LocalId = u64;
 
+/// One submit coalesced into a batch record: the `(origin, local)` pair
+/// identifies the broadcast exactly as it would in a solo `App` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntry {
+    /// Host that submitted this entry.
+    pub origin: HostId,
+    /// Origin-local id of the broadcast.
+    pub local: LocalId,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
 /// The body of an ordered record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordBody {
     /// An application payload (an encoded AGS request, for FT-Linda).
     App(Bytes),
+    /// Several submits coalesced by the coordinator into one multicast
+    /// (group commit). The record's `seq` is the sequence number of the
+    /// *first* entry; entry `i` holds global sequence `seq + i`. Batch
+    /// records exist only on the wire: receivers explode them into solo
+    /// `App` records (see [`Record::explode`]) before log append, so the
+    /// log, deliveries, sync, NACK repair, and duplicate detection all
+    /// remain per-entry.
+    Batch(Vec<BatchEntry>),
     /// Membership change: `host` failed. Replicas deposit failure tuples
     /// when they deliver this.
     Fail(HostId),
@@ -44,9 +64,30 @@ impl Record {
     pub fn wire_size(&self) -> usize {
         let body = match &self.body {
             RecordBody::App(p) => p.len(),
+            RecordBody::Batch(es) => es.iter().map(|e| 4 + 8 + e.payload.len()).sum(),
             _ => 4,
         };
         8 + 4 + 8 + 1 + body
+    }
+
+    /// Explode a batch record into the solo `App` records it carries
+    /// (entry `i` gets sequence `seq + i`); a non-batch record is returned
+    /// unchanged. Receivers call this before per-record accept logic so
+    /// that everything downstream of the wire sees one record per submit.
+    pub fn explode(self) -> Vec<Record> {
+        match self.body {
+            RecordBody::Batch(entries) => entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| Record {
+                    seq: self.seq + i as u64,
+                    origin: e.origin,
+                    local: e.local,
+                    body: RecordBody::App(e.payload),
+                })
+                .collect(),
+            _ => vec![self],
+        }
     }
 }
 
@@ -92,8 +133,17 @@ impl Delivery {
     }
 
     /// Convert a [`Record`] into the corresponding delivery event.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`RecordBody::Batch`] record: batches are a wire-only
+    /// encoding and must be split with [`Record::explode`] before any
+    /// per-record processing.
     pub fn from_record(r: &Record) -> Delivery {
         match &r.body {
+            RecordBody::Batch(_) => {
+                panic!("batch records must be exploded before delivery")
+            }
             RecordBody::App(p) => Delivery::App {
                 seq: r.seq,
                 origin: r.origin,
@@ -179,6 +229,68 @@ mod tests {
                 host: HostId(2)
             }
         );
+    }
+
+    #[test]
+    fn explode_assigns_contiguous_seqs() {
+        let b = Record {
+            seq: 7,
+            origin: HostId(0),
+            local: 0,
+            body: RecordBody::Batch(vec![
+                BatchEntry {
+                    origin: HostId(1),
+                    local: 4,
+                    payload: Bytes::from_static(b"a"),
+                },
+                BatchEntry {
+                    origin: HostId(2),
+                    local: 9,
+                    payload: Bytes::from_static(b"b"),
+                },
+            ]),
+        };
+        let solo = b.explode();
+        assert_eq!(solo.len(), 2);
+        assert_eq!(solo[0].seq, 7);
+        assert_eq!(solo[0].origin, HostId(1));
+        assert_eq!(solo[0].local, 4);
+        assert_eq!(solo[0].body, RecordBody::App(Bytes::from_static(b"a")));
+        assert_eq!(solo[1].seq, 8);
+        assert_eq!(solo[1].origin, HostId(2));
+        assert_eq!(solo[1].local, 9);
+
+        // Non-batch records pass through unchanged.
+        let r = Record {
+            seq: 1,
+            origin: HostId(0),
+            local: 1,
+            body: RecordBody::App(Bytes::from_static(b"x")),
+        };
+        assert_eq!(r.clone().explode(), vec![r]);
+    }
+
+    #[test]
+    fn batch_wire_size_counts_every_entry() {
+        let b = Record {
+            seq: 1,
+            origin: HostId(0),
+            local: 0,
+            body: RecordBody::Batch(vec![
+                BatchEntry {
+                    origin: HostId(1),
+                    local: 1,
+                    payload: Bytes::from(vec![0u8; 10]),
+                },
+                BatchEntry {
+                    origin: HostId(2),
+                    local: 1,
+                    payload: Bytes::from(vec![0u8; 20]),
+                },
+            ]),
+        };
+        // Header + two entries with per-entry (origin, local) framing.
+        assert_eq!(b.wire_size(), 8 + 4 + 8 + 1 + (4 + 8 + 10) + (4 + 8 + 20));
     }
 
     #[test]

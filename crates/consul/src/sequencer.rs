@@ -32,14 +32,117 @@
 //!   and emits an ordered `Join` record.
 
 use crate::net::{HostId, NetConfig, NetEvent, SimNet, WireSized};
-use crate::order::{Delivery, LocalId, Record, RecordBody};
+use crate::order::{BatchEntry, Delivery, LocalId, Record, RecordBody};
 use crate::stats::OrderStats;
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Group-commit tuning for the coordinator's submit path.
+///
+/// The flush policy is adaptive: a submit that arrives while the
+/// coordinator has been idle for at least `window` is multicast
+/// immediately (zero added latency for sequential workloads), while
+/// submits arriving faster than one per `window` are coalesced into a
+/// single [`RecordBody::Batch`] multicast, flushed when the window
+/// deadline passes or the batch reaches `max_entries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Coalescing window. `Duration::ZERO` disables batching entirely:
+    /// every submit is multicast as a solo record, byte-for-byte the
+    /// pre-batching wire protocol.
+    pub window: Duration,
+    /// Flush as soon as this many submits have coalesced, even if the
+    /// window has not yet expired.
+    pub max_entries: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            window: Duration::from_micros(100),
+            max_entries: 64,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Batching off: wire-compatible with the pre-batching protocol.
+    pub fn disabled() -> Self {
+        BatchConfig {
+            window: Duration::ZERO,
+            max_entries: 1,
+        }
+    }
+
+    /// Whether the coordinator coalesces at all.
+    pub fn enabled(&self) -> bool {
+        self.window > Duration::ZERO
+    }
+}
+
+/// Deadline timer shared between a member's protocol state (which arms
+/// it while holding the state lock) and its flusher thread (which waits
+/// on it and then takes the state lock). Lock order is strictly
+/// state → timer; the flusher always releases the timer lock before
+/// touching state, so the two locks are never held in opposite orders.
+struct FlushTimer {
+    inner: Mutex<TimerInner>,
+    cv: Condvar,
+}
+
+struct TimerInner {
+    deadline: Option<Instant>,
+    closed: bool,
+}
+
+impl FlushTimer {
+    fn new() -> Self {
+        FlushTimer {
+            inner: Mutex::new(TimerInner {
+                deadline: None,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arm (or move) the deadline. Called with the state lock held.
+    fn arm(&self, deadline: Instant) {
+        self.inner.lock().deadline = Some(deadline);
+        self.cv.notify_one();
+    }
+
+    /// Permanently shut the timer down; the flusher thread exits.
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_one();
+    }
+
+    /// Block until an armed deadline passes (consuming it) or the timer
+    /// is closed. Returns `false` on close.
+    fn wait_due(&self) -> bool {
+        let mut g = self.inner.lock();
+        loop {
+            if g.closed {
+                return false;
+            }
+            match g.deadline {
+                None => self.cv.wait(&mut g),
+                Some(d) => {
+                    if Instant::now() >= d {
+                        g.deadline = None;
+                        return true;
+                    }
+                    let _ = self.cv.wait_until(&mut g, d);
+                }
+            }
+        }
+    }
+}
 
 /// Protocol messages of the sequencer group.
 #[derive(Debug, Clone)]
@@ -149,6 +252,19 @@ struct State {
     pending_fails: BTreeSet<HostId>,
     pending_joins: Vec<HostId>,
 
+    // Group commit (coordinator only). Entries in `batch` already hold
+    // assigned sequence numbers `batch_first .. batch_first + len`; they
+    // are multicast (and only then logged) when the batch flushes.
+    batch_cfg: BatchConfig,
+    batch: Vec<BatchEntry>,
+    batch_first: u64,
+    batch_opened_at: Instant,
+    batch_deadline: Option<Instant>,
+    last_flush: Instant,
+    flush_timer: Arc<FlushTimer>,
+    batch_size_hist: Arc<linda_obs::Histogram>,
+    batch_flush_hist: Arc<linda_obs::Histogram>,
+
     // Heartbeat failure detection (None = oracle notices from SimNet).
     hb: Option<crate::net::Heartbeat>,
     last_heard: HashMap<HostId, std::time::Instant>,
@@ -241,8 +357,17 @@ impl State {
     }
 
     /// Core append path: deliver `rec` if it extends the contiguous log,
-    /// buffer it if ahead, ignore duplicates.
+    /// buffer it if ahead, ignore duplicates. Batch records are exploded
+    /// into their solo `App` records first, so duplicate detection, gap
+    /// repair, and the log itself stay per-entry — a retransmitted batch
+    /// that partially overlaps the log is deduplicated entry by entry.
     fn accept_record(&mut self, rec: Record) {
+        if matches!(rec.body, RecordBody::Batch(_)) {
+            for solo in rec.explode() {
+                self.accept_record(solo);
+            }
+            return;
+        }
         if rec.seq <= self.log_len() {
             return;
         }
@@ -268,6 +393,9 @@ impl State {
     fn append_and_deliver(&mut self, rec: Record) {
         debug_assert_eq!(rec.seq, self.log_len() + 1);
         match &rec.body {
+            RecordBody::Batch(_) => {
+                unreachable!("batch records are exploded in accept_record")
+            }
             RecordBody::App(_) => {
                 if rec.origin == self.me {
                     self.pending_submits.remove(&rec.local);
@@ -433,6 +561,9 @@ impl State {
         if self.failed_recorded.contains(&h) {
             return; // already recorded for this incarnation
         }
+        // The open batch holds sequence numbers below `next_seq`; flush
+        // it so the Fail record extends the multicast stream contiguously.
+        self.flush_batch();
         let rec = Record {
             seq: self.next_seq,
             origin: self.me,
@@ -456,6 +587,10 @@ impl State {
     }
 
     fn serve_join(&mut self, joiner: HostId) {
+        // Flush before snapshotting: entries in the open batch have
+        // assigned seqs but are not yet in the log, and the snapshot
+        // must hand the joiner a contiguous prefix.
+        self.flush_batch();
         self.live.insert(joiner);
         self.recipients.insert(joiner);
         self.net.send(
@@ -486,6 +621,10 @@ impl State {
             return;
         }
         if let Some(&seq) = self.assigned.get(&(origin, local)) {
+            // Duplicate submission. If the record already made it into
+            // the log, answer with a retransmission; if it is still
+            // sitting in the open batch, the pending flush will deliver
+            // it — a second sequence number must not be assigned.
             if origin != self.me {
                 if let Some(rec) = self.log.get((seq - 1) as usize) {
                     self.stats.record_retransmit();
@@ -500,19 +639,103 @@ impl State {
             }
             return;
         }
-        let rec = Record {
-            seq: self.next_seq,
-            origin,
-            local,
-            body: RecordBody::App(payload),
-        };
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.assigned.insert((origin, local), rec.seq);
-        self.distribute(rec);
+        self.assigned.insert((origin, local), seq);
+        if !self.batch_cfg.enabled() {
+            self.distribute(Record {
+                seq,
+                origin,
+                local,
+                body: RecordBody::App(payload),
+            });
+            return;
+        }
+        let now = Instant::now();
+        if self.batch.is_empty() {
+            if now.duration_since(self.last_flush) >= self.batch_cfg.window {
+                // Idle coordinator: flush solo immediately, so batching
+                // adds zero latency to sequential workloads.
+                self.last_flush = now;
+                self.distribute(Record {
+                    seq,
+                    origin,
+                    local,
+                    body: RecordBody::App(payload),
+                });
+                return;
+            }
+            // A multicast left within the last window — open a batch and
+            // let further concurrent submits pile in until the deadline.
+            self.batch_first = seq;
+            self.batch_opened_at = now;
+            let deadline = self.last_flush + self.batch_cfg.window;
+            self.batch_deadline = Some(deadline);
+            self.batch.push(BatchEntry {
+                origin,
+                local,
+                payload,
+            });
+            self.flush_timer.arm(deadline);
+        } else {
+            self.batch.push(BatchEntry {
+                origin,
+                local,
+                payload,
+            });
+            if self.batch.len() >= self.batch_cfg.max_entries {
+                self.flush_batch();
+            }
+        }
+    }
+
+    /// Multicast the open batch (if any) as one ordered record. A batch
+    /// of one collapses to a plain solo `App` record, keeping the wire
+    /// format identical to unbatched operation under light load.
+    fn flush_batch(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.batch);
+        self.batch_deadline = None;
+        let now = Instant::now();
+        self.last_flush = now;
+        self.batch_flush_hist
+            .observe(now.duration_since(self.batch_opened_at));
+        self.batch_size_hist.observe_seconds(entries.len() as f64);
+        if entries.len() == 1 {
+            let e = entries.into_iter().next().expect("len checked");
+            self.distribute(Record {
+                seq: self.batch_first,
+                origin: e.origin,
+                local: e.local,
+                body: RecordBody::App(e.payload),
+            });
+        } else {
+            self.stats.record_batch(entries.len() as u64);
+            self.distribute(Record {
+                seq: self.batch_first,
+                origin: self.me,
+                local: 0,
+                body: RecordBody::Batch(entries),
+            });
+        }
+    }
+
+    /// Flusher-thread entry: flush only if the state's own deadline has
+    /// actually passed (the timer may have fired for a batch that was
+    /// already flushed by the `max_entries` trigger).
+    fn flush_batch_due(&mut self) {
+        if let Some(d) = self.batch_deadline {
+            if Instant::now() >= d {
+                self.flush_batch();
+            }
+        }
     }
 
     /// Multicast an ordered record to all recipients and self-deliver.
     fn distribute(&mut self, rec: Record) {
+        self.stats.record_ordered_multicast();
         let me = self.me;
         let dests: Vec<HostId> = self
             .recipients
@@ -538,6 +761,7 @@ pub struct SeqMember {
     stop: Arc<AtomicBool>,
     obs: Arc<linda_obs::Registry>,
     join_error: Arc<Mutex<Option<String>>>,
+    flush_timer: Arc<FlushTimer>,
 }
 
 /// Factory/controller for a sequencer group over a simulated network.
@@ -545,12 +769,24 @@ pub struct SeqGroup {
     net: SimNet<SeqMsg>,
     universe: Vec<HostId>,
     stats: Arc<OrderStats>,
+    batch: BatchConfig,
 }
 
 impl SeqGroup {
     /// Create a group of `n` members, all initially live, host 0 as the
-    /// initial coordinator.
+    /// initial coordinator, with the default (enabled) group-commit
+    /// configuration.
     pub fn new(n: u32, cfg: NetConfig) -> (SeqGroup, Vec<SeqMember>) {
+        Self::new_with_batch(n, cfg, BatchConfig::default())
+    }
+
+    /// Like [`SeqGroup::new`] with explicit group-commit tuning
+    /// (`BatchConfig::disabled()` reproduces the unbatched protocol).
+    pub fn new_with_batch(
+        n: u32,
+        cfg: NetConfig,
+        batch: BatchConfig,
+    ) -> (SeqGroup, Vec<SeqMember>) {
         let (net, rxs) = SimNet::<SeqMsg>::new(n, cfg);
         let universe: Vec<HostId> = (0..n).map(HostId).collect();
         let stats = Arc::new(OrderStats::default());
@@ -558,7 +794,15 @@ impl SeqGroup {
             .into_iter()
             .enumerate()
             .map(|(i, rx)| {
-                Self::spawn_member(HostId(i as u32), &net, &universe, rx, stats.clone(), true)
+                Self::spawn_member(
+                    HostId(i as u32),
+                    &net,
+                    &universe,
+                    rx,
+                    stats.clone(),
+                    true,
+                    batch,
+                )
             })
             .collect();
         (
@@ -566,6 +810,7 @@ impl SeqGroup {
                 net,
                 universe,
                 stats,
+                batch,
             },
             members,
         )
@@ -578,6 +823,7 @@ impl SeqGroup {
         rx: crossbeam::channel::Receiver<NetEvent<SeqMsg>>,
         stats: Arc<OrderStats>,
         initially_joined: bool,
+        batch: BatchConfig,
     ) -> SeqMember {
         let (dtx, drx) = crossbeam::channel::unbounded();
         let live: BTreeSet<HostId> = universe.iter().copied().collect();
@@ -586,6 +832,15 @@ impl SeqGroup {
             "ftlinda_ags_order_seconds",
             "Broadcast to total-order self-delivery latency",
         );
+        let batch_size_hist = obs.histogram_with(
+            "ftlinda_batch_size",
+            "Submits coalesced per ordered multicast",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+        );
+        let batch_flush_hist =
+            obs.histogram("ftlinda_batch_flush_seconds", "Batch open-to-flush latency");
+        let flush_timer = Arc::new(FlushTimer::new());
+        let now = Instant::now();
         let state = Arc::new(Mutex::new(State {
             me,
             universe: universe.to_vec(),
@@ -613,6 +868,16 @@ impl SeqGroup {
             buffered_nacks: Vec::new(),
             pending_fails: BTreeSet::new(),
             pending_joins: Vec::new(),
+            batch_cfg: batch,
+            batch: Vec::new(),
+            batch_first: 0,
+            batch_opened_at: now,
+            batch_deadline: None,
+            // Start "long idle" so the very first submit flushes solo.
+            last_flush: now.checked_sub(batch.window).unwrap_or(now),
+            flush_timer: flush_timer.clone(),
+            batch_size_hist,
+            batch_flush_hist,
             hb: net.config().heartbeats,
             last_heard: universe
                 .iter()
@@ -630,7 +895,25 @@ impl SeqGroup {
             stop: stop.clone(),
             obs,
             join_error: Arc::new(Mutex::new(None)),
+            flush_timer: flush_timer.clone(),
         };
+        if batch.enabled() {
+            // Dedicated flusher: the member thread can sit in a long
+            // `recv_timeout`, and the coordinator path may run on a
+            // client thread, so neither can meet a sub-millisecond batch
+            // deadline. The flusher sleeps on the timer (timer lock
+            // only) and takes the state lock only after releasing it.
+            let flusher_state = state.clone();
+            let flusher_timer = flush_timer.clone();
+            std::thread::Builder::new()
+                .name(format!("flush-{me}"))
+                .spawn(move || {
+                    while flusher_timer.wait_due() {
+                        flusher_state.lock().flush_batch_due();
+                    }
+                })
+                .expect("spawn flusher");
+        }
         let tick = net
             .config()
             .heartbeats
@@ -638,21 +921,24 @@ impl SeqGroup {
             .unwrap_or(Duration::from_millis(50));
         std::thread::Builder::new()
             .name(format!("seq-{me}"))
-            .spawn(move || loop {
-                if stop.load(AtomicOrdering::Relaxed) {
-                    return;
-                }
-                match rx.recv_timeout(tick) {
-                    Ok(ev) => {
-                        let mut st = state.lock();
-                        st.on_event(ev);
-                        st.heartbeat_tick();
+            .spawn(move || {
+                loop {
+                    if stop.load(AtomicOrdering::Relaxed) {
+                        break;
                     }
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                        state.lock().heartbeat_tick();
+                    match rx.recv_timeout(tick) {
+                        Ok(ev) => {
+                            let mut st = state.lock();
+                            st.on_event(ev);
+                            st.heartbeat_tick();
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            state.lock().heartbeat_tick();
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                     }
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                 }
+                flush_timer.close();
             })
             .expect("spawn member");
         member
@@ -682,6 +968,7 @@ impl SeqGroup {
             rx,
             self.stats.clone(),
             false,
+            self.batch,
         );
         let state = member.state.clone();
         let net = member.net.clone();
@@ -753,6 +1040,11 @@ impl SeqGroup {
         &self.stats
     }
 
+    /// The group-commit configuration members run with.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.batch
+    }
+
     /// Tear down the network router.
     pub fn shutdown(&self) {
         self.net.shutdown();
@@ -794,6 +1086,7 @@ impl SeqMember {
     /// Stop this member's protocol thread (teardown).
     pub fn stop(&self) {
         self.stop.store(true, AtomicOrdering::Relaxed);
+        self.flush_timer.close();
     }
 
     /// Number of records this member has delivered.
@@ -1145,6 +1438,115 @@ mod tests {
         let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
         let msgs = quiesced_msgs(&g, Duration::from_secs(2));
         assert_eq!(msgs, 3, "coordinator pays only the fan-out");
+        g.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submits_coalesce_into_batches() {
+        let batch = BatchConfig {
+            window: Duration::from_millis(5),
+            max_entries: 64,
+        };
+        let (g, ms) = SeqGroup::new_with_batch(3, NetConfig::instant(), batch);
+        let ms = Arc::new(ms);
+        let per = 100;
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let ms = ms.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        ms[i].broadcast(Bytes::from(format!("{i}:{k}")));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = per * 3;
+        let log0 = collect_n(&ms[0], total, Duration::from_secs(10));
+        assert_eq!(log0.len(), total, "every submit delivered");
+        let mut seen = HashSet::new();
+        for (i, d) in log0.iter().enumerate() {
+            assert_eq!(d.seq(), (i + 1) as u64, "contiguous total order");
+            if let Delivery::App { payload, .. } = d {
+                assert!(seen.insert(payload.clone()), "duplicate delivery");
+            }
+        }
+        assert_eq!(seen.len(), total);
+        assert!(
+            g.stats().ordered_multicasts() < g.stats().broadcasts(),
+            "group commit must amortize: {} multicasts for {} broadcasts",
+            g.stats().ordered_multicasts(),
+            g.stats().broadcasts()
+        );
+        assert!(g.stats().batches() >= 1, "at least one multi-entry batch");
+        assert_logs_converge(&ms[0], &ms[1], Duration::from_secs(3));
+        assert_logs_converge(&ms[1], &ms[2], Duration::from_secs(3));
+        g.shutdown();
+    }
+
+    #[test]
+    fn disabled_batching_matches_classic_message_cost() {
+        let (g, ms) = SeqGroup::new_with_batch(4, NetConfig::instant(), BatchConfig::disabled());
+        g.net().stats().reset();
+        ms[1].broadcast(Bytes::from_static(b"m"));
+        let _ = collect_n(&ms[1], 1, Duration::from_secs(2));
+        assert_eq!(quiesced_msgs(&g, Duration::from_secs(2)), 4);
+        g.net().stats().reset();
+        ms[0].broadcast(Bytes::from_static(b"m"));
+        let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
+        assert_eq!(quiesced_msgs(&g, Duration::from_secs(2)), 3);
+        assert_eq!(g.stats().ordered_multicasts(), g.stats().broadcasts());
+        assert_eq!(g.stats().batches(), 0, "never coalesces when disabled");
+        g.shutdown();
+    }
+
+    /// Liveness of the deadline flusher: rapid submits that coalesce must
+    /// still deliver without any further traffic to trigger a flush.
+    #[test]
+    fn open_batch_flushes_on_deadline() {
+        let batch = BatchConfig {
+            window: Duration::from_millis(5),
+            max_entries: 1024,
+        };
+        let (g, ms) = SeqGroup::new_with_batch(2, NetConfig::instant(), batch);
+        for i in 0..10 {
+            ms[1].broadcast(Bytes::from(format!("{i}")));
+        }
+        let ds = collect_n(&ms[1], 10, Duration::from_secs(5));
+        assert_eq!(ds.len(), 10, "deadline flush must drain the batch");
+        for (i, d) in ds.iter().enumerate() {
+            assert_eq!(d.seq(), (i + 1) as u64);
+        }
+        g.shutdown();
+    }
+
+    /// A view change forces the open batch out first, so the Fail record
+    /// lands after the batched entries in the total order.
+    #[test]
+    fn view_change_flushes_open_batch_first() {
+        let batch = BatchConfig {
+            window: Duration::from_millis(500),
+            max_entries: 1024,
+        };
+        let (g, ms) = SeqGroup::new_with_batch(3, NetConfig::instant(), batch);
+        ms[1].broadcast(Bytes::from_static(b"a")); // solo (idle flush)
+        ms[1].broadcast(Bytes::from_static(b"b")); // opens a batch
+        ms[1].broadcast(Bytes::from_static(b"c")); // joins the batch
+        std::thread::sleep(Duration::from_millis(50));
+        g.crash(HostId(2));
+        let ds = collect_n(&ms[0], 4, Duration::from_secs(5));
+        assert_eq!(ds.len(), 4);
+        assert!(matches!(&ds[0], Delivery::App { payload, .. } if &payload[..] == b"a"));
+        assert!(matches!(&ds[1], Delivery::App { payload, .. } if &payload[..] == b"b"));
+        assert!(matches!(&ds[2], Delivery::App { payload, .. } if &payload[..] == b"c"));
+        assert!(
+            matches!(&ds[3], Delivery::Fail { host, seq } if *host == HostId(2) && *seq == 4),
+            "Fail must follow the flushed batch, got {:?}",
+            ds[3]
+        );
+        assert_logs_converge(&ms[0], &ms[1], Duration::from_secs(3));
         g.shutdown();
     }
 

@@ -52,12 +52,28 @@ pub struct OrderStats {
     delivered: AtomicU64,
     view_changes: AtomicU64,
     retransmits: AtomicU64,
+    ordered_multicasts: AtomicU64,
+    batches: AtomicU64,
+    batch_entries: AtomicU64,
 }
 
 impl OrderStats {
     /// Record one logical atomic broadcast submitted.
     pub fn record_broadcast(&self) {
         self.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one ordered multicast leaving the coordinator (a solo
+    /// record or a whole batch — the unit the paper's "one multicast per
+    /// AGS" claim counts).
+    pub fn record_ordered_multicast(&self) {
+        self.ordered_multicasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a coalesced flush of `entries` submits in one multicast.
+    pub fn record_batch(&self, entries: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_entries.fetch_add(entries, Ordering::Relaxed);
     }
 
     /// Record one message delivered to the application in total order.
@@ -94,6 +110,34 @@ impl OrderStats {
     pub fn retransmits(&self) -> u64 {
         self.retransmits.load(Ordering::Relaxed)
     }
+
+    /// Ordered multicasts issued by coordinators (solo records count 1,
+    /// a batch of any size counts 1). `ordered_multicasts() <
+    /// broadcasts()` means group commit amortized ordering cost.
+    pub fn ordered_multicasts(&self) -> u64 {
+        self.ordered_multicasts.load(Ordering::Relaxed)
+    }
+
+    /// Multi-entry batch flushes performed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Total submits that were delivered inside multi-entry batches.
+    pub fn batch_entries(&self) -> u64 {
+        self.batch_entries.load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter (between benchmark phases).
+    pub fn reset(&self) {
+        self.broadcasts.store(0, Ordering::Relaxed);
+        self.delivered.store(0, Ordering::Relaxed);
+        self.view_changes.store(0, Ordering::Relaxed);
+        self.retransmits.store(0, Ordering::Relaxed);
+        self.ordered_multicasts.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_entries.store(0, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -118,10 +162,19 @@ mod tests {
         s.record_delivery();
         s.record_view_change();
         s.record_retransmit();
+        s.record_ordered_multicast();
+        s.record_batch(3);
         assert_eq!(s.broadcasts(), 1);
         assert_eq!(s.delivered(), 2);
         assert_eq!(s.view_changes(), 1);
         assert_eq!(s.retransmits(), 1);
+        assert_eq!(s.ordered_multicasts(), 1);
+        assert_eq!(s.batches(), 1);
+        assert_eq!(s.batch_entries(), 3);
+        s.reset();
+        assert_eq!(s.broadcasts(), 0);
+        assert_eq!(s.ordered_multicasts(), 0);
+        assert_eq!(s.batch_entries(), 0);
     }
 
     #[test]

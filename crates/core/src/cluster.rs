@@ -15,7 +15,7 @@
 //! [`Cluster::obs`].
 
 use crate::runtime::Runtime;
-use consul_sim::{HostId, NetConfig, SeqGroup};
+use consul_sim::{BatchConfig, HostId, NetConfig, SeqGroup};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
@@ -29,6 +29,7 @@ pub struct ClusterBuilder {
     hosts: u32,
     net: NetConfig,
     divergence_period: Option<Duration>,
+    batch: BatchConfig,
 }
 
 impl Default for ClusterBuilder {
@@ -37,6 +38,7 @@ impl Default for ClusterBuilder {
             hosts: 3,
             net: NetConfig::instant(),
             divergence_period: Some(Duration::from_millis(10)),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -80,9 +82,35 @@ impl ClusterBuilder {
         self
     }
 
+    /// Full group-commit configuration for the sequencer coordinator.
+    pub fn batch(mut self, cfg: BatchConfig) -> Self {
+        self.batch = cfg;
+        self
+    }
+
+    /// Coalescing window for concurrent AGS submits at the coordinator
+    /// (`Duration::ZERO` disables batching).
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.batch.window = window;
+        self
+    }
+
+    /// Flush an open batch as soon as it reaches `n` entries.
+    pub fn batch_max_entries(mut self, n: usize) -> Self {
+        self.batch.max_entries = n;
+        self
+    }
+
+    /// Disable submit batching: every AGS is ordered with its own
+    /// multicast, wire-identical to the pre-batching protocol.
+    pub fn no_batching(mut self) -> Self {
+        self.batch = BatchConfig::disabled();
+        self
+    }
+
     /// Build the cluster and one runtime per host.
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
-        let (group, members) = SeqGroup::new(self.hosts, self.net);
+        let (group, members) = SeqGroup::new_with_batch(self.hosts, self.net, self.batch);
         let runtimes: Vec<Runtime> = members.into_iter().map(Runtime::new).collect();
         let by_host: HashMap<HostId, Runtime> =
             runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
@@ -222,6 +250,11 @@ impl Cluster {
     /// Ordering-layer statistics.
     pub fn order_stats(&self) -> &consul_sim::OrderStats {
         self.group.stats()
+    }
+
+    /// The group-commit configuration the sequencer runs with.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.group.batch_config()
     }
 
     /// Tear everything down (idempotent).

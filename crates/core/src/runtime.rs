@@ -132,7 +132,13 @@ impl Runtime {
                         return;
                     }
                 };
-                shared.kernel.lock().apply(&d);
+                // Pipelining: a batched multicast (or a replayed
+                // snapshot) lands many deliveries at once; drain them
+                // and apply the whole run under one kernel lock instead
+                // of re-acquiring per record.
+                let mut run = vec![d];
+                run.extend(member.deliveries().try_iter().take(255));
+                shared.kernel.lock().apply_all(&run);
                 // Route kernel notes produced by this apply.
                 for note in note_rx.try_iter() {
                     let routed_at = Instant::now();

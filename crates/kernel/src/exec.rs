@@ -66,6 +66,10 @@ pub enum TryOutcome {
         outcome: AgsOutcome,
         /// Deferred writes to the owner's scratch spaces.
         scratch_outs: Vec<(ScratchId, Tuple)>,
+        /// `(space, signature-hash)` of every tuple this AGS committed
+        /// into a stable space. The kernel uses these to retry only the
+        /// blocked AGSs whose guard could match a new deposit.
+        deposited: Vec<(TsId, u64)>,
     },
     /// No branch's guard was satisfiable; the AGS must block.
     Blocked,
@@ -263,18 +267,58 @@ fn execute_branch(
     })();
 
     match result {
-        Ok(()) => TryOutcome::Fired {
-            outcome: AgsOutcome {
-                branch: branch_index,
-                bindings,
-            },
-            scratch_outs,
-        },
+        Ok(()) => {
+            // Every stable-space insert left a RemoveInserted entry with
+            // the tuple's signature hash; on commit that is exactly the
+            // set of deposits that could wake a blocked guard.
+            let deposited = undo
+                .iter()
+                .filter_map(|u| match u {
+                    Undo::RemoveInserted { ts, sig, .. } => Some((*ts, *sig)),
+                    Undo::RestoreTaken { .. } => None,
+                })
+                .collect();
+            TryOutcome::Fired {
+                outcome: AgsOutcome {
+                    branch: branch_index,
+                    bindings,
+                },
+                scratch_outs,
+                deposited,
+            }
+        }
         Err(e) => {
             rollback(stables, undo);
             TryOutcome::Failed(e)
         }
     }
+}
+
+/// The `(space, signature-hash)` keys under which a *blocked* AGS waits:
+/// one per `in`/`rd` guard branch. An `IndexedStore` only matches a
+/// pattern against tuples of the identical signature, so a deposit can
+/// satisfy a blocked guard only if its `(space, signature)` key is equal
+/// — which makes this index exact, not heuristic. Guards of a blocked
+/// AGS always resolve (probing them succeeded), and resolution uses no
+/// bindings and only deterministic inputs, so every replica computes the
+/// same keys.
+pub fn guard_keys(ags: &Ags, self_host: u32, request_seq: u64) -> Vec<(TsId, u64)> {
+    let ctx = EvalCtx {
+        bindings: &[],
+        self_host,
+        request_seq,
+    };
+    let mut keys = Vec::new();
+    for branch in &ags.branches {
+        if let Guard::In { ts, pattern } | Guard::Rd { ts, pattern } = &branch.guard {
+            if let SpaceRef::Stable(id) = *ts {
+                if let Ok(pat) = resolve_pattern(pattern, &ctx) {
+                    keys.push((id, pat.signature().stable_hash()));
+                }
+            }
+        }
+    }
+    keys
 }
 
 /// `move`/`copy` patterns treat `Bind` fields as wildcards (they bind

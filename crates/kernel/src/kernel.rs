@@ -12,13 +12,13 @@
 //! `origin == self`) and client notifications (only the origin host
 //! resolves its client's waiting call).
 
-use crate::exec::{try_execute, ExecError, TryOutcome};
+use crate::exec::{guard_keys, try_execute, ExecError, TryOutcome};
 use crate::proto::{decode_request, Request};
 use consul_sim::{Delivery, HostId, LocalId};
 use ftlinda_ags::{Ags, AgsOutcome, ScratchId, TsId};
 use linda_space::{IndexedStore, LocalSpace, Store};
 use linda_tuple::{tuple, Tuple};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,6 +78,8 @@ struct BlockedAgs {
     origin: HostId,
     local: LocalId,
     ags: Ags,
+    /// The `(space, guard-signature)` keys this AGS is indexed under.
+    keys: Vec<(TsId, u64)>,
 }
 
 /// The name of the distinguished failure tuple's head field (paper §2.3:
@@ -103,7 +105,15 @@ pub struct Kernel {
     names: BTreeMap<String, TsId>,
     next_ts: u32,
     scratches: HashMap<ScratchId, LocalSpace>,
-    blocked: VecDeque<BlockedAgs>,
+    /// Blocked AGSs keyed by arrival id (ascending id = arrival order,
+    /// preserving FIFO-fair wakeup).
+    blocked: BTreeMap<u64, BlockedAgs>,
+    next_blocked_id: u64,
+    /// Inverted index: `(space, guard-signature-hash)` → blocked ids.
+    /// A deposit can only wake guards under its own key, so retries
+    /// after an AGS fires touch matching guards instead of rescanning
+    /// the whole queue (`Fail` records still trigger a full pass).
+    guard_index: HashMap<(TsId, u64), BTreeSet<u64>>,
     notes: crossbeam::channel::Sender<KernelNote>,
     applied: u64,
     obs: Option<KernelObs>,
@@ -118,7 +128,9 @@ impl Kernel {
             names: BTreeMap::new(),
             next_ts: 0,
             scratches: HashMap::new(),
-            blocked: VecDeque::new(),
+            blocked: BTreeMap::new(),
+            next_blocked_id: 0,
+            guard_index: HashMap::new(),
             notes,
             applied: 0,
             obs: None,
@@ -168,6 +180,28 @@ impl Kernel {
         if let Some(obs) = &self.obs {
             obs.exec_hist.observe(t0.elapsed());
             obs.applied_total.inc();
+        }
+        self.flush_gauges();
+    }
+
+    /// Apply a contiguous run of deliveries (e.g. an exploded batch or a
+    /// replayed snapshot) in order. Equivalent to calling [`Kernel::apply`]
+    /// per delivery, but the gauge updates are amortized over the run —
+    /// the caller holds the kernel lock once for the whole run.
+    pub fn apply_all(&mut self, ds: &[Delivery]) {
+        for d in ds {
+            let t0 = Instant::now();
+            self.apply_inner(d);
+            if let Some(obs) = &self.obs {
+                obs.exec_hist.observe(t0.elapsed());
+                obs.applied_total.inc();
+            }
+        }
+        self.flush_gauges();
+    }
+
+    fn flush_gauges(&self) {
+        if let Some(obs) = &self.obs {
             obs.blocked_depth.set(self.blocked.len() as i64);
             obs.stable_size
                 .set(self.stables.values().map(Store::len).sum::<usize>() as i64);
@@ -204,7 +238,9 @@ impl Kernel {
                     seq: *seq,
                     host: *host,
                 });
-                self.retry_blocked();
+                // View changes touch every space at once — fall back to
+                // the full-queue pass rather than seeding per-signature.
+                self.retry_blocked_full();
             }
             Delivery::Join { seq, host } => {
                 self.note(KernelNote::HostJoined {
@@ -241,6 +277,7 @@ impl Kernel {
             TryOutcome::Fired {
                 outcome,
                 scratch_outs,
+                deposited,
             } => {
                 self.commit_scratch(origin, scratch_outs);
                 if origin == self.host {
@@ -250,15 +287,25 @@ impl Kernel {
                         result: Ok(outcome),
                     });
                 }
-                self.retry_blocked();
+                self.retry_blocked_matching(deposited);
             }
             TryOutcome::Blocked => {
-                self.blocked.push_back(BlockedAgs {
-                    seq,
-                    origin,
-                    local,
-                    ags,
-                });
+                let keys = guard_keys(&ags, origin.0, seq);
+                let id = self.next_blocked_id;
+                self.next_blocked_id += 1;
+                for k in &keys {
+                    self.guard_index.entry(*k).or_default().insert(id);
+                }
+                self.blocked.insert(
+                    id,
+                    BlockedAgs {
+                        seq,
+                        origin,
+                        local,
+                        ags,
+                        keys,
+                    },
+                );
             }
             TryOutcome::Failed(e) => {
                 if origin == self.host {
@@ -272,29 +319,104 @@ impl Kernel {
         }
     }
 
-    /// Retry blocked AGSs in arrival order until a full pass fires
-    /// nothing. Every replica runs the identical loop, so blocked-queue
-    /// evolution is deterministic.
-    fn retry_blocked(&mut self) {
-        loop {
-            let mut fired_any = false;
-            let mut i = 0;
-            while i < self.blocked.len() {
-                let candidate = &self.blocked[i];
+    /// Remove a blocked AGS from the queue and the guard index.
+    fn unblock(&mut self, id: u64) -> BlockedAgs {
+        let b = self.blocked.remove(&id).expect("blocked id present");
+        for k in &b.keys {
+            if let Some(set) = self.guard_index.get_mut(k) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.guard_index.remove(k);
+                }
+            }
+        }
+        b
+    }
+
+    /// Retry only the blocked AGSs whose guard signature matches one of
+    /// the just-deposited tuples, oldest first, chasing cascades through
+    /// the deposits each firing produces. An `IndexedStore` matches a
+    /// pattern only against equal-signature tuples, so any AGS outside
+    /// these index buckets provably cannot have become satisfiable —
+    /// every replica prunes identically and determinism is preserved.
+    fn retry_blocked_matching(&mut self, mut seeds: Vec<(TsId, u64)>) {
+        while !seeds.is_empty() {
+            let mut candidates: BTreeSet<u64> = BTreeSet::new();
+            for key in &seeds {
+                if let Some(ids) = self.guard_index.get(key) {
+                    candidates.extend(ids.iter().copied());
+                }
+            }
+            seeds.clear();
+            for id in candidates {
+                if !self.blocked.contains_key(&id) {
+                    continue;
+                }
+                let candidate = &self.blocked[&id];
                 match try_execute(
                     &mut self.stables,
                     &candidate.ags,
                     candidate.origin.0,
                     candidate.seq,
                 ) {
-                    TryOutcome::Blocked => {
-                        i += 1;
-                    }
+                    TryOutcome::Blocked => {}
                     TryOutcome::Fired {
                         outcome,
                         scratch_outs,
+                        deposited,
                     } => {
-                        let b = self.blocked.remove(i).expect("index valid");
+                        let b = self.unblock(id);
+                        self.commit_scratch(b.origin, scratch_outs);
+                        if b.origin == self.host {
+                            self.note(KernelNote::Completed {
+                                seq: b.seq,
+                                local: b.local,
+                                result: Ok(outcome),
+                            });
+                        }
+                        seeds.extend(deposited);
+                    }
+                    TryOutcome::Failed(e) => {
+                        let b = self.unblock(id);
+                        if b.origin == self.host {
+                            self.note(KernelNote::Completed {
+                                seq: b.seq,
+                                local: b.local,
+                                result: Err(e),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retry every blocked AGS in arrival order until a full pass fires
+    /// nothing — the fallback for view changes, which deposit failure
+    /// tuples into all spaces at once. Every replica runs the identical
+    /// loop, so blocked-queue evolution is deterministic.
+    fn retry_blocked_full(&mut self) {
+        loop {
+            let mut fired_any = false;
+            let ids: Vec<u64> = self.blocked.keys().copied().collect();
+            for id in ids {
+                if !self.blocked.contains_key(&id) {
+                    continue;
+                }
+                let candidate = &self.blocked[&id];
+                match try_execute(
+                    &mut self.stables,
+                    &candidate.ags,
+                    candidate.origin.0,
+                    candidate.seq,
+                ) {
+                    TryOutcome::Blocked => {}
+                    TryOutcome::Fired {
+                        outcome,
+                        scratch_outs,
+                        ..
+                    } => {
+                        let b = self.unblock(id);
                         self.commit_scratch(b.origin, scratch_outs);
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
@@ -306,7 +428,7 @@ impl Kernel {
                         fired_any = true;
                     }
                     TryOutcome::Failed(e) => {
-                        let b = self.blocked.remove(i).expect("index valid");
+                        let b = self.unblock(id);
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
                                 seq: b.seq,
@@ -401,7 +523,7 @@ impl Kernel {
             }
         }
         h.write_u64(0xb10c * (self.blocked.len() as u64 + 1));
-        for b in &self.blocked {
+        for b in self.blocked.values() {
             h.write_u64(b.seq);
         }
         h.finish()

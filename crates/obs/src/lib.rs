@@ -366,6 +366,19 @@ impl Registry {
             .clone()
     }
 
+    /// Get or create histogram `name` with explicit bucket upper bounds
+    /// (for non-latency quantities like batch sizes). The bounds only
+    /// apply on first creation; a later call with the same name returns
+    /// the existing instrument.
+    pub fn histogram_with(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(Histogram::new(bounds))))
+            .1
+            .clone()
+    }
+
     /// The registry's structured-event sink.
     pub fn events(&self) -> &EventSink {
         &self.events

@@ -16,6 +16,13 @@
 //! requires every replica to withdraw the *same* tuple for the same
 //! operation stream, and oldest-match also preserves causality for
 //! FIFO-producer/consumer patterns.
+//!
+//! **Zero-clone withdraw contract:** `take`/`take_all` (and the tracked
+//! variants) move the stored tuple out by removing it first — they never
+//! clone payload bytes. Only the read-side operations (`read`,
+//! `read_all`, `snapshot`) copy, because the original stays in the
+//! store. AGS `move` over large tuple sets therefore costs O(matches)
+//! pointer moves, not O(bytes).
 
 use linda_tuple::{Pattern, StableMap, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -229,17 +236,7 @@ impl Store for IndexedStore {
     }
 
     fn take(&mut self, p: &Pattern) -> Option<Tuple> {
-        let key = p.signature().stable_hash();
-        let bucket = self.buckets.get_mut(&key)?;
-        let seq = bucket.find_first(p)?;
-        let t = bucket.remove(seq);
-        if t.is_some() {
-            self.len -= 1;
-        }
-        if bucket.entries.is_empty() {
-            self.buckets.remove(&key);
-        }
-        t
+        self.take_tracked(p).map(|(_, t)| t)
     }
 
     fn read(&self, p: &Pattern) -> Option<Tuple> {
@@ -253,20 +250,10 @@ impl Store for IndexedStore {
     }
 
     fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
-        let key = p.signature().stable_hash();
-        let Some(bucket) = self.buckets.get_mut(&key) else {
-            return Vec::new();
-        };
-        let seqs = bucket.find_all(p);
-        let out: Vec<Tuple> = seqs
+        self.take_all_tracked(p)
             .into_iter()
-            .filter_map(|seq| bucket.remove(seq))
-            .collect();
-        self.len -= out.len();
-        if bucket.entries.is_empty() {
-            self.buckets.remove(&key);
-        }
-        out
+            .map(|(_, t)| t)
+            .collect()
     }
 
     fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
@@ -337,15 +324,18 @@ impl Store for LinearStore {
     }
 
     fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
+        // Drain-partition: matches are moved out, non-matches moved back.
+        // No tuple payload is ever cloned on this withdraw path.
         let mut out = Vec::new();
-        self.entries.retain(|(_, t)| {
-            if p.matches(t) {
-                out.push(t.clone());
-                false
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for (seq, t) in self.entries.drain(..) {
+            if p.matches(&t) {
+                out.push(t);
             } else {
-                true
+                kept.push((seq, t));
             }
-        });
+        }
+        self.entries = kept;
         out
     }
 

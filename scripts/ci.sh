@@ -15,4 +15,11 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> bench smoke (assertions only, no measurement)"
+# batch_window sweeps the group-commit window {off, 100us, 1ms} and
+# writes the multicasts-per-AGS / throughput curve as a JSON artifact.
+BENCH_MSGS_PER_AGS_JSON="${BENCH_MSGS_PER_AGS_JSON:-$PWD/BENCH_msgs_per_ags.json}" \
+    cargo bench -p linda-bench --bench batch_window -- --test
+cargo bench -p linda-bench --bench msgs_per_ags -- --test
+
 echo "CI green."
