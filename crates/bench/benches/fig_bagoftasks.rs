@@ -44,7 +44,47 @@ fn run_once(workers: usize, tasks: i64, ft: bool) {
     cluster.shutdown();
 }
 
+/// One instrumented run: complete `tasks` with `workers`, then print the
+/// per-stage latency attribution merged across the worker runtimes'
+/// `ftlinda_ags_*_seconds` histograms — the same instruments `/metrics`
+/// exports, so the bench's cost story and the scrape's agree.
+fn run_attributed(workers: usize, tasks: i64, ft: bool) {
+    let hosts = workers as u32 + 1;
+    let (cluster, rts) = Cluster::new(hosts);
+    let bag = BagOfTasks::create(&rts[0], "bag").unwrap();
+    let ids = bag
+        .seed(&rts[0], 0, (0..tasks).map(|i| Value::Int(500 + i % 7)))
+        .unwrap();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let rt = rts[w + 1].clone();
+            if ft {
+                bag.spawn_worker(rt, work)
+            } else {
+                bag.spawn_worker_unsafe(rt, work)
+            }
+        })
+        .collect();
+    bag.collect(&rts[0], &ids).unwrap();
+    bag.poison(&rts[0]).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let regs: Vec<_> = rts.iter().skip(1).map(|rt| rt.obs()).collect();
+    println!(
+        "  {} workers ({}) — pipeline stage attribution over all worker AGSs:",
+        workers,
+        if ft { "FT" } else { "plain" }
+    );
+    linda_bench::print_stage_attribution(&regs);
+    cluster.shutdown();
+}
+
 fn bench(c: &mut Criterion) {
+    println!("\nE5 — bag-of-tasks: per-stage latency attribution (40 tasks):");
+    run_attributed(2, 40, true);
+    run_attributed(2, 40, false);
+
     println!("\nE5 — bag-of-tasks: 40 tasks, completion time:");
     let mut g = c.benchmark_group("fig_bagoftasks");
     g.sample_size(10).measurement_time(Duration::from_secs(5));

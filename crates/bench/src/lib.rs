@@ -143,6 +143,87 @@ pub fn measure_ns_per_apply(mk: &dyn Fn() -> (Kernel, u64), payload: &bytes::Byt
     samples[2]
 }
 
+// ---------------------------------------------------------------------------
+// Histogram-backed measurement (E2/E3/E5)
+//
+// The latency experiments consume the same `ftlinda_ags_*_seconds`
+// histograms a production scrape would, instead of ad-hoc wall-clock
+// loops: the numbers in EXPERIMENTS.md are then, by construction, the
+// numbers `/metrics` exports.
+// ---------------------------------------------------------------------------
+
+/// Apply `n` copies of an encoded request on a fresh *instrumented*
+/// kernel (fresh registry attached after seeding, so setup traffic is
+/// excluded) and return the `ftlinda_ags_execute_seconds` snapshot.
+pub fn instrumented_apply(
+    mk: &dyn Fn() -> (Kernel, u64),
+    payload: &bytes::Bytes,
+    n: u64,
+) -> linda_obs::HistogramSnapshot {
+    let (mut k, mut seq) = mk();
+    let reg = linda_obs::Registry::new();
+    k.attach_obs(&reg);
+    for _ in 0..n {
+        apply_encoded(&mut k, &mut seq, payload);
+    }
+    stage_snapshot(&reg, "ftlinda_ags_execute_seconds")
+}
+
+/// Snapshot one named latency histogram from a registry (zeroed, not
+/// absent, when nothing was observed yet).
+pub fn stage_snapshot(reg: &linda_obs::Registry, name: &str) -> linda_obs::HistogramSnapshot {
+    reg.histogram(name, "").snapshot()
+}
+
+/// Bucket-wise merge of one named stage histogram across several
+/// registries — the cluster-wide view of that pipeline stage.
+pub fn merged_stage(
+    regs: &[std::sync::Arc<linda_obs::Registry>],
+    name: &str,
+) -> linda_obs::HistogramSnapshot {
+    let mut it = regs.iter();
+    let mut acc = stage_snapshot(it.next().expect("at least one registry"), name);
+    for reg in it {
+        assert!(
+            acc.merge(&stage_snapshot(reg, name)),
+            "bucket layout mismatch"
+        );
+    }
+    acc
+}
+
+/// Render a histogram snapshot as a compact latency row:
+/// `mean / p50 / p95 over count` in µs.
+pub fn stage_cell(snap: &linda_obs::HistogramSnapshot) -> String {
+    match (snap.mean(), snap.p50(), snap.p95()) {
+        (Some(mean), Some(p50), Some(p95)) => format!(
+            "mean {:>9.2} µs   p50 {:>9.2} µs   p95 {:>9.2} µs   (n={})",
+            mean * 1e6,
+            p50 * 1e6,
+            p95 * 1e6,
+            snap.count()
+        ),
+        _ => "no observations".into(),
+    }
+}
+
+/// The per-stage pipeline metrics in causal order, as `(label, metric)`.
+pub const PIPELINE_STAGES: &[(&str, &str)] = &[
+    ("submit (client → wire)", "ftlinda_ags_submit_seconds"),
+    ("order (submit → delivered)", "ftlinda_ags_order_seconds"),
+    ("execute (kernel apply)", "ftlinda_ags_execute_seconds"),
+    ("notify (apply → waiter)", "ftlinda_ags_notify_seconds"),
+    ("total (submit → completion)", "ftlinda_ags_total_seconds"),
+];
+
+/// Print the per-stage latency attribution for a set of member
+/// registries (merged bucket-wise), one row per pipeline stage.
+pub fn print_stage_attribution(regs: &[std::sync::Arc<linda_obs::Registry>]) {
+    for (label, metric) in PIPELINE_STAGES {
+        print_row(label, stage_cell(&merged_stage(regs, metric)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

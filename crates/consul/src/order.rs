@@ -8,9 +8,14 @@
 
 use crate::net::HostId;
 use bytes::Bytes;
+use linda_obs::TraceId;
 
 /// Identifier a sender assigns to its own broadcast; `(origin, local)` is
 /// globally unique and lets the origin recognize its own delivery.
+///
+/// The same pair doubles as the causal [`TraceId`] of the broadcast:
+/// tracing rides the identity that is already on the wire, adding no
+/// bytes to any message.
 pub type LocalId = u64;
 
 /// One submit coalesced into a batch record: the `(origin, local)` pair
@@ -23,6 +28,13 @@ pub struct BatchEntry {
     pub local: LocalId,
     /// The application payload.
     pub payload: Bytes,
+}
+
+impl BatchEntry {
+    /// The causal trace id this entry carries (its wire identity).
+    pub fn trace_id(&self) -> TraceId {
+        TraceId::new(self.origin.0, self.local)
+    }
 }
 
 /// The body of an ordered record.
@@ -60,6 +72,16 @@ pub struct Record {
 }
 
 impl Record {
+    /// The causal trace id of an `App` record (its `(origin, local)` wire
+    /// identity). `None` for view changes and wire-only batch envelopes,
+    /// which are not application broadcasts.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        match self.body {
+            RecordBody::App(_) => Some(TraceId::new(self.origin.0, self.local)),
+            _ => None,
+        }
+    }
+
     /// Approximate wire size of the record in bytes.
     pub fn wire_size(&self) -> usize {
         let body = match &self.body {
@@ -123,6 +145,14 @@ pub enum Delivery {
 }
 
 impl Delivery {
+    /// The causal trace id of an `App` delivery; `None` for view changes.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        match self {
+            Delivery::App { origin, local, .. } => Some(TraceId::new(origin.0, *local)),
+            _ => None,
+        }
+    }
+
     /// The record's global sequence number.
     pub fn seq(&self) -> u64 {
         match self {

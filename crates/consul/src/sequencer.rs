@@ -58,6 +58,12 @@ pub struct BatchConfig {
     /// Flush as soon as this many submits have coalesced, even if the
     /// window has not yet expired.
     pub max_entries: usize,
+    /// Flush as soon as the coalesced payload bytes reach this size,
+    /// even if neither the window nor `max_entries` has been hit —
+    /// bounding the wire size of one ordered multicast. `0` disables
+    /// the byte trigger. The active threshold is exported as the
+    /// `ftlinda_batch_max_bytes` gauge.
+    pub max_bytes: usize,
 }
 
 impl Default for BatchConfig {
@@ -65,6 +71,7 @@ impl Default for BatchConfig {
         BatchConfig {
             window: Duration::from_micros(100),
             max_entries: 64,
+            max_bytes: 256 * 1024,
         }
     }
 }
@@ -75,6 +82,7 @@ impl BatchConfig {
         BatchConfig {
             window: Duration::ZERO,
             max_entries: 1,
+            max_bytes: 0,
         }
     }
 
@@ -230,6 +238,11 @@ struct State {
     order_hist: Arc<linda_obs::Histogram>,
     /// Submission instants of this member's own in-flight broadcasts.
     broadcast_at: HashMap<LocalId, Instant>,
+    /// Causal-trace span ring ("flush" at the coordinator, "deliver" on
+    /// every member), shared with the member's registry.
+    spans: Arc<linda_obs::SpanLog>,
+    /// Structured-event sink (coordinator failover notices).
+    events: Arc<linda_obs::EventSink>,
 
     // Member side.
     log: Vec<Record>,
@@ -257,6 +270,11 @@ struct State {
     // are multicast (and only then logged) when the batch flushes.
     batch_cfg: BatchConfig,
     batch: Vec<BatchEntry>,
+    /// Enqueue instants parallel to `batch` (kept out of [`BatchEntry`],
+    /// which is a wire struct) for per-entry queueing-delay spans.
+    batch_enqueued: Vec<Instant>,
+    /// Payload bytes coalesced in the open batch (size-based trigger).
+    batch_bytes: usize,
     batch_first: u64,
     batch_opened_at: Instant,
     batch_deadline: Option<Instant>,
@@ -403,6 +421,12 @@ impl State {
                         self.order_hist.observe(t0.elapsed());
                     }
                 }
+                self.spans.record(
+                    linda_obs::TraceId::new(rec.origin.0, rec.local),
+                    "deliver",
+                    self.me.0,
+                    vec![("seq".into(), rec.seq.to_string())],
+                );
             }
             RecordBody::Fail(h) => {
                 self.failed_recorded.insert(*h);
@@ -463,6 +487,14 @@ impl State {
                 Some(c) => *c,
                 None => return,
             };
+            self.events.emit(linda_obs::Event::new(
+                "coordinator_failover",
+                vec![
+                    ("failed".into(), h.to_string()),
+                    ("new_coord".into(), new_coord.to_string()),
+                    ("observer".into(), self.me.to_string()),
+                ],
+            ));
             self.coord = new_coord;
             self.nacked_for = None;
             if new_coord == self.me {
@@ -643,6 +675,7 @@ impl State {
         self.next_seq += 1;
         self.assigned.insert((origin, local), seq);
         if !self.batch_cfg.enabled() {
+            self.flush_span(origin, local, seq, 1, Duration::ZERO);
             self.distribute(Record {
                 seq,
                 origin,
@@ -657,6 +690,7 @@ impl State {
                 // Idle coordinator: flush solo immediately, so batching
                 // adds zero latency to sequential workloads.
                 self.last_flush = now;
+                self.flush_span(origin, local, seq, 1, Duration::ZERO);
                 self.distribute(Record {
                     seq,
                     origin,
@@ -669,6 +703,7 @@ impl State {
             // let further concurrent submits pile in until the deadline.
             self.batch_first = seq;
             self.batch_opened_at = now;
+            self.batch_bytes = payload.len();
             let deadline = self.last_flush + self.batch_cfg.window;
             self.batch_deadline = Some(deadline);
             self.batch.push(BatchEntry {
@@ -676,17 +711,46 @@ impl State {
                 local,
                 payload,
             });
+            self.batch_enqueued.push(now);
             self.flush_timer.arm(deadline);
+            if self.batch_full() {
+                self.flush_batch();
+            }
         } else {
+            self.batch_bytes += payload.len();
             self.batch.push(BatchEntry {
                 origin,
                 local,
                 payload,
             });
-            if self.batch.len() >= self.batch_cfg.max_entries {
+            self.batch_enqueued.push(now);
+            if self.batch_full() {
                 self.flush_batch();
             }
         }
+    }
+
+    /// Whether either size trigger (entries or bytes) says the open
+    /// batch must flush now rather than wait out the window.
+    fn batch_full(&self) -> bool {
+        self.batch.len() >= self.batch_cfg.max_entries
+            || (self.batch_cfg.max_bytes > 0 && self.batch_bytes >= self.batch_cfg.max_bytes)
+    }
+
+    /// Record a coordinator "flush" span: the instant an entry left the
+    /// sequencer as (part of) an ordered multicast. `queued` is the time
+    /// the entry spent in the open batch — the batch queueing delay.
+    fn flush_span(&self, origin: HostId, local: LocalId, seq: u64, batch: usize, queued: Duration) {
+        self.spans.record(
+            linda_obs::TraceId::new(origin.0, local),
+            "flush",
+            self.me.0,
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("batch".into(), batch.to_string()),
+                ("queued_us".into(), queued.as_micros().to_string()),
+            ],
+        );
     }
 
     /// Multicast the open batch (if any) as one ordered record. A batch
@@ -697,12 +761,27 @@ impl State {
             return;
         }
         let entries = std::mem::take(&mut self.batch);
+        let enqueued = std::mem::take(&mut self.batch_enqueued);
+        self.batch_bytes = 0;
         self.batch_deadline = None;
         let now = Instant::now();
         self.last_flush = now;
         self.batch_flush_hist
             .observe(now.duration_since(self.batch_opened_at));
         self.batch_size_hist.observe_seconds(entries.len() as f64);
+        for (i, e) in entries.iter().enumerate() {
+            let queued = enqueued
+                .get(i)
+                .map(|t| now.duration_since(*t))
+                .unwrap_or(Duration::ZERO);
+            self.flush_span(
+                e.origin,
+                e.local,
+                self.batch_first + i as u64,
+                entries.len(),
+                queued,
+            );
+        }
         if entries.len() == 1 {
             let e = entries.into_iter().next().expect("len checked");
             self.distribute(Record {
@@ -839,6 +918,15 @@ impl SeqGroup {
         );
         let batch_flush_hist =
             obs.histogram("ftlinda_batch_flush_seconds", "Batch open-to-flush latency");
+        obs.gauge(
+            "ftlinda_batch_max_bytes",
+            "Byte threshold that force-flushes an open batch (0 = no byte trigger)",
+        )
+        .set(if batch.enabled() {
+            batch.max_bytes as i64
+        } else {
+            0
+        });
         let flush_timer = Arc::new(FlushTimer::new());
         let now = Instant::now();
         let state = Arc::new(Mutex::new(State {
@@ -852,6 +940,8 @@ impl SeqGroup {
             stats: stats.clone(),
             order_hist,
             broadcast_at: HashMap::new(),
+            spans: obs.spans_handle(),
+            events: obs.events_handle(),
             log: Vec::new(),
             buffer: BTreeMap::new(),
             pending_submits: BTreeMap::new(),
@@ -870,6 +960,8 @@ impl SeqGroup {
             pending_joins: Vec::new(),
             batch_cfg: batch,
             batch: Vec::new(),
+            batch_enqueued: Vec::new(),
+            batch_bytes: 0,
             batch_first: 0,
             batch_opened_at: now,
             batch_deadline: None,
@@ -1038,6 +1130,13 @@ impl SeqGroup {
     /// Ordering-layer statistics.
     pub fn stats(&self) -> &OrderStats {
         &self.stats
+    }
+
+    /// Owned handle to the ordering-layer statistics, for background
+    /// threads (e.g. the cluster's flight-recorder monitor) that outlive
+    /// a borrow of the group.
+    pub fn stats_handle(&self) -> Arc<OrderStats> {
+        self.stats.clone()
     }
 
     /// The group-commit configuration members run with.
@@ -1446,6 +1545,7 @@ mod tests {
         let batch = BatchConfig {
             window: Duration::from_millis(5),
             max_entries: 64,
+            ..BatchConfig::default()
         };
         let (g, ms) = SeqGroup::new_with_batch(3, NetConfig::instant(), batch);
         let ms = Arc::new(ms);
@@ -1509,6 +1609,7 @@ mod tests {
         let batch = BatchConfig {
             window: Duration::from_millis(5),
             max_entries: 1024,
+            ..BatchConfig::default()
         };
         let (g, ms) = SeqGroup::new_with_batch(2, NetConfig::instant(), batch);
         for i in 0..10 {
@@ -1522,6 +1623,97 @@ mod tests {
         g.shutdown();
     }
 
+    /// The byte-size trigger: a long window and a huge entry cap, but a
+    /// small byte threshold, must still flush as soon as the coalesced
+    /// payloads cross the threshold — no waiting out the window.
+    #[test]
+    fn open_batch_flushes_on_byte_threshold() {
+        let batch = BatchConfig {
+            window: Duration::from_secs(5),
+            max_entries: 1024,
+            max_bytes: 4 * 1024,
+        };
+        let (g, ms) = SeqGroup::new_with_batch(2, NetConfig::instant(), batch);
+        let payload = Bytes::from(vec![7u8; 1024]);
+        // First submit flushes solo (idle); the next four coalesce and
+        // their 4 KiB crosses the threshold well before the 5 s window.
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            ms[1].broadcast(payload.clone());
+        }
+        let ds = collect_n(&ms[1], 5, Duration::from_secs(3));
+        assert_eq!(ds.len(), 5, "byte trigger must flush the batch");
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "flush must not wait for the window deadline"
+        );
+        for (i, d) in ds.iter().enumerate() {
+            assert_eq!(d.seq(), (i + 1) as u64);
+        }
+        g.shutdown();
+    }
+
+    /// Batching on: the coordinator records a "flush" span and every
+    /// member a "deliver" span for each entry, tagged with the batch
+    /// size and queueing delay.
+    #[test]
+    fn spans_cover_flush_and_deliver() {
+        let (g, ms) = SeqGroup::new_with_batch(
+            2,
+            NetConfig::instant(),
+            BatchConfig {
+                window: Duration::from_millis(2),
+                ..BatchConfig::default()
+            },
+        );
+        let mut locals = Vec::new();
+        for i in 0..8 {
+            locals.push((HostId(1), ms[1].broadcast(Bytes::from(format!("{i}")))));
+        }
+        let _ = collect_n(&ms[1], 8, Duration::from_secs(5));
+        // Wait for member 1's deliveries to also land in member 0's log.
+        assert_logs_converge(&ms[0], &ms[1], Duration::from_secs(3));
+        for (origin, local) in locals {
+            let id = linda_obs::TraceId::new(origin.0, local);
+            let flush = ms[0].obs().spans().spans_of(id);
+            let flush: Vec<_> = flush.iter().filter(|s| s.stage == "flush").collect();
+            assert_eq!(flush.len(), 1, "exactly one flush span at the coordinator");
+            assert!(flush[0].field("queued_us").is_some());
+            assert!(flush[0].field("batch").is_some());
+            for m in &ms {
+                let deliver = m
+                    .obs()
+                    .spans()
+                    .spans_of(id)
+                    .into_iter()
+                    .filter(|s| s.stage == "deliver")
+                    .count();
+                assert_eq!(deliver, 1, "one deliver span per member for {id}");
+            }
+        }
+        g.shutdown();
+    }
+
+    /// Coordinator crash: surviving members emit a structured
+    /// `coordinator_failover` event naming old and new coordinators.
+    #[test]
+    fn failover_emits_event() {
+        let (g, ms) = SeqGroup::new(3, NetConfig::instant());
+        ms[1].broadcast(Bytes::from_static(b"a"));
+        let _ = collect_n(&ms[1], 1, Duration::from_secs(2));
+        g.crash(HostId(0));
+        let _ = drain_until(
+            &ms[1],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(0)),
+            Duration::from_secs(3),
+        );
+        let evs = ms[1].obs().events().recent_of("coordinator_failover");
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].field("failed"), Some("host0"));
+        assert_eq!(evs[0].field("new_coord"), Some("host1"));
+        g.shutdown();
+    }
+
     /// A view change forces the open batch out first, so the Fail record
     /// lands after the batched entries in the total order.
     #[test]
@@ -1529,6 +1721,7 @@ mod tests {
         let batch = BatchConfig {
             window: Duration::from_millis(500),
             max_entries: 1024,
+            ..BatchConfig::default()
         };
         let (g, ms) = SeqGroup::new_with_batch(3, NetConfig::instant(), batch);
         ms[1].broadcast(Bytes::from_static(b"a")); // solo (idle flush)

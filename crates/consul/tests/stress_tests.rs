@@ -201,6 +201,7 @@ fn coordinator_crash_mid_batch_exactly_once() {
         let batch = consul_sim::BatchConfig {
             window: Duration::from_millis(2),
             max_entries: 16,
+            ..consul_sim::BatchConfig::default()
         };
         let (g, ms) = SeqGroup::new_with_batch(4, cfg, batch);
         let per = 25usize;

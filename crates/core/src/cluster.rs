@@ -13,11 +13,22 @@
 //! injection in tests) and is surfaced as a `digest_divergence` event
 //! plus a `ftlinda_digest_divergence_total` counter on
 //! [`Cluster::obs`].
+//!
+//! Unless disabled, the cluster also runs one [`HttpExporter`] per member
+//! serving `/metrics`, `/healthz`, `/events` and `/trace/<id>` (see
+//! [`ClusterBuilder::http_base_port`]), and — when a flight directory is
+//! configured — a monitor thread that dumps full observability state to
+//! disk on `digest_divergence`, `coordinator_failover` and
+//! `rejoin_failed` events ([`ClusterBuilder::flight_dir`]).
 
+use crate::flight::{FlightRecorder, FlightSection};
 use crate::runtime::Runtime;
+use crate::server::{events_json_lines, ExporterSources, HttpExporter};
 use consul_sim::{BatchConfig, HostId, NetConfig, SeqGroup};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,6 +41,9 @@ pub struct ClusterBuilder {
     net: NetConfig,
     divergence_period: Option<Duration>,
     batch: BatchConfig,
+    http: bool,
+    http_base_port: u16,
+    flight_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterBuilder {
@@ -39,6 +53,9 @@ impl Default for ClusterBuilder {
             net: NetConfig::instant(),
             divergence_period: Some(Duration::from_millis(10)),
             batch: BatchConfig::default(),
+            http: true,
+            http_base_port: 0,
+            flight_dir: None,
         }
     }
 }
@@ -108,21 +125,67 @@ impl ClusterBuilder {
         self
     }
 
+    /// Flush an open batch once its payload bytes reach `n` (0 disables
+    /// the byte trigger; entry-count and window triggers still apply).
+    pub fn batch_max_bytes(mut self, n: usize) -> Self {
+        self.batch.max_bytes = n;
+        self
+    }
+
+    /// Do not start per-member HTTP exporters.
+    pub fn no_http(mut self) -> Self {
+        self.http = false;
+        self
+    }
+
+    /// Base TCP port for the per-member HTTP exporters: host `i` serves
+    /// on `127.0.0.1:(base + i)`. The default base of 0 gives every
+    /// member an ephemeral port (resolve with [`Cluster::http_addr`]) —
+    /// right for tests; a deployment picks a fixed base so scrape
+    /// targets are predictable.
+    pub fn http_base_port(mut self, base: u16) -> Self {
+        self.http = true;
+        self.http_base_port = base;
+        self
+    }
+
+    /// Enable the flight recorder: on `digest_divergence`,
+    /// `coordinator_failover` or `rejoin_failed` events, dump event
+    /// rings, recent spans, order stats and per-member digests into
+    /// `dir` (created if missing). Disabled by default.
+    pub fn flight_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
     /// Build the cluster and one runtime per host.
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
         let (group, members) = SeqGroup::new_with_batch(self.hosts, self.net, self.batch);
         let runtimes: Vec<Runtime> = members.into_iter().map(Runtime::new).collect();
         let by_host: HashMap<HostId, Runtime> =
             runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
+        let flight = self.flight_dir.map(|dir| {
+            Arc::new(FlightRecorder::new(dir).expect("create flight recorder directory"))
+        });
         let cluster = Cluster {
             group,
             runtimes: Arc::new(Mutex::new(by_host)),
             obs: Arc::new(linda_obs::Registry::new()),
             stop: Arc::new(AtomicBool::new(false)),
             detector: Mutex::new(None),
+            exporters: Mutex::new(HashMap::new()),
+            flight,
+            monitor: Mutex::new(None),
         };
         if let Some(period) = self.divergence_period {
             cluster.spawn_detector(period);
+        }
+        if self.http {
+            cluster.spawn_exporters(self.http_base_port);
+        }
+        if cluster.flight.is_some() {
+            cluster
+                .spawn_flight_monitor(self.divergence_period.unwrap_or(Duration::from_millis(10)));
         }
         (cluster, runtimes)
     }
@@ -138,6 +201,11 @@ pub struct Cluster {
     obs: Arc<linda_obs::Registry>,
     stop: Arc<AtomicBool>,
     detector: Mutex<Option<JoinHandle<()>>>,
+    /// One HTTP exporter per member (empty when built with `no_http`).
+    exporters: Mutex<HashMap<HostId, HttpExporter>>,
+    /// Flight recorder, when a dump directory was configured.
+    flight: Option<Arc<FlightRecorder>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -221,6 +289,166 @@ impl Cluster {
         self.obs.render()
     }
 
+    fn spawn_exporters(&self, base_port: u16) {
+        let hosts: Vec<HostId> = {
+            let mut hs: Vec<HostId> = self.runtimes.lock().keys().copied().collect();
+            hs.sort_by_key(|h| h.0);
+            hs
+        };
+        for host in hosts {
+            let port = if base_port == 0 {
+                0
+            } else {
+                base_port + host.0 as u16
+            };
+            // Every closure samples the runtimes map, not a pinned
+            // Runtime, so endpoints keep reflecting the live incarnation
+            // across crash/restart cycles (the exporter itself models an
+            // out-of-process scrape sidecar and survives the simulated
+            // crash).
+            let runtimes = self.runtimes.clone();
+            let metrics = {
+                let runtimes = runtimes.clone();
+                Arc::new(move || {
+                    runtimes
+                        .lock()
+                        .get(&host)
+                        .map(|rt| rt.metrics_text())
+                        .unwrap_or_default()
+                }) as Arc<dyn Fn() -> String + Send + Sync>
+            };
+            let health = {
+                let runtimes = runtimes.clone();
+                let net = self.group.net().clone();
+                Arc::new(move || {
+                    let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    let map = runtimes.lock();
+                    member_health_json(host, &live, map.get(&host))
+                }) as Arc<dyn Fn() -> String + Send + Sync>
+            };
+            let events = {
+                let runtimes = runtimes.clone();
+                Arc::new(move || {
+                    runtimes
+                        .lock()
+                        .get(&host)
+                        .map(|rt| events_json_lines(&rt.obs().events().recent()))
+                        .unwrap_or_default()
+                }) as Arc<dyn Fn() -> String + Send + Sync>
+            };
+            let trace = {
+                let runtimes = runtimes.clone();
+                Arc::new(move |id: linda_obs::TraceId| {
+                    assemble_trace(&runtimes.lock(), id).to_json()
+                }) as Arc<dyn Fn(linda_obs::TraceId) -> String + Send + Sync>
+            };
+            match HttpExporter::spawn(
+                port,
+                ExporterSources {
+                    metrics,
+                    health,
+                    events,
+                    trace,
+                },
+            ) {
+                Ok(exp) => {
+                    self.exporters.lock().insert(host, exp);
+                }
+                Err(e) => {
+                    // A busy fixed port shouldn't take the cluster down;
+                    // surface it as an event instead.
+                    self.obs.events().emit(linda_obs::Event::new(
+                        "http_exporter_failed",
+                        vec![
+                            ("host".into(), host.0.to_string()),
+                            ("port".into(), port.to_string()),
+                            ("error".into(), e.to_string()),
+                        ],
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The HTTP exporter address of `host` (`None` when HTTP is disabled
+    /// or the exporter failed to bind).
+    pub fn http_addr(&self, host: HostId) -> Option<SocketAddr> {
+        self.exporters.lock().get(&host).map(|e| e.addr())
+    }
+
+    /// Assemble the cross-replica span tree for one AGS from every
+    /// member's span log — the same view `/trace/<id>` serves over HTTP.
+    pub fn trace(&self, id: linda_obs::TraceId) -> linda_obs::TraceTree {
+        assemble_trace(&self.runtimes.lock(), id)
+    }
+
+    /// The flight-recorder dump directory, when one was configured.
+    pub fn flight_dir(&self) -> Option<PathBuf> {
+        self.flight.as_ref().map(|f| f.dir().to_path_buf())
+    }
+
+    /// Dump full observability state to the flight directory now.
+    /// Returns `None` when no flight directory was configured. The
+    /// monitor thread calls this automatically on trigger events; tests
+    /// and operators can force a dump.
+    pub fn flight_dump(&self, reason: &str) -> Option<std::io::Result<PathBuf>> {
+        let flight = self.flight.as_ref()?;
+        let live: Vec<HostId> = self.group.net().live_hosts();
+        let sections = flight_sections(&self.runtimes.lock(), &self.obs, self.group.stats(), &live);
+        Some(flight.dump(reason, &sections))
+    }
+
+    fn spawn_flight_monitor(&self, period: Duration) {
+        let Some(flight) = self.flight.clone() else {
+            return;
+        };
+        let runtimes = self.runtimes.clone();
+        let obs = self.obs.clone();
+        let stats = self.group.stats_handle();
+        let net = self.group.net().clone();
+        let stop = self.stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("ftlinda-flight".into())
+            .spawn(move || {
+                // Last-seen event counts per (scope, kind); a count that
+                // grows triggers a dump, a count that shrinks means the
+                // source registry was replaced (host restart) and resets
+                // the baseline.
+                let mut seen: HashMap<(u32, &'static str), usize> = HashMap::new();
+                const CLUSTER: u32 = u32::MAX;
+                while !stop.load(AtomicOrdering::Relaxed) {
+                    std::thread::sleep(period);
+                    let mut fire: Option<&'static str> = None;
+                    let mut check = |key: (u32, &'static str), count: usize| {
+                        let last = seen.entry(key).or_insert(0);
+                        if count > *last {
+                            fire = Some(key.1);
+                        }
+                        *last = count;
+                    };
+                    check(
+                        (CLUSTER, "digest_divergence"),
+                        obs.events().recent_of("digest_divergence").len(),
+                    );
+                    {
+                        let map = runtimes.lock();
+                        for (h, rt) in map.iter() {
+                            for kind in ["coordinator_failover", "rejoin_failed"] {
+                                check((h.0, kind), rt.obs().events().recent_of(kind).len());
+                            }
+                        }
+                    }
+                    if let Some(reason) = fire {
+                        let live: Vec<HostId> = net.live_hosts();
+                        let sections = flight_sections(&runtimes.lock(), &obs, &stats, &live);
+                        let _ = flight.dump(reason, &sections);
+                    }
+                }
+            })
+            .expect("spawn flight monitor");
+        *self.monitor.lock() = Some(handle);
+    }
+
     /// Crash a host (fail-silent). Every surviving replica will deposit a
     /// `("failure", host)` tuple into each stable TS once the failure is
     /// detected and ordered.
@@ -263,11 +491,119 @@ impl Cluster {
         if let Some(h) = self.detector.lock().take() {
             let _ = h.join();
         }
+        if let Some(h) = self.monitor.lock().take() {
+            let _ = h.join();
+        }
+        for (_, mut exp) in self.exporters.lock().drain() {
+            exp.stop();
+        }
         for rt in self.runtimes.lock().values() {
             rt.shutdown();
         }
         self.group.shutdown();
     }
+}
+
+/// Gather the spans of `id` from every member's log into one tree.
+fn assemble_trace(
+    runtimes: &HashMap<HostId, Runtime>,
+    id: linda_obs::TraceId,
+) -> linda_obs::TraceTree {
+    let mut spans: Vec<linda_obs::SpanRecord> = Vec::new();
+    for rt in runtimes.values() {
+        spans.extend(rt.obs().spans().spans_of(id));
+    }
+    linda_obs::TraceTree::assemble(id, spans)
+}
+
+/// The `/healthz` JSON for one member: liveness, applied position,
+/// digest, blocked-AGS count and any rejoin failure.
+fn member_health_json(host: HostId, live: &HashSet<HostId>, rt: Option<&Runtime>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"host\":{},\"live\":{},\"view\":[",
+        host.0,
+        live.contains(&host)
+    ));
+    let mut view: Vec<u32> = live.iter().map(|h| h.0).collect();
+    view.sort_unstable();
+    for (i, h) in view.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&h.to_string());
+    }
+    out.push(']');
+    match rt {
+        Some(rt) => {
+            let (seq, dig) = rt.applied_digest();
+            out.push_str(&format!(
+                ",\"applied_seq\":{seq},\"digest\":\"{dig:#018x}\",\"blocked\":{}",
+                rt.blocked_len()
+            ));
+            match rt.rejoin_error() {
+                Some(e) => out.push_str(&format!(
+                    ",\"rejoin_error\":\"{}\"",
+                    linda_obs::json_escape(&e)
+                )),
+                None => out.push_str(",\"rejoin_error\":null"),
+            }
+        }
+        None => out.push_str(",\"applied_seq\":null"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The sections of one flight-recorder dump: per-member event ring,
+/// span log and applied digest, plus cluster-level events and
+/// ordering-layer counters.
+fn flight_sections(
+    runtimes: &HashMap<HostId, Runtime>,
+    obs: &linda_obs::Registry,
+    stats: &consul_sim::OrderStats,
+    live: &[HostId],
+) -> Vec<FlightSection> {
+    let live_set: HashSet<HostId> = live.iter().copied().collect();
+    let mut hosts: Vec<HostId> = runtimes.keys().copied().collect();
+    hosts.sort_by_key(|h| h.0);
+    let mut sections = Vec::new();
+    for h in hosts {
+        let rt = &runtimes[&h];
+        sections.push(FlightSection::new(
+            format!("state host={}", h.0),
+            member_health_json(h, &live_set, Some(rt)),
+        ));
+        sections.push(FlightSection::new(
+            format!("events host={}", h.0),
+            events_json_lines(&rt.obs().events().recent()),
+        ));
+        let mut spans = String::new();
+        for s in rt.obs().spans().recent() {
+            spans.push_str(&linda_obs::span_json(&s));
+            spans.push('\n');
+        }
+        sections.push(FlightSection::new(format!("spans host={}", h.0), spans));
+    }
+    sections.push(FlightSection::new(
+        "cluster events",
+        events_json_lines(&obs.events().recent()),
+    ));
+    sections.push(FlightSection::new(
+        "order stats",
+        format!(
+            "broadcasts={} delivered={} view_changes={} retransmits={} \
+             ordered_multicasts={} batches={} batch_entries={}\n",
+            stats.broadcasts(),
+            stats.delivered(),
+            stats.view_changes(),
+            stats.retransmits(),
+            stats.ordered_multicasts(),
+            stats.batches(),
+            stats.batch_entries()
+        ),
+    ));
+    sections
 }
 
 impl Drop for Cluster {

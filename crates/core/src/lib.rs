@@ -37,13 +37,15 @@
 
 mod cluster;
 mod error;
+mod flight;
 mod runtime;
 mod server;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::FtError;
+pub use flight::{FlightRecorder, FlightSection};
 pub use runtime::{pattern_fields, rebuild_tuple, AgsHandle, CompletionOk, FtEvent, Runtime};
-pub use server::{RpcClient, TupleServer};
+pub use server::{events_json_lines, ExporterSources, HttpExporter, RpcClient, TupleServer};
 
 // Re-export the pieces users need to build AGSs and patterns.
 pub use consul_sim::{BatchConfig, HostId, NetConfig};

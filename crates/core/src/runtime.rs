@@ -52,6 +52,7 @@ struct Shared {
     alive: AtomicBool,
     next_scratch: AtomicU32,
     obs: Arc<linda_obs::Registry>,
+    spans: Arc<linda_obs::SpanLog>,
     hist_submit: Arc<linda_obs::Histogram>,
     hist_notify: Arc<linda_obs::Histogram>,
     hist_total: Arc<linda_obs::Histogram>,
@@ -93,6 +94,7 @@ impl Runtime {
             "ftlinda_ags_completions_total",
             "AGS/CreateTs completions routed to local clients",
         );
+        let spans = obs.spans_handle();
         let shared = Arc::new(Shared {
             waiting: Mutex::new(HashMap::new()),
             events: Mutex::new(Vec::new()),
@@ -100,6 +102,7 @@ impl Runtime {
             alive: AtomicBool::new(true),
             next_scratch: AtomicU32::new(0),
             obs,
+            spans,
             hist_submit,
             hist_notify,
             hist_total,
@@ -147,6 +150,15 @@ impl Runtime {
                             if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
                                 shared.hist_total.observe(t0.elapsed());
                                 shared.completions.inc();
+                                shared.spans.record(
+                                    linda_obs::TraceId::new(host.0, local),
+                                    "complete",
+                                    host.0,
+                                    vec![(
+                                        "outcome".into(),
+                                        if result.is_ok() { "ok" } else { "err" }.into(),
+                                    )],
+                                );
                                 let _ =
                                     tx.send(result.map(CompletionOk::Ags).map_err(FtError::Exec));
                                 shared.hist_notify.observe(routed_at.elapsed());
@@ -156,6 +168,12 @@ impl Runtime {
                             if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
                                 shared.hist_total.observe(t0.elapsed());
                                 shared.completions.inc();
+                                shared.spans.record(
+                                    linda_obs::TraceId::new(host.0, local),
+                                    "complete",
+                                    host.0,
+                                    vec![("outcome".into(), "ts_created".into())],
+                                );
                                 let _ = tx.send(Ok(CompletionOk::Ts(id)));
                                 shared.hist_notify.observe(routed_at.elapsed());
                             }
@@ -191,18 +209,34 @@ impl Runtime {
         rx
     }
 
-    fn submit(&self, req: &Request) -> Receiver<Result<CompletionOk, FtError>> {
+    fn submit(&self, req: &Request) -> (Receiver<Result<CompletionOk, FtError>>, LocalId) {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let t0 = Instant::now();
+        let kind = match req {
+            Request::CreateTs { .. } => "create",
+            Request::Ags(_) => "ags",
+        };
         let payload = bytes::Bytes::from(encode_request(req));
+        // Stamp the submit span *before* the broadcast: the local id is
+        // only known afterwards, but with a fast network downstream
+        // stages can record their spans before this thread resumes, and
+        // the submit must still sort first in the assembled tree.
+        let at0 = linda_obs::now_micros();
         // Hold the waiting lock across broadcast + insert so the apply
         // thread cannot route the completion before the waiter exists.
         let mut w = self.shared.waiting.lock();
         let local = self.member.broadcast(payload);
         w.insert(local, (tx, t0));
         drop(w);
+        self.shared.spans.push(linda_obs::SpanRecord {
+            trace: linda_obs::TraceId::new(self.host.0, local),
+            stage: "submit".into(),
+            host: self.host.0,
+            at_micros: at0,
+            fields: vec![("kind".into(), kind.into())],
+        });
         self.shared.hist_submit.observe(t0.elapsed());
-        rx
+        (rx, local)
     }
 
     fn await_ok(
@@ -226,7 +260,7 @@ impl Runtime {
     /// replicated on every host; their contents survive any minority of
     /// crashes and are updated with one multicast per AGS.
     pub fn create_stable_ts(&self, name: &str) -> Result<TsId, FtError> {
-        let rx = self.submit(&Request::CreateTs { name: name.into() });
+        let (rx, _) = self.submit(&Request::CreateTs { name: name.into() });
         match self.await_ok(rx, None)? {
             CompletionOk::Ts(id) => Ok(id),
             CompletionOk::Ags(_) => unreachable!("create resolved as AGS"),
@@ -235,7 +269,7 @@ impl Runtime {
 
     /// Execute an AGS, blocking until it fires (or fails).
     pub fn execute(&self, ags: &Ags) -> Result<AgsOutcome, FtError> {
-        let rx = self.submit(&Request::Ags(ags.clone()));
+        let (rx, _) = self.submit(&Request::Ags(ags.clone()));
         match self.await_ok(rx, None)? {
             CompletionOk::Ags(o) => Ok(o),
             CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
@@ -246,8 +280,10 @@ impl Runtime {
     /// [`AgsHandle::wait`] blocks for the outcome. Useful for pipelining
     /// many independent statements (each is still one ordered multicast).
     pub fn execute_async(&self, ags: &Ags) -> AgsHandle {
+        let (rx, local) = self.submit(&Request::Ags(ags.clone()));
         AgsHandle {
-            rx: self.submit(&Request::Ags(ags.clone())),
+            rx,
+            trace: linda_obs::TraceId::new(self.host.0, local),
         }
     }
 
@@ -255,7 +291,7 @@ impl Runtime {
     /// remains blocked at the replicas and may fire later (its effects
     /// then occur without a visible completion).
     pub fn execute_timeout(&self, ags: &Ags, t: Duration) -> Result<AgsOutcome, FtError> {
-        let rx = self.submit(&Request::Ags(ags.clone()));
+        let (rx, _) = self.submit(&Request::Ags(ags.clone()));
         match self.await_ok(rx, Some(t))? {
             CompletionOk::Ags(o) => Ok(o),
             CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
@@ -417,9 +453,15 @@ impl Runtime {
 /// An in-flight AGS submitted with [`Runtime::execute_async`].
 pub struct AgsHandle {
     rx: Receiver<Result<CompletionOk, FtError>>,
+    trace: linda_obs::TraceId,
 }
 
 impl AgsHandle {
+    /// The causal trace id of this AGS — the key for `/trace/<id>` on the
+    /// cluster's HTTP exporters and [`crate::Cluster::trace`].
+    pub fn trace_id(&self) -> linda_obs::TraceId {
+        self.trace
+    }
     /// Block for the outcome.
     pub fn wait(self) -> Result<AgsOutcome, FtError> {
         match self.rx.recv().map_err(|_| FtError::Shutdown)?? {

@@ -12,10 +12,18 @@
 //! [`RpcClient`] implements the same blocking call surface with the extra
 //! hop (with a configurable simulated RPC latency so experiment E8 can
 //! sweep it).
+//!
+//! This module also hosts the cluster's **HTTP exporter**
+//! ([`HttpExporter`]): a std-only listener run per member that serves the
+//! observability surface (`/metrics`, `/healthz`, `/events`,
+//! `/trace/<id>`) to scrapers and humans with `curl`.
 
 use crate::error::FtError;
 use crate::runtime::Runtime;
 use ftlinda_ags::{Ags, AgsOutcome, TsId};
+use linda_obs::TraceId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -141,6 +149,189 @@ impl RpcClient {
         self.hop();
         r
     }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP exporter
+// ---------------------------------------------------------------------------
+
+/// Content providers for one member's HTTP endpoints. Each closure is
+/// called per request, so responses always reflect live state. The trace
+/// provider receives the parsed id and returns the assembled span tree as
+/// JSON — for a cluster member it gathers spans from **every** replica's
+/// log, not just the serving member's.
+pub struct ExporterSources {
+    /// `/metrics`: Prometheus text exposition.
+    pub metrics: Arc<dyn Fn() -> String + Send + Sync>,
+    /// `/healthz`: one JSON object of member liveness/digest status.
+    pub health: Arc<dyn Fn() -> String + Send + Sync>,
+    /// `/events`: recent structured events, one JSON object per line.
+    pub events: Arc<dyn Fn() -> String + Send + Sync>,
+    /// `/trace/<id>`: the cross-replica span tree for one AGS, as JSON.
+    pub trace: Arc<dyn Fn(TraceId) -> String + Send + Sync>,
+}
+
+/// A tiny std-only HTTP/1.1 listener serving one member's observability
+/// surface. GET-only, `Connection: close`, loopback by default — it is a
+/// scrape endpoint, not a web server.
+pub struct HttpExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpExporter {
+    /// Bind `127.0.0.1:port` (`port` 0 picks an ephemeral port — the
+    /// actual address is [`HttpExporter::addr`]) and serve `sources` on a
+    /// background thread until [`HttpExporter::stop`].
+    pub fn spawn(port: u16, sources: ExporterSources) -> std::io::Result<HttpExporter> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("http-exporter-{}", addr.port()))
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Responses are small; serve on this thread.
+                            let _ = serve_connection(stream, &sources);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })
+            .expect("spawn http exporter");
+        Ok(HttpExporter {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpExporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, sources: &ExporterSources) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or 4 KiB — paths we serve
+    // are short, and we never read a body).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 4096 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&mut stream, 400, "text/plain", "bad request"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed");
+    }
+    match path {
+        "/metrics" => {
+            let body = (sources.metrics)();
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => {
+            let body = (sources.health)();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/events" => {
+            let body = (sources.events)();
+            respond(&mut stream, 200, "application/x-ndjson", &body)
+        }
+        p if p.starts_with("/trace/") => match p["/trace/".len()..].parse::<TraceId>() {
+            Ok(id) => {
+                let body = (sources.trace)(id);
+                respond(&mut stream, 200, "application/json", &body)
+            }
+            Err(e) => respond(&mut stream, 400, "text/plain", &e.to_string()),
+        },
+        _ => respond(
+            &mut stream,
+            404,
+            "text/plain",
+            "not found; try /metrics /healthz /events /trace/<origin>-<local>",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Render an [`linda_obs::Event`] ring as JSON lines (one object per
+/// event, oldest first) — the `/events` payload.
+pub fn events_json_lines(events: &[linda_obs::Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str("{\"kind\":\"");
+        out.push_str(&linda_obs::json_escape(&ev.kind));
+        out.push_str("\",\"fields\":{");
+        for (i, (k, v)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&linda_obs::json_escape(k));
+            out.push_str("\":\"");
+            out.push_str(&linda_obs::json_escape(v));
+            out.push('"');
+        }
+        out.push_str("}}\n");
+    }
+    out
 }
 
 #[cfg(test)]

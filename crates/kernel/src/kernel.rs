@@ -96,6 +96,9 @@ struct KernelObs {
     stable_size: Arc<linda_obs::Gauge>,
     applied_seq: Arc<linda_obs::Gauge>,
     applied_total: Arc<linda_obs::Counter>,
+    /// Causal-trace ring: "apply"/"block" per applied AGS, "wake" when a
+    /// blocked guard later fires.
+    spans: Arc<linda_obs::SpanLog>,
 }
 
 /// The replicated tuple-space state machine for one host.
@@ -169,7 +172,21 @@ impl Kernel {
                 "ftlinda_applied_records_total",
                 "Totally-ordered records applied by this kernel",
             ),
+            spans: reg.spans_handle(),
         });
+    }
+
+    /// Record a causal-trace span for the AGS `(origin, local)` at this
+    /// replica. No-op when no registry is attached.
+    fn span(&self, origin: HostId, local: LocalId, stage: &str, fields: Vec<(String, String)>) {
+        if let Some(obs) = &self.obs {
+            obs.spans.record(
+                linda_obs::TraceId::new(origin.0, local),
+                stage,
+                self.host.0,
+                fields,
+            );
+        }
     }
 
     /// Apply the next totally-ordered delivery. Must be called in
@@ -221,6 +238,15 @@ impl Kernel {
                 Ok(Request::CreateTs { name }) => self.apply_create(*seq, *origin, *local, name),
                 Ok(Request::Ags(ags)) => self.apply_ags(*seq, *origin, *local, ags),
                 Err(_) => {
+                    self.span(
+                        *origin,
+                        *local,
+                        "apply",
+                        vec![
+                            ("seq".into(), seq.to_string()),
+                            ("outcome".into(), "malformed".into()),
+                        ],
+                    );
                     self.note(KernelNote::Malformed {
                         seq: *seq,
                         origin: *origin,
@@ -262,6 +288,15 @@ impl Kernel {
                 id
             }
         };
+        self.span(
+            origin,
+            local,
+            "apply",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("outcome".into(), "create".into()),
+            ],
+        );
         if origin == self.host {
             self.note(KernelNote::TsCreated {
                 seq,
@@ -279,6 +314,15 @@ impl Kernel {
                 scratch_outs,
                 deposited,
             } => {
+                self.span(
+                    origin,
+                    local,
+                    "apply",
+                    vec![
+                        ("seq".into(), seq.to_string()),
+                        ("outcome".into(), "fired".into()),
+                    ],
+                );
                 self.commit_scratch(origin, scratch_outs);
                 if origin == self.host {
                     self.note(KernelNote::Completed {
@@ -290,6 +334,21 @@ impl Kernel {
                 self.retry_blocked_matching(deposited);
             }
             TryOutcome::Blocked => {
+                self.span(
+                    origin,
+                    local,
+                    "apply",
+                    vec![
+                        ("seq".into(), seq.to_string()),
+                        ("outcome".into(), "blocked".into()),
+                    ],
+                );
+                self.span(
+                    origin,
+                    local,
+                    "block",
+                    vec![("seq".into(), seq.to_string())],
+                );
                 let keys = guard_keys(&ags, origin.0, seq);
                 let id = self.next_blocked_id;
                 self.next_blocked_id += 1;
@@ -308,6 +367,15 @@ impl Kernel {
                 );
             }
             TryOutcome::Failed(e) => {
+                self.span(
+                    origin,
+                    local,
+                    "apply",
+                    vec![
+                        ("seq".into(), seq.to_string()),
+                        ("outcome".into(), "failed".into()),
+                    ],
+                );
                 if origin == self.host {
                     self.note(KernelNote::Completed {
                         seq,
@@ -317,6 +385,21 @@ impl Kernel {
                 }
             }
         }
+    }
+
+    /// Record a "wake" span: the blocked AGS `b` left the queue because a
+    /// later record (the one at `self.applied`) made its guard decidable.
+    fn wake_span(&self, b: &BlockedAgs, outcome: &str) {
+        self.span(
+            b.origin,
+            b.local,
+            "wake",
+            vec![
+                ("seq".into(), b.seq.to_string()),
+                ("at_seq".into(), self.applied.to_string()),
+                ("outcome".into(), outcome.into()),
+            ],
+        );
     }
 
     /// Remove a blocked AGS from the queue and the guard index.
@@ -366,6 +449,7 @@ impl Kernel {
                         deposited,
                     } => {
                         let b = self.unblock(id);
+                        self.wake_span(&b, "fired");
                         self.commit_scratch(b.origin, scratch_outs);
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
@@ -378,6 +462,7 @@ impl Kernel {
                     }
                     TryOutcome::Failed(e) => {
                         let b = self.unblock(id);
+                        self.wake_span(&b, "failed");
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
                                 seq: b.seq,
@@ -417,6 +502,7 @@ impl Kernel {
                         ..
                     } => {
                         let b = self.unblock(id);
+                        self.wake_span(&b, "fired");
                         self.commit_scratch(b.origin, scratch_outs);
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
@@ -429,6 +515,7 @@ impl Kernel {
                     }
                     TryOutcome::Failed(e) => {
                         let b = self.unblock(id);
+                        self.wake_span(&b, "failed");
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
                                 seq: b.seq,

@@ -24,6 +24,12 @@
 
 #![warn(missing_docs)]
 
+mod trace;
+
+pub use trace::{
+    json_escape, now_micros, span_json, ParseTraceIdError, SpanLog, SpanRecord, TraceId, TraceTree,
+};
+
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -204,6 +210,32 @@ impl HistogramSnapshot {
         self.bounds.last().copied()
     }
 
+    /// Mean observation in seconds (`None` when empty). Exact — computed
+    /// from the running sum, not the bucket layout.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_seconds / self.count as f64)
+        }
+    }
+
+    /// Merge another snapshot into this one (cross-replica aggregation:
+    /// the per-stage view "over the whole cluster" is the bucket-wise sum
+    /// of every member's histogram). Returns `false` and leaves `self`
+    /// unchanged when the bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+        true
+    }
+
     /// Median estimate in seconds.
     pub fn p50(&self) -> Option<f64> {
         self.quantile(0.50)
@@ -255,6 +287,7 @@ pub struct EventSink {
     buf: Mutex<VecDeque<Event>>,
     cap: usize,
     total: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl Default for EventSink {
@@ -270,15 +303,19 @@ impl EventSink {
             buf: Mutex::new(VecDeque::with_capacity(cap.min(64))),
             cap: cap.max(1),
             total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
-    /// Record an event.
+    /// Record an event. When the ring is full the oldest retained event
+    /// is evicted and counted in [`EventSink::dropped`] — overflow is
+    /// never silent.
     pub fn emit(&self, ev: Event) {
         self.total.fetch_add(1, Ordering::Relaxed);
         let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
         if buf.len() == self.cap {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(ev);
     }
@@ -305,6 +342,11 @@ impl EventSink {
     pub fn total(&self) -> u64 {
         self.total.load(Ordering::Relaxed)
     }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -322,7 +364,8 @@ struct Instruments {
 #[derive(Debug, Default)]
 pub struct Registry {
     instruments: Mutex<Instruments>,
-    events: EventSink,
+    events: Arc<EventSink>,
+    spans: Arc<SpanLog>,
 }
 
 impl Registry {
@@ -384,6 +427,22 @@ impl Registry {
         &self.events
     }
 
+    /// A shareable handle to the event sink, for components that outlive
+    /// a borrow of the registry (sequencer threads, kernels).
+    pub fn events_handle(&self) -> Arc<EventSink> {
+        self.events.clone()
+    }
+
+    /// The registry's span log (causal traces of the AGS pipeline).
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// A shareable handle to the span log.
+    pub fn spans_handle(&self) -> Arc<SpanLog> {
+        self.spans.clone()
+    }
+
     /// Render every instrument in the Prometheus text exposition format
     /// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}` series
     /// for histograms).
@@ -418,6 +477,35 @@ impl Registry {
             }
             let _ = writeln!(out, "{name}_sum {}", snap.sum_seconds);
             let _ = writeln!(out, "{name}_count {}", snap.count);
+        }
+        // Self-metrics: how much of the event/span history is intact.
+        // Dropping old entries keeps the rings bounded, but the drop
+        // itself must be visible to a scraper.
+        for (name, help, v) in [
+            (
+                "ftlinda_events_total",
+                "structured events emitted (including dropped)",
+                self.events.total(),
+            ),
+            (
+                "ftlinda_events_dropped_total",
+                "structured events evicted from the bounded ring",
+                self.events.dropped(),
+            ),
+            (
+                "ftlinda_trace_spans_total",
+                "trace spans recorded (including dropped)",
+                self.spans.total(),
+            ),
+            (
+                "ftlinda_trace_spans_dropped_total",
+                "trace spans evicted from the bounded ring",
+                self.spans.dropped(),
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
         }
         out
     }
@@ -501,6 +589,40 @@ mod tests {
         assert_eq!(recent[0].field("i"), Some("1"));
         assert_eq!(sink.recent_of("tick").len(), 2);
         assert_eq!(sink.recent_of("other").len(), 0);
+        assert_eq!(sink.dropped(), 1, "one eviction, counted");
+    }
+
+    #[test]
+    fn event_sink_overflow_is_counted_and_filtered() {
+        let sink = EventSink::with_capacity(4);
+        for i in 0..10 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            sink.emit(Event::new(kind, vec![("i".into(), i.to_string())]));
+        }
+        assert_eq!(sink.total(), 10);
+        assert_eq!(sink.dropped(), 6);
+        assert_eq!(sink.recent().len(), 4);
+        // recent_of filters within the retained window only.
+        let evens = sink.recent_of("even");
+        assert_eq!(evens.len(), 2);
+        assert_eq!(evens[0].field("i"), Some("6"));
+        assert_eq!(evens[1].field("i"), Some("8"));
+        assert!(sink.recent_of("missing").is_empty());
+    }
+
+    #[test]
+    fn registry_renders_ring_self_metrics() {
+        let r = Registry::new();
+        for _ in 0..3 {
+            r.events().emit(Event::new("e", vec![]));
+        }
+        r.spans().record(TraceId::new(0, 1), "apply", 0, vec![]);
+        let text = r.render();
+        assert!(text.contains("# TYPE ftlinda_events_total counter"));
+        assert!(text.contains("ftlinda_events_total 3"));
+        assert!(text.contains("ftlinda_events_dropped_total 0"));
+        assert!(text.contains("ftlinda_trace_spans_total 1"));
+        assert!(text.contains("ftlinda_trace_spans_dropped_total 0"));
     }
 
     #[test]

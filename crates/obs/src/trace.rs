@@ -1,0 +1,459 @@
+//! Causal tracing for the AGS pipeline.
+//!
+//! Every submitted AGS already carries a globally unique identity on the
+//! wire: the `(origin host, local sequence)` pair that Consul uses for
+//! duplicate suppression. [`TraceId`] is exactly that pair, so tracing
+//! adds **zero bytes** to the wire format — each pipeline stage just
+//! records a timestamped [`SpanRecord`] into its member-local
+//! [`SpanLog`], and a cross-replica span tree is assembled after the
+//! fact by collecting records for one id from every member's log
+//! ([`TraceTree::assemble`]).
+//!
+//! The canonical stage vocabulary (in causal order):
+//!
+//! | stage      | where                            | meaning                              |
+//! |------------|----------------------------------|--------------------------------------|
+//! | `submit`   | origin runtime                   | AGS handed to the local Consul member|
+//! | `flush`    | coordinator sequencer            | left the batch / solo broadcast      |
+//! | `deliver`  | every member                     | appended to the ordered log          |
+//! | `apply`    | every kernel                     | executed against stable TS state     |
+//! | `block`    | every kernel                     | guard not satisfiable yet            |
+//! | `wake`     | every kernel                     | blocked guard fired on a later AGS   |
+//! | `complete` | origin runtime                   | completion routed to the waiter      |
+//!
+//! Timestamps are microseconds since `UNIX_EPOCH`: wall-clock, so they
+//! are comparable across members of the simulated cluster (one process)
+//! and merely *approximately* comparable across real machines — which is
+//! all latency attribution needs.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The identity of one AGS as it flows through the pipeline: the origin
+/// member's numeric host id plus the submit-order sequence the origin
+/// assigned. Already carried by every `Record`/`BatchEntry` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId {
+    /// Numeric id of the submitting host.
+    pub origin: u32,
+    /// Origin-local submission sequence number.
+    pub local: u64,
+}
+
+impl TraceId {
+    /// Build a trace id from its two wire components.
+    pub fn new(origin: u32, local: u64) -> Self {
+        TraceId { origin, local }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.origin, self.local)
+    }
+}
+
+/// Error parsing a [`TraceId`] from its `origin-local` text form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceIdError;
+
+impl fmt::Display for ParseTraceIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace id must look like `<origin>-<local>`, e.g. `1-42`")
+    }
+}
+
+impl std::error::Error for ParseTraceIdError {}
+
+impl FromStr for TraceId {
+    type Err = ParseTraceIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (o, l) = s.split_once('-').ok_or(ParseTraceIdError)?;
+        Ok(TraceId {
+            origin: o.trim().parse().map_err(|_| ParseTraceIdError)?,
+            local: l.trim().parse().map_err(|_| ParseTraceIdError)?,
+        })
+    }
+}
+
+/// Microseconds since `UNIX_EPOCH`, the timestamp base for spans.
+pub fn now_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// One timestamped stage event for one AGS on one member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which AGS this span belongs to.
+    pub trace: TraceId,
+    /// Stage name (see the module table for the canonical vocabulary).
+    pub stage: String,
+    /// Numeric id of the host that recorded the span.
+    pub host: u32,
+    /// Microseconds since `UNIX_EPOCH` at which the stage happened.
+    pub at_micros: u64,
+    /// Ordered key/value detail (e.g. `seq`, `batch`, `queued_us`).
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Value of the first field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Causal rank of a stage name; used only to break timestamp ties when
+/// sorting an assembled tree. Unknown stages sort last.
+fn stage_rank(stage: &str) -> u8 {
+    match stage {
+        "submit" => 0,
+        "flush" => 1,
+        "deliver" => 2,
+        "apply" => 3,
+        "block" => 4,
+        "wake" => 5,
+        "complete" => 6,
+        _ => 7,
+    }
+}
+
+/// A bounded ring of recent [`SpanRecord`]s, one per member.
+///
+/// Like [`EventSink`](crate::EventSink) this never blocks the pipeline:
+/// when full, the oldest span is dropped and a counter records the loss.
+#[derive(Debug)]
+pub struct SpanLog {
+    buf: Mutex<VecDeque<SpanRecord>>,
+    cap: usize,
+    total: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        Self::with_capacity(8192)
+    }
+}
+
+impl SpanLog {
+    /// A log retaining at most `cap` recent spans.
+    pub fn with_capacity(cap: usize) -> Self {
+        SpanLog {
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(64))),
+            cap: cap.max(1),
+            total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a span, stamping it with the current time.
+    pub fn record(&self, trace: TraceId, stage: &str, host: u32, fields: Vec<(String, String)>) {
+        self.push(SpanRecord {
+            trace,
+            stage: stage.to_string(),
+            host,
+            at_micros: now_micros(),
+            fields,
+        });
+    }
+
+    /// Record a pre-built span (for tests or replay).
+    pub fn push(&self, span: SpanRecord) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(span);
+    }
+
+    /// Copy of the retained spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained spans belonging to one trace, oldest first.
+    pub fn spans_of(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Total spans ever recorded (including dropped ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A cross-replica span tree for one AGS: every member's spans for one
+/// [`TraceId`], merged and causally sorted.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The AGS this tree describes.
+    pub trace: TraceId,
+    /// All collected spans, sorted by `(at_micros, stage rank, host)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceTree {
+    /// Merge spans collected from any number of member logs into one
+    /// causally sorted tree. Spans for other traces are ignored.
+    pub fn assemble<I: IntoIterator<Item = SpanRecord>>(trace: TraceId, spans: I) -> Self {
+        let mut spans: Vec<SpanRecord> = spans.into_iter().filter(|s| s.trace == trace).collect();
+        spans.sort_by(|a, b| {
+            (a.at_micros, stage_rank(&a.stage), a.host).cmp(&(
+                b.at_micros,
+                stage_rank(&b.stage),
+                b.host,
+            ))
+        });
+        TraceTree { trace, spans }
+    }
+
+    /// Hosts that recorded the given stage.
+    pub fn hosts_with(&self, stage: &str) -> Vec<u32> {
+        let mut hosts: Vec<u32> = self
+            .spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.host)
+            .collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Whether `host` recorded `stage`.
+    pub fn has(&self, stage: &str, host: u32) -> bool {
+        self.spans
+            .iter()
+            .any(|s| s.stage == stage && s.host == host)
+    }
+
+    /// Whether the tree forms a complete chain: `submit` on the origin,
+    /// `flush` at the (coordinator) sequencer, `deliver` + `apply` on
+    /// every host in `hosts`, and — if the AGS ever blocked — a matching
+    /// `wake` on each host that recorded the `block`.
+    pub fn is_complete(&self, hosts: &[u32]) -> bool {
+        if !self.has("submit", self.trace.origin) {
+            return false;
+        }
+        if self.hosts_with("flush").is_empty() {
+            return false;
+        }
+        for &h in hosts {
+            if !self.has("deliver", h) || !self.has("apply", h) {
+                return false;
+            }
+            if self.has("block", h) && !self.has("wake", h) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// First timestamp of `stage` anywhere in the tree, if recorded.
+    pub fn first_at(&self, stage: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.at_micros)
+            .min()
+    }
+
+    /// Microseconds between the first occurrences of two stages, when
+    /// both are present and in order. The per-stage latency attribution
+    /// the experiments consume: e.g. `between("submit", "flush")` is the
+    /// batch queueing delay seen by this AGS.
+    pub fn between(&self, from: &str, to: &str) -> Option<u64> {
+        let a = self.first_at(from)?;
+        let b = self.first_at(to)?;
+        b.checked_sub(a)
+    }
+
+    /// Render the tree as a JSON object (hand-rolled; the build has no
+    /// serde): `{"trace":"1-7","complete_hosts":[...],"spans":[...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        out.push_str("{\"trace\":\"");
+        out.push_str(&self.trace.to_string());
+        out.push_str("\",\"span_count\":");
+        out.push_str(&self.spans.len().to_string());
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_json(s));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render one span as a JSON object.
+pub fn span_json(s: &SpanRecord) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"stage\":\"");
+    out.push_str(&json_escape(&s.stage));
+    out.push_str("\",\"host\":");
+    out.push_str(&s.host.to_string());
+    out.push_str(",\"trace\":\"");
+    out.push_str(&s.trace.to_string());
+    out.push_str("\",\"at_us\":");
+    out.push_str(&s.at_micros.to_string());
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in s.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(k));
+        out.push_str("\":\"");
+        out.push_str(&json_escape(v));
+        out.push('"');
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Escape a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: TraceId, stage: &str, host: u32, at: u64) -> SpanRecord {
+        SpanRecord {
+            trace,
+            stage: stage.into(),
+            host,
+            at_micros: at,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn trace_id_roundtrip() {
+        let id = TraceId::new(3, 17);
+        assert_eq!(id.to_string(), "3-17");
+        assert_eq!("3-17".parse::<TraceId>().unwrap(), id);
+        assert!("nonsense".parse::<TraceId>().is_err());
+        assert!("1-".parse::<TraceId>().is_err());
+        assert!("-2".parse::<TraceId>().is_err());
+    }
+
+    #[test]
+    fn span_log_ring_and_drop_counter() {
+        let log = SpanLog::with_capacity(2);
+        let id = TraceId::new(0, 1);
+        for i in 0..3 {
+            log.push(span(id, "apply", i, i as u64));
+        }
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.dropped(), 1);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].host, 1, "oldest evicted");
+        assert_eq!(log.spans_of(id).len(), 2);
+        assert_eq!(log.spans_of(TraceId::new(9, 9)).len(), 0);
+    }
+
+    #[test]
+    fn tree_assembly_sorts_and_checks_completeness() {
+        let id = TraceId::new(1, 5);
+        let spans = vec![
+            span(id, "apply", 0, 40),
+            span(id, "deliver", 0, 30),
+            span(id, "submit", 1, 10),
+            span(id, "flush", 0, 20),
+            span(id, "deliver", 1, 30),
+            span(id, "apply", 1, 40),
+            // Same-timestamp tie broken by causal stage rank.
+            span(TraceId::new(2, 2), "apply", 0, 1), // other trace: ignored
+        ];
+        let tree = TraceTree::assemble(id, spans);
+        assert_eq!(tree.spans.len(), 6);
+        assert_eq!(tree.spans[0].stage, "submit");
+        assert!(tree.is_complete(&[0, 1]));
+        assert!(!tree.is_complete(&[0, 1, 2]), "host 2 never applied");
+        assert_eq!(tree.between("submit", "flush"), Some(10));
+        assert_eq!(tree.between("flush", "apply"), Some(20));
+        assert_eq!(tree.hosts_with("apply"), vec![0, 1]);
+    }
+
+    #[test]
+    fn blocked_without_wake_is_incomplete() {
+        let id = TraceId::new(0, 1);
+        let mut spans = vec![
+            span(id, "submit", 0, 1),
+            span(id, "flush", 0, 2),
+            span(id, "deliver", 0, 3),
+            span(id, "apply", 0, 4),
+            span(id, "block", 0, 4),
+        ];
+        let tree = TraceTree::assemble(id, spans.clone());
+        assert!(!tree.is_complete(&[0]), "blocked but never woke");
+        spans.push(span(id, "wake", 0, 9));
+        assert!(TraceTree::assemble(id, spans).is_complete(&[0]));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut s = span(TraceId::new(0, 1), "apply", 2, 7);
+        s.fields.push(("note".into(), "a\"b\\c\nd".into()));
+        let j = span_json(&s);
+        assert!(j.contains("\"stage\":\"apply\""));
+        assert!(j.contains("\"host\":2"));
+        assert!(j.contains("\"at_us\":7"));
+        assert!(j.contains("a\\\"b\\\\c\\nd"));
+        let tree = TraceTree::assemble(TraceId::new(0, 1), vec![s]);
+        let tj = tree.to_json();
+        assert!(tj.starts_with("{\"trace\":\"0-1\""));
+        assert!(tj.contains("\"span_count\":1"));
+    }
+}

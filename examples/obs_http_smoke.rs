@@ -1,0 +1,57 @@
+//! HTTP-exporter smoke target for CI: boot a 3-member cluster, drive
+//! enough traffic that every pipeline histogram has samples, print each
+//! member's scrape address as a `MEMBER <host> <addr>` line, then keep
+//! the cluster alive so an external scraper (`scripts/ci.sh` uses
+//! `curl`) can hit `/metrics`, `/healthz`, `/events` and `/trace/<id>`.
+//!
+//! ```text
+//! cargo run --example obs_http_smoke            # serve for 5 s
+//! OBS_SMOKE_SECS=30 cargo run --example obs_http_smoke
+//! ```
+//!
+//! A `TRACE <id>` line names one AGS whose span tree is complete across
+//! the cluster, so the scraper can exercise `/trace/<id>` too.
+
+use ftlinda::{Ags, Cluster, Operand};
+use std::time::Duration;
+
+fn main() {
+    let secs: u64 = std::env::var("OBS_SMOKE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let (cluster, rts) = Cluster::builder().hosts(3).build();
+    let ts = rts[0].create_stable_ts("main").unwrap();
+
+    // Concurrent submits so the batch histograms (`ftlinda_batch_size`,
+    // `ftlinda_batch_flush_seconds`) get real samples under the default
+    // group-commit config.
+    let handles: Vec<_> = (0..32i64)
+        .map(|i| {
+            rts[(i % 3) as usize].execute_async(&Ags::out_one(
+                ts,
+                vec![Operand::cst("job"), Operand::cst(i)],
+            ))
+        })
+        .collect();
+    let sample_trace = handles[0].trace_id();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    for rt in &rts {
+        assert!(rt.wait_applied(rts[0].applied_seq(), Duration::from_secs(5)));
+    }
+
+    for rt in &rts {
+        let addr = cluster
+            .http_addr(rt.host())
+            .expect("exporter bound for every member");
+        println!("MEMBER {} {addr}", rt.host().0);
+    }
+    println!("TRACE {sample_trace}");
+    println!("SERVING {secs}s");
+
+    std::thread::sleep(Duration::from_secs(secs));
+    cluster.shutdown();
+    println!("DONE");
+}

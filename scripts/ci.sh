@@ -22,4 +22,7 @@ BENCH_MSGS_PER_AGS_JSON="${BENCH_MSGS_PER_AGS_JSON:-$PWD/BENCH_msgs_per_ags.json
     cargo bench -p linda-bench --bench batch_window -- --test
 cargo bench -p linda-bench --bench msgs_per_ags -- --test
 
+echo "==> HTTP exporter smoke (3-member cluster, curl every member)"
+./scripts/obs_smoke.sh
+
 echo "CI green."

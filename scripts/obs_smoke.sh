@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Observability smoke test: boot a 3-member cluster via the
+# obs_http_smoke example, then scrape every member's HTTP exporter with
+# curl and assert the surfaces a monitoring stack depends on:
+#   /metrics  — Prometheus text incl. the batch histograms
+#   /healthz  — live member with an applied sequence number
+#   /trace/<id> — a complete cross-replica span tree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+OBS_SMOKE_SECS="${OBS_SMOKE_SECS:-20}" \
+    cargo run --quiet --release --example obs_http_smoke >"$OUT" &
+SMOKE_PID=$!
+
+# Wait for the example to print all three member addresses + trace id.
+for _ in $(seq 1 120); do
+    if grep -q '^TRACE ' "$OUT" 2>/dev/null; then break; fi
+    if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
+        echo "obs_http_smoke exited early:"; cat "$OUT"; exit 1
+    fi
+    sleep 0.5
+done
+grep -q '^TRACE ' "$OUT" || { echo "exporter never came up:"; cat "$OUT"; exit 1; }
+
+TRACE_ID="$(awk '/^TRACE /{print $2}' "$OUT")"
+FAIL=0
+while read -r _ host addr; do
+    echo "--- member $host @ $addr"
+    METRICS="$(curl -sfS "http://$addr/metrics")"
+    for name in ftlinda_batch_size_bucket ftlinda_batch_flush_seconds_bucket \
+                ftlinda_ags_total_seconds_bucket ftlinda_batch_max_bytes \
+                ftlinda_events_dropped_total; do
+        if ! grep -q "$name" <<<"$METRICS"; then
+            echo "    MISSING $name in /metrics of member $host"; FAIL=1
+        fi
+    done
+    HEALTH="$(curl -sfS "http://$addr/healthz")"
+    grep -q '"live":true' <<<"$HEALTH" || { echo "    member $host not live: $HEALTH"; FAIL=1; }
+    grep -q '"applied_seq":' <<<"$HEALTH" || { echo "    member $host no applied_seq: $HEALTH"; FAIL=1; }
+    TRACE="$(curl -sfS "http://$addr/trace/$TRACE_ID")"
+    for stage in '"submit"' '"deliver"' '"apply"'; do
+        grep -q "$stage" <<<"$TRACE" || { echo "    member $host trace missing $stage: $TRACE"; FAIL=1; }
+    done
+    echo "    metrics/healthz/trace OK"
+done < <(grep '^MEMBER ' "$OUT")
+
+wait "$SMOKE_PID"
+[ "$FAIL" -eq 0 ] || { echo "HTTP exporter smoke FAILED"; exit 1; }
+echo "HTTP exporter smoke OK."

@@ -1,0 +1,234 @@
+//! End-to-end tests of the per-member HTTP observability surface and the
+//! flight recorder: scrape `/metrics`, `/healthz`, `/events` and
+//! `/trace/<id>` over real TCP, and check that injected divergence
+//! produces an on-disk flight dump.
+
+use ftlinda::{Ags, Cluster, HostId, Operand};
+use linda_tuple::tuple;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Minimal HTTP/1.1 GET over std TCP; returns `(status, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect exporter");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn metrics_healthz_events_endpoints_serve_on_every_member() {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    for i in 0..10i64 {
+        rts[(i % 3) as usize].out(ts, tuple!("n", i)).unwrap();
+    }
+    for rt in &rts {
+        let addr = cluster.http_addr(rt.host()).expect("exporter running");
+
+        let (code, metrics) = http_get(addr, "/metrics");
+        assert_eq!(code, 200);
+        // Per-stage pipeline histograms and the batching knob gauge are
+        // all present in the exposition.
+        for name in [
+            "ftlinda_ags_submit_seconds",
+            "ftlinda_ags_execute_seconds",
+            "ftlinda_ags_total_seconds",
+            "ftlinda_batch_size",
+            "ftlinda_batch_max_bytes",
+            "ftlinda_events_dropped_total",
+        ] {
+            assert!(metrics.contains(name), "missing {name} in:\n{metrics}");
+        }
+
+        let (code, health) = http_get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert!(health.contains(&format!("\"host\":{}", rt.host().0)));
+        assert!(health.contains("\"live\":true"), "healthy member: {health}");
+        assert!(health.contains("\"applied_seq\":"), "bad health: {health}");
+        assert!(health.contains("\"rejoin_error\":null"));
+
+        let (code, _events) = http_get(addr, "/events");
+        assert_eq!(code, 200);
+
+        // Unknown path and malformed trace ids are rejected, not 500s.
+        let (code, _) = http_get(addr, "/nope");
+        assert_eq!(code, 404);
+        let (code, _) = http_get(addr, "/trace/garbage");
+        assert_eq!(code, 400);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn trace_endpoint_returns_cross_replica_span_tree() {
+    // Default build = batching enabled (100µs window), so concurrent
+    // submits exercise the queued/coalesced flush path.
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    let handles: Vec<_> = (0..8i64)
+        .map(|i| rts[1].execute_async(&Ags::out_one(ts, vec![Operand::cst("t"), Operand::cst(i)])))
+        .collect();
+    let traces: Vec<_> = handles.iter().map(|h| h.trace_id()).collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    // Wait until every replica has applied everything the origin has.
+    for rt in &rts {
+        assert!(rt.wait_applied(rts[1].applied_seq(), Duration::from_secs(5)));
+    }
+
+    let all_hosts: Vec<u32> = rts.iter().map(|rt| rt.host().0).collect();
+    for id in &traces {
+        // The in-process view is complete: submit at the origin, one
+        // flush at the coordinator, deliver+apply everywhere.
+        let tree = cluster.trace(*id);
+        assert!(
+            tree.is_complete(&all_hosts),
+            "incomplete span chain for {id}: {}",
+            tree.to_json()
+        );
+        assert!(tree.has("submit", 1));
+        for h in &all_hosts {
+            assert!(tree.has("deliver", *h), "no deliver span on host {h}");
+            assert!(tree.has("apply", *h), "no apply span on host {h}");
+        }
+
+        // And every member serves the same assembled tree over HTTP.
+        for rt in &rts {
+            let addr = cluster.http_addr(rt.host()).unwrap();
+            let (code, body) = http_get(addr, &format!("/trace/{id}"));
+            assert_eq!(code, 200);
+            for stage in ["\"submit\"", "\"flush\"", "\"deliver\"", "\"apply\""] {
+                assert!(body.contains(stage), "missing {stage} in {body}");
+            }
+            assert!(body.contains(&format!("\"trace\":\"{id}\"")));
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn divergence_triggers_flight_recorder_dump() {
+    let dir = std::env::temp_dir().join(format!(
+        "ftlinda-flight-{}-{}",
+        std::process::id(),
+        ftlinda::obs::now_micros()
+    ));
+    let (cluster, rts) = Cluster::builder()
+        .hosts(3)
+        .divergence_period(Duration::from_millis(5))
+        .flight_dir(&dir)
+        .build();
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    rts[0].out(ts, tuple!("base", 1)).unwrap();
+    for rt in &rts[1..] {
+        assert!(rt.wait_applied(rts[0].applied_seq(), Duration::from_secs(5)));
+    }
+
+    // Corrupt one replica behind the total order's back.
+    assert!(rts[2].fault_inject_local(ts, tuple!("phantom", 666)));
+
+    // The monitor notices the divergence event and dumps within a few
+    // detector periods.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dump = loop {
+        let found = std::fs::read_dir(&dir)
+            .ok()
+            .into_iter()
+            .flatten()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .map(|n| {
+                        let n = n.to_string_lossy();
+                        n.starts_with("flight-") && n.contains("digest_divergence")
+                    })
+                    .unwrap_or(false)
+            });
+        if let Some(p) = found {
+            break p;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no flight dump appeared in {dir:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    let text = std::fs::read_to_string(&dump).unwrap();
+    assert!(text.contains("# reason: digest_divergence"));
+    // Per-member digests, event rings and span logs are all present.
+    for h in 0..3 {
+        assert!(text.contains(&format!("== state host={h} ==")), "{text}");
+        assert!(text.contains(&format!("== events host={h} ==")));
+        assert!(text.contains(&format!("== spans host={h} ==")));
+    }
+    assert!(text.contains("\"digest\":\"0x"));
+    assert!(text.contains("== cluster events =="));
+    assert!(
+        text.contains("digest_divergence"),
+        "divergence event in ring"
+    );
+    assert!(text.contains("== order stats =="));
+
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exporter_keeps_serving_across_crash_and_restart() {
+    let (cluster, rts) = Cluster::new(3);
+    let ts = rts[0].create_stable_ts("main").unwrap();
+    rts[0].out(ts, tuple!("pre", 1)).unwrap();
+    let addr2 = cluster.http_addr(HostId(2)).unwrap();
+
+    cluster.crash(HostId(2));
+    // The scrape sidecar outlives the simulated process: /healthz now
+    // reports the member dead.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (code, health) = http_get(addr2, "/healthz");
+        assert_eq!(code, 200);
+        if health.contains("\"live\":false") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "crash never visible: {health}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let _rt2 = cluster.restart(HostId(2));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (code, health) = http_get(addr2, "/healthz");
+        assert_eq!(code, 200);
+        if health.contains("\"live\":true") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "restart never visible: {health}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Metrics for the fresh incarnation are served from the same port.
+    let (code, metrics) = http_get(addr2, "/metrics");
+    assert_eq!(code, 200);
+    assert!(metrics.contains("ftlinda_applied_seq"));
+    cluster.shutdown();
+}

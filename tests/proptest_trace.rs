@@ -1,0 +1,71 @@
+//! Property: every AGS that completes has a **complete cross-replica
+//! span chain** — submit at the origin, exactly-once flush at some
+//! coordinator, deliver + apply on every live replica — even when the
+//! coordinator crashes mid-stream and the submits are resubmitted and
+//! re-flushed by its successor. Tracing must not lose stages across
+//! failover, because per-stage latency attribution is only trustworthy
+//! if the chain is provably whole.
+
+use ftlinda::{Ags, Cluster, HostId, Operand};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn applied_ags_yield_complete_span_chains(
+        n_ags in 1usize..10,
+        crash_at in proptest::option::of(0usize..10),
+    ) {
+        let crash_at = crash_at.filter(|c| *c < n_ags);
+        // Origin is host 1 so crashing the initial coordinator (host 0)
+        // never kills the submitter.
+        let (cluster, rts) = Cluster::builder().hosts(3).no_http().build();
+        let ts = rts[1].create_stable_ts("main").unwrap();
+
+        let mut handles = Vec::with_capacity(n_ags);
+        for i in 0..n_ags {
+            if crash_at == Some(i) {
+                cluster.crash(HostId(0));
+            }
+            let ags = Ags::out_one(ts, vec![Operand::cst("job"), Operand::cst(i as i64)]);
+            handles.push(rts[1].execute_async(&ags));
+        }
+        let traces: Vec<_> = handles.iter().map(|h| h.trace_id()).collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+
+        let live: Vec<u32> = if crash_at.is_some() {
+            vec![1, 2]
+        } else {
+            vec![0, 1, 2]
+        };
+        // The origin has applied everything it completed; wait for the
+        // other live replicas to reach the same point.
+        let target = rts[1].applied_seq();
+        for rt in &rts {
+            if live.contains(&rt.host().0) {
+                prop_assert!(
+                    rt.wait_applied(target, Duration::from_secs(5)),
+                    "host {} never caught up to {target}",
+                    rt.host().0
+                );
+            }
+        }
+
+        for id in &traces {
+            let tree = cluster.trace(*id);
+            prop_assert!(
+                tree.is_complete(&live),
+                "incomplete chain for {id} (crash_at={crash_at:?}): {}",
+                tree.to_json()
+            );
+            // Latency attribution is well-defined on a complete chain:
+            // the submit→apply interval exists and is non-negative.
+            prop_assert!(tree.between("submit", "apply").is_some());
+        }
+        cluster.shutdown();
+    }
+}
