@@ -51,7 +51,9 @@ fn wait_net_quiesced(cluster: &Cluster) {
 }
 
 fn run_window(window: Duration) -> Point {
-    let mut b = Cluster::builder().hosts(HOSTS);
+    // Checkpoint markers would perturb the multicast-per-AGS accounting;
+    // measure the bare protocol.
+    let mut b = Cluster::builder().hosts(HOSTS).no_checkpoints();
     if window.is_zero() {
         b = b.no_batching();
     } else {
@@ -172,7 +174,7 @@ fn bench(c: &mut Criterion) {
         ("off", Duration::ZERO),
         ("100us", Duration::from_micros(100)),
     ] {
-        let mut b = Cluster::builder().hosts(HOSTS);
+        let mut b = Cluster::builder().hosts(HOSTS).no_checkpoints();
         if window.is_zero() {
             b = b.no_batching();
         } else {

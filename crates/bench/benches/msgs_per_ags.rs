@@ -94,7 +94,9 @@ fn measure_concurrent(
     per_submitter: usize,
     batch_on: bool,
 ) -> (u64, u64, u64, f64) {
-    let mut b = Cluster::builder().hosts(HOSTS as u32);
+    // Checkpoint markers would perturb the exact message counts this
+    // experiment asserts; measure the bare protocol.
+    let mut b = Cluster::builder().hosts(HOSTS as u32).no_checkpoints();
     if !batch_on {
         b = b.no_batching();
     }
@@ -131,7 +133,10 @@ fn measure_concurrent(
 }
 
 fn bench(c: &mut Criterion) {
-    let (cluster, rts) = Cluster::new(HOSTS as u32);
+    let (cluster, rts) = Cluster::builder()
+        .hosts(HOSTS as u32)
+        .no_checkpoints()
+        .build();
     let ts = rts[0].create_stable_ts("main").unwrap();
 
     println!("\nE9 — messages per atomic group of N tuple-op pairs (4 hosts):");

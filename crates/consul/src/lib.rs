@@ -27,6 +27,6 @@ mod stats;
 
 pub use isis::{IsisGroup, IsisMember, IsisMsg};
 pub use net::{Heartbeat, HostId, NetConfig, NetEvent, SimNet, WireSized};
-pub use order::{BatchEntry, Delivery, LocalId, Protocol, Record, RecordBody};
-pub use sequencer::{BatchConfig, SeqGroup, SeqMember, SeqMsg};
+pub use order::{BatchEntry, CheckpointImage, Delivery, LocalId, Protocol, Record, RecordBody};
+pub use sequencer::{BatchConfig, CheckpointConfig, SeqGroup, SeqMember, SeqMsg};
 pub use stats::{NetStats, OrderStats};

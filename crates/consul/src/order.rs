@@ -55,6 +55,36 @@ pub enum RecordBody {
     Fail(HostId),
     /// Membership change: `host` (re)joined.
     Join(HostId),
+    /// Checkpoint boundary, emitted periodically by the coordinator.
+    /// Because the marker is ordered like any record, every replica sees
+    /// it at the same sequence number and cuts its log at the identical
+    /// point: the application snapshots its state machine exactly here,
+    /// hands the image back to the ordering layer, and the log prefix up
+    /// to (and including) this seq becomes eligible for truncation.
+    Checkpoint,
+}
+
+/// An opaque state-machine checkpoint riding the ordering layer's wire
+/// protocol. The ordering layer never interprets `bytes` — it only needs
+/// the sequence number the image was taken at (to ship the right log
+/// tail) and carries the digest so the receiver can verify the restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointImage {
+    /// Sequence number the image captures: applying it is equivalent to
+    /// replaying the ordered log from 1 through `seq`.
+    pub seq: u64,
+    /// State digest at `seq` (the kernel's `digest()`); the restoring
+    /// replica recomputes and compares.
+    pub digest: u64,
+    /// Codec-serialized state image.
+    pub bytes: Bytes,
+}
+
+impl CheckpointImage {
+    /// Approximate wire size of the image in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + 8 + self.bytes.len()
+    }
 }
 
 /// One entry of the totally-ordered stream. `seq` is contiguous from 1.
@@ -142,6 +172,22 @@ pub enum Delivery {
         /// The joined host.
         host: HostId,
     },
+    /// A checkpoint boundary: the application must snapshot its state
+    /// *now* (having applied exactly the records up to `seq`) and hand
+    /// the image back to the ordering layer so the log can be truncated.
+    Checkpoint {
+        /// Global sequence number of the boundary.
+        seq: u64,
+    },
+    /// Synthesized (never from a [`Record`]) when a snapshot with a
+    /// checkpoint arrives: the application must replace its state with
+    /// the image before applying any subsequent deliveries. Emitted as
+    /// the first delivery of a rejoin, or mid-stream when a member fell
+    /// behind the coordinator's compaction watermark.
+    Restore {
+        /// The state image to restore.
+        image: CheckpointImage,
+    },
 }
 
 impl Delivery {
@@ -153,12 +199,15 @@ impl Delivery {
         }
     }
 
-    /// The record's global sequence number.
+    /// The record's global sequence number (for `Restore`: the sequence
+    /// number the image captures — applying it lands the replica there).
     pub fn seq(&self) -> u64 {
         match self {
-            Delivery::App { seq, .. } | Delivery::Fail { seq, .. } | Delivery::Join { seq, .. } => {
-                *seq
-            }
+            Delivery::App { seq, .. }
+            | Delivery::Fail { seq, .. }
+            | Delivery::Join { seq, .. }
+            | Delivery::Checkpoint { seq } => *seq,
+            Delivery::Restore { image } => image.seq,
         }
     }
 
@@ -188,6 +237,7 @@ impl Delivery {
                 seq: r.seq,
                 host: *h,
             },
+            RecordBody::Checkpoint => Delivery::Checkpoint { seq: r.seq },
         }
     }
 }

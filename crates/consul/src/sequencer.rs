@@ -26,13 +26,24 @@
 //! * **Gaps** — a member receiving a record beyond its contiguous prefix
 //!   NACKs the coordinator, which retransmits from its complete log.
 //! * **Restart** — the rejoining host broadcasts `JoinReq` (with retry);
-//!   the coordinator replies with a `Snapshot` of the full ordered log
-//!   (production systems transfer a state checkpoint; replaying the log
-//!   reaches the identical replica state and keeps the protocol small)
-//!   and emits an ordered `Join` record.
+//!   the coordinator replies with a `Snapshot` — the latest installed
+//!   state checkpoint plus only the log tail past it (or the full log
+//!   when checkpointing is off) — and emits an ordered `Join` record.
+//!
+//! Checkpointing and log compaction ([`CheckpointConfig`]): the
+//! coordinator periodically emits an ordered `Checkpoint` marker, so
+//! every replica snapshots its state machine at the identical sequence
+//! number and hands the image back via
+//! [`SeqMember::install_checkpoint`], which truncates the log behind the
+//! `log_base` watermark. Rejoin then costs O(state) + O(tail) instead of
+//! O(history), per-member log memory is bounded by the marker interval,
+//! duplicate suppression below the watermark moves from the per-record
+//! `assigned` map to a compact per-origin `retired` watermark, and a
+//! NACK for a compacted sequence number is answered with a full
+//! snapshot instead of a retransmission.
 
 use crate::net::{HostId, NetConfig, NetEvent, SimNet, WireSized};
-use crate::order::{BatchEntry, Delivery, LocalId, Record, RecordBody};
+use crate::order::{BatchEntry, CheckpointImage, Delivery, LocalId, Record, RecordBody};
 use crate::stats::OrderStats;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -89,6 +100,51 @@ impl BatchConfig {
     /// Whether the coordinator coalesces at all.
     pub fn enabled(&self) -> bool {
         self.window > Duration::ZERO
+    }
+}
+
+/// Checkpoint and log-compaction tuning.
+///
+/// With checkpointing enabled the coordinator inserts a
+/// [`RecordBody::Checkpoint`] marker into the total order roughly every
+/// `every` records. The application snapshots its state machine when the
+/// marker is delivered and installs the image back into its member
+/// ([`SeqMember::install_checkpoint`]); with `compaction` on, the
+/// install truncates the ordered log up to the marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Emit a checkpoint marker after this many ordered records since
+    /// the previous marker. `0` disables checkpointing entirely — the
+    /// pre-checkpoint wire protocol, where joiners replay the full log.
+    pub every: u64,
+    /// Truncate the log behind installed checkpoints. Off keeps markers
+    /// flowing (and images current) while retaining the full log — for
+    /// debugging a suspected compaction fault in production.
+    pub compaction: bool,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            every: 512,
+            compaction: true,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Checkpointing off: wire-compatible with the pre-checkpoint
+    /// protocol (no markers, full-log snapshots, unbounded log).
+    pub fn disabled() -> Self {
+        CheckpointConfig {
+            every: 0,
+            compaction: false,
+        }
+    }
+
+    /// Whether the coordinator emits markers at all.
+    pub fn enabled(&self) -> bool {
+        self.every > 0
     }
 }
 
@@ -169,8 +225,20 @@ pub enum SeqMsg {
         /// Length of the elect's contiguous log.
         have: u64,
     },
-    /// Member → coordinator-elect: the requested suffix.
+    /// Member → coordinator-elect: the requested suffix. When the elect
+    /// is behind the replier's compaction watermark (`have < log_base`),
+    /// the reply carries the replier's checkpoint (plus the state that
+    /// must survive compaction) and its whole retained log.
     SyncReply {
+        /// State checkpoint, present only when the elect's log cannot be
+        /// extended to the replier's by records alone.
+        checkpoint: Option<CheckpointImage>,
+        /// Per-origin highest local id among compacted `App` records
+        /// (duplicate suppression below the watermark).
+        retired: Vec<(HostId, LocalId)>,
+        /// Hosts with a compacted `Fail` record not yet superseded by a
+        /// `Join`.
+        failed: Vec<HostId>,
         /// Records with `seq > have` held by the replying member.
         records: Vec<Record>,
     },
@@ -189,10 +257,20 @@ pub enum SeqMsg {
     JoinReq,
     /// Heartbeat (only in heartbeat-detection mode).
     Ping,
-    /// Coordinator → joiner: full ordered log and current live set.
+    /// Coordinator → joiner (or → a member that fell behind the
+    /// compaction watermark): state checkpoint plus the log tail past
+    /// it. With checkpointing off, `checkpoint` is `None` and `tail` is
+    /// the complete log — the classic full-replay snapshot.
     Snapshot {
-        /// Complete log.
-        records: Vec<Record>,
+        /// The coordinator's latest installed checkpoint, if any.
+        checkpoint: Option<CheckpointImage>,
+        /// Per-origin highest local id among compacted `App` records.
+        retired: Vec<(HostId, LocalId)>,
+        /// Hosts with a `Fail` record not superseded by a `Join` (the
+        /// receiver cannot reconstruct this from a truncated log).
+        failed: Vec<HostId>,
+        /// Records past the checkpoint (the full log if none).
+        tail: Vec<Record>,
         /// Coordinator's current live set.
         live: Vec<HostId>,
     },
@@ -204,8 +282,16 @@ impl WireSized for SeqMsg {
             SeqMsg::Submit { payload, .. } => 1 + 8 + payload.len(),
             SeqMsg::Ordered(r) => 1 + r.wire_size(),
             SeqMsg::SyncQuery { .. } => 9,
-            SeqMsg::SyncReply { records } => {
-                1 + records.iter().map(Record::wire_size).sum::<usize>()
+            SeqMsg::SyncReply {
+                checkpoint,
+                retired,
+                failed,
+                records,
+            } => {
+                1 + checkpoint.as_ref().map_or(0, CheckpointImage::wire_size)
+                    + retired.len() * 12
+                    + failed.len() * 4
+                    + records.iter().map(Record::wire_size).sum::<usize>()
             }
             SeqMsg::Nack { .. } => 9,
             SeqMsg::Retransmit { records } => {
@@ -213,8 +299,18 @@ impl WireSized for SeqMsg {
             }
             SeqMsg::JoinReq => 1,
             SeqMsg::Ping => 1,
-            SeqMsg::Snapshot { records, live } => {
-                1 + records.iter().map(Record::wire_size).sum::<usize>() + live.len() * 4
+            SeqMsg::Snapshot {
+                checkpoint,
+                retired,
+                failed,
+                tail,
+                live,
+            } => {
+                1 + checkpoint.as_ref().map_or(0, CheckpointImage::wire_size)
+                    + retired.len() * 12
+                    + failed.len() * 4
+                    + tail.iter().map(Record::wire_size).sum::<usize>()
+                    + live.len() * 4
             }
         }
     }
@@ -244,22 +340,46 @@ struct State {
     /// Structured-event sink (coordinator failover notices).
     events: Arc<linda_obs::EventSink>,
 
-    // Member side.
+    // Member side. The retained log holds sequences
+    // `log_base + 1 ..= log_base + log.len()`; everything at or below
+    // `log_base` has been compacted behind the installed checkpoint.
     log: Vec<Record>,
+    log_base: u64,
+    /// Latest installed state checkpoint. Invariant: when present its
+    /// `seq >= log_base`, so checkpoint + retained tail always covers
+    /// the full history — a snapshot can never be older than the
+    /// compaction watermark.
+    checkpoint: Option<CheckpointImage>,
+    /// Per-origin highest local id among compacted `App` records. A
+    /// submission at or below this watermark is a duplicate of a record
+    /// that no longer exists solo — it is answered with a snapshot.
+    retired: HashMap<HostId, LocalId>,
+    ckpt_cfg: CheckpointConfig,
     buffer: BTreeMap<u64, Record>,
     pending_submits: BTreeMap<LocalId, Bytes>,
     next_local: LocalId,
     nacked_for: Option<u64>,
     /// Hosts with a `Fail` record not yet superseded by a `Join` record.
     failed_recorded: BTreeSet<HostId>,
+    /// Leak accounting for `broadcast_at`: every insert and remove is
+    /// counted, and the append path asserts the map size matches.
+    ba_inserts: u64,
+    ba_removes: u64,
 
     // Coordinator side.
     coord_synced: bool,
     next_seq: u64,
     assigned: HashMap<(HostId, LocalId), u64>,
+    /// Seq of the last checkpoint marker this coordinator knows of.
+    last_marker: u64,
     recipients: BTreeSet<HostId>,
     sync_waiting: BTreeSet<HostId>,
     sync_records: BTreeMap<u64, Record>,
+    /// Best checkpoint offered by a `SyncReply` (highest seq wins),
+    /// with the compaction-surviving state that rides along.
+    sync_checkpoint: Option<CheckpointImage>,
+    sync_retired: Vec<(HostId, LocalId)>,
+    sync_failed: Vec<HostId>,
     buffered_submits: Vec<(HostId, LocalId, Bytes)>,
     buffered_nacks: Vec<(HostId, u64)>,
     pending_fails: BTreeSet<HostId>,
@@ -294,8 +414,16 @@ impl State {
         self.coord == self.me
     }
 
-    fn log_len(&self) -> u64 {
-        self.log.len() as u64
+    /// Highest sequence number covered by this member: the compacted
+    /// prefix (`log_base`) plus the retained log.
+    fn last_seq(&self) -> u64 {
+        self.log_base + self.log.len() as u64
+    }
+
+    /// The retained record at `seq`, if it has not been compacted away.
+    fn rec_at(&self, seq: u64) -> Option<&Record> {
+        seq.checked_sub(self.log_base + 1)
+            .and_then(|i| self.log.get(i as usize))
     }
 
     fn on_event(&mut self, ev: NetEvent<SeqMsg>) {
@@ -323,13 +451,49 @@ impl State {
             }
             SeqMsg::Ordered(rec) => self.accept_record(rec),
             SeqMsg::SyncQuery { have } => {
-                let records: Vec<Record> =
-                    self.log.iter().filter(|r| r.seq > have).cloned().collect();
-                self.net.send(self.me, from, SeqMsg::SyncReply { records });
+                if have < self.log_base {
+                    // The elect is behind our compaction watermark: no
+                    // record suffix can extend its log to ours. Reply
+                    // with our checkpoint (invariant: seq >= log_base)
+                    // and the whole retained log.
+                    debug_assert!(self
+                        .checkpoint
+                        .as_ref()
+                        .is_some_and(|c| c.seq >= self.log_base));
+                    let reply = SeqMsg::SyncReply {
+                        checkpoint: self.checkpoint.clone(),
+                        retired: self.retired.iter().map(|(h, l)| (*h, *l)).collect(),
+                        failed: self.failed_recorded.iter().copied().collect(),
+                        records: self.log.clone(),
+                    };
+                    self.net.send(self.me, from, reply);
+                } else {
+                    let start = (have - self.log_base) as usize;
+                    let records = self.log.get(start..).map(<[Record]>::to_vec);
+                    let reply = SeqMsg::SyncReply {
+                        checkpoint: None,
+                        retired: Vec::new(),
+                        failed: Vec::new(),
+                        records: records.unwrap_or_default(),
+                    };
+                    self.net.send(self.me, from, reply);
+                }
             }
-            SeqMsg::SyncReply { records } => {
+            SeqMsg::SyncReply {
+                checkpoint,
+                retired,
+                failed,
+                records,
+            } => {
                 if !self.is_coord() || self.coord_synced {
                     return;
+                }
+                if let Some(cp) = checkpoint {
+                    if self.sync_checkpoint.as_ref().is_none_or(|c| cp.seq > c.seq) {
+                        self.sync_checkpoint = Some(cp);
+                        self.sync_retired = retired;
+                        self.sync_failed = failed;
+                    }
                 }
                 for r in records {
                     self.sync_records.insert(r.seq, r);
@@ -359,15 +523,31 @@ impl State {
                 }
             }
             SeqMsg::Ping => {}
-            SeqMsg::Snapshot { records, live } => {
+            SeqMsg::Snapshot {
+                checkpoint,
+                retired,
+                failed,
+                tail,
+                live,
+            } => {
                 if self.joined {
-                    return; // duplicate snapshot from a retried JoinReq
+                    // To a live member a snapshot is only useful as a
+                    // catch-up past the coordinator's compaction
+                    // watermark (the answer to a NACK below log_base);
+                    // anything else is a stale duplicate of a retried
+                    // JoinReq.
+                    match &checkpoint {
+                        Some(cp) if cp.seq > self.last_seq() => {}
+                        _ => return,
+                    }
+                } else {
+                    self.live = live.into_iter().collect();
+                    self.live.insert(self.me);
+                    self.coord = from;
+                    self.joined = true;
                 }
-                self.live = live.into_iter().collect();
-                self.live.insert(self.me);
-                self.coord = from;
-                self.joined = true;
-                for rec in records {
+                self.adopt_snapshot(checkpoint, retired, failed);
+                for rec in tail {
                     self.accept_record(rec);
                 }
             }
@@ -386,11 +566,11 @@ impl State {
             }
             return;
         }
-        if rec.seq <= self.log_len() {
+        if rec.seq <= self.last_seq() {
             return;
         }
-        if rec.seq > self.log_len() + 1 {
-            let expected = self.log_len() + 1;
+        if rec.seq > self.last_seq() + 1 {
+            let expected = self.last_seq() + 1;
             self.buffer.insert(rec.seq, rec);
             if self.nacked_for != Some(expected) {
                 self.nacked_for = Some(expected);
@@ -402,14 +582,26 @@ impl State {
             return;
         }
         self.append_and_deliver(rec);
-        while let Some(next) = self.buffer.remove(&(self.log_len() + 1)) {
+        while let Some(next) = self.buffer.remove(&(self.last_seq() + 1)) {
             self.append_and_deliver(next);
+        }
+        // Drop any stale out-of-order copies the drain left behind
+        // (e.g. a retransmit overlapping records that arrived solo, or
+        // a checkpoint jump over buffered sequences) — the buffer must
+        // only ever hold records ahead of the contiguous prefix.
+        let ahead = self.last_seq() + 1;
+        if self
+            .buffer
+            .first_key_value()
+            .is_some_and(|(s, _)| *s < ahead)
+        {
+            self.buffer = self.buffer.split_off(&ahead);
         }
         self.nacked_for = None;
     }
 
     fn append_and_deliver(&mut self, rec: Record) {
-        debug_assert_eq!(rec.seq, self.log_len() + 1);
+        debug_assert_eq!(rec.seq, self.last_seq() + 1);
         match &rec.body {
             RecordBody::Batch(_) => {
                 unreachable!("batch records are exploded in accept_record")
@@ -418,8 +610,15 @@ impl State {
                 if rec.origin == self.me {
                     self.pending_submits.remove(&rec.local);
                     if let Some(t0) = self.broadcast_at.remove(&rec.local) {
+                        self.ba_removes += 1;
                         self.order_hist.observe(t0.elapsed());
                     }
+                    debug_assert_eq!(
+                        self.ba_inserts,
+                        self.ba_removes + self.broadcast_at.len() as u64,
+                        "broadcast_at leaked: a submission was retired without \
+                         removing its timestamp"
+                    );
                 }
                 self.spans.record(
                     linda_obs::TraceId::new(rec.origin.0, rec.local),
@@ -436,7 +635,18 @@ impl State {
                 self.failed_recorded.remove(h);
                 self.live.insert(*h);
                 self.last_heard.insert(*h, std::time::Instant::now());
+                // A Join starts a fresh incarnation whose local ids
+                // restart from 1: duplicate-suppression state from the
+                // previous incarnation must not shadow its submissions.
+                let h = *h;
+                self.assigned.retain(|(o, _), _| *o != h);
+                self.retired.remove(&h);
                 self.stats.record_view_change();
+            }
+            RecordBody::Checkpoint => {
+                // Protocol-side no-op: the boundary only matters to the
+                // application, which snapshots at this seq and installs
+                // the image back (truncating the log behind it).
             }
         }
         let delivery = Delivery::from_record(&rec);
@@ -502,13 +712,16 @@ impl State {
                 self.coord_synced = false;
                 self.pending_fails.insert(h);
                 self.sync_records.clear();
+                self.sync_checkpoint = None;
+                self.sync_retired.clear();
+                self.sync_failed.clear();
                 self.sync_waiting = self
                     .live
                     .iter()
                     .copied()
                     .filter(|p| *p != self.me)
                     .collect();
-                let have = self.log_len();
+                let have = self.last_seq();
                 let peers: Vec<HostId> = self.sync_waiting.iter().copied().collect();
                 for p in peers {
                     self.net.send(self.me, p, SeqMsg::SyncQuery { have });
@@ -543,18 +756,40 @@ impl State {
     }
 
     fn finish_sync(&mut self) {
+        // If some replier was ahead of our compaction watermark by more
+        // than its own retained log, it sent a checkpoint: jump to it
+        // before merging record suffixes (our in-flight submissions are
+        // indeterminate across the jump; the application fails their
+        // waiters when it sees the Restore).
+        if let Some(cp) = self.sync_checkpoint.take() {
+            let retired = std::mem::take(&mut self.sync_retired);
+            let failed = std::mem::take(&mut self.sync_failed);
+            if cp.seq > self.last_seq() {
+                self.adopt_snapshot(Some(cp), retired, failed);
+            }
+        }
         let recs: Vec<Record> = self.sync_records.values().cloned().collect();
         self.sync_records.clear();
         for rec in recs {
             self.accept_record(rec);
         }
-        self.next_seq = self.log_len() + 1;
+        self.next_seq = self.last_seq() + 1;
         self.assigned = self
             .log
             .iter()
             .filter(|r| matches!(r.body, RecordBody::App(_)))
             .map(|r| ((r.origin, r.local), r.seq))
             .collect();
+        // Resume marker cadence from the last marker that survives in
+        // the merged log (or the watermark itself if none did).
+        self.last_marker = self
+            .log
+            .iter()
+            .rev()
+            .find(|r| matches!(r.body, RecordBody::Checkpoint))
+            .map(|r| r.seq)
+            .unwrap_or(0)
+            .max(self.log_base);
         self.recipients = self.live.clone();
         self.coord_synced = true;
 
@@ -607,32 +842,64 @@ impl State {
     }
 
     fn serve_nack(&mut self, from: HostId, missing: u64) {
-        let records: Vec<Record> = self
-            .log
-            .iter()
-            .filter(|r| r.seq >= missing)
-            .cloned()
-            .collect();
-        if !records.is_empty() {
-            self.net.send(self.me, from, SeqMsg::Retransmit { records });
+        if missing <= self.log_base {
+            // The requested prefix is compacted away; a retransmission
+            // cannot exist. Ship a full snapshot (checkpoint + tail):
+            // the receiver jumps to the checkpoint and resumes from
+            // there.
+            self.send_snapshot(from);
+            return;
+        }
+        // The log is contiguous from `log_base + 1`, so the suffix at
+        // `missing` starts at a direct offset — no per-record scan.
+        let start = (missing - 1 - self.log_base) as usize;
+        if let Some(tail) = self.log.get(start..) {
+            if !tail.is_empty() {
+                let records = tail.to_vec();
+                self.net.send(self.me, from, SeqMsg::Retransmit { records });
+            }
         }
     }
 
-    fn serve_join(&mut self, joiner: HostId) {
+    /// Send `to` a state snapshot: the latest installed checkpoint (if
+    /// any) plus the retained log past it, along with the compaction-
+    /// surviving duplicate/failure state and the live set.
+    fn send_snapshot(&mut self, to: HostId) {
         // Flush before snapshotting: entries in the open batch have
         // assigned seqs but are not yet in the log, and the snapshot
-        // must hand the joiner a contiguous prefix.
+        // must hand the receiver a contiguous prefix.
+        self.flush_batch();
+        let (checkpoint, tail) = match &self.checkpoint {
+            Some(cp) => {
+                // Failover invariant: an installed checkpoint is never
+                // older than the compaction watermark.
+                debug_assert!(cp.seq >= self.log_base);
+                let start = (cp.seq - self.log_base) as usize;
+                (Some(cp.clone()), self.log[start..].to_vec())
+            }
+            None => {
+                debug_assert_eq!(self.log_base, 0, "compaction requires a checkpoint");
+                (None, self.log.clone())
+            }
+        };
+        let snap = SeqMsg::Snapshot {
+            checkpoint,
+            retired: self.retired.iter().map(|(h, l)| (*h, *l)).collect(),
+            failed: self.failed_recorded.iter().copied().collect(),
+            tail,
+            live: self.live.iter().copied().collect(),
+        };
+        self.net.send(self.me, to, snap);
+    }
+
+    fn serve_join(&mut self, joiner: HostId) {
+        // Flush before admitting the joiner to the recipient set, so
+        // the open batch is not multicast to a host that has no
+        // snapshot yet.
         self.flush_batch();
         self.live.insert(joiner);
         self.recipients.insert(joiner);
-        self.net.send(
-            self.me,
-            joiner,
-            SeqMsg::Snapshot {
-                records: self.log.clone(),
-                live: self.live.iter().copied().collect(),
-            },
-        );
+        self.send_snapshot(joiner);
         if self.failed_recorded.contains(&joiner) {
             let rec = Record {
                 seq: self.next_seq,
@@ -646,8 +913,14 @@ impl State {
     }
 
     /// Coordinator path for a submission: assign the next sequence number
-    /// (or answer a duplicate with a retransmission) and distribute.
+    /// (or answer a duplicate with a retransmission) and distribute,
+    /// then emit a checkpoint marker if the interval has elapsed.
     fn coord_submit(&mut self, origin: HostId, local: LocalId, payload: Bytes) {
+        self.coord_submit_inner(origin, local, payload);
+        self.maybe_mark_checkpoint();
+    }
+
+    fn coord_submit_inner(&mut self, origin: HostId, local: LocalId, payload: Bytes) {
         if !self.coord_synced {
             self.buffered_submits.push((origin, local, payload));
             return;
@@ -658,16 +931,32 @@ impl State {
             // sitting in the open batch, the pending flush will deliver
             // it — a second sequence number must not be assigned.
             if origin != self.me {
-                if let Some(rec) = self.log.get((seq - 1) as usize) {
+                if let Some(rec) = self.rec_at(seq).cloned() {
                     self.stats.record_retransmit();
-                    self.net.send(
-                        self.me,
-                        origin,
-                        SeqMsg::Retransmit {
-                            records: vec![rec.clone()],
-                        },
-                    );
+                    self.net
+                        .send(self.me, origin, SeqMsg::Retransmit { records: vec![rec] });
+                } else if seq <= self.log_base {
+                    // Assigned but compacted (the entry outlived a
+                    // truncation only transiently): answer with a full
+                    // snapshot.
+                    self.stats.record_retransmit();
+                    self.send_snapshot(origin);
                 }
+            }
+            return;
+        }
+        if self
+            .retired
+            .get(&origin)
+            .is_some_and(|&newest| local <= newest)
+        {
+            // Duplicate of a record behind the compaction watermark:
+            // its `assigned` entry was pruned and the solo record no
+            // longer exists. The origin is far behind — hand it the
+            // checkpoint instead of a sequence number.
+            if origin != self.me {
+                self.stats.record_retransmit();
+                self.send_snapshot(origin);
             }
             return;
         }
@@ -808,6 +1097,7 @@ impl State {
         if let Some(d) = self.batch_deadline {
             if Instant::now() >= d {
                 self.flush_batch();
+                self.maybe_mark_checkpoint();
             }
         }
     }
@@ -824,6 +1114,93 @@ impl State {
             .collect();
         self.net.multicast(me, dests, SeqMsg::Ordered(rec.clone()));
         self.accept_record(rec);
+    }
+
+    /// Emit an ordered `Checkpoint` marker if at least `every` records
+    /// have been assigned since the last one. Only between batches: a
+    /// marker inside an open batch would leave a hole in the multicast
+    /// stream.
+    fn maybe_mark_checkpoint(&mut self) {
+        if !self.ckpt_cfg.enabled() || !self.is_coord() || !self.coord_synced {
+            return;
+        }
+        if !self.batch.is_empty() {
+            return; // re-checked when the batch flushes
+        }
+        if self.next_seq - 1 < self.last_marker + self.ckpt_cfg.every {
+            return;
+        }
+        let rec = Record {
+            seq: self.next_seq,
+            origin: self.me,
+            local: 0,
+            body: RecordBody::Checkpoint,
+        };
+        self.next_seq += 1;
+        self.last_marker = rec.seq;
+        self.distribute(rec);
+    }
+
+    /// Adopt snapshot state that must survive log compaction, and jump
+    /// over the missing history to `checkpoint.seq` if the image is
+    /// ahead of us. The jump abandons all in-flight bookkeeping — any
+    /// local submission is indeterminate across the gap — and emits a
+    /// synthesized [`Delivery::Restore`] so the application replaces
+    /// its state with the image before the tail is applied.
+    fn adopt_snapshot(
+        &mut self,
+        checkpoint: Option<CheckpointImage>,
+        retired: Vec<(HostId, LocalId)>,
+        failed: Vec<HostId>,
+    ) {
+        for (h, l) in retired {
+            let e = self.retired.entry(h).or_insert(0);
+            *e = (*e).max(l);
+        }
+        self.failed_recorded = failed.into_iter().collect();
+        let Some(cp) = checkpoint else { return };
+        if cp.seq <= self.last_seq() {
+            return; // we already cover the image; the tail alone helps
+        }
+        self.pending_submits.clear();
+        self.ba_removes += self.broadcast_at.len() as u64;
+        self.broadcast_at.clear();
+        self.nacked_for = None;
+        self.buffer = self.buffer.split_off(&(cp.seq + 1));
+        self.log.clear();
+        self.log_base = cp.seq;
+        let _ = self.dtx.send(Delivery::Restore { image: cp.clone() });
+        self.checkpoint = Some(cp);
+    }
+
+    /// Install the application's state image for the checkpoint marker
+    /// at `image.seq`, and (with compaction on) truncate the log behind
+    /// it. Truncated `App` records feed the `retired` watermark before
+    /// they disappear, and `assigned` entries at or below the watermark
+    /// are pruned — duplicates down there are answered by snapshot.
+    fn install_checkpoint(&mut self, image: CheckpointImage) {
+        debug_assert!(
+            image.seq <= self.last_seq(),
+            "cannot install a checkpoint past the delivered prefix"
+        );
+        if self.checkpoint.as_ref().is_some_and(|c| c.seq >= image.seq) {
+            return; // stale image (duplicate install)
+        }
+        let cut = image.seq;
+        self.checkpoint = Some(image);
+        if !self.ckpt_cfg.compaction || cut <= self.log_base {
+            return;
+        }
+        let keep_from = ((cut - self.log_base) as usize).min(self.log.len());
+        for r in &self.log[..keep_from] {
+            if matches!(r.body, RecordBody::App(_)) {
+                let e = self.retired.entry(r.origin).or_insert(0);
+                *e = (*e).max(r.local);
+            }
+        }
+        self.log.drain(..keep_from);
+        self.log_base = cut;
+        self.assigned.retain(|_, s| *s > cut);
     }
 }
 
@@ -849,12 +1226,14 @@ pub struct SeqGroup {
     universe: Vec<HostId>,
     stats: Arc<OrderStats>,
     batch: BatchConfig,
+    ckpt: CheckpointConfig,
 }
 
 impl SeqGroup {
     /// Create a group of `n` members, all initially live, host 0 as the
     /// initial coordinator, with the default (enabled) group-commit
-    /// configuration.
+    /// configuration and checkpointing off (the bare protocol; layered
+    /// runtimes that install checkpoints use [`SeqGroup::new_with`]).
     pub fn new(n: u32, cfg: NetConfig) -> (SeqGroup, Vec<SeqMember>) {
         Self::new_with_batch(n, cfg, BatchConfig::default())
     }
@@ -865,6 +1244,16 @@ impl SeqGroup {
         n: u32,
         cfg: NetConfig,
         batch: BatchConfig,
+    ) -> (SeqGroup, Vec<SeqMember>) {
+        Self::new_with(n, cfg, batch, CheckpointConfig::disabled())
+    }
+
+    /// Fully explicit constructor: group-commit and checkpoint tuning.
+    pub fn new_with(
+        n: u32,
+        cfg: NetConfig,
+        batch: BatchConfig,
+        ckpt: CheckpointConfig,
     ) -> (SeqGroup, Vec<SeqMember>) {
         let (net, rxs) = SimNet::<SeqMsg>::new(n, cfg);
         let universe: Vec<HostId> = (0..n).map(HostId).collect();
@@ -881,6 +1270,7 @@ impl SeqGroup {
                     stats.clone(),
                     true,
                     batch,
+                    ckpt,
                 )
             })
             .collect();
@@ -890,11 +1280,13 @@ impl SeqGroup {
                 universe,
                 stats,
                 batch,
+                ckpt,
             },
             members,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_member(
         me: HostId,
         net: &SimNet<SeqMsg>,
@@ -903,6 +1295,7 @@ impl SeqGroup {
         stats: Arc<OrderStats>,
         initially_joined: bool,
         batch: BatchConfig,
+        ckpt: CheckpointConfig,
     ) -> SeqMember {
         let (dtx, drx) = crossbeam::channel::unbounded();
         let live: BTreeSet<HostId> = universe.iter().copied().collect();
@@ -943,17 +1336,27 @@ impl SeqGroup {
             spans: obs.spans_handle(),
             events: obs.events_handle(),
             log: Vec::new(),
+            log_base: 0,
+            checkpoint: None,
+            retired: HashMap::new(),
+            ckpt_cfg: ckpt,
             buffer: BTreeMap::new(),
             pending_submits: BTreeMap::new(),
             next_local: 1,
             nacked_for: None,
             failed_recorded: BTreeSet::new(),
+            ba_inserts: 0,
+            ba_removes: 0,
             coord_synced: initially_joined && me == universe[0],
             next_seq: 1,
             assigned: HashMap::new(),
+            last_marker: 0,
             recipients: live,
             sync_waiting: BTreeSet::new(),
             sync_records: BTreeMap::new(),
+            sync_checkpoint: None,
+            sync_retired: Vec::new(),
+            sync_failed: Vec::new(),
             buffered_submits: Vec::new(),
             buffered_nacks: Vec::new(),
             pending_fails: BTreeSet::new(),
@@ -1061,6 +1464,7 @@ impl SeqGroup {
             self.stats.clone(),
             false,
             self.batch,
+            self.ckpt,
         );
         let state = member.state.clone();
         let net = member.net.clone();
@@ -1144,6 +1548,11 @@ impl SeqGroup {
         self.batch
     }
 
+    /// The checkpoint/compaction configuration members run with.
+    pub fn checkpoint_config(&self) -> CheckpointConfig {
+        self.ckpt
+    }
+
     /// Tear down the network router.
     pub fn shutdown(&self) {
         self.net.shutdown();
@@ -1166,6 +1575,7 @@ impl SeqMember {
         st.next_local += 1;
         st.pending_submits.insert(local, payload.clone());
         st.broadcast_at.insert(local, Instant::now());
+        st.ba_inserts += 1;
         if st.is_coord() {
             let me = st.me;
             st.coord_submit(me, local, payload);
@@ -1188,14 +1598,53 @@ impl SeqMember {
         self.flush_timer.close();
     }
 
-    /// Number of records this member has delivered.
+    /// Number of records this member has delivered (or skipped past via a
+    /// checkpoint restore): the highest contiguous sequence number seen.
     pub fn delivered_count(&self) -> u64 {
-        self.state.lock().log_len()
+        self.state.lock().last_seq()
     }
 
-    /// Snapshot of the member's delivered log (tests/debugging).
+    /// Snapshot of the member's *retained* log (tests/debugging): the
+    /// records with sequence numbers `log_base()+1 ..= delivered_count()`.
+    /// With compaction off this is the full log from seq 1.
     pub fn log(&self) -> Vec<Record> {
         self.state.lock().log.clone()
+    }
+
+    /// Hand a state-machine checkpoint image back to the ordering layer.
+    ///
+    /// The application calls this after snapshotting its state machine at
+    /// a [`Delivery::Checkpoint`] boundary. The member records the image
+    /// (to serve joiners and laggards in O(state) instead of O(history))
+    /// and, if compaction is enabled, truncates its retained log up to
+    /// `image.seq`, advancing [`SeqMember::log_base`].
+    pub fn install_checkpoint(&self, image: CheckpointImage) {
+        self.state.lock().install_checkpoint(image);
+    }
+
+    /// The compaction watermark: records with `seq <= log_base()` have
+    /// been truncated from the retained log and are only reachable via
+    /// the installed checkpoint.
+    pub fn log_base(&self) -> u64 {
+        self.state.lock().log_base
+    }
+
+    /// Sequence number of the most recently installed checkpoint image,
+    /// or `None` if the application never handed one back.
+    pub fn checkpoint_seq(&self) -> Option<u64> {
+        self.state.lock().checkpoint.as_ref().map(|c| c.seq)
+    }
+
+    /// Number of records currently held in the retained log (memory
+    /// bound under compaction; tests assert this stays flat).
+    pub fn retained_log_len(&self) -> usize {
+        self.state.lock().log.len()
+    }
+
+    /// Number of out-of-order records parked in the reorder buffer
+    /// (tests assert it drains to zero once the stream is contiguous).
+    pub fn buffered_len(&self) -> usize {
+        self.state.lock().buffer.len()
     }
 
     /// This member's observability registry: the order-stage latency
@@ -1765,6 +2214,277 @@ mod tests {
         ms[0].broadcast(Bytes::from_static(b"1"));
         let _ = collect_n(&ms[0], 1, Duration::from_secs(2));
         assert_eq!(ms[0].delivered_count(), 1);
+        g.shutdown();
+    }
+
+    /// Like `drain_until`, but stands in for the application: whenever a
+    /// `Checkpoint` boundary is delivered, hand a synthetic state image
+    /// back to the member so compaction can run.
+    fn drain_installing<F: FnMut(&Delivery) -> bool>(
+        m: &SeqMember,
+        mut done: F,
+        within: Duration,
+    ) -> Vec<Delivery> {
+        let deadline = Instant::now() + within;
+        let mut out = Vec::new();
+        while Instant::now() < deadline {
+            match m.deliveries().recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => {
+                    if let Delivery::Checkpoint { seq } = d {
+                        m.install_checkpoint(CheckpointImage {
+                            seq,
+                            digest: 0,
+                            bytes: Bytes::from_static(b"state-image"),
+                        });
+                    }
+                    let stop = done(&d);
+                    out.push(d);
+                    if stop {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        out
+    }
+
+    fn drain_apps_installing(m: &SeqMember, apps: usize, within: Duration) -> Vec<Delivery> {
+        let mut seen = 0;
+        let mut ds = drain_installing(
+            m,
+            |d| {
+                if matches!(d, Delivery::App { .. }) {
+                    seen += 1;
+                }
+                seen >= apps
+            },
+            within,
+        );
+        // Grace drain: pick up (and install) any trailing markers.
+        ds.extend(drain_installing(m, |_| false, Duration::from_millis(100)));
+        ds
+    }
+
+    #[test]
+    fn compaction_bounds_retained_log() {
+        let ckpt = CheckpointConfig {
+            every: 4,
+            compaction: true,
+        };
+        let (g, ms) = SeqGroup::new_with(2, NetConfig::instant(), BatchConfig::disabled(), ckpt);
+        let total = 40;
+        for i in 0..total {
+            ms[0].broadcast(Bytes::from(format!("x{i}")));
+        }
+        for m in &ms {
+            let ds = drain_apps_installing(m, total, Duration::from_secs(5));
+            assert!(
+                ds.iter().any(|d| matches!(d, Delivery::Checkpoint { .. })),
+                "coordinator must emit ordered checkpoint markers"
+            );
+            assert!(
+                m.log_base() >= 40,
+                "compaction watermark must advance (log_base = {})",
+                m.log_base()
+            );
+            assert!(
+                m.retained_log_len() <= 2 * ckpt.every as usize,
+                "retained log must stay bounded, got {} records",
+                m.retained_log_len()
+            );
+        }
+        g.shutdown();
+    }
+
+    #[test]
+    fn rejoin_ships_checkpoint_and_tail_not_history() {
+        let ckpt = CheckpointConfig {
+            every: 4,
+            compaction: true,
+        };
+        let (g, ms) = SeqGroup::new_with(3, NetConfig::instant(), BatchConfig::disabled(), ckpt);
+        g.crash(HostId(2));
+        let _ = drain_installing(
+            &ms[0],
+            |d| matches!(d, Delivery::Fail { host, .. } if *host == HostId(2)),
+            Duration::from_secs(3),
+        );
+        let total = 20;
+        for i in 0..total {
+            ms[0].broadcast(Bytes::from(format!("x{i}")));
+        }
+        let _ = drain_apps_installing(&ms[0], total, Duration::from_secs(5));
+        let cp = ms[0]
+            .checkpoint_seq()
+            .expect("coordinator must hold a checkpoint");
+        assert!(cp >= total as u64, "checkpoint must cover the history");
+
+        let m2 = g.restart(HostId(2));
+        let ds = drain_until(
+            &m2,
+            |d| matches!(d, Delivery::Join { host, .. } if *host == HostId(2)),
+            Duration::from_secs(5),
+        );
+        assert!(
+            matches!(&ds[0], Delivery::Restore { image } if image.seq == cp),
+            "rejoin must start with the coordinator's checkpoint, got {:?}",
+            ds.first()
+        );
+        let replayed_apps = ds
+            .iter()
+            .filter(|d| matches!(d, Delivery::App { .. }))
+            .count();
+        assert!(
+            replayed_apps < total,
+            "joiner must replay only the tail past the checkpoint, replayed {replayed_apps}"
+        );
+        assert_eq!(m2.log_base(), cp, "joiner adopts the watermark");
+
+        // Liveness after a checkpointed rejoin.
+        m2.broadcast(Bytes::from_static(b"back"));
+        let ds2 = drain_until(
+            &m2,
+            |d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"back"),
+            Duration::from_secs(3),
+        );
+        assert!(!ds2.is_empty());
+        g.shutdown();
+    }
+
+    #[test]
+    fn nack_below_watermark_answered_with_snapshot() {
+        let ckpt = CheckpointConfig {
+            every: 4,
+            compaction: true,
+        };
+        let (g, ms) = SeqGroup::new_with(2, NetConfig::instant(), BatchConfig::disabled(), ckpt);
+        let total = 12;
+        for i in 0..total {
+            ms[0].broadcast(Bytes::from(format!("x{i}")));
+        }
+        // Only the coordinator compacts; member 1 drains without installing.
+        let _ = drain_apps_installing(&ms[0], total, Duration::from_secs(5));
+        let mut seen = 0;
+        let _ = drain_until(
+            &ms[1],
+            |d| {
+                if matches!(d, Delivery::App { .. }) {
+                    seen += 1;
+                }
+                seen >= total
+            },
+            Duration::from_secs(5),
+        );
+        let base = ms[0].log_base();
+        assert!(base > 2, "coordinator must have compacted");
+
+        // Force member 1 far behind the coordinator's watermark, as if it
+        // had missed a long stretch of traffic.
+        {
+            let mut st = ms[1].state.lock();
+            st.log.truncate(2);
+            st.buffer.clear();
+            st.nacked_for = None;
+        }
+
+        // The next record opens a gap whose NACK falls below the
+        // coordinator's log_base; the answer must be a full snapshot.
+        ms[0].broadcast(Bytes::from_static(b"extra"));
+        let ds = drain_until(
+            &ms[1],
+            |d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"extra"),
+            Duration::from_secs(5),
+        );
+        assert!(
+            ds.iter()
+                .any(|d| matches!(d, Delivery::Restore { image } if image.seq == base)),
+            "laggard must catch up via checkpoint restore, got {ds:?}"
+        );
+        assert_eq!(ms[1].log_base(), base);
+        assert_eq!(ms[1].buffered_len(), 0, "reorder buffer must drain");
+        assert_eq!(ms[1].delivered_count(), ms[0].delivered_count());
+        g.shutdown();
+    }
+
+    #[test]
+    fn stale_buffer_entries_pruned_once_contiguous() {
+        let (g, ms) = SeqGroup::new(2, NetConfig::instant());
+        for i in 0..3 {
+            ms[0].broadcast(Bytes::from(format!("x{i}")));
+        }
+        let _ = collect_n(&ms[1], 3, Duration::from_secs(3));
+        // Park already-logged records in the reorder buffer, as a belated
+        // retransmit that lost the race with normal delivery would.
+        {
+            let mut st = ms[1].state.lock();
+            let stale: Vec<Record> = st.log.iter().take(2).cloned().collect();
+            for r in stale {
+                st.buffer.insert(r.seq, r);
+            }
+            assert_eq!(st.buffer.len(), 2);
+        }
+        ms[0].broadcast(Bytes::from_static(b"next"));
+        let _ = drain_until(
+            &ms[1],
+            |d| matches!(d, Delivery::App { payload, .. } if &payload[..] == b"next"),
+            Duration::from_secs(3),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while ms[1].buffered_len() != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            ms[1].buffered_len(),
+            0,
+            "stale records below the contiguous frontier must be pruned"
+        );
+        assert_logs_converge(&ms[0], &ms[1], Duration::from_secs(3));
+        g.shutdown();
+    }
+
+    #[test]
+    fn broadcast_timestamps_drain_at_quiescence() {
+        let batch = BatchConfig {
+            window: Duration::from_millis(2),
+            ..BatchConfig::default()
+        };
+        let (g, ms) = SeqGroup::new_with_batch(3, NetConfig::instant(), batch);
+        let ms = Arc::new(ms);
+        let per = 50;
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let ms = ms.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        ms[i].broadcast(Bytes::from(format!("{i}:{k}")));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for m in ms.iter() {
+            let _ = collect_n(m, per * 3, Duration::from_secs(10));
+            let deadline = Instant::now() + Duration::from_secs(3);
+            loop {
+                let (inserts, removes, live) = {
+                    let st = m.state.lock();
+                    (st.ba_inserts, st.ba_removes, st.broadcast_at.len())
+                };
+                if inserts == removes && live == 0 {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "host {:?} leaked broadcast timestamps: {inserts} inserts, \
+                     {removes} removes, {live} live",
+                    m.host()
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
         g.shutdown();
     }
 }

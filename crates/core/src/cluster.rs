@@ -24,7 +24,7 @@
 use crate::flight::{FlightRecorder, FlightSection};
 use crate::runtime::Runtime;
 use crate::server::{events_json_lines, ExporterSources, HttpExporter};
-use consul_sim::{BatchConfig, HostId, NetConfig, SeqGroup};
+use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
@@ -41,6 +41,7 @@ pub struct ClusterBuilder {
     net: NetConfig,
     divergence_period: Option<Duration>,
     batch: BatchConfig,
+    ckpt: CheckpointConfig,
     http: bool,
     http_base_port: u16,
     flight_dir: Option<PathBuf>,
@@ -53,6 +54,7 @@ impl Default for ClusterBuilder {
             net: NetConfig::instant(),
             divergence_period: Some(Duration::from_millis(10)),
             batch: BatchConfig::default(),
+            ckpt: CheckpointConfig::default(),
             http: true,
             http_base_port: 0,
             flight_dir: None,
@@ -132,6 +134,32 @@ impl ClusterBuilder {
         self
     }
 
+    /// Order a checkpoint boundary roughly every `n` records. At each
+    /// boundary every replica snapshots its kernel, the ordering layer
+    /// truncates its log behind the boundary, and joiners/laggards are
+    /// served the image plus only the log tail past it — rejoin cost is
+    /// O(live state), not O(history). `0` disables checkpointing.
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.ckpt.every = n;
+        self
+    }
+
+    /// Keep taking periodic checkpoints but never truncate the log
+    /// (joiners are still served the image; memory grows with history).
+    /// Mostly useful for debugging compaction itself.
+    pub fn no_compaction(mut self) -> Self {
+        self.ckpt.compaction = false;
+        self
+    }
+
+    /// Disable checkpointing entirely: rejoin replays the full ordered
+    /// log from sequence 1, wire-identical to the pre-checkpoint
+    /// protocol. Benchmarks with exact message-count assertions use this.
+    pub fn no_checkpoints(mut self) -> Self {
+        self.ckpt = CheckpointConfig::disabled();
+        self
+    }
+
     /// Do not start per-member HTTP exporters.
     pub fn no_http(mut self) -> Self {
         self.http = false;
@@ -160,7 +188,7 @@ impl ClusterBuilder {
 
     /// Build the cluster and one runtime per host.
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
-        let (group, members) = SeqGroup::new_with_batch(self.hosts, self.net, self.batch);
+        let (group, members) = SeqGroup::new_with(self.hosts, self.net, self.batch, self.ckpt);
         let runtimes: Vec<Runtime> = members.into_iter().map(Runtime::new).collect();
         let by_host: HashMap<HostId, Runtime> =
             runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
@@ -485,6 +513,11 @@ impl Cluster {
         self.group.batch_config()
     }
 
+    /// The checkpoint/compaction configuration the sequencer runs with.
+    pub fn checkpoint_config(&self) -> CheckpointConfig {
+        self.group.checkpoint_config()
+    }
+
     /// Tear everything down (idempotent).
     pub fn shutdown(&self) {
         self.stop.store(true, AtomicOrdering::Relaxed);
@@ -541,6 +574,11 @@ fn member_health_json(host: HostId, live: &HashSet<HostId>, rt: Option<&Runtime>
                 ",\"applied_seq\":{seq},\"digest\":\"{dig:#018x}\",\"blocked\":{}",
                 rt.blocked_len()
             ));
+            match rt.checkpoint_seq() {
+                Some(cs) => out.push_str(&format!(",\"checkpoint_seq\":{cs}")),
+                None => out.push_str(",\"checkpoint_seq\":null"),
+            }
+            out.push_str(&format!(",\"log_base\":{}", rt.log_base()));
             match rt.rejoin_error() {
                 Some(e) => out.push_str(&format!(
                     ",\"rejoin_error\":\"{}\"",

@@ -18,6 +18,13 @@ pub enum FtError {
     Timeout,
     /// The AGS failed static validation before submission.
     Invalid(ftlinda_ags::AgsError),
+    /// This host's replica was replaced wholesale by a checkpoint image
+    /// (it fell behind the cluster's log-compaction watermark and caught
+    /// up via state transfer). In-flight calls at the jump are
+    /// indeterminate — the AGS may or may not have executed inside the
+    /// restored state — so the caller must re-inspect and resubmit
+    /// idempotently.
+    StateTransfer,
 }
 
 impl fmt::Display for FtError {
@@ -27,6 +34,9 @@ impl fmt::Display for FtError {
             FtError::Shutdown => write!(f, "FT-Linda runtime shut down"),
             FtError::Timeout => write!(f, "timed out waiting for AGS"),
             FtError::Invalid(e) => write!(f, "invalid AGS: {e}"),
+            FtError::StateTransfer => {
+                write!(f, "replica state replaced by checkpoint transfer")
+            }
         }
     }
 }
@@ -59,5 +69,6 @@ mod tests {
         assert!(FtError::Invalid(ftlinda_ags::AgsError::NoBranches)
             .to_string()
             .contains("invalid"));
+        assert!(FtError::StateTransfer.to_string().contains("checkpoint"));
     }
 }

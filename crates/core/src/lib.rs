@@ -48,7 +48,7 @@ pub use runtime::{pattern_fields, rebuild_tuple, AgsHandle, CompletionOk, FtEven
 pub use server::{events_json_lines, ExporterSources, HttpExporter, RpcClient, TupleServer};
 
 // Re-export the pieces users need to build AGSs and patterns.
-pub use consul_sim::{BatchConfig, HostId, NetConfig};
+pub use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig};
 pub use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
 pub use ftlinda_kernel::{ExecError, FAILURE_TUPLE_HEAD};
 /// Observability primitives (metrics registry, histograms, event sink).

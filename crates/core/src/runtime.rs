@@ -141,7 +141,26 @@ impl Runtime {
                 // of re-acquiring per record.
                 let mut run = vec![d];
                 run.extend(member.deliveries().try_iter().take(255));
-                shared.kernel.lock().apply_all(&run);
+                let pending = {
+                    let mut k = shared.kernel.lock();
+                    k.apply_all(&run);
+                    k.take_pending_checkpoint()
+                };
+                // An ordered checkpoint boundary was in the run: the
+                // kernel snapshotted itself there; hand the image back to
+                // the ordering layer so it can truncate its log and serve
+                // joiners in O(state).
+                if let Some(image) = pending {
+                    shared.obs.events_handle().emit(linda_obs::Event::new(
+                        "checkpoint_taken",
+                        vec![
+                            ("host".into(), host.to_string()),
+                            ("seq".into(), image.seq.to_string()),
+                            ("bytes".into(), image.bytes.len().to_string()),
+                        ],
+                    ));
+                    member.install_checkpoint(image);
+                }
                 // Route kernel notes produced by this apply.
                 for note in note_rx.try_iter() {
                     let routed_at = Instant::now();
@@ -183,6 +202,34 @@ impl Runtime {
                         }
                         KernelNote::HostJoined { host, .. } => {
                             Self::publish(&shared, FtEvent::HostJoined(host));
+                        }
+                        KernelNote::Restored { seq } => {
+                            shared.obs.events_handle().emit(linda_obs::Event::new(
+                                "state_restored",
+                                vec![
+                                    ("host".into(), host.to_string()),
+                                    ("seq".into(), seq.to_string()),
+                                ],
+                            ));
+                            // The replica jumped to a checkpoint image:
+                            // calls in flight across the jump are
+                            // indeterminate (their records may lie inside
+                            // the compacted history). Fail their waiters
+                            // explicitly rather than leaving them hung.
+                            let mut w = shared.waiting.lock();
+                            for (_, (tx, _)) in w.drain() {
+                                let _ = tx.send(Err(FtError::StateTransfer));
+                            }
+                        }
+                        KernelNote::RestoreFailed { seq, ref error } => {
+                            shared.obs.events_handle().emit(linda_obs::Event::new(
+                                "restore_failed",
+                                vec![
+                                    ("host".into(), host.to_string()),
+                                    ("seq".into(), seq.to_string()),
+                                    ("error".into(), error.to_string()),
+                                ],
+                            ));
                         }
                         KernelNote::Malformed { .. } => {}
                     }
@@ -409,6 +456,24 @@ impl Runtime {
     pub fn applied_digest(&self) -> (u64, u64) {
         let k = self.shared.kernel.lock();
         (k.applied_seq(), k.digest())
+    }
+
+    /// Sequence number of the checkpoint image this host's ordering
+    /// member currently holds, or `None` before the first boundary.
+    pub fn checkpoint_seq(&self) -> Option<u64> {
+        self.member.checkpoint_seq()
+    }
+
+    /// This host's log-compaction watermark: ordered records at or below
+    /// it have been truncated and are served from the checkpoint.
+    pub fn log_base(&self) -> u64 {
+        self.member.log_base()
+    }
+
+    /// Number of ordered records currently retained in this host's log
+    /// (bounded under compaction).
+    pub fn retained_log_len(&self) -> usize {
+        self.member.retained_log_len()
     }
 
     // ----- observability ----------------------------------------------------

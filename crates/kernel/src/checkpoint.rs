@@ -1,0 +1,273 @@
+//! Kernel checkpoint images: codec serialization of the replicated
+//! state machine.
+//!
+//! A checkpoint captures everything a replica needs to stand in for a
+//! full log replay up to the sequence number it was taken at: the name →
+//! space-id table, every stable space's tuples in insertion order, the
+//! blocked-AGS queue in arrival order, and the applied sequence number.
+//! The image also records the kernel digest at capture time; a restore
+//! recomputes the digest from the rebuilt state and refuses the image on
+//! mismatch — the round-trip-equals-digest guarantee the convergence
+//! tests lean on.
+//!
+//! Deliberately **not** serialized: scratch spaces (owner-local,
+//! volatile) and observability handles (per-host). Internal allocation
+//! counters (store sequence numbers, blocked-queue ids) are renumbered
+//! densely on restore; only their *relative* order is semantically
+//! meaningful (oldest-match and FIFO-fair wakeup), and relative order is
+//! preserved, so a restored replica and a log-replaying replica evolve
+//! identically from the checkpoint seq onward.
+
+use bytes::{Buf, BufMut, Bytes};
+use ftlinda_ags::{decode_ags, encode_ags, Ags, WireError};
+use linda_tuple::{get_tuple, get_uvarint, put_tuple, put_uvarint, DecodeError, Tuple};
+use std::fmt;
+
+/// A serialized kernel state image, as produced by
+/// [`crate::Kernel::checkpoint`] and consumed by
+/// [`crate::Kernel::restore`]. This is the `consul_sim::CheckpointImage`
+/// the ordering layer ships opaquely in `SeqMsg::Snapshot`.
+pub type KernelCheckpoint = consul_sim::CheckpointImage;
+
+/// Why a checkpoint image could not be restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The image bytes start with an unknown format version.
+    BadVersion(u8),
+    /// A codec-level decode failure (truncated or corrupt image).
+    Codec(DecodeError),
+    /// An embedded blocked AGS failed to decode.
+    Ags(WireError),
+    /// The state rebuilt from the image hashes to a different digest
+    /// than the one recorded at capture time.
+    DigestMismatch {
+        /// Digest recorded in the image.
+        expected: u64,
+        /// Digest of the rebuilt state.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadVersion(v) => write!(f, "unknown checkpoint version {v}"),
+            CheckpointError::Codec(e) => write!(f, "checkpoint decode failed: {e:?}"),
+            CheckpointError::Ags(e) => write!(f, "blocked AGS decode failed: {e:?}"),
+            CheckpointError::DigestMismatch { expected, actual } => write!(
+                f,
+                "restored state digest {actual:#x} != recorded {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> Self {
+        CheckpointError::Codec(e)
+    }
+}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        CheckpointError::Ags(e)
+    }
+}
+
+/// One blocked AGS as it appears in an image. The guard-index keys are
+/// not serialized; the restorer recomputes them with `guard_keys`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BlockedImage {
+    pub seq: u64,
+    pub origin: u32,
+    pub local: u64,
+    pub ags: Ags,
+}
+
+/// The neutral, field-by-field view of kernel state that the codec
+/// serializes. `Kernel` converts itself to and from this.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct KernelImage {
+    pub applied: u64,
+    pub digest: u64,
+    pub next_ts: u32,
+    /// `(name, id)` pairs, sorted by name (the kernel's map order).
+    pub names: Vec<(String, u32)>,
+    /// `(id, tuples-in-insertion-order)` per stable space, ascending id.
+    pub spaces: Vec<(u32, Vec<Tuple>)>,
+    /// Blocked AGSs in arrival (wakeup-priority) order.
+    pub blocked: Vec<BlockedImage>,
+}
+
+const VERSION: u8 = 1;
+
+pub(crate) fn encode_image(img: &KernelImage) -> Bytes {
+    let mut buf = Vec::with_capacity(64);
+    buf.put_u8(VERSION);
+    put_uvarint(&mut buf, img.applied);
+    put_uvarint(&mut buf, img.digest);
+    put_uvarint(&mut buf, img.next_ts as u64);
+    put_uvarint(&mut buf, img.names.len() as u64);
+    for (name, id) in &img.names {
+        put_uvarint(&mut buf, name.len() as u64);
+        buf.put_slice(name.as_bytes());
+        put_uvarint(&mut buf, *id as u64);
+    }
+    put_uvarint(&mut buf, img.spaces.len() as u64);
+    for (id, tuples) in &img.spaces {
+        put_uvarint(&mut buf, *id as u64);
+        put_uvarint(&mut buf, tuples.len() as u64);
+        for t in tuples {
+            put_tuple(&mut buf, t);
+        }
+    }
+    put_uvarint(&mut buf, img.blocked.len() as u64);
+    for b in &img.blocked {
+        put_uvarint(&mut buf, b.seq);
+        put_uvarint(&mut buf, b.origin as u64);
+        put_uvarint(&mut buf, b.local);
+        let ags = encode_ags(&b.ags);
+        put_uvarint(&mut buf, ags.len() as u64);
+        buf.put_slice(&ags);
+    }
+    Bytes::from(buf)
+}
+
+pub(crate) fn decode_image(mut buf: &[u8]) -> Result<KernelImage, CheckpointError> {
+    if buf.is_empty() {
+        return Err(DecodeError::UnexpectedEof.into());
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let applied = get_uvarint(&mut buf)?;
+    let digest = get_uvarint(&mut buf)?;
+    let next_ts = get_uvarint(&mut buf)? as u32;
+    let n_names = get_uvarint(&mut buf)? as usize;
+    let mut names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        let len = get_uvarint(&mut buf)? as usize;
+        if len > buf.len() {
+            return Err(DecodeError::LengthOverrun {
+                declared: len,
+                remaining: buf.len(),
+            }
+            .into());
+        }
+        let name = std::str::from_utf8(&buf[..len])
+            .map_err(|_| DecodeError::BadUtf8)?
+            .to_owned();
+        buf.advance(len);
+        let id = get_uvarint(&mut buf)? as u32;
+        names.push((name, id));
+    }
+    let n_spaces = get_uvarint(&mut buf)? as usize;
+    let mut spaces = Vec::with_capacity(n_spaces);
+    for _ in 0..n_spaces {
+        let id = get_uvarint(&mut buf)? as u32;
+        let n_tuples = get_uvarint(&mut buf)? as usize;
+        let mut tuples = Vec::with_capacity(n_tuples.min(1024));
+        for _ in 0..n_tuples {
+            tuples.push(get_tuple(&mut buf)?);
+        }
+        spaces.push((id, tuples));
+    }
+    let n_blocked = get_uvarint(&mut buf)? as usize;
+    let mut blocked = Vec::with_capacity(n_blocked.min(1024));
+    for _ in 0..n_blocked {
+        let seq = get_uvarint(&mut buf)?;
+        let origin = get_uvarint(&mut buf)? as u32;
+        let local = get_uvarint(&mut buf)?;
+        let len = get_uvarint(&mut buf)? as usize;
+        if len > buf.len() {
+            return Err(DecodeError::LengthOverrun {
+                declared: len,
+                remaining: buf.len(),
+            }
+            .into());
+        }
+        let ags = decode_ags(&buf[..len])?;
+        buf.advance(len);
+        blocked.push(BlockedImage {
+            seq,
+            origin,
+            local,
+            ags,
+        });
+    }
+    Ok(KernelImage {
+        applied,
+        digest,
+        next_ts,
+        names,
+        spaces,
+        blocked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftlinda_ags::{MatchField, TsId};
+    use linda_tuple::tuple;
+
+    fn image() -> KernelImage {
+        KernelImage {
+            applied: 42,
+            digest: 0xdead_beef_cafe,
+            next_ts: 2,
+            names: vec![("a".into(), 0), ("b".into(), 1)],
+            spaces: vec![(0, vec![tuple!("x", 1), tuple!("y", 2.5)]), (1, Vec::new())],
+            blocked: vec![BlockedImage {
+                seq: 7,
+                origin: 3,
+                local: 9,
+                ags: Ags::in_one(
+                    TsId(0),
+                    vec![
+                        MatchField::actual("job"),
+                        MatchField::bind(linda_tuple::TypeTag::Int),
+                    ],
+                )
+                .unwrap(),
+            }],
+        }
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let img = image();
+        let bytes = encode_image(&img);
+        assert_eq!(decode_image(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn empty_image_rejected() {
+        assert!(matches!(
+            decode_image(&[]),
+            Err(CheckpointError::Codec(DecodeError::UnexpectedEof))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        assert!(matches!(
+            decode_image(&[99]),
+            Err(CheckpointError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let bytes = encode_image(&image());
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_image(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //! `origin == self`) and client notifications (only the origin host
 //! resolves its client's waiting call).
 
+use crate::checkpoint::{
+    decode_image, encode_image, BlockedImage, CheckpointError, KernelCheckpoint, KernelImage,
+};
 use crate::exec::{guard_keys, try_execute, ExecError, TryOutcome};
 use crate::proto::{decode_request, Request};
 use consul_sim::{Delivery, HostId, LocalId};
@@ -69,6 +72,23 @@ pub enum KernelNote {
         /// Origin of the bad record.
         origin: HostId,
     },
+    /// The kernel replaced its entire state with a checkpoint image
+    /// (rejoin, or catch-up after falling behind the coordinator's
+    /// compaction watermark). Any local call submitted before the
+    /// restore is indeterminate — the runtime fails its waiters.
+    Restored {
+        /// Sequence number the image captures.
+        seq: u64,
+    },
+    /// A checkpoint image failed to decode or verify; the kernel kept
+    /// its previous state. The replica is now behind and will stay so —
+    /// surfaced to the operator rather than silently diverging.
+    RestoreFailed {
+        /// Sequence number of the rejected image.
+        seq: u64,
+        /// Why the restore was refused.
+        error: CheckpointError,
+    },
 }
 
 /// A blocked AGS waiting for some guard to become satisfiable.
@@ -99,6 +119,9 @@ struct KernelObs {
     /// Causal-trace ring: "apply"/"block" per applied AGS, "wake" when a
     /// blocked guard later fires.
     spans: Arc<linda_obs::SpanLog>,
+    ckpt_hist: Arc<linda_obs::Histogram>,
+    ckpt_bytes: Arc<linda_obs::Gauge>,
+    ckpt_seq: Arc<linda_obs::Gauge>,
 }
 
 /// The replicated tuple-space state machine for one host.
@@ -119,6 +142,9 @@ pub struct Kernel {
     guard_index: HashMap<(TsId, u64), BTreeSet<u64>>,
     notes: crossbeam::channel::Sender<KernelNote>,
     applied: u64,
+    /// Image produced by the last `Delivery::Checkpoint` boundary, held
+    /// until the runtime hands it to the ordering layer for compaction.
+    pending_checkpoint: Option<KernelCheckpoint>,
     obs: Option<KernelObs>,
 }
 
@@ -136,6 +162,7 @@ impl Kernel {
             guard_index: HashMap::new(),
             notes,
             applied: 0,
+            pending_checkpoint: None,
             obs: None,
         }
     }
@@ -173,6 +200,18 @@ impl Kernel {
                 "Totally-ordered records applied by this kernel",
             ),
             spans: reg.spans_handle(),
+            ckpt_hist: reg.histogram(
+                "ftlinda_checkpoint_seconds",
+                "Time to serialize a kernel checkpoint image",
+            ),
+            ckpt_bytes: reg.gauge(
+                "ftlinda_checkpoint_bytes",
+                "Size of the last kernel checkpoint image",
+            ),
+            ckpt_seq: reg.gauge(
+                "ftlinda_checkpoint_seq",
+                "Sequence number of the last kernel checkpoint",
+            ),
         });
     }
 
@@ -227,6 +266,18 @@ impl Kernel {
     }
 
     fn apply_inner(&mut self, d: &Delivery) {
+        if let Delivery::Restore { image } = d {
+            // Handled before the `applied` bump: a refused image must
+            // leave the kernel exactly where it was.
+            match self.restore(image) {
+                Ok(()) => self.note(KernelNote::Restored { seq: image.seq }),
+                Err(error) => self.note(KernelNote::RestoreFailed {
+                    seq: image.seq,
+                    error,
+                }),
+            }
+            return;
+        }
         self.applied = d.seq();
         match d {
             Delivery::App {
@@ -274,6 +325,21 @@ impl Kernel {
                     host: *host,
                 });
             }
+            Delivery::Checkpoint { .. } => {
+                // The boundary is ordered like any record, so every
+                // replica snapshots the identical state here. The image
+                // is parked for the runtime to hand to the ordering
+                // layer, which truncates its log behind it.
+                let t0 = Instant::now();
+                let image = self.checkpoint();
+                if let Some(obs) = &self.obs {
+                    obs.ckpt_hist.observe(t0.elapsed());
+                    obs.ckpt_bytes.set(image.bytes.len() as i64);
+                    obs.ckpt_seq.set(image.seq as i64);
+                }
+                self.pending_checkpoint = Some(image);
+            }
+            Delivery::Restore { .. } => unreachable!("handled above"),
         }
     }
 
@@ -602,18 +668,129 @@ impl Kernel {
     /// blocked queue — equal digests ⇒ converged replicas. Used heavily
     /// by the replica-consistency tests.
     pub fn digest(&self) -> u64 {
+        Self::digest_of(&self.stables, &self.blocked)
+    }
+
+    /// The digest computation proper, over explicit state. Restore uses
+    /// this to verify a rebuilt candidate *before* committing it.
+    fn digest_of(
+        stables: &BTreeMap<TsId, IndexedStore>,
+        blocked: &BTreeMap<u64, BlockedAgs>,
+    ) -> u64 {
         let mut h = linda_tuple::StableHasher::default();
-        for (id, store) in &self.stables {
+        for (id, store) in stables {
             h.write_u64(id.0 as u64 + 0x9e37);
             for t in store.snapshot() {
                 t.hash(&mut h);
             }
         }
-        h.write_u64(0xb10c * (self.blocked.len() as u64 + 1));
-        for b in self.blocked.values() {
+        h.write_u64(0xb10c * (blocked.len() as u64 + 1));
+        for b in blocked.values() {
             h.write_u64(b.seq);
         }
         h.finish()
+    }
+
+    // ----- checkpoint / restore ------------------------------------------
+
+    /// Serialize the replicated state — every stable space, the blocked
+    /// queue, the name table, and the applied sequence number — into a
+    /// self-verifying image. Scratch spaces are owner-local and excluded.
+    pub fn checkpoint(&self) -> KernelCheckpoint {
+        let digest = self.digest();
+        let img = KernelImage {
+            applied: self.applied,
+            digest,
+            next_ts: self.next_ts,
+            names: self.names.iter().map(|(n, id)| (n.clone(), id.0)).collect(),
+            spaces: self
+                .stables
+                .iter()
+                .map(|(id, s)| (id.0, s.snapshot()))
+                .collect(),
+            blocked: self
+                .blocked
+                .values()
+                .map(|b| BlockedImage {
+                    seq: b.seq,
+                    origin: b.origin.0,
+                    local: b.local,
+                    ags: b.ags.clone(),
+                })
+                .collect(),
+        };
+        KernelCheckpoint {
+            seq: self.applied,
+            digest,
+            bytes: encode_image(&img),
+        }
+    }
+
+    /// Replace the replicated state with a checkpoint image. The rebuilt
+    /// state is digest-verified against the digest recorded at capture
+    /// time before anything is committed: on any error the kernel is
+    /// untouched. Blocked-queue ids are renumbered densely; arrival
+    /// order (and therefore wakeup fairness and the digest) is preserved.
+    pub fn restore(&mut self, image: &KernelCheckpoint) -> Result<(), CheckpointError> {
+        let img = decode_image(&image.bytes)?;
+        // The wrapper's digest must agree with the one sealed inside the
+        // image bytes — a mismatch means the envelope and payload were
+        // separated or tampered with in transit.
+        if image.digest != img.digest {
+            return Err(CheckpointError::DigestMismatch {
+                expected: image.digest,
+                actual: img.digest,
+            });
+        }
+        let mut stables = BTreeMap::new();
+        for (id, tuples) in img.spaces {
+            let mut store = IndexedStore::new();
+            for t in tuples {
+                store.insert(t);
+            }
+            stables.insert(TsId(id), store);
+        }
+        let mut blocked = BTreeMap::new();
+        let mut guard_index: HashMap<(TsId, u64), BTreeSet<u64>> = HashMap::new();
+        for (id, b) in img.blocked.into_iter().enumerate() {
+            let keys = guard_keys(&b.ags, b.origin, b.seq);
+            for k in &keys {
+                guard_index.entry(*k).or_default().insert(id as u64);
+            }
+            blocked.insert(
+                id as u64,
+                BlockedAgs {
+                    seq: b.seq,
+                    origin: HostId(b.origin),
+                    local: b.local,
+                    ags: b.ags,
+                    keys,
+                },
+            );
+        }
+        let actual = Self::digest_of(&stables, &blocked);
+        if actual != img.digest {
+            return Err(CheckpointError::DigestMismatch {
+                expected: img.digest,
+                actual,
+            });
+        }
+        self.stables = stables;
+        self.blocked = blocked;
+        self.guard_index = guard_index;
+        self.next_blocked_id = self.blocked.len() as u64;
+        self.names = img.names.into_iter().map(|(n, id)| (n, TsId(id))).collect();
+        self.next_ts = img.next_ts;
+        self.applied = img.applied;
+        self.pending_checkpoint = None;
+        Ok(())
+    }
+
+    /// Take the image produced by the last applied checkpoint boundary,
+    /// if any. The runtime calls this after `apply_all` and installs the
+    /// image into the ordering layer, which compacts its log behind it.
+    pub fn take_pending_checkpoint(&mut self) -> Option<KernelCheckpoint> {
+        self.pending_checkpoint.take()
     }
 }
 

@@ -13,11 +13,13 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod exec;
 #[path = "kernel.rs"]
 mod kernel_mod;
 mod proto;
 
+pub use checkpoint::{CheckpointError, KernelCheckpoint};
 pub use exec::{probe_guard, try_execute, ExecError, TryOutcome};
 pub use kernel_mod::{Kernel, KernelNote, FAILURE_TUPLE_HEAD};
 pub use proto::{decode_request, encode_request, Request};

@@ -25,4 +25,11 @@ cargo bench -p linda-bench --bench msgs_per_ags -- --test
 echo "==> HTTP exporter smoke (3-member cluster, curl every member)"
 ./scripts/obs_smoke.sh
 
+echo "==> long-history rejoin smoke (O(state) checkpoint transfer)"
+# Crashes a host, orders 1k then 10k records of history with constant
+# live state, restarts it, and asserts the rejoin transfer bytes do not
+# grow with history (release build: the 10k run is the slow part).
+cargo test --release -q -p ftlinda --test checkpoint_tests \
+    rejoin_bytes_scale_with_state_not_history -- --exact
+
 echo "CI green."
