@@ -1,0 +1,184 @@
+//! Probes-per-match: the price of a tuple lookup as the space grows.
+//!
+//! The paper's implementation chapter argues that hash-based tuple
+//! matching keeps `in`/`rd` cost roughly independent of tuple-space
+//! size, while a naive linear store degrades with every resident tuple.
+//! The match-probe counters added to both stores let us measure that
+//! directly: for 10 / 1 000 / 100 000 resident tuples spread over 64
+//! distinct head values, we count how many tuples each store *examines*
+//! per `rd` — once for a pattern that matches (hit) and once for a
+//! same-signature pattern that matches nothing (miss, the worst case:
+//! every candidate must be probed).
+//!
+//! Besides the printed table, the run writes a `BENCH_match_probes.json`
+//! artifact (to `$BENCH_MATCH_PROBES_JSON` or the working directory).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linda_space::{IndexedStore, LinearStore, Store};
+use linda_tuple::{pat, tuple, Pattern};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const SIZES: [usize; 3] = [10, 1_000, 100_000];
+const HEADS: usize = 64;
+
+struct Point {
+    store: &'static str,
+    tuples: usize,
+    case: &'static str,
+    attempts: u64,
+    probes: u64,
+    ns_per_op: f64,
+}
+
+impl Point {
+    fn probes_per_match(&self) -> f64 {
+        self.probes as f64 / self.attempts.max(1) as f64
+    }
+}
+
+fn fill(store: &mut dyn Store, n: usize) {
+    for i in 0..n {
+        store.insert(tuple!(format!("key{}", i % HEADS), i as i64));
+    }
+}
+
+/// Repeat `rd` with `p` and return (attempts, probes, ns/op) deltas.
+fn measure(store: &dyn Store, p: &Pattern, iters: usize) -> (u64, u64, f64) {
+    let before = store.match_stats();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(store.read(std::hint::black_box(p)));
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let d = store.match_stats().since(&before);
+    (d.attempts, d.probes, ns)
+}
+
+fn run_store(store: &mut dyn Store, name: &'static str, n: usize, out: &mut Vec<Point>) {
+    fill(store, n);
+    // Keep total probe work bounded as n grows.
+    let iters = (1_000_000 / n.max(1)).clamp(20, 10_000);
+    // Hit: the oldest tuple with head "key63" (present for every size
+    // since HEADS divides into each n at least once except n=10, where
+    // "key9" is the largest head — pick one that always exists).
+    let hit = pat!("key9", ?int);
+    // Miss, same signature: no tuple carries a negative payload, so
+    // every same-signature candidate is probed and rejected.
+    let miss = pat!("key9", -1);
+    for (case, p) in [("hit", &hit), ("miss", &miss)] {
+        let (attempts, probes, ns) = measure(store, p, iters);
+        out.push(Point {
+            store: name,
+            tuples: n,
+            case,
+            attempts,
+            probes,
+            ns_per_op: ns,
+        });
+    }
+    store.clear();
+}
+
+fn write_artifact(points: &[Point]) {
+    let mut json = String::from("{\n  \"bench\": \"match_probes\",\n");
+    let _ = writeln!(json, "  \"heads\": {HEADS},\n  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"store\": \"{}\", \"tuples\": {}, \"case\": \"{}\", \
+             \"attempts\": {}, \"probes\": {}, \"probes_per_match\": {:.3}, \
+             \"ns_per_op\": {:.1}}}{comma}",
+            p.store,
+            p.tuples,
+            p.case,
+            p.attempts,
+            p.probes,
+            p.probes_per_match(),
+            p.ns_per_op,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::env::var("BENCH_MATCH_PROBES_JSON")
+        .unwrap_or_else(|_| "BENCH_match_probes.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nProbes per match — {HEADS} head values, hit vs same-signature miss:");
+    println!(
+        "    {:<9} {:>8} {:>6} {:>10} {:>16} {:>12}",
+        "store", "tuples", "case", "attempts", "probes/match", "ns/op"
+    );
+    let mut points = Vec::new();
+    for n in SIZES {
+        run_store(&mut IndexedStore::new(), "indexed", n, &mut points);
+        run_store(&mut LinearStore::new(), "linear", n, &mut points);
+    }
+    for p in &points {
+        println!(
+            "    {:<9} {:>8} {:>6} {:>10} {:>16.3} {:>12.1}",
+            p.store,
+            p.tuples,
+            p.case,
+            p.attempts,
+            p.probes_per_match(),
+            p.ns_per_op,
+        );
+    }
+    println!();
+    // The claim under test: the indexed store's probe count stays flat
+    // (bounded by one head bucket) while the linear store degrades with
+    // the resident-tuple count.
+    for n in SIZES {
+        let probes = |store: &str, case: &str| {
+            points
+                .iter()
+                .find(|p| p.store == store && p.tuples == n && p.case == case)
+                .unwrap()
+                .probes_per_match()
+        };
+        assert!(
+            probes("indexed", "hit") <= 2.0,
+            "indexed hit at {n} tuples should probe O(1) (head index)"
+        );
+        assert!(
+            probes("indexed", "miss") <= (n / HEADS) as f64 + 1.0,
+            "indexed miss at {n} tuples is bounded by one head bucket"
+        );
+        assert!(
+            probes("linear", "miss") >= n as f64,
+            "linear miss must scan the whole store"
+        );
+        if n >= 1_000 {
+            assert!(
+                probes("indexed", "miss") < probes("linear", "miss"),
+                "index must beat linear scan at {n} tuples"
+            );
+        }
+    }
+    write_artifact(&points);
+
+    // Criterion angle: one rd against 1k resident tuples per store.
+    let mut g = c.benchmark_group("match_probes");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut indexed = IndexedStore::new();
+    fill(&mut indexed, 1_000);
+    let mut linear = LinearStore::new();
+    fill(&mut linear, 1_000);
+    let miss = pat!("key9", -1);
+    g.bench_function("indexed_miss_1k", |b| {
+        b.iter(|| std::hint::black_box(indexed.read(std::hint::black_box(&miss))))
+    });
+    g.bench_function("linear_miss_1k", |b| {
+        b.iter(|| std::hint::black_box(linear.read(std::hint::black_box(&miss))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

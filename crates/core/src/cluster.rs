@@ -22,8 +22,8 @@
 //! `rejoin_failed` events ([`ClusterBuilder::flight_dir`]).
 
 use crate::flight::{FlightRecorder, FlightSection};
-use crate::runtime::Runtime;
-use crate::server::{events_json_lines, ExporterSources, HttpExporter};
+use crate::runtime::{Runtime, RuntimeConfig};
+use crate::server::{events_json_lines, http_post_metrics, ExporterSources, HttpExporter};
 use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -45,6 +45,9 @@ pub struct ClusterBuilder {
     http: bool,
     http_base_port: u16,
     flight_dir: Option<PathBuf>,
+    starvation_after: Duration,
+    introspection: bool,
+    push: Option<(String, Duration)>,
 }
 
 impl Default for ClusterBuilder {
@@ -58,6 +61,9 @@ impl Default for ClusterBuilder {
             http: true,
             http_base_port: 0,
             flight_dir: None,
+            starvation_after: Duration::from_secs(5),
+            introspection: true,
+            push: None,
         }
     }
 }
@@ -177,6 +183,33 @@ impl ClusterBuilder {
         self
     }
 
+    /// Starvation-watchdog threshold: a blocked AGS older than this emits
+    /// an `ags_starving` event (and again at every further multiple) and
+    /// shows `"starving": true` in `/introspect`. Default 5 s;
+    /// `Duration::ZERO` disables the watchdog.
+    pub fn starvation_after(mut self, threshold: Duration) -> Self {
+        self.starvation_after = threshold;
+        self
+    }
+
+    /// Disable deep introspection: no per-signature occupancy/match-cost
+    /// metric families, no starvation watchdog, and `/introspect` answers
+    /// 404. The scalar pipeline metrics and all other endpoints remain.
+    pub fn no_introspection(mut self) -> Self {
+        self.introspection = false;
+        self
+    }
+
+    /// Push-gateway mode: every `interval`, POST each live member's
+    /// Prometheus text to `url` + `/instance/<host>` (plus the cluster
+    /// registry to `url` itself) instead of relying on scrapes. Failures
+    /// are counted in `ftlinda_push_failures_total` on [`Cluster::obs`],
+    /// never fatal.
+    pub fn push_gateway(mut self, url: impl Into<String>, interval: Duration) -> Self {
+        self.push = Some((url.into(), interval.max(Duration::from_millis(10))));
+        self
+    }
+
     /// Enable the flight recorder: on `digest_divergence`,
     /// `coordinator_failover` or `rejoin_failed` events, dump event
     /// rings, recent spans, order stats and per-member digests into
@@ -189,7 +222,17 @@ impl ClusterBuilder {
     /// Build the cluster and one runtime per host.
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
         let (group, members) = SeqGroup::new_with(self.hosts, self.net, self.batch, self.ckpt);
-        let runtimes: Vec<Runtime> = members.into_iter().map(Runtime::new).collect();
+        let run_cfg = RuntimeConfig {
+            // no_introspection() also silences the watchdog: starvation
+            // ages come from the same deep-accounting layer.
+            starvation_after: (self.introspection && !self.starvation_after.is_zero())
+                .then_some(self.starvation_after),
+            introspection: self.introspection,
+        };
+        let runtimes: Vec<Runtime> = members
+            .into_iter()
+            .map(|m| Runtime::with_config(m, run_cfg.clone()))
+            .collect();
         let by_host: HashMap<HostId, Runtime> =
             runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
         let flight = self.flight_dir.map(|dir| {
@@ -204,6 +247,8 @@ impl ClusterBuilder {
             exporters: Mutex::new(HashMap::new()),
             flight,
             monitor: Mutex::new(None),
+            pusher: Mutex::new(None),
+            run_cfg,
         };
         if let Some(period) = self.divergence_period {
             cluster.spawn_detector(period);
@@ -214,6 +259,9 @@ impl ClusterBuilder {
         if cluster.flight.is_some() {
             cluster
                 .spawn_flight_monitor(self.divergence_period.unwrap_or(Duration::from_millis(10)));
+        }
+        if let Some((url, interval)) = self.push {
+            cluster.spawn_pusher(url, interval);
         }
         (cluster, runtimes)
     }
@@ -234,6 +282,11 @@ pub struct Cluster {
     /// Flight recorder, when a dump directory was configured.
     flight: Option<Arc<FlightRecorder>>,
     monitor: Mutex<Option<JoinHandle<()>>>,
+    /// Push-gateway thread, when push mode was configured.
+    pusher: Mutex<Option<JoinHandle<()>>>,
+    /// Observability configuration every runtime (including restarted
+    /// incarnations) is built with.
+    run_cfg: RuntimeConfig,
 }
 
 impl Cluster {
@@ -370,6 +423,24 @@ impl Cluster {
                     assemble_trace(&runtimes.lock(), id).to_json()
                 }) as Arc<dyn Fn(linda_obs::TraceId) -> String + Send + Sync>
             };
+            let introspect = {
+                let runtimes = runtimes.clone();
+                Arc::new(move || {
+                    runtimes
+                        .lock()
+                        .get(&host)
+                        .and_then(|rt| rt.introspect_json(HOT_SIGNATURES_TOP_K))
+                }) as Arc<dyn Fn() -> Option<String> + Send + Sync>
+            };
+            let cluster_metrics = {
+                let runtimes = runtimes.clone();
+                let obs = self.obs.clone();
+                let net = self.group.net().clone();
+                Arc::new(move || {
+                    let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    aggregate_metrics(&runtimes.lock(), &obs, &live)
+                }) as Arc<dyn Fn() -> String + Send + Sync>
+            };
             match HttpExporter::spawn(
                 port,
                 ExporterSources {
@@ -377,6 +448,8 @@ impl Cluster {
                     health,
                     events,
                     trace,
+                    introspect,
+                    cluster_metrics,
                 },
             ) {
                 Ok(exp) => {
@@ -406,8 +479,90 @@ impl Cluster {
 
     /// Assemble the cross-replica span tree for one AGS from every
     /// member's span log — the same view `/trace/<id>` serves over HTTP.
+    /// [`linda_obs::TraceTree::truncated`] is set when any member's span
+    /// ring has already evicted spans recent enough to belong to this
+    /// trace, so an incomplete tree is never silently presented as the
+    /// whole story.
     pub fn trace(&self, id: linda_obs::TraceId) -> linda_obs::TraceTree {
         assemble_trace(&self.runtimes.lock(), id)
+    }
+
+    /// One Prometheus text page for the whole group: the cluster
+    /// registry (divergence counter, push counters) merged with every
+    /// *live* member's registry — counters/gauges/family children sum,
+    /// histograms merge bucket-wise. Served as `/metrics/cluster` on
+    /// every member's exporter.
+    pub fn cluster_metrics_text(&self) -> String {
+        let live: HashSet<HostId> = self.group.net().live_hosts().into_iter().collect();
+        aggregate_metrics(&self.runtimes.lock(), &self.obs, &live)
+    }
+
+    fn spawn_pusher(&self, url: String, interval: Duration) {
+        let runtimes = self.runtimes.clone();
+        let obs = self.obs.clone();
+        let net = self.group.net().clone();
+        let stop = self.stop.clone();
+        let pushes = obs.counter(
+            "ftlinda_pushes_total",
+            "Successful metric pushes to the configured push gateway",
+        );
+        let failures = obs.counter(
+            "ftlinda_push_failures_total",
+            "Metric pushes the push gateway refused or never received",
+        );
+        let handle = std::thread::Builder::new()
+            .name("ftlinda-push".into())
+            .spawn(move || {
+                while !stop.load(AtomicOrdering::Relaxed) {
+                    std::thread::sleep(interval);
+                    // Snapshot the texts first so no lock is held during
+                    // network I/O.
+                    let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    let mut pages: Vec<(String, String)> = {
+                        let map = runtimes.lock();
+                        let mut hosts: Vec<&HostId> = map.keys().collect();
+                        hosts.sort_by_key(|h| h.0);
+                        hosts
+                            .into_iter()
+                            .filter(|h| live.contains(h))
+                            .map(|h| {
+                                (
+                                    format!("{}/instance/{}", url.trim_end_matches('/'), h.0),
+                                    map[h].metrics_text(),
+                                )
+                            })
+                            .collect()
+                    };
+                    pages.push((url.trim_end_matches('/').to_string(), obs.render()));
+                    for (target, body) in pages {
+                        match http_post_metrics(&target, &body) {
+                            Ok(status) if (200..300).contains(&status) => pushes.inc(),
+                            Ok(status) => {
+                                failures.inc();
+                                obs.events().emit(linda_obs::Event::new(
+                                    "push_failed",
+                                    vec![
+                                        ("target".into(), target),
+                                        ("status".into(), status.to_string()),
+                                    ],
+                                ));
+                            }
+                            Err(e) => {
+                                failures.inc();
+                                obs.events().emit(linda_obs::Event::new(
+                                    "push_failed",
+                                    vec![
+                                        ("target".into(), target),
+                                        ("error".into(), e.to_string()),
+                                    ],
+                                ));
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn push gateway thread");
+        *self.pusher.lock() = Some(handle);
     }
 
     /// The flight-recorder dump directory, when one was configured.
@@ -488,7 +643,9 @@ impl Cluster {
     /// and converges to the surviving replicas' state; a `Join` record is
     /// ordered into the stream.
     pub fn restart(&self, host: HostId) -> Runtime {
-        let rt = Runtime::new(self.group.restart(host));
+        // The fresh incarnation keeps the cluster's observability
+        // configuration (watchdog threshold, introspection switch).
+        let rt = Runtime::with_config(self.group.restart(host), self.run_cfg.clone());
         self.runtimes.lock().insert(host, rt.clone());
         rt
     }
@@ -527,6 +684,9 @@ impl Cluster {
         if let Some(h) = self.monitor.lock().take() {
             let _ = h.join();
         }
+        if let Some(h) = self.pusher.lock().take() {
+            let _ = h.join();
+        }
         for (_, mut exp) in self.exporters.lock().drain() {
             exp.stop();
         }
@@ -537,16 +697,45 @@ impl Cluster {
     }
 }
 
-/// Gather the spans of `id` from every member's log into one tree.
+/// How many hot signatures `/introspect` lists cluster-wide.
+const HOT_SIGNATURES_TOP_K: usize = 10;
+
+/// Gather the spans of `id` from every member's log into one tree,
+/// marking it truncated when any member's ring has evicted spans recent
+/// enough that parts of this trace may be missing.
 fn assemble_trace(
     runtimes: &HashMap<HostId, Runtime>,
     id: linda_obs::TraceId,
 ) -> linda_obs::TraceTree {
     let mut spans: Vec<linda_obs::SpanRecord> = Vec::new();
+    let mut horizons: Vec<Option<u64>> = Vec::new();
     for rt in runtimes.values() {
-        spans.extend(rt.obs().spans().spans_of(id));
+        let obs = rt.obs();
+        let log = obs.spans();
+        spans.extend(log.spans_of(id));
+        horizons.push(log.evicted_newest_micros());
     }
-    linda_obs::TraceTree::assemble(id, spans)
+    let mut tree = linda_obs::TraceTree::assemble(id, spans);
+    tree.mark_truncation(horizons);
+    tree
+}
+
+/// Merge the cluster registry with every live member's registry into one
+/// Prometheus text page.
+fn aggregate_metrics(
+    runtimes: &HashMap<HostId, Runtime>,
+    obs: &linda_obs::Registry,
+    live: &HashSet<HostId>,
+) -> String {
+    let mut snap = obs.snapshot();
+    let mut hosts: Vec<&HostId> = runtimes.keys().collect();
+    hosts.sort_by_key(|h| h.0);
+    for h in hosts {
+        if live.contains(h) {
+            snap.merge(&runtimes[h].obs().snapshot());
+        }
+    }
+    snap.render()
 }
 
 /// The `/healthz` JSON for one member: liveness, applied position,

@@ -44,13 +44,20 @@ mod server;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::FtError;
 pub use flight::{FlightRecorder, FlightSection};
-pub use runtime::{pattern_fields, rebuild_tuple, AgsHandle, CompletionOk, FtEvent, Runtime};
-pub use server::{events_json_lines, ExporterSources, HttpExporter, RpcClient, TupleServer};
+pub use runtime::{
+    pattern_fields, rebuild_tuple, AgsHandle, CompletionOk, FtEvent, Runtime, RuntimeConfig,
+};
+pub use server::{
+    events_json_lines, http_post_metrics, ExporterSources, HttpExporter, RpcClient, TupleServer,
+};
 
 // Re-export the pieces users need to build AGSs and patterns.
 pub use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig};
 pub use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
-pub use ftlinda_kernel::{ExecError, FAILURE_TUPLE_HEAD};
+pub use ftlinda_kernel::{
+    BlockedReport, ExecError, IntrospectReport, MatchStats, SignatureOccupancy, SpaceReport,
+    StarvationReport, FAILURE_TUPLE_HEAD,
+};
 /// Observability primitives (metrics registry, histograms, event sink).
 pub use linda_obs as obs;
 pub use linda_tuple::{Pattern, Tuple, TypeTag, Value};

@@ -13,7 +13,7 @@ use crate::error::FtError;
 use consul_sim::{HostId, LocalId, SeqMember};
 use crossbeam::channel::{Receiver, Sender};
 use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
-use ftlinda_kernel::{encode_request, Kernel, KernelNote, Request};
+use ftlinda_kernel::{encode_request, IntrospectReport, Kernel, KernelNote, Request};
 use linda_space::LocalSpace;
 use linda_tuple::{PatField, Pattern, Tuple, Value};
 use parking_lot::Mutex;
@@ -34,6 +34,30 @@ pub enum FtEvent {
 
 type CompletionTx = Sender<Result<CompletionOk, FtError>>;
 
+/// Observability configuration for one [`Runtime`] (set through
+/// [`crate::ClusterBuilder`]; [`Runtime::new`] uses the defaults).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Emit an `ags_starving` event each time a blocked AGS's age crosses
+    /// a further multiple of this threshold. `None` disables the
+    /// watchdog thread.
+    pub starvation_after: Option<Duration>,
+    /// Deep introspection: per-signature occupancy/match-cost metric
+    /// families and the `/introspect` endpoint. When `false` the kernel
+    /// keeps only its scalar gauges and [`Runtime::introspect`] returns
+    /// `None`.
+    pub introspection: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            starvation_after: Some(Duration::from_secs(5)),
+            introspection: true,
+        }
+    }
+}
+
 /// Successful completion payload routed back to a waiting client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompletionOk {
@@ -50,6 +74,7 @@ struct Shared {
     events: Mutex<Vec<Sender<FtEvent>>>,
     kernel: Mutex<Kernel>,
     alive: AtomicBool,
+    config: RuntimeConfig,
     next_scratch: AtomicU32,
     obs: Arc<linda_obs::Registry>,
     spans: Arc<linda_obs::SpanLog>,
@@ -73,11 +98,17 @@ impl Runtime {
     /// apply thread. (Use [`crate::Cluster`] rather than calling this
     /// directly.)
     pub fn new(member: SeqMember) -> Runtime {
+        Runtime::with_config(member, RuntimeConfig::default())
+    }
+
+    /// [`Runtime::new`] with explicit observability configuration —
+    /// starvation-watchdog threshold and deep-introspection switch.
+    pub fn with_config(member: SeqMember, config: RuntimeConfig) -> Runtime {
         let host = member.host();
         let (note_tx, note_rx) = crossbeam::channel::unbounded::<KernelNote>();
         let obs = member.obs();
         let mut kernel = Kernel::new(host, note_tx);
-        kernel.attach_obs(&obs);
+        kernel.attach_obs_with(&obs, config.introspection);
         let hist_submit = obs.histogram(
             "ftlinda_ags_submit_seconds",
             "Client encode + broadcast handoff latency",
@@ -100,6 +131,7 @@ impl Runtime {
             events: Mutex::new(Vec::new()),
             kernel: Mutex::new(kernel),
             alive: AtomicBool::new(true),
+            config,
             next_scratch: AtomicU32::new(0),
             obs,
             spans,
@@ -236,7 +268,30 @@ impl Runtime {
                 }
             })
             .expect("spawn apply thread");
+        if let Some(threshold) = rt.shared.config.starvation_after.filter(|t| !t.is_zero()) {
+            rt.spawn_watchdog(threshold);
+        }
         rt
+    }
+
+    /// Background starvation watchdog: periodically runs the kernel's
+    /// sweep so blocked AGSs whose age crosses the threshold surface as
+    /// `ags_starving` events without anyone polling `/introspect`.
+    fn spawn_watchdog(&self, threshold: Duration) {
+        let shared = self.shared.clone();
+        let host = self.host;
+        // Sweep a few times per threshold so a crossing is reported
+        // promptly, but never spin faster than 10ms.
+        let period = (threshold / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        std::thread::Builder::new()
+            .name(format!("ftlinda-watchdog-{host}"))
+            .spawn(move || {
+                while shared.alive.load(AtomicOrdering::Relaxed) {
+                    std::thread::sleep(period);
+                    shared.kernel.lock().starvation_sweep(threshold);
+                }
+            })
+            .expect("spawn starvation watchdog");
     }
 
     fn publish(shared: &Shared, ev: FtEvent) {
@@ -448,6 +503,106 @@ impl Runtime {
             }
             std::thread::sleep(Duration::from_millis(2));
         }
+    }
+
+    /// Deep introspection snapshot of this replica: per-space signature
+    /// census, match-cost totals, and the blocked-AGS table with ages.
+    /// `None` when the runtime was built with introspection disabled.
+    pub fn introspect(&self) -> Option<IntrospectReport> {
+        if !self.shared.config.introspection {
+            return None;
+        }
+        Some(self.shared.kernel.lock().introspect())
+    }
+
+    /// The `/introspect` JSON payload: the [`Runtime::introspect`] report
+    /// plus the top-`k` hottest signatures across all spaces (by current
+    /// occupancy). `None` when introspection is disabled.
+    pub fn introspect_json(&self, top_k: usize) -> Option<String> {
+        let r = self.introspect()?;
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"host\":{},\"applied_seq\":{},\"spaces\":[",
+            r.host.0, r.applied
+        ));
+        for (i, s) in r.spaces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"name\":\"{}\",\"tuples\":{},\"match\":{{\
+                 \"attempts\":{},\"probes\":{},\"hits\":{},\"efficiency\":{:.4}}},\
+                 \"signatures\":[",
+                s.id.0,
+                linda_obs::json_escape(&s.name),
+                s.tuples,
+                s.match_stats.attempts,
+                s.match_stats.probes,
+                s.match_stats.hits,
+                s.match_stats.efficiency(),
+            ));
+            for (j, occ) in s.signatures.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"signature\":\"{}\",\"count\":{},\"high_water\":{}}}",
+                    linda_obs::json_escape(&occ.signature.to_string()),
+                    occ.count,
+                    occ.high_water
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"blocked\":[");
+        for (i, b) in r.blocked.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"origin\":{},\"local\":{},\"age_ms\":{},\
+                 \"guards\":\"{}\",\"nearest_miss\":{},\"starving\":{}}}",
+                b.seq,
+                b.origin.0,
+                b.local,
+                b.age.as_millis(),
+                linda_obs::json_escape(&b.guards),
+                b.nearest_miss,
+                b.starving
+            ));
+        }
+        // Hottest signatures across all spaces, by current occupancy.
+        let mut hot: Vec<(&str, &linda_space::SignatureOccupancy)> = r
+            .spaces
+            .iter()
+            .flat_map(|s| s.signatures.iter().map(move |occ| (s.name.as_str(), occ)))
+            .collect();
+        hot.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(b.0)));
+        out.push_str("],\"hot_signatures\":[");
+        for (i, (space, occ)) in hot.into_iter().take(top_k).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"space\":\"{}\",\"signature\":\"{}\",\"count\":{}}}",
+                linda_obs::json_escape(space),
+                linda_obs::json_escape(&occ.signature.to_string()),
+                occ.count
+            ));
+        }
+        out.push_str("]}\n");
+        Some(out)
+    }
+
+    /// Run one starvation-watchdog sweep now (the background thread does
+    /// this periodically; tests and operators can force a pass).
+    pub fn starvation_sweep(&self, threshold: Duration) -> Vec<ftlinda_kernel::StarvationReport> {
+        self.shared.kernel.lock().starvation_sweep(threshold)
+    }
+
+    /// The observability configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.config
     }
 
     /// Applied sequence number and state digest, read under one kernel

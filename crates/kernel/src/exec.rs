@@ -321,6 +321,38 @@ pub fn guard_keys(ags: &Ags, self_host: u32, request_seq: u64) -> Vec<(TsId, u64
     keys
 }
 
+/// A human/metric-label rendering of the same guards `guard_keys` indexes:
+/// `"ts0:<str,int>"`, multiple branches joined by `|`, `"true"` for an
+/// AGS with only a `true` guard. Deterministic for the same reasons as
+/// `guard_keys`, so it is safe to use as a metric label across replicas.
+pub fn guard_labels(ags: &Ags, self_host: u32, request_seq: u64) -> String {
+    let ctx = EvalCtx {
+        bindings: &[],
+        self_host,
+        request_seq,
+    };
+    let mut out = String::new();
+    for branch in &ags.branches {
+        if let Guard::In { ts, pattern } | Guard::Rd { ts, pattern } = &branch.guard {
+            if let SpaceRef::Stable(id) = *ts {
+                if let Ok(pat) = resolve_pattern(pattern, &ctx) {
+                    if !out.is_empty() {
+                        out.push('|');
+                    }
+                    out.push_str("ts");
+                    out.push_str(&id.0.to_string());
+                    out.push(':');
+                    out.push_str(&pat.signature().to_string());
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("true");
+    }
+    out
+}
+
 /// `move`/`copy` patterns treat `Bind` fields as wildcards (they bind
 /// nothing); expression fields still evaluate against current bindings.
 fn wildcard_pattern(

@@ -15,16 +15,16 @@
 use crate::checkpoint::{
     decode_image, encode_image, BlockedImage, CheckpointError, KernelCheckpoint, KernelImage,
 };
-use crate::exec::{guard_keys, try_execute, ExecError, TryOutcome};
+use crate::exec::{guard_keys, guard_labels, try_execute, ExecError, TryOutcome};
 use crate::proto::{decode_request, Request};
 use consul_sim::{Delivery, HostId, LocalId};
 use ftlinda_ags::{Ags, AgsOutcome, ScratchId, TsId};
-use linda_space::{IndexedStore, LocalSpace, Store};
+use linda_space::{IndexedStore, LocalSpace, MatchStats, SignatureOccupancy, Store};
 use linda_tuple::{tuple, Tuple};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Notification from the kernel to the local FT-Linda runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +100,16 @@ struct BlockedAgs {
     ags: Ags,
     /// The `(space, guard-signature)` keys this AGS is indexed under.
     keys: Vec<(TsId, u64)>,
+    /// Wall-clock instant the AGS blocked at *this* replica (re-stamped
+    /// on checkpoint restore). Observability only — never serialized,
+    /// never digested, so replicas stay byte-identical on the wire.
+    since: Instant,
+    /// Guard rendering used as the starvation/retry metric label
+    /// (see [`guard_labels`]).
+    labels: String,
+    /// Starvation-threshold crossings already reported, so the watchdog
+    /// emits exactly one `ags_starving` event per crossing.
+    starve_reported: u32,
 }
 
 /// The name of the distinguished failure tuple's head field (paper §2.3:
@@ -122,6 +132,102 @@ struct KernelObs {
     ckpt_hist: Arc<linda_obs::Histogram>,
     ckpt_bytes: Arc<linda_obs::Gauge>,
     ckpt_seq: Arc<linda_obs::Gauge>,
+    /// Structured events (the starvation watchdog emits `ags_starving`
+    /// here).
+    events: Arc<linda_obs::EventSink>,
+    /// Whether the per-signature workload families below are kept
+    /// current (disabled by `no_introspection()`).
+    deep: bool,
+    /// `ftlinda_ts_tuples{space,signature}` — current occupancy.
+    ts_tuples: Arc<linda_obs::GaugeFamily>,
+    /// `ftlinda_ts_tuples_high_water{space,signature}`.
+    ts_tuples_hw: Arc<linda_obs::GaugeFamily>,
+    /// `ftlinda_match_attempts_total{space}` / `_probes_total{space}` —
+    /// delta-fed from the stores' cumulative [`MatchStats`].
+    match_attempts: Arc<linda_obs::CounterFamily>,
+    match_probes: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_match_probe_efficiency{space}` — percent of probes that
+    /// matched (integer gauge, 0–100).
+    match_efficiency: Arc<linda_obs::GaugeFamily>,
+    /// `ftlinda_blocked_retries_total{signature,outcome}` — every
+    /// re-probe of a blocked guard: `wasted` (still blocked), `fired`,
+    /// or `failed`. The `wasted` series is the cost `retry_blocked_full`
+    /// pays on view changes.
+    retries: Arc<linda_obs::CounterFamily>,
+    /// Last-seen per-space match stats, for delta-feeding the counters.
+    prev_match: HashMap<TsId, MatchStats>,
+    starving_total: Arc<linda_obs::Counter>,
+    starving_now: Arc<linda_obs::Gauge>,
+}
+
+/// One starvation-watchdog report: a blocked AGS crossed the threshold
+/// (again). Also emitted as an `ags_starving` event when a registry is
+/// attached.
+#[derive(Debug, Clone)]
+pub struct StarvationReport {
+    /// Global sequence at which the AGS blocked.
+    pub seq: u64,
+    /// Submitting host.
+    pub origin: HostId,
+    /// Submitter's local id.
+    pub local: LocalId,
+    /// How long the AGS has been blocked at this replica.
+    pub age: Duration,
+    /// Guard rendering, e.g. `ts0:<str,int>`.
+    pub guards: String,
+    /// Tuples currently stored under the guard's `(space, signature)`
+    /// keys: tuples of the right shape that still don't satisfy the
+    /// guard — the "nearest miss" count.
+    pub nearest_miss: usize,
+    /// How many thresholds the age has crossed so far (1 = first report).
+    pub crossings: u32,
+}
+
+/// Introspection row for one stable space.
+#[derive(Debug, Clone)]
+pub struct SpaceReport {
+    /// Space id.
+    pub id: TsId,
+    /// Space name (or `ts<id>` if unnamed).
+    pub name: String,
+    /// Total tuples stored.
+    pub tuples: usize,
+    /// Per-signature occupancy with high-water marks.
+    pub signatures: Vec<SignatureOccupancy>,
+    /// Cumulative matching-cost totals for this space's store.
+    pub match_stats: MatchStats,
+}
+
+/// Introspection row for one blocked AGS.
+#[derive(Debug, Clone)]
+pub struct BlockedReport {
+    /// Global sequence at which the AGS blocked.
+    pub seq: u64,
+    /// Submitting host.
+    pub origin: HostId,
+    /// Submitter's local id.
+    pub local: LocalId,
+    /// How long the AGS has been blocked at this replica.
+    pub age: Duration,
+    /// Guard rendering, e.g. `ts0:<str,int>`.
+    pub guards: String,
+    /// Tuples currently stored under the guard's signature keys.
+    pub nearest_miss: usize,
+    /// Whether the starvation watchdog has reported this AGS.
+    pub starving: bool,
+}
+
+/// Full kernel introspection snapshot — the `/introspect` payload.
+#[derive(Debug, Clone)]
+pub struct IntrospectReport {
+    /// Reporting replica.
+    pub host: HostId,
+    /// Sequence number of the last applied record.
+    pub applied: u64,
+    /// Per-space rows, ascending space id.
+    pub spaces: Vec<SpaceReport>,
+    /// Blocked-AGS table, arrival order (oldest first).
+    pub blocked: Vec<BlockedReport>,
 }
 
 /// The replicated tuple-space state machine for one host.
@@ -176,8 +282,18 @@ impl Kernel {
     /// Attach an observability registry: each applied record is timed
     /// into `ftlinda_ags_execute_seconds`, and the blocked-queue depth,
     /// total stable-space size, and applied sequence gauges are kept
-    /// current after every apply.
+    /// current after every apply. Per-signature workload families
+    /// (`ftlinda_ts_tuples{space,signature}`, match-probe accounting,
+    /// retry counters) are flushed too; see [`Kernel::attach_obs_with`]
+    /// to opt out of those.
     pub fn attach_obs(&mut self, reg: &linda_obs::Registry) {
+        self.attach_obs_with(reg, true);
+    }
+
+    /// [`Kernel::attach_obs`] with explicit control over the `deep`
+    /// per-signature families (`false` = scalar gauges and spans only,
+    /// the `no_introspection()` mode).
+    pub fn attach_obs_with(&mut self, reg: &linda_obs::Registry, deep: bool) {
         self.obs = Some(KernelObs {
             exec_hist: reg.histogram(
                 "ftlinda_ags_execute_seconds",
@@ -212,7 +328,52 @@ impl Kernel {
                 "ftlinda_checkpoint_seq",
                 "Sequence number of the last kernel checkpoint",
             ),
+            events: reg.events_handle(),
+            deep,
+            ts_tuples: reg.gauge_family(
+                "ftlinda_ts_tuples",
+                "Tuples currently stored, by stable space and signature",
+            ),
+            ts_tuples_hw: reg.gauge_family(
+                "ftlinda_ts_tuples_high_water",
+                "Most tuples ever stored at once, by stable space and signature",
+            ),
+            match_attempts: reg.counter_family(
+                "ftlinda_match_attempts_total",
+                "in/rd-shaped match operations attempted, by stable space",
+            ),
+            match_probes: reg.counter_family(
+                "ftlinda_match_probes_total",
+                "Tuples examined by match operations, by stable space",
+            ),
+            match_efficiency: reg.gauge_family(
+                "ftlinda_match_probe_efficiency",
+                "Percent of match probes that hit (0-100), by stable space",
+            ),
+            retries: reg.counter_family(
+                "ftlinda_blocked_retries_total",
+                "Blocked-guard re-probes by guard signature and outcome (wasted/fired/failed)",
+            ),
+            prev_match: HashMap::new(),
+            starving_total: reg.counter(
+                "ftlinda_ags_starving_total",
+                "ags_starving events emitted by the starvation watchdog",
+            ),
+            starving_now: reg.gauge(
+                "ftlinda_ags_starving",
+                "Blocked AGSs currently past the starvation threshold",
+            ),
         });
+    }
+
+    /// Metric label for a stable space: its name when known, else
+    /// `ts<id>`.
+    fn space_label(&self, id: TsId) -> String {
+        self.names
+            .iter()
+            .find(|(_, v)| **v == id)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| format!("ts{}", id.0))
     }
 
     /// Record a causal-trace span for the AGS `(origin, local)` at this
@@ -256,12 +417,51 @@ impl Kernel {
         self.flush_gauges();
     }
 
-    fn flush_gauges(&self) {
-        if let Some(obs) = &self.obs {
-            obs.blocked_depth.set(self.blocked.len() as i64);
-            obs.stable_size
-                .set(self.stables.values().map(Store::len).sum::<usize>() as i64);
-            obs.applied_seq.set(self.applied as i64);
+    fn flush_gauges(&mut self) {
+        let Some(obs) = &mut self.obs else { return };
+        obs.blocked_depth.set(self.blocked.len() as i64);
+        obs.stable_size
+            .set(self.stables.values().map(Store::len).sum::<usize>() as i64);
+        obs.applied_seq.set(self.applied as i64);
+        if !obs.deep {
+            return;
+        }
+        // Occupancy gauges are re-stated from scratch each flush (zeroing
+        // first), so label sets that vanished — e.g. after a checkpoint
+        // restore rebuilt the stores — read 0 rather than going stale.
+        obs.ts_tuples.zero_all();
+        obs.ts_tuples_hw.zero_all();
+        for (id, store) in &self.stables {
+            let space = self
+                .names
+                .iter()
+                .find(|(_, v)| **v == *id)
+                .map(|(n, _)| n.clone())
+                .unwrap_or_else(|| format!("ts{}", id.0));
+            let stats = store.match_stats();
+            let prev = obs.prev_match.entry(*id).or_default();
+            let delta = stats.since(prev);
+            *prev = stats;
+            if delta.attempts > 0 {
+                obs.match_attempts
+                    .with(&[("space", &space)])
+                    .add(delta.attempts);
+                obs.match_probes
+                    .with(&[("space", &space)])
+                    .add(delta.probes);
+            }
+            obs.match_efficiency
+                .with(&[("space", &space)])
+                .set((stats.efficiency() * 100.0).round() as i64);
+            for occ in store.signature_census() {
+                let sig = occ.signature.to_string();
+                obs.ts_tuples
+                    .with(&[("space", &space), ("signature", &sig)])
+                    .set(occ.count as i64);
+                obs.ts_tuples_hw
+                    .with(&[("space", &space), ("signature", &sig)])
+                    .set(occ.high_water as i64);
+            }
         }
     }
 
@@ -416,6 +616,7 @@ impl Kernel {
                     vec![("seq".into(), seq.to_string())],
                 );
                 let keys = guard_keys(&ags, origin.0, seq);
+                let labels = guard_labels(&ags, origin.0, seq);
                 let id = self.next_blocked_id;
                 self.next_blocked_id += 1;
                 for k in &keys {
@@ -429,6 +630,9 @@ impl Kernel {
                         local,
                         ags,
                         keys,
+                        since: Instant::now(),
+                        labels,
+                        starve_reported: 0,
                     },
                 );
             }
@@ -466,6 +670,18 @@ impl Kernel {
                 ("outcome".into(), outcome.into()),
             ],
         );
+    }
+
+    /// Count one re-probe of a blocked guard in
+    /// `ftlinda_blocked_retries_total{signature,outcome}`.
+    fn count_retry(&self, labels: &str, outcome: &str) {
+        if let Some(obs) = &self.obs {
+            if obs.deep {
+                obs.retries
+                    .with(&[("signature", labels), ("outcome", outcome)])
+                    .inc();
+            }
+        }
     }
 
     /// Remove a blocked AGS from the queue and the guard index.
@@ -508,13 +724,16 @@ impl Kernel {
                     candidate.origin.0,
                     candidate.seq,
                 ) {
-                    TryOutcome::Blocked => {}
+                    TryOutcome::Blocked => {
+                        self.count_retry(&self.blocked[&id].labels, "wasted");
+                    }
                     TryOutcome::Fired {
                         outcome,
                         scratch_outs,
                         deposited,
                     } => {
                         let b = self.unblock(id);
+                        self.count_retry(&b.labels, "fired");
                         self.wake_span(&b, "fired");
                         self.commit_scratch(b.origin, scratch_outs);
                         if b.origin == self.host {
@@ -528,6 +747,7 @@ impl Kernel {
                     }
                     TryOutcome::Failed(e) => {
                         let b = self.unblock(id);
+                        self.count_retry(&b.labels, "failed");
                         self.wake_span(&b, "failed");
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
@@ -561,13 +781,16 @@ impl Kernel {
                     candidate.origin.0,
                     candidate.seq,
                 ) {
-                    TryOutcome::Blocked => {}
+                    TryOutcome::Blocked => {
+                        self.count_retry(&self.blocked[&id].labels, "wasted");
+                    }
                     TryOutcome::Fired {
                         outcome,
                         scratch_outs,
                         ..
                     } => {
                         let b = self.unblock(id);
+                        self.count_retry(&b.labels, "fired");
                         self.wake_span(&b, "fired");
                         self.commit_scratch(b.origin, scratch_outs);
                         if b.origin == self.host {
@@ -581,6 +804,7 @@ impl Kernel {
                     }
                     TryOutcome::Failed(e) => {
                         let b = self.unblock(id);
+                        self.count_retry(&b.labels, "failed");
                         self.wake_span(&b, "failed");
                         if b.origin == self.host {
                             self.note(KernelNote::Completed {
@@ -662,6 +886,109 @@ impl Kernel {
     /// Tuples in a stable space.
     pub fn stable_len(&self, id: TsId) -> Option<usize> {
         self.stables.get(&id).map(Store::len)
+    }
+
+    /// Tuples currently stored under a blocked AGS's guard keys: tuples
+    /// of the right signature that still don't satisfy the guard.
+    fn nearest_miss(stables: &BTreeMap<TsId, IndexedStore>, keys: &[(TsId, u64)]) -> usize {
+        keys.iter()
+            .map(|(ts, sig)| stables.get(ts).map_or(0, |s| s.signature_len(*sig)))
+            .sum()
+    }
+
+    /// Starvation watchdog pass: report every blocked AGS whose age has
+    /// crossed a new multiple of `threshold` since it was last reported
+    /// — exactly one report per crossing, however often the sweep runs.
+    /// Each report is also emitted as an `ags_starving` event (fields:
+    /// seq, origin, guards, age_ms, nearest_miss, crossings) when a
+    /// registry is attached, and `ftlinda_ags_starving` tracks how many
+    /// blocked AGSs are currently past the threshold.
+    ///
+    /// Wall-clock only — never part of the replicated state, so replicas
+    /// may report at different times without diverging.
+    pub fn starvation_sweep(&mut self, threshold: Duration) -> Vec<StarvationReport> {
+        if threshold.is_zero() {
+            return Vec::new();
+        }
+        let now = Instant::now();
+        let mut out = Vec::new();
+        let stables = &self.stables;
+        for b in self.blocked.values_mut() {
+            let age = now.saturating_duration_since(b.since);
+            let crossings = (age.as_nanos() / threshold.as_nanos()) as u32;
+            if crossings > b.starve_reported {
+                b.starve_reported = crossings;
+                out.push(StarvationReport {
+                    seq: b.seq,
+                    origin: b.origin,
+                    local: b.local,
+                    age,
+                    guards: b.labels.clone(),
+                    nearest_miss: Self::nearest_miss(stables, &b.keys),
+                    crossings,
+                });
+            }
+        }
+        if let Some(obs) = &self.obs {
+            for r in &out {
+                obs.events.emit(linda_obs::Event::new(
+                    "ags_starving",
+                    vec![
+                        ("seq".into(), r.seq.to_string()),
+                        ("origin".into(), r.origin.0.to_string()),
+                        ("local".into(), r.local.to_string()),
+                        ("guards".into(), r.guards.clone()),
+                        ("age_ms".into(), r.age.as_millis().to_string()),
+                        ("nearest_miss".into(), r.nearest_miss.to_string()),
+                        ("crossings".into(), r.crossings.to_string()),
+                    ],
+                ));
+                obs.starving_total.inc();
+            }
+            obs.starving_now.set(
+                self.blocked
+                    .values()
+                    .filter(|b| b.starve_reported > 0)
+                    .count() as i64,
+            );
+        }
+        out
+    }
+
+    /// A point-in-time introspection snapshot: per-space signature
+    /// census, matching-cost totals, and the blocked-AGS table with
+    /// ages. Read-only (pure observability; the replicated state is
+    /// untouched).
+    pub fn introspect(&self) -> IntrospectReport {
+        let now = Instant::now();
+        IntrospectReport {
+            host: self.host,
+            applied: self.applied,
+            spaces: self
+                .stables
+                .iter()
+                .map(|(id, store)| SpaceReport {
+                    id: *id,
+                    name: self.space_label(*id),
+                    tuples: store.len(),
+                    signatures: store.signature_census(),
+                    match_stats: store.match_stats(),
+                })
+                .collect(),
+            blocked: self
+                .blocked
+                .values()
+                .map(|b| BlockedReport {
+                    seq: b.seq,
+                    origin: b.origin,
+                    local: b.local,
+                    age: now.saturating_duration_since(b.since),
+                    guards: b.labels.clone(),
+                    nearest_miss: Self::nearest_miss(&self.stables, &b.keys),
+                    starving: b.starve_reported > 0,
+                })
+                .collect(),
+        }
     }
 
     /// A deterministic digest of all stable-space contents and the
@@ -754,6 +1081,7 @@ impl Kernel {
         let mut guard_index: HashMap<(TsId, u64), BTreeSet<u64>> = HashMap::new();
         for (id, b) in img.blocked.into_iter().enumerate() {
             let keys = guard_keys(&b.ags, b.origin, b.seq);
+            let labels = guard_labels(&b.ags, b.origin, b.seq);
             for k in &keys {
                 guard_index.entry(*k).or_default().insert(id as u64);
             }
@@ -765,6 +1093,12 @@ impl Kernel {
                     local: b.local,
                     ags: b.ags,
                     keys,
+                    // Block times are wall-clock and host-local, so a
+                    // checkpoint cannot carry them: restored guards are
+                    // re-stamped, and their starvation ages restart.
+                    since: Instant::now(),
+                    labels,
+                    starve_reported: 0,
                 },
             );
         }
@@ -783,6 +1117,11 @@ impl Kernel {
         self.next_ts = img.next_ts;
         self.applied = img.applied;
         self.pending_checkpoint = None;
+        if let Some(obs) = &mut self.obs {
+            // The rebuilt stores start their match counters at zero;
+            // forget the old totals so the next delta is not negative.
+            obs.prev_match.clear();
+        }
         Ok(())
     }
 
@@ -1094,5 +1433,175 @@ mod tests {
             &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst(1)])),
         ));
         assert_ne!(k1.digest(), k2.digest());
+    }
+
+    #[test]
+    fn starvation_sweep_reports_once_per_crossing() {
+        let reg = linda_obs::Registry::new();
+        let (mut k, _rx) = kernel();
+        k.attach_obs(&reg);
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        // A near-miss tuple: right signature, wrong value.
+        k.apply(&app(
+            2,
+            0,
+            2,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("job"), Operand::cst(99)],
+            )),
+        ));
+        // A guard that can never fire: in("job", 0) with only ("job", 99)
+        // in the space.
+        let never = Ags::in_one(TsId(0), vec![MF::actual("job"), MF::actual(0)]).unwrap();
+        k.apply(&app(3, 0, 3, &Request::Ags(never)));
+        assert_eq!(k.blocked_len(), 1);
+
+        // Below threshold → nothing reported.
+        assert!(k.starvation_sweep(Duration::from_secs(3600)).is_empty());
+        assert!(k.starvation_sweep(Duration::ZERO).is_empty(), "disabled");
+
+        std::thread::sleep(Duration::from_millis(10));
+        let first = k.starvation_sweep(Duration::from_millis(5));
+        assert_eq!(first.len(), 1, "one report per blocked AGS per crossing");
+        let r = &first[0];
+        assert_eq!(r.seq, 3);
+        assert!(r.crossings >= 1);
+        assert!(r.age >= Duration::from_millis(5));
+        assert_eq!(r.nearest_miss, 1, "one same-signature tuple in store");
+        assert!(
+            r.guards.contains("ts0:"),
+            "labels name the space: {}",
+            r.guards
+        );
+
+        // Same crossing, swept again with a long threshold → silent.
+        assert!(k.starvation_sweep(Duration::from_secs(3600)).is_empty());
+
+        // Wait out another crossing → exactly one more report.
+        std::thread::sleep(Duration::from_millis(10));
+        let second = k.starvation_sweep(Duration::from_millis(5));
+        assert_eq!(second.len(), 1);
+        assert!(second[0].crossings > first[0].crossings);
+
+        // Events and metrics line up with the two reports.
+        assert_eq!(reg.events().recent_of("ags_starving").len(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ftlinda_ags_starving_total"), Some(2));
+        assert_eq!(snap.gauge("ftlinda_ags_starving"), Some(1));
+
+        // Waking the starving AGS clears the gauge on the next sweep.
+        k.apply(&app(
+            4,
+            0,
+            4,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("job"), Operand::cst(0)],
+            )),
+        ));
+        assert_eq!(k.blocked_len(), 0);
+        assert!(k.starvation_sweep(Duration::from_millis(5)).is_empty());
+        assert_eq!(reg.snapshot().gauge("ftlinda_ags_starving"), Some(0));
+    }
+
+    #[test]
+    fn mixed_signature_wakeups_stay_fifo_fair() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        // Interleave blocked ins on two signatures: <str,int> and <str>.
+        let sig_a = Ags::in_one(TsId(0), vec![MF::actual("a"), MF::bind(Int)]).unwrap();
+        let sig_b = Ags::in_one(TsId(0), vec![MF::actual("b")]).unwrap();
+        k.apply(&app(2, 0, 2, &Request::Ags(sig_a.clone())));
+        k.apply(&app(3, 0, 3, &Request::Ags(sig_b.clone())));
+        k.apply(&app(4, 0, 4, &Request::Ags(sig_a)));
+        k.apply(&app(5, 0, 5, &Request::Ags(sig_b)));
+        assert_eq!(k.blocked_len(), 4);
+        // An out for signature B must wake the OLDEST B-waiter (local 3),
+        // skipping the older A-waiter (local 2) that doesn't match.
+        k.apply(&app(
+            6,
+            0,
+            6,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("b")])),
+        ));
+        // Then an out for A wakes local 2, the overall oldest.
+        k.apply(&app(
+            7,
+            0,
+            7,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("a"), Operand::cst(1)],
+            )),
+        ));
+        let woken: Vec<u64> = rx
+            .try_iter()
+            .filter_map(|n| match n {
+                KernelNote::Completed {
+                    local,
+                    result: Ok(_),
+                    ..
+                } if local < 6 => Some(local),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(woken, vec![3, 2], "per-signature FIFO, oldest first");
+        assert_eq!(k.blocked_len(), 2);
+    }
+
+    #[test]
+    fn introspect_reports_spaces_and_blocked_table() {
+        let (mut k, _rx) = kernel();
+        k.apply(&app(
+            1,
+            0,
+            1,
+            &Request::CreateTs {
+                name: "jobs".into(),
+            },
+        ));
+        k.apply(&app(
+            2,
+            0,
+            2,
+            &Request::CreateTs {
+                name: "acks".into(),
+            },
+        ));
+        for (i, seq) in (0..3).zip(3..) {
+            k.apply(&app(
+                seq,
+                0,
+                seq,
+                &Request::Ags(Ags::out_one(
+                    TsId(0),
+                    vec![Operand::cst("job"), Operand::cst(i)],
+                )),
+            ));
+        }
+        let waiter = Ags::in_one(TsId(0), vec![MF::actual("done"), MF::bind(Int)]).unwrap();
+        k.apply(&app(10, 1, 1, &Request::Ags(waiter)));
+
+        let report = k.introspect();
+        assert_eq!(report.applied, 10);
+        assert_eq!(report.spaces.len(), 2);
+        let jobs = &report.spaces[0];
+        assert_eq!(jobs.name, "jobs");
+        assert_eq!(jobs.tuples, 3);
+        assert_eq!(jobs.signatures.len(), 1);
+        assert_eq!(jobs.signatures[0].count, 3);
+        assert_eq!(jobs.signatures[0].high_water, 3);
+        assert_eq!(jobs.signatures[0].signature.to_string(), "<str,int>");
+        assert!(jobs.match_stats.attempts >= 1, "the blocked in probed");
+        assert_eq!(report.spaces[1].tuples, 0);
+
+        assert_eq!(report.blocked.len(), 1);
+        let b = &report.blocked[0];
+        assert_eq!(b.seq, 10);
+        assert_eq!(b.origin, HostId(1));
+        assert_eq!(b.nearest_miss, 3, "three same-signature tuples miss");
+        assert!(!b.starving);
+        assert!(b.guards.contains("<str,int>"), "guards: {}", b.guards);
     }
 }

@@ -20,6 +20,10 @@ mod kernel_mod;
 mod proto;
 
 pub use checkpoint::{CheckpointError, KernelCheckpoint};
-pub use exec::{probe_guard, try_execute, ExecError, TryOutcome};
-pub use kernel_mod::{Kernel, KernelNote, FAILURE_TUPLE_HEAD};
+pub use exec::{guard_labels, probe_guard, try_execute, ExecError, TryOutcome};
+pub use kernel_mod::{
+    BlockedReport, IntrospectReport, Kernel, KernelNote, SpaceReport, StarvationReport,
+    FAILURE_TUPLE_HEAD,
+};
+pub use linda_space::{MatchStats, SignatureOccupancy};
 pub use proto::{decode_request, encode_request, Request};

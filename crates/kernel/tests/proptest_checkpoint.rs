@@ -132,6 +132,64 @@ proptest! {
     }
 
     #[test]
+    fn census_and_gauges_match_recount_after_restore(
+        steps in arb_steps(),
+        split_raw in 0usize..4096,
+    ) {
+        // The per-signature occupancy census (and the gauge family fed
+        // from it) is observability-only state, rebuilt rather than
+        // checkpointed — after any random workload, and again after a
+        // checkpoint/restore plus tail replay, it must equal an exact
+        // recount of the store contents.
+        let ds = deliveries(&steps);
+        let split = split_raw % (ds.len() + 1);
+
+        let reg = linda_obs::Registry::new();
+        let mut k = fresh_kernel();
+        k.attach_obs(&reg);
+        k.apply_all(&ds[..split]);
+        let image = k.checkpoint();
+        k.restore(&image).expect("own image must restore");
+        k.apply_all(&ds[split..]);
+
+        let report = k.introspect();
+        let gauges = reg.snapshot();
+        let occupancy = gauges
+            .gauge_family("ftlinda_ts_tuples")
+            .expect("occupancy family registered");
+        for space in &report.spaces {
+            let tuples = k.snapshot(space.id).expect("space exists");
+            prop_assert_eq!(space.tuples, tuples.len());
+            // Exact recount, grouped by signature.
+            let mut recount: std::collections::BTreeMap<String, usize> =
+                std::collections::BTreeMap::new();
+            for t in &tuples {
+                *recount.entry(t.signature().to_string()).or_default() += 1;
+            }
+            let nonzero: std::collections::BTreeMap<String, usize> = space
+                .signatures
+                .iter()
+                .filter(|occ| occ.count > 0)
+                .map(|occ| (occ.signature.to_string(), occ.count))
+                .collect();
+            prop_assert_eq!(&nonzero, &recount, "census for space {}", space.name);
+            for occ in &space.signatures {
+                prop_assert!(occ.high_water >= occ.count);
+                // The exported gauge child mirrors the census entry.
+                let labels = linda_obs::render_labels(&[
+                    ("space", space.name.as_str()),
+                    ("signature", &occ.signature.to_string()),
+                ]);
+                prop_assert_eq!(
+                    occupancy.get(&labels).copied(),
+                    Some(occ.count as i64),
+                    "gauge child {} for space {}", labels, space.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn image_size_tracks_live_state_not_history(steps in arb_steps()) {
         // Replaying the same history twice doubles the record count but
         // (for this workload) at most doubles live tuples; the image of

@@ -11,11 +11,17 @@
 //! * [`Gauge`] — a settable signed level (queue depths, applied seq).
 //! * [`Histogram`] — fixed exponential buckets for latencies, with
 //!   p50/p95/p99 estimation from the bucket counts.
+//! * [`CounterFamily`] / [`GaugeFamily`] — labeled metric families
+//!   (Prometheus `name{label="…"}` children), get-or-create per label
+//!   set, for per-space / per-signature workload attribution.
 //! * [`EventSink`] — a bounded ring of structured [`Event`]s (tracing
 //!   without a tracing dependency), used e.g. for replica
 //!   digest-divergence reports.
 //! * [`Registry`] — a named collection of the above, rendered as a
 //!   Prometheus text-exposition snapshot by [`Registry::render`].
+//! * [`RegistrySnapshot`] — a mergeable point-in-time copy of a
+//!   registry, used to serve one cluster-scope `/metrics` aggregate
+//!   over every live member's registry.
 //!
 //! Everything is `std`-only (the build environment has no network access,
 //! and the point of a measurement instrument is to not perturb what it
@@ -79,6 +85,103 @@ impl Gauge {
     /// Current level.
     pub fn get(&self) -> i64 {
         self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Render a label set as the Prometheus `k="v",…` form (without braces),
+/// escaping `\`, `"` and newlines in values. Label order is preserved, so
+/// callers must use a consistent order for a family — the rendered string
+/// doubles as the child's identity.
+pub fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+/// A labeled family of [`Counter`]s: one metric name, one child counter
+/// per label set (`name{space="0",signature="<str,int>"}`). Children are
+/// get-or-create and never removed — label cardinality is bounded by the
+/// program's signature/space vocabulary, which the FT-Linda compilation
+/// model fixes up front (patterns are static in FT-lcc source).
+#[derive(Debug, Default)]
+pub struct CounterFamily {
+    children: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl CounterFamily {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Counter>>> {
+        self.children.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the child for `labels` (order-sensitive).
+    pub fn with(&self, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = render_labels(labels);
+        self.lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
+    /// `(rendered-labels, value)` for every child, sorted by label text.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.lock()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+}
+
+/// A labeled family of [`Gauge`]s. See [`CounterFamily`] for the child
+/// identity/cardinality rules.
+#[derive(Debug, Default)]
+pub struct GaugeFamily {
+    children: Mutex<BTreeMap<String, Arc<Gauge>>>,
+}
+
+impl GaugeFamily {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Gauge>>> {
+        self.children.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the child for `labels` (order-sensitive).
+    pub fn with(&self, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = render_labels(labels);
+        self.lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Gauge::default()))
+            .clone()
+    }
+
+    /// Set every child to 0. Used before re-flushing a census so label
+    /// sets that disappeared (e.g. a store rebuilt from a checkpoint)
+    /// read 0 instead of a stale level.
+    pub fn zero_all(&self) {
+        for g in self.lock().values() {
+            g.set(0);
+        }
+    }
+
+    /// `(rendered-labels, level)` for every child, sorted by label text.
+    pub fn snapshot(&self) -> BTreeMap<String, i64> {
+        self.lock()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
     }
 }
 
@@ -354,6 +457,8 @@ struct Instruments {
     counters: BTreeMap<String, (String, Arc<Counter>)>,
     gauges: BTreeMap<String, (String, Arc<Gauge>)>,
     histograms: BTreeMap<String, (String, Arc<Histogram>)>,
+    counter_families: BTreeMap<String, (String, Arc<CounterFamily>)>,
+    gauge_families: BTreeMap<String, (String, Arc<GaugeFamily>)>,
 }
 
 /// A named collection of instruments with Prometheus text rendering.
@@ -422,6 +527,26 @@ impl Registry {
             .clone()
     }
 
+    /// Get or create the labeled counter family `name`.
+    pub fn counter_family(&self, name: &str, help: &str) -> Arc<CounterFamily> {
+        self.lock()
+            .counter_families
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(CounterFamily::default())))
+            .1
+            .clone()
+    }
+
+    /// Get or create the labeled gauge family `name`.
+    pub fn gauge_family(&self, name: &str, help: &str) -> Arc<GaugeFamily> {
+        self.lock()
+            .gauge_families
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(GaugeFamily::default())))
+            .1
+            .clone()
+    }
+
     /// The registry's structured-event sink.
     pub fn events(&self) -> &EventSink {
         &self.events
@@ -443,41 +568,30 @@ impl Registry {
         self.spans.clone()
     }
 
-    /// Render every instrument in the Prometheus text exposition format
-    /// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}` series
-    /// for histograms).
-    pub fn render(&self) -> String {
+    /// A mergeable point-in-time copy of every instrument, including the
+    /// ring self-metrics (`ftlinda_events_total`, span-drop counters).
+    pub fn snapshot(&self) -> RegistrySnapshot {
         let ins = self.lock();
-        let mut out = String::new();
+        let mut snap = RegistrySnapshot::default();
         for (name, (help, c)) in &ins.counters {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
+            snap.counters.insert(name.clone(), (help.clone(), c.get()));
         }
         for (name, (help, g)) in &ins.gauges {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", g.get());
+            snap.gauges.insert(name.clone(), (help.clone(), g.get()));
         }
         for (name, (help, h)) in &ins.histograms {
-            let snap = h.snapshot();
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} histogram");
-            let mut cumulative = 0u64;
-            for (i, n) in snap.buckets.iter().enumerate() {
-                cumulative += n;
-                match snap.bounds.get(i) {
-                    Some(b) => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
-                    }
-                    None => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                    }
-                }
-            }
-            let _ = writeln!(out, "{name}_sum {}", snap.sum_seconds);
-            let _ = writeln!(out, "{name}_count {}", snap.count);
+            snap.histograms
+                .insert(name.clone(), (help.clone(), h.snapshot()));
         }
+        for (name, (help, f)) in &ins.counter_families {
+            snap.counter_families
+                .insert(name.clone(), (help.clone(), f.snapshot()));
+        }
+        for (name, (help, f)) in &ins.gauge_families {
+            snap.gauge_families
+                .insert(name.clone(), (help.clone(), f.snapshot()));
+        }
+        drop(ins);
         // Self-metrics: how much of the event/span history is intact.
         // Dropping old entries keeps the rings bounded, but the drop
         // itself must be visible to a scraper.
@@ -503,9 +617,154 @@ impl Registry {
                 self.spans.dropped(),
             ),
         ] {
+            snap.counters.insert(name.into(), (help.into(), v));
+        }
+        snap
+    }
+
+    /// Render every instrument in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}` series
+    /// for histograms, `name{labels}` children for families).
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], decoupled from the live
+/// instruments so it can be merged with other members' snapshots and
+/// rendered as one cluster-scope Prometheus page.
+///
+/// Merge rules (per metric name): counters and counter-family children
+/// sum; gauges and gauge-family children sum (levels like tuple counts
+/// and queue depths aggregate additively across replicas); histograms
+/// merge bucket-wise via [`HistogramSnapshot::merge`], and a bucket-layout
+/// mismatch keeps the first operand's histogram untouched. Help text is
+/// taken from whichever snapshot registered the name first.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, (String, u64)>,
+    gauges: BTreeMap<String, (String, i64)>,
+    histograms: BTreeMap<String, (String, HistogramSnapshot)>,
+    counter_families: BTreeMap<String, (String, BTreeMap<String, u64>)>,
+    gauge_families: BTreeMap<String, (String, BTreeMap<String, i64>)>,
+}
+
+impl RegistrySnapshot {
+    /// Fold `other` into `self` under the merge rules above.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, (help, v)) in &other.counters {
+            let e = self
+                .counters
+                .entry(name.clone())
+                .or_insert_with(|| (help.clone(), 0));
+            e.1 += v;
+        }
+        for (name, (help, v)) in &other.gauges {
+            let e = self
+                .gauges
+                .entry(name.clone())
+                .or_insert_with(|| (help.clone(), 0));
+            e.1 += v;
+        }
+        for (name, (help, h)) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some((_, mine)) => {
+                    // On layout mismatch keep ours; the per-member
+                    // endpoints still expose the exact series.
+                    let _ = mine.merge(h);
+                }
+                None => {
+                    self.histograms
+                        .insert(name.clone(), (help.clone(), h.clone()));
+                }
+            }
+        }
+        for (name, (help, children)) in &other.counter_families {
+            let e = self
+                .counter_families
+                .entry(name.clone())
+                .or_insert_with(|| (help.clone(), BTreeMap::new()));
+            for (labels, v) in children {
+                *e.1.entry(labels.clone()).or_insert(0) += v;
+            }
+        }
+        for (name, (help, children)) in &other.gauge_families {
+            let e = self
+                .gauge_families
+                .entry(name.clone())
+                .or_insert_with(|| (help.clone(), BTreeMap::new()));
+            for (labels, v) in children {
+                *e.1.entry(labels.clone()).or_insert(0) += v;
+            }
+        }
+    }
+
+    /// Value of plain counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).map(|(_, v)| *v)
+    }
+
+    /// Level of plain gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).map(|(_, v)| *v)
+    }
+
+    /// Children of counter family `name` (rendered label string →
+    /// value), if present.
+    pub fn counter_family(&self, name: &str) -> Option<&BTreeMap<String, u64>> {
+        self.counter_families.get(name).map(|(_, c)| c)
+    }
+
+    /// Children of gauge family `name` (rendered label string → level),
+    /// if present.
+    pub fn gauge_family(&self, name: &str) -> Option<&BTreeMap<String, i64>> {
+        self.gauge_families.get(name).map(|(_, c)| c)
+    }
+
+    /// Prometheus text exposition of the snapshot.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, (help, v)) in &self.counters {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, (help, children)) in &self.counter_families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (labels, v) in children {
+                let _ = writeln!(out, "{name}{{{labels}}} {v}");
+            }
+        }
+        for (name, (help, v)) in &self.gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, (help, children)) in &self.gauge_families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (labels, v) in children {
+                let _ = writeln!(out, "{name}{{{labels}}} {v}");
+            }
+        }
+        for (name, (help, snap)) in &self.histograms {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in snap.buckets.iter().enumerate() {
+                cumulative += n;
+                match snap.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", snap.sum_seconds);
+            let _ = writeln!(out, "{name}_count {}", snap.count);
         }
         out
     }
@@ -623,6 +882,62 @@ mod tests {
         assert!(text.contains("ftlinda_events_dropped_total 0"));
         assert!(text.contains("ftlinda_trace_spans_total 1"));
         assert!(text.contains("ftlinda_trace_spans_dropped_total 0"));
+    }
+
+    #[test]
+    fn labeled_families_render_children() {
+        let r = Registry::new();
+        let f = r.counter_family("ops_total", "ops by kind");
+        f.with(&[("kind", "in"), ("space", "0")]).add(3);
+        f.with(&[("kind", "out"), ("space", "0")]).inc();
+        // Same label set → same child.
+        f.with(&[("kind", "in"), ("space", "0")]).inc();
+        let g = r.gauge_family("depth", "depth by sig");
+        g.with(&[("signature", "<str,int>")]).set(7);
+        let text = r.render();
+        assert!(text.contains("# TYPE ops_total counter"));
+        assert!(text.contains("ops_total{kind=\"in\",space=\"0\"} 4"));
+        assert!(text.contains("ops_total{kind=\"out\",space=\"0\"} 1"));
+        assert!(text.contains("depth{signature=\"<str,int>\"} 7"));
+        g.zero_all();
+        assert!(r.render().contains("depth{signature=\"<str,int>\"} 0"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let rendered = render_labels(&[("k", "a\"b\\c\nd")]);
+        assert_eq!(rendered, "k=\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn snapshot_merge_sums_everything() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("applied_total", "h").add(10);
+        b.counter("applied_total", "h").add(5);
+        a.gauge("blocked", "h").set(2);
+        b.gauge("blocked", "h").set(3);
+        a.histogram("lat", "h").observe(Duration::from_millis(1));
+        b.histogram("lat", "h").observe(Duration::from_millis(2));
+        b.counter("only_b_total", "h").add(7);
+        a.counter_family("ts_tuples", "h")
+            .with(&[("signature", "<int>")])
+            .add(4);
+        b.counter_family("ts_tuples", "h")
+            .with(&[("signature", "<int>")])
+            .add(6);
+        b.counter_family("ts_tuples", "h")
+            .with(&[("signature", "<str>")])
+            .add(1);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("applied_total"), Some(15));
+        assert_eq!(merged.counter("only_b_total"), Some(7));
+        assert_eq!(merged.gauge("blocked"), Some(5));
+        let text = merged.render();
+        assert!(text.contains("lat_count 2"));
+        assert!(text.contains("ts_tuples{signature=\"<int>\"} 10"));
+        assert!(text.contains("ts_tuples{signature=\"<str>\"} 1"));
     }
 
     #[test]

@@ -139,6 +139,10 @@ pub struct SpanLog {
     cap: usize,
     total: AtomicU64,
     dropped: AtomicU64,
+    /// Timestamp of the newest span ever evicted: everything at or
+    /// before this instant may be missing from the ring, so a trace
+    /// whose spans start at or before it cannot be trusted complete.
+    evicted_newest: AtomicU64,
 }
 
 impl Default for SpanLog {
@@ -155,6 +159,7 @@ impl SpanLog {
             cap: cap.max(1),
             total: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            evicted_newest: AtomicU64::new(0),
         }
     }
 
@@ -174,8 +179,11 @@ impl SpanLog {
         self.total.fetch_add(1, Ordering::Relaxed);
         let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
         if buf.len() == self.cap {
-            buf.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(evicted) = buf.pop_front() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.evicted_newest
+                    .fetch_max(evicted.at_micros, Ordering::Relaxed);
+            }
         }
         buf.push_back(span);
     }
@@ -210,6 +218,17 @@ impl SpanLog {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Timestamp (µs since `UNIX_EPOCH`) of the newest span ever evicted,
+    /// or `None` when nothing was ever dropped. Spans recorded at or
+    /// before this instant may be missing from the ring.
+    pub fn evicted_newest_micros(&self) -> Option<u64> {
+        if self.dropped() == 0 {
+            None
+        } else {
+            Some(self.evicted_newest.load(Ordering::Relaxed))
+        }
+    }
 }
 
 /// A cross-replica span tree for one AGS: every member's spans for one
@@ -220,6 +239,11 @@ pub struct TraceTree {
     pub trace: TraceId,
     /// All collected spans, sorted by `(at_micros, stage rank, host)`.
     pub spans: Vec<SpanRecord>,
+    /// Whether any contributing span ring may have aged out spans of this
+    /// trace (see [`TraceTree::mark_truncation`]). A truncated tree is
+    /// incomplete because of ring eviction, not because the pipeline
+    /// failed to run a stage.
+    pub truncated: bool,
 }
 
 impl TraceTree {
@@ -234,7 +258,34 @@ impl TraceTree {
                 b.host,
             ))
         });
-        TraceTree { trace, spans }
+        TraceTree {
+            trace,
+            spans,
+            truncated: false,
+        }
+    }
+
+    /// Mark the tree truncated when any contributing [`SpanLog`]'s
+    /// evictions could have eaten spans of this trace. `logs` yields each
+    /// log's [`SpanLog::evicted_newest_micros`]. The tree is truncated if
+    /// some log evicted spans and either (a) this tree is empty — the
+    /// trace may have existed and aged out entirely — or (b) the eviction
+    /// horizon reaches this tree's earliest retained span.
+    pub fn mark_truncation<I: IntoIterator<Item = Option<u64>>>(&mut self, logs: I) {
+        let earliest = self.spans.first().map(|s| s.at_micros);
+        for horizon in logs.into_iter().flatten() {
+            match earliest {
+                None => {
+                    self.truncated = true;
+                    return;
+                }
+                Some(at) if horizon >= at => {
+                    self.truncated = true;
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
     }
 
     /// Hosts that recorded the given stage.
@@ -306,6 +357,8 @@ impl TraceTree {
         out.push_str(&self.trace.to_string());
         out.push_str("\",\"span_count\":");
         out.push_str(&self.spans.len().to_string());
+        out.push_str(",\"truncated\":");
+        out.push_str(if self.truncated { "true" } else { "false" });
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -440,6 +493,42 @@ mod tests {
         assert!(!tree.is_complete(&[0]), "blocked but never woke");
         spans.push(span(id, "wake", 0, 9));
         assert!(TraceTree::assemble(id, spans).is_complete(&[0]));
+    }
+
+    #[test]
+    fn eviction_horizon_tracks_newest_dropped_span() {
+        let log = SpanLog::with_capacity(2);
+        let id = TraceId::new(0, 1);
+        assert_eq!(log.evicted_newest_micros(), None);
+        log.push(span(id, "submit", 0, 10));
+        log.push(span(id, "flush", 0, 20));
+        assert_eq!(log.evicted_newest_micros(), None, "nothing evicted yet");
+        log.push(span(id, "deliver", 0, 30)); // evicts the t=10 span
+        assert_eq!(log.evicted_newest_micros(), Some(10));
+        log.push(span(id, "apply", 0, 40)); // evicts the t=20 span
+        assert_eq!(log.evicted_newest_micros(), Some(20));
+    }
+
+    #[test]
+    fn truncation_marking_rules() {
+        let id = TraceId::new(0, 7);
+        // No evictions anywhere → not truncated.
+        let mut tree = TraceTree::assemble(id, vec![span(id, "apply", 0, 100)]);
+        tree.mark_truncation(vec![None, None]);
+        assert!(!tree.truncated);
+        // Horizon strictly before our earliest span → still intact.
+        let mut tree = TraceTree::assemble(id, vec![span(id, "apply", 0, 100)]);
+        tree.mark_truncation(vec![Some(99)]);
+        assert!(!tree.truncated);
+        // Horizon reaching our earliest span → spans may be missing.
+        let mut tree = TraceTree::assemble(id, vec![span(id, "apply", 0, 100)]);
+        tree.mark_truncation(vec![Some(100)]);
+        assert!(tree.truncated);
+        // Empty tree + any eviction → can't tell unknown from aged-out.
+        let mut tree = TraceTree::assemble(id, vec![]);
+        tree.mark_truncation(vec![None, Some(5)]);
+        assert!(tree.truncated);
+        assert!(tree.to_json().contains("\"truncated\":true"));
     }
 
     #[test]

@@ -24,4 +24,4 @@ mod space;
 mod store;
 
 pub use space::{EvalField, EvalHandle, LocalSpace, SpaceClosed};
-pub use store::{IndexedStore, LinearStore, Store};
+pub use store::{IndexedStore, LinearStore, MatchStats, SignatureOccupancy, Store};

@@ -189,6 +189,17 @@ impl LocalSpace {
         self.inner.state.lock().store.snapshot()
     }
 
+    /// Cumulative matching-cost totals of the backing store.
+    pub fn match_stats(&self) -> crate::MatchStats {
+        self.inner.state.lock().store.match_stats()
+    }
+
+    /// Per-signature occupancy (with high-water marks), sorted by
+    /// signature.
+    pub fn signature_census(&self) -> Vec<crate::SignatureOccupancy> {
+        self.inner.state.lock().store.signature_census()
+    }
+
     /// Close the space: all current and future blocking calls return
     /// `Err(SpaceClosed)` once no match is available. Deposited tuples
     /// remain readable via the non-blocking operations.

@@ -24,8 +24,98 @@
 //! store. AGS `move` over large tuple sets therefore costs O(matches)
 //! pointer moves, not O(bytes).
 
-use linda_tuple::{Pattern, StableMap, Tuple, Value};
+use linda_tuple::{Pattern, Signature, StableMap, Tuple, Value};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Point-in-time matching-cost totals for one store.
+///
+/// A *probe* is one `Pattern::matches` evaluation against a stored tuple;
+/// an *attempt* is one `in`/`rd`-shaped operation (`take`, `read`,
+/// `contains`, `count`, `take_all`, `read_all`); a *hit* is a probe that
+/// matched. `probes / attempts` is the matching cost the store's indexing
+/// did **not** eliminate — the number the sharded-tuple-space roadmap
+/// item needs per signature before picking a partitioning key.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Match-shaped operations attempted.
+    pub attempts: u64,
+    /// Tuples examined (`Pattern::matches` evaluations).
+    pub probes: u64,
+    /// Probes that matched.
+    pub hits: u64,
+}
+
+impl MatchStats {
+    /// Mean tuples examined per attempt (0.0 when nothing was attempted).
+    pub fn probes_per_attempt(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Fraction of probes that matched (1.0 when no probe was wasted —
+    /// including the degenerate zero-probe case).
+    pub fn efficiency(&self) -> f64 {
+        if self.probes == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+
+    /// Component-wise difference versus an earlier snapshot (for
+    /// delta-feeding monotonic counters).
+    pub fn since(&self, earlier: &MatchStats) -> MatchStats {
+        MatchStats {
+            attempts: self.attempts.saturating_sub(earlier.attempts),
+            probes: self.probes.saturating_sub(earlier.probes),
+            hits: self.hits.saturating_sub(earlier.hits),
+        }
+    }
+}
+
+/// Interior-mutability accumulator for [`MatchStats`], so the read-side
+/// operations (`read`, `contains`, `count`, `read_all` — all `&self`) can
+/// account their probes too. `Cell` keeps the hot path to a plain load +
+/// store; stores are only ever reached behind a `Mutex` (`LocalSpace`,
+/// the kernel), so the non-`Sync` cell never sees concurrent access.
+#[derive(Debug, Default, Clone)]
+struct MatchCounters {
+    attempts: Cell<u64>,
+    probes: Cell<u64>,
+    hits: Cell<u64>,
+}
+
+impl MatchCounters {
+    fn record(&self, probes: u64, hits: u64) {
+        self.attempts.set(self.attempts.get() + 1);
+        self.probes.set(self.probes.get() + probes);
+        self.hits.set(self.hits.get() + hits);
+    }
+
+    fn stats(&self) -> MatchStats {
+        MatchStats {
+            attempts: self.attempts.get(),
+            probes: self.probes.get(),
+            hits: self.hits.get(),
+        }
+    }
+}
+
+/// Occupancy of one tuple signature within a store: current count plus
+/// the high-water mark since the store was created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureOccupancy {
+    /// The signature (arity + ordered field types).
+    pub signature: Signature,
+    /// Tuples of this signature currently stored.
+    pub count: usize,
+    /// Most tuples of this signature ever stored at once.
+    pub high_water: usize,
+}
 
 /// Minimal interface of a tuple store (single-threaded; the concurrent
 /// wrapper lives in [`crate::LocalSpace`]).
@@ -57,6 +147,17 @@ pub trait Store {
     /// Snapshot of all tuples in insertion order (for checkpointing and
     /// state transfer to recovering replicas).
     fn snapshot(&self) -> Vec<Tuple>;
+    /// Cumulative matching-cost totals (attempts / probes / hits) since
+    /// the store was created. Pure observability: never part of replica
+    /// digests or checkpoints.
+    fn match_stats(&self) -> MatchStats;
+    /// Per-signature occupancy with high-water marks, sorted by
+    /// signature. Entries whose count dropped to 0 are retained (their
+    /// high-water mark is still informative); `clear` resets everything.
+    fn signature_census(&self) -> Vec<SignatureOccupancy>;
+    /// Tuples currently stored under the signature with this stable hash
+    /// (the "nearest miss" count for a guard that keeps not matching).
+    fn signature_len(&self, sig_hash: u64) -> usize;
 }
 
 /// One signature bucket of the [`IndexedStore`].
@@ -109,14 +210,27 @@ impl Bucket {
         }
     }
 
-    fn find_first(&self, p: &Pattern) -> Option<u64> {
-        self.candidates(p).find(|seq| p.matches(&self.entries[seq]))
+    /// Oldest matching seq plus the number of tuples examined.
+    fn find_first(&self, p: &Pattern) -> (Option<u64>, u64) {
+        let mut probes = 0u64;
+        let found = self.candidates(p).find(|seq| {
+            probes += 1;
+            p.matches(&self.entries[seq])
+        });
+        (found, probes)
     }
 
-    fn find_all(&self, p: &Pattern) -> Vec<u64> {
-        self.candidates(p)
-            .filter(|seq| p.matches(&self.entries[seq]))
-            .collect()
+    /// All matching seqs (oldest first) plus the number examined.
+    fn find_all(&self, p: &Pattern) -> (Vec<u64>, u64) {
+        let mut probes = 0u64;
+        let found = self
+            .candidates(p)
+            .filter(|seq| {
+                probes += 1;
+                p.matches(&self.entries[seq])
+            })
+            .collect();
+        (found, probes)
     }
 }
 
@@ -126,6 +240,11 @@ pub struct IndexedStore {
     buckets: StableMap<u64, Bucket>,
     next_seq: u64,
     len: usize,
+    /// Signature-hash → occupancy. Kept separate from `buckets` because
+    /// emptied buckets are removed, while a census entry must survive at
+    /// count 0 to preserve its high-water mark.
+    census: StableMap<u64, SignatureOccupancy>,
+    matches: MatchCounters,
 }
 
 impl IndexedStore {
@@ -138,6 +257,36 @@ impl IndexedStore {
         self.buckets.get(&p.signature().stable_hash())
     }
 
+    /// Shared insert path: bucket insert + len + census bookkeeping.
+    /// Returns whether `seq` was fresh (see `Bucket::insert`).
+    fn insert_at(&mut self, seq: u64, t: Tuple) -> bool {
+        let sig = t.signature();
+        let key = sig.stable_hash();
+        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        if fresh {
+            self.len += 1;
+            let entry = self
+                .census
+                .entry(key)
+                .or_insert_with(|| SignatureOccupancy {
+                    signature: sig,
+                    count: 0,
+                    high_water: 0,
+                });
+            entry.count += 1;
+            entry.high_water = entry.high_water.max(entry.count);
+        }
+        fresh
+    }
+
+    fn census_remove(&mut self, key: u64, n: usize) {
+        if n > 0 {
+            if let Some(e) = self.census.get_mut(&key) {
+                e.count = e.count.saturating_sub(n);
+            }
+        }
+    }
+
     // ----- tracked operations -------------------------------------------
     //
     // The AGS execution engine needs *exact* rollback: an aborted atomic
@@ -148,27 +297,29 @@ impl IndexedStore {
 
     /// Insert and return the internal insertion sequence (for undo).
     pub fn insert_tracked(&mut self, t: Tuple) -> u64 {
-        let key = t.signature().stable_hash();
         let seq = self.next_seq;
         self.next_seq += 1;
-        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        let fresh = self.insert_at(seq, t);
         debug_assert!(fresh, "insert_tracked allocated a duplicate seq {seq}");
-        if fresh {
-            self.len += 1;
-        }
         seq
     }
 
     /// Withdraw the oldest match together with its sequence number.
     pub fn take_tracked(&mut self, p: &Pattern) -> Option<(u64, Tuple)> {
         let key = p.signature().stable_hash();
-        let bucket = self.buckets.get_mut(&key)?;
-        let seq = bucket.find_first(p)?;
+        let Some(bucket) = self.buckets.get_mut(&key) else {
+            self.matches.record(0, 0);
+            return None;
+        };
+        let (found, probes) = bucket.find_first(p);
+        self.matches.record(probes, found.is_some() as u64);
+        let seq = found?;
         let t = bucket.remove(seq)?;
         self.len -= 1;
         if bucket.entries.is_empty() {
             self.buckets.remove(&key);
         }
+        self.census_remove(key, 1);
         Some((seq, t))
     }
 
@@ -176,9 +327,11 @@ impl IndexedStore {
     pub fn take_all_tracked(&mut self, p: &Pattern) -> Vec<(u64, Tuple)> {
         let key = p.signature().stable_hash();
         let Some(bucket) = self.buckets.get_mut(&key) else {
+            self.matches.record(0, 0);
             return Vec::new();
         };
-        let seqs = bucket.find_all(p);
+        let (seqs, probes) = bucket.find_all(p);
+        self.matches.record(probes, seqs.len() as u64);
         let out: Vec<(u64, Tuple)> = seqs
             .into_iter()
             .filter_map(|seq| bucket.remove(seq).map(|t| (seq, t)))
@@ -187,6 +340,7 @@ impl IndexedStore {
         if bucket.entries.is_empty() {
             self.buckets.remove(&key);
         }
+        self.census_remove(key, out.len());
         out
     }
 
@@ -198,6 +352,7 @@ impl IndexedStore {
         if bucket.entries.is_empty() {
             self.buckets.remove(&sig_hash);
         }
+        self.census_remove(sig_hash, 1);
         Some(t)
     }
 
@@ -213,26 +368,18 @@ impl IndexedStore {
     /// rejected: the store is left unchanged, `false` is returned, and
     /// debug builds panic.
     pub fn restore_at(&mut self, seq: u64, t: Tuple) -> bool {
-        let key = t.signature().stable_hash();
-        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        let fresh = self.insert_at(seq, t);
         debug_assert!(fresh, "restore_at seq {seq} is already occupied");
-        if fresh {
-            self.len += 1;
-        }
         fresh
     }
 }
 
 impl Store for IndexedStore {
     fn insert(&mut self, t: Tuple) {
-        let key = t.signature().stable_hash();
         let seq = self.next_seq;
         self.next_seq += 1;
-        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        let fresh = self.insert_at(seq, t);
         debug_assert!(fresh, "insert allocated a duplicate seq {seq}");
-        if fresh {
-            self.len += 1;
-        }
     }
 
     fn take(&mut self, p: &Pattern) -> Option<Tuple> {
@@ -240,13 +387,23 @@ impl Store for IndexedStore {
     }
 
     fn read(&self, p: &Pattern) -> Option<Tuple> {
-        let bucket = self.bucket_for_pattern(p)?;
-        bucket.find_first(p).map(|seq| bucket.entries[&seq].clone())
+        let Some(bucket) = self.bucket_for_pattern(p) else {
+            self.matches.record(0, 0);
+            return None;
+        };
+        let (found, probes) = bucket.find_first(p);
+        self.matches.record(probes, found.is_some() as u64);
+        found.map(|seq| bucket.entries[&seq].clone())
     }
 
     fn count(&self, p: &Pattern) -> usize {
-        self.bucket_for_pattern(p)
-            .map_or(0, |b| b.find_all(p).len())
+        let Some(bucket) = self.bucket_for_pattern(p) else {
+            self.matches.record(0, 0);
+            return 0;
+        };
+        let (found, probes) = bucket.find_all(p);
+        self.matches.record(probes, found.len() as u64);
+        found.len()
     }
 
     fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
@@ -257,12 +414,16 @@ impl Store for IndexedStore {
     }
 
     fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
-        self.bucket_for_pattern(p).map_or_else(Vec::new, |b| {
-            b.find_all(p)
-                .into_iter()
-                .map(|seq| b.entries[&seq].clone())
-                .collect()
-        })
+        let Some(bucket) = self.bucket_for_pattern(p) else {
+            self.matches.record(0, 0);
+            return Vec::new();
+        };
+        let (found, probes) = bucket.find_all(p);
+        self.matches.record(probes, found.len() as u64);
+        found
+            .into_iter()
+            .map(|seq| bucket.entries[&seq].clone())
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -271,6 +432,7 @@ impl Store for IndexedStore {
 
     fn clear(&mut self) {
         self.buckets.clear();
+        self.census.clear();
         self.len = 0;
     }
 
@@ -283,6 +445,20 @@ impl Store for IndexedStore {
         all.sort_by_key(|(s, _)| *s);
         all.into_iter().map(|(_, t)| t).collect()
     }
+
+    fn match_stats(&self) -> MatchStats {
+        self.matches.stats()
+    }
+
+    fn signature_census(&self) -> Vec<SignatureOccupancy> {
+        let mut out: Vec<SignatureOccupancy> = self.census.values().cloned().collect();
+        out.sort_by(|a, b| a.signature.cmp(&b.signature));
+        out
+    }
+
+    fn signature_len(&self, sig_hash: u64) -> usize {
+        self.census.get(&sig_hash).map_or(0, |e| e.count)
+    }
 }
 
 /// Baseline store: a flat insertion-ordered vector with linear scans.
@@ -291,6 +467,8 @@ impl Store for IndexedStore {
 pub struct LinearStore {
     entries: Vec<(u64, Tuple)>,
     next_seq: u64,
+    census: StableMap<u64, SignatureOccupancy>,
+    matches: MatchCounters,
 }
 
 impl LinearStore {
@@ -298,34 +476,74 @@ impl LinearStore {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn census_insert(&mut self, sig: Signature) {
+        let entry = self
+            .census
+            .entry(sig.stable_hash())
+            .or_insert_with(|| SignatureOccupancy {
+                signature: sig,
+                count: 0,
+                high_water: 0,
+            });
+        entry.count += 1;
+        entry.high_water = entry.high_water.max(entry.count);
+    }
+
+    fn census_remove(&mut self, key: u64, n: usize) {
+        if n > 0 {
+            if let Some(e) = self.census.get_mut(&key) {
+                e.count = e.count.saturating_sub(n);
+            }
+        }
+    }
 }
 
 impl Store for LinearStore {
     fn insert(&mut self, t: Tuple) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.census_insert(t.signature());
         self.entries.push((seq, t));
     }
 
     fn take(&mut self, p: &Pattern) -> Option<Tuple> {
-        let idx = self.entries.iter().position(|(_, t)| p.matches(t))?;
-        Some(self.entries.remove(idx).1)
+        let mut probes = 0u64;
+        let idx = self.entries.iter().position(|(_, t)| {
+            probes += 1;
+            p.matches(t)
+        });
+        self.matches.record(probes, idx.is_some() as u64);
+        let idx = idx?;
+        let t = self.entries.remove(idx).1;
+        self.census_remove(t.signature().stable_hash(), 1);
+        Some(t)
     }
 
     fn read(&self, p: &Pattern) -> Option<Tuple> {
-        self.entries
+        let mut probes = 0u64;
+        let found = self
+            .entries
             .iter()
-            .find(|(_, t)| p.matches(t))
-            .map(|(_, t)| t.clone())
+            .find(|(_, t)| {
+                probes += 1;
+                p.matches(t)
+            })
+            .map(|(_, t)| t.clone());
+        self.matches.record(probes, found.is_some() as u64);
+        found
     }
 
     fn count(&self, p: &Pattern) -> usize {
-        self.entries.iter().filter(|(_, t)| p.matches(t)).count()
+        let n = self.entries.iter().filter(|(_, t)| p.matches(t)).count();
+        self.matches.record(self.entries.len() as u64, n as u64);
+        n
     }
 
     fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
         // Drain-partition: matches are moved out, non-matches moved back.
         // No tuple payload is ever cloned on this withdraw path.
+        let probes = self.entries.len() as u64;
         let mut out = Vec::new();
         let mut kept = Vec::with_capacity(self.entries.len());
         for (seq, t) in self.entries.drain(..) {
@@ -336,15 +554,21 @@ impl Store for LinearStore {
             }
         }
         self.entries = kept;
+        self.matches.record(probes, out.len() as u64);
+        self.census_remove(p.signature().stable_hash(), out.len());
         out
     }
 
     fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
-        self.entries
+        let out: Vec<Tuple> = self
+            .entries
             .iter()
             .filter(|(_, t)| p.matches(t))
             .map(|(_, t)| t.clone())
-            .collect()
+            .collect();
+        self.matches
+            .record(self.entries.len() as u64, out.len() as u64);
+        out
     }
 
     fn len(&self) -> usize {
@@ -353,10 +577,25 @@ impl Store for LinearStore {
 
     fn clear(&mut self) {
         self.entries.clear();
+        self.census.clear();
     }
 
     fn snapshot(&self) -> Vec<Tuple> {
         self.entries.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    fn match_stats(&self) -> MatchStats {
+        self.matches.stats()
+    }
+
+    fn signature_census(&self) -> Vec<SignatureOccupancy> {
+        let mut out: Vec<SignatureOccupancy> = self.census.values().cloned().collect();
+        out.sort_by(|a, b| a.signature.cmp(&b.signature));
+        out
+    }
+
+    fn signature_len(&self, sig_hash: u64) -> usize {
+        self.census.get(&sig_hash).map_or(0, |e| e.count)
     }
 }
 
@@ -523,6 +762,97 @@ mod tests {
             s.insert(tuple!("p", 2, "y"));
             assert_eq!(s.take(&pat!("p", ?int, "y")), Some(tuple!("p", 2, "y")));
         }
+    }
+
+    #[test]
+    fn signature_census_counts_and_high_water() {
+        for mut s in stores() {
+            for i in 0..3 {
+                s.insert(tuple!("job", i));
+            }
+            s.insert(tuple!("flag"));
+            let census = s.signature_census();
+            assert_eq!(census.len(), 2);
+            let job = census
+                .iter()
+                .find(|c| c.signature.to_string() == "<str,int>")
+                .unwrap();
+            assert_eq!((job.count, job.high_water), (3, 3));
+            // Draining below the high-water mark keeps the mark.
+            s.take(&pat!("job", ?int));
+            s.take(&pat!("job", ?int));
+            let job_hash = tuple!("job", 0).signature().stable_hash();
+            assert_eq!(s.signature_len(job_hash), 1);
+            let census = s.signature_census();
+            let job = census
+                .iter()
+                .find(|c| c.signature.to_string() == "<str,int>")
+                .unwrap();
+            assert_eq!((job.count, job.high_water), (1, 3));
+            // take_all empties the signature but the census entry stays.
+            s.take_all(&pat!("job", ?int));
+            assert_eq!(s.signature_len(job_hash), 0);
+            let census = s.signature_census();
+            let job = census
+                .iter()
+                .find(|c| c.signature.to_string() == "<str,int>")
+                .unwrap();
+            assert_eq!((job.count, job.high_water), (0, 3));
+            // clear resets the census entirely.
+            s.clear();
+            assert!(s.signature_census().is_empty());
+        }
+    }
+
+    #[test]
+    fn census_tracks_tracked_undo_paths() {
+        let mut s = IndexedStore::new();
+        let sig = tuple!("t", 0).signature().stable_hash();
+        let seq = s.insert_tracked(tuple!("t", 0));
+        assert_eq!(s.signature_len(sig), 1);
+        s.remove_at(seq, sig);
+        assert_eq!(s.signature_len(sig), 0);
+        s.insert(tuple!("t", 1));
+        let (seq, t) = s.take_tracked(&pat!("t", ?int)).unwrap();
+        assert_eq!(s.signature_len(sig), 0);
+        s.restore_at(seq, t);
+        assert_eq!(s.signature_len(sig), 1);
+        let c = &s.signature_census()[0];
+        assert_eq!((c.count, c.high_water), (1, 1), "undo is not a new peak");
+    }
+
+    #[test]
+    fn match_stats_count_probes_and_hits() {
+        // Indexed: miss on an absent signature costs zero probes.
+        let s = IndexedStore::new();
+        assert!(!s.contains(&pat!("nope", ?int)));
+        let st = s.match_stats();
+        assert_eq!((st.attempts, st.probes, st.hits), (1, 0, 0));
+
+        // Linear: the same miss scans the whole store.
+        let mut lin = LinearStore::new();
+        for i in 0..5 {
+            lin.insert(tuple!("job", i));
+        }
+        assert!(!lin.contains(&pat!("nope", ?int)));
+        let st = lin.match_stats();
+        assert_eq!((st.attempts, st.probes, st.hits), (1, 5, 0));
+        assert_eq!(st.probes_per_attempt(), 5.0);
+        assert_eq!(st.efficiency(), 0.0);
+
+        // A successful head-indexed take probes exactly one tuple.
+        let mut idx = IndexedStore::new();
+        idx.insert(tuple!("a", 1));
+        idx.insert(tuple!("b", 2));
+        assert!(idx.take(&pat!("b", ?int)).is_some());
+        let st = idx.match_stats();
+        assert_eq!((st.attempts, st.probes, st.hits), (1, 1, 1));
+        assert_eq!(st.efficiency(), 1.0);
+
+        // Deltas for counter feeding.
+        assert!(idx.take(&pat!("a", ?int)).is_some());
+        let newer = idx.match_stats();
+        assert_eq!(newer.since(&st).attempts, 1);
     }
 
     #[test]

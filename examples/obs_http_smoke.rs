@@ -10,9 +10,12 @@
 //! ```
 //!
 //! A `TRACE <id>` line names one AGS whose span tree is complete across
-//! the cluster, so the scraper can exercise `/trace/<id>` too.
+//! the cluster, so the scraper can exercise `/trace/<id>` too. One
+//! never-matching `in` is left parked so `/introspect` serves a
+//! non-empty blocked-AGS table and the starvation watchdog (threshold
+//! lowered to 1 s here) emits `ags_starving` while the cluster idles.
 
-use ftlinda::{Ags, Cluster, Operand};
+use ftlinda::{Ags, Cluster, MatchField, Operand};
 use std::time::Duration;
 
 fn main() {
@@ -20,7 +23,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
-    let (cluster, rts) = Cluster::builder().hosts(3).build();
+    let (cluster, rts) = Cluster::builder()
+        .hosts(3)
+        .starvation_after(Duration::from_secs(1))
+        .build();
     let ts = rts[0].create_stable_ts("main").unwrap();
 
     // Concurrent submits so the batch histograms (`ftlinda_batch_size`,
@@ -40,6 +46,23 @@ fn main() {
     }
     for rt in &rts {
         assert!(rt.wait_applied(rts[0].applied_seq(), Duration::from_secs(5)));
+    }
+
+    // Park one guard that can never fire — ("job", -1) is never
+    // deposited — so the blocked-AGS table and ags_starving events have
+    // something to show. The handle is dropped, not awaited; shutdown
+    // resolves it.
+    let parked = rts[1].execute_async(
+        &Ags::in_one(ts, vec![MatchField::actual("job"), MatchField::actual(-1)]).unwrap(),
+    );
+    drop(parked);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rts.iter().any(|rt| rt.blocked_len() == 0) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "parked guard never blocked"
+        );
+        std::thread::sleep(Duration::from_millis(5));
     }
 
     for rt in &rts {

@@ -21,6 +21,11 @@ echo "==> bench smoke (assertions only, no measurement)"
 BENCH_MSGS_PER_AGS_JSON="${BENCH_MSGS_PER_AGS_JSON:-$PWD/BENCH_msgs_per_ags.json}" \
     cargo bench -p linda-bench --bench batch_window -- --test
 cargo bench -p linda-bench --bench msgs_per_ags -- --test
+# match_probes compares probes-per-match for the indexed vs linear
+# store (the index must hold hit cost at ~1 probe) and writes the
+# observatory's match-cost artifact.
+BENCH_MATCH_PROBES_JSON="${BENCH_MATCH_PROBES_JSON:-$PWD/BENCH_match_probes.json}" \
+    cargo bench -p linda-bench --bench match_probes -- --test
 
 echo "==> HTTP exporter smoke (3-member cluster, curl every member)"
 ./scripts/obs_smoke.sh

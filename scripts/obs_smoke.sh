@@ -2,8 +2,11 @@
 # Observability smoke test: boot a 3-member cluster via the
 # obs_http_smoke example, then scrape every member's HTTP exporter with
 # curl and assert the surfaces a monitoring stack depends on:
-#   /metrics  — Prometheus text incl. the batch histograms
+#   /metrics  — Prometheus text incl. the batch histograms and the
+#               per-signature occupancy / match-probe families
+#   /metrics/cluster — merged registries of every live member
 #   /healthz  — live member with an applied sequence number
+#   /introspect — signature census + blocked-AGS table as JSON
 #   /trace/<id> — a complete cross-replica span tree
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +40,29 @@ while read -r _ host addr; do
             echo "    MISSING $name in /metrics of member $host"; FAIL=1
         fi
     done
+    # Labeled observatory families: occupancy gauge children carry
+    # space+signature labels, probe counters carry the space label.
+    for pat in 'ftlinda_ts_tuples{space="main",signature="<str,int>"}' \
+               'ftlinda_match_probes_total{space="main"}' \
+               'ftlinda_match_probe_efficiency{space="main"}'; do
+        if ! grep -qF "$pat" <<<"$METRICS"; then
+            echo "    MISSING $pat in /metrics of member $host"; FAIL=1
+        fi
+    done
+    CLUSTER="$(curl -sfS "http://$addr/metrics/cluster")"
+    for pat in 'ftlinda_ts_tuples{space="main",signature="<str,int>"}' \
+               'ftlinda_ags_completions_total' 'ftlinda_applied_seq'; do
+        if ! grep -qF "$pat" <<<"$CLUSTER"; then
+            echo "    MISSING $pat in /metrics/cluster of member $host"; FAIL=1
+        fi
+    done
+    INTROSPECT="$(curl -sfS "http://$addr/introspect")"
+    for pat in '"signatures":[{' '"hot_signatures"' '"blocked":[{' \
+               '"guards":' '"nearest_miss":' '"match":{'; do
+        if ! grep -qF "$pat" <<<"$INTROSPECT"; then
+            echo "    MISSING $pat in /introspect of member $host"; FAIL=1
+        fi
+    done
     HEALTH="$(curl -sfS "http://$addr/healthz")"
     grep -q '"live":true' <<<"$HEALTH" || { echo "    member $host not live: $HEALTH"; FAIL=1; }
     grep -q '"applied_seq":' <<<"$HEALTH" || { echo "    member $host no applied_seq: $HEALTH"; FAIL=1; }
@@ -44,7 +70,7 @@ while read -r _ host addr; do
     for stage in '"submit"' '"deliver"' '"apply"'; do
         grep -q "$stage" <<<"$TRACE" || { echo "    member $host trace missing $stage: $TRACE"; FAIL=1; }
     done
-    echo "    metrics/healthz/trace OK"
+    echo "    metrics/cluster-metrics/introspect/healthz/trace OK"
 done < <(grep '^MEMBER ' "$OUT")
 
 wait "$SMOKE_PID"
