@@ -25,6 +25,7 @@ use crate::flight::{FlightRecorder, FlightSection};
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::server::{events_json_lines, http_post_metrics, ExporterSources, HttpExporter};
 use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup};
+use ftlinda_kernel::StoreConfig;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
@@ -48,6 +49,7 @@ pub struct ClusterBuilder {
     starvation_after: Duration,
     introspection: bool,
     push: Option<(String, Duration)>,
+    store: StoreConfig,
 }
 
 impl Default for ClusterBuilder {
@@ -64,6 +66,7 @@ impl Default for ClusterBuilder {
             starvation_after: Duration::from_secs(5),
             introspection: true,
             push: None,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -200,6 +203,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Matching-engine tuning for every host's kernel: value-index
+    /// promotion thresholds and the miss-cache capacity (see
+    /// [`StoreConfig`]). Derived state only — it changes probe counts,
+    /// never match results or the replicated digest, so hosts with
+    /// different configs still converge.
+    pub fn store_config(mut self, cfg: StoreConfig) -> Self {
+        self.store = cfg;
+        self
+    }
+
     /// Push-gateway mode: every `interval`, POST each live member's
     /// Prometheus text to `url` + `/instance/<host>` (plus the cluster
     /// registry to `url` itself) instead of relying on scrapes. Failures
@@ -228,6 +241,7 @@ impl ClusterBuilder {
             starvation_after: (self.introspection && !self.starvation_after.is_zero())
                 .then_some(self.starvation_after),
             introspection: self.introspection,
+            store: self.store,
         };
         let runtimes: Vec<Runtime> = members
             .into_iter()

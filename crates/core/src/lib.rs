@@ -55,8 +55,8 @@ pub use server::{
 pub use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig};
 pub use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
 pub use ftlinda_kernel::{
-    BlockedReport, ExecError, IntrospectReport, MatchStats, SignatureOccupancy, SpaceReport,
-    StarvationReport, FAILURE_TUPLE_HEAD,
+    BlockedReport, ExecError, IndexReport, IntrospectReport, MatchStats, SignatureOccupancy,
+    SpaceReport, StarvationReport, StoreConfig, FAILURE_TUPLE_HEAD,
 };
 /// Observability primitives (metrics registry, histograms, event sink).
 pub use linda_obs as obs;

@@ -13,7 +13,7 @@ use crate::error::FtError;
 use consul_sim::{HostId, LocalId, SeqMember};
 use crossbeam::channel::{Receiver, Sender};
 use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
-use ftlinda_kernel::{encode_request, IntrospectReport, Kernel, KernelNote, Request};
+use ftlinda_kernel::{encode_request, IntrospectReport, Kernel, KernelNote, Request, StoreConfig};
 use linda_space::LocalSpace;
 use linda_tuple::{PatField, Pattern, Tuple, Value};
 use parking_lot::Mutex;
@@ -47,6 +47,10 @@ pub struct RuntimeConfig {
     /// keeps only its scalar gauges and [`Runtime::introspect`] returns
     /// `None`.
     pub introspection: bool,
+    /// Matching-engine tuning for the kernel's stable stores: value-index
+    /// promotion thresholds and the miss-cache capacity. Derived state
+    /// only — never affects match results or the replicated digest.
+    pub store: StoreConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +58,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             starvation_after: Some(Duration::from_secs(5)),
             introspection: true,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -108,6 +113,7 @@ impl Runtime {
         let (note_tx, note_rx) = crossbeam::channel::unbounded::<KernelNote>();
         let obs = member.obs();
         let mut kernel = Kernel::new(host, note_tx);
+        kernel.set_store_config(config.store);
         kernel.attach_obs_with(&obs, config.introspection);
         let hist_submit = obs.histogram(
             "ftlinda_ags_submit_seconds",
@@ -531,7 +537,9 @@ impl Runtime {
             }
             out.push_str(&format!(
                 "{{\"id\":{},\"name\":\"{}\",\"tuples\":{},\"match\":{{\
-                 \"attempts\":{},\"probes\":{},\"hits\":{},\"efficiency\":{:.4}}},\
+                 \"attempts\":{},\"probes\":{},\"hits\":{},\"cache_hits\":{},\
+                 \"efficiency_bp\":{}}},\"index\":{{\"value_indexes\":{},\
+                 \"index_builds\":{},\"miss_cached\":{}}},\
                  \"signatures\":[",
                 s.id.0,
                 linda_obs::json_escape(&s.name),
@@ -539,7 +547,11 @@ impl Runtime {
                 s.match_stats.attempts,
                 s.match_stats.probes,
                 s.match_stats.hits,
-                s.match_stats.efficiency(),
+                s.match_stats.cache_hits,
+                s.match_stats.efficiency_bp(),
+                s.index.value_indexes,
+                s.index.index_builds,
+                s.index.miss_cached,
             ));
             for (j, occ) in s.signatures.iter().enumerate() {
                 if j > 0 {

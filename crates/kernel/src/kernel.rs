@@ -19,7 +19,9 @@ use crate::exec::{guard_keys, guard_labels, try_execute, ExecError, TryOutcome};
 use crate::proto::{decode_request, Request};
 use consul_sim::{Delivery, HostId, LocalId};
 use ftlinda_ags::{Ags, AgsOutcome, ScratchId, TsId};
-use linda_space::{IndexedStore, LocalSpace, MatchStats, SignatureOccupancy, Store};
+use linda_space::{
+    IndexReport, IndexedStore, LocalSpace, MatchStats, SignatureOccupancy, Store, StoreConfig,
+};
 use linda_tuple::{tuple, Tuple};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
@@ -146,9 +148,20 @@ struct KernelObs {
     /// delta-fed from the stores' cumulative [`MatchStats`].
     match_attempts: Arc<linda_obs::CounterFamily>,
     match_probes: Arc<linda_obs::CounterFamily>,
-    /// `ftlinda_match_probe_efficiency{space}` — percent of probes that
-    /// matched (integer gauge, 0–100).
+    /// `ftlinda_match_probe_efficiency_bp{space}` — basis points of
+    /// probes that matched (integer gauge, 0–10000). Integer percent
+    /// floored sub-1% workloads (the 100k-miss case) to 0,
+    /// indistinguishable from idle.
     match_efficiency: Arc<linda_obs::GaugeFamily>,
+    /// `ftlinda_miss_cache_hits_total{space}` — attempts answered by the
+    /// antituple (miss) cache with zero probes.
+    miss_cache_hits: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_index_builds_total{space}` — lazy value-index promotions
+    /// performed by the store.
+    index_builds: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_value_indexes{space}` — promoted value indexes currently
+    /// live (beyond the eager first-field index).
+    value_indexes: Arc<linda_obs::GaugeFamily>,
     /// `ftlinda_blocked_retries_total{signature,outcome}` — every
     /// re-probe of a blocked guard: `wasted` (still blocked), `fired`,
     /// or `failed`. The `wasted` series is the cost `retry_blocked_full`
@@ -156,6 +169,8 @@ struct KernelObs {
     retries: Arc<linda_obs::CounterFamily>,
     /// Last-seen per-space match stats, for delta-feeding the counters.
     prev_match: HashMap<TsId, MatchStats>,
+    /// Last-seen per-space index-build totals, same delta scheme.
+    prev_builds: HashMap<TsId, u64>,
     starving_total: Arc<linda_obs::Counter>,
     starving_now: Arc<linda_obs::Gauge>,
 }
@@ -196,6 +211,9 @@ pub struct SpaceReport {
     pub signatures: Vec<SignatureOccupancy>,
     /// Cumulative matching-cost totals for this space's store.
     pub match_stats: MatchStats,
+    /// Derived-state inventory: live value indexes, index builds, cached
+    /// misses.
+    pub index: IndexReport,
 }
 
 /// Introspection row for one blocked AGS.
@@ -252,6 +270,9 @@ pub struct Kernel {
     /// until the runtime hands it to the ordering layer for compaction.
     pending_checkpoint: Option<KernelCheckpoint>,
     obs: Option<KernelObs>,
+    /// Matching-engine knobs applied to newly created stable stores
+    /// (pure derived state — see [`Kernel::set_store_config`]).
+    store_cfg: StoreConfig,
 }
 
 impl Kernel {
@@ -270,7 +291,16 @@ impl Kernel {
             applied: 0,
             pending_checkpoint: None,
             obs: None,
+            store_cfg: StoreConfig::default(),
         }
+    }
+
+    /// Set the matching-engine knobs used for every stable store this
+    /// kernel creates from now on (`CreateTs` and checkpoint restore).
+    /// Purely derived state: replicas running different configs still
+    /// withdraw identical tuples, so this never needs to be agreed on.
+    pub fn set_store_config(&mut self, cfg: StoreConfig) {
+        self.store_cfg = cfg;
     }
 
     /// Register an owner-local scratch space so AGS bodies can `out`/
@@ -347,14 +377,27 @@ impl Kernel {
                 "Tuples examined by match operations, by stable space",
             ),
             match_efficiency: reg.gauge_family(
-                "ftlinda_match_probe_efficiency",
-                "Percent of match probes that hit (0-100), by stable space",
+                "ftlinda_match_probe_efficiency_bp",
+                "Basis points of match probes that hit (0-10000), by stable space",
+            ),
+            miss_cache_hits: reg.counter_family(
+                "ftlinda_miss_cache_hits_total",
+                "Match attempts answered by the miss cache with zero probes, by stable space",
+            ),
+            index_builds: reg.counter_family(
+                "ftlinda_index_builds_total",
+                "Lazy value-index promotions performed, by stable space",
+            ),
+            value_indexes: reg.gauge_family(
+                "ftlinda_value_indexes",
+                "Promoted value indexes currently live (beyond the head index), by stable space",
             ),
             retries: reg.counter_family(
                 "ftlinda_blocked_retries_total",
                 "Blocked-guard re-probes by guard signature and outcome (wasted/fired/failed)",
             ),
             prev_match: HashMap::new(),
+            prev_builds: HashMap::new(),
             starving_total: reg.counter(
                 "ftlinda_ags_starving_total",
                 "ags_starving events emitted by the starvation watchdog",
@@ -449,10 +492,23 @@ impl Kernel {
                 obs.match_probes
                     .with(&[("space", &space)])
                     .add(delta.probes);
+                obs.miss_cache_hits
+                    .with(&[("space", &space)])
+                    .add(delta.cache_hits);
             }
             obs.match_efficiency
                 .with(&[("space", &space)])
-                .set((stats.efficiency() * 100.0).round() as i64);
+                .set(stats.efficiency_bp());
+            let report = store.index_report();
+            let prev_builds = obs.prev_builds.entry(*id).or_default();
+            let build_delta = report.index_builds.saturating_sub(*prev_builds);
+            *prev_builds = report.index_builds;
+            if build_delta > 0 {
+                obs.index_builds.with(&[("space", &space)]).add(build_delta);
+            }
+            obs.value_indexes
+                .with(&[("space", &space)])
+                .set(report.value_indexes as i64);
             for occ in store.signature_census() {
                 let sig = occ.signature.to_string();
                 obs.ts_tuples
@@ -550,7 +606,8 @@ impl Kernel {
                 let id = TsId(self.next_ts);
                 self.next_ts += 1;
                 self.names.insert(name.clone(), id);
-                self.stables.insert(id, IndexedStore::new());
+                self.stables
+                    .insert(id, IndexedStore::with_config(self.store_cfg));
                 id
             }
         };
@@ -973,6 +1030,7 @@ impl Kernel {
                     tuples: store.len(),
                     signatures: store.signature_census(),
                     match_stats: store.match_stats(),
+                    index: store.index_report(),
                 })
                 .collect(),
             blocked: self
@@ -1071,7 +1129,10 @@ impl Kernel {
         }
         let mut stables = BTreeMap::new();
         for (id, tuples) in img.spaces {
-            let mut store = IndexedStore::new();
+            // Fresh stores: indexes and the miss cache are derived state
+            // and deliberately absent from the image; they rebuild from
+            // live traffic.
+            let mut store = IndexedStore::with_config(self.store_cfg);
             for t in tuples {
                 store.insert(t);
             }
@@ -1118,9 +1179,11 @@ impl Kernel {
         self.applied = img.applied;
         self.pending_checkpoint = None;
         if let Some(obs) = &mut self.obs {
-            // The rebuilt stores start their match counters at zero;
-            // forget the old totals so the next delta is not negative.
+            // The rebuilt stores start their match counters and index
+            // builds at zero; forget the old totals so the next delta is
+            // not negative.
             obs.prev_match.clear();
+            obs.prev_builds.clear();
         }
         Ok(())
     }
@@ -1320,6 +1383,90 @@ mod tests {
         // Foreign origin → not materialized here.
         k.apply(&app(3, 5, 1, &Request::Ags(ags)));
         assert_eq!(scratch.len(), 1);
+    }
+
+    #[test]
+    fn blocked_retry_hits_miss_cache() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        // A guard that can only match ("job", 0) blocks; its first probe
+        // misses and seeds the antituple cache.
+        let in_ags = Ags::in_one(TsId(0), vec![MF::actual("job"), MF::actual(0)]).unwrap();
+        k.apply(&app(2, 0, 2, &Request::Ags(in_ags)));
+        assert_eq!(k.blocked_len(), 1);
+        let before = k.introspect().spaces[0].match_stats;
+        // Near misses — same signature and head, wrong value — cannot
+        // satisfy the cached pattern. Each deposit still triggers a
+        // blocked-guard retry, which the miss cache answers with zero
+        // probes.
+        for i in 1..=3u64 {
+            k.apply(&app(
+                2 + i,
+                0,
+                2 + i,
+                &Request::Ags(Ags::out_one(
+                    TsId(0),
+                    vec![Operand::cst("job"), Operand::cst(i as i64)],
+                )),
+            ));
+        }
+        assert_eq!(k.blocked_len(), 1);
+        let report = k.introspect();
+        let delta = report.spaces[0].match_stats.since(&before);
+        assert_eq!(delta.probes, 0, "retries answered from the miss cache");
+        assert_eq!(delta.cache_hits, 3);
+        assert!(report.spaces[0].index.miss_cached >= 1);
+        // The genuinely matching deposit invalidates the entry and fires
+        // the guard.
+        k.apply(&app(
+            6,
+            0,
+            6,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("job"), Operand::cst(0)],
+            )),
+        ));
+        assert_eq!(k.blocked_len(), 0);
+        assert!(rx.try_iter().any(|n| matches!(
+            n,
+            KernelNote::Completed {
+                local: 2,
+                result: Ok(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn restore_rebuilds_stores_without_derived_state() {
+        let (mut k, _rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        k.apply(&app(
+            2,
+            0,
+            2,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("job"), Operand::cst(1)],
+            )),
+        ));
+        // Seed the miss cache with a blocked guard.
+        let in_ags = Ags::in_one(TsId(0), vec![MF::actual("job"), MF::actual(9)]).unwrap();
+        k.apply(&app(3, 0, 3, &Request::Ags(in_ags)));
+        assert!(k.introspect().spaces[0].index.miss_cached > 0);
+        let image = k.checkpoint();
+        let (mut k2, _rx2) = kernel();
+        k2.apply(&Delivery::Restore { image });
+        let sp = &k2.introspect().spaces[0];
+        assert_eq!(
+            sp.index,
+            IndexReport::default(),
+            "indexes and miss cache are derived, never checkpointed"
+        );
+        assert_eq!(sp.match_stats, MatchStats::default());
+        assert_eq!(k2.digest(), k.digest(), "replicated state identical");
+        assert_eq!(k2.blocked_len(), 1);
     }
 
     #[test]

@@ -24,4 +24,7 @@ mod space;
 mod store;
 
 pub use space::{EvalField, EvalHandle, LocalSpace, SpaceClosed};
-pub use store::{IndexedStore, LinearStore, MatchStats, SignatureOccupancy, Store};
+pub use store::{
+    AdaptiveStore, IndexReport, IndexedStore, LinearStore, MatchStats, SignatureOccupancy, Store,
+    StoreConfig,
+};

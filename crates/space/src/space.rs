@@ -7,7 +7,7 @@
 //! host-local) tuple space; it also serves as the per-replica backing
 //! store of stable tuple spaces.
 
-use crate::store::{IndexedStore, Store};
+use crate::store::{AdaptiveStore, Store, StoreConfig};
 use linda_tuple::{Pattern, Tuple, Value};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -27,7 +27,7 @@ impl std::fmt::Display for SpaceClosed {
 impl std::error::Error for SpaceClosed {}
 
 struct SpaceState {
-    store: IndexedStore,
+    store: AdaptiveStore,
     closed: bool,
 }
 
@@ -50,12 +50,20 @@ impl Default for LocalSpace {
 }
 
 impl LocalSpace {
-    /// Create an empty space.
+    /// Create an empty space with the default [`StoreConfig`].
     pub fn new() -> Self {
+        Self::with_store_config(StoreConfig::default())
+    }
+
+    /// Create an empty space with explicit matching-engine knobs. The
+    /// backing store is adaptive: it starts as a linear scan and
+    /// promotes to the indexed representation when the live probe
+    /// figures say the space has become hot.
+    pub fn with_store_config(cfg: StoreConfig) -> Self {
         LocalSpace {
             inner: Arc::new(Inner {
                 state: Mutex::new(SpaceState {
-                    store: IndexedStore::new(),
+                    store: AdaptiveStore::with_config(cfg),
                     closed: false,
                 }),
                 cond: Condvar::new(),
@@ -87,7 +95,9 @@ impl LocalSpace {
     pub fn in_(&self, p: &Pattern) -> Result<Tuple, SpaceClosed> {
         let mut st = self.inner.state.lock();
         loop {
-            if let Some(t) = st.store.take(p) {
+            let got = st.store.take(p);
+            st.store.tick();
+            if let Some(t) = got {
                 return Ok(t);
             }
             if st.closed {
@@ -102,7 +112,9 @@ impl LocalSpace {
     pub fn rd(&self, p: &Pattern) -> Result<Tuple, SpaceClosed> {
         let mut st = self.inner.state.lock();
         loop {
-            if let Some(t) = st.store.read(p) {
+            let got = st.store.read(p);
+            st.store.tick();
+            if let Some(t) = got {
                 return Ok(t);
             }
             if st.closed {
@@ -116,12 +128,18 @@ impl LocalSpace {
     /// boolean answer is trivially "strong": the store is observed under
     /// the lock.
     pub fn inp(&self, p: &Pattern) -> Option<Tuple> {
-        self.inner.state.lock().store.take(p)
+        let mut st = self.inner.state.lock();
+        let got = st.store.take(p);
+        st.store.tick();
+        got
     }
 
     /// Non-blocking read (Linda `rdp`).
     pub fn rdp(&self, p: &Pattern) -> Option<Tuple> {
-        self.inner.state.lock().store.read(p)
+        let mut st = self.inner.state.lock();
+        let got = st.store.read(p);
+        st.store.tick();
+        got
     }
 
     /// Blocking withdraw with a deadline. `None` on timeout,
@@ -130,14 +148,18 @@ impl LocalSpace {
         let deadline = std::time::Instant::now() + dur;
         let mut st = self.inner.state.lock();
         loop {
-            if let Some(t) = st.store.take(p) {
+            let got = st.store.take(p);
+            st.store.tick();
+            if let Some(t) = got {
                 return Ok(Some(t));
             }
             if st.closed {
                 return Err(SpaceClosed);
             }
             if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
-                return Ok(st.store.take(p));
+                let got = st.store.take(p);
+                st.store.tick();
+                return Ok(got);
             }
         }
     }
@@ -147,31 +169,44 @@ impl LocalSpace {
         let deadline = std::time::Instant::now() + dur;
         let mut st = self.inner.state.lock();
         loop {
-            if let Some(t) = st.store.read(p) {
+            let got = st.store.read(p);
+            st.store.tick();
+            if let Some(t) = got {
                 return Ok(Some(t));
             }
             if st.closed {
                 return Err(SpaceClosed);
             }
             if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
-                return Ok(st.store.read(p));
+                let got = st.store.read(p);
+                st.store.tick();
+                return Ok(got);
             }
         }
     }
 
     /// Withdraw every tuple matching `p` (at-once, under one lock).
     pub fn take_all(&self, p: &Pattern) -> Vec<Tuple> {
-        self.inner.state.lock().store.take_all(p)
+        let mut st = self.inner.state.lock();
+        let got = st.store.take_all(p);
+        st.store.tick();
+        got
     }
 
     /// Copy every tuple matching `p`.
     pub fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
-        self.inner.state.lock().store.read_all(p)
+        let mut st = self.inner.state.lock();
+        let got = st.store.read_all(p);
+        st.store.tick();
+        got
     }
 
     /// Number of tuples matching `p`.
     pub fn count(&self, p: &Pattern) -> usize {
-        self.inner.state.lock().store.count(p)
+        let mut st = self.inner.state.lock();
+        let got = st.store.count(p);
+        st.store.tick();
+        got
     }
 
     /// Total number of tuples in the space.
@@ -198,6 +233,18 @@ impl LocalSpace {
     /// signature.
     pub fn signature_census(&self) -> Vec<crate::SignatureOccupancy> {
         self.inner.state.lock().store.signature_census()
+    }
+
+    /// Whether the adaptive backing store has promoted from the linear
+    /// scan to the indexed representation.
+    pub fn promoted(&self) -> bool {
+        self.inner.state.lock().store.promoted()
+    }
+
+    /// Inventory of the backing store's derived acceleration structures
+    /// (value indexes, miss cache).
+    pub fn index_report(&self) -> crate::IndexReport {
+        self.inner.state.lock().store.index_report()
     }
 
     /// Close the space: all current and future blocking calls return
@@ -512,5 +559,34 @@ mod tests {
     #[test]
     fn space_closed_error_displays() {
         assert_eq!(SpaceClosed.to_string(), "tuple space closed");
+    }
+
+    #[test]
+    fn hot_space_promotes_to_indexed() {
+        let ls = LocalSpace::with_store_config(crate::StoreConfig {
+            promote_min_tuples: 16,
+            promote_after_probes: 8,
+            ..Default::default()
+        });
+        ls.out_all((0..64).map(|i| tuple!("n", i)));
+        assert!(!ls.promoted(), "writes alone never promote");
+        // One expensive scan (the newest tuple is last in FIFO order)
+        // trips the adaptive switch on the next tick.
+        assert_eq!(ls.rdp(&pat!("n", 63)), Some(tuple!("n", 63)));
+        assert!(ls.promoted());
+        // Semantics unchanged after the switch.
+        assert_eq!(ls.inp(&pat!("n", ?int)), Some(tuple!("n", 0)));
+        assert_eq!(ls.len(), 63);
+    }
+
+    #[test]
+    fn small_space_stays_linear() {
+        let ls = LocalSpace::new();
+        ls.out_all((0..8).map(|i| tuple!("n", i)));
+        for i in 0..32 {
+            ls.rdp(&pat!("n", i % 8));
+        }
+        assert!(!ls.promoted());
+        assert_eq!(ls.index_report(), crate::IndexReport::default());
     }
 }

@@ -1,21 +1,39 @@
 //! Tuple stores: the data structure behind a tuple space.
 //!
-//! Two implementations of the [`Store`] trait are provided:
+//! Three implementations of the [`Store`] trait are provided:
 //!
 //! * [`IndexedStore`] — the production store. Tuples are bucketed by the
 //!   stable hash of their signature (arity + ordered field types), and
-//!   within a bucket a secondary index keyed by the *first field value*
-//!   accelerates the overwhelmingly common Linda idiom of patterns whose
-//!   head is a string constant (`("subtask", ?int, ?bytes)`).
+//!   within a bucket **value-level secondary indexes** accelerate
+//!   patterns with constant fields. The first-field index is built
+//!   eagerly (the overwhelmingly common Linda idiom is a string-constant
+//!   head, `("subtask", ?int, ?bytes)`); indexes on other positions are
+//!   promoted lazily when a scan is observed to be expensive, so the
+//!   dominant `in("task", id, ?x)` shape resolves in O(1) hash lookups
+//!   instead of a within-bucket scan. A **miss cache** (antituple cache)
+//!   makes a repeated failed poll for the same pattern O(1) until an
+//!   insert that could match invalidates it.
 //! * [`LinearStore`] — a straight `Vec` scan, kept as the baseline for
 //!   ablation experiment A2.
+//! * [`AdaptiveStore`] — starts as a [`LinearStore`] and promotes itself
+//!   to an [`IndexedStore`] when the live probe-efficiency figures say
+//!   the scan has become hot. Small spaces keep the cheap scan; hot ones
+//!   get the indexes. [`crate::LocalSpace`] uses this.
 //!
-//! Both stores implement **oldest-match semantics**: `take`/`read` return
+//! All stores implement **oldest-match semantics**: `take`/`read` return
 //! the matching tuple that was inserted earliest. This determinism is not
 //! just a nicety — the replicated state machine (crate `ftlinda-kernel`)
 //! requires every replica to withdraw the *same* tuple for the same
 //! operation stream, and oldest-match also preserves causality for
 //! FIFO-producer/consumer patterns.
+//!
+//! **Derived state only:** indexes, the miss cache, and the promotion
+//! decision are pure acceleration structures derived from the tuple
+//! multiset. They are never checkpointed, digested, or compared across
+//! replicas — two replicas may hold different indexes (or none) and
+//! still withdraw identical tuples for the same operation stream.
+//! Checkpoint/restore rebuilds stores from snapshots, which starts the
+//! derived state empty.
 //!
 //! **Zero-clone withdraw contract:** `take`/`take_all` (and the tracked
 //! variants) move the stored tuple out by removing it first — they never
@@ -24,26 +42,75 @@
 //! store. AGS `move` over large tuple sets therefore costs O(matches)
 //! pointer moves, not O(bytes).
 
-use linda_tuple::{Pattern, Signature, StableMap, Tuple, Value};
-use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use linda_tuple::{PatField, Pattern, Signature, StableMap, Tuple, Value};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Tuning knobs for the adaptive matching engine. The defaults suit the
+/// benchmark workloads; every knob is plumbed through
+/// `ClusterBuilder::store_config` so deployments can tune without
+/// recompiling.
+///
+/// Different replicas may run different configs: everything these knobs
+/// control is derived state and never affects match results, digests, or
+/// the wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// A single match attempt that examines more than this many tuples
+    /// promotes: within a bucket it builds value indexes for the
+    /// pattern's constant fields, and in [`AdaptiveStore`] it is the
+    /// probes-per-attempt bar for switching linear → indexed.
+    pub promote_after_probes: u64,
+    /// Never promote (bucket indexes or the linear → indexed switch)
+    /// while fewer than this many tuples are involved — small spaces
+    /// keep the cheap scan.
+    pub promote_min_tuples: usize,
+    /// [`AdaptiveStore`] also promotes when probe efficiency falls below
+    /// this many basis points (after a minimum number of attempts):
+    /// sustained wasted probing is a hot scan even if no single attempt
+    /// crossed `promote_after_probes`.
+    pub promote_below_bp: i64,
+    /// Maximum value indexes per signature bucket, *including* the eager
+    /// first-field index. Each index costs O(bucket) memory and O(1)
+    /// maintenance per insert/remove.
+    pub max_value_indexes: usize,
+    /// Maximum patterns held in the miss cache; when full the whole
+    /// cache is dropped (epoch eviction — correctness never depends on
+    /// retention). `0` disables miss caching.
+    pub miss_cache_cap: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            promote_after_probes: 8,
+            promote_min_tuples: 32,
+            promote_below_bp: 500,
+            max_value_indexes: 4,
+            miss_cache_cap: 128,
+        }
+    }
+}
 
 /// Point-in-time matching-cost totals for one store.
 ///
 /// A *probe* is one `Pattern::matches` evaluation against a stored tuple;
 /// an *attempt* is one `in`/`rd`-shaped operation (`take`, `read`,
 /// `contains`, `count`, `take_all`, `read_all`); a *hit* is a probe that
-/// matched. `probes / attempts` is the matching cost the store's indexing
-/// did **not** eliminate — the number the sharded-tuple-space roadmap
-/// item needs per signature before picking a partitioning key.
+/// matched. A *cache hit* is an attempt answered by the miss cache — it
+/// counts as an attempt with zero probes, never as an invisible
+/// operation. `probes / attempts` is the matching cost the store's
+/// indexing did **not** eliminate.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MatchStats {
-    /// Match-shaped operations attempted.
+    /// Match-shaped operations attempted (including miss-cache hits).
     pub attempts: u64,
     /// Tuples examined (`Pattern::matches` evaluations).
     pub probes: u64,
     /// Probes that matched.
     pub hits: u64,
+    /// Attempts answered by the miss cache with zero probes.
+    pub cache_hits: u64,
 }
 
 impl MatchStats {
@@ -66,6 +133,13 @@ impl MatchStats {
         }
     }
 
+    /// [`MatchStats::efficiency`] in basis points (0–10000). Integer
+    /// percent floored sub-1%-efficiency workloads to 0 — indistinguishable
+    /// from idle; basis points keep the 100k-miss case visible.
+    pub fn efficiency_bp(&self) -> i64 {
+        (self.efficiency() * 10_000.0).round() as i64
+    }
+
     /// Component-wise difference versus an earlier snapshot (for
     /// delta-feeding monotonic counters).
     pub fn since(&self, earlier: &MatchStats) -> MatchStats {
@@ -73,6 +147,17 @@ impl MatchStats {
             attempts: self.attempts.saturating_sub(earlier.attempts),
             probes: self.probes.saturating_sub(earlier.probes),
             hits: self.hits.saturating_sub(earlier.hits),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
+    }
+
+    /// Component-wise sum (merging phases of an [`AdaptiveStore`]).
+    fn plus(&self, other: &MatchStats) -> MatchStats {
+        MatchStats {
+            attempts: self.attempts + other.attempts,
+            probes: self.probes + other.probes,
+            hits: self.hits + other.hits,
+            cache_hits: self.cache_hits + other.cache_hits,
         }
     }
 }
@@ -87,6 +172,7 @@ struct MatchCounters {
     attempts: Cell<u64>,
     probes: Cell<u64>,
     hits: Cell<u64>,
+    cache_hits: Cell<u64>,
 }
 
 impl MatchCounters {
@@ -96,11 +182,19 @@ impl MatchCounters {
         self.hits.set(self.hits.get() + hits);
     }
 
+    /// A miss-cache hit is an attempt with zero probes — visible in the
+    /// stats, cheap in the store.
+    fn record_cache_hit(&self) {
+        self.attempts.set(self.attempts.get() + 1);
+        self.cache_hits.set(self.cache_hits.get() + 1);
+    }
+
     fn stats(&self) -> MatchStats {
         MatchStats {
             attempts: self.attempts.get(),
             probes: self.probes.get(),
             hits: self.hits.get(),
+            cache_hits: self.cache_hits.get(),
         }
     }
 }
@@ -115,6 +209,20 @@ pub struct SignatureOccupancy {
     pub count: usize,
     /// Most tuples of this signature ever stored at once.
     pub high_water: usize,
+}
+
+/// Derived-state inventory of a store: how much acceleration structure
+/// exists right now. Pure observability — never part of digests or
+/// checkpoints (see the module docs).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IndexReport {
+    /// Value indexes currently live beyond the eager first-field index
+    /// (i.e. lazily promoted positions, summed over signature buckets).
+    pub value_indexes: usize,
+    /// Cumulative count of index builds (lazy promotions) performed.
+    pub index_builds: u64,
+    /// Patterns currently held in the miss cache.
+    pub miss_cached: usize,
 }
 
 /// Minimal interface of a tuple store (single-threaded; the concurrent
@@ -158,29 +266,105 @@ pub trait Store {
     /// Tuples currently stored under the signature with this stable hash
     /// (the "nearest miss" count for a guard that keeps not matching).
     fn signature_len(&self, sig_hash: u64) -> usize;
+    /// Inventory of derived acceleration structures. Stores without any
+    /// (the linear baseline) report zeros.
+    fn index_report(&self) -> IndexReport {
+        IndexReport::default()
+    }
+}
+
+/// Secondary index within one bucket: values at a fixed field position →
+/// insertion seqs holding that value there.
+#[derive(Debug, Clone)]
+struct ValueIndex {
+    pos: usize,
+    map: HashMap<Value, BTreeSet<u64>>,
+}
+
+impl ValueIndex {
+    fn empty(pos: usize) -> Self {
+        ValueIndex {
+            pos,
+            map: HashMap::new(),
+        }
+    }
+}
+
+/// Candidate source chosen for one match attempt.
+enum Cands<'a> {
+    /// No index applies (no constant field is indexed): scan the bucket.
+    Scan,
+    /// An index applies and proves zero candidates exist.
+    Empty,
+    /// Seqs from the most selective applicable index, ascending.
+    Set(&'a BTreeSet<u64>),
+}
+
+/// Pick the most selective applicable index for `p`: among indexes whose
+/// position carries a constant in the pattern, the one with the fewest
+/// candidate seqs. An absent key is a proof of zero candidates.
+fn best_candidates<'a>(indexes: &'a [ValueIndex], p: &Pattern) -> Cands<'a> {
+    let mut best: Option<&'a BTreeSet<u64>> = None;
+    let mut applicable = false;
+    for ix in indexes {
+        let Some(PatField::Actual(v)) = p.fields().get(ix.pos) else {
+            continue;
+        };
+        applicable = true;
+        match ix.map.get(v) {
+            None => return Cands::Empty,
+            Some(set) => {
+                if best.is_none_or(|b| set.len() < b.len()) {
+                    best = Some(set);
+                }
+            }
+        }
+    }
+    match (applicable, best) {
+        (false, _) => Cands::Scan,
+        (true, None) => Cands::Empty,
+        (true, Some(set)) => Cands::Set(set),
+    }
 }
 
 /// One signature bucket of the [`IndexedStore`].
-#[derive(Debug, Default, Clone)]
+///
+/// `indexes` lives in a `RefCell` because promotion happens on the
+/// read-side (`&self`) match paths; the store itself is only ever used
+/// behind a `Mutex`, so the cell never sees concurrent access. A dropped
+/// (emptied) bucket loses its promoted indexes — they are rebuilt on
+/// demand if the signature gets hot again.
+#[derive(Debug, Clone)]
 struct Bucket {
     /// Insertion-ordered entries (key = global insertion sequence).
     entries: BTreeMap<u64, Tuple>,
-    /// Secondary index: first-field value → insertion seqs with that head.
-    by_head: HashMap<Value, BTreeSet<u64>>,
+    /// Value indexes; position 0 (the head index) is always present.
+    indexes: RefCell<Vec<ValueIndex>>,
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Bucket {
+            entries: BTreeMap::new(),
+            indexes: RefCell::new(vec![ValueIndex::empty(0)]),
+        }
+    }
 }
 
 impl Bucket {
     /// Insert under `seq`. Returns `true` if the sequence number was
     /// fresh. A duplicate seq would silently shadow the older tuple in
-    /// `entries` while leaving a stale `by_head` entry behind, so callers
+    /// `entries` while leaving stale index entries behind, so callers
     /// must treat `false` as a contract violation (see `insert_tracked`
     /// / `restore_at`).
     fn insert(&mut self, seq: u64, t: Tuple) -> bool {
         if self.entries.contains_key(&seq) {
             return false;
         }
-        if let Some(head) = t.get(0) {
-            self.by_head.entry(head.clone()).or_default().insert(seq);
+        for ix in self.indexes.get_mut().iter_mut() {
+            if let Some(v) = t.get(ix.pos) {
+                ix.map.entry(v.clone()).or_default().insert(seq);
+            }
         }
         self.entries.insert(seq, t);
         true
@@ -188,53 +372,193 @@ impl Bucket {
 
     fn remove(&mut self, seq: u64) -> Option<Tuple> {
         let t = self.entries.remove(&seq)?;
-        if let Some(head) = t.get(0) {
-            if let Some(set) = self.by_head.get_mut(head) {
-                set.remove(&seq);
-                if set.is_empty() {
-                    self.by_head.remove(head);
+        for ix in self.indexes.get_mut().iter_mut() {
+            if let Some(v) = t.get(ix.pos) {
+                if let Some(set) = ix.map.get_mut(v) {
+                    set.remove(&seq);
+                    if set.is_empty() {
+                        ix.map.remove(v);
+                    }
                 }
             }
         }
         Some(t)
     }
 
-    /// Sequence numbers of candidate tuples for `p`, oldest first.
-    fn candidates<'a>(&'a self, p: &Pattern) -> Box<dyn Iterator<Item = u64> + 'a> {
-        match p.head_actual() {
-            Some(head) => match self.by_head.get(head) {
-                Some(set) => Box::new(set.iter().copied()),
-                None => Box::new(std::iter::empty()),
-            },
-            None => Box::new(self.entries.keys().copied()),
-        }
-    }
-
-    /// Oldest matching seq plus the number of tuples examined.
-    fn find_first(&self, p: &Pattern) -> (Option<u64>, u64) {
+    /// Oldest matching seq plus the number of tuples examined. An
+    /// expensive attempt promotes indexes for the pattern's constant
+    /// fields before returning (so the *next* attempt is cheap).
+    fn find_first(&self, p: &Pattern, cfg: &StoreConfig, builds: &Cell<u64>) -> (Option<u64>, u64) {
         let mut probes = 0u64;
-        let found = self.candidates(p).find(|seq| {
-            probes += 1;
-            p.matches(&self.entries[seq])
-        });
+        let found = {
+            let indexes = self.indexes.borrow();
+            match best_candidates(&indexes, p) {
+                Cands::Empty => None,
+                Cands::Set(set) => set.iter().copied().find(|seq| {
+                    probes += 1;
+                    p.matches(&self.entries[seq])
+                }),
+                Cands::Scan => self.entries.keys().copied().find(|seq| {
+                    probes += 1;
+                    p.matches(&self.entries[seq])
+                }),
+            }
+        };
+        self.maybe_promote(p, probes, cfg, builds);
         (found, probes)
     }
 
     /// All matching seqs (oldest first) plus the number examined.
-    fn find_all(&self, p: &Pattern) -> (Vec<u64>, u64) {
+    fn find_all(&self, p: &Pattern, cfg: &StoreConfig, builds: &Cell<u64>) -> (Vec<u64>, u64) {
         let mut probes = 0u64;
-        let found = self
-            .candidates(p)
-            .filter(|seq| {
-                probes += 1;
-                p.matches(&self.entries[seq])
-            })
-            .collect();
+        let found: Vec<u64> = {
+            let indexes = self.indexes.borrow();
+            match best_candidates(&indexes, p) {
+                Cands::Empty => Vec::new(),
+                Cands::Set(set) => set
+                    .iter()
+                    .copied()
+                    .filter(|seq| {
+                        probes += 1;
+                        p.matches(&self.entries[seq])
+                    })
+                    .collect(),
+                Cands::Scan => self
+                    .entries
+                    .keys()
+                    .copied()
+                    .filter(|seq| {
+                        probes += 1;
+                        p.matches(&self.entries[seq])
+                    })
+                    .collect(),
+            }
+        };
+        self.maybe_promote(p, probes, cfg, builds);
         (found, probes)
+    }
+
+    /// Lazy index promotion: after an attempt that examined more than
+    /// `promote_after_probes` tuples in a bucket of promotable size,
+    /// build value indexes for the pattern's constant positions (up to
+    /// `max_value_indexes` per bucket, head index included).
+    fn maybe_promote(&self, p: &Pattern, probes: u64, cfg: &StoreConfig, builds: &Cell<u64>) {
+        if probes <= cfg.promote_after_probes || self.entries.len() < cfg.promote_min_tuples {
+            return;
+        }
+        let mut indexes = self.indexes.borrow_mut();
+        for (pos, field) in p.fields().iter().enumerate() {
+            if indexes.len() >= cfg.max_value_indexes {
+                break;
+            }
+            if !matches!(field, PatField::Actual(_)) || indexes.iter().any(|ix| ix.pos == pos) {
+                continue;
+            }
+            let mut ix = ValueIndex::empty(pos);
+            for (seq, t) in &self.entries {
+                if let Some(v) = t.get(pos) {
+                    ix.map.entry(v.clone()).or_default().insert(*seq);
+                }
+            }
+            indexes.push(ix);
+            builds.set(builds.get() + 1);
+        }
+    }
+
+    fn promoted_indexes(&self) -> usize {
+        self.indexes.borrow().len().saturating_sub(1)
     }
 }
 
-/// Signature-indexed tuple store with a first-field secondary index.
+/// Antituple (miss) cache: patterns recently observed to match nothing.
+///
+/// Keyed by `(signature hash, head actual)` so an insert only has to
+/// check two keys — a pattern whose head is the constant `h` can never
+/// match a tuple whose head differs from `h`, and patterns without a
+/// constant head live under `None`. Removals never create matches, so
+/// only inserts invalidate. Epoch eviction (drop everything at the cap)
+/// keeps the structure trivially correct: a forgotten miss just costs
+/// one re-probe.
+#[derive(Debug, Default, Clone)]
+struct MissCache {
+    entries: RefCell<HashMap<MissKey, HashSet<Pattern>>>,
+    len: Cell<usize>,
+}
+
+/// `(signature hash, constant head if any)` — see [`MissCache`].
+type MissKey = (u64, Option<Value>);
+
+impl MissCache {
+    fn key(p: &Pattern) -> MissKey {
+        (p.signature().stable_hash(), p.head_actual().cloned())
+    }
+
+    /// Whether `p` is cached as a known miss.
+    fn contains(&self, p: &Pattern) -> bool {
+        self.len.get() > 0
+            && self
+                .entries
+                .borrow()
+                .get(&Self::key(p))
+                .is_some_and(|set| set.contains(p))
+    }
+
+    /// Record that `p` matched nothing. `cap == 0` disables caching.
+    fn note_miss(&self, p: &Pattern, cap: usize) {
+        if cap == 0 {
+            return;
+        }
+        if self.len.get() >= cap {
+            self.entries.borrow_mut().clear();
+            self.len.set(0);
+        }
+        if self
+            .entries
+            .borrow_mut()
+            .entry(Self::key(p))
+            .or_default()
+            .insert(p.clone())
+        {
+            self.len.set(self.len.get() + 1);
+        }
+    }
+
+    /// Drop every cached pattern the inserted tuple `t` (of signature
+    /// hash `sig_hash`) could satisfy. Only the tuple's own head key and
+    /// the headless key can hold such patterns.
+    fn invalidate(&self, sig_hash: u64, t: &Tuple) {
+        if self.len.get() == 0 {
+            return;
+        }
+        let mut map = self.entries.borrow_mut();
+        let mut keys = vec![(sig_hash, None)];
+        if let Some(head) = t.get(0) {
+            keys.push((sig_hash, Some(head.clone())));
+        }
+        for key in keys {
+            if let Some(set) = map.get_mut(&key) {
+                let before = set.len();
+                set.retain(|p| !p.matches(t));
+                self.len.set(self.len.get() - (before - set.len()));
+                if set.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn clear(&self) {
+        self.entries.borrow_mut().clear();
+        self.len.set(0);
+    }
+
+    fn len(&self) -> usize {
+        self.len.get()
+    }
+}
+
+/// Signature-indexed tuple store with adaptive value-level secondary
+/// indexes and an antituple (miss) cache.
 #[derive(Debug, Default, Clone)]
 pub struct IndexedStore {
     buckets: StableMap<u64, Bucket>,
@@ -245,23 +569,38 @@ pub struct IndexedStore {
     /// count 0 to preserve its high-water mark.
     census: StableMap<u64, SignatureOccupancy>,
     matches: MatchCounters,
+    cfg: StoreConfig,
+    miss_cache: MissCache,
+    index_builds: Cell<u64>,
 }
 
 impl IndexedStore {
-    /// An empty store.
+    /// An empty store with the default [`StoreConfig`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store with explicit tuning knobs.
+    pub fn with_config(cfg: StoreConfig) -> Self {
+        IndexedStore {
+            cfg,
+            ..Self::default()
+        }
     }
 
     fn bucket_for_pattern(&self, p: &Pattern) -> Option<&Bucket> {
         self.buckets.get(&p.signature().stable_hash())
     }
 
-    /// Shared insert path: bucket insert + len + census bookkeeping.
+    /// Shared insert path: miss-cache invalidation, bucket insert, and
+    /// len/census bookkeeping. Every way a tuple can (re)enter the store
+    /// — `insert`, `insert_tracked`, and the `restore_at` undo — funnels
+    /// through here, so no path can leave a stale cached miss behind.
     /// Returns whether `seq` was fresh (see `Bucket::insert`).
     fn insert_at(&mut self, seq: u64, t: Tuple) -> bool {
         let sig = t.signature();
         let key = sig.stable_hash();
+        self.miss_cache.invalidate(key, &t);
         let fresh = self.buckets.entry(key).or_default().insert(seq, t);
         if fresh {
             self.len += 1;
@@ -306,14 +645,22 @@ impl IndexedStore {
 
     /// Withdraw the oldest match together with its sequence number.
     pub fn take_tracked(&mut self, p: &Pattern) -> Option<(u64, Tuple)> {
+        if self.miss_cache.contains(p) {
+            self.matches.record_cache_hit();
+            return None;
+        }
         let key = p.signature().stable_hash();
         let Some(bucket) = self.buckets.get_mut(&key) else {
             self.matches.record(0, 0);
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
             return None;
         };
-        let (found, probes) = bucket.find_first(p);
+        let (found, probes) = bucket.find_first(p, &self.cfg, &self.index_builds);
         self.matches.record(probes, found.is_some() as u64);
-        let seq = found?;
+        let Some(seq) = found else {
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            return None;
+        };
         let t = bucket.remove(seq)?;
         self.len -= 1;
         if bucket.entries.is_empty() {
@@ -325,13 +672,22 @@ impl IndexedStore {
 
     /// Withdraw all matches together with their sequence numbers.
     pub fn take_all_tracked(&mut self, p: &Pattern) -> Vec<(u64, Tuple)> {
+        if self.miss_cache.contains(p) {
+            self.matches.record_cache_hit();
+            return Vec::new();
+        }
         let key = p.signature().stable_hash();
         let Some(bucket) = self.buckets.get_mut(&key) else {
             self.matches.record(0, 0);
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
             return Vec::new();
         };
-        let (seqs, probes) = bucket.find_all(p);
+        let (seqs, probes) = bucket.find_all(p, &self.cfg, &self.index_builds);
         self.matches.record(probes, seqs.len() as u64);
+        if seqs.is_empty() {
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            return Vec::new();
+        }
         let out: Vec<(u64, Tuple)> = seqs
             .into_iter()
             .filter_map(|seq| bucket.remove(seq).map(|t| (seq, t)))
@@ -357,7 +713,8 @@ impl IndexedStore {
     }
 
     /// Re-insert a tuple at its original sequence position (undo of
-    /// `take_tracked`), restoring its age exactly.
+    /// `take_tracked`), restoring its age exactly. Invalidates any
+    /// cached miss the restored tuple satisfies (via `insert_at`).
     ///
     /// # Contract
     ///
@@ -387,22 +744,38 @@ impl Store for IndexedStore {
     }
 
     fn read(&self, p: &Pattern) -> Option<Tuple> {
+        if self.miss_cache.contains(p) {
+            self.matches.record_cache_hit();
+            return None;
+        }
         let Some(bucket) = self.bucket_for_pattern(p) else {
             self.matches.record(0, 0);
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
             return None;
         };
-        let (found, probes) = bucket.find_first(p);
+        let (found, probes) = bucket.find_first(p, &self.cfg, &self.index_builds);
         self.matches.record(probes, found.is_some() as u64);
+        if found.is_none() {
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+        }
         found.map(|seq| bucket.entries[&seq].clone())
     }
 
     fn count(&self, p: &Pattern) -> usize {
+        if self.miss_cache.contains(p) {
+            self.matches.record_cache_hit();
+            return 0;
+        }
         let Some(bucket) = self.bucket_for_pattern(p) else {
             self.matches.record(0, 0);
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
             return 0;
         };
-        let (found, probes) = bucket.find_all(p);
+        let (found, probes) = bucket.find_all(p, &self.cfg, &self.index_builds);
         self.matches.record(probes, found.len() as u64);
+        if found.is_empty() {
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+        }
         found.len()
     }
 
@@ -414,12 +787,20 @@ impl Store for IndexedStore {
     }
 
     fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
+        if self.miss_cache.contains(p) {
+            self.matches.record_cache_hit();
+            return Vec::new();
+        }
         let Some(bucket) = self.bucket_for_pattern(p) else {
             self.matches.record(0, 0);
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
             return Vec::new();
         };
-        let (found, probes) = bucket.find_all(p);
+        let (found, probes) = bucket.find_all(p, &self.cfg, &self.index_builds);
         self.matches.record(probes, found.len() as u64);
+        if found.is_empty() {
+            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+        }
         found
             .into_iter()
             .map(|seq| bucket.entries[&seq].clone())
@@ -433,6 +814,7 @@ impl Store for IndexedStore {
     fn clear(&mut self) {
         self.buckets.clear();
         self.census.clear();
+        self.miss_cache.clear();
         self.len = 0;
     }
 
@@ -458,6 +840,14 @@ impl Store for IndexedStore {
 
     fn signature_len(&self, sig_hash: u64) -> usize {
         self.census.get(&sig_hash).map_or(0, |e| e.count)
+    }
+
+    fn index_report(&self) -> IndexReport {
+        IndexReport {
+            value_indexes: self.buckets.values().map(Bucket::promoted_indexes).sum(),
+            index_builds: self.index_builds.get(),
+            miss_cached: self.miss_cache.len(),
+        }
     }
 }
 
@@ -599,13 +989,188 @@ impl Store for LinearStore {
     }
 }
 
+/// Backing representation of an [`AdaptiveStore`].
+#[derive(Debug, Clone)]
+enum AdaptiveInner {
+    Linear(LinearStore),
+    Indexed(IndexedStore),
+}
+
+/// A store that starts as a cheap linear scan and promotes itself to the
+/// indexed representation when the live probe-efficiency figures say the
+/// scan has become hot (the census/gauge data from the observatory PR,
+/// finally consumed). Promotion replays the snapshot in insertion order,
+/// so oldest-match results are identical before and after — the switch
+/// is invisible to every caller except the probe counters.
+///
+/// There is no demotion: once a space has demonstrated it is hot, the
+/// index maintenance cost is assumed to stay worth paying.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStore {
+    cfg: StoreConfig,
+    inner: AdaptiveInner,
+    /// Match totals accumulated by the linear phase, merged into
+    /// [`Store::match_stats`] so monotonic-counter consumers never see a
+    /// reset at promotion.
+    base: MatchStats,
+    /// Linear-phase census at promotion (high-water marks survive the
+    /// replay, which would otherwise under-report drained signatures).
+    carry: Vec<SignatureOccupancy>,
+}
+
+impl Default for AdaptiveStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptiveStore {
+    /// An empty adaptive store with the default [`StoreConfig`].
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// An empty adaptive store with explicit tuning knobs.
+    pub fn with_config(cfg: StoreConfig) -> Self {
+        AdaptiveStore {
+            cfg,
+            inner: AdaptiveInner::Linear(LinearStore::new()),
+            base: MatchStats::default(),
+            carry: Vec::new(),
+        }
+    }
+
+    /// Whether the store has promoted to the indexed representation.
+    pub fn promoted(&self) -> bool {
+        matches!(self.inner, AdaptiveInner::Indexed(_))
+    }
+
+    /// Re-evaluate the promotion decision. Called by [`crate::LocalSpace`]
+    /// after match-shaped operations; promotes when the space is big
+    /// enough and either a recent attempt scanned past
+    /// `promote_after_probes` tuples on average, or sustained efficiency
+    /// dropped below `promote_below_bp` basis points.
+    pub fn tick(&mut self) {
+        let AdaptiveInner::Linear(lin) = &self.inner else {
+            return;
+        };
+        if lin.len() < self.cfg.promote_min_tuples {
+            return;
+        }
+        let stats = lin.match_stats();
+        let hot = stats.probes_per_attempt() > self.cfg.promote_after_probes as f64
+            || (stats.attempts >= 16 && stats.efficiency_bp() < self.cfg.promote_below_bp);
+        if !hot {
+            return;
+        }
+        let mut idx = IndexedStore::with_config(self.cfg);
+        for t in lin.snapshot() {
+            idx.insert(t);
+        }
+        self.base = self.base.plus(&stats);
+        self.carry = lin.signature_census();
+        self.inner = AdaptiveInner::Indexed(idx);
+    }
+
+    fn as_store(&self) -> &dyn Store {
+        match &self.inner {
+            AdaptiveInner::Linear(s) => s,
+            AdaptiveInner::Indexed(s) => s,
+        }
+    }
+
+    fn as_store_mut(&mut self) -> &mut dyn Store {
+        match &mut self.inner {
+            AdaptiveInner::Linear(s) => s,
+            AdaptiveInner::Indexed(s) => s,
+        }
+    }
+}
+
+impl Store for AdaptiveStore {
+    fn insert(&mut self, t: Tuple) {
+        self.as_store_mut().insert(t);
+    }
+
+    fn take(&mut self, p: &Pattern) -> Option<Tuple> {
+        self.as_store_mut().take(p)
+    }
+
+    fn read(&self, p: &Pattern) -> Option<Tuple> {
+        self.as_store().read(p)
+    }
+
+    fn count(&self, p: &Pattern) -> usize {
+        self.as_store().count(p)
+    }
+
+    fn take_all(&mut self, p: &Pattern) -> Vec<Tuple> {
+        self.as_store_mut().take_all(p)
+    }
+
+    fn read_all(&self, p: &Pattern) -> Vec<Tuple> {
+        self.as_store().read_all(p)
+    }
+
+    fn len(&self) -> usize {
+        self.as_store().len()
+    }
+
+    fn clear(&mut self) {
+        // The census contract says `clear` resets occupancy history, so
+        // the carried linear-phase high-water marks go too. Match totals
+        // survive (they are "since the store was created", like the
+        // underlying stores' own counters).
+        self.carry.clear();
+        self.as_store_mut().clear();
+    }
+
+    fn snapshot(&self) -> Vec<Tuple> {
+        self.as_store().snapshot()
+    }
+
+    fn match_stats(&self) -> MatchStats {
+        self.base.plus(&self.as_store().match_stats())
+    }
+
+    fn signature_census(&self) -> Vec<SignatureOccupancy> {
+        let mut out = self.as_store().signature_census();
+        for carried in &self.carry {
+            match out.iter_mut().find(|o| o.signature == carried.signature) {
+                Some(o) => o.high_water = o.high_water.max(carried.high_water),
+                // Signatures drained before promotion are absent from the
+                // replayed store; keep their history at count 0.
+                None => out.push(SignatureOccupancy {
+                    signature: carried.signature.clone(),
+                    count: 0,
+                    high_water: carried.high_water,
+                }),
+            }
+        }
+        out.sort_by(|a, b| a.signature.cmp(&b.signature));
+        out
+    }
+
+    fn signature_len(&self, sig_hash: u64) -> usize {
+        self.as_store().signature_len(sig_hash)
+    }
+
+    fn index_report(&self) -> IndexReport {
+        self.as_store().index_report()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use linda_tuple::{pat, tuple};
 
     fn stores() -> Vec<Box<dyn Store>> {
-        vec![Box::new(IndexedStore::new()), Box::new(LinearStore::new())]
+        vec![
+            Box::new(IndexedStore::new()),
+            Box::new(LinearStore::new()),
+            Box::new(AdaptiveStore::new()),
+        ]
     }
 
     #[test]
@@ -856,6 +1421,286 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_basis_points() {
+        let st = MatchStats {
+            attempts: 1,
+            probes: 1563,
+            hits: 1,
+            cache_hits: 0,
+        };
+        // Integer percent would floor this to 0; basis points keep it
+        // distinguishable from idle.
+        assert_eq!(st.efficiency_bp(), 6);
+        let idle = MatchStats::default();
+        assert_eq!(idle.efficiency_bp(), 10_000);
+    }
+
+    #[test]
+    fn repeated_miss_is_cache_hit_with_zero_probes() {
+        let mut s = IndexedStore::new();
+        for i in 0..4 {
+            s.insert(tuple!("job", i));
+        }
+        // First miss probes the bucket and seeds the cache.
+        assert_eq!(s.take(&pat!("job", 99)), None);
+        let st1 = s.match_stats();
+        assert_eq!(st1.cache_hits, 0);
+        assert!(st1.probes > 0);
+        // Repeats are answered by the cache: attempt counted, zero probes.
+        for _ in 0..3 {
+            assert_eq!(s.take(&pat!("job", 99)), None);
+        }
+        assert!(!s.contains(&pat!("job", 99)));
+        assert_eq!(s.count(&pat!("job", 99)), 0);
+        assert!(s.read_all(&pat!("job", 99)).is_empty());
+        assert!(s.take_all(&pat!("job", 99)).is_empty());
+        let st2 = s.match_stats();
+        let delta = st2.since(&st1);
+        assert_eq!(delta.attempts, 7, "cache hits still count as attempts");
+        assert_eq!(delta.probes, 0, "cache hits probe nothing");
+        assert_eq!(delta.cache_hits, 7);
+        assert_eq!(s.index_report().miss_cached, 1);
+    }
+
+    #[test]
+    fn miss_cache_invalidated_only_by_matching_insert() {
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("job", 1));
+        assert_eq!(s.take(&pat!("job", 0)), None); // cached miss
+                                                   // Near misses — same signature, same head, different value — do
+                                                   // NOT invalidate: the cached pattern still cannot match.
+        s.insert(tuple!("job", 5));
+        s.insert(tuple!("other", 0));
+        let before = s.match_stats();
+        assert_eq!(s.take(&pat!("job", 0)), None);
+        let d = s.match_stats().since(&before);
+        assert_eq!((d.probes, d.cache_hits), (0, 1), "near miss kept cache");
+        // A genuinely matching insert invalidates; the take now succeeds.
+        s.insert(tuple!("job", 0));
+        assert_eq!(s.take(&pat!("job", 0)), Some(tuple!("job", 0)));
+    }
+
+    #[test]
+    fn miss_cache_headless_pattern_invalidated() {
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("a", 1));
+        let p = pat!(?str, 7);
+        assert_eq!(s.read(&p), None);
+        assert_eq!(s.index_report().miss_cached, 1);
+        s.insert(tuple!("z", 7));
+        assert_eq!(s.read(&p), Some(tuple!("z", 7)));
+    }
+
+    #[test]
+    fn miss_cache_empty_tuple() {
+        let mut s = IndexedStore::new();
+        assert_eq!(s.take(&pat!()), None);
+        assert_eq!(s.index_report().miss_cached, 1);
+        s.insert(tuple!());
+        assert_eq!(s.take(&pat!()), Some(tuple!()));
+    }
+
+    #[test]
+    fn miss_cache_survives_unrelated_take_all() {
+        let mut s = IndexedStore::new();
+        for i in 0..3 {
+            s.insert(tuple!("job", i));
+        }
+        assert_eq!(s.read(&pat!("job", 99)), None);
+        // Withdrawals can never create a match; the cache entry stays and
+        // stays correct.
+        assert_eq!(s.take_all(&pat!("job", ?int)).len(), 3);
+        let before = s.match_stats();
+        assert_eq!(s.read(&pat!("job", 99)), None);
+        assert_eq!(s.match_stats().since(&before).cache_hits, 1);
+    }
+
+    #[test]
+    fn miss_cache_epoch_eviction_at_cap() {
+        let mut s = IndexedStore::with_config(StoreConfig {
+            miss_cache_cap: 2,
+            ..StoreConfig::default()
+        });
+        assert_eq!(s.take(&pat!("a", 1)), None);
+        assert_eq!(s.take(&pat!("a", 2)), None);
+        assert_eq!(s.index_report().miss_cached, 2);
+        // Third distinct miss crosses the cap: the whole epoch drops,
+        // then the new miss is cached.
+        assert_eq!(s.take(&pat!("a", 3)), None);
+        assert_eq!(s.index_report().miss_cached, 1);
+        // Evicted patterns are re-probed, not wrong.
+        s.insert(tuple!("a", 1));
+        assert_eq!(s.take(&pat!("a", 1)), Some(tuple!("a", 1)));
+    }
+
+    #[test]
+    fn miss_cache_disabled_by_zero_cap() {
+        let mut s = IndexedStore::with_config(StoreConfig {
+            miss_cache_cap: 0,
+            ..StoreConfig::default()
+        });
+        assert_eq!(s.take(&pat!("a", 1)), None);
+        assert_eq!(s.take(&pat!("a", 1)), None);
+        let st = s.match_stats();
+        assert_eq!((st.cache_hits, s.index_report().miss_cached), (0, 0));
+    }
+
+    #[test]
+    fn second_field_index_promotes_and_serves() {
+        let cfg = StoreConfig {
+            promote_min_tuples: 8,
+            promote_after_probes: 4,
+            ..StoreConfig::default()
+        };
+        let mut s = IndexedStore::with_config(cfg);
+        for i in 0..64 {
+            s.insert(tuple!("task", i, 0.5));
+        }
+        assert_eq!(s.index_report().value_indexes, 0);
+        // All tuples share the head "task", so the head index is useless
+        // here: the first attempt scans, crosses the promotion bar, and
+        // builds a position-1 index.
+        let before = s.match_stats();
+        assert_eq!(
+            s.read(&pat!("task", 63, ?float)),
+            Some(tuple!("task", 63, 0.5))
+        );
+        let first = s.match_stats().since(&before);
+        assert_eq!(first.probes, 64, "first attempt pays the scan");
+        let rep = s.index_report();
+        assert_eq!((rep.value_indexes, rep.index_builds), (1, 1));
+        // Subsequent bound-second-field attempts are O(1).
+        let before = s.match_stats();
+        assert_eq!(
+            s.read(&pat!("task", 17, ?float)),
+            Some(tuple!("task", 17, 0.5))
+        );
+        assert_eq!(s.match_stats().since(&before).probes, 1);
+        // A miss on an absent indexed value probes nothing at all.
+        let before = s.match_stats();
+        assert_eq!(s.read(&pat!("task", -1, ?float)), None);
+        assert_eq!(s.match_stats().since(&before).probes, 0);
+        // The index tracks withdrawals: taking by indexed value stays
+        // oldest-match correct as entries disappear.
+        assert_eq!(
+            s.take(&pat!("task", 17, ?float)),
+            Some(tuple!("task", 17, 0.5))
+        );
+        assert_eq!(s.take(&pat!("task", 17, ?float)), None);
+        assert_eq!(s.len(), 63);
+    }
+
+    #[test]
+    fn promotion_respects_max_value_indexes() {
+        let cfg = StoreConfig {
+            promote_min_tuples: 4,
+            promote_after_probes: 1,
+            max_value_indexes: 2,
+            ..StoreConfig::default()
+        };
+        let mut s = IndexedStore::with_config(cfg);
+        for i in 0..8 {
+            s.insert(tuple!("t", i, i * 10, i * 100));
+        }
+        // This pattern has constants at positions 1, 2, 3 — but only one
+        // slot remains beside the head index.
+        s.read(&pat!("t", 3, 30, 300));
+        let rep = s.index_report();
+        assert_eq!(rep.value_indexes, 1, "cap is bucket-wide, head included");
+    }
+
+    #[test]
+    fn small_buckets_never_promote() {
+        let mut s = IndexedStore::new(); // promote_min_tuples = 32
+        for i in 0..16 {
+            s.insert(tuple!("t", i));
+        }
+        s.read(&pat!("t", 15)); // scans 16 > promote_after_probes
+        assert_eq!(s.index_report().value_indexes, 0);
+    }
+
+    #[test]
+    fn adaptive_store_promotes_when_hot() {
+        let cfg = StoreConfig {
+            promote_min_tuples: 16,
+            promote_after_probes: 8,
+            ..StoreConfig::default()
+        };
+        let mut s = AdaptiveStore::with_config(cfg);
+        for i in 0..64 {
+            s.insert(tuple!("n", i));
+        }
+        s.tick();
+        assert!(!s.promoted(), "no match traffic yet");
+        let pre_stats = s.match_stats();
+        assert_eq!(s.read(&pat!("n", 63)), Some(tuple!("n", 63))); // 64-probe scan
+        s.tick();
+        assert!(s.promoted(), "expensive scan promotes");
+        // Totals are monotonic across the switch.
+        let post = s.match_stats();
+        assert!(post.attempts > pre_stats.attempts);
+        assert!(post.probes >= 64);
+        // Results identical post-promotion; oldest-match preserved.
+        assert_eq!(s.take(&pat!("n", ?int)), Some(tuple!("n", 0)));
+        assert_eq!(s.take(&pat!("n", ?int)), Some(tuple!("n", 1)));
+        assert_eq!(s.len(), 62);
+    }
+
+    #[test]
+    fn adaptive_store_stays_linear_when_small() {
+        let mut s = AdaptiveStore::new();
+        for i in 0..8 {
+            s.insert(tuple!("n", i));
+        }
+        for i in 0..32 {
+            s.read(&pat!("n", i % 8));
+        }
+        s.tick();
+        assert!(!s.promoted(), "below promote_min_tuples");
+    }
+
+    #[test]
+    fn adaptive_census_survives_promotion() {
+        let cfg = StoreConfig {
+            promote_min_tuples: 4,
+            promote_after_probes: 2,
+            ..StoreConfig::default()
+        };
+        let mut s = AdaptiveStore::with_config(cfg);
+        for i in 0..6 {
+            s.insert(tuple!("peak", i));
+        }
+        for _ in 0..4 {
+            s.take(&pat!("peak", ?int));
+        }
+        // Drain a whole signature before promotion.
+        s.insert(tuple!("gone"));
+        s.take(&pat!("gone"));
+        // Force promotion via an expensive scan over a big-enough store.
+        for i in 0..4 {
+            s.insert(tuple!("x", i, i));
+        }
+        s.read(&pat!("x", 99, ?int));
+        s.tick();
+        assert!(s.promoted());
+        let census = s.signature_census();
+        let peak = census
+            .iter()
+            .find(|c| c.signature.to_string() == "<str,int>")
+            .unwrap();
+        assert_eq!(
+            (peak.count, peak.high_water),
+            (2, 6),
+            "high-water carried across promotion"
+        );
+        let gone = census
+            .iter()
+            .find(|c| c.signature.to_string() == "<str>")
+            .unwrap();
+        assert_eq!((gone.count, gone.high_water), (0, 1));
+    }
+
+    #[test]
     fn indexed_and_linear_agree_on_random_workload() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
@@ -959,6 +1804,35 @@ mod tracked_tests {
             s.restore_at(seq, t);
         }
         assert_eq!(s.len(), 5);
-        assert_eq!(s.take(&pat!("job", ?int)), Some(tuple!("job", 0)));
+        assert_eq!(s.take(&pat!("job", 0)), Some(tuple!("job", 0)));
+    }
+
+    #[test]
+    fn restore_at_invalidates_cached_miss() {
+        // The AGS rollback path re-creates tuples: a miss cached while
+        // the tuple was withdrawn must not survive its restoration.
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("lock"));
+        let (seq, t) = s.take_tracked(&pat!("lock")).unwrap();
+        assert_eq!(s.read(&pat!("lock")), None); // cached
+        s.restore_at(seq, t);
+        assert_eq!(s.read(&pat!("lock")), Some(tuple!("lock")));
+    }
+
+    #[test]
+    fn tracked_ops_do_not_double_count() {
+        // One tracked take = one attempt; the Store-trait wrappers add
+        // nothing on top.
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("t", 1));
+        s.insert(tuple!("t", 2));
+        let before = s.match_stats();
+        assert!(s.take(&pat!("t", ?int)).is_some()); // via take_tracked
+        let d = s.match_stats().since(&before);
+        assert_eq!(d.attempts, 1);
+        let before = s.match_stats();
+        assert_eq!(s.take_all(&pat!("t", ?int)).len(), 1); // via take_all_tracked
+        let d = s.match_stats().since(&before);
+        assert_eq!(d.attempts, 1);
     }
 }

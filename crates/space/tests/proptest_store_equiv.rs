@@ -1,0 +1,148 @@
+//! Determinism equivalence across store implementations.
+//!
+//! The replicated kernel depends on every store returning the *same*
+//! tuple for the same operation stream (oldest-match). The adaptive
+//! machinery — value-level secondary indexes, the miss cache, and the
+//! linear → indexed promotion — is all derived state and must be
+//! invisible in results. This suite drives `IndexedStore` (with an
+//! aggressive config: promotion on any probe, a tiny miss cache that
+//! forces epoch evictions) and `AdaptiveStore` against the `LinearStore`
+//! baseline under arbitrary interleavings of `out`/`take`/`read`/
+//! `take_all`/`read_all`/`count` and checkpoint/restore cycles, asserting
+//! byte-identical results and identical withdraw order throughout.
+
+use linda_space::{AdaptiveStore, IndexedStore, LinearStore, Store, StoreConfig};
+use linda_tuple::{tuple, PatField, Pattern, TypeTag, Value};
+use proptest::prelude::*;
+
+const HEADS: [&str; 3] = ["a", "b", "c"];
+
+/// Promote on any probe, keep the miss cache tiny so epoch evictions
+/// happen constantly — the most adversarial setting for the derived
+/// state, worthless for performance, perfect for equivalence testing.
+fn aggressive() -> StoreConfig {
+    StoreConfig {
+        promote_after_probes: 0,
+        promote_min_tuples: 2,
+        promote_below_bp: 10_000,
+        max_value_indexes: 4,
+        miss_cache_cap: 3,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Out(u8, i8),
+    Take(Option<u8>, Option<i8>),
+    Read(Option<u8>, Option<i8>),
+    TakeAll(Option<u8>, Option<i8>),
+    ReadAll(Option<u8>, Option<i8>),
+    Count(Option<u8>, Option<i8>),
+    /// Snapshot all stores (asserting the snapshots agree) and rebuild
+    /// each from the snapshot — the checkpoint/restore path, which
+    /// resets every piece of derived state.
+    CheckpointRestore,
+}
+
+/// `None` → formal (`?str` / `?int`), `Some` → constant field.
+fn pattern(head: Option<u8>, v: Option<i8>) -> Pattern {
+    let f0 = match head {
+        Some(h) => PatField::Actual(Value::from(HEADS[h as usize % HEADS.len()])),
+        None => PatField::Formal(TypeTag::Str),
+    };
+    let f1 = match v {
+        Some(v) => PatField::Actual(Value::from(v as i64)),
+        None => PatField::Formal(TypeTag::Int),
+    };
+    Pattern::new(vec![f0, f1])
+}
+
+fn selector() -> impl Strategy<Value = (Option<u8>, Option<i8>)> {
+    (
+        proptest::option::of(0u8..HEADS.len() as u8),
+        proptest::option::of(0i8..4),
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..HEADS.len() as u8, 0i8..4).prop_map(|(h, v)| Op::Out(h, v)),
+        2 => selector().prop_map(|(h, v)| Op::Take(h, v)),
+        2 => selector().prop_map(|(h, v)| Op::Read(h, v)),
+        1 => selector().prop_map(|(h, v)| Op::TakeAll(h, v)),
+        1 => selector().prop_map(|(h, v)| Op::ReadAll(h, v)),
+        1 => selector().prop_map(|(h, v)| Op::Count(h, v)),
+        1 => Just(Op::CheckpointRestore),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn adaptive_stores_equal_linear_baseline(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut idx = IndexedStore::with_config(aggressive());
+        let mut ada = AdaptiveStore::with_config(aggressive());
+        let mut lin = LinearStore::new();
+        for op in &ops {
+            match op {
+                Op::Out(h, v) => {
+                    let t = tuple!(HEADS[*h as usize % HEADS.len()], *v as i64);
+                    idx.insert(t.clone());
+                    ada.insert(t.clone());
+                    lin.insert(t);
+                }
+                Op::Take(h, v) => {
+                    let p = pattern(*h, *v);
+                    let want = lin.take(&p);
+                    prop_assert_eq!(idx.take(&p), want.clone());
+                    prop_assert_eq!(ada.take(&p), want);
+                }
+                Op::Read(h, v) => {
+                    let p = pattern(*h, *v);
+                    let want = lin.read(&p);
+                    prop_assert_eq!(idx.read(&p), want.clone());
+                    prop_assert_eq!(ada.read(&p), want);
+                }
+                Op::TakeAll(h, v) => {
+                    let p = pattern(*h, *v);
+                    let want = lin.take_all(&p);
+                    prop_assert_eq!(idx.take_all(&p), want.clone());
+                    prop_assert_eq!(ada.take_all(&p), want);
+                }
+                Op::ReadAll(h, v) => {
+                    let p = pattern(*h, *v);
+                    let want = lin.read_all(&p);
+                    prop_assert_eq!(idx.read_all(&p), want.clone());
+                    prop_assert_eq!(ada.read_all(&p), want);
+                }
+                Op::Count(h, v) => {
+                    let p = pattern(*h, *v);
+                    let want = lin.count(&p);
+                    prop_assert_eq!(idx.count(&p), want);
+                    prop_assert_eq!(ada.count(&p), want);
+                }
+                Op::CheckpointRestore => {
+                    let snap = lin.snapshot();
+                    prop_assert_eq!(idx.snapshot(), snap.clone());
+                    prop_assert_eq!(ada.snapshot(), snap.clone());
+                    idx = IndexedStore::with_config(aggressive());
+                    ada = AdaptiveStore::with_config(aggressive());
+                    lin = LinearStore::new();
+                    for t in snap {
+                        idx.insert(t.clone());
+                        ada.insert(t.clone());
+                        lin.insert(t);
+                    }
+                }
+            }
+            ada.tick();
+            prop_assert_eq!(idx.len(), lin.len());
+            prop_assert_eq!(ada.len(), lin.len());
+        }
+        prop_assert_eq!(idx.snapshot(), lin.snapshot());
+        prop_assert_eq!(ada.snapshot(), lin.snapshot());
+    }
+}

@@ -44,7 +44,7 @@ while read -r _ host addr; do
     # space+signature labels, probe counters carry the space label.
     for pat in 'ftlinda_ts_tuples{space="main",signature="<str,int>"}' \
                'ftlinda_match_probes_total{space="main"}' \
-               'ftlinda_match_probe_efficiency{space="main"}'; do
+               'ftlinda_match_probe_efficiency_bp{space="main"}'; do
         if ! grep -qF "$pat" <<<"$METRICS"; then
             echo "    MISSING $pat in /metrics of member $host"; FAIL=1
         fi
@@ -58,7 +58,8 @@ while read -r _ host addr; do
     done
     INTROSPECT="$(curl -sfS "http://$addr/introspect")"
     for pat in '"signatures":[{' '"hot_signatures"' '"blocked":[{' \
-               '"guards":' '"nearest_miss":' '"match":{'; do
+               '"guards":' '"nearest_miss":' '"match":{' \
+               '"efficiency_bp":' '"cache_hits":' '"index":{'; do
         if ! grep -qF "$pat" <<<"$INTROSPECT"; then
             echo "    MISSING $pat in /introspect of member $host"; FAIL=1
         fi

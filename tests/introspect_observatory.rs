@@ -132,7 +132,7 @@ fn introspect_occupancy_matches_exact_store_recount() {
             "{metrics}"
         );
         assert!(
-            metrics.contains("ftlinda_match_probe_efficiency{space=\"jobs\"}"),
+            metrics.contains("ftlinda_match_probe_efficiency_bp{space=\"jobs\"}"),
             "{metrics}"
         );
     }
