@@ -1,0 +1,264 @@
+//! Static shard-key analysis for AGS routing.
+//!
+//! Matching in FT-Linda only ever happens inside one `(tuple space,
+//! signature)` bucket: a pattern can only match tuples with an identical
+//! ordered type list. When stable spaces are partitioned across K
+//! independently-sequenced shards by `(TsId, signature stable_hash)`, an
+//! AGS whose stable-space accesses all land on one shard can be submitted
+//! to that shard's sequencer alone — no cross-shard coordination, no
+//! global total order.
+//!
+//! Whether that is the case is decidable *statically*: signatures are type
+//! lists, `MatchField::Bind` carries its type, and every [`Operand`]
+//! exposes [`Operand::static_type`]. Values never influence a signature,
+//! so the analysis here is exact whenever it returns `Some` — the keys an
+//! execution touches are precisely the keys reported, for every branch and
+//! every possible binding.
+
+use crate::ags_mod::{Ags, Guard};
+use crate::expr::Operand;
+use crate::ops::{BodyOp, MatchField, SpaceRef, TsId};
+use linda_tuple::{Signature, TypeTag};
+
+/// A statically-determined stable-space access key: the matching bucket
+/// `(ts, signature stable_hash)` an AGS operation touches.
+pub type ShardKey = (TsId, u64);
+
+/// Owning shard of a `(ts, signature)` bucket among `shards` replica
+/// groups. Deterministic, identical at every host (no per-process seed):
+/// a splitmix64-style finalizer over the ts id and signature hash.
+pub fn shard_of(ts: TsId, sig_hash: u64, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = sig_hash ^ (ts.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h % shards as u64) as u32
+}
+
+fn pattern_sig(fields: &[MatchField], formals: &[TypeTag]) -> Option<u64> {
+    let mut tags = Vec::with_capacity(fields.len());
+    for f in fields {
+        tags.push(match f {
+            MatchField::Bind(t) => *t,
+            MatchField::Expr(op) => op.static_type(formals)?,
+        });
+    }
+    Some(Signature::new(tags).stable_hash())
+}
+
+fn template_sig(template: &[Operand], formals: &[TypeTag]) -> Option<u64> {
+    let mut tags = Vec::with_capacity(template.len());
+    for op in template {
+        tags.push(op.static_type(formals)?);
+    }
+    Some(Signature::new(tags).stable_hash())
+}
+
+/// Every `(ts, signature)` bucket any branch of `ags` may touch, sorted
+/// and deduplicated — or `None` if some signature cannot be inferred
+/// statically (the caller must then route conservatively).
+///
+/// Scratch-space operations are excluded: scratch spaces live on the
+/// submitting host and never cross the ordering substrate.
+pub fn static_keys(ags: &Ags) -> Option<Vec<ShardKey>> {
+    let mut keys: Vec<ShardKey> = Vec::new();
+    for branch in &ags.branches {
+        let formals = &branch.formal_types;
+        match &branch.guard {
+            Guard::True => {}
+            Guard::In { ts, pattern } | Guard::Rd { ts, pattern } => {
+                if let SpaceRef::Stable(id) = ts {
+                    // Guard expressions reference no formals (validated),
+                    // but the full formal list is a safe superset context.
+                    keys.push((*id, pattern_sig(pattern, formals)?));
+                }
+            }
+        }
+        for op in &branch.body {
+            match op {
+                BodyOp::Out { ts, template } => {
+                    if let SpaceRef::Stable(id) = ts {
+                        keys.push((*id, template_sig(template, formals)?));
+                    }
+                }
+                BodyOp::In { ts, pattern } | BodyOp::Rd { ts, pattern } => {
+                    if let SpaceRef::Stable(id) = ts {
+                        keys.push((*id, pattern_sig(pattern, formals)?));
+                    }
+                }
+                BodyOp::Move { from, to, pattern } | BodyOp::Copy { from, to, pattern } => {
+                    let sig = pattern_sig(pattern, formals)?;
+                    if let SpaceRef::Stable(id) = from {
+                        keys.push((*id, sig));
+                    }
+                    if let SpaceRef::Stable(id) = to {
+                        keys.push((*id, sig));
+                    }
+                }
+            }
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    Some(keys)
+}
+
+/// The sorted, deduplicated set of shards `ags` touches under a K-way
+/// partition, or `None` if it cannot be determined statically. An empty
+/// set (pure-scratch AGS) and a singleton both admit single-shard
+/// submission; larger sets require the cross-shard commit protocol.
+pub fn shard_set(ags: &Ags, shards: u32) -> Option<Vec<u32>> {
+    let keys = static_keys(ags)?;
+    let mut out: Vec<u32> = keys
+        .iter()
+        .map(|(ts, sig)| shard_of(*ts, *sig, shards))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+    use crate::ops::ScratchId;
+    use linda_tuple::TypeTag::*;
+
+    fn sig_hash(tags: &[TypeTag]) -> u64 {
+        Signature::new(tags.to_vec()).stable_hash()
+    }
+
+    #[test]
+    fn counter_ags_is_single_key() {
+        // ⟨ in(ts0, "count", ?int) ⇒ out(ts0, "count", f0 + 1) ⟩ — the
+        // guard pattern and the out template share the <str,int> signature.
+        let ags = Ags::builder()
+            .guard_in(
+                TsId(0),
+                vec![MatchField::actual("count"), MatchField::bind(Int)],
+            )
+            .out(
+                TsId(0),
+                vec![Operand::cst("count"), Operand::formal(0).add(1)],
+            )
+            .build()
+            .unwrap();
+        let keys = static_keys(&ags).unwrap();
+        assert_eq!(keys, vec![(TsId(0), sig_hash(&[Str, Int]))]);
+        assert_eq!(shard_set(&ags, 4).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scratch_ops_are_excluded() {
+        let ags = Ags::builder()
+            .guard_in(TsId(1), vec![MatchField::bind(Int)])
+            .out(ScratchId(0), vec![Operand::formal(0)])
+            .build()
+            .unwrap();
+        assert_eq!(
+            static_keys(&ags).unwrap(),
+            vec![(TsId(1), sig_hash(&[Int]))]
+        );
+    }
+
+    #[test]
+    fn pure_scratch_ags_has_no_keys() {
+        let ags = Ags::builder()
+            .guard_true()
+            .out(ScratchId(0), vec![Operand::cst(1)])
+            .build()
+            .unwrap();
+        assert_eq!(static_keys(&ags).unwrap(), vec![]);
+        assert_eq!(shard_set(&ags, 8).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn move_touches_both_spaces_same_signature() {
+        let ags = Ags::builder()
+            .guard_true()
+            .move_(
+                TsId(0),
+                TsId(1),
+                vec![MatchField::actual("task"), MatchField::bind(Int)],
+            )
+            .build()
+            .unwrap();
+        let s = sig_hash(&[Str, Int]);
+        assert_eq!(static_keys(&ags).unwrap(), vec![(TsId(0), s), (TsId(1), s)]);
+    }
+
+    #[test]
+    fn disjunction_unions_branch_keys() {
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::actual("token")])
+            .or()
+            .guard_rd(
+                TsId(0),
+                vec![MatchField::actual("failure"), MatchField::bind(Int)],
+            )
+            .build()
+            .unwrap();
+        let keys = static_keys(&ags).unwrap();
+        assert_eq!(keys, {
+            let mut v = vec![
+                (TsId(0), sig_hash(&[Str])),
+                (TsId(0), sig_hash(&[Str, Int])),
+            ];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn formal_types_resolve_through_out_templates() {
+        // Formal 1 is a Float bound by a body rd; the out template's
+        // signature must pick that up.
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MatchField::bind(Int)])
+            .in_(
+                TsId(0),
+                vec![
+                    MatchField::bind(Float),
+                    MatchField::Expr(Operand::formal(0)),
+                ],
+            )
+            .out(TsId(2), vec![Operand::formal(1)])
+            .build()
+            .unwrap();
+        let keys = static_keys(&ags).unwrap();
+        assert!(keys.contains(&(TsId(2), sig_hash(&[Float]))));
+        assert!(keys.contains(&(TsId(0), sig_hash(&[Float, Int]))));
+    }
+
+    #[test]
+    fn underdetermined_template_yields_none() {
+        // A malformed Apply with no arguments has no static type (it
+        // would also abort at eval time); analysis must refuse, not guess.
+        let ags = Ags::builder()
+            .guard_true()
+            .out(TsId(0), vec![Operand::Apply(Func::Add, vec![])])
+            .build()
+            .unwrap();
+        assert_eq!(static_keys(&ags), None);
+        assert_eq!(shard_set(&ags, 2), None);
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_spreads() {
+        assert_eq!(shard_of(TsId(3), 12345, 1), 0);
+        assert_eq!(shard_of(TsId(3), 12345, 4), shard_of(TsId(3), 12345, 4));
+        // Distinct signatures should not all collapse onto one shard.
+        let hit: std::collections::BTreeSet<u32> = (0..64)
+            .map(|i| shard_of(TsId(0), sig_hash(&[Int]) ^ i, 4))
+            .collect();
+        assert!(hit.len() > 1);
+        // All results in range.
+        for i in 0..64 {
+            assert!(shard_of(TsId(i), 99, 4) < 4);
+        }
+    }
+}

@@ -94,16 +94,16 @@ fn run_window(window: Duration) -> Point {
 }
 
 fn write_artifact(points: &[Point]) {
-    let mut json = String::from("{\n  \"bench\": \"msgs_per_ags\",\n");
-    let _ = writeln!(
-        json,
-        "  \"hosts\": {HOSTS},\n  \"submitters\": {SUBMITTERS},\n  \"points\": ["
-    );
+    // The window-sweep points run on an unsharded (K=1) cluster; the
+    // `shard_sweep` bench contributes the `shard_sweep` section of the
+    // same artifact, so update only this bench's keys.
+    let mut json = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"window_us\": {}, \"ags\": {}, \"ordered_multicasts\": {}, \
+            "    {{\"window_us\": {}, \"shards\": 1, \"ags\": {}, \
+             \"ordered_multicasts\": {}, \
              \"batches\": {}, \"batch_entries\": {}, \"multicasts_per_ags\": {:.4}, \
              \"ags_per_sec\": {:.1}}}{comma}",
             p.window_us,
@@ -115,13 +115,18 @@ fn write_artifact(points: &[Point]) {
             p.ags_per_sec,
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
     let path = std::env::var("BENCH_MSGS_PER_AGS_JSON")
         .unwrap_or_else(|_| "BENCH_msgs_per_ags.json".into());
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    linda_bench::update_artifact_sections(
+        &path,
+        &[
+            ("bench", "\"msgs_per_ags\"".into()),
+            ("hosts", HOSTS.to_string()),
+            ("submitters", SUBMITTERS.to_string()),
+            ("points", json),
+        ],
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -26,7 +26,7 @@ mod sequencer;
 mod stats;
 
 pub use isis::{IsisGroup, IsisMember, IsisMsg};
-pub use net::{Heartbeat, HostId, NetConfig, NetEvent, SimNet, WireSized};
+pub use net::{Heartbeat, HostId, NetConfig, NetEvent, NicModel, SimNet, WireSized};
 pub use order::{BatchEntry, CheckpointImage, Delivery, LocalId, Protocol, Record, RecordBody};
 pub use sequencer::{BatchConfig, CheckpointConfig, SeqGroup, SeqMember, SeqMsg};
 pub use stats::{NetStats, OrderStats};

@@ -72,6 +72,44 @@ pub struct NetConfig {
     /// (see [`Heartbeat`]). `timeout` must exceed the worst-case link
     /// latency + period or live hosts will be falsely suspected.
     pub heartbeats: Option<Heartbeat>,
+    /// Optional per-host egress service-time model (NIC serialization).
+    /// `None` (the default) keeps the classic infinite-bandwidth
+    /// simulation: messages only pay `latency + jitter`.
+    pub nic: Option<NicModel>,
+}
+
+/// Egress bandwidth model: each host owns one NIC that serializes its
+/// outgoing messages. A message occupies the sender's NIC for
+/// `per_msg + per_byte × size` before it enters the wire, so a burst
+/// from one host queues behind itself while other hosts' NICs transmit
+/// in parallel — the property that makes a single busy coordinator the
+/// bottleneck on the paper's 10 Mb Ethernet, and the one the default
+/// zero-cost network cannot express. Receive side is not modelled
+/// (deliveries share the link latency only), matching the paper's
+/// observation that the sender-side protocol stack dominated.
+#[derive(Debug, Clone, Copy)]
+pub struct NicModel {
+    /// Fixed per-message cost (framing, protocol stack, interrupt).
+    pub per_msg: Duration,
+    /// Transmission time per payload byte.
+    pub per_byte: Duration,
+}
+
+impl NicModel {
+    /// A 10 Mb-Ethernet-era model: 10 Mb/s ≈ 0.8 µs per byte, plus
+    /// ~100 µs of fixed per-packet protocol-stack overhead (the x-kernel
+    /// numbers the paper's testbed reports are of this magnitude).
+    pub fn ethernet_10mb() -> Self {
+        NicModel {
+            per_msg: Duration::from_micros(100),
+            per_byte: Duration::from_nanos(800),
+        }
+    }
+
+    /// NIC occupancy for one message of `bytes` payload bytes.
+    pub fn service_time(&self, bytes: usize) -> Duration {
+        self.per_msg + self.per_byte * (bytes as u32)
+    }
 }
 
 /// Heartbeat-based failure detection parameters.
@@ -91,6 +129,7 @@ impl Default for NetConfig {
             detect_delay: Duration::from_millis(1),
             seed: 0xf7_11da,
             heartbeats: None,
+            nic: None,
         }
     }
 }
@@ -150,6 +189,9 @@ struct RouterState<M> {
     inboxes: HashMap<HostId, crossbeam::channel::Sender<NetEvent<M>>>,
     crashed: HashMap<HostId, bool>,
     last_delivery: HashMap<(HostId, HostId), Instant>,
+    /// When each host's egress NIC finishes its current backlog (only
+    /// maintained when [`NetConfig::nic`] is set).
+    nic_free: HashMap<HostId, Instant>,
     rng: StdRng,
     tie: u64,
     shutdown: bool,
@@ -194,6 +236,7 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
                 inboxes,
                 crashed: HashMap::new(),
                 last_delivery: HashMap::new(),
+                nic_free: HashMap::new(),
                 rng: StdRng::seed_from_u64(cfg.seed),
                 tie: 0,
                 shutdown: false,
@@ -250,6 +293,20 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
             .expect("spawn router");
     }
 
+    /// Occupy `from`'s egress NIC for one `bytes`-sized message and
+    /// return how long past *now* the message enters the wire. Zero when
+    /// no NIC model is configured.
+    fn nic_delay(&self, st: &mut RouterState<M>, from: HostId, bytes: usize) -> Duration {
+        let Some(nic) = self.inner.cfg.nic else {
+            return Duration::ZERO;
+        };
+        let now = Instant::now();
+        let start = st.nic_free.get(&from).copied().unwrap_or(now).max(now);
+        let busy_until = start + nic.service_time(bytes);
+        st.nic_free.insert(from, busy_until);
+        busy_until - now
+    }
+
     fn schedule(
         &self,
         st: &mut RouterState<M>,
@@ -294,13 +351,15 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
         if st.crashed.get(&from).copied().unwrap_or(false) {
             return;
         }
-        self.inner.stats.record_msg(msg.wire_size());
+        let size = msg.wire_size();
+        self.inner.stats.record_msg(size);
+        let service = self.nic_delay(&mut st, from, size);
         self.schedule(
             &mut st,
             Some(from),
             to,
             NetEvent::Msg { from, msg },
-            Duration::ZERO,
+            service,
         );
     }
 
@@ -316,7 +375,12 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
             return;
         }
         for dest in to {
-            self.inner.stats.record_msg(msg.wire_size());
+            let size = msg.wire_size();
+            self.inner.stats.record_msg(size);
+            // Unicast fan-out: every copy occupies the sender's NIC in
+            // turn, which is exactly what makes a K=1 coordinator the
+            // bandwidth bottleneck under the service model.
+            let service = self.nic_delay(&mut st, from, size);
             self.schedule(
                 &mut st,
                 Some(from),
@@ -325,7 +389,7 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
                     from,
                     msg: msg.clone(),
                 },
-                Duration::ZERO,
+                service,
             );
         }
     }
@@ -340,6 +404,7 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
             return;
         }
         st.crashed.insert(host, true);
+        st.nic_free.remove(&host);
         if self.inner.cfg.heartbeats.is_some() {
             // Heartbeat mode: peers must notice the silence themselves.
             return;
@@ -368,6 +433,7 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let mut st = self.inner.state.lock();
         st.crashed.insert(host, false);
+        st.nic_free.remove(&host);
         st.inboxes.insert(host, tx);
         if self.inner.cfg.heartbeats.is_some() {
             // Heartbeat mode: liveness is learned from the JoinReq/ping
@@ -597,6 +663,72 @@ mod tests {
         recv_msg(&rxs[1], Duration::from_secs(1)).unwrap();
         assert_eq!(net.stats().messages(), 3);
         assert_eq!(net.stats().bytes(), 24);
+        net.shutdown();
+    }
+
+    #[test]
+    fn nic_serializes_one_hosts_egress() {
+        let cfg = NetConfig {
+            nic: Some(NicModel {
+                per_msg: Duration::from_millis(20),
+                per_byte: Duration::ZERO,
+            }),
+            ..NetConfig::default()
+        };
+        let (net, rxs) = SimNet::<TestMsg>::new(2, cfg);
+        let t0 = Instant::now();
+        for i in 0..3 {
+            net.send(HostId(0), HostId(1), TestMsg(i));
+        }
+        for _ in 0..3 {
+            recv_msg(&rxs[1], Duration::from_secs(2)).unwrap();
+        }
+        // Three messages through one NIC: the last one waited for the
+        // first two to transmit.
+        assert!(t0.elapsed() >= Duration::from_millis(60));
+        net.shutdown();
+    }
+
+    #[test]
+    fn nic_charges_bytes() {
+        let cfg = NetConfig {
+            nic: Some(NicModel {
+                per_msg: Duration::ZERO,
+                per_byte: Duration::from_millis(5), // TestMsg is 8 bytes
+            }),
+            ..NetConfig::default()
+        };
+        let (net, rxs) = SimNet::<TestMsg>::new(2, cfg);
+        let t0 = Instant::now();
+        net.send(HostId(0), HostId(1), TestMsg(1));
+        recv_msg(&rxs[1], Duration::from_secs(2)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+        net.shutdown();
+    }
+
+    #[test]
+    fn nics_of_different_hosts_run_in_parallel() {
+        let cfg = NetConfig {
+            nic: Some(NicModel {
+                per_msg: Duration::from_millis(50),
+                per_byte: Duration::ZERO,
+            }),
+            ..NetConfig::default()
+        };
+        let (net, rxs) = SimNet::<TestMsg>::new(3, cfg);
+        let t0 = Instant::now();
+        net.send(HostId(0), HostId(2), TestMsg(1));
+        net.send(HostId(1), HostId(2), TestMsg(2));
+        recv_msg(&rxs[2], Duration::from_secs(2)).unwrap();
+        recv_msg(&rxs[2], Duration::from_secs(2)).unwrap();
+        let elapsed = t0.elapsed();
+        // Two different senders' NICs overlap: both messages are in by
+        // ~one service time, nowhere near the serialized 100ms.
+        assert!(elapsed >= Duration::from_millis(50));
+        assert!(
+            elapsed < Duration::from_millis(95),
+            "parallel NICs took {elapsed:?}"
+        );
         net.shutdown();
     }
 

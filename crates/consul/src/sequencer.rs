@@ -1227,6 +1227,7 @@ pub struct SeqGroup {
     stats: Arc<OrderStats>,
     batch: BatchConfig,
     ckpt: CheckpointConfig,
+    local_base: u64,
 }
 
 impl SeqGroup {
@@ -1255,6 +1256,21 @@ impl SeqGroup {
         batch: BatchConfig,
         ckpt: CheckpointConfig,
     ) -> (SeqGroup, Vec<SeqMember>) {
+        Self::new_with_base(n, cfg, batch, ckpt, 0)
+    }
+
+    /// Like [`SeqGroup::new_with`] but with a per-group local-id base:
+    /// every member allocates submission ids from `base + 1` upward.
+    /// When one runtime layers several groups (sharded tuple spaces), a
+    /// distinct base per group keeps `(origin, local)` — and the trace
+    /// ids derived from it — globally unique across groups.
+    pub fn new_with_base(
+        n: u32,
+        cfg: NetConfig,
+        batch: BatchConfig,
+        ckpt: CheckpointConfig,
+        local_base: u64,
+    ) -> (SeqGroup, Vec<SeqMember>) {
         let (net, rxs) = SimNet::<SeqMsg>::new(n, cfg);
         let universe: Vec<HostId> = (0..n).map(HostId).collect();
         let stats = Arc::new(OrderStats::default());
@@ -1271,6 +1287,7 @@ impl SeqGroup {
                     true,
                     batch,
                     ckpt,
+                    local_base,
                 )
             })
             .collect();
@@ -1281,6 +1298,7 @@ impl SeqGroup {
                 stats,
                 batch,
                 ckpt,
+                local_base,
             },
             members,
         )
@@ -1296,6 +1314,7 @@ impl SeqGroup {
         initially_joined: bool,
         batch: BatchConfig,
         ckpt: CheckpointConfig,
+        local_base: u64,
     ) -> SeqMember {
         let (dtx, drx) = crossbeam::channel::unbounded();
         let live: BTreeSet<HostId> = universe.iter().copied().collect();
@@ -1311,9 +1330,10 @@ impl SeqGroup {
         );
         let batch_flush_hist =
             obs.histogram("ftlinda_batch_flush_seconds", "Batch open-to-flush latency");
-        obs.gauge(
+        obs.gauge_merged(
             "ftlinda_batch_max_bytes",
             "Byte threshold that force-flushes an open batch (0 = no byte trigger)",
+            linda_obs::GaugeMerge::Max,
         )
         .set(if batch.enabled() {
             batch.max_bytes as i64
@@ -1342,7 +1362,7 @@ impl SeqGroup {
             ckpt_cfg: ckpt,
             buffer: BTreeMap::new(),
             pending_submits: BTreeMap::new(),
-            next_local: 1,
+            next_local: local_base + 1,
             nacked_for: None,
             failed_recorded: BTreeSet::new(),
             ba_inserts: 0,
@@ -1465,6 +1485,7 @@ impl SeqGroup {
             false,
             self.batch,
             self.ckpt,
+            self.local_base,
         );
         let state = member.state.clone();
         let net = member.net.clone();

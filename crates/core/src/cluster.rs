@@ -24,8 +24,9 @@
 use crate::flight::{FlightRecorder, FlightSection};
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::server::{events_json_lines, http_post_metrics, ExporterSources, HttpExporter};
-use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup};
+use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup, SeqMember};
 use ftlinda_kernel::StoreConfig;
+use linda_tuple::Signature;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
@@ -39,6 +40,7 @@ use std::time::Duration;
 #[derive(Debug, Clone)]
 pub struct ClusterBuilder {
     hosts: u32,
+    shards: u32,
     net: NetConfig,
     divergence_period: Option<Duration>,
     batch: BatchConfig,
@@ -50,12 +52,14 @@ pub struct ClusterBuilder {
     introspection: bool,
     push: Option<(String, Duration)>,
     store: StoreConfig,
+    store_overrides: Vec<(u64, StoreConfig)>,
 }
 
 impl Default for ClusterBuilder {
     fn default() -> Self {
         ClusterBuilder {
             hosts: 3,
+            shards: 1,
             net: NetConfig::instant(),
             divergence_period: Some(Duration::from_millis(10)),
             batch: BatchConfig::default(),
@@ -67,6 +71,7 @@ impl Default for ClusterBuilder {
             introspection: true,
             push: None,
             store: StoreConfig::default(),
+            store_overrides: Vec::new(),
         }
     }
 }
@@ -75,6 +80,32 @@ impl ClusterBuilder {
     /// Number of hosts (replicas). The paper's prototype used 3 Sun-3s.
     pub fn hosts(mut self, n: u32) -> Self {
         self.hosts = n;
+        self
+    }
+
+    /// Partition stable tuple spaces across `k` independently-sequenced
+    /// replica groups, keyed by `(space, signature stable-hash)`. Every
+    /// host replicates all `k` shards, but each shard runs its own
+    /// sequencer, log and checkpoint stream, so statically single-shard
+    /// AGSs (the overwhelmingly common case — see
+    /// [`ftlinda_ags::static_keys`]) no longer contend for one total
+    /// order. Cross-shard AGSs commit through the ordered three-leg
+    /// protocol described in DESIGN.md §13. `k = 1` (the default) is the
+    /// classic single-order deployment, wire-identical to pre-shard
+    /// builds.
+    pub fn shards(mut self, k: u32) -> Self {
+        self.shards = k.max(1);
+        self
+    }
+
+    /// Per-signature override of [`ClusterBuilder::store_config`]: tuples
+    /// and patterns whose signature matches `sig` use `cfg` instead of
+    /// the space-wide default, in every space on every host. Derived
+    /// state only — never affects match results or replicated digests.
+    pub fn store_config_for(mut self, sig: &Signature, cfg: StoreConfig) -> Self {
+        let hash = sig.stable_hash();
+        self.store_overrides.retain(|(s, _)| *s != hash);
+        self.store_overrides.push((hash, cfg));
         self
     }
 
@@ -234,7 +265,23 @@ impl ClusterBuilder {
 
     /// Build the cluster and one runtime per host.
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
-        let (group, members) = SeqGroup::new_with(self.hosts, self.net, self.batch, self.ckpt);
+        // One independent sequencer group (own simulated network, own
+        // log, own checkpoint stream) per shard. Per-shard local-id
+        // bases keep broadcast ids globally unique so one waiting table
+        // serves all K streams; per-shard seeds decorrelate jitter.
+        let mut groups: Vec<SeqGroup> = Vec::with_capacity(self.shards as usize);
+        let mut members_per_host: Vec<Vec<SeqMember>> =
+            (0..self.hosts).map(|_| Vec::new()).collect();
+        for i in 0..self.shards.max(1) {
+            let mut net = self.net.clone();
+            net.seed = net.seed.wrapping_add(u64::from(i).wrapping_mul(7919));
+            let (group, members) =
+                SeqGroup::new_with_base(self.hosts, net, self.batch, self.ckpt, u64::from(i) << 48);
+            groups.push(group);
+            for (h, m) in members.into_iter().enumerate() {
+                members_per_host[h].push(m);
+            }
+        }
         let run_cfg = RuntimeConfig {
             // no_introspection() also silences the watchdog: starvation
             // ages come from the same deep-accounting layer.
@@ -242,10 +289,11 @@ impl ClusterBuilder {
                 .then_some(self.starvation_after),
             introspection: self.introspection,
             store: self.store,
+            store_overrides: self.store_overrides,
         };
-        let runtimes: Vec<Runtime> = members
+        let runtimes: Vec<Runtime> = members_per_host
             .into_iter()
-            .map(|m| Runtime::with_config(m, run_cfg.clone()))
+            .map(|ms| Runtime::with_members(ms, run_cfg.clone()))
             .collect();
         let by_host: HashMap<HostId, Runtime> =
             runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
@@ -253,7 +301,7 @@ impl ClusterBuilder {
             Arc::new(FlightRecorder::new(dir).expect("create flight recorder directory"))
         });
         let cluster = Cluster {
-            group,
+            groups,
             runtimes: Arc::new(Mutex::new(by_host)),
             obs: Arc::new(linda_obs::Registry::new()),
             stop: Arc::new(AtomicBool::new(false)),
@@ -283,7 +331,9 @@ impl ClusterBuilder {
 
 /// A running FT-Linda cluster over the simulated network.
 pub struct Cluster {
-    group: SeqGroup,
+    /// One ordering group per shard; `groups[0]` exists in every
+    /// configuration and carries space creation.
+    groups: Vec<SeqGroup>,
     /// Current runtime per host, replaced on restart so the divergence
     /// detector always samples the live incarnation.
     runtimes: Arc<Mutex<HashMap<HostId, Runtime>>>,
@@ -318,7 +368,8 @@ impl Cluster {
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
         let stop = self.stop.clone();
-        let net = self.group.net().clone();
+        let net = self.groups[0].net().clone();
+        let shards = self.groups.len();
         let divergences = obs.counter(
             "ftlinda_digest_divergence_total",
             "Replica digest mismatches observed at equal applied sequence",
@@ -326,44 +377,49 @@ impl Cluster {
         let handle = std::thread::Builder::new()
             .name("ftlinda-divergence".into())
             .spawn(move || {
-                // Sequence numbers already reported, so a persistent
+                // (shard, seq) pairs already reported, so a persistent
                 // divergence is surfaced once, not every tick.
-                let mut reported: HashSet<u64> = HashSet::new();
+                let mut reported: HashSet<(usize, u64)> = HashSet::new();
                 while !stop.load(AtomicOrdering::Relaxed) {
                     std::thread::sleep(period);
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
-                    let samples: Vec<(HostId, u64, u64)> = {
-                        let map = runtimes.lock();
-                        map.iter()
-                            .filter(|(h, _)| live.contains(h))
-                            .map(|(h, rt)| {
-                                let (seq, dig) = rt.applied_digest();
-                                (*h, seq, dig)
-                            })
-                            .collect()
-                    };
-                    // Group by applied seq; equal seq must imply equal
-                    // digest (deterministic application of the same
-                    // ordered prefix), so this never false-positives on
-                    // replicas that merely lag.
-                    let mut by_seq: HashMap<u64, Vec<(HostId, u64)>> = HashMap::new();
-                    for (h, seq, dig) in samples {
-                        by_seq.entry(seq).or_default().push((h, dig));
-                    }
-                    for (seq, group) in by_seq {
-                        if group.len() < 2 || reported.contains(&seq) {
-                            continue;
+                    // Divergence is a per-shard property: each shard's
+                    // replicas apply that shard's ordered prefix, so
+                    // equal (shard, seq) must imply equal digest. This
+                    // never false-positives on replicas that merely lag.
+                    for shard in 0..shards {
+                        let samples: Vec<(HostId, u64, u64)> = {
+                            let map = runtimes.lock();
+                            map.iter()
+                                .filter(|(h, _)| live.contains(h))
+                                .map(|(h, rt)| {
+                                    let (seq, dig) = rt.applied_digest_shard(shard);
+                                    (*h, seq, dig)
+                                })
+                                .collect()
+                        };
+                        let mut by_seq: HashMap<u64, Vec<(HostId, u64)>> = HashMap::new();
+                        for (h, seq, dig) in samples {
+                            by_seq.entry(seq).or_default().push((h, dig));
                         }
-                        let first = group[0].1;
-                        if group.iter().any(|(_, d)| *d != first) {
-                            reported.insert(seq);
-                            divergences.inc();
-                            let mut fields = vec![("seq".to_string(), seq.to_string())];
-                            for (h, d) in &group {
-                                fields.push((format!("digest_h{}", h.0), format!("{d:#x}")));
+                        for (seq, group) in by_seq {
+                            if group.len() < 2 || reported.contains(&(shard, seq)) {
+                                continue;
                             }
-                            obs.events()
-                                .emit(linda_obs::Event::new("digest_divergence", fields));
+                            let first = group[0].1;
+                            if group.iter().any(|(_, d)| *d != first) {
+                                reported.insert((shard, seq));
+                                divergences.inc();
+                                let mut fields = vec![
+                                    ("shard".to_string(), shard.to_string()),
+                                    ("seq".to_string(), seq.to_string()),
+                                ];
+                                for (h, d) in &group {
+                                    fields.push((format!("digest_h{}", h.0), format!("{d:#x}")));
+                                }
+                                obs.events()
+                                    .emit(linda_obs::Event::new("digest_divergence", fields));
+                            }
                         }
                     }
                 }
@@ -414,7 +470,7 @@ impl Cluster {
             };
             let health = {
                 let runtimes = runtimes.clone();
-                let net = self.group.net().clone();
+                let net = self.groups[0].net().clone();
                 Arc::new(move || {
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
                     let map = runtimes.lock();
@@ -449,7 +505,7 @@ impl Cluster {
             let cluster_metrics = {
                 let runtimes = runtimes.clone();
                 let obs = self.obs.clone();
-                let net = self.group.net().clone();
+                let net = self.groups[0].net().clone();
                 Arc::new(move || {
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
                     aggregate_metrics(&runtimes.lock(), &obs, &live)
@@ -507,14 +563,14 @@ impl Cluster {
     /// histograms merge bucket-wise. Served as `/metrics/cluster` on
     /// every member's exporter.
     pub fn cluster_metrics_text(&self) -> String {
-        let live: HashSet<HostId> = self.group.net().live_hosts().into_iter().collect();
+        let live: HashSet<HostId> = self.groups[0].net().live_hosts().into_iter().collect();
         aggregate_metrics(&self.runtimes.lock(), &self.obs, &live)
     }
 
     fn spawn_pusher(&self, url: String, interval: Duration) {
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
-        let net = self.group.net().clone();
+        let net = self.groups[0].net().clone();
         let stop = self.stop.clone();
         let pushes = obs.counter(
             "ftlinda_pushes_total",
@@ -590,8 +646,13 @@ impl Cluster {
     /// and operators can force a dump.
     pub fn flight_dump(&self, reason: &str) -> Option<std::io::Result<PathBuf>> {
         let flight = self.flight.as_ref()?;
-        let live: Vec<HostId> = self.group.net().live_hosts();
-        let sections = flight_sections(&self.runtimes.lock(), &self.obs, self.group.stats(), &live);
+        let live: Vec<HostId> = self.groups[0].net().live_hosts();
+        let sections = flight_sections(
+            &self.runtimes.lock(),
+            &self.obs,
+            self.groups[0].stats(),
+            &live,
+        );
         Some(flight.dump(reason, &sections))
     }
 
@@ -601,8 +662,8 @@ impl Cluster {
         };
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
-        let stats = self.group.stats_handle();
-        let net = self.group.net().clone();
+        let stats = self.groups[0].stats_handle();
+        let net = self.groups[0].net().clone();
         let stop = self.stop.clone();
         let handle = std::thread::Builder::new()
             .name("ftlinda-flight".into())
@@ -650,7 +711,9 @@ impl Cluster {
     /// `("failure", host)` tuple into each stable TS once the failure is
     /// detected and ordered.
     pub fn crash(&self, host: HostId) {
-        self.group.crash(host);
+        for group in &self.groups {
+            group.crash(host);
+        }
     }
 
     /// Restart a crashed host. The fresh runtime replays the ordered log
@@ -659,34 +722,52 @@ impl Cluster {
     pub fn restart(&self, host: HostId) -> Runtime {
         // The fresh incarnation keeps the cluster's observability
         // configuration (watchdog threshold, introspection switch).
-        let rt = Runtime::with_config(self.group.restart(host), self.run_cfg.clone());
+        let members: Vec<SeqMember> = self.groups.iter().map(|g| g.restart(host)).collect();
+        let rt = Runtime::with_members(members, self.run_cfg.clone());
         self.runtimes.lock().insert(host, rt.clone());
         rt
     }
 
     /// Network statistics (physical messages/bytes) — experiment E9.
+    /// Summed over all shards' simulated networks.
     pub fn net_stats(&self) -> (u64, u64) {
-        self.group.net().stats().snapshot()
+        self.groups.iter().fold((0, 0), |(m, b), g| {
+            let (gm, gb) = g.net().stats().snapshot();
+            (m + gm, b + gb)
+        })
     }
 
     /// Reset network statistics between measurement phases.
     pub fn reset_net_stats(&self) {
-        self.group.net().stats().reset();
+        for group in &self.groups {
+            group.net().stats().reset();
+        }
     }
 
-    /// Ordering-layer statistics.
+    /// Number of shards (independent ordering groups) in this cluster.
+    pub fn shard_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Ordering-layer statistics (shard 0's group; see
+    /// [`Cluster::order_stats_shard`]).
     pub fn order_stats(&self) -> &consul_sim::OrderStats {
-        self.group.stats()
+        self.groups[0].stats()
+    }
+
+    /// Ordering-layer statistics of one shard's group.
+    pub fn order_stats_shard(&self, shard: usize) -> &consul_sim::OrderStats {
+        self.groups[shard].stats()
     }
 
     /// The group-commit configuration the sequencer runs with.
     pub fn batch_config(&self) -> BatchConfig {
-        self.group.batch_config()
+        self.groups[0].batch_config()
     }
 
     /// The checkpoint/compaction configuration the sequencer runs with.
     pub fn checkpoint_config(&self) -> CheckpointConfig {
-        self.group.checkpoint_config()
+        self.groups[0].checkpoint_config()
     }
 
     /// Tear everything down (idempotent).
@@ -707,7 +788,9 @@ impl Cluster {
         for rt in self.runtimes.lock().values() {
             rt.shutdown();
         }
-        self.group.shutdown();
+        for group in &self.groups {
+            group.shutdown();
+        }
     }
 }
 
@@ -724,10 +807,13 @@ fn assemble_trace(
     let mut spans: Vec<linda_obs::SpanRecord> = Vec::new();
     let mut horizons: Vec<Option<u64>> = Vec::new();
     for rt in runtimes.values() {
-        let obs = rt.obs();
-        let log = obs.spans();
-        spans.extend(log.spans_of(id));
-        horizons.push(log.evicted_newest_micros());
+        // One span log per shard registry; local-id bases keep trace
+        // ids disjoint across shards, so collecting from all is safe.
+        for obs in rt.obs_all() {
+            let log = obs.spans();
+            spans.extend(log.spans_of(id));
+            horizons.push(log.evicted_newest_micros());
+        }
     }
     let mut tree = linda_obs::TraceTree::assemble(id, spans);
     tree.mark_truncation(horizons);
@@ -746,7 +832,7 @@ fn aggregate_metrics(
     hosts.sort_by_key(|h| h.0);
     for h in hosts {
         if live.contains(h) {
-            snap.merge(&runtimes[h].obs().snapshot());
+            snap.merge(&runtimes[h].metrics_snapshot());
         }
     }
     snap.render()

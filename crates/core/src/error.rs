@@ -18,6 +18,12 @@ pub enum FtError {
     Timeout,
     /// The AGS failed static validation before submission.
     Invalid(ftlinda_ags::AgsError),
+    /// Under a sharded deployment, the AGS's signature buckets could not
+    /// be determined statically, so no shard (or shard set) can be
+    /// chosen for it. Only degenerate AGSs — ones containing an operand
+    /// that could never evaluate — are undecidable; well-formed AGSs
+    /// always route.
+    Unroutable,
     /// This host's replica was replaced wholesale by a checkpoint image
     /// (it fell behind the cluster's log-compaction watermark and caught
     /// up via state transfer). In-flight calls at the jump are
@@ -34,6 +40,12 @@ impl fmt::Display for FtError {
             FtError::Shutdown => write!(f, "FT-Linda runtime shut down"),
             FtError::Timeout => write!(f, "timed out waiting for AGS"),
             FtError::Invalid(e) => write!(f, "invalid AGS: {e}"),
+            FtError::Unroutable => {
+                write!(
+                    f,
+                    "AGS signature buckets not statically decidable for sharding"
+                )
+            }
             FtError::StateTransfer => {
                 write!(f, "replica state replaced by checkpoint transfer")
             }

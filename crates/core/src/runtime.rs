@@ -1,24 +1,44 @@
 //! The per-host FT-Linda runtime: the library a process links against.
 //!
-//! Each host runs one [`Runtime`]. It owns the host's replica [`Kernel`],
-//! an apply thread that feeds the kernel the totally-ordered delivery
-//! stream, and the completion plumbing that resolves a client's blocking
-//! call when *this* host's kernel reports the client's AGS as executed.
+//! Each host runs one [`Runtime`]. It owns the host's replica kernels
+//! (one per shard — a single kernel in the default unsharded
+//! configuration), one apply thread per shard feeding each kernel its
+//! totally-ordered delivery stream, and the completion plumbing that
+//! resolves a client's blocking call when *this* host's kernel reports
+//! the client's AGS as executed.
 //!
 //! The paper's Figure 15 architecture maps as: FT-Linda library =
 //! [`Runtime`] methods; Consul = `consul_sim::SeqMember`; TS state
 //! machine = `ftlinda_kernel::Kernel`.
+//!
+//! ## Sharded routing
+//!
+//! Under `ClusterBuilder::shards(K)` with K > 1, stable tuple spaces are
+//! partitioned by `(TsId, signature stable-hash)` across K independent
+//! sequencer groups. Every AGS is analysed statically
+//! ([`ftlinda_ags::static_keys`]): the signature buckets it can touch
+//! are decidable from types alone, so almost every AGS routes to exactly
+//! one shard's ordering stream and pays one multicast there — K disjoint
+//! total orders instead of one. The rare AGS whose buckets span shards
+//! commits through a three-leg protocol (`XLock`/`XExec`/`XRelease`)
+//! driven from [`Runtime::execute`]: it freezes every participating
+//! shard in ascending shard-id order (deadlock freedom), stages the
+//! execution on the lowest-id ("home") shard against the checked-out
+//! buckets, and releases each shard with its rewritten buckets.
 
 use crate::error::FtError;
 use consul_sim::{HostId, LocalId, SeqMember};
 use crossbeam::channel::{Receiver, Sender};
-use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
-use ftlinda_kernel::{encode_request, IntrospectReport, Kernel, KernelNote, Request, StoreConfig};
+use ftlinda_ags::{shard_of, static_keys, Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
+use ftlinda_kernel::{
+    encode_request, IntrospectReport, Kernel, KernelNote, Request, ShardSpec, SigBucket,
+    StoreConfig, XStageResult,
+};
 use linda_space::LocalSpace;
 use linda_tuple::{PatField, Pattern, Tuple, Value};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AtomicOrdering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,6 +71,11 @@ pub struct RuntimeConfig {
     /// promotion thresholds and the miss-cache capacity. Derived state
     /// only — never affects match results or the replicated digest.
     pub store: StoreConfig,
+    /// Per-signature overrides of `store`, keyed by signature
+    /// stable-hash: a hot signature can get its own promotion thresholds
+    /// or miss-cache capacity without retuning every bucket. Derived
+    /// state only, like `store`.
+    pub store_overrides: Vec<(u64, StoreConfig)>,
 }
 
 impl Default for RuntimeConfig {
@@ -59,6 +84,7 @@ impl Default for RuntimeConfig {
             starvation_after: Some(Duration::from_secs(5)),
             introspection: true,
             store: StoreConfig::default(),
+            store_overrides: Vec::new(),
         }
     }
 }
@@ -68,19 +94,43 @@ impl Default for RuntimeConfig {
 pub enum CompletionOk {
     /// An AGS fired.
     Ags(AgsOutcome),
-    /// A `CreateTs` resolved.
+    /// A `CreateTs` (or `RegisterTs`) resolved.
     Ts(TsId),
+    /// An `XLock` checked its buckets out (cross-shard leg 1).
+    Buckets(Vec<SigBucket>),
+    /// An `XExec` staged at the home shard (cross-shard leg 2).
+    Staged {
+        /// What the staged execution did.
+        result: XStageResult,
+        /// The foreign buckets, rewritten by the execution.
+        writebacks: Vec<SigBucket>,
+    },
+    /// An `XRelease` reinstated its buckets (cross-shard leg 3).
+    Released,
+}
+
+/// One shard's slice of the host: the ordering-layer member and the
+/// replica kernel applying its delivery stream.
+struct Lane {
+    member: Arc<SeqMember>,
+    kernel: Mutex<Kernel>,
 }
 
 struct Shared {
     /// Per-call completion channel and submit instant, keyed by the
-    /// origin-local broadcast id.
+    /// origin-local broadcast id. Shared across shards: per-shard
+    /// `local_base` offsets keep the id spaces disjoint.
     waiting: Mutex<HashMap<LocalId, (CompletionTx, Instant)>>,
     events: Mutex<Vec<Sender<FtEvent>>>,
-    kernel: Mutex<Kernel>,
+    lanes: Vec<Lane>,
     alive: AtomicBool,
     config: RuntimeConfig,
     next_scratch: AtomicU32,
+    /// Cross-shard transaction ids handed out by this origin.
+    next_xid: AtomicU64,
+    /// Runtime-level registry (shard 0's): client histograms, runtime
+    /// events. Per-shard ordering/kernel metrics live on each lane's own
+    /// member registry; [`Runtime::metrics_text`] merges them.
     obs: Arc<linda_obs::Registry>,
     spans: Arc<linda_obs::SpanLog>,
     hist_submit: Arc<linda_obs::Histogram>,
@@ -90,12 +140,21 @@ struct Shared {
 }
 
 /// Handle to the FT-Linda runtime on one host. Cloneable; clones share
-/// the host's kernel and connection.
+/// the host's kernels and connections.
 #[derive(Clone)]
 pub struct Runtime {
     host: HostId,
-    member: Arc<SeqMember>,
     shared: Arc<Shared>,
+}
+
+/// Where one AGS goes.
+enum RouteTo {
+    /// Every bucket the AGS touches lives on this one shard: submit it
+    /// to that shard's sequencer like any unsharded AGS.
+    Single(usize),
+    /// The buckets span shards: drive the cross-shard commit protocol
+    /// over these `(ts, sig)` keys.
+    Cross(Vec<(TsId, u64)>),
 }
 
 impl Runtime {
@@ -109,51 +168,89 @@ impl Runtime {
     /// [`Runtime::new`] with explicit observability configuration —
     /// starvation-watchdog threshold and deep-introspection switch.
     pub fn with_config(member: SeqMember, config: RuntimeConfig) -> Runtime {
-        let host = member.host();
-        let (note_tx, note_rx) = crossbeam::channel::unbounded::<KernelNote>();
-        let obs = member.obs();
-        let mut kernel = Kernel::new(host, note_tx);
-        kernel.set_store_config(config.store);
-        kernel.attach_obs_with(&obs, config.introspection);
-        let hist_submit = obs.histogram(
+        Runtime::with_members(vec![member], config)
+    }
+
+    /// Wire a runtime over one ordering member per shard (all for the
+    /// same host). `members[i]` carries shard `i`'s total order; each
+    /// gets its own replica kernel scoped to that shard's buckets.
+    pub fn with_members(members: Vec<SeqMember>, config: RuntimeConfig) -> Runtime {
+        assert!(!members.is_empty(), "at least one shard member");
+        let host = members[0].host();
+        let shard_count = members.len() as u32;
+        let obs0 = members[0].obs();
+        let hist_submit = obs0.histogram(
             "ftlinda_ags_submit_seconds",
             "Client encode + broadcast handoff latency",
         );
-        let hist_notify = obs.histogram(
+        let hist_notify = obs0.histogram(
             "ftlinda_ags_notify_seconds",
             "Kernel completion to client notify latency",
         );
-        let hist_total = obs.histogram(
+        let hist_total = obs0.histogram(
             "ftlinda_ags_total_seconds",
             "End-to-end AGS latency: submit to completion routed",
         );
-        let completions = obs.counter(
+        let completions = obs0.counter(
             "ftlinda_ags_completions_total",
             "AGS/CreateTs completions routed to local clients",
         );
-        let spans = obs.spans_handle();
+        let spans = obs0.spans_handle();
+        let mut lanes = Vec::with_capacity(members.len());
+        let mut note_rxs = Vec::with_capacity(members.len());
+        for (i, member) in members.into_iter().enumerate() {
+            let (note_tx, note_rx) = crossbeam::channel::unbounded::<KernelNote>();
+            let mut kernel = Kernel::new(host, note_tx);
+            kernel.set_store_config(config.store);
+            for (sig, cfg) in &config.store_overrides {
+                kernel.set_store_config_override(*sig, *cfg);
+            }
+            kernel.set_shard(ShardSpec {
+                index: i as u32,
+                count: shard_count,
+            });
+            kernel.attach_obs_with(&member.obs(), config.introspection);
+            lanes.push(Lane {
+                member: Arc::new(member),
+                kernel: Mutex::new(kernel),
+            });
+            note_rxs.push(note_rx);
+        }
         let shared = Arc::new(Shared {
             waiting: Mutex::new(HashMap::new()),
             events: Mutex::new(Vec::new()),
-            kernel: Mutex::new(kernel),
+            lanes,
             alive: AtomicBool::new(true),
             config,
             next_scratch: AtomicU32::new(0),
-            obs,
+            next_xid: AtomicU64::new(1),
+            obs: obs0,
             spans,
             hist_submit,
             hist_notify,
             hist_total,
             completions,
         });
-        let member = Arc::new(member);
         let rt = Runtime {
             host,
-            member: member.clone(),
             shared: shared.clone(),
         };
+        for (i, note_rx) in note_rxs.into_iter().enumerate() {
+            Self::spawn_apply(shared.clone(), i, note_rx);
+        }
+        if let Some(threshold) = rt.shared.config.starvation_after.filter(|t| !t.is_zero()) {
+            rt.spawn_watchdog(threshold);
+        }
+        rt
+    }
+
+    /// One apply thread per shard: feed the lane's kernel its delivery
+    /// stream and route the resulting kernel notes to local waiters.
+    fn spawn_apply(shared: Arc<Shared>, lane_idx: usize, note_rx: Receiver<KernelNote>) {
+        let member = shared.lanes[lane_idx].member.clone();
+        let host = member.host();
         std::thread::Builder::new()
-            .name(format!("ftlinda-apply-{host}"))
+            .name(format!("ftlinda-apply-{host}-s{lane_idx}"))
             .spawn(move || loop {
                 let d = match member.deliveries().recv_timeout(Duration::from_millis(100)) {
                     Ok(d) => d,
@@ -180,7 +277,7 @@ impl Runtime {
                 let mut run = vec![d];
                 run.extend(member.deliveries().try_iter().take(255));
                 let pending = {
-                    let mut k = shared.kernel.lock();
+                    let mut k = shared.lanes[lane_idx].kernel.lock();
                     k.apply_all(&run);
                     k.take_pending_checkpoint()
                 };
@@ -193,6 +290,7 @@ impl Runtime {
                         "checkpoint_taken",
                         vec![
                             ("host".into(), host.to_string()),
+                            ("shard".into(), lane_idx.to_string()),
                             ("seq".into(), image.seq.to_string()),
                             ("bytes".into(), image.bytes.len().to_string()),
                         ],
@@ -202,38 +300,50 @@ impl Runtime {
                 // Route kernel notes produced by this apply.
                 for note in note_rx.try_iter() {
                     let routed_at = Instant::now();
+                    let route_ok =
+                        |local: LocalId, outcome: &str, payload: Result<CompletionOk, FtError>| {
+                            if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
+                                shared.hist_total.observe(t0.elapsed());
+                                shared.completions.inc();
+                                shared.spans.record(
+                                    linda_obs::TraceId::new(host.0, local),
+                                    "complete",
+                                    host.0,
+                                    vec![("outcome".into(), outcome.into())],
+                                );
+                                let _ = tx.send(payload);
+                                shared.hist_notify.observe(routed_at.elapsed());
+                            }
+                        };
                     match note {
                         KernelNote::Completed { local, result, .. } => {
-                            if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
-                                shared.hist_total.observe(t0.elapsed());
-                                shared.completions.inc();
-                                shared.spans.record(
-                                    linda_obs::TraceId::new(host.0, local),
-                                    "complete",
-                                    host.0,
-                                    vec![(
-                                        "outcome".into(),
-                                        if result.is_ok() { "ok" } else { "err" }.into(),
-                                    )],
-                                );
-                                let _ =
-                                    tx.send(result.map(CompletionOk::Ags).map_err(FtError::Exec));
-                                shared.hist_notify.observe(routed_at.elapsed());
-                            }
+                            let outcome = if result.is_ok() { "ok" } else { "err" };
+                            route_ok(
+                                local,
+                                outcome,
+                                result.map(CompletionOk::Ags).map_err(FtError::Exec),
+                            );
                         }
                         KernelNote::TsCreated { local, id, .. } => {
-                            if let Some((tx, t0)) = shared.waiting.lock().remove(&local) {
-                                shared.hist_total.observe(t0.elapsed());
-                                shared.completions.inc();
-                                shared.spans.record(
-                                    linda_obs::TraceId::new(host.0, local),
-                                    "complete",
-                                    host.0,
-                                    vec![("outcome".into(), "ts_created".into())],
-                                );
-                                let _ = tx.send(Ok(CompletionOk::Ts(id)));
-                                shared.hist_notify.observe(routed_at.elapsed());
-                            }
+                            route_ok(local, "ts_created", Ok(CompletionOk::Ts(id)));
+                        }
+                        KernelNote::XCheckedOut { local, buckets, .. } => {
+                            route_ok(local, "xlock", Ok(CompletionOk::Buckets(buckets)));
+                        }
+                        KernelNote::XStaged {
+                            local,
+                            result,
+                            writebacks,
+                            ..
+                        } => {
+                            route_ok(
+                                local,
+                                "xexec",
+                                Ok(CompletionOk::Staged { result, writebacks }),
+                            );
+                        }
+                        KernelNote::XReleased { local, .. } => {
+                            route_ok(local, "xrelease", Ok(CompletionOk::Released));
                         }
                         KernelNote::HostFailed { host, .. } => {
                             Self::publish(&shared, FtEvent::HostFailed(host));
@@ -246,6 +356,7 @@ impl Runtime {
                                 "state_restored",
                                 vec![
                                     ("host".into(), host.to_string()),
+                                    ("shard".into(), lane_idx.to_string()),
                                     ("seq".into(), seq.to_string()),
                                 ],
                             ));
@@ -264,6 +375,7 @@ impl Runtime {
                                 "restore_failed",
                                 vec![
                                     ("host".into(), host.to_string()),
+                                    ("shard".into(), lane_idx.to_string()),
                                     ("seq".into(), seq.to_string()),
                                     ("error".into(), error.to_string()),
                                 ],
@@ -274,15 +386,12 @@ impl Runtime {
                 }
             })
             .expect("spawn apply thread");
-        if let Some(threshold) = rt.shared.config.starvation_after.filter(|t| !t.is_zero()) {
-            rt.spawn_watchdog(threshold);
-        }
-        rt
     }
 
-    /// Background starvation watchdog: periodically runs the kernel's
-    /// sweep so blocked AGSs whose age crosses the threshold surface as
-    /// `ags_starving` events without anyone polling `/introspect`.
+    /// Background starvation watchdog: periodically runs every lane
+    /// kernel's sweep so blocked AGSs whose age crosses the threshold
+    /// surface as `ags_starving` events without anyone polling
+    /// `/introspect`.
     fn spawn_watchdog(&self, threshold: Duration) {
         let shared = self.shared.clone();
         let host = self.host;
@@ -294,7 +403,9 @@ impl Runtime {
             .spawn(move || {
                 while shared.alive.load(AtomicOrdering::Relaxed) {
                     std::thread::sleep(period);
-                    shared.kernel.lock().starvation_sweep(threshold);
+                    for lane in &shared.lanes {
+                        lane.kernel.lock().starvation_sweep(threshold);
+                    }
                 }
             })
             .expect("spawn starvation watchdog");
@@ -310,6 +421,12 @@ impl Runtime {
         self.host
     }
 
+    /// Number of shards (independent ordering streams) this runtime
+    /// spans. 1 in the default unsharded configuration.
+    pub fn shard_count(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
     /// Subscribe to failure/recovery events.
     pub fn events(&self) -> Receiver<FtEvent> {
         let (tx, rx) = crossbeam::channel::unbounded();
@@ -317,13 +434,22 @@ impl Runtime {
         rx
     }
 
-    fn submit(&self, req: &Request) -> (Receiver<Result<CompletionOk, FtError>>, LocalId) {
+    fn submit_on(
+        &self,
+        shard: usize,
+        req: &Request,
+    ) -> (Receiver<Result<CompletionOk, FtError>>, LocalId) {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let t0 = Instant::now();
         let kind = match req {
             Request::CreateTs { .. } => "create",
             Request::Ags(_) => "ags",
+            Request::RegisterTs { .. } => "register",
+            Request::XLock { .. } => "xlock",
+            Request::XExec { .. } => "xexec",
+            Request::XRelease { .. } => "xrelease",
         };
+        let member = &self.shared.lanes[shard].member;
         let payload = bytes::Bytes::from(encode_request(req));
         // Stamp the submit span *before* the broadcast: the local id is
         // only known afterwards, but with a fast network downstream
@@ -333,7 +459,7 @@ impl Runtime {
         // Hold the waiting lock across broadcast + insert so the apply
         // thread cannot route the completion before the waiter exists.
         let mut w = self.shared.waiting.lock();
-        let local = self.member.broadcast(payload);
+        let local = member.broadcast(payload);
         w.insert(local, (tx, t0));
         drop(w);
         self.shared.spans.push(linda_obs::SpanRecord {
@@ -362,36 +488,203 @@ impl Runtime {
         }
     }
 
+    /// Decide which shard(s) an AGS must be ordered on. With one shard
+    /// everything is local; otherwise the static key analysis decides,
+    /// and an AGS it cannot decide is rejected (such an AGS contains an
+    /// operand that could never evaluate anyway).
+    fn route(&self, ags: &Ags) -> Result<RouteTo, FtError> {
+        let k = self.shared.lanes.len() as u32;
+        if k <= 1 {
+            return Ok(RouteTo::Single(0));
+        }
+        let Some(keys) = static_keys(ags) else {
+            return Err(FtError::Unroutable);
+        };
+        let mut shards: Vec<u32> = keys
+            .iter()
+            .map(|(ts, sig)| shard_of(*ts, *sig, k))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        match shards.as_slice() {
+            // A pure-scratch AGS touches no stable bucket: any shard
+            // works; shard 0 keeps it deterministic.
+            [] => Ok(RouteTo::Single(0)),
+            [s] => Ok(RouteTo::Single(*s as usize)),
+            _ => Ok(RouteTo::Cross(keys)),
+        }
+    }
+
+    /// Drive the three-leg cross-shard commit from this origin.
+    ///
+    /// Freezes every participating shard in ascending shard-id order
+    /// (all origins acquire in the same order, so there is no deadlock),
+    /// stages the execution on the lowest-id shard against the union of
+    /// checked-out buckets, then releases each shard with its rewritten
+    /// buckets. A `Blocked` stage releases everything unchanged and
+    /// retries with backoff under a fresh transaction id — cross-shard
+    /// AGSs are never parked in any shard's blocked table.
+    fn execute_cross(
+        &self,
+        ags: &Ags,
+        keys: Vec<(TsId, u64)>,
+        deadline: Option<Instant>,
+    ) -> Result<AgsOutcome, FtError> {
+        let k = self.shared.lanes.len() as u32;
+        let mut by_shard: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+        for (ts, sig) in &keys {
+            by_shard
+                .entry(shard_of(*ts, *sig, k))
+                .or_default()
+                .push((ts.0, *sig));
+        }
+        let home = *by_shard.keys().next().expect("cross-shard key set");
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            let xid = (u64::from(self.host.0) << 48)
+                | self.shared.next_xid.fetch_add(1, AtomicOrdering::Relaxed);
+            // Leg 1: check out every shard's buckets, ascending.
+            let mut foreign: Vec<SigBucket> = Vec::new();
+            for (&s, ks) in by_shard.iter() {
+                let (rx, _) = self.submit_on(
+                    s as usize,
+                    &Request::XLock {
+                        xid,
+                        keys: ks.clone(),
+                    },
+                );
+                match self.await_ok(rx, None)? {
+                    CompletionOk::Buckets(b) => foreign.extend(b),
+                    other => unreachable!("xlock resolved as {other:?}"),
+                }
+            }
+            // Leg 2: stage at the home shard (its own freeze lets this
+            // transaction's legs through).
+            let (rx, _) = self.submit_on(
+                home as usize,
+                &Request::XExec {
+                    xid,
+                    ags: ags.clone(),
+                    foreign,
+                },
+            );
+            let (result, writebacks) = match self.await_ok(rx, None)? {
+                CompletionOk::Staged { result, writebacks } => (result, writebacks),
+                other => unreachable!("xexec resolved as {other:?}"),
+            };
+            // Leg 3: hand each shard back its own rewritten buckets.
+            for &s in by_shard.keys() {
+                let buckets: Vec<SigBucket> = writebacks
+                    .iter()
+                    .filter(|(ts, sig, _)| shard_of(TsId(*ts), *sig, k) == s)
+                    .cloned()
+                    .collect();
+                let (rx, _) = self.submit_on(s as usize, &Request::XRelease { xid, buckets });
+                match self.await_ok(rx, None)? {
+                    CompletionOk::Released => {}
+                    other => unreachable!("xrelease resolved as {other:?}"),
+                }
+            }
+            match result {
+                XStageResult::Fired(o) => return Ok(o),
+                XStageResult::Failed(e) => return Err(FtError::Exec(e)),
+                XStageResult::Blocked => {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(FtError::Timeout);
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
     // ----- stable tuple spaces -------------------------------------------
 
     /// Create (or look up) a stable tuple space by name. Stable spaces are
     /// replicated on every host; their contents survive any minority of
     /// crashes and are updated with one multicast per AGS.
+    ///
+    /// Under sharding, shard 0 assigns the id and the runtime registers
+    /// it on every other shard before returning, so the `TsId` means the
+    /// same space in all K orderings.
     pub fn create_stable_ts(&self, name: &str) -> Result<TsId, FtError> {
-        let (rx, _) = self.submit(&Request::CreateTs { name: name.into() });
-        match self.await_ok(rx, None)? {
-            CompletionOk::Ts(id) => Ok(id),
-            CompletionOk::Ags(_) => unreachable!("create resolved as AGS"),
+        let (rx, _) = self.submit_on(0, &Request::CreateTs { name: name.into() });
+        let id = match self.await_ok(rx, None)? {
+            CompletionOk::Ts(id) => id,
+            other => unreachable!("create resolved as {other:?}"),
+        };
+        for s in 1..self.shared.lanes.len() {
+            let (rx, _) = self.submit_on(
+                s,
+                &Request::RegisterTs {
+                    id: id.0,
+                    name: name.into(),
+                },
+            );
+            match self.await_ok(rx, None)? {
+                CompletionOk::Ts(_) => {}
+                other => unreachable!("register resolved as {other:?}"),
+            }
         }
+        Ok(id)
     }
 
     /// Execute an AGS, blocking until it fires (or fails).
     pub fn execute(&self, ags: &Ags) -> Result<AgsOutcome, FtError> {
-        let (rx, _) = self.submit(&Request::Ags(ags.clone()));
-        match self.await_ok(rx, None)? {
-            CompletionOk::Ags(o) => Ok(o),
-            CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+        match self.route(ags)? {
+            RouteTo::Single(s) => {
+                let (rx, _) = self.submit_on(s, &Request::Ags(ags.clone()));
+                match self.await_ok(rx, None)? {
+                    CompletionOk::Ags(o) => Ok(o),
+                    other => unreachable!("AGS resolved as {other:?}"),
+                }
+            }
+            RouteTo::Cross(keys) => self.execute_cross(ags, keys, None),
         }
     }
 
     /// Submit an AGS without waiting: returns a handle whose
     /// [`AgsHandle::wait`] blocks for the outcome. Useful for pipelining
     /// many independent statements (each is still one ordered multicast).
+    ///
+    /// A cross-shard AGS is driven by a background thread (its multi-leg
+    /// protocol needs an active driver); its handle has no meaningful
+    /// trace id.
     pub fn execute_async(&self, ags: &Ags) -> AgsHandle {
-        let (rx, local) = self.submit(&Request::Ags(ags.clone()));
-        AgsHandle {
-            rx,
-            trace: linda_obs::TraceId::new(self.host.0, local),
+        match self.route(ags) {
+            Ok(RouteTo::Single(s)) => {
+                let (rx, local) = self.submit_on(s, &Request::Ags(ags.clone()));
+                AgsHandle {
+                    rx,
+                    trace: linda_obs::TraceId::new(self.host.0, local),
+                }
+            }
+            Ok(RouteTo::Cross(keys)) => {
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                let rt = self.clone();
+                let ags = ags.clone();
+                std::thread::Builder::new()
+                    .name(format!("ftlinda-xdriver-{}", self.host))
+                    .spawn(move || {
+                        let _ = tx.send(rt.execute_cross(&ags, keys, None).map(CompletionOk::Ags));
+                    })
+                    .expect("spawn cross-shard driver");
+                AgsHandle {
+                    rx,
+                    trace: linda_obs::TraceId::new(self.host.0, 0),
+                }
+            }
+            Err(e) => {
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                let _ = tx.send(Err(e));
+                AgsHandle {
+                    rx,
+                    trace: linda_obs::TraceId::new(self.host.0, 0),
+                }
+            }
         }
     }
 
@@ -399,10 +692,18 @@ impl Runtime {
     /// remains blocked at the replicas and may fire later (its effects
     /// then occur without a visible completion).
     pub fn execute_timeout(&self, ags: &Ags, t: Duration) -> Result<AgsOutcome, FtError> {
-        let (rx, _) = self.submit(&Request::Ags(ags.clone()));
-        match self.await_ok(rx, Some(t))? {
-            CompletionOk::Ags(o) => Ok(o),
-            CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+        match self.route(ags)? {
+            RouteTo::Single(s) => {
+                let (rx, _) = self.submit_on(s, &Request::Ags(ags.clone()));
+                match self.await_ok(rx, Some(t))? {
+                    CompletionOk::Ags(o) => Ok(o),
+                    other => unreachable!("AGS resolved as {other:?}"),
+                }
+            }
+            // The deadline bounds the Blocked-retry loop; individual
+            // protocol legs complete at ordering-layer speed and are
+            // never abandoned half-way (that would leave shards frozen).
+            RouteTo::Cross(keys) => self.execute_cross(ags, keys, Some(Instant::now() + t)),
         }
     }
 
@@ -453,7 +754,9 @@ impl Runtime {
 
     /// Create a volatile, host-local scratch tuple space. The returned
     /// [`LocalSpace`] is the direct (cheap, unreplicated) interface; the
-    /// [`ScratchId`] lets AGS bodies `out`/`move` into it.
+    /// [`ScratchId`] lets AGS bodies `out`/`move` into it. Registered
+    /// with every shard's kernel: whichever shard executes the AGS can
+    /// deposit into it.
     pub fn create_scratch(&self) -> (ScratchId, LocalSpace) {
         let id = ScratchId(
             self.shared
@@ -461,47 +764,98 @@ impl Runtime {
                 .fetch_add(1, AtomicOrdering::Relaxed),
         );
         let space = LocalSpace::new();
-        self.shared
-            .kernel
-            .lock()
-            .register_scratch(id, space.clone());
+        for lane in &self.shared.lanes {
+            lane.kernel.lock().register_scratch(id, space.clone());
+        }
         (id, space)
     }
 
     // ----- introspection ---------------------------------------------------
 
-    /// Deterministic digest of this host's replica state (tests).
+    /// Deterministic digest of this host's replica state (tests). With
+    /// multiple shards, the XOR of every lane kernel's digest.
     pub fn digest(&self) -> u64 {
-        self.shared.kernel.lock().digest()
+        self.shared
+            .lanes
+            .iter()
+            .fold(0, |acc, lane| acc ^ lane.kernel.lock().digest())
     }
 
-    /// Number of tuples in a stable space at this replica.
+    /// Order-canonical digest of one stable space across all shards:
+    /// XOR of each lane's per-signature-bucket digest. Two deployments
+    /// with different shard counts that executed equivalent histories
+    /// agree on this value even though tuples of different signatures
+    /// interleave differently in their stores.
+    pub fn canonical_space_digest(&self, ts: TsId) -> u64 {
+        self.shared.lanes.iter().fold(0, |acc, lane| {
+            acc ^ lane.kernel.lock().canonical_space_digest(ts)
+        })
+    }
+
+    /// Number of tuples in a stable space at this replica (summed over
+    /// shards; each shard holds its own signature buckets of the space).
     pub fn stable_len(&self, ts: TsId) -> Option<usize> {
-        self.shared.kernel.lock().stable_len(ts)
+        let mut total = None;
+        for lane in &self.shared.lanes {
+            if let Some(n) = lane.kernel.lock().stable_len(ts) {
+                *total.get_or_insert(0) += n;
+            }
+        }
+        total
     }
 
-    /// Snapshot a stable space at this replica.
+    /// Snapshot a stable space at this replica. With multiple shards the
+    /// buckets are concatenated in shard order: within one signature the
+    /// order is the replicated insertion order; across signatures it is
+    /// not meaningful (use [`Runtime::canonical_space_digest`] to
+    /// compare sharded against unsharded deployments).
     pub fn snapshot(&self, ts: TsId) -> Option<Vec<Tuple>> {
-        self.shared.kernel.lock().snapshot(ts)
+        let mut out: Option<Vec<Tuple>> = None;
+        for lane in &self.shared.lanes {
+            if let Some(mut v) = lane.kernel.lock().snapshot(ts) {
+                out.get_or_insert_with(Vec::new).append(&mut v);
+            }
+        }
+        out
     }
 
-    /// Number of blocked AGSs at this replica.
+    /// Number of blocked AGSs at this replica (all shards).
     pub fn blocked_len(&self) -> usize {
-        self.shared.kernel.lock().blocked_len()
+        self.shared
+            .lanes
+            .iter()
+            .map(|lane| lane.kernel.lock().blocked_len())
+            .sum()
     }
 
-    /// Sequence number of the last applied record.
+    /// Sequence number of the last applied record (shard 0; each shard
+    /// numbers its own stream — see [`Runtime::applied_seqs`]).
     pub fn applied_seq(&self) -> u64 {
-        self.shared.kernel.lock().applied_seq()
+        self.shared.lanes[0].kernel.lock().applied_seq()
     }
 
-    /// Block until this replica has applied at least `seq` (e.g. a lagging
-    /// or restarted host catching up to `other.applied_seq()`). Returns
-    /// `false` if the deadline passes first.
+    /// Last applied sequence number of every shard's stream.
+    pub fn applied_seqs(&self) -> Vec<u64> {
+        self.shared
+            .lanes
+            .iter()
+            .map(|lane| lane.kernel.lock().applied_seq())
+            .collect()
+    }
+
+    /// Block until this replica has applied at least `seq` on shard 0
+    /// (e.g. a lagging or restarted host catching up to
+    /// `other.applied_seq()`). Returns `false` if the deadline passes
+    /// first.
     pub fn wait_applied(&self, seq: u64, timeout: Duration) -> bool {
+        self.wait_applied_shard(0, seq, timeout)
+    }
+
+    /// [`Runtime::wait_applied`] against one shard's stream.
+    pub fn wait_applied_shard(&self, shard: usize, seq: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            if self.applied_seq() >= seq {
+            if self.shared.lanes[shard].kernel.lock().applied_seq() >= seq {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -514,102 +868,60 @@ impl Runtime {
     /// Deep introspection snapshot of this replica: per-space signature
     /// census, match-cost totals, and the blocked-AGS table with ages.
     /// `None` when the runtime was built with introspection disabled.
+    /// With multiple shards, shard 0's report (see
+    /// [`Runtime::introspect_shard`]).
     pub fn introspect(&self) -> Option<IntrospectReport> {
-        if !self.shared.config.introspection {
-            return None;
-        }
-        Some(self.shared.kernel.lock().introspect())
+        self.introspect_shard(0)
     }
 
-    /// The `/introspect` JSON payload: the [`Runtime::introspect`] report
-    /// plus the top-`k` hottest signatures across all spaces (by current
-    /// occupancy). `None` when introspection is disabled.
+    /// [`Runtime::introspect`] for one shard's kernel.
+    pub fn introspect_shard(&self, shard: usize) -> Option<IntrospectReport> {
+        if !self.shared.config.introspection || shard >= self.shared.lanes.len() {
+            return None;
+        }
+        Some(self.shared.lanes[shard].kernel.lock().introspect())
+    }
+
+    /// The `/introspect` JSON payload. Unsharded: the
+    /// [`Runtime::introspect`] report plus the top-`k` hottest signatures
+    /// across all spaces (by current occupancy). Sharded: a shard map —
+    /// `{"host":…,"shards":K,"shard_reports":[…]}` with one full report
+    /// per shard, each tagged with its shard id. `None` when
+    /// introspection is disabled.
     pub fn introspect_json(&self, top_k: usize) -> Option<String> {
-        let r = self.introspect()?;
-        let mut out = String::with_capacity(512);
+        let shards = self.shared.lanes.len();
+        if shards == 1 {
+            let r = self.introspect()?;
+            return Some(report_json(&r, top_k));
+        }
+        let mut out = String::with_capacity(1024);
         out.push_str(&format!(
-            "{{\"host\":{},\"applied_seq\":{},\"spaces\":[",
-            r.host.0, r.applied
+            "{{\"host\":{},\"shards\":{},\"shard_reports\":[",
+            self.host.0, shards
         ));
-        for (i, s) in r.spaces.iter().enumerate() {
-            if i > 0 {
+        for s in 0..shards {
+            let r = self.introspect_shard(s)?;
+            if s > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"id\":{},\"name\":\"{}\",\"tuples\":{},\"match\":{{\
-                 \"attempts\":{},\"probes\":{},\"hits\":{},\"cache_hits\":{},\
-                 \"efficiency_bp\":{}}},\"index\":{{\"value_indexes\":{},\
-                 \"index_builds\":{},\"miss_cached\":{}}},\
-                 \"signatures\":[",
-                s.id.0,
-                linda_obs::json_escape(&s.name),
-                s.tuples,
-                s.match_stats.attempts,
-                s.match_stats.probes,
-                s.match_stats.hits,
-                s.match_stats.cache_hits,
-                s.match_stats.efficiency_bp(),
-                s.index.value_indexes,
-                s.index.index_builds,
-                s.index.miss_cached,
-            ));
-            for (j, occ) in s.signatures.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!(
-                    "{{\"signature\":\"{}\",\"count\":{},\"high_water\":{}}}",
-                    linda_obs::json_escape(&occ.signature.to_string()),
-                    occ.count,
-                    occ.high_water
-                ));
-            }
-            out.push_str("]}");
-        }
-        out.push_str("],\"blocked\":[");
-        for (i, b) in r.blocked.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"seq\":{},\"origin\":{},\"local\":{},\"age_ms\":{},\
-                 \"guards\":\"{}\",\"nearest_miss\":{},\"starving\":{}}}",
-                b.seq,
-                b.origin.0,
-                b.local,
-                b.age.as_millis(),
-                linda_obs::json_escape(&b.guards),
-                b.nearest_miss,
-                b.starving
-            ));
-        }
-        // Hottest signatures across all spaces, by current occupancy.
-        let mut hot: Vec<(&str, &linda_space::SignatureOccupancy)> = r
-            .spaces
-            .iter()
-            .flat_map(|s| s.signatures.iter().map(move |occ| (s.name.as_str(), occ)))
-            .collect();
-        hot.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(b.0)));
-        out.push_str("],\"hot_signatures\":[");
-        for (i, (space, occ)) in hot.into_iter().take(top_k).enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"space\":\"{}\",\"signature\":\"{}\",\"count\":{}}}",
-                linda_obs::json_escape(space),
-                linda_obs::json_escape(&occ.signature.to_string()),
-                occ.count
-            ));
+            out.push_str(&format!("{{\"shard\":{},\"report\":", s));
+            let body = report_json(&r, top_k);
+            out.push_str(body.trim_end());
+            out.push('}');
         }
         out.push_str("]}\n");
         Some(out)
     }
 
-    /// Run one starvation-watchdog sweep now (the background thread does
-    /// this periodically; tests and operators can force a pass).
+    /// Run one starvation-watchdog sweep now over every shard's kernel
+    /// (the background thread does this periodically; tests and
+    /// operators can force a pass).
     pub fn starvation_sweep(&self, threshold: Duration) -> Vec<ftlinda_kernel::StarvationReport> {
-        self.shared.kernel.lock().starvation_sweep(threshold)
+        let mut out = Vec::new();
+        for lane in &self.shared.lanes {
+            out.extend(lane.kernel.lock().starvation_sweep(threshold));
+        }
+        out
     }
 
     /// The observability configuration this runtime was built with.
@@ -619,67 +931,200 @@ impl Runtime {
 
     /// Applied sequence number and state digest, read under one kernel
     /// lock so they describe the same replica state (used by the
-    /// divergence detector: equal seq must imply equal digest).
+    /// divergence detector: equal seq must imply equal digest). Shard
+    /// 0's stream; see [`Runtime::applied_digest_shard`].
     pub fn applied_digest(&self) -> (u64, u64) {
-        let k = self.shared.kernel.lock();
+        self.applied_digest_shard(0)
+    }
+
+    /// [`Runtime::applied_digest`] for one shard's stream. Divergence is
+    /// detected per shard: each shard's replicas apply the same ordered
+    /// prefix, so equal shard-seq must imply equal shard-digest.
+    pub fn applied_digest_shard(&self, shard: usize) -> (u64, u64) {
+        let k = self.shared.lanes[shard].kernel.lock();
         (k.applied_seq(), k.digest())
     }
 
-    /// Sequence number of the checkpoint image this host's ordering
-    /// member currently holds, or `None` before the first boundary.
+    /// Sequence number of the checkpoint image this host's shard-0
+    /// ordering member currently holds, or `None` before the first
+    /// boundary.
     pub fn checkpoint_seq(&self) -> Option<u64> {
-        self.member.checkpoint_seq()
+        self.shared.lanes[0].member.checkpoint_seq()
     }
 
-    /// This host's log-compaction watermark: ordered records at or below
-    /// it have been truncated and are served from the checkpoint.
+    /// This host's shard-0 log-compaction watermark: ordered records at
+    /// or below it have been truncated and are served from the
+    /// checkpoint.
     pub fn log_base(&self) -> u64 {
-        self.member.log_base()
+        self.shared.lanes[0].member.log_base()
     }
 
-    /// Number of ordered records currently retained in this host's log
-    /// (bounded under compaction).
+    /// Number of ordered records currently retained in this host's
+    /// shard-0 log (bounded under compaction).
     pub fn retained_log_len(&self) -> usize {
-        self.member.retained_log_len()
+        self.shared.lanes[0].member.retained_log_len()
     }
 
     // ----- observability ----------------------------------------------------
 
-    /// This host's metrics/event registry (shared with the sequencer
-    /// member and the kernel).
+    /// This host's shard-0 metrics/event registry (shared with that
+    /// shard's sequencer member and kernel; client-side histograms live
+    /// here).
     pub fn obs(&self) -> Arc<linda_obs::Registry> {
         self.shared.obs.clone()
     }
 
-    /// Render this host's metrics in Prometheus text exposition format.
+    /// Every shard's registry on this host, shard order.
+    pub fn obs_all(&self) -> Vec<Arc<linda_obs::Registry>> {
+        self.shared
+            .lanes
+            .iter()
+            .map(|lane| lane.member.obs())
+            .collect()
+    }
+
+    /// One merged snapshot of every shard's registry on this host.
+    /// Counters and families sum; config/process-level gauges merge by
+    /// max so they are not multiplied by the shard count.
+    pub fn metrics_snapshot(&self) -> linda_obs::RegistrySnapshot {
+        let mut snap = self.shared.lanes[0].member.obs().snapshot();
+        for lane in &self.shared.lanes[1..] {
+            snap.merge(&lane.member.obs().snapshot());
+        }
+        snap
+    }
+
+    /// Render this host's metrics (all shards merged) in Prometheus text
+    /// exposition format.
     pub fn metrics_text(&self) -> String {
-        self.shared.obs.render()
+        if self.shared.lanes.len() == 1 {
+            return self.shared.obs.render();
+        }
+        self.metrics_snapshot().render()
     }
 
     /// If this (restarted) host exhausted its rejoin retry budget without
-    /// finding a live peer, the error message describing the give-up.
+    /// finding a live peer on some shard, the error message describing
+    /// the give-up.
     pub fn rejoin_error(&self) -> Option<String> {
-        self.member.rejoin_error()
+        self.shared
+            .lanes
+            .iter()
+            .find_map(|lane| lane.member.rejoin_error())
     }
 
     /// Deposit a tuple directly into this replica's copy of a stable
-    /// space, bypassing the total order. Returns `false` if the space
-    /// does not exist here. **Test hook**: this deliberately breaks
-    /// replica determinism so divergence detection can be exercised.
+    /// space, bypassing the total order (routed to the shard owning the
+    /// tuple's signature bucket). Returns `false` if the space does not
+    /// exist here. **Test hook**: this deliberately breaks replica
+    /// determinism so divergence detection can be exercised.
     #[doc(hidden)]
     pub fn fault_inject_local(&self, ts: TsId, t: Tuple) -> bool {
-        self.shared.kernel.lock().fault_inject(ts, t)
+        let shard = shard_of(
+            ts,
+            t.signature().stable_hash(),
+            self.shared.lanes.len() as u32,
+        );
+        self.shared.lanes[shard as usize]
+            .kernel
+            .lock()
+            .fault_inject(ts, t)
     }
 
-    /// Stop the apply thread (cluster teardown).
+    /// Stop the apply threads (cluster teardown).
     pub fn shutdown(&self) {
         self.shared.alive.store(false, AtomicOrdering::Relaxed);
-        self.member.stop();
+        for lane in &self.shared.lanes {
+            lane.member.stop();
+        }
         let mut w = self.shared.waiting.lock();
         for (_, (tx, _)) in w.drain() {
             let _ = tx.send(Err(FtError::Shutdown));
         }
     }
+}
+
+/// Render one shard's introspection report as the classic `/introspect`
+/// JSON object (trailing newline included).
+fn report_json(r: &IntrospectReport, top_k: usize) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"host\":{},\"applied_seq\":{},\"spaces\":[",
+        r.host.0, r.applied
+    ));
+    for (i, s) in r.spaces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"name\":\"{}\",\"tuples\":{},\"match\":{{\
+             \"attempts\":{},\"probes\":{},\"hits\":{},\"cache_hits\":{},\
+             \"efficiency_bp\":{}}},\"index\":{{\"value_indexes\":{},\
+             \"index_builds\":{},\"miss_cached\":{}}},\
+             \"signatures\":[",
+            s.id.0,
+            linda_obs::json_escape(&s.name),
+            s.tuples,
+            s.match_stats.attempts,
+            s.match_stats.probes,
+            s.match_stats.hits,
+            s.match_stats.cache_hits,
+            s.match_stats.efficiency_bp(),
+            s.index.value_indexes,
+            s.index.index_builds,
+            s.index.miss_cached,
+        ));
+        for (j, occ) in s.signatures.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"signature\":\"{}\",\"count\":{},\"high_water\":{}}}",
+                linda_obs::json_escape(&occ.signature.to_string()),
+                occ.count,
+                occ.high_water
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"blocked\":[");
+    for (i, b) in r.blocked.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"origin\":{},\"local\":{},\"age_ms\":{},\
+             \"guards\":\"{}\",\"nearest_miss\":{},\"starving\":{}}}",
+            b.seq,
+            b.origin.0,
+            b.local,
+            b.age.as_millis(),
+            linda_obs::json_escape(&b.guards),
+            b.nearest_miss,
+            b.starving
+        ));
+    }
+    // Hottest signatures across all spaces, by current occupancy.
+    let mut hot: Vec<(&str, &linda_space::SignatureOccupancy)> = r
+        .spaces
+        .iter()
+        .flat_map(|s| s.signatures.iter().map(move |occ| (s.name.as_str(), occ)))
+        .collect();
+    hot.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(b.0)));
+    out.push_str("],\"hot_signatures\":[");
+    for (i, (space, occ)) in hot.into_iter().take(top_k).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"space\":\"{}\",\"signature\":\"{}\",\"count\":{}}}",
+            linda_obs::json_escape(space),
+            linda_obs::json_escape(&occ.signature.to_string()),
+            occ.count
+        ));
+    }
+    out.push_str("]}\n");
+    out
 }
 
 /// An in-flight AGS submitted with [`Runtime::execute_async`].
@@ -698,7 +1143,7 @@ impl AgsHandle {
     pub fn wait(self) -> Result<AgsOutcome, FtError> {
         match self.rx.recv().map_err(|_| FtError::Shutdown)?? {
             CompletionOk::Ags(o) => Ok(o),
-            CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+            other => unreachable!("AGS resolved as {other:?}"),
         }
     }
 
@@ -707,7 +1152,7 @@ impl AgsHandle {
         match self.rx.recv_timeout(t) {
             Ok(r) => match r? {
                 CompletionOk::Ags(o) => Ok(o),
-                CompletionOk::Ts(_) => unreachable!("AGS resolved as create"),
+                other => unreachable!("AGS resolved as {other:?}"),
             },
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(FtError::Timeout),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(FtError::Shutdown),

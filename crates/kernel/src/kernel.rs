@@ -16,9 +16,9 @@ use crate::checkpoint::{
     decode_image, encode_image, BlockedImage, CheckpointError, KernelCheckpoint, KernelImage,
 };
 use crate::exec::{guard_keys, guard_labels, try_execute, ExecError, TryOutcome};
-use crate::proto::{decode_request, Request};
+use crate::proto::{decode_request, Request, SigBucket};
 use consul_sim::{Delivery, HostId, LocalId};
-use ftlinda_ags::{Ags, AgsOutcome, ScratchId, TsId};
+use ftlinda_ags::{shard_of, Ags, AgsOutcome, ScratchId, TsId};
 use linda_space::{
     IndexReport, IndexedStore, LocalSpace, MatchStats, SignatureOccupancy, Store, StoreConfig,
 };
@@ -27,6 +27,45 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// This kernel's position in a sharded deployment: stable spaces are
+/// partitioned by `(TsId, signature stable-hash)` across `count` replica
+/// groups, and this kernel applies the stream of shard `index`. The
+/// default `(0, 1)` is the unsharded configuration and changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's id, `0 <= index < count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+}
+
+impl ShardSpec {
+    /// Whether this shard owns the `(ts, signature)` bucket.
+    pub fn owns(&self, ts: TsId, sig_hash: u64) -> bool {
+        shard_of(ts, sig_hash, self.count) == self.index
+    }
+}
+
+/// Outcome of the home-shard leg of a cross-shard commit (`XExec`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum XStageResult {
+    /// The AGS fired. Effects on home-owned keys are committed; effects
+    /// on foreign keys are in the writebacks.
+    Fired(AgsOutcome),
+    /// No branch guard was satisfiable. Nothing committed anywhere; the
+    /// origin releases the participants unchanged and retries later
+    /// (cross-shard AGSs are never queued in a blocked table).
+    Blocked,
+    /// The chosen branch's body failed; all state rolled back.
+    Failed(ExecError),
+}
 
 /// Notification from the kernel to the local FT-Linda runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +130,43 @@ pub enum KernelNote {
         /// Why the restore was refused.
         error: CheckpointError,
     },
+    /// An `XLock` this host submitted was applied: the shard froze and
+    /// its buckets were checked out. Carries the bucket contents the
+    /// origin forwards to the home shard's `XExec`.
+    XCheckedOut {
+        /// Global sequence of the lock on the participant shard.
+        seq: u64,
+        /// The submitter's local id.
+        local: LocalId,
+        /// Transaction id.
+        xid: u64,
+        /// The checked-out buckets, oldest-first per bucket.
+        buckets: Vec<SigBucket>,
+    },
+    /// An `XExec` this host submitted was applied on the home shard.
+    XStaged {
+        /// Global sequence of the exec on the home shard.
+        seq: u64,
+        /// The submitter's local id.
+        local: LocalId,
+        /// Transaction id.
+        xid: u64,
+        /// What the execution did.
+        result: XStageResult,
+        /// The foreign buckets after execution, to be carried back to
+        /// their participant shards via `XRelease`.
+        writebacks: Vec<SigBucket>,
+    },
+    /// An `XRelease` this host submitted was applied: the participant
+    /// shard reinstated its buckets and unfroze.
+    XReleased {
+        /// Global sequence of the release on the participant shard.
+        seq: u64,
+        /// The submitter's local id.
+        local: LocalId,
+        /// Transaction id.
+        xid: u64,
+    },
 }
 
 /// A blocked AGS waiting for some guard to become satisfiable.
@@ -118,6 +194,21 @@ struct BlockedAgs {
 /// the runtime converts fail-silent crashes into fail-stop by depositing
 /// a failure tuple into TS).
 pub const FAILURE_TUPLE_HEAD: &str = "failure";
+
+/// A live cross-shard hold on this (participant) shard: its buckets are
+/// checked out and in flight to the home shard, so the shard is frozen —
+/// deliveries are buffered, to be replayed when the `XRelease` arrives.
+/// Every replica of the shard freezes at the same sequence number, so
+/// the buffer contents and replay order are identical everywhere.
+struct Hold {
+    xid: u64,
+    origin: HostId,
+    /// The buckets as checked out, kept so a failure of the origin
+    /// mid-protocol can abort the hold by reinstating them.
+    checked_out: Vec<SigBucket>,
+    /// Deliveries deferred while frozen, in arrival order.
+    buffer: Vec<Delivery>,
+}
 
 /// Observability handles resolved once at attach time so the apply path
 /// pays only atomic stores (absent when no registry is attached, e.g. in
@@ -159,6 +250,9 @@ struct KernelObs {
     /// `ftlinda_index_builds_total{space}` — lazy value-index promotions
     /// performed by the store.
     index_builds: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_index_demotions_total{space}` — value indexes dropped
+    /// because maintenance cost dwarfed the probes they saved.
+    index_demotions: Arc<linda_obs::CounterFamily>,
     /// `ftlinda_value_indexes{space}` — promoted value indexes currently
     /// live (beyond the eager first-field index).
     value_indexes: Arc<linda_obs::GaugeFamily>,
@@ -171,6 +265,8 @@ struct KernelObs {
     prev_match: HashMap<TsId, MatchStats>,
     /// Last-seen per-space index-build totals, same delta scheme.
     prev_builds: HashMap<TsId, u64>,
+    /// Last-seen per-space index-demotion totals, same delta scheme.
+    prev_demotions: HashMap<TsId, u64>,
     starving_total: Arc<linda_obs::Counter>,
     starving_now: Arc<linda_obs::Gauge>,
 }
@@ -273,6 +369,14 @@ pub struct Kernel {
     /// Matching-engine knobs applied to newly created stable stores
     /// (pure derived state — see [`Kernel::set_store_config`]).
     store_cfg: StoreConfig,
+    /// Per-signature knob overrides, applied on top of `store_cfg` to
+    /// every store (existing and future). Derived state, like the base
+    /// config.
+    store_overrides: Vec<(u64, StoreConfig)>,
+    /// This kernel's shard position; `(0, 1)` when unsharded.
+    shard: ShardSpec,
+    /// Live cross-shard hold, if this shard is currently frozen.
+    hold: Option<Hold>,
 }
 
 impl Kernel {
@@ -292,6 +396,9 @@ impl Kernel {
             pending_checkpoint: None,
             obs: None,
             store_cfg: StoreConfig::default(),
+            store_overrides: Vec::new(),
+            shard: ShardSpec::default(),
+            hold: None,
         }
     }
 
@@ -301,6 +408,34 @@ impl Kernel {
     /// withdraw identical tuples, so this never needs to be agreed on.
     pub fn set_store_config(&mut self, cfg: StoreConfig) {
         self.store_cfg = cfg;
+    }
+
+    /// Override the matching-engine knobs for one signature (by stable
+    /// hash) in every stable space, current and future. Like the base
+    /// config this is pure derived state — it changes probe costs, never
+    /// match results.
+    pub fn set_store_config_override(&mut self, sig_hash: u64, cfg: StoreConfig) {
+        self.store_overrides.retain(|(s, _)| *s != sig_hash);
+        self.store_overrides.push((sig_hash, cfg));
+        for store in self.stables.values_mut() {
+            store.set_config_override(sig_hash, cfg);
+        }
+    }
+
+    /// Declare this kernel's shard position. Must be set before any
+    /// delivery is applied and be identical on every replica of the
+    /// shard; it scopes failure-tuple deposits to owned buckets.
+    pub fn set_shard(&mut self, shard: ShardSpec) {
+        self.shard = shard;
+    }
+
+    /// A stable store with the base config plus all signature overrides.
+    fn new_store(&self) -> IndexedStore {
+        let mut s = IndexedStore::with_config(self.store_cfg);
+        for (sig, cfg) in &self.store_overrides {
+            s.set_config_override(*sig, *cfg);
+        }
+        s
     }
 
     /// Register an owner-local scratch space so AGS bodies can `out`/
@@ -388,6 +523,10 @@ impl Kernel {
                 "ftlinda_index_builds_total",
                 "Lazy value-index promotions performed, by stable space",
             ),
+            index_demotions: reg.counter_family(
+                "ftlinda_index_demotions_total",
+                "Value indexes demoted for excess maintenance cost, by stable space",
+            ),
             value_indexes: reg.gauge_family(
                 "ftlinda_value_indexes",
                 "Promoted value indexes currently live (beyond the head index), by stable space",
@@ -398,6 +537,7 @@ impl Kernel {
             ),
             prev_match: HashMap::new(),
             prev_builds: HashMap::new(),
+            prev_demotions: HashMap::new(),
             starving_total: reg.counter(
                 "ftlinda_ags_starving_total",
                 "ags_starving events emitted by the starvation watchdog",
@@ -506,6 +646,14 @@ impl Kernel {
             if build_delta > 0 {
                 obs.index_builds.with(&[("space", &space)]).add(build_delta);
             }
+            let prev_demotions = obs.prev_demotions.entry(*id).or_default();
+            let demote_delta = report.index_demotions.saturating_sub(*prev_demotions);
+            *prev_demotions = report.index_demotions;
+            if demote_delta > 0 {
+                obs.index_demotions
+                    .with(&[("space", &space)])
+                    .add(demote_delta);
+            }
             obs.value_indexes
                 .with(&[("space", &space)])
                 .set(report.value_indexes as i64);
@@ -534,6 +682,9 @@ impl Kernel {
             }
             return;
         }
+        if self.hold.is_some() && self.hold_intercept(d) {
+            return;
+        }
         self.applied = d.seq();
         match d {
             Delivery::App {
@@ -544,6 +695,18 @@ impl Kernel {
             } => match decode_request(payload) {
                 Ok(Request::CreateTs { name }) => self.apply_create(*seq, *origin, *local, name),
                 Ok(Request::Ags(ags)) => self.apply_ags(*seq, *origin, *local, ags),
+                Ok(Request::RegisterTs { id, name }) => {
+                    self.apply_register(*seq, *origin, *local, id, name)
+                }
+                Ok(Request::XLock { xid, keys }) => {
+                    self.apply_xlock(*seq, *origin, *local, xid, keys)
+                }
+                Ok(Request::XExec { xid, ags, foreign }) => {
+                    self.apply_xexec(*seq, *origin, *local, xid, ags, foreign)
+                }
+                Ok(Request::XRelease { xid, buckets }) => {
+                    self.apply_xrelease(*seq, *origin, *local, xid, buckets)
+                }
                 Err(_) => {
                     self.span(
                         *origin,
@@ -561,11 +724,18 @@ impl Kernel {
                 }
             },
             Delivery::Fail { seq, host } => {
-                // Deposit the distinguished failure tuple into every
-                // stable space, then retry blocked guards (a monitor may
-                // be blocked on exactly this tuple).
-                for store in self.stables.values_mut() {
-                    store.insert(tuple!(FAILURE_TUPLE_HEAD, host.0 as i64));
+                // Deposit the distinguished failure tuple, then retry
+                // blocked guards (a monitor may be blocked on exactly
+                // this tuple). Under sharding only the shard that owns a
+                // space's failure-signature bucket deposits there, so
+                // the union across shards still shows exactly one tuple
+                // per space.
+                let t = tuple!(FAILURE_TUPLE_HEAD, host.0 as i64);
+                let fail_sig = t.signature().stable_hash();
+                for (id, store) in self.stables.iter_mut() {
+                    if self.shard.owns(*id, fail_sig) {
+                        store.insert(t.clone());
+                    }
                 }
                 self.note(KernelNote::HostFailed {
                     seq: *seq,
@@ -606,8 +776,7 @@ impl Kernel {
                 let id = TsId(self.next_ts);
                 self.next_ts += 1;
                 self.names.insert(name.clone(), id);
-                self.stables
-                    .insert(id, IndexedStore::with_config(self.store_cfg));
+                self.stables.insert(id, self.new_store());
                 id
             }
         };
@@ -627,6 +796,283 @@ impl Kernel {
                 id,
                 name,
             });
+        }
+    }
+
+    /// Install a space id assigned by shard 0 (`RegisterTs`). Idempotent.
+    fn apply_register(&mut self, seq: u64, origin: HostId, local: LocalId, id: u32, name: String) {
+        let tsid = TsId(id);
+        if !self.stables.contains_key(&tsid) {
+            self.stables.insert(tsid, self.new_store());
+        }
+        self.names.entry(name.clone()).or_insert(tsid);
+        self.next_ts = self.next_ts.max(id + 1);
+        self.span(
+            origin,
+            local,
+            "apply",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("outcome".into(), "register".into()),
+            ],
+        );
+        if origin == self.host {
+            self.note(KernelNote::TsCreated {
+                seq,
+                local,
+                id: tsid,
+                name,
+            });
+        }
+    }
+
+    /// While a cross-shard hold freezes this shard, route the next
+    /// delivery. Returns `true` if it was consumed here (buffered,
+    /// dropped, or handled by the abort path); `false` lets the normal
+    /// apply path run (only the live transaction's own `XRelease`).
+    fn hold_intercept(&mut self, d: &Delivery) -> bool {
+        let hold = self.hold.as_ref().expect("hold present");
+        match d {
+            // The live transaction's own legs proceed normally: its
+            // `XExec` (the origin locks every participating shard, the
+            // home one included, before staging) and its `XRelease`.
+            Delivery::App { payload, .. } => match decode_request(payload) {
+                Ok(Request::XRelease { xid, .. }) | Ok(Request::XExec { xid, .. })
+                    if xid == hold.xid =>
+                {
+                    return false;
+                }
+                _ => {}
+            },
+            // The origin failing mid-protocol aborts the hold: the
+            // checked-out buckets are reinstated exactly as they left,
+            // the deferred deliveries replay, then the failure itself
+            // applies. (If the home shard had already fired the exec,
+            // cross-shard atomicity is broken — see DESIGN.md §13 for
+            // this documented window.)
+            Delivery::Fail { host, .. } if *host == hold.origin => {
+                let h = self.hold.take().expect("hold present");
+                let keys = self.reinstall_buckets(h.checked_out);
+                self.retry_blocked_matching(keys);
+                for bd in &h.buffer {
+                    self.apply_inner(bd);
+                }
+                self.apply_inner(d);
+                return true;
+            }
+            // Checkpoint boundaries are DROPPED, not deferred: an image
+            // captured now would silently miss the checked-out buckets.
+            // Every replica of the shard drops the same markers; the log
+            // is simply retained a little longer.
+            Delivery::Checkpoint { .. } => return true,
+            _ => {}
+        }
+        self.hold
+            .as_mut()
+            .expect("hold present")
+            .buffer
+            .push(d.clone());
+        true
+    }
+
+    /// Reinstall signature buckets (oldest-first per bucket) and return
+    /// their keys for seeding blocked-guard retries.
+    fn reinstall_buckets(&mut self, buckets: Vec<SigBucket>) -> Vec<(TsId, u64)> {
+        let mut keys = Vec::with_capacity(buckets.len());
+        for (ts, sig, tuples) in buckets {
+            let id = TsId(ts);
+            keys.push((id, sig));
+            if let Some(store) = self.stables.get_mut(&id) {
+                for t in tuples {
+                    store.insert(t);
+                }
+            }
+        }
+        keys
+    }
+
+    /// Cross-shard leg 1 on a participant shard: check the listed
+    /// buckets out of the stores and freeze until the release.
+    fn apply_xlock(
+        &mut self,
+        seq: u64,
+        origin: HostId,
+        local: LocalId,
+        xid: u64,
+        keys: Vec<(u32, u64)>,
+    ) {
+        let mut buckets: Vec<SigBucket> = Vec::with_capacity(keys.len());
+        for (ts, sig) in keys {
+            let tuples = self
+                .stables
+                .get_mut(&TsId(ts))
+                .map(|s| s.checkout_signature(sig))
+                .unwrap_or_default();
+            buckets.push((ts, sig, tuples));
+        }
+        self.hold = Some(Hold {
+            xid,
+            origin,
+            checked_out: buckets.clone(),
+            buffer: Vec::new(),
+        });
+        self.span(
+            origin,
+            local,
+            "apply",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("outcome".into(), "xlock".into()),
+                ("xid".into(), xid.to_string()),
+            ],
+        );
+        if origin == self.host {
+            self.note(KernelNote::XCheckedOut {
+                seq,
+                local,
+                xid,
+                buckets,
+            });
+        }
+    }
+
+    /// Cross-shard leg 2 on the home shard: install the foreign buckets,
+    /// execute, extract the foreign buckets back out as writebacks.
+    fn apply_xexec(
+        &mut self,
+        seq: u64,
+        origin: HostId,
+        local: LocalId,
+        xid: u64,
+        ags: Ags,
+        foreign: Vec<SigBucket>,
+    ) {
+        let outcome_label: &str;
+        // All spaces must exist here (the runtime registers every space
+        // on every shard before use); refuse wholesale otherwise so no
+        // foreign tuple can be stranded in a half-installed state.
+        let (result, writebacks) = if foreign
+            .iter()
+            .any(|(ts, _, _)| !self.stables.contains_key(&TsId(*ts)))
+        {
+            let missing = foreign
+                .iter()
+                .find(|(ts, _, _)| !self.stables.contains_key(&TsId(*ts)))
+                .map(|(ts, _, _)| TsId(*ts))
+                .expect("checked");
+            outcome_label = "xexec-failed";
+            (XStageResult::Failed(ExecError::UnknownTs(missing)), foreign)
+        } else {
+            let foreign_keys: Vec<(TsId, u64)> = foreign
+                .iter()
+                .map(|(ts, sig, _)| (TsId(*ts), *sig))
+                .collect();
+            for (ts, _, tuples) in foreign {
+                let store = self.stables.get_mut(&TsId(ts)).expect("checked");
+                for t in tuples {
+                    store.insert(t);
+                }
+            }
+            let exec = try_execute(&mut self.stables, &ags, origin.0, seq);
+            let writebacks: Vec<SigBucket> = foreign_keys
+                .iter()
+                .map(|(ts, sig)| {
+                    let tuples = self
+                        .stables
+                        .get_mut(ts)
+                        .map(|s| s.checkout_signature(*sig))
+                        .unwrap_or_default();
+                    (ts.0, *sig, tuples)
+                })
+                .collect();
+            let result = match exec {
+                TryOutcome::Fired {
+                    outcome,
+                    scratch_outs,
+                    deposited,
+                } => {
+                    outcome_label = "xexec-fired";
+                    self.commit_scratch(origin, scratch_outs);
+                    // Only deposits into keys this shard owns can wake
+                    // local blocked guards; foreign-key deposits ride
+                    // home inside the writebacks and wake guards on
+                    // their own shard at release time.
+                    let owned: Vec<(TsId, u64)> = deposited
+                        .into_iter()
+                        .filter(|k| !foreign_keys.contains(k))
+                        .collect();
+                    self.retry_blocked_matching(owned);
+                    XStageResult::Fired(outcome)
+                }
+                TryOutcome::Blocked => {
+                    outcome_label = "xexec-blocked";
+                    XStageResult::Blocked
+                }
+                TryOutcome::Failed(e) => {
+                    outcome_label = "xexec-failed";
+                    XStageResult::Failed(e)
+                }
+            };
+            (result, writebacks)
+        };
+        self.span(
+            origin,
+            local,
+            "apply",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("outcome".into(), outcome_label.into()),
+                ("xid".into(), xid.to_string()),
+            ],
+        );
+        if origin == self.host {
+            self.note(KernelNote::XStaged {
+                seq,
+                local,
+                xid,
+                result,
+                writebacks,
+            });
+        }
+    }
+
+    /// Cross-shard leg 3 on a participant shard: reinstall the buckets,
+    /// unfreeze, replay deferred deliveries.
+    fn apply_xrelease(
+        &mut self,
+        seq: u64,
+        origin: HostId,
+        local: LocalId,
+        xid: u64,
+        buckets: Vec<SigBucket>,
+    ) {
+        let matches = self.hold.as_ref().is_some_and(|h| h.xid == xid);
+        if matches {
+            let h = self.hold.take().expect("hold present");
+            let keys = self.reinstall_buckets(buckets);
+            self.retry_blocked_matching(keys);
+            for bd in &h.buffer {
+                self.apply_inner(bd);
+            }
+            // Replayed deliveries carry lower sequence numbers; the
+            // release itself is the newest applied record.
+            self.applied = self.applied.max(seq);
+        }
+        // Without a matching hold (protocol misuse or a duplicate) the
+        // buckets are NOT reinstalled — doing so would duplicate tuples
+        // identically at every replica, which is worse than dropping.
+        self.span(
+            origin,
+            local,
+            "apply",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("outcome".into(), "xrelease".into()),
+                ("xid".into(), xid.to_string()),
+            ],
+        );
+        if origin == self.host {
+            self.note(KernelNote::XReleased { seq, local, xid });
         }
     }
 
@@ -1056,6 +1502,39 @@ impl Kernel {
         Self::digest_of(&self.stables, &self.blocked)
     }
 
+    /// Signature-bucket-scoped digest of one stable space: XOR of
+    /// per-bucket hashes, each hashing the signature key, the bucket's
+    /// tuples oldest-first, and the bucket size. Unlike [`Kernel::digest`]
+    /// this is insensitive to the *global* interleaving of insertions
+    /// across signatures — which cross-shard checkout/reinstall permutes
+    /// — while still pinning the withdraw order within every bucket. The
+    /// XOR over all shards of a sharded deployment therefore equals the
+    /// unsharded kernel's value (buckets are disjoint across shards),
+    /// which is exactly the equivalence the sharded-vs-unsharded
+    /// proptests check. An absent or empty space digests to 0.
+    pub fn canonical_space_digest(&self, id: TsId) -> u64 {
+        let Some(store) = self.stables.get(&id) else {
+            return 0;
+        };
+        let mut buckets: BTreeMap<u64, (linda_tuple::StableHasher, u64)> = BTreeMap::new();
+        for t in store.snapshot() {
+            let sig = t.signature().stable_hash();
+            let entry = buckets.entry(sig).or_insert_with(|| {
+                let mut h = linda_tuple::StableHasher::default();
+                h.write_u64(sig);
+                (h, 0)
+            });
+            t.hash(&mut entry.0);
+            entry.1 += 1;
+        }
+        let mut acc = 0u64;
+        for (mut h, count) in buckets.into_values() {
+            h.write_u64(0x5eed ^ count);
+            acc ^= h.finish();
+        }
+        acc
+    }
+
     /// The digest computation proper, over explicit state. Restore uses
     /// this to verify a rebuilt candidate *before* committing it.
     fn digest_of(
@@ -1132,7 +1611,7 @@ impl Kernel {
             // Fresh stores: indexes and the miss cache are derived state
             // and deliberately absent from the image; they rebuild from
             // live traffic.
-            let mut store = IndexedStore::with_config(self.store_cfg);
+            let mut store = self.new_store();
             for t in tuples {
                 store.insert(t);
             }
@@ -1178,12 +1657,17 @@ impl Kernel {
         self.next_ts = img.next_ts;
         self.applied = img.applied;
         self.pending_checkpoint = None;
+        // A restore supersedes any in-flight cross-shard hold: the image
+        // predates the freeze (checkpoint boundaries are dropped while
+        // frozen) and replaying the log from it re-applies the lock.
+        self.hold = None;
         if let Some(obs) = &mut self.obs {
             // The rebuilt stores start their match counters and index
             // builds at zero; forget the old totals so the next delta is
             // not negative.
             obs.prev_match.clear();
             obs.prev_builds.clear();
+            obs.prev_demotions.clear();
         }
         Ok(())
     }
@@ -1695,6 +2179,445 @@ mod tests {
             .collect();
         assert_eq!(woken, vec![3, 2], "per-signature FIFO, oldest first");
         assert_eq!(k.blocked_len(), 2);
+    }
+
+    #[test]
+    fn register_ts_installs_explicit_id_idempotently() {
+        let (mut k, rx) = kernel();
+        k.apply(&app(
+            1,
+            0,
+            1,
+            &Request::RegisterTs {
+                id: 5,
+                name: "m".into(),
+            },
+        ));
+        assert_eq!(k.lookup("m"), Some(TsId(5)));
+        // Re-registering changes nothing.
+        k.apply(&app(
+            2,
+            0,
+            2,
+            &Request::RegisterTs {
+                id: 5,
+                name: "m".into(),
+            },
+        ));
+        assert_eq!(k.lookup("m"), Some(TsId(5)));
+        // A later CreateTs allocates past the registered id.
+        k.apply(&app(3, 0, 3, &Request::CreateTs { name: "n".into() }));
+        assert_eq!(k.lookup("n"), Some(TsId(6)));
+        let created: Vec<TsId> = rx
+            .try_iter()
+            .filter_map(|n| match n {
+                KernelNote::TsCreated { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(created, vec![TsId(5), TsId(5), TsId(6)]);
+    }
+
+    /// Full cross-shard commit between a participant and a home kernel:
+    /// lock checks buckets out and freezes, exec runs against the
+    /// combined state, release reinstates writebacks and replays the
+    /// deferred deliveries.
+    #[test]
+    fn cross_shard_lock_exec_release_roundtrip() {
+        let (mut home, home_rx) = kernel();
+        let (mut part, part_rx) = kernel();
+        home.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        part.apply(&app(
+            1,
+            0,
+            1,
+            &Request::RegisterTs {
+                id: 0,
+                name: "m".into(),
+            },
+        ));
+        // The participant owns the <str,int> bucket with two tuples.
+        for (i, v) in [1i64, 2].iter().enumerate() {
+            part.apply(&app(
+                2 + i as u64,
+                0,
+                2 + i as u64,
+                &Request::Ags(Ags::out_one(
+                    TsId(0),
+                    vec![Operand::cst("x"), Operand::cst(*v)],
+                )),
+            ));
+        }
+        let sig = tuple!("x", 1).signature().stable_hash();
+        // A waiter on the participant for a tuple the exec will deposit.
+        let waiter = Ags::in_one(TsId(0), vec![MF::actual("sum"), MF::bind(Int)]).unwrap();
+        part.apply(&app(4, 0, 4, &Request::Ags(waiter)));
+        assert_eq!(part.blocked_len(), 1);
+
+        // Leg 1: lock.
+        part.apply(&app(
+            5,
+            0,
+            5,
+            &Request::XLock {
+                xid: 99,
+                keys: vec![(0, sig)],
+            },
+        ));
+        let buckets = match part_rx.try_iter().last().unwrap() {
+            KernelNote::XCheckedOut {
+                xid: 99, buckets, ..
+            } => buckets,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            buckets,
+            vec![(0, sig, vec![tuple!("x", 1), tuple!("x", 2)])]
+        );
+        assert_eq!(part.stable_len(TsId(0)), Some(0), "bucket checked out");
+
+        // While frozen, deliveries are deferred.
+        part.apply(&app(
+            6,
+            0,
+            6,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("x"), Operand::cst(9)],
+            )),
+        ));
+        assert_eq!(part.stable_len(TsId(0)), Some(0), "frozen: out deferred");
+        // Checkpoint markers are dropped, not deferred.
+        part.apply(&Delivery::Checkpoint { seq: 7 });
+        assert!(part.take_pending_checkpoint().is_none());
+
+        // Leg 2: exec at home. Guard takes the oldest foreign ("x", 1);
+        // body deposits ("sum", 11) into the same foreign bucket.
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("x"), MF::bind(Int)])
+            .out(
+                TsId(0),
+                vec![Operand::cst("sum"), Operand::formal(0).add(10)],
+            )
+            .build()
+            .unwrap();
+        home.apply(&app(
+            2,
+            0,
+            2,
+            &Request::XExec {
+                xid: 99,
+                ags,
+                foreign: buckets,
+            },
+        ));
+        let (result, writebacks) = match home_rx.try_iter().last().unwrap() {
+            KernelNote::XStaged {
+                xid: 99,
+                result,
+                writebacks,
+                ..
+            } => (result, writebacks),
+            other => panic!("{other:?}"),
+        };
+        match result {
+            XStageResult::Fired(o) => assert_eq!(o.bindings, vec![Value::Int(1)]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            writebacks,
+            vec![(0, sig, vec![tuple!("x", 2), tuple!("sum", 11)])],
+            "guarded take consumed the oldest; the deposit rides back"
+        );
+        assert_eq!(
+            home.stable_len(TsId(0)),
+            Some(0),
+            "nothing stranded at home"
+        );
+
+        // Leg 3: release. Buckets reinstated, waiter wakes on the
+        // deposited ("sum", 11), deferred out replays after.
+        part.apply(&app(
+            8,
+            0,
+            8,
+            &Request::XRelease {
+                xid: 99,
+                buckets: writebacks,
+            },
+        ));
+        assert_eq!(part.blocked_len(), 0, "waiter woken by the writeback");
+        assert_eq!(
+            part.snapshot(TsId(0)).unwrap(),
+            vec![tuple!("x", 2), tuple!("x", 9)],
+            "writeback order then deferred deliveries"
+        );
+        let notes: Vec<KernelNote> = part_rx.try_iter().collect();
+        assert!(notes
+            .iter()
+            .any(|n| matches!(n, KernelNote::XReleased { xid: 99, .. })));
+        assert!(notes.iter().any(|n| matches!(
+            n,
+            KernelNote::Completed { local: 4, result: Ok(o), .. } if o.bindings == vec![Value::Int(11)]
+        )));
+    }
+
+    /// The home shard is itself locked before the exec (the origin
+    /// acquires every participating shard in ascending order, home
+    /// included, for deadlock freedom), so its own `XExec` must pass
+    /// through the freeze while foreign transactions stay deferred.
+    #[test]
+    fn own_xexec_passes_through_home_freeze() {
+        let (mut home, rx) = kernel();
+        home.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        home.apply(&app(
+            2,
+            0,
+            2,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("x"), Operand::cst(5)],
+            )),
+        ));
+        let sig = tuple!("x", 1).signature().stable_hash();
+        home.apply(&app(
+            3,
+            0,
+            3,
+            &Request::XLock {
+                xid: 42,
+                keys: vec![(0, sig)],
+            },
+        ));
+        let buckets = match rx.try_iter().last().unwrap() {
+            KernelNote::XCheckedOut { buckets, .. } => buckets,
+            other => panic!("{other:?}"),
+        };
+        let ags = Ags::builder()
+            .guard_in(TsId(0), vec![MF::actual("x"), MF::bind(Int)])
+            .build()
+            .unwrap();
+        home.apply(&app(
+            4,
+            0,
+            4,
+            &Request::XExec {
+                xid: 42,
+                ags,
+                foreign: buckets,
+            },
+        ));
+        let writebacks = match rx.try_iter().last().unwrap() {
+            KernelNote::XStaged {
+                result: XStageResult::Fired(_),
+                writebacks,
+                ..
+            } => writebacks,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            writebacks,
+            vec![(0, sig, vec![])],
+            "the one tuple was taken"
+        );
+        home.apply(&app(
+            5,
+            0,
+            5,
+            &Request::XRelease {
+                xid: 42,
+                buckets: writebacks,
+            },
+        ));
+        assert_eq!(home.stable_len(TsId(0)), Some(0));
+        // Unfrozen: a plain out applies immediately again.
+        home.apply(&app(
+            6,
+            0,
+            6,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("done")])),
+        ));
+        assert_eq!(home.stable_len(TsId(0)), Some(1));
+    }
+
+    #[test]
+    fn origin_failure_aborts_hold_and_reinstates_buckets() {
+        let (mut part, _rx) = kernel();
+        part.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        part.apply(&app(
+            2,
+            0,
+            2,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("x"), Operand::cst(1)],
+            )),
+        ));
+        let sig = tuple!("x", 1).signature().stable_hash();
+        // Lock submitted by host 7, which then fails mid-protocol.
+        part.apply(&app(
+            3,
+            7,
+            1,
+            &Request::XLock {
+                xid: 5,
+                keys: vec![(0, sig)],
+            },
+        ));
+        assert_eq!(part.stable_len(TsId(0)), Some(0));
+        // Deferred while frozen.
+        part.apply(&app(
+            4,
+            0,
+            4,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("later")])),
+        ));
+        part.apply(&Delivery::Fail {
+            seq: 5,
+            host: HostId(7),
+        });
+        let snap = part.snapshot(TsId(0)).unwrap();
+        assert!(
+            snap.contains(&tuple!("x", 1)),
+            "bucket reinstated: {snap:?}"
+        );
+        assert!(snap.contains(&tuple!("later")), "deferred out replayed");
+        assert!(
+            snap.contains(&tuple!(FAILURE_TUPLE_HEAD, 7)),
+            "failure tuple deposited after the abort"
+        );
+        // Unfrozen again: new deliveries apply immediately.
+        part.apply(&app(
+            6,
+            0,
+            6,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("after")])),
+        ));
+        assert!(part.snapshot(TsId(0)).unwrap().contains(&tuple!("after")));
+    }
+
+    #[test]
+    fn sharded_fail_tuples_partition_without_overlap() {
+        let mk = |index| {
+            let (tx, _rx) = crossbeam::channel::unbounded();
+            let mut k = Kernel::new(HostId(0), tx);
+            k.set_shard(ShardSpec { index, count: 2 });
+            for (seq, name) in [(1, "a"), (2, "b"), (3, "c")] {
+                k.apply(&app(seq, 0, seq, &Request::CreateTs { name: name.into() }));
+            }
+            k
+        };
+        let mut k0 = mk(0);
+        let mut k1 = mk(1);
+        let fail = Delivery::Fail {
+            seq: 4,
+            host: HostId(9),
+        };
+        k0.apply(&fail);
+        k1.apply(&fail);
+        for ts in [TsId(0), TsId(1), TsId(2)] {
+            let total = k0.stable_len(ts).unwrap() + k1.stable_len(ts).unwrap();
+            assert_eq!(
+                total, 1,
+                "exactly one failure tuple per space across shards"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_digest_is_global_order_insensitive_but_bucket_order_sensitive() {
+        let (mut u, _r1) = kernel();
+        let (mut a, _r2) = kernel();
+        let (mut b, _r3) = kernel();
+        for k in [&mut u, &mut a, &mut b] {
+            k.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        }
+        let out = |v: Vec<Operand>| Request::Ags(Ags::out_one(TsId(0), v));
+        // Unsharded: interleaved insertion across two signatures.
+        u.apply(&app(
+            2,
+            0,
+            2,
+            &out(vec![Operand::cst("p"), Operand::cst(1)]),
+        ));
+        u.apply(&app(3, 0, 3, &out(vec![Operand::cst("q")])));
+        u.apply(&app(
+            4,
+            0,
+            4,
+            &out(vec![Operand::cst("p"), Operand::cst(2)]),
+        ));
+        // Sharded: each bucket on its own kernel, different global order.
+        a.apply(&app(
+            2,
+            0,
+            2,
+            &out(vec![Operand::cst("p"), Operand::cst(1)]),
+        ));
+        a.apply(&app(
+            3,
+            0,
+            3,
+            &out(vec![Operand::cst("p"), Operand::cst(2)]),
+        ));
+        b.apply(&app(2, 0, 2, &out(vec![Operand::cst("q")])));
+        assert_eq!(
+            u.canonical_space_digest(TsId(0)),
+            a.canonical_space_digest(TsId(0)) ^ b.canonical_space_digest(TsId(0)),
+            "XOR over shards equals the unsharded digest"
+        );
+        // Swapping the order WITHIN a bucket must change the digest.
+        let (mut a2, _r4) = kernel();
+        a2.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        a2.apply(&app(
+            2,
+            0,
+            2,
+            &out(vec![Operand::cst("p"), Operand::cst(2)]),
+        ));
+        a2.apply(&app(
+            3,
+            0,
+            3,
+            &out(vec![Operand::cst("p"), Operand::cst(1)]),
+        ));
+        assert_ne!(
+            a.canonical_space_digest(TsId(0)),
+            a2.canonical_space_digest(TsId(0)),
+            "within-bucket (withdraw) order is pinned"
+        );
+        // Empty and missing spaces digest to 0.
+        assert_eq!(u.canonical_space_digest(TsId(9)), 0);
+    }
+
+    #[test]
+    fn per_signature_store_override_reaches_existing_and_future_stores() {
+        let (mut k, _rx) = kernel();
+        k.apply(&app(1, 0, 1, &Request::CreateTs { name: "a".into() }));
+        let sig = tuple!("x", 1).signature().stable_hash();
+        // Disable the miss cache for <str,int> everywhere.
+        k.set_store_config_override(
+            sig,
+            StoreConfig {
+                miss_cache_cap: 0,
+                ..StoreConfig::default()
+            },
+        );
+        k.apply(&app(2, 0, 2, &Request::CreateTs { name: "b".into() }));
+        // Probe both spaces with a missing <str,int> pattern twice: with
+        // the cache disabled nothing is cached.
+        for ts in [TsId(0), TsId(1)] {
+            let probe = Ags::inp_one(ts, vec![MF::actual("x"), MF::actual(1)]).unwrap();
+            k.apply(&app(
+                10 + ts.0 as u64,
+                0,
+                10 + ts.0 as u64,
+                &Request::Ags(probe),
+            ));
+        }
+        for sp in &k.introspect().spaces {
+            assert_eq!(sp.index.miss_cached, 0, "override disabled the cache");
+        }
     }
 
     #[test]

@@ -22,8 +22,8 @@ mod proto;
 pub use checkpoint::{CheckpointError, KernelCheckpoint};
 pub use exec::{guard_labels, probe_guard, try_execute, ExecError, TryOutcome};
 pub use kernel_mod::{
-    BlockedReport, IntrospectReport, Kernel, KernelNote, SpaceReport, StarvationReport,
-    FAILURE_TUPLE_HEAD,
+    BlockedReport, IntrospectReport, Kernel, KernelNote, ShardSpec, SpaceReport, StarvationReport,
+    XStageResult, FAILURE_TUPLE_HEAD,
 };
 pub use linda_space::{IndexReport, MatchStats, SignatureOccupancy, StoreConfig};
-pub use proto::{decode_request, encode_request, Request};
+pub use proto::{decode_request, encode_request, Request, SigBucket};

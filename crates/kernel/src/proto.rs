@@ -4,10 +4,20 @@
 //! requests, encoded into the single multicast message the paper's design
 //! calls for. All replicas decode and apply the same request at the same
 //! sequence number.
+//!
+//! Requests 2–5 exist only under sharded deployments (`shards(K)` with
+//! K > 1): `RegisterTs` propagates a space id assigned on shard 0 to the
+//! other shards, and `XLock`/`XExec`/`XRelease` are the three legs of the
+//! cross-shard commit protocol for AGSs whose signature keys span more
+//! than one shard (see DESIGN.md §13).
 
 use bytes::{Buf, BufMut};
-use ftlinda_ags::{decode_ags, encode_ags, Ags, WireError};
-use linda_tuple::{get_uvarint, put_uvarint, DecodeError};
+use ftlinda_ags::{decode_ags, get_ags, put_ags, Ags, WireError};
+use linda_tuple::{get_tuple, get_uvarint, put_tuple, put_uvarint, DecodeError, Tuple};
+
+/// One signature bucket in flight between shards during a cross-shard
+/// commit: `(space id, signature stable-hash, tuples oldest-first)`.
+pub type SigBucket = (u32, u64, Vec<Tuple>);
 
 /// A command for the replicated tuple-space state machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +31,96 @@ pub enum Request {
     },
     /// Execute an atomic guarded statement.
     Ags(Ags),
+    /// Install a space id assigned elsewhere (shard 0 allocates ids via
+    /// `CreateTs`; the runtime then registers the same id on every other
+    /// shard so `TsId`s mean the same thing on all K orderings).
+    /// Idempotent by both id and name.
+    RegisterTs {
+        /// The id shard 0 assigned.
+        id: u32,
+        /// Space name.
+        name: String,
+    },
+    /// Cross-shard leg 1: check out the listed signature buckets and
+    /// freeze this shard until the matching `XRelease`. Only the keys
+    /// this shard owns are listed.
+    XLock {
+        /// Origin-chosen transaction id (unique per origin attempt).
+        xid: u64,
+        /// `(space, signature-hash)` buckets to check out.
+        keys: Vec<(u32, u64)>,
+    },
+    /// Cross-shard leg 2, applied on the home (lowest-id) shard: install
+    /// the checked-out foreign buckets, execute the AGS, and extract the
+    /// foreign buckets back out as writebacks.
+    XExec {
+        /// Same transaction id as the locks.
+        xid: u64,
+        /// The cross-shard AGS.
+        ags: Ags,
+        /// Buckets checked out of the participant shards.
+        foreign: Vec<SigBucket>,
+    },
+    /// Cross-shard leg 3: reinstall the (possibly rewritten) buckets on
+    /// a participant shard and unfreeze it.
+    XRelease {
+        /// Same transaction id as the lock.
+        xid: u64,
+        /// Buckets to reinstall, oldest-first per bucket.
+        buckets: Vec<SigBucket>,
+    },
+}
+
+fn put_keys(buf: &mut Vec<u8>, keys: &[(u32, u64)]) {
+    put_uvarint(buf, keys.len() as u64);
+    for (ts, sig) in keys {
+        put_uvarint(buf, *ts as u64);
+        buf.put_u64(*sig);
+    }
+}
+
+fn get_keys(bytes: &mut &[u8]) -> Result<Vec<(u32, u64)>, WireError> {
+    let n = get_uvarint(bytes)? as usize;
+    let mut keys = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let ts = get_uvarint(bytes)? as u32;
+        if bytes.len() < 8 {
+            return Err(WireError::Codec(DecodeError::UnexpectedEof));
+        }
+        keys.push((ts, bytes.get_u64()));
+    }
+    Ok(keys)
+}
+
+fn put_buckets(buf: &mut Vec<u8>, buckets: &[SigBucket]) {
+    put_uvarint(buf, buckets.len() as u64);
+    for (ts, sig, tuples) in buckets {
+        put_uvarint(buf, *ts as u64);
+        buf.put_u64(*sig);
+        put_uvarint(buf, tuples.len() as u64);
+        for t in tuples {
+            put_tuple(buf, t);
+        }
+    }
+}
+
+fn get_buckets(bytes: &mut &[u8]) -> Result<Vec<SigBucket>, WireError> {
+    let n = get_uvarint(bytes)? as usize;
+    let mut buckets = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let ts = get_uvarint(bytes)? as u32;
+        if bytes.len() < 8 {
+            return Err(WireError::Codec(DecodeError::UnexpectedEof));
+        }
+        let sig = bytes.get_u64();
+        let count = get_uvarint(bytes)? as usize;
+        let mut tuples = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            tuples.push(get_tuple(bytes)?);
+        }
+        buckets.push((ts, sig, tuples));
+    }
+    Ok(buckets)
 }
 
 /// Encode a request into a fresh buffer.
@@ -34,10 +134,54 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Ags(ags) => {
             buf.put_u8(1);
-            buf.extend_from_slice(&encode_ags(ags));
+            put_ags(&mut buf, ags);
+        }
+        Request::RegisterTs { id, name } => {
+            buf.put_u8(2);
+            put_uvarint(&mut buf, *id as u64);
+            put_uvarint(&mut buf, name.len() as u64);
+            buf.put_slice(name.as_bytes());
+        }
+        Request::XLock { xid, keys } => {
+            buf.put_u8(3);
+            buf.put_u64(*xid);
+            put_keys(&mut buf, keys);
+        }
+        Request::XExec { xid, ags, foreign } => {
+            buf.put_u8(4);
+            buf.put_u64(*xid);
+            put_ags(&mut buf, ags);
+            put_buckets(&mut buf, foreign);
+        }
+        Request::XRelease { xid, buckets } => {
+            buf.put_u8(5);
+            buf.put_u64(*xid);
+            put_buckets(&mut buf, buckets);
         }
     }
     buf
+}
+
+fn get_name(bytes: &mut &[u8]) -> Result<String, WireError> {
+    let n = get_uvarint(bytes)? as usize;
+    if n > bytes.len() {
+        return Err(WireError::Codec(DecodeError::LengthOverrun {
+            declared: n,
+            remaining: bytes.len(),
+        }));
+    }
+    let name = std::str::from_utf8(&bytes[..n])
+        .map_err(|_| WireError::Codec(DecodeError::BadUtf8))?
+        .to_owned();
+    bytes.advance(n);
+    Ok(name)
+}
+
+fn get_xid(bytes: &mut &[u8]) -> Result<u64, WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Codec(DecodeError::UnexpectedEof));
+    }
+    Ok(bytes.get_u64())
 }
 
 /// Decode a request; validates embedded AGSs.
@@ -47,20 +191,40 @@ pub fn decode_request(mut bytes: &[u8]) -> Result<Request, WireError> {
     }
     let tag = bytes.get_u8();
     match tag {
-        0 => {
-            let n = get_uvarint(&mut bytes)? as usize;
-            if n > bytes.len() {
-                return Err(WireError::Codec(DecodeError::LengthOverrun {
-                    declared: n,
-                    remaining: bytes.len(),
-                }));
-            }
-            let name = std::str::from_utf8(&bytes[..n])
-                .map_err(|_| WireError::Codec(DecodeError::BadUtf8))?
-                .to_owned();
-            Ok(Request::CreateTs { name })
-        }
+        0 => Ok(Request::CreateTs {
+            name: get_name(&mut bytes)?,
+        }),
         1 => Ok(Request::Ags(decode_ags(bytes)?)),
+        2 => {
+            let id = get_uvarint(&mut bytes)? as u32;
+            Ok(Request::RegisterTs {
+                id,
+                name: get_name(&mut bytes)?,
+            })
+        }
+        3 => {
+            let xid = get_xid(&mut bytes)?;
+            Ok(Request::XLock {
+                xid,
+                keys: get_keys(&mut bytes)?,
+            })
+        }
+        4 => {
+            let xid = get_xid(&mut bytes)?;
+            let ags = get_ags(&mut bytes)?;
+            Ok(Request::XExec {
+                xid,
+                ags,
+                foreign: get_buckets(&mut bytes)?,
+            })
+        }
+        5 => {
+            let xid = get_xid(&mut bytes)?;
+            Ok(Request::XRelease {
+                xid,
+                buckets: get_buckets(&mut bytes)?,
+            })
+        }
         other => Err(WireError::BadDiscriminant(other)),
     }
 }
@@ -69,6 +233,7 @@ pub fn decode_request(mut bytes: &[u8]) -> Result<Request, WireError> {
 mod tests {
     use super::*;
     use ftlinda_ags::{MatchField, Operand, TsId};
+    use linda_tuple::tuple;
 
     #[test]
     fn create_ts_roundtrip() {
@@ -96,6 +261,47 @@ mod tests {
     }
 
     #[test]
+    fn register_ts_roundtrip() {
+        let r = Request::RegisterTs {
+            id: 7,
+            name: "jobs".into(),
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn xlock_roundtrip() {
+        let r = Request::XLock {
+            xid: 0xdead_beef_0001,
+            keys: vec![(0, 42), (3, u64::MAX)],
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn xexec_roundtrip_with_buckets() {
+        let ags = Ags::out_one(TsId(1), vec![Operand::cst("x"), Operand::cst(1)]);
+        let r = Request::XExec {
+            xid: 9,
+            ags,
+            foreign: vec![
+                (1, 77, vec![tuple!("x", 1), tuple!("x", 2)]),
+                (2, 88, vec![]),
+            ],
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn xrelease_roundtrip() {
+        let r = Request::XRelease {
+            xid: 1,
+            buckets: vec![(0, 5, vec![tuple!("job", 3, 2.5)])],
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
     fn empty_buffer_rejected() {
         assert!(decode_request(&[]).is_err());
     }
@@ -114,5 +320,11 @@ mod tests {
         put_uvarint(&mut buf, 100);
         buf.push(b'x');
         assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_xlock_rejected() {
+        // Tag + 4 bytes of an 8-byte xid.
+        assert!(decode_request(&[3, 0, 0, 0, 0]).is_err());
     }
 }

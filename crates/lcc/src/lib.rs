@@ -24,7 +24,9 @@
 mod lexer;
 mod parser;
 pub mod pretty;
+pub mod routing;
 
 pub use lexer::{lex, LexError, TokKind, Token};
 pub use parser::{CompileError, Compiler, Program};
 pub use pretty::{print_ags, SpaceNames};
+pub use routing::{shard_report, Route, ShardReport, StatementRoute};

@@ -1,0 +1,257 @@
+//! Static shard-routing analysis for compiled programs.
+//!
+//! Under a sharded deployment (`ClusterBuilder::shards(K)` with K > 1)
+//! every AGS routes by the set of `(space, signature)` buckets it can
+//! touch: one owning shard → a direct submit on that shard's total
+//! order; several → the three-leg cross-shard commit (DESIGN.md §13),
+//! which costs 2·S + 1 ordered multicasts for S participating shards
+//! instead of 1. That cost is *statically* knowable, so the precompiler
+//! surfaces it: [`shard_report`] classifies each statement of a compiled
+//! [`Program`](crate::Program) exactly the way the runtime router will,
+//! letting programmers see — before deploying — which statements
+//! serialize through the cross-shard path and re-shape them if the
+//! multiplied write throughput matters.
+
+use ftlinda_ags::{shard_of, static_keys, Ags, ShardKey};
+
+/// Where one statement executes under a K-way sharded deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// All signature buckets live on one shard (statements touching no
+    /// stable space at all route to shard 0): a single ordered
+    /// multicast, full sharded throughput.
+    Single(u32),
+    /// Buckets span several shards: the statement commits via the
+    /// lock/exec/release protocol across the listed shards (ascending).
+    Cross(Vec<u32>),
+    /// The statement contains an operand whose type cannot be decided
+    /// statically (only degenerate, never-evaluable operands do this);
+    /// the runtime rejects it with `FtError::Unroutable` under K > 1.
+    Unroutable,
+}
+
+/// Routing classification of one compiled statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementRoute {
+    /// Index into `Program::statements`.
+    pub index: usize,
+    /// The `(space, signature-hash)` buckets the statement can touch,
+    /// sorted; `None` when undecidable.
+    pub keys: Option<Vec<ShardKey>>,
+    /// The routing decision the runtime will make.
+    pub route: Route,
+}
+
+/// Shard-routing report for a whole program at a given shard count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The deployment's shard count this report was computed for.
+    pub shards: u32,
+    /// One row per program statement, in program order.
+    pub statements: Vec<StatementRoute>,
+}
+
+impl ShardReport {
+    /// Statements that pay the cross-shard commit protocol.
+    pub fn cross_count(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| matches!(s.route, Route::Cross(_)))
+            .count()
+    }
+
+    /// Statements the runtime would reject as unroutable.
+    pub fn unroutable_count(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| s.route == Route::Unroutable)
+            .count()
+    }
+
+    /// Human-readable rendering, one line per statement.
+    pub fn render(&self) -> String {
+        let mut out = format!("shard routing (K={})\n", self.shards);
+        for s in &self.statements {
+            let buckets = s.keys.as_ref().map_or(0, Vec::len);
+            match &s.route {
+                Route::Single(shard) => {
+                    out.push_str(&format!(
+                        "  #{}: single shard {shard} ({buckets} bucket{})\n",
+                        s.index,
+                        if buckets == 1 { "" } else { "s" }
+                    ));
+                }
+                Route::Cross(shards) => {
+                    let list: Vec<String> = shards.iter().map(u32::to_string).collect();
+                    out.push_str(&format!(
+                        "  #{}: CROSS shards {{{}}} ({buckets} buckets, {} multicasts)\n",
+                        s.index,
+                        list.join(","),
+                        2 * shards.len() + 1
+                    ));
+                }
+                Route::Unroutable => {
+                    out.push_str(&format!("  #{}: UNROUTABLE\n", s.index));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Classify each statement the way the runtime router will at `shards`
+/// shards. With `shards <= 1` everything is `Single(0)`.
+pub fn shard_report(statements: &[Ags], shards: u32) -> ShardReport {
+    let statements = statements
+        .iter()
+        .enumerate()
+        .map(|(index, ags)| {
+            if shards <= 1 {
+                return StatementRoute {
+                    index,
+                    keys: static_keys(ags),
+                    route: Route::Single(0),
+                };
+            }
+            match static_keys(ags) {
+                None => StatementRoute {
+                    index,
+                    keys: None,
+                    route: Route::Unroutable,
+                },
+                Some(keys) => {
+                    let mut owners: Vec<u32> = keys
+                        .iter()
+                        .map(|(ts, sig)| shard_of(*ts, *sig, shards))
+                        .collect();
+                    owners.sort_unstable();
+                    owners.dedup();
+                    let route = match owners.as_slice() {
+                        [] => Route::Single(0),
+                        [one] => Route::Single(*one),
+                        _ => Route::Cross(owners.clone()),
+                    };
+                    StatementRoute {
+                        index,
+                        keys: Some(keys),
+                        route,
+                    }
+                }
+            }
+        })
+        .collect();
+    ShardReport { shards, statements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use ftlinda_ags::TsId;
+
+    fn routes(src: &str, shards: u32) -> Vec<Route> {
+        let prog = Compiler::new().compile(src).unwrap();
+        shard_report(&prog.statements, shards)
+            .statements
+            .into_iter()
+            .map(|s| s.route)
+            .collect()
+    }
+
+    #[test]
+    fn single_signature_program_is_single_shard() {
+        let r = routes(
+            r#"
+            stable ts;
+            out(ts, "n", 1);
+            < in(ts, "n", ?int v) => out(ts, "n", v + 1) >
+            "#,
+            4,
+        );
+        assert_eq!(r.len(), 2);
+        for route in &r {
+            assert!(matches!(route, Route::Single(_)), "{route:?}");
+        }
+        // Same signature everywhere → same shard everywhere.
+        assert_eq!(r[0], r[1]);
+    }
+
+    #[test]
+    fn k1_is_always_shard_zero() {
+        let r = routes(
+            r#"
+            stable ts;
+            out(ts, "n", 1);
+            out(ts, "s", "x", "y");
+            "#,
+            1,
+        );
+        assert!(r.iter().all(|x| *x == Route::Single(0)));
+    }
+
+    #[test]
+    fn mixed_signature_statement_can_cross_shards() {
+        // [Str,Int] and [Str,Str] land on different shards of space 0
+        // under K=2 (asserted, not assumed).
+        let prog = Compiler::new()
+            .compile(
+                r#"
+                stable ts;
+                < in(ts, "x", ?int v) => out(ts, "y", "done") >
+                "#,
+            )
+            .unwrap();
+        let report = shard_report(&prog.statements, 2);
+        let keys = report.statements[0].keys.as_ref().unwrap();
+        assert_eq!(keys.len(), 2);
+        let owners: Vec<u32> = keys
+            .iter()
+            .map(|(ts, sig)| shard_of(*ts, *sig, 2))
+            .collect();
+        if owners[0] != owners[1] {
+            assert!(matches!(report.statements[0].route, Route::Cross(ref s) if s.len() == 2));
+            assert_eq!(report.cross_count(), 1);
+        } else {
+            assert!(matches!(report.statements[0].route, Route::Single(_)));
+        }
+    }
+
+    #[test]
+    fn scratch_only_statement_routes_to_shard_zero() {
+        let mut c = Compiler::new();
+        c.bind_scratch("tmp", ftlinda_ags::ScratchId(1));
+        let prog = c.compile(r#"scratch tmp; out(tmp, "local", 1);"#).unwrap();
+        let report = shard_report(&prog.statements, 4);
+        assert_eq!(report.statements[0].route, Route::Single(0));
+        assert_eq!(report.statements[0].keys.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn render_mentions_cross_and_multicast_cost() {
+        let report = ShardReport {
+            shards: 4,
+            statements: vec![
+                StatementRoute {
+                    index: 0,
+                    keys: Some(vec![(TsId(0), 1)]),
+                    route: Route::Single(3),
+                },
+                StatementRoute {
+                    index: 1,
+                    keys: Some(vec![(TsId(0), 1), (TsId(0), 2)]),
+                    route: Route::Cross(vec![1, 3]),
+                },
+                StatementRoute {
+                    index: 2,
+                    keys: None,
+                    route: Route::Unroutable,
+                },
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("single shard 3"));
+        assert!(text.contains("CROSS shards {1,3}"));
+        assert!(text.contains("5 multicasts"));
+        assert!(text.contains("UNROUTABLE"));
+    }
+}

@@ -65,6 +65,26 @@ impl Counter {
     }
 }
 
+/// How a [`Gauge`] aggregates when registry snapshots are merged into a
+/// cluster-scope page.
+///
+/// Most gauges are *levels* (queue depths, tuple counts) where the
+/// cluster-wide figure is the sum over members. But a gauge that exposes
+/// a piece of *configuration or process-level state* — the same value on
+/// every member and every shard, like a byte threshold — must not be
+/// summed: merging R registries would multiply it by R. Such gauges
+/// register as [`GaugeMerge::Max`], which is idempotent over identical
+/// values (and degrades to "largest configured" if members disagree).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GaugeMerge {
+    /// Levels aggregate additively across registries (the default).
+    #[default]
+    Sum,
+    /// Shared config/process-level values take the max — identical
+    /// inputs merge to themselves instead of multiplying.
+    Max,
+}
+
 /// A gauge: an instantaneous signed level that can go up and down.
 #[derive(Debug, Default)]
 pub struct Gauge {
@@ -455,7 +475,7 @@ impl EventSink {
 #[derive(Debug, Default)]
 struct Instruments {
     counters: BTreeMap<String, (String, Arc<Counter>)>,
-    gauges: BTreeMap<String, (String, Arc<Gauge>)>,
+    gauges: BTreeMap<String, (String, Arc<Gauge>, GaugeMerge)>,
     histograms: BTreeMap<String, (String, Arc<Histogram>)>,
     counter_families: BTreeMap<String, (String, Arc<CounterFamily>)>,
     gauge_families: BTreeMap<String, (String, Arc<GaugeFamily>)>,
@@ -493,12 +513,21 @@ impl Registry {
             .clone()
     }
 
-    /// Get or create the gauge `name`.
+    /// Get or create the gauge `name` (a level; merges by summing).
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_merged(name, help, GaugeMerge::Sum)
+    }
+
+    /// Get or create gauge `name` with an explicit merge mode. Use
+    /// [`GaugeMerge::Max`] for config/process-level values shared by
+    /// every member and shard, so cluster aggregation doesn't multiply
+    /// them. The mode only applies on first creation; a later call with
+    /// the same name returns the existing instrument.
+    pub fn gauge_merged(&self, name: &str, help: &str, merge: GaugeMerge) -> Arc<Gauge> {
         self.lock()
             .gauges
             .entry(name.to_string())
-            .or_insert_with(|| (help.to_string(), Arc::new(Gauge::default())))
+            .or_insert_with(|| (help.to_string(), Arc::new(Gauge::default()), merge))
             .1
             .clone()
     }
@@ -576,8 +605,9 @@ impl Registry {
         for (name, (help, c)) in &ins.counters {
             snap.counters.insert(name.clone(), (help.clone(), c.get()));
         }
-        for (name, (help, g)) in &ins.gauges {
-            snap.gauges.insert(name.clone(), (help.clone(), g.get()));
+        for (name, (help, g, merge)) in &ins.gauges {
+            snap.gauges
+                .insert(name.clone(), (help.clone(), g.get(), *merge));
         }
         for (name, (help, h)) in &ins.histograms {
             snap.histograms
@@ -635,15 +665,18 @@ impl Registry {
 /// rendered as one cluster-scope Prometheus page.
 ///
 /// Merge rules (per metric name): counters and counter-family children
-/// sum; gauges and gauge-family children sum (levels like tuple counts
-/// and queue depths aggregate additively across replicas); histograms
-/// merge bucket-wise via [`HistogramSnapshot::merge`], and a bucket-layout
-/// mismatch keeps the first operand's histogram untouched. Help text is
-/// taken from whichever snapshot registered the name first.
+/// sum; gauges merge per their registered [`GaugeMerge`] mode — levels
+/// like tuple counts and queue depths aggregate additively across
+/// replicas, while config/process-level gauges shared by every member
+/// take the max so aggregation never multiplies them; gauge-family
+/// children sum; histograms merge bucket-wise via
+/// [`HistogramSnapshot::merge`], and a bucket-layout mismatch keeps the
+/// first operand's histogram untouched. Help text is taken from
+/// whichever snapshot registered the name first.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
     counters: BTreeMap<String, (String, u64)>,
-    gauges: BTreeMap<String, (String, i64)>,
+    gauges: BTreeMap<String, (String, i64, GaugeMerge)>,
     histograms: BTreeMap<String, (String, HistogramSnapshot)>,
     counter_families: BTreeMap<String, (String, BTreeMap<String, u64>)>,
     gauge_families: BTreeMap<String, (String, BTreeMap<String, i64>)>,
@@ -659,12 +692,18 @@ impl RegistrySnapshot {
                 .or_insert_with(|| (help.clone(), 0));
             e.1 += v;
         }
-        for (name, (help, v)) in &other.gauges {
-            let e = self
-                .gauges
-                .entry(name.clone())
-                .or_insert_with(|| (help.clone(), 0));
-            e.1 += v;
+        for (name, (help, v, merge)) in &other.gauges {
+            match self.gauges.get_mut(name) {
+                // The first operand's mode wins on disagreement (modes
+                // only disagree across software versions).
+                Some(e) => match e.2 {
+                    GaugeMerge::Sum => e.1 += v,
+                    GaugeMerge::Max => e.1 = e.1.max(*v),
+                },
+                None => {
+                    self.gauges.insert(name.clone(), (help.clone(), *v, *merge));
+                }
+            }
         }
         for (name, (help, h)) in &other.histograms {
             match self.histograms.get_mut(name) {
@@ -706,7 +745,7 @@ impl RegistrySnapshot {
 
     /// Level of plain gauge `name`, if present.
     pub fn gauge(&self, name: &str) -> Option<i64> {
-        self.gauges.get(name).map(|(_, v)| *v)
+        self.gauges.get(name).map(|(_, v, _)| *v)
     }
 
     /// Children of counter family `name` (rendered label string →
@@ -736,7 +775,7 @@ impl RegistrySnapshot {
                 let _ = writeln!(out, "{name}{{{labels}}} {v}");
             }
         }
-        for (name, (help, v)) in &self.gauges {
+        for (name, (help, v, _)) in &self.gauges {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {v}");
@@ -938,6 +977,33 @@ mod tests {
         assert!(text.contains("lat_count 2"));
         assert!(text.contains("ts_tuples{signature=\"<int>\"} 10"));
         assert!(text.contains("ts_tuples{signature=\"<str>\"} 1"));
+    }
+
+    #[test]
+    fn config_gauges_merge_without_double_counting() {
+        // Regression: `/metrics/cluster` merges one registry per shard
+        // per member. A config-level gauge (same value everywhere, e.g.
+        // ftlinda_batch_max_bytes) must survive the merge unchanged
+        // instead of being multiplied by the registry count.
+        let regs: Vec<Registry> = (0..6).map(|_| Registry::new()).collect();
+        for r in &regs {
+            r.gauge_merged("cfg_max_bytes", "h", GaugeMerge::Max)
+                .set(512);
+            r.gauge("depth", "h").set(3); // a real level still sums
+        }
+        let mut merged = regs[0].snapshot();
+        for r in &regs[1..] {
+            merged.merge(&r.snapshot());
+        }
+        assert_eq!(merged.gauge("cfg_max_bytes"), Some(512));
+        assert_eq!(merged.gauge("depth"), Some(18));
+        // Max-merge also tolerates a member that hasn't set the gauge
+        // yet and degrades to "largest configured" on disagreement.
+        let late = Registry::new();
+        late.gauge_merged("cfg_max_bytes", "h", GaugeMerge::Max)
+            .set(1024);
+        merged.merge(&late.snapshot());
+        assert_eq!(merged.gauge("cfg_max_bytes"), Some(1024));
     }
 
     #[test]

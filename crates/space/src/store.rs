@@ -221,6 +221,9 @@ pub struct IndexReport {
     pub value_indexes: usize,
     /// Cumulative count of index builds (lazy promotions) performed.
     pub index_builds: u64,
+    /// Cumulative count of index demotions (churn-dominated indexes
+    /// dropped by the demotion guard).
+    pub index_demotions: u64,
     /// Patterns currently held in the miss cache.
     pub miss_cached: usize,
 }
@@ -275,10 +278,20 @@ pub trait Store {
 
 /// Secondary index within one bucket: values at a fixed field position →
 /// insertion seqs holding that value there.
+///
+/// `maintenance` and `served` drive the demotion decision: every
+/// insert/remove that updates the index is one maintenance op, and every
+/// match attempt the index answered (either by supplying candidates or
+/// by proving zero candidates exist) is one serve. When upkeep far
+/// outruns serves the index is costing more than it saves — see
+/// [`Bucket::maybe_demote`]. Both are derived state, like the index
+/// itself.
 #[derive(Debug, Clone)]
 struct ValueIndex {
     pos: usize,
     map: HashMap<Value, BTreeSet<u64>>,
+    maintenance: Cell<u64>,
+    served: Cell<u64>,
 }
 
 impl ValueIndex {
@@ -286,6 +299,8 @@ impl ValueIndex {
         ValueIndex {
             pos,
             map: HashMap::new(),
+            maintenance: Cell::new(0),
+            served: Cell::new(0),
         }
     }
 }
@@ -302,9 +317,11 @@ enum Cands<'a> {
 
 /// Pick the most selective applicable index for `p`: among indexes whose
 /// position carries a constant in the pattern, the one with the fewest
-/// candidate seqs. An absent key is a proof of zero candidates.
+/// candidate seqs. An absent key is a proof of zero candidates. The
+/// chosen index (including one that proves emptiness) gets a serve
+/// credit toward its demotion accounting.
 fn best_candidates<'a>(indexes: &'a [ValueIndex], p: &Pattern) -> Cands<'a> {
-    let mut best: Option<&'a BTreeSet<u64>> = None;
+    let mut best: Option<(&'a ValueIndex, &'a BTreeSet<u64>)> = None;
     let mut applicable = false;
     for ix in indexes {
         let Some(PatField::Actual(v)) = p.fields().get(ix.pos) else {
@@ -312,10 +329,13 @@ fn best_candidates<'a>(indexes: &'a [ValueIndex], p: &Pattern) -> Cands<'a> {
         };
         applicable = true;
         match ix.map.get(v) {
-            None => return Cands::Empty,
+            None => {
+                ix.served.set(ix.served.get() + 1);
+                return Cands::Empty;
+            }
             Some(set) => {
-                if best.is_none_or(|b| set.len() < b.len()) {
-                    best = Some(set);
+                if best.is_none_or(|(_, b)| set.len() < b.len()) {
+                    best = Some((ix, set));
                 }
             }
         }
@@ -323,7 +343,10 @@ fn best_candidates<'a>(indexes: &'a [ValueIndex], p: &Pattern) -> Cands<'a> {
     match (applicable, best) {
         (false, _) => Cands::Scan,
         (true, None) => Cands::Empty,
-        (true, Some(set)) => Cands::Set(set),
+        (true, Some((ix, set))) => {
+            ix.served.set(ix.served.get() + 1);
+            Cands::Set(set)
+        }
     }
 }
 
@@ -364,6 +387,7 @@ impl Bucket {
         for ix in self.indexes.get_mut().iter_mut() {
             if let Some(v) = t.get(ix.pos) {
                 ix.map.entry(v.clone()).or_default().insert(seq);
+                ix.maintenance.set(ix.maintenance.get() + 1);
             }
         }
         self.entries.insert(seq, t);
@@ -379,6 +403,7 @@ impl Bucket {
                     if set.is_empty() {
                         ix.map.remove(v);
                     }
+                    ix.maintenance.set(ix.maintenance.get() + 1);
                 }
             }
         }
@@ -465,10 +490,42 @@ impl Bucket {
         }
     }
 
+    /// Demotion guard, the inverse of [`Bucket::maybe_promote`]: a
+    /// promoted index whose upkeep has far outrun the attempts it served
+    /// (`DEMOTE_COST_RATIO` maintenance ops per serve, after a warm-up
+    /// floor scaled from `promote_min_tuples`) is costing more than it
+    /// saves on this churn-heavy bucket. The coldest such index (fewest
+    /// serves) is dropped; the eager head index is never demoted. A
+    /// demoted position can re-promote later if the access pattern turns
+    /// around — it restarts with fresh accounting, and the warm-up floor
+    /// keeps the cycle amortized.
+    fn maybe_demote(&mut self, cfg: &StoreConfig, demotions: &Cell<u64>) {
+        let warmup = (cfg.promote_min_tuples as u64).saturating_mul(4);
+        let indexes = self.indexes.get_mut();
+        let victim = indexes
+            .iter()
+            .enumerate()
+            .filter(|(_, ix)| ix.pos != 0)
+            .filter(|(_, ix)| {
+                let m = ix.maintenance.get();
+                m >= warmup && m > DEMOTE_COST_RATIO * ix.served.get()
+            })
+            .min_by_key(|(_, ix)| ix.served.get())
+            .map(|(i, _)| i);
+        if let Some(i) = victim {
+            indexes.remove(i);
+            demotions.set(demotions.get() + 1);
+        }
+    }
+
     fn promoted_indexes(&self) -> usize {
         self.indexes.borrow().len().saturating_sub(1)
     }
 }
+
+/// Maintenance ops a promoted index may spend per attempt it serves
+/// before the demotion guard drops it (see [`Bucket::maybe_demote`]).
+const DEMOTE_COST_RATIO: u64 = 8;
 
 /// Antituple (miss) cache: patterns recently observed to match nothing.
 ///
@@ -570,8 +627,14 @@ pub struct IndexedStore {
     census: StableMap<u64, SignatureOccupancy>,
     matches: MatchCounters,
     cfg: StoreConfig,
+    /// Per-signature [`StoreConfig`] overrides (hash of the signature →
+    /// knobs). A bucket with an override ignores the store-wide `cfg`
+    /// entirely. Like everything else the knobs control, overrides are
+    /// derived state: replicas may disagree on them without diverging.
+    overrides: StableMap<u64, StoreConfig>,
     miss_cache: MissCache,
     index_builds: Cell<u64>,
+    index_demotions: Cell<u64>,
 }
 
 impl IndexedStore {
@@ -588,6 +651,17 @@ impl IndexedStore {
         }
     }
 
+    /// Override the tuning knobs for one signature (by stable hash),
+    /// leaving every other bucket on the store-wide default.
+    pub fn set_config_override(&mut self, sig_hash: u64, cfg: StoreConfig) {
+        self.overrides.insert(sig_hash, cfg);
+    }
+
+    /// The effective knobs for the bucket keyed by `sig_hash`.
+    fn cfg_for(&self, sig_hash: u64) -> StoreConfig {
+        self.overrides.get(&sig_hash).copied().unwrap_or(self.cfg)
+    }
+
     fn bucket_for_pattern(&self, p: &Pattern) -> Option<&Bucket> {
         self.buckets.get(&p.signature().stable_hash())
     }
@@ -600,8 +674,11 @@ impl IndexedStore {
     fn insert_at(&mut self, seq: u64, t: Tuple) -> bool {
         let sig = t.signature();
         let key = sig.stable_hash();
+        let cfg = self.cfg_for(key);
         self.miss_cache.invalidate(key, &t);
-        let fresh = self.buckets.entry(key).or_default().insert(seq, t);
+        let bucket = self.buckets.entry(key).or_default();
+        let fresh = bucket.insert(seq, t);
+        bucket.maybe_demote(&cfg, &self.index_demotions);
         if fresh {
             self.len += 1;
             let entry = self
@@ -650,18 +727,20 @@ impl IndexedStore {
             return None;
         }
         let key = p.signature().stable_hash();
+        let cfg = self.cfg_for(key);
         let Some(bucket) = self.buckets.get_mut(&key) else {
             self.matches.record(0, 0);
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return None;
         };
-        let (found, probes) = bucket.find_first(p, &self.cfg, &self.index_builds);
+        let (found, probes) = bucket.find_first(p, &cfg, &self.index_builds);
         self.matches.record(probes, found.is_some() as u64);
         let Some(seq) = found else {
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return None;
         };
         let t = bucket.remove(seq)?;
+        bucket.maybe_demote(&cfg, &self.index_demotions);
         self.len -= 1;
         if bucket.entries.is_empty() {
             self.buckets.remove(&key);
@@ -677,21 +756,23 @@ impl IndexedStore {
             return Vec::new();
         }
         let key = p.signature().stable_hash();
+        let cfg = self.cfg_for(key);
         let Some(bucket) = self.buckets.get_mut(&key) else {
             self.matches.record(0, 0);
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return Vec::new();
         };
-        let (seqs, probes) = bucket.find_all(p, &self.cfg, &self.index_builds);
+        let (seqs, probes) = bucket.find_all(p, &cfg, &self.index_builds);
         self.matches.record(probes, seqs.len() as u64);
         if seqs.is_empty() {
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return Vec::new();
         }
         let out: Vec<(u64, Tuple)> = seqs
             .into_iter()
             .filter_map(|seq| bucket.remove(seq).map(|t| (seq, t)))
             .collect();
+        bucket.maybe_demote(&cfg, &self.index_demotions);
         self.len -= out.len();
         if bucket.entries.is_empty() {
             self.buckets.remove(&key);
@@ -702,14 +783,33 @@ impl IndexedStore {
 
     /// Remove the tuple inserted under `seq` (undo of `insert_tracked`).
     pub fn remove_at(&mut self, seq: u64, sig_hash: u64) -> Option<Tuple> {
+        let cfg = self.cfg_for(sig_hash);
         let bucket = self.buckets.get_mut(&sig_hash)?;
         let t = bucket.remove(seq)?;
+        bucket.maybe_demote(&cfg, &self.index_demotions);
         self.len -= 1;
         if bucket.entries.is_empty() {
             self.buckets.remove(&sig_hash);
         }
         self.census_remove(sig_hash, 1);
         Some(t)
+    }
+
+    /// Withdraw *every* tuple stored under the signature with this
+    /// stable hash, oldest first — the whole-bucket handoff used when a
+    /// cross-shard AGS temporarily moves a signature to another replica
+    /// group. Derived state for the signature (value indexes, promotion
+    /// history) leaves with the bucket; cached misses stay correct
+    /// because a removal can never create a match, and re-installing the
+    /// tuples later funnels through `insert`, which invalidates.
+    pub fn checkout_signature(&mut self, sig_hash: u64) -> Vec<Tuple> {
+        let Some(bucket) = self.buckets.remove(&sig_hash) else {
+            return Vec::new();
+        };
+        let out: Vec<Tuple> = bucket.entries.into_values().collect();
+        self.len -= out.len();
+        self.census_remove(sig_hash, out.len());
+        out
     }
 
     /// Re-insert a tuple at its original sequence position (undo of
@@ -748,15 +848,16 @@ impl Store for IndexedStore {
             self.matches.record_cache_hit();
             return None;
         }
+        let cfg = self.cfg_for(p.signature().stable_hash());
         let Some(bucket) = self.bucket_for_pattern(p) else {
             self.matches.record(0, 0);
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return None;
         };
-        let (found, probes) = bucket.find_first(p, &self.cfg, &self.index_builds);
+        let (found, probes) = bucket.find_first(p, &cfg, &self.index_builds);
         self.matches.record(probes, found.is_some() as u64);
         if found.is_none() {
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
         }
         found.map(|seq| bucket.entries[&seq].clone())
     }
@@ -766,15 +867,16 @@ impl Store for IndexedStore {
             self.matches.record_cache_hit();
             return 0;
         }
+        let cfg = self.cfg_for(p.signature().stable_hash());
         let Some(bucket) = self.bucket_for_pattern(p) else {
             self.matches.record(0, 0);
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return 0;
         };
-        let (found, probes) = bucket.find_all(p, &self.cfg, &self.index_builds);
+        let (found, probes) = bucket.find_all(p, &cfg, &self.index_builds);
         self.matches.record(probes, found.len() as u64);
         if found.is_empty() {
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
         }
         found.len()
     }
@@ -791,15 +893,16 @@ impl Store for IndexedStore {
             self.matches.record_cache_hit();
             return Vec::new();
         }
+        let cfg = self.cfg_for(p.signature().stable_hash());
         let Some(bucket) = self.bucket_for_pattern(p) else {
             self.matches.record(0, 0);
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
             return Vec::new();
         };
-        let (found, probes) = bucket.find_all(p, &self.cfg, &self.index_builds);
+        let (found, probes) = bucket.find_all(p, &cfg, &self.index_builds);
         self.matches.record(probes, found.len() as u64);
         if found.is_empty() {
-            self.miss_cache.note_miss(p, self.cfg.miss_cache_cap);
+            self.miss_cache.note_miss(p, cfg.miss_cache_cap);
         }
         found
             .into_iter()
@@ -846,6 +949,7 @@ impl Store for IndexedStore {
         IndexReport {
             value_indexes: self.buckets.values().map(Bucket::promoted_indexes).sum(),
             index_builds: self.index_builds.get(),
+            index_demotions: self.index_demotions.get(),
             miss_cached: self.miss_cache.len(),
         }
     }
@@ -1817,6 +1921,138 @@ mod tracked_tests {
         assert_eq!(s.read(&pat!("lock")), None); // cached
         s.restore_at(seq, t);
         assert_eq!(s.read(&pat!("lock")), Some(tuple!("lock")));
+    }
+
+    #[test]
+    fn per_signature_config_override_applies() {
+        // Store-wide default caches misses; the override disables the
+        // cache for one signature only.
+        let mut s = IndexedStore::new();
+        let job_sig = tuple!("job", 0).signature().stable_hash();
+        s.set_config_override(
+            job_sig,
+            StoreConfig {
+                miss_cache_cap: 0,
+                ..StoreConfig::default()
+            },
+        );
+        assert_eq!(s.take(&pat!("job", 1)), None);
+        assert_eq!(s.take(&pat!("job", 1)), None);
+        assert_eq!(s.match_stats().cache_hits, 0, "override disabled caching");
+        assert_eq!(s.index_report().miss_cached, 0);
+        // A signature without an override still uses the default cache.
+        assert_eq!(s.take(&pat!("other", 1.0)), None);
+        assert_eq!(s.take(&pat!("other", 1.0)), None);
+        assert_eq!(s.match_stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn per_signature_override_gates_promotion() {
+        // The override raises the promotion bar for the hot signature:
+        // scans that would promote under the default never do.
+        let mut s = IndexedStore::new(); // promote_min_tuples = 32
+        let sig = tuple!("t", 0, 0).signature().stable_hash();
+        s.set_config_override(
+            sig,
+            StoreConfig {
+                promote_min_tuples: usize::MAX,
+                ..StoreConfig::default()
+            },
+        );
+        for i in 0..64 {
+            s.insert(tuple!("t", i, i));
+        }
+        s.read(&pat!("t", 63, ?int)); // 64-probe scan, would promote by default
+        assert_eq!(s.index_report().value_indexes, 0);
+    }
+
+    #[test]
+    fn value_index_demotion_on_churn() {
+        let cfg = StoreConfig {
+            promote_min_tuples: 8,
+            promote_after_probes: 4,
+            ..StoreConfig::default()
+        };
+        let mut s = IndexedStore::with_config(cfg);
+        for i in 0..64 {
+            s.insert(tuple!("task", i, 0.5));
+        }
+        // All heads are equal, so this scan is expensive and promotes a
+        // position-1 index.
+        s.read(&pat!("task", 63, ?float));
+        assert_eq!(s.index_report().value_indexes, 1);
+        // Churn the bucket without ever binding position 1: the index
+        // pays maintenance on every insert/remove and serves nothing.
+        for i in 64..120 {
+            s.insert(tuple!("task", i, 0.5));
+            assert!(s.take(&pat!("task", ?int, ?float)).is_some());
+        }
+        let rep = s.index_report();
+        assert_eq!(rep.value_indexes, 0, "churn-dominated index dropped");
+        assert_eq!(rep.index_demotions, 1);
+        // Matching is unaffected (demotion is derived state only).
+        assert_eq!(
+            s.read(&pat!("task", 100, ?float)),
+            Some(tuple!("task", 100, 0.5))
+        );
+    }
+
+    #[test]
+    fn demotion_spares_a_serving_index() {
+        let cfg = StoreConfig {
+            promote_min_tuples: 8,
+            promote_after_probes: 4,
+            ..StoreConfig::default()
+        };
+        let mut s = IndexedStore::with_config(cfg);
+        for i in 0..64 {
+            s.insert(tuple!("task", i, 0.5));
+        }
+        s.read(&pat!("task", 63, ?float));
+        assert_eq!(s.index_report().value_indexes, 1);
+        // Same churn volume, but every cycle also *uses* the index: the
+        // serve credits keep maintenance under the demotion ratio.
+        for i in 64..120 {
+            s.insert(tuple!("task", i, 0.5));
+            assert!(s.take(&pat!("task", i, ?float)).is_some());
+        }
+        let rep = s.index_report();
+        assert_eq!(rep.value_indexes, 1, "serving index survives churn");
+        assert_eq!(rep.index_demotions, 0);
+    }
+
+    #[test]
+    fn checkout_signature_moves_whole_bucket() {
+        let mut s = IndexedStore::new();
+        s.insert(tuple!("a", 1));
+        s.insert(tuple!("b"));
+        s.insert(tuple!("a", 2));
+        s.insert(tuple!("a", 3));
+        let sig = tuple!("a", 0).signature().stable_hash();
+        let moved = s.checkout_signature(sig);
+        assert_eq!(
+            moved,
+            vec![tuple!("a", 1), tuple!("a", 2), tuple!("a", 3)],
+            "oldest first"
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.signature_len(sig), 0);
+        assert_eq!(s.take(&pat!("a", ?int)), None);
+        // Absent signature checks out as empty.
+        assert!(s.checkout_signature(0xdead_beef).is_empty());
+        // Re-install preserves relative age; a miss cached while the
+        // bucket was away is invalidated by the re-insert.
+        for t in moved {
+            s.insert(t);
+        }
+        assert_eq!(s.take(&pat!("a", ?int)), Some(tuple!("a", 1)));
+        assert_eq!(s.take(&pat!("a", ?int)), Some(tuple!("a", 2)));
+        let census = s.signature_census();
+        let a = census
+            .iter()
+            .find(|c| c.signature.to_string() == "<str,int>")
+            .unwrap();
+        assert_eq!(a.high_water, 3, "checkout keeps occupancy history");
     }
 
     #[test]

@@ -21,6 +21,14 @@ echo "==> bench smoke (assertions only, no measurement)"
 BENCH_MSGS_PER_AGS_JSON="${BENCH_MSGS_PER_AGS_JSON:-$PWD/BENCH_msgs_per_ags.json}" \
     cargo bench -p linda-bench --bench batch_window -- --test
 cargo bench -p linda-bench --bench msgs_per_ags -- --test
+# shard_sweep runs K in {1,2,4} single-shard write traffic under the
+# 10 Mb-Ethernet NIC model (group commit off) and fails if K=4 does not
+# beat K=1 by at least SHARD_SWEEP_MIN_SPEEDUP (default 2x); it also
+# asserts the 2S+1 cross-shard multicast price and adds the shard_sweep
+# section to the same JSON artifact.
+BENCH_MSGS_PER_AGS_JSON="${BENCH_MSGS_PER_AGS_JSON:-$PWD/BENCH_msgs_per_ags.json}" \
+SHARD_SWEEP_MIN_SPEEDUP="${SHARD_SWEEP_MIN_SPEEDUP:-2}" \
+    cargo bench -p linda-bench --bench shard_sweep -- --test
 # match_probes compares probes-per-attempt for the indexed vs linear
 # store across hit / second-field hit / fresh miss / repeated miss and
 # writes the observatory's match-cost artifact. The bench asserts the

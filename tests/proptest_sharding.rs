@@ -1,0 +1,308 @@
+//! Property-based equivalence of sharded and unsharded deployments:
+//! for any interleaving of single-shard and cross-shard AGSs — including
+//! a crash + checkpoint/restore cycle — a K=2 cluster and a K=1 cluster
+//! fed the same program end in the same observable state: identical
+//! per-space canonical digests, identical AGS outcomes, and identical
+//! withdraw order within every signature bucket.
+//!
+//! Programs are materialized against a simple model (per-head tuple
+//! counts) so no generated guard can block forever; the same
+//! materialized program is then replayed on both clusters.
+
+use ftlinda::{Ags, Cluster, FtError, HostId, MatchField as MF, Operand, Runtime, TsId, TypeTag};
+use linda_tuple::{pat, tuple, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const INT_HEADS: [&str; 2] = ["n", "m"];
+const STR_HEADS: [&str; 2] = ["s", "t"];
+
+/// One raw generated step; materialization may drop steps whose guard
+/// the model says could block.
+#[derive(Debug, Clone)]
+enum RawOp {
+    /// `out(ts, head, v)` — `[Str, Int]`, single-shard.
+    OutInt { space: usize, head: usize, v: i64 },
+    /// `out(ts, head, "vK")` — `[Str, Str]`, the other shard of K=2.
+    OutStr { space: usize, head: usize, v: u8 },
+    /// Non-blocking withdraw of the oldest `[Str, Int]` match.
+    InpInt { space: usize, head: usize },
+    /// Non-blocking withdraw of the oldest `[Str, Str]` match.
+    InpStr { space: usize, head: usize },
+    /// Cross-shard: `⟨ in(head, ?int) ⇒ out("s", "moved") ⟩`; kept only
+    /// when the model guarantees the guard matches immediately.
+    CrossMove { space: usize, head: usize },
+    /// Cross-shard counter bump plus a `[Str, Str]` tick — the guard
+    /// tuple (`"ctr"`) always exists, so never blocks.
+    CrossIncr { space: usize },
+    /// Deterministic body failure spanning both signatures: the AGS
+    /// rolls back on every shard of both deployments.
+    CrossFail { space: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        3 => (0usize..2, 0usize..2, -5i64..6).prop_map(|(space, head, v)| RawOp::OutInt { space, head, v }),
+        3 => (0usize..2, 0usize..2, 0u8..4).prop_map(|(space, head, v)| RawOp::OutStr { space, head, v }),
+        2 => (0usize..2, 0usize..2).prop_map(|(space, head)| RawOp::InpInt { space, head }),
+        2 => (0usize..2, 0usize..2).prop_map(|(space, head)| RawOp::InpStr { space, head }),
+        2 => (0usize..2, 0usize..2).prop_map(|(space, head)| RawOp::CrossMove { space, head }),
+        2 => (0usize..2).prop_map(|space| RawOp::CrossIncr { space }),
+        1 => (0usize..2).prop_map(|space| RawOp::CrossFail { space }),
+    ]
+}
+
+/// Drop `CrossMove` steps whose guard could block (no `[head, int]`
+/// tuple in the model at that point); track the model through every
+/// other effect so later steps see the updated counts.
+fn materialize(raw: &[RawOp]) -> Vec<RawOp> {
+    let mut counts: HashMap<(usize, &'static str, usize), i64> = HashMap::new();
+    let mut program = Vec::with_capacity(raw.len());
+    for op in raw {
+        match *op {
+            RawOp::OutInt { space, head, .. } => {
+                *counts.entry((space, "i", head)).or_default() += 1;
+            }
+            RawOp::OutStr { space, head, .. } => {
+                *counts.entry((space, "s", head)).or_default() += 1;
+            }
+            RawOp::InpInt { space, head } => {
+                let c = counts.entry((space, "i", head)).or_default();
+                *c = (*c - 1).max(0);
+            }
+            RawOp::InpStr { space, head } => {
+                let c = counts.entry((space, "s", head)).or_default();
+                *c = (*c - 1).max(0);
+            }
+            RawOp::CrossMove { space, head } => {
+                let c = counts.entry((space, "i", head)).or_default();
+                if *c == 0 {
+                    continue; // would block — skip in both runs
+                }
+                *c -= 1;
+                *counts.entry((space, "s", 0)).or_default() += 1;
+            }
+            RawOp::CrossIncr { space } => {
+                *counts.entry((space, "s", 1)).or_default() += 1;
+            }
+            RawOp::CrossFail { .. } => {} // rolls back: no model effect
+        }
+        program.push(op.clone());
+    }
+    program
+}
+
+/// Observable result of one step, compared across deployments.
+#[derive(Debug, Clone, PartialEq)]
+enum StepResult {
+    Tuple(Option<Tuple>),
+    Bindings(Vec<Value>),
+    Err(FtError),
+}
+
+fn cross_move_ags(ts: TsId, head: usize) -> Ags {
+    Ags::builder()
+        .guard_in(
+            ts,
+            vec![MF::actual(INT_HEADS[head]), MF::bind(TypeTag::Int)],
+        )
+        .out(ts, vec![Operand::cst("s"), Operand::cst("moved")])
+        .build()
+        .unwrap()
+}
+
+fn cross_incr_ags(ts: TsId) -> Ags {
+    Ags::builder()
+        .guard_in(ts, vec![MF::actual("ctr"), MF::bind(TypeTag::Int)])
+        .out(ts, vec![Operand::cst("ctr"), Operand::formal(0).add(1)])
+        .out(ts, vec![Operand::cst("t"), Operand::cst("tick")])
+        .build()
+        .unwrap()
+}
+
+fn cross_fail_ags(ts: TsId) -> Ags {
+    Ags::builder()
+        .guard_true()
+        .out(ts, vec![Operand::cst("s"), Operand::cst("ghost")])
+        .in_(ts, vec![MF::actual("n"), MF::actual(99_999i64)])
+        .build()
+        .unwrap()
+}
+
+fn run_step(rt: &Runtime, spaces: &[TsId], op: &RawOp) -> StepResult {
+    match *op {
+        RawOp::OutInt { space, head, v } => {
+            rt.out(spaces[space], tuple!(INT_HEADS[head], v)).unwrap();
+            StepResult::Tuple(None)
+        }
+        RawOp::OutStr { space, head, v } => {
+            rt.out(spaces[space], tuple!(STR_HEADS[head], format!("v{v}")))
+                .unwrap();
+            StepResult::Tuple(None)
+        }
+        RawOp::InpInt { space, head } => {
+            StepResult::Tuple(rt.inp(spaces[space], &pat!(INT_HEADS[head], ?int)).unwrap())
+        }
+        RawOp::InpStr { space, head } => {
+            StepResult::Tuple(rt.inp(spaces[space], &pat!(STR_HEADS[head], ?str)).unwrap())
+        }
+        RawOp::CrossMove { space, head } => {
+            match rt.execute(&cross_move_ags(spaces[space], head)) {
+                Ok(out) => StepResult::Bindings(out.bindings),
+                Err(e) => StepResult::Err(e),
+            }
+        }
+        RawOp::CrossIncr { space } => match rt.execute(&cross_incr_ags(spaces[space])) {
+            Ok(out) => StepResult::Bindings(out.bindings),
+            Err(e) => StepResult::Err(e),
+        },
+        RawOp::CrossFail { space } => match rt.execute(&cross_fail_ags(spaces[space])) {
+            Ok(out) => StepResult::Bindings(out.bindings),
+            Err(e) => StepResult::Err(e),
+        },
+    }
+}
+
+struct Deployment {
+    cluster: Cluster,
+    rts: Vec<Runtime>,
+    spaces: Vec<TsId>,
+    restarted: Option<Runtime>,
+}
+
+impl Deployment {
+    fn launch(shards: u32) -> Deployment {
+        let (cluster, rts) = Cluster::builder()
+            .hosts(3)
+            .shards(shards)
+            .checkpoint_every(8)
+            .build();
+        let spaces = vec![
+            rts[0].create_stable_ts("alpha").unwrap(),
+            rts[0].create_stable_ts("beta").unwrap(),
+        ];
+        for &ts in &spaces {
+            rts[0].out(ts, tuple!("ctr", 0)).unwrap();
+        }
+        Deployment {
+            cluster,
+            rts,
+            spaces,
+            restarted: None,
+        }
+    }
+
+    /// Crash host 2, absorb the deterministic failure tuples (so their
+    /// transient bucket positions cannot skew the digest comparison),
+    /// and restart — exercising per-shard log replay / checkpoint
+    /// restore on the way back.
+    fn crash_restart_cycle(&mut self) {
+        self.cluster.crash(HostId(2));
+        for &ts in &self.spaces {
+            let f = self.rts[0].in_(ts, &pat!("failure", 2)).unwrap();
+            assert_eq!(f, tuple!("failure", 2));
+        }
+        self.restarted = Some(self.cluster.restart(HostId(2)));
+    }
+
+    /// Drain every signature bucket via head-anchored `inp`, recording
+    /// the withdraw order.
+    fn drain(&self) -> Vec<(usize, String, Tuple)> {
+        let mut order = Vec::new();
+        for (i, &ts) in self.spaces.iter().enumerate() {
+            for head in INT_HEADS {
+                while let Some(t) = self.rts[0].inp(ts, &pat!(head, ?int)).unwrap() {
+                    order.push((i, head.to_string(), t));
+                }
+            }
+            for head in STR_HEADS {
+                while let Some(t) = self.rts[0].inp(ts, &pat!(head, ?str)).unwrap() {
+                    order.push((i, head.to_string(), t));
+                }
+            }
+        }
+        order
+    }
+}
+
+proptest! {
+    // Each case runs two live clusters (one of them doubly-sharded), so
+    // keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The equivalence property: same program, same observable history,
+    /// K=2 vs K=1 — through a crash + restore in the middle.
+    #[test]
+    fn sharded_equals_unsharded(
+        raw in proptest::collection::vec(arb_op(), 1..14),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let program = materialize(&raw);
+        let cut = ((program.len() as f64) * cut_frac) as usize;
+
+        let mut sharded = Deployment::launch(2);
+        let mut flat = Deployment::launch(1);
+        prop_assert_eq!(sharded.rts[0].shard_count(), 2);
+        prop_assert_eq!(flat.rts[0].shard_count(), 1);
+        prop_assert_eq!(&sharded.spaces, &flat.spaces);
+
+        let mut results_sharded = Vec::new();
+        let mut results_flat = Vec::new();
+        for (i, op) in program.iter().enumerate() {
+            if i == cut {
+                sharded.crash_restart_cycle();
+                flat.crash_restart_cycle();
+            }
+            results_sharded.push(run_step(&sharded.rts[0], &sharded.spaces, op));
+            results_flat.push(run_step(&flat.rts[0], &flat.spaces, op));
+        }
+        if cut >= program.len() {
+            sharded.crash_restart_cycle();
+            flat.crash_restart_cycle();
+        }
+
+        // Step-by-step observable equality.
+        prop_assert_eq!(&results_sharded, &results_flat);
+
+        // The restarted replica converges shard-by-shard to the state
+        // the survivors hold.
+        for dep in [&sharded, &flat] {
+            let revived = dep.restarted.as_ref().unwrap();
+            for shard in 0..dep.rts[0].shard_count() {
+                let seq = dep.rts[0].applied_seqs()[shard];
+                prop_assert!(
+                    revived.wait_applied_shard(shard, seq, Duration::from_secs(10)),
+                    "shard {shard}: restarted host never caught up"
+                );
+            }
+            for &ts in &dep.spaces {
+                prop_assert_eq!(
+                    revived.canonical_space_digest(ts),
+                    dep.rts[0].canonical_space_digest(ts)
+                );
+            }
+        }
+
+        // Canonical per-space digests agree across deployments…
+        for (&a, &b) in sharded.spaces.iter().zip(&flat.spaces) {
+            prop_assert_eq!(
+                sharded.rts[0].canonical_space_digest(a),
+                flat.rts[0].canonical_space_digest(b),
+                "space {} digest diverged between K=2 and K=1", a.0
+            );
+        }
+        // …the counter agrees…
+        for (&a, &b) in sharded.spaces.iter().zip(&flat.spaces) {
+            prop_assert_eq!(
+                sharded.rts[0].rd(a, &pat!("ctr", ?int)).unwrap(),
+                flat.rts[0].rd(b, &pat!("ctr", ?int)).unwrap()
+            );
+        }
+        // …and so does the withdraw order of every signature bucket.
+        prop_assert_eq!(sharded.drain(), flat.drain());
+
+        sharded.cluster.shutdown();
+        flat.cluster.shutdown();
+    }
+}
