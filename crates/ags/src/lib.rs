@@ -38,5 +38,5 @@ mod wire;
 pub use ags_mod::{Ags, AgsBuilder, AgsError, AgsOutcome, Branch, Guard};
 pub use expr::{apply, EvalCtx, EvalError, Func, Operand};
 pub use ops::{resolve_pattern, resolve_template, BodyOp, MatchField, ScratchId, SpaceRef, TsId};
-pub use shard::{shard_of, shard_set, static_keys, ShardKey};
+pub use shard::{imbalance_bp, shard_of, shard_set, static_keys, ShardKey};
 pub use wire::{decode_ags, encode_ags, get_ags, put_ags, WireError};

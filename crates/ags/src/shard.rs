@@ -106,6 +106,29 @@ pub fn static_keys(ags: &Ags) -> Option<Vec<ShardKey>> {
     Some(keys)
 }
 
+/// Load imbalance of a K-way partition in integer basis points, from
+/// per-shard load counts (tuples, AGSs, expected multicasts — any
+/// non-negative load measure).
+///
+/// `0` means a perfectly even spread (every shard carries `1/K` of the
+/// total), `10000` means everything landed on one shard. The formula
+/// normalizes the heaviest shard's excess share over the best possible
+/// share: `10000 · (max_i(load_i/total) − 1/K) / (1 − 1/K)`. Degenerate
+/// inputs — no load, a single shard, an empty slice — read `0`: there
+/// is nothing to rebalance.
+pub fn imbalance_bp(loads: &[u64]) -> i64 {
+    let k = loads.len() as u64;
+    let total: u64 = loads.iter().sum();
+    if k <= 1 || total == 0 {
+        return 0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let share = max / total as f64;
+    let floor = 1.0 / k as f64;
+    let bp = 10_000.0 * (share - floor) / (1.0 - floor);
+    (bp.round() as i64).clamp(0, 10_000)
+}
+
 /// The sorted, deduplicated set of shards `ags` touches under a K-way
 /// partition, or `None` if it cannot be determined statically. An empty
 /// set (pure-scratch AGS) and a singleton both admit single-shard
@@ -245,6 +268,22 @@ mod tests {
             .unwrap();
         assert_eq!(static_keys(&ags), None);
         assert_eq!(shard_set(&ags, 2), None);
+    }
+
+    #[test]
+    fn imbalance_bp_spans_even_to_degenerate() {
+        assert_eq!(imbalance_bp(&[]), 0, "no shards");
+        assert_eq!(imbalance_bp(&[7]), 0, "K=1 cannot be imbalanced");
+        assert_eq!(imbalance_bp(&[0, 0, 0, 0]), 0, "no load");
+        assert_eq!(imbalance_bp(&[25, 25, 25, 25]), 0, "perfectly even");
+        assert_eq!(imbalance_bp(&[100, 0, 0, 0]), 10_000, "all on one shard");
+        assert_eq!(imbalance_bp(&[100, 0]), 10_000);
+        // Max share 1/2 at K=4: (0.5 − 0.25) / 0.75 = 1/3 → 3333 bp.
+        assert_eq!(imbalance_bp(&[50, 30, 10, 10]), 3333);
+        // Mild skew stays small; monotone in the heaviest share.
+        let mild = imbalance_bp(&[26, 25, 25, 24]);
+        assert!(mild > 0 && mild < 200, "mild skew reads small: {mild}");
+        assert!(imbalance_bp(&[40, 20, 20, 20]) > mild);
     }
 
     #[test]

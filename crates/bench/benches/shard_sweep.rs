@@ -70,6 +70,11 @@ struct Point {
     shards: u32,
     ags: u64,
     multicasts: u64,
+    /// Ordered multicasts carried by each shard's sequencer stream.
+    per_shard: Vec<u64>,
+    /// Load imbalance across those streams, in basis points (0 =
+    /// perfectly even, 10000 = everything on one shard).
+    imbalance_bp: i64,
     ags_per_sec: f64,
 }
 
@@ -108,14 +113,17 @@ fn run_shards(shards: u32, arities: &[(usize, u32)]) -> Point {
         }
     });
     let secs = t0.elapsed().as_secs_f64();
-    let multicasts: u64 = (0..cluster.shard_count())
+    let per_shard: Vec<u64> = (0..cluster.shard_count())
         .map(|s| cluster.order_stats_shard(s).ordered_multicasts())
-        .sum();
+        .collect();
+    let multicasts: u64 = per_shard.iter().sum();
     let ags = (SUBMITTERS * PER_SUBMITTER) as u64;
     let point = Point {
         shards,
         ags,
         multicasts,
+        imbalance_bp: ftlinda_ags::imbalance_bp(&per_shard),
+        per_shard,
         ags_per_sec: ags as f64 / secs,
     };
     cluster.shutdown();
@@ -176,6 +184,32 @@ fn write_artifact(points: &[Point], speedup: f64) {
     linda_bench::update_artifact_sections(&path, &[("shard_sweep", json)]);
 }
 
+/// Per-shard load census of the sweep: how evenly each K spread the
+/// ordered-multicast traffic over its sequencer streams, with the same
+/// basis-point imbalance gauge the cluster exports at runtime.
+fn write_balance_artifact(points: &[Point]) {
+    let mut json = String::from("{\n    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let loads = p
+            .per_shard
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            json,
+            "      {{\"shards\": {}, \"per_shard_multicasts\": [{loads}], \
+             \"imbalance_bp\": {}}}{comma}",
+            p.shards, p.imbalance_bp,
+        );
+    }
+    let _ = write!(json, "    ]\n  }}");
+    let path = std::env::var("BENCH_SHARD_BALANCE_JSON")
+        .unwrap_or_else(|_| "BENCH_shard_balance.json".into());
+    linda_bench::update_artifact_sections(&path, &[("shard_balance", json)]);
+}
+
 fn bench(c: &mut Criterion) {
     // Pin the signature set once; space ids are deterministic, so the
     // first created space is the same id in every cluster below.
@@ -192,8 +226,8 @@ fn bench(c: &mut Criterion) {
          {HOSTS} hosts, window off, 10 Mb-Ethernet NIC model:"
     );
     println!(
-        "    {:<8} {:>8} {:>12} {:>12} {:>10}",
-        "shards", "AGSs", "multicasts", "AGS/sec", "speedup"
+        "    {:<8} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "shards", "AGSs", "multicasts", "AGS/sec", "speedup", "imbalance"
     );
     let mut points = Vec::new();
     for shards in [1u32, 2, 4] {
@@ -206,8 +240,8 @@ fn bench(c: &mut Criterion) {
                 .first()
                 .map_or(p.ags_per_sec, |b: &Point| b.ags_per_sec);
         println!(
-            "    {:<8} {:>8} {:>12} {:>12.0} {:>9.2}x",
-            p.shards, p.ags, p.multicasts, p.ags_per_sec, speedup
+            "    {:<8} {:>8} {:>12} {:>12.0} {:>9.2}x {:>9} bp",
+            p.shards, p.ags, p.multicasts, p.ags_per_sec, speedup, p.imbalance_bp
         );
         points.push(p);
     }
@@ -226,6 +260,7 @@ fn bench(c: &mut Criterion) {
     assert_eq!(xcost, 5, "lock×2 + exec + release×2");
     println!();
     write_artifact(&points, speedup);
+    write_balance_artifact(&points);
 
     // Criterion angle: one contended 8-submitter burst, K=1 vs K=4.
     let mut g = c.benchmark_group("shard_sweep");

@@ -128,6 +128,22 @@ impl OrderStats {
         self.batch_entries.load(Ordering::Relaxed)
     }
 
+    /// Name/value snapshot of every counter, in declaration order. One
+    /// sequencer lane = one `OrderStats`, so a sharded deployment turns
+    /// each row into a labeled family child (e.g. `{shard="1"}`) without
+    /// hand-listing the fields at every call site.
+    pub fn census(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("broadcasts", self.broadcasts()),
+            ("delivered", self.delivered()),
+            ("view_changes", self.view_changes()),
+            ("retransmits", self.retransmits()),
+            ("ordered_multicasts", self.ordered_multicasts()),
+            ("batches", self.batches()),
+            ("batch_entries", self.batch_entries()),
+        ]
+    }
+
     /// Zero every counter (between benchmark phases).
     pub fn reset(&self) {
         self.broadcasts.store(0, Ordering::Relaxed);
@@ -171,6 +187,10 @@ mod tests {
         assert_eq!(s.ordered_multicasts(), 1);
         assert_eq!(s.batches(), 1);
         assert_eq!(s.batch_entries(), 3);
+        let census = s.census();
+        assert_eq!(census.len(), 7);
+        assert!(census.contains(&("ordered_multicasts", 1)));
+        assert!(census.contains(&("delivered", 2)));
         s.reset();
         assert_eq!(s.broadcasts(), 0);
         assert_eq!(s.ordered_multicasts(), 0);

@@ -53,6 +53,7 @@ pub struct ClusterBuilder {
     push: Option<(String, Duration)>,
     store: StoreConfig,
     store_overrides: Vec<(u64, StoreConfig)>,
+    timeseries: Option<(Duration, usize)>,
 }
 
 impl Default for ClusterBuilder {
@@ -72,6 +73,7 @@ impl Default for ClusterBuilder {
             push: None,
             store: StoreConfig::default(),
             store_overrides: Vec::new(),
+            timeseries: Some((Duration::from_secs(1), 512)),
         }
     }
 }
@@ -254,6 +256,35 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sampling interval of the in-memory metrics time-series ring
+    /// (default 1 s). Every tick a background thread snapshots selected
+    /// cluster gauges/counters — per-shard tuples, AGS totals, abort and
+    /// retry counters, ordered multicasts, the load-imbalance gauge —
+    /// into a bounded ring served as `/timeseries` on every member's
+    /// exporter and included in flight-recorder dumps.
+    pub fn timeseries_interval(mut self, interval: Duration) -> Self {
+        let cap = self.timeseries.map_or(512, |(_, c)| c);
+        self.timeseries = Some((interval.max(Duration::from_millis(10)), cap));
+        self
+    }
+
+    /// Capacity of the time-series ring in snapshots (default 512). When
+    /// full, the oldest snapshot is evicted; `/timeseries` reports how
+    /// many were dropped.
+    pub fn timeseries_capacity(mut self, cap: usize) -> Self {
+        let interval = self.timeseries.map_or(Duration::from_secs(1), |(i, _)| i);
+        self.timeseries = Some((interval, cap.max(2)));
+        self
+    }
+
+    /// Disable the time-series sampler: no sampler thread, `/timeseries`
+    /// answers 404, and the per-shard multicast/imbalance cluster gauges
+    /// stay at their defaults.
+    pub fn no_timeseries(mut self) -> Self {
+        self.timeseries = None;
+        self
+    }
+
     /// Enable the flight recorder: on `digest_divergence`,
     /// `coordinator_failover` or `rejoin_failed` events, dump event
     /// rings, recent spans, order stats and per-member digests into
@@ -300,6 +331,9 @@ impl ClusterBuilder {
         let flight = self.flight_dir.map(|dir| {
             Arc::new(FlightRecorder::new(dir).expect("create flight recorder directory"))
         });
+        let timeseries = self
+            .timeseries
+            .map(|(_, cap)| Arc::new(linda_obs::TimeSeriesRing::with_capacity(cap)));
         let cluster = Cluster {
             groups,
             runtimes: Arc::new(Mutex::new(by_host)),
@@ -310,10 +344,15 @@ impl ClusterBuilder {
             flight,
             monitor: Mutex::new(None),
             pusher: Mutex::new(None),
+            sampler: Mutex::new(None),
+            timeseries,
             run_cfg,
         };
         if let Some(period) = self.divergence_period {
             cluster.spawn_detector(period);
+        }
+        if let Some((interval, _)) = self.timeseries {
+            cluster.spawn_sampler(interval);
         }
         if self.http {
             cluster.spawn_exporters(self.http_base_port);
@@ -348,6 +387,10 @@ pub struct Cluster {
     monitor: Mutex<Option<JoinHandle<()>>>,
     /// Push-gateway thread, when push mode was configured.
     pusher: Mutex<Option<JoinHandle<()>>>,
+    /// Time-series sampler thread, unless `no_timeseries`.
+    sampler: Mutex<Option<JoinHandle<()>>>,
+    /// Bounded ring of periodic metric snapshots (`/timeseries`).
+    timeseries: Option<Arc<linda_obs::TimeSeriesRing>>,
     /// Observability configuration every runtime (including restarted
     /// incarnations) is built with.
     run_cfg: RuntimeConfig,
@@ -511,6 +554,11 @@ impl Cluster {
                     aggregate_metrics(&runtimes.lock(), &obs, &live)
                 }) as Arc<dyn Fn() -> String + Send + Sync>
             };
+            let timeseries = {
+                let ring = self.timeseries.clone();
+                Arc::new(move || ring.as_ref().map(|r| r.to_json()))
+                    as Arc<dyn Fn() -> Option<String> + Send + Sync>
+            };
             match HttpExporter::spawn(
                 port,
                 ExporterSources {
@@ -520,6 +568,7 @@ impl Cluster {
                     trace,
                     introspect,
                     cluster_metrics,
+                    timeseries,
                 },
             ) {
                 Ok(exp) => {
@@ -588,11 +637,11 @@ impl Cluster {
                     // Snapshot the texts first so no lock is held during
                     // network I/O.
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
-                    let mut pages: Vec<(String, String)> = {
+                    let pages: Vec<(String, String)> = {
                         let map = runtimes.lock();
                         let mut hosts: Vec<&HostId> = map.keys().collect();
                         hosts.sort_by_key(|h| h.0);
-                        hosts
+                        let mut pages: Vec<(String, String)> = hosts
                             .into_iter()
                             .filter(|h| live.contains(h))
                             .map(|h| {
@@ -601,9 +650,18 @@ impl Cluster {
                                     map[h].metrics_text(),
                                 )
                             })
-                            .collect()
+                            .collect();
+                        // The base-URL page is the merged cluster view,
+                        // not the bare cluster registry: merging keeps
+                        // the members' shard-labeled family children, so
+                        // the gateway sees the same per-shard series as
+                        // /metrics/cluster.
+                        pages.push((
+                            url.trim_end_matches('/').to_string(),
+                            aggregate_metrics(&map, &obs, &live),
+                        ));
+                        pages
                     };
-                    pages.push((url.trim_end_matches('/').to_string(), obs.render()));
                     for (target, body) in pages {
                         match http_post_metrics(&target, &body) {
                             Ok(status) if (200..300).contains(&status) => pushes.inc(),
@@ -635,6 +693,98 @@ impl Cluster {
         *self.pusher.lock() = Some(handle);
     }
 
+    /// Time-series sampler: every `interval`, refresh the cluster-level
+    /// per-shard gauges (ordered multicasts per lane, tuple-load
+    /// imbalance) and append one snapshot of the selected series to the
+    /// bounded ring served as `/timeseries`.
+    fn spawn_sampler(&self, interval: Duration) {
+        let Some(ring) = self.timeseries.clone() else {
+            return;
+        };
+        let runtimes = self.runtimes.clone();
+        let obs = self.obs.clone();
+        let net = self.groups[0].net().clone();
+        // Per-shard ordered-multicast counts are sampled from the
+        // sequencer groups directly: OrderStats is ONE object per group,
+        // so reading it here avoids multiplying by the replica count the
+        // way a per-member mirror would under snapshot merging.
+        let stats: Vec<Arc<consul_sim::OrderStats>> =
+            self.groups.iter().map(|g| g.stats_handle()).collect();
+        let stop = self.stop.clone();
+        let shard_multicasts = obs.gauge_family(
+            "ftlinda_shard_multicasts_total",
+            "Ordered multicasts issued on each shard's sequencer lane (sampled)",
+        );
+        let imbalance = obs.gauge_merged(
+            "ftlinda_shard_imbalance_bp",
+            "Heaviest shard's excess tuple share in basis points (0 even, 10000 one shard)",
+            linda_obs::GaugeMerge::Max,
+        );
+        let handle = std::thread::Builder::new()
+            .name("ftlinda-timeseries".into())
+            .spawn(move || {
+                while !stop.load(AtomicOrdering::Relaxed) {
+                    std::thread::sleep(interval);
+                    for (i, s) in stats.iter().enumerate() {
+                        shard_multicasts
+                            .with(&[("shard", &i.to_string())])
+                            .set(i64::try_from(s.ordered_multicasts()).unwrap_or(i64::MAX));
+                    }
+                    let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    let snap = {
+                        let map = runtimes.lock();
+                        let mut snap = obs.snapshot();
+                        for rt in map
+                            .iter()
+                            .filter(|(h, _)| live.contains(h))
+                            .map(|(_, rt)| rt)
+                        {
+                            snap.merge(&rt.metrics_snapshot());
+                        }
+                        snap
+                    };
+                    // Tuple loads per shard, summed over replicas — the
+                    // replication factor is uniform, so the imbalance
+                    // ratio is unchanged by the sum.
+                    let loads: Vec<u64> = snap
+                        .gauge_family("ftlinda_shard_tuples")
+                        .map(|children| children.values().map(|v| (*v).max(0) as u64).collect())
+                        .unwrap_or_default();
+                    imbalance.set(ftlinda_ags::imbalance_bp(&loads));
+                    let mut values = snap.series(
+                        &[
+                            "ftlinda_ags_completions_total",
+                            "ftlinda_stable_tuples",
+                            "ftlinda_blocked_ags",
+                            "ftlinda_ags_starving_total",
+                        ],
+                        &[
+                            "ftlinda_shard_tuples",
+                            "ftlinda_shard_ags_total",
+                            "ftlinda_shard_multicasts_total",
+                            "ftlinda_xcommit_aborts_total",
+                            "ftlinda_xcommit_retries_total",
+                            "ftlinda_xlock_buffered_total",
+                        ],
+                    );
+                    values.push((
+                        "ftlinda_shard_imbalance_bp".to_string(),
+                        ftlinda_ags::imbalance_bp(&loads),
+                    ));
+                    ring.sample(values);
+                }
+            })
+            .expect("spawn time-series sampler");
+        *self.sampler.lock() = Some(handle);
+    }
+
+    /// The in-memory metrics time-series ring, unless disabled with
+    /// [`ClusterBuilder::no_timeseries`]. Serialized as `/timeseries` on
+    /// every member's exporter.
+    pub fn timeseries(&self) -> Option<Arc<linda_obs::TimeSeriesRing>> {
+        self.timeseries.clone()
+    }
+
     /// The flight-recorder dump directory, when one was configured.
     pub fn flight_dir(&self) -> Option<PathBuf> {
         self.flight.as_ref().map(|f| f.dir().to_path_buf())
@@ -652,6 +802,7 @@ impl Cluster {
             &self.obs,
             self.groups[0].stats(),
             &live,
+            self.timeseries.as_deref(),
         );
         Some(flight.dump(reason, &sections))
     }
@@ -665,6 +816,7 @@ impl Cluster {
         let stats = self.groups[0].stats_handle();
         let net = self.groups[0].net().clone();
         let stop = self.stop.clone();
+        let ring = self.timeseries.clone();
         let handle = std::thread::Builder::new()
             .name("ftlinda-flight".into())
             .spawn(move || {
@@ -698,7 +850,8 @@ impl Cluster {
                     }
                     if let Some(reason) = fire {
                         let live: Vec<HostId> = net.live_hosts();
-                        let sections = flight_sections(&runtimes.lock(), &obs, &stats, &live);
+                        let sections =
+                            flight_sections(&runtimes.lock(), &obs, &stats, &live, ring.as_deref());
                         let _ = flight.dump(reason, &sections);
                     }
                 }
@@ -780,6 +933,9 @@ impl Cluster {
             let _ = h.join();
         }
         if let Some(h) = self.pusher.lock().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sampler.lock().take() {
             let _ = h.join();
         }
         for (_, mut exp) in self.exporters.lock().drain() {
@@ -890,6 +1046,7 @@ fn flight_sections(
     obs: &linda_obs::Registry,
     stats: &consul_sim::OrderStats,
     live: &[HostId],
+    timeseries: Option<&linda_obs::TimeSeriesRing>,
 ) -> Vec<FlightSection> {
     let live_set: HashSet<HostId> = live.iter().copied().collect();
     let mut hosts: Vec<HostId> = runtimes.keys().copied().collect();
@@ -930,6 +1087,9 @@ fn flight_sections(
             stats.batch_entries()
         ),
     ));
+    if let Some(ring) = timeseries {
+        sections.push(FlightSection::new("timeseries", ring.to_json()));
+    }
     sections
 }
 

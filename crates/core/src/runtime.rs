@@ -29,7 +29,9 @@
 use crate::error::FtError;
 use consul_sim::{HostId, LocalId, SeqMember};
 use crossbeam::channel::{Receiver, Sender};
-use ftlinda_ags::{shard_of, static_keys, Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
+use ftlinda_ags::{
+    imbalance_bp, shard_of, static_keys, Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId,
+};
 use ftlinda_kernel::{
     encode_request, IntrospectReport, Kernel, KernelNote, Request, ShardSpec, SigBucket,
     StoreConfig, XStageResult,
@@ -137,6 +139,9 @@ struct Shared {
     hist_notify: Arc<linda_obs::Histogram>,
     hist_total: Arc<linda_obs::Histogram>,
     completions: Arc<linda_obs::Counter>,
+    /// Cross-shard commit attempts this origin re-drove after a
+    /// `Blocked` stage, labeled by the home shard that refused.
+    xcommit_retries: Arc<linda_obs::CounterFamily>,
 }
 
 /// Handle to the FT-Linda runtime on one host. Cloneable; clones share
@@ -195,6 +200,10 @@ impl Runtime {
             "ftlinda_ags_completions_total",
             "AGS/CreateTs completions routed to local clients",
         );
+        let xcommit_retries = obs0.counter_family(
+            "ftlinda_xcommit_retries_total",
+            "Cross-shard commits re-driven after a Blocked stage, by home shard",
+        );
         let spans = obs0.spans_handle();
         let mut lanes = Vec::with_capacity(members.len());
         let mut note_rxs = Vec::with_capacity(members.len());
@@ -230,6 +239,7 @@ impl Runtime {
             hist_notify,
             hist_total,
             completions,
+            xcommit_retries,
         });
         let rt = Runtime {
             host,
@@ -392,6 +402,13 @@ impl Runtime {
     /// kernel's sweep so blocked AGSs whose age crosses the threshold
     /// surface as `ags_starving` events without anyone polling
     /// `/introspect`.
+    ///
+    /// Shard-aware in three phases so no two kernel locks are ever held
+    /// at once: collect each lane's foreign guard keys, resolve their
+    /// occupancy against the owning lanes, then sweep each lane with the
+    /// resolved map — nearest-miss counts are attributed to the shard
+    /// that actually stores the bucket, not read as zero from the lane
+    /// where the AGS happens to be queued.
     fn spawn_watchdog(&self, threshold: Duration) {
         let shared = self.shared.clone();
         let host = self.host;
@@ -403,12 +420,35 @@ impl Runtime {
             .spawn(move || {
                 while shared.alive.load(AtomicOrdering::Relaxed) {
                     std::thread::sleep(period);
-                    for lane in &shared.lanes {
-                        lane.kernel.lock().starvation_sweep(threshold);
-                    }
+                    Self::sweep_lanes(&shared, threshold);
                 }
             })
             .expect("spawn starvation watchdog");
+    }
+
+    /// One shard-aware watchdog pass over every lane (see
+    /// [`Runtime::spawn_watchdog`] for the three-phase locking rationale).
+    fn sweep_lanes(shared: &Shared, threshold: Duration) -> Vec<ftlinda_kernel::StarvationReport> {
+        let mut wanted: Vec<(u32, TsId, u64)> = Vec::new();
+        for lane in &shared.lanes {
+            wanted.extend(lane.kernel.lock().blocked_foreign_keys());
+        }
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut resolved: BTreeMap<(u32, TsId, u64), usize> = BTreeMap::new();
+        for &(owner, ts, sig) in &wanted {
+            if let Some(lane) = shared.lanes.get(owner as usize) {
+                resolved.insert((owner, ts, sig), lane.kernel.lock().signature_len(ts, sig));
+            }
+        }
+        let peer = |owner: u32, ts: TsId, sig: u64| -> usize {
+            resolved.get(&(owner, ts, sig)).copied().unwrap_or(0)
+        };
+        let mut out = Vec::new();
+        for lane in &shared.lanes {
+            out.extend(lane.kernel.lock().starvation_sweep_with(threshold, &peer));
+        }
+        out
     }
 
     fn publish(shared: &Shared, ev: FtEvent) {
@@ -539,10 +579,26 @@ impl Runtime {
                 .push((ts.0, *sig));
         }
         let home = *by_shard.keys().next().expect("cross-shard key set");
+        let shard_list = by_shard
+            .keys()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let mut backoff = Duration::from_micros(200);
+        let mut attempt: u32 = 0;
         loop {
+            attempt += 1;
             let xid = (u64::from(self.host.0) << 48)
                 | self.shared.next_xid.fetch_add(1, AtomicOrdering::Relaxed);
+            self.xspan_origin(
+                xid,
+                "xbegin",
+                vec![
+                    ("attempt".into(), attempt.to_string()),
+                    ("shards".into(), shard_list.clone()),
+                    ("home".into(), home.to_string()),
+                ],
+            );
             // Leg 1: check out every shard's buckets, ascending.
             let mut foreign: Vec<SigBucket> = Vec::new();
             for (&s, ks) in by_shard.iter() {
@@ -586,11 +642,40 @@ impl Runtime {
                 }
             }
             match result {
-                XStageResult::Fired(o) => return Ok(o),
-                XStageResult::Failed(e) => return Err(FtError::Exec(e)),
+                XStageResult::Fired(o) => {
+                    self.xspan_origin(
+                        xid,
+                        "xcommit",
+                        vec![("attempts".into(), attempt.to_string())],
+                    );
+                    return Ok(o);
+                }
+                XStageResult::Failed(e) => {
+                    self.xspan_origin(
+                        xid,
+                        "xabort",
+                        vec![
+                            ("cause".into(), "body_failure".into()),
+                            ("attempts".into(), attempt.to_string()),
+                        ],
+                    );
+                    return Err(FtError::Exec(e));
+                }
                 XStageResult::Blocked => {
+                    self.shared
+                        .xcommit_retries
+                        .with(&[("shard", &home.to_string())])
+                        .inc();
                     if let Some(d) = deadline {
                         if Instant::now() >= d {
+                            self.xspan_origin(
+                                xid,
+                                "xabort",
+                                vec![
+                                    ("cause".into(), "blocked_retry".into()),
+                                    ("attempts".into(), attempt.to_string()),
+                                ],
+                            );
                             return Err(FtError::Timeout);
                         }
                     }
@@ -599,6 +684,22 @@ impl Runtime {
                 }
             }
         }
+    }
+
+    /// Record an origin-side span on the transaction trace of cross-shard
+    /// commit `xid`. Origin spans carry no `shard` field: the per-shard
+    /// lanes of the assembled tree are the participants, and the origin's
+    /// xbegin/xcommit/xabort bracket them.
+    fn xspan_origin(&self, xid: u64, stage: &str, fields: Vec<(String, String)>) {
+        let mut fields = fields;
+        fields.push(("xid".into(), xid.to_string()));
+        self.shared.spans.push(linda_obs::SpanRecord {
+            trace: linda_obs::TraceId::for_xid(xid),
+            stage: stage.into(),
+            host: self.host.0,
+            at_micros: linda_obs::now_micros(),
+            fields,
+        });
     }
 
     // ----- stable tuple spaces -------------------------------------------
@@ -894,18 +995,34 @@ impl Runtime {
             let r = self.introspect()?;
             return Some(report_json(&r, top_k));
         }
+        let reports: Vec<IntrospectReport> = (0..shards)
+            .map(|s| self.introspect_shard(s))
+            .collect::<Option<Vec<_>>>()?;
+        // Load census: tuples stored per shard (summed over spaces from
+        // the per-signature occupancy each report already carries), and
+        // the heaviest shard's excess share in integer basis points.
+        let loads: Vec<u64> = reports
+            .iter()
+            .map(|r| r.spaces.iter().map(|sp| sp.tuples as u64).sum())
+            .collect();
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
-            "{{\"host\":{},\"shards\":{},\"shard_reports\":[",
-            self.host.0, shards
+            "{{\"host\":{},\"shards\":{},\"shard_census\":{{\"tuples\":[{}],\"imbalance_bp\":{}}},\"shard_reports\":[",
+            self.host.0,
+            shards,
+            loads
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            imbalance_bp(&loads),
         ));
-        for s in 0..shards {
-            let r = self.introspect_shard(s)?;
+        for (s, r) in reports.iter().enumerate() {
             if s > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{{\"shard\":{},\"report\":", s));
-            let body = report_json(&r, top_k);
+            out.push_str(&format!("{{\"shard\":{s},\"report\":"));
+            let body = report_json(r, top_k);
             out.push_str(body.trim_end());
             out.push('}');
         }
@@ -915,13 +1032,10 @@ impl Runtime {
 
     /// Run one starvation-watchdog sweep now over every shard's kernel
     /// (the background thread does this periodically; tests and
-    /// operators can force a pass).
+    /// operators can force a pass). Shard-aware: foreign guard keys are
+    /// resolved against their owning lanes first.
     pub fn starvation_sweep(&self, threshold: Duration) -> Vec<ftlinda_kernel::StarvationReport> {
-        let mut out = Vec::new();
-        for lane in &self.shared.lanes {
-            out.extend(lane.kernel.lock().starvation_sweep(threshold));
-        }
-        out
+        Self::sweep_lanes(&self.shared, threshold)
     }
 
     /// The observability configuration this runtime was built with.

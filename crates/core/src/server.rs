@@ -177,6 +177,9 @@ pub struct ExporterSources {
     /// cluster itself and every live member — one scrape target for the
     /// whole group.
     pub cluster_metrics: Arc<dyn Fn() -> String + Send + Sync>,
+    /// `/timeseries`: the bounded ring of periodic metric snapshots as
+    /// JSON; `None` renders 404 (sampler disabled on this cluster).
+    pub timeseries: Arc<dyn Fn() -> Option<String> + Send + Sync>,
 }
 
 /// A tiny std-only HTTP/1.1 listener serving one member's observability
@@ -281,6 +284,10 @@ fn serve_connection(mut stream: TcpStream, sources: &ExporterSources) -> std::io
             Some(body) => respond(&mut stream, 200, "application/json", &body),
             None => respond(&mut stream, 404, "text/plain", "introspection disabled"),
         },
+        "/timeseries" => match (sources.timeseries)() {
+            Some(body) => respond(&mut stream, 200, "application/json", &body),
+            None => respond(&mut stream, 404, "text/plain", "time-series sampler disabled"),
+        },
         "/healthz" => {
             let body = (sources.health)();
             respond(&mut stream, 200, "application/json", &body)
@@ -300,7 +307,7 @@ fn serve_connection(mut stream: TcpStream, sources: &ExporterSources) -> std::io
             &mut stream,
             404,
             "text/plain",
-            "not found; try /metrics /metrics/cluster /introspect /healthz /events /trace/<origin>-<local>",
+            "not found; try /metrics /metrics/cluster /introspect /timeseries /healthz /events /trace/<origin>-<local>",
         ),
     }
 }
@@ -467,6 +474,60 @@ mod tests {
         assert!(seen.starts_with("POST /metrics/job/ftlinda/instance/0 HTTP/1.1\r\n"));
         assert!(seen.contains("Content-Length: 10"));
         assert!(seen.ends_with("push_me 1\n"));
+    }
+
+    #[test]
+    fn pushed_cluster_page_keeps_shard_labels_through_merge() {
+        // Two "members", each contributing shard-labeled family children;
+        // the pushed base-URL page must carry every child through the
+        // snapshot merge (the old pusher sent only the bare cluster
+        // registry, which has none).
+        let member0 = linda_obs::Registry::new();
+        member0
+            .counter_family("ftlinda_shard_ags_total", "per-shard AGS applies")
+            .with(&[("shard", "0")])
+            .add(3);
+        let member1 = linda_obs::Registry::new();
+        member1
+            .counter_family("ftlinda_shard_ags_total", "per-shard AGS applies")
+            .with(&[("shard", "1")])
+            .add(5);
+        let cluster = linda_obs::Registry::new();
+        let mut snap = cluster.snapshot();
+        snap.merge(&member0.snapshot());
+        snap.merge(&member1.snapshot());
+        let page = snap.render();
+        assert!(
+            page.contains("ftlinda_shard_ags_total{shard=\"0\"} 3"),
+            "{page}"
+        );
+        assert!(
+            page.contains("ftlinda_shard_ags_total{shard=\"1\"} 5"),
+            "{page}"
+        );
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 512];
+            loop {
+                let n = s.read(&mut chunk).unwrap();
+                buf.extend_from_slice(&chunk[..n]);
+                if n == 0 || String::from_utf8_lossy(&buf).contains("shard=\"1\"") {
+                    break;
+                }
+            }
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+            String::from_utf8_lossy(&buf).to_string()
+        });
+        let status = http_post_metrics(&format!("http://{addr}/"), &page).unwrap();
+        assert_eq!(status, 200);
+        let seen = server.join().unwrap();
+        assert!(seen.contains("ftlinda_shard_ags_total{shard=\"0\"} 3"));
+        assert!(seen.contains("ftlinda_shard_ags_total{shard=\"1\"} 5"));
     }
 
     #[test]

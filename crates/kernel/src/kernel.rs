@@ -206,8 +206,14 @@ struct Hold {
     /// The buckets as checked out, kept so a failure of the origin
     /// mid-protocol can abort the hold by reinstating them.
     checked_out: Vec<SigBucket>,
-    /// Deliveries deferred while frozen, in arrival order.
-    buffer: Vec<Delivery>,
+    /// Deliveries deferred while frozen, in arrival order, each stamped
+    /// with its wall-clock arrival so lock-wait queueing is attributable
+    /// at replay. Stamps are observability only — replay order and
+    /// contents stay identical at every replica.
+    buffer: Vec<(Delivery, Instant)>,
+    /// When the freeze began at this replica (observability only, never
+    /// replicated).
+    since: Instant,
 }
 
 /// Observability handles resolved once at attach time so the apply path
@@ -269,6 +275,27 @@ struct KernelObs {
     prev_demotions: HashMap<TsId, u64>,
     starving_total: Arc<linda_obs::Counter>,
     starving_now: Arc<linda_obs::Gauge>,
+    /// `ftlinda_shard_tuples{shard}` — this kernel's stable-tuple total
+    /// under its shard label: the per-shard load census. A level, like
+    /// `ftlinda_stable_tuples`: summing across a shard's replicas
+    /// multiplies by the replication factor.
+    shard_tuples: Arc<linda_obs::GaugeFamily>,
+    /// `ftlinda_shard_ags_total{shard}` — AGS executions this shard's
+    /// order stream applied (single-shard applies plus cross-shard
+    /// `XExec` legs).
+    shard_ags: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_xcommit_aborts_total{cause,shard}` — cross-shard commit
+    /// attempts rolled back on this shard, by cause (`blocked_retry`,
+    /// `body_failure`, `lock_expiry`). Counted on **every** replica, so
+    /// each participant host's registry shows the abort.
+    xcommit_aborts: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_xlock_buffered_total{shard}` — deliveries that queued
+    /// behind a cross-shard lock on this shard: the lock-contention
+    /// counter.
+    xlock_buffered: Arc<linda_obs::CounterFamily>,
+    /// `ftlinda_xlock_held_seconds` — how long this shard stayed frozen
+    /// per cross-shard hold (release or abort).
+    xlock_held: Arc<linda_obs::Histogram>,
 }
 
 /// One starvation-watchdog report: a blocked AGS crossed the threshold
@@ -292,6 +319,8 @@ pub struct StarvationReport {
     pub nearest_miss: usize,
     /// How many thresholds the age has crossed so far (1 = first report).
     pub crossings: u32,
+    /// Shard lane the AGS is queued on (the kernel that reported it).
+    pub shard: u32,
 }
 
 /// Introspection row for one stable space.
@@ -546,6 +575,26 @@ impl Kernel {
                 "ftlinda_ags_starving",
                 "Blocked AGSs currently past the starvation threshold",
             ),
+            shard_tuples: reg.gauge_family(
+                "ftlinda_shard_tuples",
+                "Tuples stored at this replica, by owning shard",
+            ),
+            shard_ags: reg.counter_family(
+                "ftlinda_shard_ags_total",
+                "AGS executions applied, by shard order stream",
+            ),
+            xcommit_aborts: reg.counter_family(
+                "ftlinda_xcommit_aborts_total",
+                "Cross-shard commit attempts rolled back, by cause and shard",
+            ),
+            xlock_buffered: reg.counter_family(
+                "ftlinda_xlock_buffered_total",
+                "Deliveries deferred behind a cross-shard lock, by shard",
+            ),
+            xlock_held: reg.histogram(
+                "ftlinda_xlock_held_seconds",
+                "Time a shard stayed frozen per cross-shard hold",
+            ),
         });
     }
 
@@ -569,6 +618,39 @@ impl Kernel {
                 self.host.0,
                 fields,
             );
+        }
+    }
+
+    /// Record a span on the **transaction trace** of cross-shard commit
+    /// `xid` ([`linda_obs::TraceId::for_xid`]), tagged with this kernel's
+    /// shard id so the assembled tree splits into per-shard lanes. No-op
+    /// when no registry is attached.
+    fn xspan(&self, xid: u64, stage: &str, mut fields: Vec<(String, String)>) {
+        if let Some(obs) = &self.obs {
+            fields.push(("xid".into(), xid.to_string()));
+            fields.push(("shard".into(), self.shard.index.to_string()));
+            obs.spans
+                .record(linda_obs::TraceId::for_xid(xid), stage, self.host.0, fields);
+        }
+    }
+
+    /// Count one cross-shard commit abort on this shard, by cause.
+    /// Unconditional (not origin-gated): every participant replica's
+    /// registry shows the rollback.
+    fn count_xabort(&self, cause: &str) {
+        if let Some(obs) = &self.obs {
+            obs.xcommit_aborts
+                .with(&[("cause", cause), ("shard", &self.shard.index.to_string())])
+                .inc();
+        }
+    }
+
+    /// Count one AGS execution against this shard's order stream.
+    fn count_shard_ags(&self) {
+        if let Some(obs) = &self.obs {
+            obs.shard_ags
+                .with(&[("shard", &self.shard.index.to_string())])
+                .inc();
         }
     }
 
@@ -603,8 +685,14 @@ impl Kernel {
     fn flush_gauges(&mut self) {
         let Some(obs) = &mut self.obs else { return };
         obs.blocked_depth.set(self.blocked.len() as i64);
-        obs.stable_size
-            .set(self.stables.values().map(Store::len).sum::<usize>() as i64);
+        let stable_total = self.stables.values().map(Store::len).sum::<usize>() as i64;
+        obs.stable_size.set(stable_total);
+        // The per-shard census child: this kernel's whole stable-tuple
+        // total under its shard label (every bucket a shard's stores
+        // hold is a bucket it owns).
+        obs.shard_tuples
+            .with(&[("shard", &self.shard.index.to_string())])
+            .set(stable_total);
         obs.applied_seq.set(self.applied as i64);
         if !obs.deep {
             return;
@@ -852,11 +940,23 @@ impl Kernel {
             // this documented window.)
             Delivery::Fail { host, .. } if *host == hold.origin => {
                 let h = self.hold.take().expect("hold present");
+                let held = h.since.elapsed();
+                self.count_xabort("lock_expiry");
+                self.xspan(
+                    h.xid,
+                    "xabort",
+                    vec![
+                        ("cause".into(), "lock_expiry".into()),
+                        ("buffered".into(), h.buffer.len().to_string()),
+                        ("held_us".into(), held.as_micros().to_string()),
+                    ],
+                );
+                if let Some(obs) = &self.obs {
+                    obs.xlock_held.observe(held);
+                }
                 let keys = self.reinstall_buckets(h.checked_out);
                 self.retry_blocked_matching(keys);
-                for bd in &h.buffer {
-                    self.apply_inner(bd);
-                }
+                self.replay_buffer(h.xid, h.buffer);
                 self.apply_inner(d);
                 return true;
             }
@@ -867,12 +967,45 @@ impl Kernel {
             Delivery::Checkpoint { .. } => return true,
             _ => {}
         }
+        if let Some(obs) = &self.obs {
+            obs.xlock_buffered
+                .with(&[("shard", &self.shard.index.to_string())])
+                .inc();
+        }
         self.hold
             .as_mut()
             .expect("hold present")
             .buffer
-            .push(d.clone());
+            .push((d.clone(), Instant::now()));
         true
+    }
+
+    /// Replay deliveries deferred behind a hold, stamping a `lock_wait`
+    /// span (queued time, shard, blocking xid) on each buffered AGS's
+    /// own trace before it applies.
+    fn replay_buffer(&mut self, xid: u64, buffer: Vec<(Delivery, Instant)>) {
+        for (bd, queued_at) in &buffer {
+            if let Delivery::App {
+                seq, origin, local, ..
+            } = bd
+            {
+                self.span(
+                    *origin,
+                    *local,
+                    "lock_wait",
+                    vec![
+                        ("seq".into(), seq.to_string()),
+                        (
+                            "queued_us".into(),
+                            queued_at.elapsed().as_micros().to_string(),
+                        ),
+                        ("shard".into(), self.shard.index.to_string()),
+                        ("xid".into(), xid.to_string()),
+                    ],
+                );
+            }
+            self.apply_inner(bd);
+        }
     }
 
     /// Reinstall signature buckets (oldest-first per bucket) and return
@@ -915,7 +1048,18 @@ impl Kernel {
             origin,
             checked_out: buckets.clone(),
             buffer: Vec::new(),
+            since: Instant::now(),
         });
+        let frozen_tuples: usize = buckets.iter().map(|(_, _, t)| t.len()).sum();
+        self.xspan(
+            xid,
+            "xlock",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("buckets".into(), buckets.len().to_string()),
+                ("tuples".into(), frozen_tuples.to_string()),
+            ],
+        );
         self.span(
             origin,
             local,
@@ -1015,6 +1159,20 @@ impl Kernel {
             };
             (result, writebacks)
         };
+        self.count_shard_ags();
+        match &result {
+            XStageResult::Blocked => self.count_xabort("blocked_retry"),
+            XStageResult::Failed(_) => self.count_xabort("body_failure"),
+            XStageResult::Fired(_) => {}
+        }
+        self.xspan(
+            xid,
+            "xexec",
+            vec![
+                ("seq".into(), seq.to_string()),
+                ("outcome".into(), outcome_label.into()),
+            ],
+        );
         self.span(
             origin,
             local,
@@ -1049,11 +1207,22 @@ impl Kernel {
         let matches = self.hold.as_ref().is_some_and(|h| h.xid == xid);
         if matches {
             let h = self.hold.take().expect("hold present");
+            let held = h.since.elapsed();
+            if let Some(obs) = &self.obs {
+                obs.xlock_held.observe(held);
+            }
+            self.xspan(
+                xid,
+                "xrelease",
+                vec![
+                    ("seq".into(), seq.to_string()),
+                    ("buffered".into(), h.buffer.len().to_string()),
+                    ("held_us".into(), held.as_micros().to_string()),
+                ],
+            );
             let keys = self.reinstall_buckets(buckets);
             self.retry_blocked_matching(keys);
-            for bd in &h.buffer {
-                self.apply_inner(bd);
-            }
+            self.replay_buffer(h.xid, h.buffer);
             // Replayed deliveries carry lower sequence numbers; the
             // release itself is the newest applied record.
             self.applied = self.applied.max(seq);
@@ -1077,6 +1246,7 @@ impl Kernel {
     }
 
     fn apply_ags(&mut self, seq: u64, origin: HostId, local: LocalId, ags: Ags) {
+        self.count_shard_ags();
         match try_execute(&mut self.stables, &ags, origin.0, seq) {
             TryOutcome::Fired {
                 outcome,
@@ -1392,11 +1562,56 @@ impl Kernel {
     }
 
     /// Tuples currently stored under a blocked AGS's guard keys: tuples
-    /// of the right signature that still don't satisfy the guard.
-    fn nearest_miss(stables: &BTreeMap<TsId, IndexedStore>, keys: &[(TsId, u64)]) -> usize {
+    /// of the right signature that still don't satisfy the guard. Keys
+    /// owned by this shard read the local store; keys owned elsewhere
+    /// are resolved through `peer(owner_shard, ts, sig)` — under K>1 the
+    /// local store legitimately holds nothing for a foreign bucket, and
+    /// counting it as zero would misreport the miss.
+    fn nearest_miss_with(
+        stables: &BTreeMap<TsId, IndexedStore>,
+        shard: ShardSpec,
+        keys: &[(TsId, u64)],
+        peer: &dyn Fn(u32, TsId, u64) -> usize,
+    ) -> usize {
         keys.iter()
-            .map(|(ts, sig)| stables.get(ts).map_or(0, |s| s.signature_len(*sig)))
+            .map(|(ts, sig)| {
+                let owner = shard_of(*ts, *sig, shard.count);
+                if owner == shard.index {
+                    stables.get(ts).map_or(0, |s| s.signature_len(*sig))
+                } else {
+                    peer(owner, *ts, *sig)
+                }
+            })
             .sum()
+    }
+
+    /// Tuples stored under one `(space, signature)` bucket at this
+    /// replica. The runtime watchdog uses this to answer nearest-miss
+    /// queries for buckets this shard owns on behalf of other lanes.
+    pub fn signature_len(&self, ts: TsId, sig: u64) -> usize {
+        self.stables.get(&ts).map_or(0, |s| s.signature_len(sig))
+    }
+
+    /// Guard keys of blocked AGSs that some *other* shard owns, as
+    /// `(owner_shard, ts, sig)`, deduplicated. The watchdog resolves
+    /// these against the owning lanes before sweeping so nearest-miss
+    /// counts are attributed to the shard that actually stores the
+    /// bucket. (Under the current router cross-shard AGSs are never
+    /// queued, so this is normally empty — it guards the invariant
+    /// rather than assuming it.)
+    pub fn blocked_foreign_keys(&self) -> Vec<(u32, TsId, u64)> {
+        let mut out: Vec<(u32, TsId, u64)> = self
+            .blocked
+            .values()
+            .flat_map(|b| b.keys.iter())
+            .filter_map(|(ts, sig)| {
+                let owner = shard_of(*ts, *sig, self.shard.count);
+                (owner != self.shard.index).then_some((owner, *ts, *sig))
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Starvation watchdog pass: report every blocked AGS whose age has
@@ -1410,12 +1625,27 @@ impl Kernel {
     /// Wall-clock only — never part of the replicated state, so replicas
     /// may report at different times without diverging.
     pub fn starvation_sweep(&mut self, threshold: Duration) -> Vec<StarvationReport> {
+        self.starvation_sweep_with(threshold, &|_, _, _| 0)
+    }
+
+    /// [`Kernel::starvation_sweep`] with foreign guard-key occupancy
+    /// resolved through `peer(owner_shard, ts, sig)`. The runtime's
+    /// watchdog collects [`Kernel::blocked_foreign_keys`] first, answers
+    /// them against the owning lanes' [`Kernel::signature_len`], and
+    /// passes the resolved map here — so no two kernel locks are ever
+    /// held at once.
+    pub fn starvation_sweep_with(
+        &mut self,
+        threshold: Duration,
+        peer: &dyn Fn(u32, TsId, u64) -> usize,
+    ) -> Vec<StarvationReport> {
         if threshold.is_zero() {
             return Vec::new();
         }
         let now = Instant::now();
         let mut out = Vec::new();
         let stables = &self.stables;
+        let shard = self.shard;
         for b in self.blocked.values_mut() {
             let age = now.saturating_duration_since(b.since);
             let crossings = (age.as_nanos() / threshold.as_nanos()) as u32;
@@ -1427,8 +1657,9 @@ impl Kernel {
                     local: b.local,
                     age,
                     guards: b.labels.clone(),
-                    nearest_miss: Self::nearest_miss(stables, &b.keys),
+                    nearest_miss: Self::nearest_miss_with(stables, shard, &b.keys, peer),
                     crossings,
+                    shard: shard.index,
                 });
             }
         }
@@ -1444,6 +1675,7 @@ impl Kernel {
                         ("age_ms".into(), r.age.as_millis().to_string()),
                         ("nearest_miss".into(), r.nearest_miss.to_string()),
                         ("crossings".into(), r.crossings.to_string()),
+                        ("shard".into(), r.shard.to_string()),
                     ],
                 ));
                 obs.starving_total.inc();
@@ -1488,7 +1720,12 @@ impl Kernel {
                     local: b.local,
                     age: now.saturating_duration_since(b.since),
                     guards: b.labels.clone(),
-                    nearest_miss: Self::nearest_miss(&self.stables, &b.keys),
+                    nearest_miss: Self::nearest_miss_with(
+                        &self.stables,
+                        self.shard,
+                        &b.keys,
+                        &|_, _, _| 0,
+                    ),
                     starving: b.starve_reported > 0,
                 })
                 .collect(),
@@ -2494,6 +2731,78 @@ mod tests {
             &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("after")])),
         ));
         assert!(part.snapshot(TsId(0)).unwrap().contains(&tuple!("after")));
+    }
+
+    #[test]
+    fn lock_expiry_abort_is_counted_and_traced_per_shard() {
+        let (mut part, _rx) = kernel();
+        part.set_shard(ShardSpec { index: 1, count: 2 });
+        let reg = linda_obs::Registry::new();
+        part.attach_obs_with(&reg, true);
+        part.apply(&app(1, 0, 1, &Request::CreateTs { name: "m".into() }));
+        part.apply(&app(
+            2,
+            0,
+            2,
+            &Request::Ags(Ags::out_one(
+                TsId(0),
+                vec![Operand::cst("x"), Operand::cst(1)],
+            )),
+        ));
+        let sig = tuple!("x", 1).signature().stable_hash();
+        part.apply(&app(
+            3,
+            7,
+            1,
+            &Request::XLock {
+                xid: 5,
+                keys: vec![(0, sig)],
+            },
+        ));
+        // One delivery buffered behind the hold, then the origin dies.
+        part.apply(&app(
+            4,
+            0,
+            4,
+            &Request::Ags(Ags::out_one(TsId(0), vec![Operand::cst("later")])),
+        ));
+        part.apply(&Delivery::Fail {
+            seq: 5,
+            host: HostId(7),
+        });
+        let snap = reg.snapshot();
+        let aborts = snap
+            .counter_family("ftlinda_xcommit_aborts_total")
+            .expect("abort family registered");
+        assert_eq!(
+            aborts.get("cause=\"lock_expiry\",shard=\"1\""),
+            Some(&1),
+            "aborts: {aborts:?}"
+        );
+        let buffered = snap
+            .counter_family("ftlinda_xlock_buffered_total")
+            .expect("buffered family registered");
+        assert_eq!(buffered.get("shard=\"1\""), Some(&1));
+        // The transaction trace carries xlock + xabort on this shard's
+        // lane, and the buffered AGS's own trace shows its lock_wait.
+        let spans = reg.spans().spans_of(linda_obs::TraceId::for_xid(5));
+        let tree = linda_obs::TraceTree::assemble(linda_obs::TraceId::for_xid(5), spans);
+        assert_eq!(tree.shards(), vec![1]);
+        assert!(tree.first_at_on_shard("xlock", 1).is_some());
+        let lane = tree.shard_lane(1);
+        let abort = lane
+            .iter()
+            .find(|s| s.stage == "xabort")
+            .expect("xabort span");
+        assert!(abort
+            .fields
+            .iter()
+            .any(|(k, v)| k == "cause" && v == "lock_expiry"));
+        let waiter_spans = reg.spans().spans_of(linda_obs::TraceId::new(0, 4));
+        assert!(
+            waiter_spans.iter().any(|s| s.stage == "lock_wait"),
+            "buffered delivery stamped with its queue time: {waiter_spans:?}"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! serialize through the cross-shard path and re-shape them if the
 //! multiplied write throughput matters.
 
-use ftlinda_ags::{shard_of, static_keys, Ags, ShardKey};
+use ftlinda_ags::{imbalance_bp, shard_of, static_keys, Ags, ShardKey};
 
 /// Where one statement executes under a K-way sharded deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +42,19 @@ pub struct StatementRoute {
     pub route: Route,
 }
 
+impl StatementRoute {
+    /// Ordered multicasts one execution of this statement costs: 1 on
+    /// the single-shard fast path, 2·S + 1 through the cross-shard
+    /// commit, 0 for a statement the runtime rejects.
+    pub fn expected_multicasts(&self) -> u64 {
+        match &self.route {
+            Route::Single(_) => 1,
+            Route::Cross(shards) => 2 * shards.len() as u64 + 1,
+            Route::Unroutable => 0,
+        }
+    }
+}
+
 /// Shard-routing report for a whole program at a given shard count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardReport {
@@ -66,6 +79,54 @@ impl ShardReport {
             .iter()
             .filter(|s| s.route == Route::Unroutable)
             .count()
+    }
+
+    /// Total ordered multicasts one pass over the program costs —
+    /// every statement executed once at its [`expected_multicasts`]
+    /// price.
+    ///
+    /// [`expected_multicasts`]: StatementRoute::expected_multicasts
+    pub fn expected_cost(&self) -> u64 {
+        self.statements
+            .iter()
+            .map(StatementRoute::expected_multicasts)
+            .sum()
+    }
+
+    /// Expected ordered-multicast load per shard for one pass over the
+    /// program: a single-shard statement charges its owner 1; a
+    /// cross-shard statement charges every participant its lock +
+    /// release and the home (lowest) shard the exec on top. This is the
+    /// static feed for the runtime's per-shard load census — it prices
+    /// the *order streams*, the resource sharding multiplies.
+    pub fn expected_shard_load(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.shards.max(1) as usize];
+        for s in &self.statements {
+            match &s.route {
+                Route::Single(shard) => loads[*shard as usize] += 1,
+                Route::Cross(shards) => {
+                    for shard in shards {
+                        loads[*shard as usize] += 2;
+                    }
+                    if let Some(home) = shards.first() {
+                        loads[*home as usize] += 1;
+                    }
+                }
+                Route::Unroutable => {}
+            }
+        }
+        loads
+    }
+
+    /// Static load imbalance of the program in integer basis points
+    /// (0 = even, 10000 = one shard carries everything) — the
+    /// compile-time counterpart of the runtime census gauge
+    /// `ftlinda_shard_imbalance_bp`, computed with the same formula
+    /// ([`ftlinda_ags::imbalance_bp`]) over [`expected_shard_load`].
+    ///
+    /// [`expected_shard_load`]: ShardReport::expected_shard_load
+    pub fn imbalance_bp(&self) -> i64 {
+        imbalance_bp(&self.expected_shard_load())
     }
 
     /// Human-readable rendering, one line per statement.
@@ -95,6 +156,17 @@ impl ShardReport {
                 }
             }
         }
+        let loads: Vec<String> = self
+            .expected_shard_load()
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        out.push_str(&format!(
+            "  expected: {} multicasts/pass, per-shard load [{}], imbalance {} bp\n",
+            self.expected_cost(),
+            loads.join(","),
+            self.imbalance_bp()
+        ));
         out
     }
 }
@@ -253,5 +325,52 @@ mod tests {
         assert!(text.contains("CROSS shards {1,3}"));
         assert!(text.contains("5 multicasts"));
         assert!(text.contains("UNROUTABLE"));
+        assert!(text.contains("expected: 6 multicasts/pass"));
+        assert!(text.contains("imbalance"));
+    }
+
+    #[test]
+    fn expected_cost_feeds_the_shard_census() {
+        let report = ShardReport {
+            shards: 4,
+            statements: vec![
+                StatementRoute {
+                    index: 0,
+                    keys: Some(vec![(TsId(0), 1)]),
+                    route: Route::Single(3),
+                },
+                StatementRoute {
+                    index: 1,
+                    keys: Some(vec![(TsId(0), 1), (TsId(0), 2)]),
+                    route: Route::Cross(vec![1, 3]),
+                },
+                StatementRoute {
+                    index: 2,
+                    keys: None,
+                    route: Route::Unroutable,
+                },
+            ],
+        };
+        assert_eq!(report.statements[0].expected_multicasts(), 1);
+        assert_eq!(report.statements[1].expected_multicasts(), 5);
+        assert_eq!(report.statements[2].expected_multicasts(), 0);
+        assert_eq!(report.expected_cost(), 6);
+        // Shard 1 is the cross home: lock+release (2) + exec (1) = 3;
+        // shard 3 pays its lock+release (2) plus the single submit (1).
+        assert_eq!(report.expected_shard_load(), vec![0, 3, 0, 3]);
+        // Heaviest share 3/6 at K=4 → (0.5 − 0.25)/0.75 → 3333 bp.
+        assert_eq!(report.imbalance_bp(), 3333);
+        // An even program reads 0.
+        let even = ShardReport {
+            shards: 2,
+            statements: (0..2)
+                .map(|index| StatementRoute {
+                    index,
+                    keys: Some(vec![(TsId(0), index as u64)]),
+                    route: Route::Single(index as u32),
+                })
+                .collect(),
+        };
+        assert_eq!(even.imbalance_bp(), 0);
     }
 }

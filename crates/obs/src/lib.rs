@@ -472,6 +472,136 @@ impl EventSink {
     }
 }
 
+/// One fixed-interval sample in a [`TimeSeriesRing`]: a timestamp plus
+/// the sampled `(series name, value)` pairs. Counters are stored as
+/// their cumulative value at sample time (rate = difference between
+/// consecutive points); family children sample as `name{labels}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimePoint {
+    /// Microseconds since `UNIX_EPOCH` at which the sample was taken.
+    pub at_micros: u64,
+    /// Ordered `(series, value)` pairs.
+    pub values: Vec<(String, i64)>,
+}
+
+/// A bounded in-memory time series: fixed-interval [`TimePoint`]s of
+/// selected gauges/counters, kept in a ring so soak runs and the future
+/// shard rebalancer have *history*, not just instantaneous values.
+///
+/// Like [`EventSink`] and [`SpanLog`], the ring never blocks and never
+/// grows: when full, the oldest point is evicted and counted — at the
+/// default 1s cadence a 512-point ring holds ~8.5 minutes of history in
+/// a few hundred KiB, and a dump always states how much older history
+/// was lost.
+#[derive(Debug)]
+pub struct TimeSeriesRing {
+    buf: Mutex<VecDeque<TimePoint>>,
+    cap: usize,
+    total: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for TimeSeriesRing {
+    fn default() -> Self {
+        Self::with_capacity(512)
+    }
+}
+
+impl TimeSeriesRing {
+    /// A ring retaining at most `cap` recent points.
+    pub fn with_capacity(cap: usize) -> Self {
+        TimeSeriesRing {
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(64))),
+            cap: cap.max(1),
+            total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a sample stamped with the current time.
+    pub fn sample(&self, values: Vec<(String, i64)>) {
+        self.push(TimePoint {
+            at_micros: now_micros(),
+            values,
+        });
+    }
+
+    /// Record a pre-stamped point (for tests or replay).
+    pub fn push(&self, point: TimePoint) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(point);
+    }
+
+    /// Copy of the retained points, oldest first.
+    pub fn recent(&self) -> Vec<TimePoint> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Points ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Points evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Render the ring as one JSON object:
+    /// `{"capacity":…,"total":…,"dropped":…,"points":[{"at_us":…,"values":{…}},…]}`.
+    pub fn to_json(&self) -> String {
+        let points = self.recent();
+        let mut out = String::with_capacity(64 + points.len() * 128);
+        let _ = write!(
+            out,
+            "{{\"capacity\":{},\"total\":{},\"dropped\":{},\"points\":[",
+            self.cap,
+            self.total(),
+            self.dropped()
+        );
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"at_us\":{},\"values\":{{", p.at_micros);
+            for (j, (name, v)) in p.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", json_escape(name));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 #[derive(Debug, Default)]
 struct Instruments {
     counters: BTreeMap<String, (String, Arc<Counter>)>,
@@ -760,6 +890,38 @@ impl RegistrySnapshot {
         self.gauge_families.get(name).map(|(_, c)| c)
     }
 
+    /// Flatten selected series into `(name, value)` pairs for
+    /// [`TimeSeriesRing`] sampling: every plain counter or gauge whose
+    /// name appears in `scalars` (missing names are skipped, counters
+    /// saturate at `i64::MAX`), plus every child of each family named in
+    /// `families`, rendered as `name{labels}`.
+    pub fn series(&self, scalars: &[&str], families: &[&str]) -> Vec<(String, i64)> {
+        let mut out = Vec::new();
+        for name in scalars {
+            if let Some(v) = self.counter(name) {
+                out.push((name.to_string(), i64::try_from(v).unwrap_or(i64::MAX)));
+            } else if let Some(v) = self.gauge(name) {
+                out.push((name.to_string(), v));
+            }
+        }
+        for name in families {
+            if let Some(children) = self.counter_family(name) {
+                for (labels, v) in children {
+                    out.push((
+                        format!("{name}{{{labels}}}"),
+                        i64::try_from(*v).unwrap_or(i64::MAX),
+                    ));
+                }
+            }
+            if let Some(children) = self.gauge_family(name) {
+                for (labels, v) in children {
+                    out.push((format!("{name}{{{labels}}}"), *v));
+                }
+            }
+        }
+        out
+    }
+
     /// Prometheus text exposition of the snapshot.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -1004,6 +1166,73 @@ mod tests {
             .set(1024);
         merged.merge(&late.snapshot());
         assert_eq!(merged.gauge("cfg_max_bytes"), Some(1024));
+    }
+
+    #[test]
+    fn time_series_ring_bounds_and_json() {
+        let ring = TimeSeriesRing::with_capacity(2);
+        assert!(ring.is_empty());
+        for i in 0..3u64 {
+            ring.push(TimePoint {
+                at_micros: 100 + i,
+                values: vec![("ftlinda_stable_tuples".into(), i as i64)],
+            });
+        }
+        assert_eq!(ring.total(), 3);
+        assert_eq!(ring.dropped(), 1, "oldest point evicted, counted");
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].at_micros, 101, "t=100 aged out");
+        let j = ring.to_json();
+        assert!(j.starts_with("{\"capacity\":2,\"total\":3,\"dropped\":1,"));
+        assert!(j.contains("{\"at_us\":101,\"values\":{\"ftlinda_stable_tuples\":1}}"));
+        assert!(j.contains("{\"at_us\":102,\"values\":{\"ftlinda_stable_tuples\":2}}"));
+        assert!(!j.contains("\"at_us\":100"));
+    }
+
+    #[test]
+    fn time_series_sample_stamps_wall_clock() {
+        let ring = TimeSeriesRing::default();
+        assert_eq!(ring.capacity(), 512);
+        let before = now_micros();
+        ring.sample(vec![("g".into(), -4)]);
+        let p = &ring.recent()[0];
+        assert!(p.at_micros >= before);
+        assert_eq!(p.values, vec![("g".to_string(), -4)]);
+    }
+
+    #[test]
+    fn snapshot_series_flattens_scalars_and_families() {
+        let r = Registry::new();
+        r.counter("applied_total", "h").add(9);
+        r.gauge("blocked", "h").set(-2);
+        r.gauge_family("ftlinda_shard_tuples", "h")
+            .with(&[("shard", "0")])
+            .set(5);
+        r.counter_family("ftlinda_xcommit_aborts_total", "h")
+            .with(&[("cause", "body_failure"), ("shard", "1")])
+            .add(3);
+        let snap = r.snapshot();
+        let series = snap.series(
+            &["applied_total", "blocked", "missing"],
+            &[
+                "ftlinda_shard_tuples",
+                "ftlinda_xcommit_aborts_total",
+                "nope",
+            ],
+        );
+        assert_eq!(
+            series,
+            vec![
+                ("applied_total".to_string(), 9),
+                ("blocked".to_string(), -2),
+                ("ftlinda_shard_tuples{shard=\"0\"}".to_string(), 5),
+                (
+                    "ftlinda_xcommit_aborts_total{cause=\"body_failure\",shard=\"1\"}".to_string(),
+                    3
+                ),
+            ]
+        );
     }
 
     #[test]

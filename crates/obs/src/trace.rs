@@ -21,6 +21,23 @@
 //! | `wake`     | every kernel                     | blocked guard fired on a later AGS   |
 //! | `complete` | origin runtime                   | completion routed to the waiter      |
 //!
+//! Cross-shard commits get their own stage vocabulary, recorded under a
+//! **transaction trace id** derived from the commit's `xid` (already on
+//! the wire in every XLock/XExec/XRelease record — see
+//! [`TraceId::for_xid`]). Each span carries a `shard` field, so the
+//! assembled tree splits into per-shard lanes
+//! ([`TraceTree::shard_lane`]):
+//!
+//! | stage       | where                 | meaning                                   |
+//! |-------------|-----------------------|-------------------------------------------|
+//! | `xbegin`    | origin runtime        | one commit attempt started                |
+//! | `xlock`     | every kernel          | shard frozen for this xid                 |
+//! | `lock_wait` | every kernel          | a delivery queued behind a shard lock     |
+//! | `xexec`     | every kernel          | AGS body ran at the home shard            |
+//! | `xrelease`  | every kernel          | shard unfrozen, buffered traffic replayed |
+//! | `xabort`    | kernel or origin      | attempt rolled back (`cause` field)       |
+//! | `xcommit`   | origin runtime        | the transaction fired                     |
+//!
 //! Timestamps are microseconds since `UNIX_EPOCH`: wall-clock, so they
 //! are comparable across members of the simulated cluster (one process)
 //! and merely *approximately* comparable across real machines — which is
@@ -48,6 +65,25 @@ impl TraceId {
     /// Build a trace id from its two wire components.
     pub fn new(origin: u32, local: u64) -> Self {
         TraceId { origin, local }
+    }
+
+    /// The transaction trace id of one cross-shard commit attempt,
+    /// derived from its `xid` — `(origin_host << 48) | attempt_counter`,
+    /// already carried by every XLock/XExec/XRelease record, so tracing
+    /// the commit adds **zero wire bytes**. Bit 63 of `local` marks the
+    /// id as an xcommit trace: real broadcast local ids use per-shard
+    /// bases of `shard << 48`, which never reach bit 63, so the derived
+    /// ids cannot collide with ordinary AGS traces.
+    pub fn for_xid(xid: u64) -> Self {
+        TraceId {
+            origin: (xid >> 48) as u32,
+            local: (1u64 << 63) | (xid & 0x0000_ffff_ffff_ffff),
+        }
+    }
+
+    /// Whether this id was derived from a cross-shard commit `xid`.
+    pub fn is_xcommit(&self) -> bool {
+        self.local >> 63 == 1
     }
 }
 
@@ -125,7 +161,17 @@ fn stage_rank(stage: &str) -> u8 {
         "block" => 4,
         "wake" => 5,
         "complete" => 6,
-        _ => 7,
+        // Cross-shard commit stages, causally after the ordinary
+        // pipeline: an xcommit trace never mixes with AGS stages, but
+        // ranking both vocabularies keeps ties deterministic anywhere.
+        "xbegin" => 7,
+        "xlock" => 8,
+        "lock_wait" => 9,
+        "xexec" => 10,
+        "xrelease" => 11,
+        "xabort" => 12,
+        "xcommit" => 13,
+        _ => 14,
     }
 }
 
@@ -349,6 +395,50 @@ impl TraceTree {
         b.checked_sub(a)
     }
 
+    /// Shards that recorded any span (distinct numeric `shard` field
+    /// values), ascending. Empty for ordinary single-shard AGS traces
+    /// whose spans carry no `shard` field.
+    pub fn shards(&self) -> Vec<u32> {
+        let mut shards: Vec<u32> = self
+            .spans
+            .iter()
+            .filter_map(|s| s.field("shard").and_then(|v| v.parse().ok()))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// The per-shard lane of a cross-shard commit trace: every span
+    /// whose `shard` field equals `shard`, in tree (causal) order.
+    pub fn shard_lane(&self, shard: u32) -> Vec<&SpanRecord> {
+        let want = shard.to_string();
+        self.spans
+            .iter()
+            .filter(|s| s.field("shard") == Some(want.as_str()))
+            .collect()
+    }
+
+    /// First timestamp of `stage` on the `shard` lane, if recorded.
+    pub fn first_at_on_shard(&self, stage: &str, shard: u32) -> Option<u64> {
+        let want = shard.to_string();
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage && s.field("shard") == Some(want.as_str()))
+            .map(|s| s.at_micros)
+            .min()
+    }
+
+    /// Microseconds between the first occurrences of two stages on one
+    /// shard lane — per-shard latency attribution for cross-shard
+    /// commits: e.g. `between_on_shard("xlock", "xrelease", s)` is how
+    /// long shard `s` stayed frozen for this transaction.
+    pub fn between_on_shard(&self, from: &str, to: &str, shard: u32) -> Option<u64> {
+        let a = self.first_at_on_shard(from, shard)?;
+        let b = self.first_at_on_shard(to, shard)?;
+        b.checked_sub(a)
+    }
+
     /// Render the tree as a JSON object (hand-rolled; the build has no
     /// serde): `{"trace":"1-7","complete_hosts":[...],"spans":[...]}`.
     pub fn to_json(&self) -> String {
@@ -359,7 +449,14 @@ impl TraceTree {
         out.push_str(&self.spans.len().to_string());
         out.push_str(",\"truncated\":");
         out.push_str(if self.truncated { "true" } else { "false" });
-        out.push_str(",\"spans\":[");
+        out.push_str(",\"shards\":[");
+        for (i, s) in self.shards().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str("],\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -529,6 +626,72 @@ mod tests {
         tree.mark_truncation(vec![None, Some(5)]);
         assert!(tree.truncated);
         assert!(tree.to_json().contains("\"truncated\":true"));
+    }
+
+    fn shard_span(trace: TraceId, stage: &str, host: u32, at: u64, shard: u32) -> SpanRecord {
+        let mut s = span(trace, stage, host, at);
+        s.fields.push(("shard".into(), shard.to_string()));
+        s
+    }
+
+    #[test]
+    fn xid_trace_ids_never_collide_with_broadcast_ids() {
+        let xid = (7u64 << 48) | 42;
+        let id = TraceId::for_xid(xid);
+        assert_eq!(id.origin, 7);
+        assert_eq!(id.local, (1 << 63) | 42);
+        assert!(id.is_xcommit());
+        // Round-trips through the text form served by /trace/<id>.
+        assert_eq!(id.to_string().parse::<TraceId>().unwrap(), id);
+        // Ordinary broadcast local ids (per-shard base = shard << 48,
+        // shard < 2^15) never set bit 63.
+        let broadcast = TraceId::new(7, (3u64 << 48) | 42);
+        assert!(!broadcast.is_xcommit());
+        assert_ne!(id, broadcast);
+    }
+
+    #[test]
+    fn shard_lanes_split_a_cross_shard_trace() {
+        let id = TraceId::for_xid(2 << 48);
+        let spans = vec![
+            span(id, "xbegin", 2, 5), // origin span: no shard lane
+            shard_span(id, "xlock", 0, 10, 0),
+            shard_span(id, "xlock", 0, 20, 1),
+            shard_span(id, "xexec", 1, 30, 0),
+            shard_span(id, "xrelease", 0, 40, 0),
+            shard_span(id, "xrelease", 1, 55, 1),
+            span(id, "xcommit", 2, 60),
+        ];
+        let tree = TraceTree::assemble(id, spans);
+        assert_eq!(tree.shards(), vec![0, 1]);
+        let lane0: Vec<&str> = tree
+            .shard_lane(0)
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(lane0, vec!["xlock", "xexec", "xrelease"]);
+        assert_eq!(tree.shard_lane(1).len(), 2);
+        assert!(tree.shard_lane(9).is_empty());
+        assert_eq!(tree.first_at_on_shard("xlock", 1), Some(20));
+        assert_eq!(tree.between_on_shard("xlock", "xrelease", 0), Some(30));
+        assert_eq!(tree.between_on_shard("xlock", "xrelease", 1), Some(35));
+        assert_eq!(tree.between_on_shard("xlock", "xexec", 1), None);
+        let j = tree.to_json();
+        assert!(j.contains("\"shards\":[0,1]"));
+    }
+
+    #[test]
+    fn xcommit_stage_ranks_break_timestamp_ties() {
+        let id = TraceId::for_xid(0);
+        let spans = vec![
+            shard_span(id, "xrelease", 0, 7, 0),
+            shard_span(id, "xexec", 0, 7, 0),
+            shard_span(id, "xlock", 0, 7, 0),
+            span(id, "xbegin", 0, 7),
+        ];
+        let tree = TraceTree::assemble(id, spans);
+        let order: Vec<&str> = tree.spans.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(order, vec!["xbegin", "xlock", "xexec", "xrelease"]);
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //! never-matching `in` is left parked so `/introspect` serves a
 //! non-empty blocked-AGS table and the starvation watchdog (threshold
 //! lowered to 1 s here) emits `ags_starving` while the cluster idles.
+//!
+//! The cluster runs with two shards, and one cross-shard AGS is driven
+//! so `/trace/<id>` of the printed `XTRACE <id>` line shows the
+//! XLock/XExec/XRelease lanes on both shards. The time-series sampler
+//! ticks every 200 ms so `/timeseries` accumulates several snapshots
+//! within the serving window.
 
-use ftlinda::{Ags, Cluster, MatchField, Operand};
+use ftlinda::{Ags, Cluster, MatchField, Operand, TypeTag};
 use std::time::Duration;
 
 fn main() {
@@ -25,7 +31,9 @@ fn main() {
         .unwrap_or(5);
     let (cluster, rts) = Cluster::builder()
         .hosts(3)
+        .shards(2)
         .starvation_after(Duration::from_secs(1))
+        .timeseries_interval(Duration::from_millis(200))
         .build();
     let ts = rts[0].create_stable_ts("main").unwrap();
 
@@ -65,6 +73,31 @@ fn main() {
         std::thread::sleep(Duration::from_millis(5));
     }
 
+    // One cross-shard AGS: the guard `in` consumes a `[Str, Int]` tuple,
+    // the body `out` deposits `[Str, Str]` — under two shards those
+    // signatures live on different shards, so the commit runs the
+    // XLock/XExec/XRelease protocol and leaves a transaction trace with
+    // a span lane per shard. Its id is printed as `XTRACE`.
+    rts[0].out(ts, linda_tuple::tuple!("x", 41)).unwrap();
+    let cross = Ags::builder()
+        .guard_in(
+            ts,
+            vec![MatchField::actual("x"), MatchField::bind(TypeTag::Int)],
+        )
+        .out(ts, vec![Operand::cst("y"), Operand::cst("done")])
+        .build()
+        .unwrap();
+    rts[1].execute(&cross).unwrap();
+    let xtrace = rts[1]
+        .obs()
+        .spans()
+        .recent()
+        .into_iter()
+        .rev()
+        .find(|s| s.stage == "xbegin")
+        .expect("cross-shard commit recorded xbegin")
+        .trace;
+
     for rt in &rts {
         let addr = cluster
             .http_addr(rt.host())
@@ -72,6 +105,7 @@ fn main() {
         println!("MEMBER {} {addr}", rt.host().0);
     }
     println!("TRACE {sample_trace}");
+    println!("XTRACE {xtrace}");
     println!("SERVING {secs}s");
 
     std::thread::sleep(Duration::from_secs(secs));

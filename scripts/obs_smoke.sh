@@ -7,7 +7,10 @@
 #   /metrics/cluster — merged registries of every live member
 #   /healthz  — live member with an applied sequence number
 #   /introspect — signature census + blocked-AGS table as JSON
-#   /trace/<id> — a complete cross-replica span tree
+#   /trace/<id> — a complete cross-replica span tree; for the XTRACE id,
+#               the cross-shard commit lanes (xlock/xexec/xrelease on
+#               both shards of the 2-shard smoke cluster)
+#   /timeseries — the bounded metrics ring with ≥ 2 snapshots
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,17 +21,18 @@ OBS_SMOKE_SECS="${OBS_SMOKE_SECS:-20}" \
     cargo run --quiet --release --example obs_http_smoke >"$OUT" &
 SMOKE_PID=$!
 
-# Wait for the example to print all three member addresses + trace id.
+# Wait for the example to print member addresses + both trace ids.
 for _ in $(seq 1 120); do
-    if grep -q '^TRACE ' "$OUT" 2>/dev/null; then break; fi
+    if grep -q '^XTRACE ' "$OUT" 2>/dev/null; then break; fi
     if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
         echo "obs_http_smoke exited early:"; cat "$OUT"; exit 1
     fi
     sleep 0.5
 done
-grep -q '^TRACE ' "$OUT" || { echo "exporter never came up:"; cat "$OUT"; exit 1; }
+grep -q '^XTRACE ' "$OUT" || { echo "exporter never came up:"; cat "$OUT"; exit 1; }
 
 TRACE_ID="$(awk '/^TRACE /{print $2}' "$OUT")"
+XTRACE_ID="$(awk '/^XTRACE /{print $2}' "$OUT")"
 FAIL=0
 while read -r _ host addr; do
     echo "--- member $host @ $addr"
@@ -51,7 +55,9 @@ while read -r _ host addr; do
     done
     CLUSTER="$(curl -sfS "http://$addr/metrics/cluster")"
     for pat in 'ftlinda_ts_tuples{space="main",signature="<str,int>"}' \
-               'ftlinda_ags_completions_total' 'ftlinda_applied_seq'; do
+               'ftlinda_ags_completions_total' 'ftlinda_applied_seq' \
+               'ftlinda_shard_tuples{shard=' 'ftlinda_shard_ags_total{shard=' \
+               'ftlinda_shard_multicasts_total{shard=' 'ftlinda_shard_imbalance_bp'; do
         if ! grep -qF "$pat" <<<"$CLUSTER"; then
             echo "    MISSING $pat in /metrics/cluster of member $host"; FAIL=1
         fi
@@ -71,7 +77,23 @@ while read -r _ host addr; do
     for stage in '"submit"' '"deliver"' '"apply"'; do
         grep -q "$stage" <<<"$TRACE" || { echo "    member $host trace missing $stage: $TRACE"; FAIL=1; }
     done
-    echo "    metrics/cluster-metrics/introspect/healthz/trace OK"
+    # Cross-shard commit trace: both shard lanes present, and every
+    # multicast stage of the 2S+1 protocol recorded.
+    XTRACE="$(curl -sfS "http://$addr/trace/$XTRACE_ID")"
+    grep -qF '"shards":[0,1]' <<<"$XTRACE" \
+        || { echo "    member $host xtrace missing shard lanes: $XTRACE"; FAIL=1; }
+    for stage in '"xbegin"' '"xlock"' '"xexec"' '"xrelease"' '"xcommit"'; do
+        grep -q "$stage" <<<"$XTRACE" || { echo "    member $host xtrace missing $stage"; FAIL=1; }
+    done
+    # Time-series ring: at least two snapshots by scrape time (200 ms
+    # sampling interval in the smoke example).
+    TS="$(curl -sfS "http://$addr/timeseries")"
+    grep -qF '"points":[' <<<"$TS" || { echo "    member $host bad /timeseries: $TS"; FAIL=1; }
+    NPOINTS="$(grep -o '"at_us"' <<<"$TS" | wc -l)"
+    if [ "$NPOINTS" -lt 2 ]; then
+        echo "    member $host /timeseries has $NPOINTS snapshots, want >= 2"; FAIL=1
+    fi
+    echo "    metrics/cluster-metrics/introspect/healthz/trace/xtrace/timeseries OK"
 done < <(grep '^MEMBER ' "$OUT")
 
 wait "$SMOKE_PID"
