@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let (cluster, rts) = Cluster::new(3);
     let ts = rts[0].create_stable_ts("main").unwrap();
     rts[0].out(ts, linda_tuple::tuple!("count", 0)).unwrap();
-    let server = TupleServer::start(rts[0].clone(), 2);
+    let server = TupleServer::start(rts[0].clone(), 2).unwrap();
     let ags = Ags::builder()
         .guard_in(ts, vec![MF::actual("count"), MF::bind(TypeTag::Int)])
         .out(ts, vec![Operand::cst("count"), Operand::formal(0).add(1)])

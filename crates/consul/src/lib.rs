@@ -24,9 +24,15 @@ mod net;
 mod order;
 mod sequencer;
 mod stats;
+mod tcp;
+mod transport;
+mod wire;
 
 pub use isis::{IsisGroup, IsisMember, IsisMsg};
 pub use net::{Heartbeat, HostId, NetConfig, NetEvent, NicModel, SimNet, WireSized};
 pub use order::{BatchEntry, CheckpointImage, Delivery, LocalId, Protocol, Record, RecordBody};
 pub use sequencer::{BatchConfig, CheckpointConfig, SeqGroup, SeqMember, SeqMsg};
 pub use stats::{NetStats, OrderStats};
+pub use tcp::{bind_reuse, TcpConfig, TcpLane, TcpMesh};
+pub use transport::SeqNet;
+pub use wire::{decode_seq_msg, encode_seq_msg, MAX_FRAME_BYTES};

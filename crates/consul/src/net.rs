@@ -426,6 +426,28 @@ impl<M: Send + WireSized + 'static> SimNet<M> {
         }
     }
 
+    /// Freeze a host: silently drop its traffic in both directions while
+    /// leaving its inbox and its member thread intact. Unlike
+    /// [`SimNet::crash`], no detector notice is ever scheduled — under
+    /// heartbeat detection the silence looks exactly like a crash, which
+    /// is the point: this models a long stall or a flapping link, i.e.
+    /// the *false suspicion* case, where the "failed" member's protocol
+    /// state survives and the member later resumes from it.
+    pub fn freeze(&self, host: HostId) {
+        let mut st = self.inner.state.lock();
+        st.crashed.insert(host, true);
+        st.nic_free.remove(&host);
+    }
+
+    /// Undo a [`SimNet::freeze`]: the host's traffic flows again and its
+    /// member resumes from whatever state it had at the freeze — stale
+    /// cursor, stale membership view and all. The ordering layer's
+    /// eviction/rejoin machinery is what must clean that up.
+    pub fn thaw(&self, host: HostId) {
+        let mut st = self.inner.state.lock();
+        st.crashed.insert(host, false);
+    }
+
     /// Restart a crashed host: installs a fresh inbox (returned) and, after
     /// the detection delay, announces a [`NetEvent::JoinNotice`] to every
     /// live host *including the restarted one*.

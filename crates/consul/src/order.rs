@@ -188,6 +188,16 @@ pub enum Delivery {
         /// The state image to restore.
         image: CheckpointImage,
     },
+    /// Synthesized (never from a [`Record`]) when the member learns it
+    /// was evicted on a false suspicion: the coordinator ordered a
+    /// `Fail` for it while it was alive. Its in-flight broadcasts are
+    /// indeterminate — the application must fail their waiters. The
+    /// member re-enters through the JoinReq → Snapshot path, so a
+    /// `Restore` (or a replayed tail) follows once it is re-admitted.
+    Evicted {
+        /// The member's contiguous prefix at the moment of eviction.
+        seq: u64,
+    },
 }
 
 impl Delivery {
@@ -206,7 +216,8 @@ impl Delivery {
             Delivery::App { seq, .. }
             | Delivery::Fail { seq, .. }
             | Delivery::Join { seq, .. }
-            | Delivery::Checkpoint { seq } => *seq,
+            | Delivery::Checkpoint { seq }
+            | Delivery::Evicted { seq } => *seq,
             Delivery::Restore { image } => image.seq,
         }
     }

@@ -45,6 +45,8 @@
 use crate::net::{HostId, NetConfig, NetEvent, SimNet, WireSized};
 use crate::order::{BatchEntry, CheckpointImage, Delivery, LocalId, Record, RecordBody};
 use crate::stats::OrderStats;
+use crate::tcp::TcpLane;
+use crate::transport::SeqNet;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -209,7 +211,7 @@ impl FlushTimer {
 }
 
 /// Protocol messages of the sequencer group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SeqMsg {
     /// Origin → coordinator: please order this payload.
     Submit {
@@ -253,8 +255,18 @@ pub enum SeqMsg {
         /// The missing records.
         records: Vec<Record>,
     },
-    /// Restarted host → all: let me back in.
-    JoinReq,
+    /// Restarted host → all: let me back in. The incarnation nonce is
+    /// drawn once per process; the coordinator orders a `Join` record
+    /// (the boundary that clears the previous incarnation's
+    /// duplicate-suppression state) the first time it sees a given
+    /// nonce, while retried `JoinReq`s from the same incarnation only
+    /// re-send the snapshot. This keeps the boundary exactly-once even
+    /// when the `Fail` record for the old incarnation was lost in
+    /// coordinator-failover churn.
+    JoinReq {
+        /// Per-process random nonce identifying this incarnation.
+        incarnation: u64,
+    },
     /// Heartbeat (only in heartbeat-detection mode).
     Ping,
     /// Coordinator → joiner (or → a member that fell behind the
@@ -274,6 +286,13 @@ pub enum SeqMsg {
         /// Coordinator's current live set.
         live: Vec<HostId>,
     },
+    /// Coordinator → a host it has ordered a `Fail` record for, sent in
+    /// response to any traffic from that host. The (falsely) suspected
+    /// member is alive but has been removed from the recipient set: it
+    /// must not resume mid-stream with a stale cursor. On receipt it
+    /// drops out of the group, fails its in-flight broadcasts, and
+    /// re-enters through the ordinary JoinReq → Snapshot rejoin path.
+    Evicted,
 }
 
 impl WireSized for SeqMsg {
@@ -297,8 +316,9 @@ impl WireSized for SeqMsg {
             SeqMsg::Retransmit { records } => {
                 1 + records.iter().map(Record::wire_size).sum::<usize>()
             }
-            SeqMsg::JoinReq => 1,
+            SeqMsg::JoinReq { .. } => 9,
             SeqMsg::Ping => 1,
+            SeqMsg::Evicted => 1,
             SeqMsg::Snapshot {
                 checkpoint,
                 retired,
@@ -326,7 +346,7 @@ struct State {
     coord: HostId,
     joined: bool,
 
-    net: SimNet<SeqMsg>,
+    net: SeqNet,
     dtx: crossbeam::channel::Sender<Delivery>,
     stats: Arc<OrderStats>,
     /// Broadcast → total-order self-delivery latency (the "order" stage
@@ -383,7 +403,7 @@ struct State {
     buffered_submits: Vec<(HostId, LocalId, Bytes)>,
     buffered_nacks: Vec<(HostId, u64)>,
     pending_fails: BTreeSet<HostId>,
-    pending_joins: Vec<HostId>,
+    pending_joins: Vec<(HostId, u64)>,
 
     // Group commit (coordinator only). Entries in `batch` already hold
     // assigned sequence numbers `batch_first .. batch_first + len`; they
@@ -407,6 +427,39 @@ struct State {
     hb: Option<crate::net::Heartbeat>,
     last_heard: HashMap<HostId, std::time::Instant>,
     last_ping: std::time::Instant,
+    // Tick-driven rejoin (heartbeat mode only): while `!joined`, the
+    // member multicasts JoinReq on this backoff schedule. This is how an
+    // evicted (falsely-suspected) member re-enters, and how a TCP node
+    // started with `initially_joined = false` joins a running cluster.
+    next_join_at: std::time::Instant,
+    join_backoff: Duration,
+
+    // While a coordinator-elect is parked waiting for SyncReplies, the
+    // SyncQuery is re-sent on this schedule. On a lossy transport (a TCP
+    // link mid-reconnect drops sends) the one-shot query can vanish, and
+    // nothing else would ever unpark the sync.
+    next_sync_retry: std::time::Instant,
+
+    // This process's incarnation nonce, carried on every JoinReq. Drawn
+    // from the clock at construction; two incarnations of the same host
+    // id colliding would require booting twice in the same nanosecond.
+    incarnation: u64,
+
+    // Coordinator-side: the last incarnation nonce each host was served
+    // a join for. A JoinReq with a new nonce orders a Join record (the
+    // incarnation boundary) even when the old incarnation's Fail record
+    // was lost in failover churn; a retried JoinReq with the same nonce
+    // only re-sends the snapshot.
+    join_incarnations: BTreeMap<HostId, u64>,
+
+    // True until a member that booted outside the group (a fresh
+    // process rejoining a running cluster) completes its first join.
+    // Its local-id counter restarts from 1, so `origin == me` records in
+    // the replayed snapshot tail belong to the *previous* incarnation
+    // and must not retire this incarnation's pending submissions. An
+    // evicted-but-alive member keeps its counter, so there the replayed
+    // records really are its own and the flag stays false.
+    fresh_incarnation: bool,
 }
 
 impl State {
@@ -430,6 +483,44 @@ impl State {
         match ev {
             NetEvent::Msg { from, msg } => {
                 self.last_heard.insert(from, std::time::Instant::now());
+                // A JoinReq from a host we still count as live is itself
+                // a crash notice: the only senders are a fresh incarnation
+                // (the old process is gone) and an evicted member (whose
+                // Fail is already ordered). Run the failure through
+                // `on_crash` *first* so failover / Fail-record machinery
+                // orders the incarnation boundary before the join is
+                // served — without this, the rejoiner's own retried
+                // JoinReqs keep refreshing `last_heard` and the heartbeat
+                // detector never notices the restart.
+                if self.hb.is_some()
+                    && self.joined
+                    && from != self.me
+                    && self.live.contains(&from)
+                    && matches!(msg, SeqMsg::JoinReq { .. })
+                {
+                    self.on_crash(from);
+                }
+                // An isolation-demoted coordinator (see `on_crash`) that
+                // hears a universe peer again has proof its silence
+                // verdict was wrong: re-admit the peer and re-run the
+                // election sync instead of staying parked forever. The
+                // parked Fail is kept: the peer's previous incarnation
+                // left duplicate-suppression state (`assigned`/`retired`)
+                // behind, and only an ordered Fail → Join pair marks the
+                // incarnation boundary that clears it. A peer that never
+                // actually restarted simply rejoins through the ordinary
+                // eviction path.
+                if self.hb.is_some()
+                    && self.joined
+                    && self.is_coord()
+                    && !self.coord_synced
+                    && from != self.me
+                    && !self.live.contains(&from)
+                    && self.universe.contains(&from)
+                {
+                    self.live.insert(from);
+                    self.begin_sync();
+                }
                 self.on_msg(from, msg)
             }
             NetEvent::CrashNotice(h) => self.on_crash(h),
@@ -442,6 +533,27 @@ impl State {
     }
 
     fn on_msg(&mut self, from: HostId, msg: SeqMsg) {
+        // Traffic from a host we have ordered a Fail record for: the
+        // host is alive but evicted from the recipient set — every
+        // record since its Fail has bypassed it, so letting it resume
+        // mid-stream would hand it a stale cursor (and a resubmit could
+        // draw a *second* sequence number once a Join record prunes the
+        // duplicate-suppression state). Tell it to drop out and rejoin
+        // through the snapshot path. JoinReq itself must keep flowing,
+        // and sync/snapshot replies are part of recovery, so only
+        // steady-state traffic triggers the eviction.
+        if self.is_coord()
+            && self.coord_synced
+            && from != self.me
+            && self.failed_recorded.contains(&from)
+            && matches!(
+                msg,
+                SeqMsg::Submit { .. } | SeqMsg::Nack { .. } | SeqMsg::Ping
+            )
+        {
+            self.net.send(self.me, from, SeqMsg::Evicted);
+            return;
+        }
         match msg {
             SeqMsg::Submit { local, payload } => {
                 if self.is_coord() {
@@ -515,11 +627,18 @@ impl State {
                     self.accept_record(rec);
                 }
             }
-            SeqMsg::JoinReq => {
+            SeqMsg::JoinReq { incarnation } => {
                 if self.is_coord() && self.coord_synced {
-                    self.serve_join(from);
-                } else if self.is_coord() {
-                    self.pending_joins.push(from);
+                    self.serve_join(from, incarnation);
+                } else if self.is_coord() && self.joined {
+                    // Park until the election sync completes, keeping
+                    // only the newest nonce per host. An *unjoined*
+                    // would-be coordinator (a fresh incarnation of
+                    // `universe[0]` that has not rejoined yet) must not
+                    // park joins it can never serve — the joiner retries
+                    // and the real coordinator answers.
+                    self.pending_joins.retain(|(h, _)| *h != from);
+                    self.pending_joins.push((from, incarnation));
                 }
             }
             SeqMsg::Ping => {}
@@ -530,6 +649,19 @@ impl State {
                 tail,
                 live,
             } => {
+                let joining = !self.joined;
+                // A fresh incarnation's pre-join submissions must survive
+                // the snapshot install: `adopt_snapshot` clears pending
+                // state on a checkpoint jump, and that state is the only
+                // record of what still needs resubmitting.
+                let saved: Vec<(LocalId, Bytes)> = if joining && self.fresh_incarnation {
+                    self.pending_submits
+                        .iter()
+                        .map(|(l, p)| (*l, p.clone()))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 if self.joined {
                     // To a live member a snapshot is only useful as a
                     // catch-up past the coordinator's compaction
@@ -550,7 +682,131 @@ impl State {
                 for rec in tail {
                     self.accept_record(rec);
                 }
+                if joining {
+                    // Broadcasts submitted before (or during) the join
+                    // were refused by the coordinator while our Fail
+                    // record stood; anything the snapshot's tail did not
+                    // retire is resubmitted now that we are admitted.
+                    // `coord_submit` dedups on the coordinator side.
+                    for (local, payload) in saved {
+                        self.pending_submits.insert(local, payload);
+                    }
+                    self.fresh_incarnation = false;
+                    let me = self.me;
+                    let coord = self.coord;
+                    let pend: Vec<(LocalId, Bytes)> = self
+                        .pending_submits
+                        .iter()
+                        .map(|(l, p)| (*l, p.clone()))
+                        .collect();
+                    for (local, payload) in pend {
+                        self.stats.record_retransmit();
+                        self.net.send(me, coord, SeqMsg::Submit { local, payload });
+                    }
+                }
             }
+            SeqMsg::Evicted => self.on_evicted(from),
+        }
+    }
+
+    /// The coordinator has ordered a `Fail` record for us while we were
+    /// alive (a false suspicion — e.g. a long pause, or a TCP link that
+    /// outlasted the heartbeat timeout before reconnecting). Step down
+    /// and re-enter through the ordinary JoinReq → Snapshot path rather
+    /// than resuming mid-stream with a stale cursor.
+    fn on_evicted(&mut self, from: HostId) {
+        if !self.joined || self.hb.is_none() {
+            return; // already out, or running under the oracle detector
+        }
+        // Dueling-coordinator arbitration: when a healed partition
+        // leaves two synced coordinators evicting each other, the
+        // lower id keeps the role and the higher one steps down.
+        if self.is_coord() && self.coord_synced && from.0 > self.me.0 {
+            return;
+        }
+        self.events.emit(linda_obs::Event::new(
+            "evicted",
+            vec![
+                ("host".into(), self.me.to_string()),
+                ("by".into(), from.to_string()),
+                ("last_seq".into(), self.last_seq().to_string()),
+            ],
+        ));
+        self.stats.record_view_change();
+        // In-flight broadcasts are indeterminate across the re-admission
+        // (their Fail/Join bracket may or may not contain them); fail
+        // their waiters via the synthesized delivery below.
+        self.pending_submits.clear();
+        self.ba_removes += self.broadcast_at.len() as u64;
+        self.broadcast_at.clear();
+        self.nacked_for = None;
+        // Abandon any coordinator role we thought we held.
+        self.batch.clear();
+        self.batch_enqueued.clear();
+        self.batch_bytes = 0;
+        self.batch_deadline = None;
+        self.buffered_submits.clear();
+        self.buffered_nacks.clear();
+        self.pending_joins.clear();
+        self.pending_fails.clear();
+        self.assigned.clear();
+        self.coord_synced = false;
+        self.joined = false;
+        self.coord = from;
+        self.next_join_at = std::time::Instant::now();
+        self.join_backoff = Self::JOIN_BACKOFF_MIN;
+        let _ = self.dtx.send(Delivery::Evicted {
+            seq: self.last_seq(),
+        });
+    }
+
+    /// First backoff step of the tick-driven JoinReq loop.
+    const JOIN_BACKOFF_MIN: Duration = Duration::from_millis(5);
+    /// Backoff cap of the tick-driven JoinReq loop.
+    const JOIN_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+    /// Re-send interval for SyncQuery while replies are outstanding
+    /// (covers queries or replies lost to a reconnecting TCP link).
+    const SYNC_RETRY: Duration = Duration::from_millis(100);
+
+    /// (Re-)run the coordinator election sync: ask every live peer for
+    /// its log suffix and wait for all replies before assigning any new
+    /// sequence numbers.
+    fn begin_sync(&mut self) {
+        self.coord_synced = false;
+        self.sync_records.clear();
+        self.sync_checkpoint = None;
+        self.sync_retired.clear();
+        self.sync_failed.clear();
+        self.sync_waiting = self
+            .live
+            .iter()
+            .copied()
+            .filter(|p| *p != self.me)
+            .collect();
+        let have = self.last_seq();
+        let peers: Vec<HostId> = self.sync_waiting.iter().copied().collect();
+        for p in peers {
+            self.net.send(self.me, p, SeqMsg::SyncQuery { have });
+        }
+        self.next_sync_retry = std::time::Instant::now() + Self::SYNC_RETRY;
+        if self.sync_waiting.is_empty() {
+            // Heartbeat detection is fallible: a coordinator that just
+            // declared *everyone* else silent is more likely isolated
+            // than the last survivor. Ordering records alone would fork
+            // the log against the majority's new coordinator, so park
+            // unsynced instead; hearing any peer again (see `on_event`)
+            // or an `Evicted` from the real coordinator resolves it.
+            // The oracle detector is exact, so there the lone survivor
+            // legitimately continues.
+            if self.hb.is_some() && self.universe.len() > 1 {
+                self.events.emit(linda_obs::Event::new(
+                    "coordinator_isolated",
+                    vec![("host".into(), self.me.to_string())],
+                ));
+                return;
+            }
+            self.finish_sync();
         }
     }
 
@@ -607,7 +863,7 @@ impl State {
                 unreachable!("batch records are exploded in accept_record")
             }
             RecordBody::App(_) => {
-                if rec.origin == self.me {
+                if rec.origin == self.me && !self.fresh_incarnation {
                     self.pending_submits.remove(&rec.local);
                     if let Some(t0) = self.broadcast_at.remove(&rec.local) {
                         self.ba_removes += 1;
@@ -629,10 +885,16 @@ impl State {
             }
             RecordBody::Fail(h) => {
                 self.failed_recorded.insert(*h);
+                // An ordered Fail satisfies any copy we parked while a
+                // failover was still electing who would record it.
+                self.pending_fails.remove(h);
                 self.stats.record_view_change();
             }
             RecordBody::Join(h) => {
                 self.failed_recorded.remove(h);
+                // A parked Fail predates this re-admission: firing it
+                // after the Join would evict the host we just served.
+                self.pending_fails.remove(h);
                 self.live.insert(*h);
                 self.last_heard.insert(*h, std::time::Instant::now());
                 // A Join starts a fresh incarnation whose local ids
@@ -656,18 +918,47 @@ impl State {
     }
 
     /// Heartbeat mode: send periodic pings and declare silent peers
-    /// crashed. Called from the member thread on every loop iteration.
+    /// crashed; while unjoined, retry JoinReq on a capped backoff
+    /// instead. Called from the member thread on every loop iteration.
     fn heartbeat_tick(&mut self) {
         let Some(hb) = self.hb else { return };
+        let now = std::time::Instant::now();
         if !self.joined {
+            if now >= self.next_join_at {
+                self.next_join_at = now + self.join_backoff;
+                self.join_backoff = (self.join_backoff * 2).min(Self::JOIN_BACKOFF_MAX);
+                self.stats.record_retransmit();
+                let me = self.me;
+                let incarnation = self.incarnation;
+                let peers: Vec<HostId> =
+                    self.universe.iter().copied().filter(|p| *p != me).collect();
+                self.net
+                    .multicast(me, &peers, SeqMsg::JoinReq { incarnation });
+            }
             return;
         }
-        let now = std::time::Instant::now();
+        // A coordinator-elect parked on lost sync traffic re-asks: the
+        // SyncQuery (or its reply) may have been dropped by a TCP link
+        // that was still mid-reconnect when the election fired.
+        if self.is_coord()
+            && !self.coord_synced
+            && !self.sync_waiting.is_empty()
+            && now >= self.next_sync_retry
+        {
+            self.next_sync_retry = now + Self::SYNC_RETRY;
+            let have = self.last_seq();
+            let me = self.me;
+            let peers: Vec<HostId> = self.sync_waiting.iter().copied().collect();
+            for p in peers {
+                self.stats.record_retransmit();
+                self.net.send(me, p, SeqMsg::SyncQuery { have });
+            }
+        }
         if now.duration_since(self.last_ping) >= hb.period {
             self.last_ping = now;
             let me = self.me;
             let peers: Vec<HostId> = self.universe.iter().copied().filter(|p| *p != me).collect();
-            self.net.multicast(me, peers, SeqMsg::Ping);
+            self.net.multicast(me, &peers, SeqMsg::Ping);
         }
         let silent: Vec<HostId> = self
             .live
@@ -707,28 +998,16 @@ impl State {
             ));
             self.coord = new_coord;
             self.nacked_for = None;
+            // Every observer parks the Fail, not just the elected
+            // coordinator: a failover that names an already-dead new
+            // coordinator would otherwise drop the record on the floor,
+            // and whoever wins the *next* election must still order it.
+            // The parked entry is retired when a Fail or Join record for
+            // the host is delivered (see `append_and_deliver`).
+            self.pending_fails.insert(h);
             if new_coord == self.me {
                 // Become coordinator-elect; sync with every live peer.
-                self.coord_synced = false;
-                self.pending_fails.insert(h);
-                self.sync_records.clear();
-                self.sync_checkpoint = None;
-                self.sync_retired.clear();
-                self.sync_failed.clear();
-                self.sync_waiting = self
-                    .live
-                    .iter()
-                    .copied()
-                    .filter(|p| *p != self.me)
-                    .collect();
-                let have = self.last_seq();
-                let peers: Vec<HostId> = self.sync_waiting.iter().copied().collect();
-                for p in peers {
-                    self.net.send(self.me, p, SeqMsg::SyncQuery { have });
-                }
-                if self.sync_waiting.is_empty() {
-                    self.finish_sync();
-                }
+                self.begin_sync();
             } else {
                 // Resubmit unacked broadcasts to the new coordinator.
                 let me = self.me;
@@ -744,11 +1023,28 @@ impl State {
                 }
             }
         } else if self.is_coord() {
+            // A synced coordinator whose detector just silenced its
+            // *last* peer (heartbeat mode, non-trivial universe) is more
+            // likely isolated than alone: demote instead of ordering a
+            // Fail that would fork the log against the majority's new
+            // coordinator. Re-promotion happens in `on_event` when a
+            // peer is heard again, or via `Evicted` from the majority's
+            // coordinator.
+            let isolated = self.hb.is_some() && self.live.len() <= 1 && self.universe.len() > 1;
             if self.coord_synced {
-                self.emit_fail(h);
+                if isolated {
+                    self.coord_synced = false;
+                    self.pending_fails.insert(h);
+                    self.events.emit(linda_obs::Event::new(
+                        "coordinator_isolated",
+                        vec![("host".into(), self.me.to_string())],
+                    ));
+                } else {
+                    self.emit_fail(h);
+                }
             } else {
                 self.pending_fails.insert(h);
-                if self.sync_waiting.remove(&h) && self.sync_waiting.is_empty() {
+                if self.sync_waiting.remove(&h) && self.sync_waiting.is_empty() && !isolated {
                     self.finish_sync();
                 }
             }
@@ -774,12 +1070,24 @@ impl State {
             self.accept_record(rec);
         }
         self.next_seq = self.last_seq() + 1;
-        self.assigned = self
-            .log
-            .iter()
-            .filter(|r| matches!(r.body, RecordBody::App(_)))
-            .map(|r| ((r.origin, r.local), r.seq))
-            .collect();
+        // Rebuild duplicate suppression by folding the log *in order*:
+        // a Join record is an incarnation boundary, so App records from
+        // before a host's Join must not shadow the new incarnation's
+        // restarted local-id sequence.
+        self.assigned.clear();
+        for i in 0..self.log.len() {
+            match &self.log[i].body {
+                RecordBody::App(_) => {
+                    let r = &self.log[i];
+                    self.assigned.insert((r.origin, r.local), r.seq);
+                }
+                RecordBody::Join(h) => {
+                    let h = *h;
+                    self.assigned.retain(|(o, _), _| *o != h);
+                }
+                _ => {}
+            }
+        }
         // Resume marker cadence from the last marker that survives in
         // the merged log (or the watermark itself if none did).
         self.last_marker = self
@@ -797,6 +1105,23 @@ impl State {
         self.pending_fails.clear();
         for h in fails {
             self.emit_fail(h);
+        }
+        // Failover churn can lose a Fail: `on_crash` only parks one when
+        // the election lands on *us*, so a failover that named an
+        // already-dead new coordinator drops the record on the floor.
+        // Heartbeat mode expects every universe member to be reachable —
+        // sweep any we cannot hear into Fail records now (dedup'd by
+        // `failed_recorded`); their Join clears them when they return.
+        if self.hb.is_some() {
+            let absent: Vec<HostId> = self
+                .universe
+                .iter()
+                .copied()
+                .filter(|h| *h != self.me && !self.live.contains(h))
+                .collect();
+            for h in absent {
+                self.emit_fail(h);
+            }
         }
         // Re-inject our own unacked submissions (the old coordinator may
         // have died holding them). `coord_submit` dedups anything that did
@@ -819,8 +1144,8 @@ impl State {
             self.serve_nack(from, missing);
         }
         let joins = std::mem::take(&mut self.pending_joins);
-        for j in joins {
-            self.serve_join(j);
+        for (j, inc) in joins {
+            self.serve_join(j, inc);
         }
     }
 
@@ -892,15 +1217,26 @@ impl State {
         self.net.send(self.me, to, snap);
     }
 
-    fn serve_join(&mut self, joiner: HostId) {
+    fn serve_join(&mut self, joiner: HostId, incarnation: u64) {
         // Flush before admitting the joiner to the recipient set, so
         // the open batch is not multicast to a host that has no
         // snapshot yet.
         self.flush_batch();
         self.live.insert(joiner);
         self.recipients.insert(joiner);
+        // A Fail parked while we were unsynced must not fire after the
+        // host has been re-admitted.
+        self.pending_fails.remove(&joiner);
         self.send_snapshot(joiner);
-        if self.failed_recorded.contains(&joiner) {
+        // A nonce we have not served yet is proof of a fresh incarnation
+        // even when the host's Fail record was lost to failover churn
+        // (e.g. an election that named an already-dead coordinator):
+        // order the Join record — the incarnation boundary that clears
+        // the host's duplicate-suppression state — either way. Only a
+        // retried JoinReq from the incarnation we *already* served skips
+        // the record and just re-sends the snapshot.
+        let served = self.join_incarnations.get(&joiner) == Some(&incarnation);
+        if self.failed_recorded.contains(&joiner) || !served {
             let rec = Record {
                 seq: self.next_seq,
                 origin: self.me,
@@ -910,6 +1246,7 @@ impl State {
             self.next_seq += 1;
             self.distribute(rec);
         }
+        self.join_incarnations.insert(joiner, incarnation);
     }
 
     /// Coordinator path for a submission: assign the next sequence number
@@ -1112,7 +1449,7 @@ impl State {
             .copied()
             .filter(|h| *h != me)
             .collect();
-        self.net.multicast(me, dests, SeqMsg::Ordered(rec.clone()));
+        self.net.multicast(me, &dests, SeqMsg::Ordered(rec.clone()));
         self.accept_record(rec);
     }
 
@@ -1210,7 +1547,7 @@ impl State {
 /// [`SeqMember::deliveries`].
 pub struct SeqMember {
     me: HostId,
-    net: SimNet<SeqMsg>,
+    net: SeqNet,
     state: Arc<Mutex<State>>,
     deliveries: crossbeam::channel::Receiver<Delivery>,
     stats: Arc<OrderStats>,
@@ -1220,9 +1557,11 @@ pub struct SeqMember {
     flush_timer: Arc<FlushTimer>,
 }
 
-/// Factory/controller for a sequencer group over a simulated network.
+/// Factory/controller for a sequencer group over a simulated network,
+/// or for this process's member of a TCP-backed group (see
+/// [`SeqGroup::tcp_member`]).
 pub struct SeqGroup {
-    net: SimNet<SeqMsg>,
+    net: SeqNet,
     universe: Vec<HostId>,
     stats: Arc<OrderStats>,
     batch: BatchConfig,
@@ -1280,7 +1619,7 @@ impl SeqGroup {
             .map(|(i, rx)| {
                 Self::spawn_member(
                     HostId(i as u32),
-                    &net,
+                    SeqNet::Sim(net.clone()),
                     &universe,
                     rx,
                     stats.clone(),
@@ -1293,7 +1632,7 @@ impl SeqGroup {
             .collect();
         (
             SeqGroup {
-                net,
+                net: SeqNet::Sim(net),
                 universe,
                 stats,
                 batch,
@@ -1304,10 +1643,52 @@ impl SeqGroup {
         )
     }
 
+    /// Spawn this process's member of a TCP-backed group: one shard
+    /// lane of a [`crate::TcpMesh`], with the peer processes running
+    /// their own members of the same logical group. With
+    /// `initially_joined = false` the member boots outside the group
+    /// and joins a running cluster through the tick-driven
+    /// JoinReq → Snapshot path (heartbeat mode is always on over TCP).
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_member(
+        lane: TcpLane,
+        universe: Vec<HostId>,
+        me: HostId,
+        rx: crossbeam::channel::Receiver<NetEvent<SeqMsg>>,
+        batch: BatchConfig,
+        ckpt: CheckpointConfig,
+        local_base: u64,
+        initially_joined: bool,
+    ) -> (SeqGroup, SeqMember) {
+        let stats = Arc::new(OrderStats::default());
+        let member = Self::spawn_member(
+            me,
+            SeqNet::Tcp(lane.clone()),
+            &universe,
+            rx,
+            stats.clone(),
+            initially_joined,
+            batch,
+            ckpt,
+            local_base,
+        );
+        (
+            SeqGroup {
+                net: SeqNet::Tcp(lane),
+                universe,
+                stats,
+                batch,
+                ckpt,
+                local_base,
+            },
+            member,
+        )
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn spawn_member(
         me: HostId,
-        net: &SimNet<SeqMsg>,
+        net: SeqNet,
         universe: &[HostId],
         rx: crossbeam::channel::Receiver<NetEvent<SeqMsg>>,
         stats: Arc<OrderStats>,
@@ -1341,6 +1722,7 @@ impl SeqGroup {
             0
         });
         let flush_timer = Arc::new(FlushTimer::new());
+        let hb = net.heartbeats();
         let now = Instant::now();
         let state = Arc::new(Mutex::new(State {
             me,
@@ -1393,12 +1775,21 @@ impl SeqGroup {
             flush_timer: flush_timer.clone(),
             batch_size_hist,
             batch_flush_hist,
-            hb: net.config().heartbeats,
+            hb,
             last_heard: universe
                 .iter()
                 .map(|h| (*h, std::time::Instant::now()))
                 .collect(),
             last_ping: std::time::Instant::now(),
+            next_join_at: std::time::Instant::now(),
+            join_backoff: State::JOIN_BACKOFF_MIN,
+            next_sync_retry: std::time::Instant::now(),
+            incarnation: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(1),
+            join_incarnations: BTreeMap::new(),
+            fresh_incarnation: !initially_joined,
         }));
         let stop = Arc::new(AtomicBool::new(false));
         let member = SeqMember {
@@ -1429,9 +1820,7 @@ impl SeqGroup {
                 })
                 .expect("spawn flusher");
         }
-        let tick = net
-            .config()
-            .heartbeats
+        let tick = hb
             .map(|hb| (hb.period / 2).max(Duration::from_millis(1)))
             .unwrap_or(Duration::from_millis(50));
         std::thread::Builder::new()
@@ -1475,10 +1864,13 @@ impl SeqGroup {
     /// surfaced through [`SeqMember::rejoin_error`] and as a
     /// `rejoin_failed` event in the member's observability registry.
     pub fn restart(&self, host: HostId) -> SeqMember {
-        let rx = self.net.restart(host);
+        let rx = self
+            .net
+            .restart(host)
+            .expect("restart(): in-process restart is a Sim-transport facility; a TCP member rejoins by relaunching its process");
         let member = Self::spawn_member(
             host,
-            &self.net,
+            self.net.clone(),
             &self.universe,
             rx,
             self.stats.clone(),
@@ -1502,6 +1894,7 @@ impl SeqGroup {
             .spawn(move || {
                 let mut backoff = Duration::from_millis(5);
                 let cap = Duration::from_millis(160);
+                let incarnation = state.lock().incarnation;
                 for _ in 0..Self::MAX_JOIN_ATTEMPTS {
                     {
                         let st = state.lock();
@@ -1518,7 +1911,7 @@ impl SeqGroup {
                         .filter(|h| *h != me)
                         .collect();
                     for p in peers {
-                        net.send(me, p, SeqMsg::JoinReq);
+                        net.send(me, p, SeqMsg::JoinReq { incarnation });
                     }
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(cap);
@@ -1548,7 +1941,19 @@ impl SeqGroup {
     pub const MAX_JOIN_ATTEMPTS: u32 = 16;
 
     /// The simulated network (for stats and direct fault injection).
+    ///
+    /// # Panics
+    /// On the TCP transport, which has no simulation controls; use
+    /// [`SeqGroup::transport`] for the transport-agnostic surface.
     pub fn net(&self) -> &SimNet<SeqMsg> {
+        self.net
+            .sim()
+            .expect("net(): simulation accessor called on the TCP transport")
+    }
+
+    /// The transport this group's members send through (works for both
+    /// Sim and TCP; for live-host views and byte counters).
+    pub fn transport(&self) -> &SeqNet {
         &self.net
     }
 

@@ -381,4 +381,59 @@ mod heartbeat_mode {
         assert_logs_converge(&ms[0], &m2, Duration::from_secs(3));
         g.shutdown();
     }
+
+    /// A member that is falsely suspected — its links frozen, process
+    /// still alive — is ordered failed; when its traffic reappears the
+    /// coordinator evicts it rather than letting it resume mid-stream
+    /// with a stale cursor, and it re-admits itself through the
+    /// JoinReq/Snapshot path. History is never forked.
+    #[test]
+    fn false_suspicion_is_evicted_then_readmitted() {
+        let (g, ms) = SeqGroup::new(3, hb_config());
+        ms[0].broadcast(Bytes::from_static(b"warm"));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ms[2].delivered_count() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Freeze, don't crash: the member's threads keep running but its
+        // packets are dropped, so the survivors suspect it falsely.
+        g.net().freeze(HostId(2));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !ms[0]
+            .log()
+            .iter()
+            .any(|r| matches!(r.body, consul_sim::RecordBody::Fail(HostId(2))))
+        {
+            assert!(Instant::now() < deadline, "false suspicion never ordered");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        g.net().thaw(HostId(2));
+        // The zombie's heartbeats resume; the coordinator answers with
+        // an eviction and the member rejoins via snapshot.
+        let deadline = Instant::now() + Duration::from_secs(8);
+        while !ms[2]
+            .log()
+            .iter()
+            .any(|r| matches!(r.body, consul_sim::RecordBody::Join(HostId(2))))
+        {
+            assert!(
+                Instant::now() < deadline,
+                "evicted member never re-admitted"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Post-rejoin traffic from the once-evicted member orders normally.
+        ms[2].broadcast(Bytes::from_static(b"again"));
+        let deadline = Instant::now() + Duration::from_secs(8);
+        while !ms[0]
+            .log()
+            .iter()
+            .any(|r| matches!(&r.body, consul_sim::RecordBody::App(p) if &p[..] == b"again"))
+        {
+            assert!(Instant::now() < deadline, "post-rejoin message lost");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_logs_converge(&ms[0], &ms[2], Duration::from_secs(3));
+        g.shutdown();
+    }
 }

@@ -24,7 +24,9 @@
 use crate::flight::{FlightRecorder, FlightSection};
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::server::{events_json_lines, http_post_metrics, ExporterSources, HttpExporter};
-use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup, SeqMember};
+use consul_sim::{
+    BatchConfig, CheckpointConfig, HostId, NetConfig, SeqGroup, SeqMember, TcpConfig, TcpMesh,
+};
 use ftlinda_kernel::StoreConfig;
 use linda_tuple::Signature;
 use parking_lot::Mutex;
@@ -36,11 +38,44 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which wire the cluster's ordering traffic rides on.
+///
+/// `Sim` (the default) is the in-process simulated network every test and
+/// experiment uses: all hosts live in one process, crashes and restarts
+/// are injectable, latency is configurable. `Tcp` is a real deployment:
+/// this process hosts exactly **one** member, speaking length-prefixed
+/// frames over persistent TCP connections to its peers (each of which
+/// runs its own process — see the `ftlinda-node` binary). Failure
+/// detection over TCP is always heartbeat-based; a crash is a process
+/// that died, and a restart is a process relaunched with `rejoin`.
+#[derive(Debug, Clone)]
+pub enum Transport {
+    /// All hosts in-process over [`consul_sim::SimNet`].
+    Sim,
+    /// One member per process over real sockets.
+    Tcp(TcpClusterConfig),
+}
+
+/// TCP deployment shape: who this process is and where everyone listens.
+#[derive(Debug, Clone)]
+pub struct TcpClusterConfig {
+    /// This process's member id (an index into `addrs`).
+    pub me: u32,
+    /// Every member's sequencer address, ours included (we bind it).
+    pub addrs: Vec<SocketAddr>,
+    /// Boot outside the group and enter through the JoinReq → Snapshot
+    /// rejoin path instead of assuming founding membership. Pass this
+    /// when relaunching a member into a cluster that already ordered its
+    /// failure.
+    pub rejoin: bool,
+}
+
 /// Builder for a [`Cluster`].
 #[derive(Debug, Clone)]
 pub struct ClusterBuilder {
     hosts: u32,
     shards: u32,
+    transport: Transport,
     net: NetConfig,
     divergence_period: Option<Duration>,
     batch: BatchConfig,
@@ -61,6 +96,7 @@ impl Default for ClusterBuilder {
         ClusterBuilder {
             hosts: 3,
             shards: 1,
+            transport: Transport::Sim,
             net: NetConfig::instant(),
             divergence_period: Some(Duration::from_millis(10)),
             batch: BatchConfig::default(),
@@ -108,6 +144,17 @@ impl ClusterBuilder {
         let hash = sig.stable_hash();
         self.store_overrides.retain(|(s, _)| *s != hash);
         self.store_overrides.push((hash, cfg));
+        self
+    }
+
+    /// Select the transport: in-process [`Transport::Sim`] (default) or
+    /// one-member-per-process [`Transport::Tcp`]. Under TCP the builder's
+    /// `hosts` count is taken from the address list, failure detection is
+    /// always heartbeat-based ([`ClusterBuilder::heartbeats`] tunes it),
+    /// and [`ClusterBuilder::build`] can fail to bind — use
+    /// [`ClusterBuilder::try_build`].
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.transport = t;
         self
     }
 
@@ -295,7 +342,28 @@ impl ClusterBuilder {
     }
 
     /// Build the cluster and one runtime per host.
+    ///
+    /// # Panics
+    ///
+    /// Under [`Transport::Tcp`] building can genuinely fail (the listen
+    /// address may be taken); this convenience panics on that error.
+    /// Deployment binaries should call [`ClusterBuilder::try_build`].
     pub fn build(self) -> (Cluster, Vec<Runtime>) {
+        self.try_build().expect("cluster transport failed to start")
+    }
+
+    /// Build the cluster, surfacing transport startup errors. Under
+    /// [`Transport::Sim`] this never fails and returns one runtime per
+    /// host; under [`Transport::Tcp`] it returns exactly one runtime —
+    /// the local member's.
+    pub fn try_build(self) -> std::io::Result<(Cluster, Vec<Runtime>)> {
+        match self.transport.clone() {
+            Transport::Sim => Ok(self.build_sim()),
+            Transport::Tcp(tcp) => self.build_tcp(tcp),
+        }
+    }
+
+    fn build_sim(self) -> (Cluster, Vec<Runtime>) {
         // One independent sequencer group (own simulated network, own
         // log, own checkpoint stream) per shard. Per-shard local-id
         // bases keep broadcast ids globally unique so one waiting table
@@ -320,7 +388,7 @@ impl ClusterBuilder {
                 .then_some(self.starvation_after),
             introspection: self.introspection,
             store: self.store,
-            store_overrides: self.store_overrides,
+            store_overrides: self.store_overrides.clone(),
         };
         let runtimes: Vec<Runtime> = members_per_host
             .into_iter()
@@ -328,7 +396,7 @@ impl ClusterBuilder {
             .collect();
         let by_host: HashMap<HostId, Runtime> =
             runtimes.iter().map(|rt| (rt.host(), rt.clone())).collect();
-        let flight = self.flight_dir.map(|dir| {
+        let flight = self.flight_dir.clone().map(|dir| {
             Arc::new(FlightRecorder::new(dir).expect("create flight recorder directory"))
         });
         let timeseries = self
@@ -336,6 +404,7 @@ impl ClusterBuilder {
             .map(|(_, cap)| Arc::new(linda_obs::TimeSeriesRing::with_capacity(cap)));
         let cluster = Cluster {
             groups,
+            mesh: None,
             runtimes: Arc::new(Mutex::new(by_host)),
             obs: Arc::new(linda_obs::Registry::new()),
             stop: Arc::new(AtomicBool::new(false)),
@@ -348,6 +417,77 @@ impl ClusterBuilder {
             timeseries,
             run_cfg,
         };
+        self.start_services(&cluster);
+        (cluster, runtimes)
+    }
+
+    /// One member of a multi-process TCP cluster: bind our listener,
+    /// dial the peers, run one sequencer member per shard lane over the
+    /// mesh, and wrap them in a single local [`Runtime`].
+    fn build_tcp(self, tcp: TcpClusterConfig) -> std::io::Result<(Cluster, Vec<Runtime>)> {
+        let shards = self.shards.max(1);
+        let obs = Arc::new(linda_obs::Registry::new());
+        let mut cfg = TcpConfig::new(HostId(tcp.me), &tcp.addrs, shards);
+        if let Some(hb) = self.net.heartbeats {
+            cfg.heartbeat = hb;
+        }
+        let (mesh, lane_rxs) = TcpMesh::start(cfg, &obs)?;
+        let universe = mesh.universe();
+        let me = mesh.me();
+        let mut groups: Vec<SeqGroup> = Vec::with_capacity(shards as usize);
+        let mut members: Vec<SeqMember> = Vec::with_capacity(shards as usize);
+        for (i, rx) in lane_rxs.into_iter().enumerate() {
+            let (group, member) = SeqGroup::tcp_member(
+                mesh.lane(i as u32),
+                universe.clone(),
+                me,
+                rx,
+                self.batch,
+                self.ckpt,
+                (i as u64) << 48,
+                !tcp.rejoin,
+            );
+            groups.push(group);
+            members.push(member);
+        }
+        let run_cfg = RuntimeConfig {
+            starvation_after: (self.introspection && !self.starvation_after.is_zero())
+                .then_some(self.starvation_after),
+            introspection: self.introspection,
+            store: self.store,
+            store_overrides: self.store_overrides.clone(),
+        };
+        let rt = Runtime::with_members(members, run_cfg.clone());
+        let by_host: HashMap<HostId, Runtime> = [(me, rt.clone())].into_iter().collect();
+        let flight = self.flight_dir.clone().map(|dir| {
+            Arc::new(FlightRecorder::new(dir).expect("create flight recorder directory"))
+        });
+        let timeseries = self
+            .timeseries
+            .map(|(_, cap)| Arc::new(linda_obs::TimeSeriesRing::with_capacity(cap)));
+        let cluster = Cluster {
+            groups,
+            mesh: Some(mesh),
+            runtimes: Arc::new(Mutex::new(by_host)),
+            obs,
+            stop: Arc::new(AtomicBool::new(false)),
+            detector: Mutex::new(None),
+            exporters: Mutex::new(HashMap::new()),
+            flight,
+            monitor: Mutex::new(None),
+            pusher: Mutex::new(None),
+            sampler: Mutex::new(None),
+            timeseries,
+            run_cfg,
+        };
+        self.start_services(&cluster);
+        Ok((cluster, vec![rt]))
+    }
+
+    /// Background services common to both transports. The divergence
+    /// detector and trace/metrics aggregation only see the runtimes in
+    /// this process (all of them under Sim, just ours under TCP).
+    fn start_services(&self, cluster: &Cluster) {
         if let Some(period) = self.divergence_period {
             cluster.spawn_detector(period);
         }
@@ -361,10 +501,9 @@ impl ClusterBuilder {
             cluster
                 .spawn_flight_monitor(self.divergence_period.unwrap_or(Duration::from_millis(10)));
         }
-        if let Some((url, interval)) = self.push {
+        if let Some((url, interval)) = self.push.clone() {
             cluster.spawn_pusher(url, interval);
         }
-        (cluster, runtimes)
     }
 }
 
@@ -373,6 +512,10 @@ pub struct Cluster {
     /// One ordering group per shard; `groups[0]` exists in every
     /// configuration and carries space creation.
     groups: Vec<SeqGroup>,
+    /// The TCP mesh multiplexing every shard lane, when built with
+    /// [`Transport::Tcp`] (`None` under Sim). Held for shutdown and
+    /// per-link socket counters.
+    mesh: Option<TcpMesh>,
     /// Current runtime per host, replaced on restart so the divergence
     /// detector always samples the live incarnation.
     runtimes: Arc<Mutex<HashMap<HostId, Runtime>>>,
@@ -411,7 +554,7 @@ impl Cluster {
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
         let stop = self.stop.clone();
-        let net = self.groups[0].net().clone();
+        let net = self.groups[0].transport().clone();
         let shards = self.groups.len();
         let divergences = obs.counter(
             "ftlinda_digest_divergence_total",
@@ -513,7 +656,7 @@ impl Cluster {
             };
             let health = {
                 let runtimes = runtimes.clone();
-                let net = self.groups[0].net().clone();
+                let net = self.groups[0].transport().clone();
                 Arc::new(move || {
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
                     let map = runtimes.lock();
@@ -548,7 +691,7 @@ impl Cluster {
             let cluster_metrics = {
                 let runtimes = runtimes.clone();
                 let obs = self.obs.clone();
-                let net = self.groups[0].net().clone();
+                let net = self.groups[0].transport().clone();
                 Arc::new(move || {
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
                     aggregate_metrics(&runtimes.lock(), &obs, &live)
@@ -612,14 +755,18 @@ impl Cluster {
     /// histograms merge bucket-wise. Served as `/metrics/cluster` on
     /// every member's exporter.
     pub fn cluster_metrics_text(&self) -> String {
-        let live: HashSet<HostId> = self.groups[0].net().live_hosts().into_iter().collect();
+        let live: HashSet<HostId> = self.groups[0]
+            .transport()
+            .live_hosts()
+            .into_iter()
+            .collect();
         aggregate_metrics(&self.runtimes.lock(), &self.obs, &live)
     }
 
     fn spawn_pusher(&self, url: String, interval: Duration) {
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
-        let net = self.groups[0].net().clone();
+        let net = self.groups[0].transport().clone();
         let stop = self.stop.clone();
         let pushes = obs.counter(
             "ftlinda_pushes_total",
@@ -703,7 +850,7 @@ impl Cluster {
         };
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
-        let net = self.groups[0].net().clone();
+        let net = self.groups[0].transport().clone();
         // Per-shard ordered-multicast counts are sampled from the
         // sequencer groups directly: OrderStats is ONE object per group,
         // so reading it here avoids multiplying by the replica count the
@@ -796,7 +943,7 @@ impl Cluster {
     /// and operators can force a dump.
     pub fn flight_dump(&self, reason: &str) -> Option<std::io::Result<PathBuf>> {
         let flight = self.flight.as_ref()?;
-        let live: Vec<HostId> = self.groups[0].net().live_hosts();
+        let live: Vec<HostId> = self.groups[0].transport().live_hosts();
         let sections = flight_sections(
             &self.runtimes.lock(),
             &self.obs,
@@ -814,7 +961,7 @@ impl Cluster {
         let runtimes = self.runtimes.clone();
         let obs = self.obs.clone();
         let stats = self.groups[0].stats_handle();
-        let net = self.groups[0].net().clone();
+        let net = self.groups[0].transport().clone();
         let stop = self.stop.clone();
         let ring = self.timeseries.clone();
         let handle = std::thread::Builder::new()
@@ -882,19 +1029,34 @@ impl Cluster {
     }
 
     /// Network statistics (physical messages/bytes) — experiment E9.
-    /// Summed over all shards' simulated networks.
+    /// Summed over all shards' simulated networks; under TCP the shard
+    /// lanes share one mesh, whose socket-level counters this reports.
     pub fn net_stats(&self) -> (u64, u64) {
+        if let Some(mesh) = &self.mesh {
+            return mesh.stats().snapshot();
+        }
         self.groups.iter().fold((0, 0), |(m, b), g| {
-            let (gm, gb) = g.net().stats().snapshot();
+            let (gm, gb) = g.transport().stats_snapshot();
             (m + gm, b + gb)
         })
     }
 
     /// Reset network statistics between measurement phases.
     pub fn reset_net_stats(&self) {
-        for group in &self.groups {
-            group.net().stats().reset();
+        if let Some(mesh) = &self.mesh {
+            mesh.stats().reset();
+            return;
         }
+        for group in &self.groups {
+            group.transport().reset_stats();
+        }
+    }
+
+    /// Hosts currently considered live by the failure detector (the
+    /// oracle under Sim, heartbeat reachability under TCP). A TCP member
+    /// that has not yet connected to any peer reports only itself.
+    pub fn live_hosts(&self) -> Vec<HostId> {
+        self.groups[0].transport().live_hosts()
     }
 
     /// Number of shards (independent ordering groups) in this cluster.
@@ -946,6 +1108,9 @@ impl Cluster {
         }
         for group in &self.groups {
             group.shutdown();
+        }
+        if let Some(mesh) = &self.mesh {
+            mesh.shutdown();
         }
     }
 }

@@ -31,6 +31,12 @@ pub enum FtError {
     /// restored state — so the caller must re-inspect and resubmit
     /// idempotently.
     StateTransfer,
+    /// The cluster's coordinator evicted this host on a false failure
+    /// suspicion (missed heartbeats) while the call was in flight. The
+    /// host re-admits itself through the snapshot rejoin path, but
+    /// whether this call's record landed inside its Fail/Join bracket
+    /// is indeterminate — re-inspect and resubmit idempotently.
+    Evicted,
 }
 
 impl fmt::Display for FtError {
@@ -48,6 +54,12 @@ impl fmt::Display for FtError {
             }
             FtError::StateTransfer => {
                 write!(f, "replica state replaced by checkpoint transfer")
+            }
+            FtError::Evicted => {
+                write!(
+                    f,
+                    "host evicted by the coordinator (false failure suspicion)"
+                )
             }
         }
     }
@@ -82,5 +94,6 @@ mod tests {
             .to_string()
             .contains("invalid"));
         assert!(FtError::StateTransfer.to_string().contains("checkpoint"));
+        assert!(FtError::Evicted.to_string().contains("evicted"));
     }
 }

@@ -41,7 +41,7 @@ mod flight;
 mod runtime;
 mod server;
 
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{Cluster, ClusterBuilder, TcpClusterConfig, Transport};
 pub use error::FtError;
 pub use flight::{FlightRecorder, FlightSection};
 pub use runtime::{
@@ -52,7 +52,7 @@ pub use server::{
 };
 
 // Re-export the pieces users need to build AGSs and patterns.
-pub use consul_sim::{BatchConfig, CheckpointConfig, HostId, NetConfig};
+pub use consul_sim::{BatchConfig, CheckpointConfig, Heartbeat, HostId, NetConfig};
 pub use ftlinda_ags::{Ags, AgsOutcome, MatchField, Operand, ScratchId, TsId};
 pub use ftlinda_kernel::{
     BlockedReport, ExecError, IndexReport, IntrospectReport, MatchStats, SignatureOccupancy,

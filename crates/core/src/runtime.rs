@@ -380,6 +380,26 @@ impl Runtime {
                                 let _ = tx.send(Err(FtError::StateTransfer));
                             }
                         }
+                        KernelNote::Evicted { seq } => {
+                            shared.obs.events_handle().emit(linda_obs::Event::new(
+                                "evicted",
+                                vec![
+                                    ("host".into(), host.to_string()),
+                                    ("shard".into(), lane_idx.to_string()),
+                                    ("seq".into(), seq.to_string()),
+                                ],
+                            ));
+                            // The coordinator ordered a Fail for us while
+                            // we were alive: records delivered between the
+                            // Fail and our re-admission bypassed us, so
+                            // in-flight calls are indeterminate. Fail
+                            // their waiters rather than leaving them hung
+                            // until the rejoin replays the stream.
+                            let mut w = shared.waiting.lock();
+                            for (_, (tx, _)) in w.drain() {
+                                let _ = tx.send(Err(FtError::Evicted));
+                            }
+                        }
                         KernelNote::RestoreFailed { seq, ref error } => {
                             shared.obs.events_handle().emit(linda_obs::Event::new(
                                 "restore_failed",

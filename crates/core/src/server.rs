@@ -23,7 +23,7 @@ use crate::runtime::Runtime;
 use ftlinda_ags::{Ags, AgsOutcome, TsId};
 use linda_obs::TraceId;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,13 +50,20 @@ pub struct TupleServer {
 impl TupleServer {
     /// Start a server backed by `rt` with `handlers` worker threads (the
     /// paper's request handler processes).
-    pub fn start(rt: Runtime, handlers: usize) -> TupleServer {
+    ///
+    /// Thread-spawn failure (fd/thread exhaustion) is an `Err`, not a
+    /// panic: a server that cannot field requests should report that to
+    /// its operator rather than take the whole replica process down. If
+    /// at least one handler came up before the failure, the error still
+    /// tears the partial server down (its `Drop` stops the survivors).
+    pub fn start(rt: Runtime, handlers: usize) -> std::io::Result<TupleServer> {
         let (tx, rx) = crossbeam::channel::unbounded::<RpcRequest>();
         let alive = Arc::new(AtomicBool::new(true));
+        let server = TupleServer { tx, alive, rt };
         for i in 0..handlers.max(1) {
             let rx = rx.clone();
-            let rt = rt.clone();
-            let alive = alive.clone();
+            let rt = server.rt.clone();
+            let alive = server.alive.clone();
             std::thread::Builder::new()
                 .name(format!("tuple-server-{i}"))
                 .spawn(move || {
@@ -72,10 +79,9 @@ impl TupleServer {
                             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                         }
                     }
-                })
-                .expect("spawn tuple server handler");
+                })?;
         }
-        TupleServer { tx, alive, rt }
+        Ok(server)
     }
 
     /// Render the backing host's metrics in Prometheus text format —
@@ -196,7 +202,10 @@ impl HttpExporter {
     /// actual address is [`HttpExporter::addr`]) and serve `sources` on a
     /// background thread until [`HttpExporter::stop`].
     pub fn spawn(port: u16, sources: ExporterSources) -> std::io::Result<HttpExporter> {
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        // `bind_reuse` (SO_REUSEADDR): a relaunched node must rebind its
+        // fixed scrape port while the dead incarnation's connections are
+        // still in TIME_WAIT.
+        let listener = consul_sim::bind_reuse(SocketAddr::from(([127, 0, 0, 1], port)))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -216,8 +225,7 @@ impl HttpExporter {
                         Err(_) => std::thread::sleep(Duration::from_millis(2)),
                     }
                 }
-            })
-            .expect("spawn http exporter");
+            })?;
         Ok(HttpExporter {
             addr,
             stop,
@@ -413,11 +421,12 @@ mod tests {
     use crate::cluster::Cluster;
     use ftlinda_ags::{MatchField as MF, Operand};
     use linda_tuple::TypeTag;
+    use std::net::TcpListener;
 
     #[test]
     fn rpc_client_round_trip() {
         let (cluster, rts) = Cluster::new(2);
-        let server = TupleServer::start(rts[0].clone(), 2);
+        let server = TupleServer::start(rts[0].clone(), 2).unwrap();
         let client = server.client(Duration::ZERO);
         let ts = client.create_stable_ts("main").unwrap();
         client
@@ -433,7 +442,7 @@ mod tests {
     #[test]
     fn rpc_and_direct_clients_interoperate() {
         let (cluster, rts) = Cluster::new(2);
-        let server = TupleServer::start(rts[0].clone(), 1);
+        let server = TupleServer::start(rts[0].clone(), 1).unwrap();
         let client = server.client(Duration::ZERO);
         let ts = rts[1].create_stable_ts("shared").unwrap();
         let ts2 = client.create_stable_ts("shared").unwrap();
@@ -541,7 +550,7 @@ mod tests {
     #[test]
     fn rpc_latency_is_paid_per_call() {
         let (cluster, rts) = Cluster::new(2);
-        let server = TupleServer::start(rts[0].clone(), 1);
+        let server = TupleServer::start(rts[0].clone(), 1).unwrap();
         let slow = server.client(Duration::from_millis(10));
         let ts = slow.create_stable_ts("main").unwrap();
         let t0 = std::time::Instant::now();

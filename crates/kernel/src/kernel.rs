@@ -121,6 +121,15 @@ pub enum KernelNote {
         /// Sequence number the image captures.
         seq: u64,
     },
+    /// The ordering layer evicted this member (a false failure
+    /// suspicion: the coordinator ordered a `Fail` for us while we were
+    /// alive). In-flight local calls are indeterminate across the
+    /// re-admission — the runtime fails their waiters. State is kept;
+    /// the rejoin's `Restore` or replayed tail brings it back in step.
+    Evicted {
+        /// The member's contiguous prefix at the moment of eviction.
+        seq: u64,
+    },
     /// A checkpoint image failed to decode or verify; the kernel kept
     /// its previous state. The replica is now behind and will stay so —
     /// surfaced to the operator rather than silently diverging.
@@ -770,6 +779,13 @@ impl Kernel {
             }
             return;
         }
+        if let Delivery::Evicted { seq } = d {
+            // Also before the `applied` bump: eviction is a protocol
+            // event, not part of the ordered stream. The kernel's state
+            // is still a valid prefix; only in-flight waiters die.
+            self.note(KernelNote::Evicted { seq: *seq });
+            return;
+        }
         if self.hold.is_some() && self.hold_intercept(d) {
             return;
         }
@@ -853,7 +869,7 @@ impl Kernel {
                 }
                 self.pending_checkpoint = Some(image);
             }
-            Delivery::Restore { .. } => unreachable!("handled above"),
+            Delivery::Restore { .. } | Delivery::Evicted { .. } => unreachable!("handled above"),
         }
     }
 

@@ -35,7 +35,16 @@ pub enum DecodeError {
         /// Bytes actually remaining.
         remaining: usize,
     },
+    /// Nested tuples exceeded [`MAX_VALUE_DEPTH`].
+    TooDeep,
 }
+
+/// Maximum nesting depth of `Value::Tuple` the decoder will follow.
+///
+/// `get_value` recurses once per nesting level; without a cap a ~40-byte
+/// hostile frame of repeated Tuple tags overflows the decode thread's
+/// stack. 32 levels is far beyond anything the AGS layer produces.
+pub const MAX_VALUE_DEPTH: usize = 32;
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -52,6 +61,9 @@ impl fmt::Display for DecodeError {
                 f,
                 "declared length {declared} exceeds remaining {remaining} bytes"
             ),
+            DecodeError::TooDeep => {
+                write!(f, "tuple nesting exceeds {MAX_VALUE_DEPTH} levels")
+            }
         }
     }
 }
@@ -143,6 +155,13 @@ pub fn put_value(buf: &mut impl BufMut, v: &Value) {
 
 /// Decode a single [`Value`].
 pub fn get_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
+    get_value_at(buf, 0)
+}
+
+fn get_value_at(buf: &mut impl Buf, depth: usize) -> Result<Value, DecodeError> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
     if !buf.has_remaining() {
         return Err(DecodeError::UnexpectedEof);
     }
@@ -182,14 +201,27 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
             Value::Bytes(bytes)
         }
         TypeTag::Tuple => {
-            let n = get_uvarint(buf)? as usize;
+            let n = get_arity_checked(buf)?;
             let mut fields = Vec::with_capacity(n.min(64));
             for _ in 0..n {
-                fields.push(get_value(buf)?);
+                fields.push(get_value_at(buf, depth + 1)?);
             }
             Value::Tuple(fields)
         }
     })
+}
+
+/// Field counts: each field is at least one byte, so a count larger than
+/// the remaining buffer is hostile — reject it before reserving anything.
+fn get_arity_checked(buf: &mut impl Buf) -> Result<usize, DecodeError> {
+    let n = get_uvarint(buf)? as usize;
+    if n > buf.remaining() {
+        return Err(DecodeError::LengthOverrun {
+            declared: n,
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(n)
 }
 
 /// Encode a [`Tuple`] (field count + fields).
@@ -202,10 +234,10 @@ pub fn put_tuple(buf: &mut impl BufMut, t: &Tuple) {
 
 /// Decode a [`Tuple`].
 pub fn get_tuple(buf: &mut impl Buf) -> Result<Tuple, DecodeError> {
-    let n = get_uvarint(buf)? as usize;
+    let n = get_arity_checked(buf)?;
     let mut fields = Vec::with_capacity(n.min(64));
     for _ in 0..n {
-        fields.push(get_value(buf)?);
+        fields.push(get_value_at(buf, 1)?);
     }
     Ok(Tuple::new(fields))
 }
@@ -232,14 +264,14 @@ pub fn put_pattern(buf: &mut impl BufMut, p: &Pattern) {
 
 /// Decode a [`Pattern`].
 pub fn get_pattern(buf: &mut impl Buf) -> Result<Pattern, DecodeError> {
-    let n = get_uvarint(buf)? as usize;
+    let n = get_arity_checked(buf)?;
     let mut fields = Vec::with_capacity(n.min(64));
     for _ in 0..n {
         if !buf.has_remaining() {
             return Err(DecodeError::UnexpectedEof);
         }
         match buf.get_u8() {
-            PAT_ACTUAL => fields.push(PatField::Actual(get_value(buf)?)),
+            PAT_ACTUAL => fields.push(PatField::Actual(get_value_at(buf, 1)?)),
             PAT_FORMAL => {
                 if !buf.has_remaining() {
                     return Err(DecodeError::UnexpectedEof);
@@ -427,5 +459,41 @@ mod tests {
     fn error_display() {
         let e = DecodeError::BadTag(7);
         assert!(e.to_string().contains("0x07"));
+        assert!(DecodeError::TooDeep.to_string().contains("nesting"));
+    }
+
+    #[test]
+    fn nesting_to_the_cap_roundtrips() {
+        let mut v = Value::Int(0);
+        for _ in 0..MAX_VALUE_DEPTH - 1 {
+            v = Value::Tuple(vec![v]);
+        }
+        roundtrip_value(v);
+    }
+
+    #[test]
+    fn hostile_deep_nesting_rejected() {
+        // A run of Tuple tags each declaring one nested field: without the
+        // depth cap this recurses once per byte pair and overflows the stack.
+        let mut buf = Vec::new();
+        for _ in 0..100_000 {
+            buf.put_u8(TypeTag::Tuple as u8);
+            put_uvarint(&mut buf, 1);
+        }
+        buf.put_u8(TypeTag::Bool as u8);
+        buf.put_u8(1);
+        assert_eq!(get_value(&mut buf.as_slice()), Err(DecodeError::TooDeep));
+    }
+
+    #[test]
+    fn hostile_arity_rejected_before_allocation() {
+        // Claim 2^50 fields in a 4-byte buffer: must fail on the count
+        // check, not attempt to reserve or loop.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1u64 << 50);
+        assert!(matches!(
+            get_tuple(&mut buf.as_slice()),
+            Err(DecodeError::LengthOverrun { .. })
+        ));
     }
 }

@@ -28,7 +28,7 @@ mod value;
 
 pub use codec::{
     decode_tuple, encode_tuple, get_ivarint, get_pattern, get_tuple, get_uvarint, get_value,
-    put_ivarint, put_pattern, put_tuple, put_uvarint, put_value, DecodeError,
+    put_ivarint, put_pattern, put_tuple, put_uvarint, put_value, DecodeError, MAX_VALUE_DEPTH,
 };
 pub use pattern::{PatField, Pattern};
 pub use signature::{

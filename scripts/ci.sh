@@ -52,4 +52,12 @@ echo "==> long-history rejoin smoke (O(state) checkpoint transfer)"
 cargo test --release -q -p ftlinda --test checkpoint_tests \
     rejoin_bytes_scale_with_state_not_history -- --exact
 
+echo "==> TCP transport smoke (3 processes, kill -9 + rejoin, pingpong bench)"
+# Boots a 3-process 2-shard cluster over real localhost sockets via the
+# launcher, curls every member's /healthz and per-link net counters,
+# SIGKILLs one member, relaunches it with --rejoin as the pingpong
+# driver, and requires the BENCH_tcp_pingpong.json artifact it writes.
+BENCH_TCP_PINGPONG_JSON="${BENCH_TCP_PINGPONG_JSON:-$PWD/BENCH_tcp_pingpong.json}" \
+    ./scripts/tcp_smoke.sh
+
 echo "CI green."

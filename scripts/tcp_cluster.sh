@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Boot an N-process FT-Linda cluster on localhost TCP and keep it running
+# until this script is interrupted (the nodes are its children).
+#
+#   scripts/tcp_cluster.sh [-n HOSTS] [-k SHARDS] [-p SEQ_BASE_PORT]
+#                          [-H HTTP_BASE_PORT] [-b BINARY] [-l LOG_DIR]
+#
+# Member i listens for sequencer traffic on SEQ_BASE_PORT+i and serves
+# /metrics, /healthz etc. on HTTP_BASE_PORT+i. Member 0 runs the pong
+# service; the rest are idle replicas. Drive a benchmark against the
+# running cluster with:
+#
+#   ftlinda-node --id <free-id> ... --role ping
+#
+# or kill one member (kill -9 <pid from LOG_DIR/node<i>.pid>) and relaunch
+# it with --rejoin to watch the snapshot rejoin path across processes.
+
+set -euo pipefail
+
+HOSTS=3
+SHARDS=2
+SEQ_BASE=7400
+HTTP_BASE=8400
+BIN=""
+LOG_DIR="${TMPDIR:-/tmp}/ftlinda-cluster"
+
+while getopts "n:k:p:H:b:l:h" opt; do
+  case "$opt" in
+    n) HOSTS="$OPTARG" ;;
+    k) SHARDS="$OPTARG" ;;
+    p) SEQ_BASE="$OPTARG" ;;
+    H) HTTP_BASE="$OPTARG" ;;
+    b) BIN="$OPTARG" ;;
+    l) LOG_DIR="$OPTARG" ;;
+    h)
+      sed -n '2,17p' "$0"
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+if [ -z "$BIN" ]; then
+  for candidate in target/release/ftlinda-node target/debug/ftlinda-node; do
+    [ -x "$candidate" ] && BIN="$candidate" && break
+  done
+fi
+if [ -z "$BIN" ]; then
+  echo "tcp_cluster.sh: build ftlinda-node first (cargo build [--release])" >&2
+  exit 2
+fi
+
+PEERS=""
+for ((i = 0; i < HOSTS; i++)); do
+  PEERS+="${PEERS:+,}127.0.0.1:$((SEQ_BASE + i))"
+done
+
+mkdir -p "$LOG_DIR"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+for ((i = 0; i < HOSTS; i++)); do
+  role=idle
+  [ "$i" -eq 0 ] && role=pong
+  "$BIN" --id "$i" --peers "$PEERS" --shards "$SHARDS" \
+    --http-base "$HTTP_BASE" --role "$role" \
+    >"$LOG_DIR/node$i.log" 2>&1 &
+  PIDS+=($!)
+  echo "$!" >"$LOG_DIR/node$i.pid"
+done
+
+echo "cluster: $HOSTS hosts, $SHARDS shards, seq ports $SEQ_BASE+, http ports $HTTP_BASE+"
+echo "logs:    $LOG_DIR/node<i>.log  pids: $LOG_DIR/node<i>.pid"
+
+# Wait for every member to report READY (cluster formed), then park.
+for ((i = 0; i < HOSTS; i++)); do
+  for _ in $(seq 1 150); do
+    grep -q "^READY" "$LOG_DIR/node$i.log" 2>/dev/null && break
+    sleep 0.2
+  done
+  if ! grep -q "^READY" "$LOG_DIR/node$i.log" 2>/dev/null; then
+    echo "tcp_cluster.sh: node $i never became READY; its log:" >&2
+    cat "$LOG_DIR/node$i.log" >&2
+    exit 3
+  fi
+done
+echo "READY: all $HOSTS members converged"
+
+wait

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# TCP transport smoke test: boot a 3-process, 2-shard cluster on
+# localhost via the launcher, scrape every member's HTTP surface, then
+# SIGKILL one member and relaunch it with --rejoin as the pingpong
+# driver — the cluster must survive the kill, re-admit the new
+# incarnation, and the driver must write the pingpong bench artifact
+# ($BENCH_TCP_PINGPONG_JSON, default ./BENCH_tcp_pingpong.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOSTS=3
+SHARDS=2
+SEQ_BASE="${TCP_SMOKE_SEQ_BASE:-7460}"
+HTTP_BASE="${TCP_SMOKE_HTTP_BASE:-8460}"
+COUNT="${TCP_SMOKE_COUNT:-500}"
+LOG_DIR="${TMPDIR:-/tmp}/ftlinda-tcp-smoke"
+BENCH_OUT="${BENCH_TCP_PINGPONG_JSON:-$PWD/BENCH_tcp_pingpong.json}"
+
+BIN=""
+for candidate in target/release/ftlinda-node target/debug/ftlinda-node; do
+  [ -x "$candidate" ] && BIN="$candidate" && break
+done
+if [ -z "$BIN" ]; then
+  echo "tcp_smoke.sh: build ftlinda-node first (cargo build [--release])" >&2
+  exit 2
+fi
+
+rm -rf "$LOG_DIR"
+mkdir -p "$LOG_DIR"
+rm -f "$BENCH_OUT"
+
+./scripts/tcp_cluster.sh -n "$HOSTS" -k "$SHARDS" -p "$SEQ_BASE" \
+  -H "$HTTP_BASE" -b "$BIN" -l "$LOG_DIR" >"$LOG_DIR/launcher.log" 2>&1 &
+LAUNCHER=$!
+cleanup() {
+  kill "$LAUNCHER" 2>/dev/null || true
+  wait "$LAUNCHER" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+dump_logs() {
+  for f in "$LOG_DIR"/launcher.log "$LOG_DIR"/node*.log; do
+    echo "--- $f"
+    cat "$f" 2>/dev/null || true
+  done
+}
+
+# 1. Cluster formation: the launcher prints READY once every member has
+#    converged on the full view.
+for _ in $(seq 1 200); do
+  grep -q '^READY' "$LOG_DIR/launcher.log" 2>/dev/null && break
+  if ! kill -0 "$LAUNCHER" 2>/dev/null; then
+    echo "tcp_smoke.sh: launcher exited early"; dump_logs; exit 1
+  fi
+  sleep 0.2
+done
+grep -q '^READY' "$LOG_DIR/launcher.log" || {
+  echo "tcp_smoke.sh: cluster never formed"; dump_logs; exit 1
+}
+
+# 2. Every member serves the HTTP surface with a full live view and the
+#    per-link transport counters.
+FAIL=0
+for ((i = 0; i < HOSTS; i++)); do
+  addr="127.0.0.1:$((HTTP_BASE + i))"
+  echo "--- member $i @ $addr"
+  HEALTH="$(curl -sfS "http://$addr/healthz")" || { echo "  /healthz unreachable"; FAIL=1; continue; }
+  echo "  $HEALTH"
+  echo "$HEALTH" | grep -q '"live":true' || { echo "  member $i not live"; FAIL=1; }
+  echo "$HEALTH" | grep -q '"view":\[0,1,2\]' || { echo "  member $i incomplete view"; FAIL=1; }
+  curl -sfS "http://$addr/metrics" >/dev/null || { echo "  /metrics unreachable"; FAIL=1; }
+  # The per-link transport counters live on the process-wide cluster
+  # registry, merged into /metrics/cluster.
+  METRICS="$(curl -sfS "http://$addr/metrics/cluster")" || { echo "  /metrics/cluster unreachable"; FAIL=1; continue; }
+  for name in ftlinda_net_sent_bytes_total ftlinda_net_recv_bytes_total \
+              ftlinda_net_reconnects_total ftlinda_frames_rejected_total; do
+    echo "$METRICS" | grep -q "^$name" || { echo "  member $i missing $name"; FAIL=1; }
+  done
+done
+[ "$FAIL" -eq 0 ] || { dump_logs; exit 1; }
+
+# 3. Kill-one-process-then-rejoin: SIGKILL the idle member 2, then
+#    relaunch it as the pingpong driver with --rejoin. It must re-form a
+#    view with the survivors, drive COUNT round trips against member 0's
+#    pong service across real sockets, and write the bench artifact.
+VICTIM="$(cat "$LOG_DIR/node2.pid")"
+kill -9 "$VICTIM" 2>/dev/null || true
+# Reap via the launcher's wait; just give the kernel a beat to close fds.
+sleep 0.3
+
+PEERS="127.0.0.1:$SEQ_BASE,127.0.0.1:$((SEQ_BASE + 1)),127.0.0.1:$((SEQ_BASE + 2))"
+if ! "$BIN" --id 2 --peers "$PEERS" --shards "$SHARDS" \
+    --http-base "$HTTP_BASE" --role ping --rejoin \
+    --count "$COUNT" --bench-out "$BENCH_OUT" \
+    >"$LOG_DIR/node2-rejoin.log" 2>&1; then
+  echo "tcp_smoke.sh: relaunched ping driver failed"
+  cat "$LOG_DIR/node2-rejoin.log"; dump_logs; exit 1
+fi
+
+[ -s "$BENCH_OUT" ] || { echo "tcp_smoke.sh: no bench artifact at $BENCH_OUT"; dump_logs; exit 1; }
+grep -q '"bench":"tcp_pingpong"' "$BENCH_OUT" || { echo "tcp_smoke.sh: malformed bench JSON:"; cat "$BENCH_OUT"; exit 1; }
+grep -q "\"count\":$COUNT" "$BENCH_OUT" || { echo "tcp_smoke.sh: wrong count in bench JSON:"; cat "$BENCH_OUT"; exit 1; }
+echo "tcp_pingpong bench: $(cat "$BENCH_OUT")"
+echo "TCP smoke OK: 3-process cluster formed, scraped, survived kill -9 + rejoin"

@@ -1,0 +1,137 @@
+//! The cluster out of one process: boot N `ftlinda-node` processes over
+//! localhost TCP, drive pingpong traffic through them, SIGKILL one
+//! member, relaunch it with `--rejoin`, and prove the survivors plus the
+//! rejoiner still serve. This is the transport's end-to-end exercise —
+//! real sockets, real process death, real snapshot rejoin.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const NODE: &str = env!("CARGO_BIN_EXE_ftlinda-node");
+
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    (0..n)
+        .map(|_| {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        })
+        .collect()
+}
+
+fn peers_arg(addrs: &[SocketAddr]) -> String {
+    addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// A node process that is SIGKILLed when the test ends (or panics), so
+/// failures never leak orphans.
+struct Node(Child);
+
+impl Node {
+    fn spawn(peers: &str, id: u32, role: &str, extra: &[&str]) -> Node {
+        let mut cmd = Command::new(NODE);
+        cmd.args(["--id", &id.to_string(), "--peers", peers, "--role", role])
+            .args(["--shards", "2"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        Node(cmd.spawn().expect("spawn ftlinda-node"))
+    }
+
+    /// Wait for clean exit, with a deadline; returns captured output for
+    /// diagnostics.
+    fn wait_success(mut self, secs: u64, what: &str) -> String {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        loop {
+            match self.0.try_wait().expect("try_wait") {
+                Some(status) => {
+                    let mut out = String::new();
+                    if let Some(mut s) = self.0.stdout.take() {
+                        let _ = s.read_to_string(&mut out);
+                    }
+                    let mut err = String::new();
+                    if let Some(mut s) = self.0.stderr.take() {
+                        let _ = s.read_to_string(&mut err);
+                    }
+                    assert!(
+                        status.success(),
+                        "{what} failed ({status}):\nstdout:\n{out}\nstderr:\n{err}"
+                    );
+                    // Forget the child so Drop doesn't re-kill a reaped pid.
+                    std::mem::forget(self);
+                    return out;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "{what} still running after {secs}s"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn kill_one_process_then_rejoin() {
+    let addrs = free_addrs(3);
+    let peers = peers_arg(&addrs);
+    let bench =
+        std::env::temp_dir().join(format!("ftlinda-tcp-it-{}-bench.json", std::process::id()));
+    let bench_path = bench.to_str().unwrap().to_string();
+
+    // Members 1 (pong service) and 2 (idle replica) persist; member 0
+    // is the ping driver and runs to completion per phase.
+    let pong = Node::spawn(&peers, 1, "pong", &[]);
+    let idle = Node::spawn(&peers, 2, "idle", &[]);
+    let ping = Node::spawn(
+        &peers,
+        0,
+        "ping",
+        &["--count", "40", "--bench-out", &bench_path],
+    );
+    let out = ping.wait_success(120, "initial ping phase");
+    assert!(out.contains("ops_per_sec"), "bench line missing: {out}");
+
+    // SIGKILL the pong member mid-life: the survivors detect the
+    // silence, order its failure, and the cluster keeps its state.
+    drop(pong);
+
+    // Relaunch it as a rejoiner: it must come back through the
+    // JoinReq → Snapshot path (its log died with the process) and then
+    // serve pings again. The ping driver also rejoins — its own earlier
+    // exit was recorded as a failure too.
+    let pong2 = Node::spawn(&peers, 1, "pong", &["--rejoin"]);
+    let ping2 = Node::spawn(
+        &peers,
+        0,
+        "ping",
+        &["--rejoin", "--count", "40", "--bench-out", &bench_path],
+    );
+    let out2 = ping2.wait_success(120, "post-rejoin ping phase");
+    assert!(
+        out2.contains("ops_per_sec"),
+        "post-rejoin bench line missing: {out2}"
+    );
+
+    // The bench artifact is valid enough to consume downstream.
+    let json = std::fs::read_to_string(&bench).expect("bench json written");
+    assert!(json.contains("\"bench\":\"tcp_pingpong\""), "{json}");
+    assert!(json.contains("\"count\":40"), "{json}");
+    let _ = std::fs::remove_file(&bench);
+    drop(pong2);
+    drop(idle);
+}

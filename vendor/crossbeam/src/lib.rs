@@ -46,6 +46,35 @@ pub mod channel {
     #[derive(PartialEq, Eq, Clone, Copy)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -169,6 +198,22 @@ pub mod channel {
                     .wait(st)
                     .unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Sends `msg` without blocking: errors when the bounded channel
+        /// is full or every receiver has been dropped.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.cap.is_some_and(|c| st.items.len() >= c) {
+                return Err(TrySendError::Full(msg));
+            }
+            st.items.push_back(msg);
+            drop(st);
+            self.shared.recv_ready.notify_one();
+            Ok(())
         }
 
         /// Number of messages currently queued.
