@@ -267,8 +267,22 @@ pub enum SeqMsg {
         /// Per-process random nonce identifying this incarnation.
         incarnation: u64,
     },
-    /// Heartbeat (only in heartbeat-detection mode).
-    Ping,
+    /// Heartbeat (only in heartbeat-detection mode), carrying the RTT
+    /// piggyback: each ping states when it left the sender and echoes
+    /// the newest ping received from the destination, so the receiver
+    /// can compute the link round-trip against its **own** clock —
+    /// `rtt = now - echo_us - held_us` — with no cross-host clock
+    /// comparison and zero extra messages.
+    Ping {
+        /// Sender's `now_micros()` at send time.
+        sent_us: u64,
+        /// `sent_us` of the newest ping received *from the destination*
+        /// (0 when none has arrived yet — no sample).
+        echo_us: u64,
+        /// Microseconds the sender held that ping before echoing it
+        /// (receipt → this send), subtracted out of the RTT.
+        held_us: u64,
+    },
     /// Coordinator → joiner (or → a member that fell behind the
     /// compaction watermark): state checkpoint plus the log tail past
     /// it. With checkpointing off, `checkpoint` is `None` and `tail` is
@@ -317,7 +331,7 @@ impl WireSized for SeqMsg {
                 1 + records.iter().map(Record::wire_size).sum::<usize>()
             }
             SeqMsg::JoinReq { .. } => 9,
-            SeqMsg::Ping => 1,
+            SeqMsg::Ping { .. } => 1 + 21,
             SeqMsg::Evicted => 1,
             SeqMsg::Snapshot {
                 checkpoint,
@@ -427,6 +441,12 @@ struct State {
     hb: Option<crate::net::Heartbeat>,
     last_heard: HashMap<HostId, std::time::Instant>,
     last_ping: std::time::Instant,
+    /// Newest ping received per peer: its `sent_us` plus when it
+    /// arrived, echoed back on our next heartbeat (RTT piggyback).
+    ping_rx: HashMap<HostId, (u64, Instant)>,
+    /// Per-peer wire round-trip latency (`ftlinda_net_rtt_seconds`),
+    /// fed by the heartbeat echo path.
+    rtt_hist: Arc<linda_obs::HistogramFamily>,
     // Tick-driven rejoin (heartbeat mode only): while `!joined`, the
     // member multicasts JoinReq on this backoff schedule. This is how an
     // evicted (falsely-suspected) member re-enters, and how a TCP node
@@ -548,7 +568,7 @@ impl State {
             && self.failed_recorded.contains(&from)
             && matches!(
                 msg,
-                SeqMsg::Submit { .. } | SeqMsg::Nack { .. } | SeqMsg::Ping
+                SeqMsg::Submit { .. } | SeqMsg::Nack { .. } | SeqMsg::Ping { .. }
             )
         {
             self.net.send(self.me, from, SeqMsg::Evicted);
@@ -641,7 +661,24 @@ impl State {
                     self.pending_joins.push((from, incarnation));
                 }
             }
-            SeqMsg::Ping => {}
+            SeqMsg::Ping {
+                sent_us,
+                echo_us,
+                held_us,
+            } => {
+                // Remember this ping so our next heartbeat echoes it
+                // back, and close the loop on any echo of our own: the
+                // round-trip is measured entirely against our clock.
+                self.ping_rx.insert(from, (sent_us, Instant::now()));
+                if echo_us != 0 {
+                    let rtt_us = linda_obs::now_micros()
+                        .saturating_sub(echo_us)
+                        .saturating_sub(held_us);
+                    self.rtt_hist
+                        .with(&[("peer", &from.to_string())])
+                        .observe_seconds(rtt_us as f64 / 1e6);
+                }
+            }
             SeqMsg::Snapshot {
                 checkpoint,
                 retired,
@@ -958,7 +995,24 @@ impl State {
             self.last_ping = now;
             let me = self.me;
             let peers: Vec<HostId> = self.universe.iter().copied().filter(|p| *p != me).collect();
-            self.net.multicast(me, &peers, SeqMsg::Ping);
+            // Per-peer sends rather than one multicast: each ping echoes
+            // the newest ping *from that peer*, closing the RTT loop.
+            for p in peers {
+                let (echo_us, held_us) = self
+                    .ping_rx
+                    .get(&p)
+                    .map(|(sent, at)| (*sent, at.elapsed().as_micros() as u64))
+                    .unwrap_or((0, 0));
+                self.net.send(
+                    me,
+                    p,
+                    SeqMsg::Ping {
+                        sent_us: linda_obs::now_micros(),
+                        echo_us,
+                        held_us,
+                    },
+                );
+            }
         }
         let silent: Vec<HostId> = self
             .live
@@ -1711,6 +1765,10 @@ impl SeqGroup {
         );
         let batch_flush_hist =
             obs.histogram("ftlinda_batch_flush_seconds", "Batch open-to-flush latency");
+        let rtt_hist = obs.histogram_family(
+            "ftlinda_net_rtt_seconds",
+            "Wire round-trip latency per peer, from the heartbeat RTT piggyback",
+        );
         obs.gauge_merged(
             "ftlinda_batch_max_bytes",
             "Byte threshold that force-flushes an open batch (0 = no byte trigger)",
@@ -1781,6 +1839,8 @@ impl SeqGroup {
                 .map(|h| (*h, std::time::Instant::now()))
                 .collect(),
             last_ping: std::time::Instant::now(),
+            ping_rx: HashMap::new(),
+            rtt_hist,
             next_join_at: std::time::Instant::now(),
             join_backoff: State::JOIN_BACKOFF_MIN,
             next_sync_retry: std::time::Instant::now(),

@@ -27,14 +27,14 @@ use crate::sequencer::SeqMsg;
 use crate::stats::NetStats;
 use crate::wire::{decode_seq_msg, encode_seq_msg, MAX_FRAME_BYTES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use linda_obs::{Counter, Registry};
+use linda_obs::{Counter, Event, EventSink, Gauge, Histogram, Registry};
 use linda_tuple::{get_uvarint, put_uvarint};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// `TcpListener::bind` with `SO_REUSEADDR`, which std never sets: a
 /// relaunched member must rebind its well-known port while the previous
@@ -164,6 +164,7 @@ struct PeerLink {
     recv_bytes: Arc<Counter>,
     reconnects: Arc<Counter>,
     dropped: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
 }
 
 struct MeshInner {
@@ -172,6 +173,9 @@ struct MeshInner {
     lanes_tx: Vec<Sender<NetEvent<SeqMsg>>>,
     links: HashMap<HostId, PeerLink>,
     frames_rejected: Arc<Counter>,
+    encode_hist: Arc<Histogram>,
+    decode_hist: Arc<Histogram>,
+    events: Arc<EventSink>,
     stop: AtomicBool,
 }
 
@@ -195,9 +199,19 @@ impl MeshInner {
         };
         if !link.connected.load(Ordering::Relaxed) || link.tx.try_send(frame.clone()).is_err() {
             link.dropped.inc();
+            link.queue_depth.set(link.tx.len() as i64);
             return;
         }
+        link.queue_depth.set(link.tx.len() as i64);
         self.stats.record_msg(frame.len());
+    }
+
+    /// Encode `msg` as a wire frame, timing the serialization.
+    fn encode_timed(&self, lane: u32, msg: &SeqMsg) -> Vec<u8> {
+        let t0 = Instant::now();
+        let frame = encode_frame(lane, msg);
+        self.encode_hist.observe(t0.elapsed());
+        frame
     }
 }
 
@@ -260,6 +274,19 @@ impl TcpMesh {
             "ftlinda_frames_rejected_total",
             "Malformed or oversized wire frames (connection dropped)",
         );
+        let queue_depth = obs.gauge_family(
+            "ftlinda_net_queue_depth",
+            "Outbound frames queued per TCP link at the last send",
+        );
+        let encode_hist = obs.histogram(
+            "ftlinda_frame_encode_seconds",
+            "Wire frame serialization latency",
+        );
+        let decode_hist = obs.histogram(
+            "ftlinda_frame_decode_seconds",
+            "Wire frame deserialization latency",
+        );
+        let events = obs.events_handle();
 
         let mut lanes_tx = Vec::new();
         let mut lanes_rx = Vec::new();
@@ -284,6 +311,7 @@ impl TcpMesh {
                     recv_bytes: recv.with(labels),
                     reconnects: reconn.with(labels),
                     dropped: dropped.with(labels),
+                    queue_depth: queue_depth.with(labels),
                 },
             );
             writers.push((*peer, *addr, rx));
@@ -295,6 +323,9 @@ impl TcpMesh {
             lanes_tx,
             links,
             frames_rejected,
+            encode_hist,
+            decode_hist,
+            events,
             stop: AtomicBool::new(false),
         });
 
@@ -376,14 +407,14 @@ impl TcpLane {
             self.inner.deliver(self.lane, to, msg);
             return;
         }
-        let frame = Arc::new(encode_frame(self.lane, &msg));
+        let frame = Arc::new(self.inner.encode_timed(self.lane, &msg));
         self.inner.send_frame(to, frame);
     }
 
     /// Send `msg` to every host in `to`, encoding it once.
     pub fn multicast(&self, to: &[HostId], msg: SeqMsg) {
         let me = self.inner.cfg.me;
-        let frame = Arc::new(encode_frame(self.lane, &msg));
+        let frame = Arc::new(self.inner.encode_timed(self.lane, &msg));
         for h in to {
             if *h == me {
                 self.inner.deliver(self.lane, me, msg.clone());
@@ -424,7 +455,11 @@ fn writer_loop(
     let link = &inner.links[&peer];
     let mut backoff = inner.cfg.reconnect_min;
     let mut ever_connected = false;
+    // Dials since the link was last up; reported in the `link_up` event
+    // so a reconnect storm's length is visible after the fact.
+    let mut dial_attempts: u64 = 0;
     while !inner.stopped() {
+        dial_attempts += 1;
         let mut stream = match TcpStream::connect(addr) {
             Ok(s) => s,
             Err(_) => {
@@ -447,6 +482,14 @@ fn writer_loop(
         }
         ever_connected = true;
         backoff = inner.cfg.reconnect_min;
+        inner.events.emit(Event::new(
+            "link_up",
+            vec![
+                ("peer".into(), peer.0.to_string()),
+                ("dial_attempts".into(), dial_attempts.to_string()),
+            ],
+        ));
+        dial_attempts = 0;
         link.connected.store(true, Ordering::Relaxed);
         // Drain stale frames queued while we were down: they were
         // logically dropped already.
@@ -471,6 +514,10 @@ fn writer_loop(
             }
         }
         link.connected.store(false, Ordering::Relaxed);
+        inner.events.emit(Event::new(
+            "link_down",
+            vec![("peer".into(), peer.0.to_string())],
+        ));
     }
 }
 
@@ -559,7 +606,10 @@ fn reader_loop(inner: &Arc<MeshInner>, mut stream: TcpStream) {
                 return;
             }
         };
-        match decode_seq_msg(slice) {
+        let t0 = Instant::now();
+        let decoded = decode_seq_msg(slice);
+        inner.decode_hist.observe(t0.elapsed());
+        match decoded {
             Ok(msg) => inner.deliver(lane, from, msg),
             Err(_) => {
                 inner.frames_rejected.inc();
@@ -630,11 +680,16 @@ mod tests {
         let addrs = free_addrs(1);
         let obs = Registry::default();
         let (m, rx) = TcpMesh::start(TcpConfig::new(HostId(0), &addrs, 1), &obs).unwrap();
-        m.lane(0).send(HostId(0), SeqMsg::Ping);
+        let ping = SeqMsg::Ping {
+            sent_us: 1,
+            echo_us: 0,
+            held_us: 0,
+        };
+        m.lane(0).send(HostId(0), ping.clone());
         match rx[0].recv_timeout(Duration::from_secs(1)).unwrap() {
             NetEvent::Msg { from, msg } => {
                 assert_eq!(from, HostId(0));
-                assert_eq!(msg, SeqMsg::Ping);
+                assert_eq!(msg, ping);
             }
             other => panic!("unexpected event {other:?}"),
         }

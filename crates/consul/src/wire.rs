@@ -274,7 +274,16 @@ pub fn encode_seq_msg(msg: &SeqMsg) -> Vec<u8> {
             buf.put_u8(TAG_JOIN_REQ);
             put_uvarint(&mut buf, *incarnation);
         }
-        SeqMsg::Ping => buf.put_u8(TAG_PING),
+        SeqMsg::Ping {
+            sent_us,
+            echo_us,
+            held_us,
+        } => {
+            buf.put_u8(TAG_PING);
+            put_uvarint(&mut buf, *sent_us);
+            put_uvarint(&mut buf, *echo_us);
+            put_uvarint(&mut buf, *held_us);
+        }
         SeqMsg::Snapshot {
             checkpoint,
             retired,
@@ -325,7 +334,11 @@ pub fn decode_seq_msg(mut bytes: &[u8]) -> Result<SeqMsg, DecodeError> {
         TAG_JOIN_REQ => SeqMsg::JoinReq {
             incarnation: get_uvarint(buf)?,
         },
-        TAG_PING => SeqMsg::Ping,
+        TAG_PING => SeqMsg::Ping {
+            sent_us: get_uvarint(buf)?,
+            echo_us: get_uvarint(buf)?,
+            held_us: get_uvarint(buf)?,
+        },
         TAG_SNAPSHOT => SeqMsg::Snapshot {
             checkpoint: get_checkpoint(buf)?,
             retired: get_retired(buf)?,
@@ -427,7 +440,16 @@ mod tests {
             SeqMsg::JoinReq {
                 incarnation: 0xdead_beef_cafe,
             },
-            SeqMsg::Ping,
+            SeqMsg::Ping {
+                sent_us: 1_700_000_000_000_000,
+                echo_us: 1_699_999_999_999_000,
+                held_us: 950,
+            },
+            SeqMsg::Ping {
+                sent_us: 7,
+                echo_us: 0,
+                held_us: 0,
+            },
             SeqMsg::Snapshot {
                 checkpoint: None,
                 retired: vec![(HostId(1), 5)],
@@ -463,7 +485,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut enc = encode_seq_msg(&SeqMsg::Ping);
+        let mut enc = encode_seq_msg(&SeqMsg::Evicted);
         enc.push(0);
         assert!(decode_seq_msg(&enc).is_err());
     }

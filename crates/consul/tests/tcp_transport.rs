@@ -55,13 +55,20 @@ fn start_mesh() -> (
 /// socket, so this proves the reader threads didn't take the process
 /// down — the decode path is `catch`-free; a panic would abort).
 fn assert_mesh_alive(mesh: &TcpMesh, rx: &crossbeam::channel::Receiver<NetEvent<SeqMsg>>) {
-    mesh.lane(0).send(HostId(0), SeqMsg::Ping);
+    mesh.lane(0).send(
+        HostId(0),
+        SeqMsg::Ping {
+            sent_us: 1,
+            echo_us: 0,
+            held_us: 0,
+        },
+    );
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(NetEvent::Msg {
                 from: HostId(0),
-                msg: SeqMsg::Ping,
+                msg: SeqMsg::Ping { .. },
             }) => return,
             Ok(_) => {}
             Err(_) => assert!(Instant::now() < deadline, "mesh stopped delivering"),

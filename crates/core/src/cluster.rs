@@ -21,6 +21,7 @@
 //! disk on `digest_divergence`, `coordinator_failover` and
 //! `rejoin_failed` events ([`ClusterBuilder::flight_dir`]).
 
+use crate::federation::{federate_metrics, federate_trace, MemberSource};
 use crate::flight::{FlightRecorder, FlightSection};
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::server::{events_json_lines, http_post_metrics, ExporterSources, HttpExporter};
@@ -405,6 +406,7 @@ impl ClusterBuilder {
         let cluster = Cluster {
             groups,
             mesh: None,
+            peer_http: Vec::new(),
             runtimes: Arc::new(Mutex::new(by_host)),
             obs: Arc::new(linda_obs::Registry::new()),
             stop: Arc::new(AtomicBool::new(false)),
@@ -465,9 +467,29 @@ impl ClusterBuilder {
         let timeseries = self
             .timeseries
             .map(|(_, cap)| Arc::new(linda_obs::TimeSeriesRing::with_capacity(cap)));
+        // Peer exporter addresses, derivable only under a fixed HTTP base
+        // port: peer i's sequencer binds addrs[i], its exporter serves
+        // the same interface at base + i. With an ephemeral base (tests)
+        // the peers' ports are unknowable and federation stays local.
+        let peer_http: Vec<(HostId, SocketAddr)> = if self.http && self.http_base_port != 0 {
+            tcp.addrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i as u32 != tcp.me)
+                .map(|(i, a)| {
+                    (
+                        HostId(i as u32),
+                        SocketAddr::new(a.ip(), self.http_base_port.wrapping_add(i as u16)),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let cluster = Cluster {
             groups,
             mesh: Some(mesh),
+            peer_http,
             runtimes: Arc::new(Mutex::new(by_host)),
             obs,
             stop: Arc::new(AtomicBool::new(false)),
@@ -516,6 +538,12 @@ pub struct Cluster {
     /// [`Transport::Tcp`] (`None` under Sim). Held for shutdown and
     /// per-link socket counters.
     mesh: Option<TcpMesh>,
+    /// Peer members' HTTP exporter addresses — the federation targets
+    /// for `/cluster/trace/<id>` and `/metrics/cluster`. Non-empty only
+    /// under [`Transport::Tcp`] with a fixed
+    /// [`ClusterBuilder::http_base_port`]; under Sim every member is in
+    /// this process and federation needs no network.
+    peer_http: Vec<(HostId, SocketAddr)>,
     /// Current runtime per host, replaced on restart so the divergence
     /// detector always samples the live incarnation.
     runtimes: Arc<Mutex<HashMap<HostId, Runtime>>>,
@@ -673,11 +701,66 @@ impl Cluster {
                         .unwrap_or_default()
                 }) as Arc<dyn Fn() -> String + Send + Sync>
             };
-            let trace = {
+            // `/trace/<id>` and `/cluster/trace/<id>` serve the same
+            // federated view: every in-process member's spans plus every
+            // live peer process's `/spans/<id>`. Sources are built under
+            // the lock (cheap clones) and the network is walked without
+            // it, so a slow peer never blocks the runtimes map.
+            let federated_trace = {
+                let runtimes = runtimes.clone();
+                let peer_http = self.peer_http.clone();
+                let net = self.groups[0].transport().clone();
+                Arc::new(move |id: linda_obs::TraceId| {
+                    let sources = member_sources(&runtimes.lock(), &peer_http);
+                    let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    federate_trace(&sources, &live, id).to_json()
+                }) as Arc<dyn Fn(linda_obs::TraceId) -> String + Send + Sync>
+            };
+            let trace = federated_trace.clone();
+            let cluster_trace = federated_trace;
+            // The federation leaf endpoints never fan out: `/spans/<id>`
+            // and `/metrics/snapshot` serve only this member's state, so
+            // a peer assembling its own cluster view can fetch them
+            // without recursion.
+            let spans = {
                 let runtimes = runtimes.clone();
                 Arc::new(move |id: linda_obs::TraceId| {
-                    assemble_trace(&runtimes.lock(), id).to_json()
+                    let map = runtimes.lock();
+                    let mut spans: Vec<linda_obs::SpanRecord> = Vec::new();
+                    let mut horizon: Option<u64> = None;
+                    if let Some(rt) = map.get(&host) {
+                        for obs in rt.obs_all() {
+                            let log = obs.spans();
+                            spans.extend(log.spans_of(id));
+                            if let Some(h) = log.evicted_newest_micros() {
+                                horizon = Some(horizon.map_or(h, |x| x.max(h)));
+                            }
+                        }
+                    }
+                    linda_obs::spans_wire(&spans, horizon)
                 }) as Arc<dyn Fn(linda_obs::TraceId) -> String + Send + Sync>
+            };
+            let snapshot = {
+                let runtimes = runtimes.clone();
+                // Under TCP this process IS the member, so its leaf
+                // snapshot carries the process-level cluster registry
+                // too (mesh link counters, divergence counter); under
+                // Sim the cluster registry is added once by whichever
+                // federator serves the merged page.
+                let obs = self.mesh.is_some().then(|| self.obs.clone());
+                Arc::new(move || {
+                    let member = runtimes.lock().get(&host).map(|rt| rt.metrics_snapshot());
+                    match (&obs, member) {
+                        (Some(obs), Some(m)) => {
+                            let mut snap = obs.snapshot();
+                            snap.merge(&m);
+                            snap.to_wire()
+                        }
+                        (Some(obs), None) => obs.snapshot().to_wire(),
+                        (None, Some(m)) => m.to_wire(),
+                        (None, None) => linda_obs::Registry::new().snapshot().to_wire(),
+                    }
+                }) as Arc<dyn Fn() -> String + Send + Sync>
             };
             let introspect = {
                 let runtimes = runtimes.clone();
@@ -692,9 +775,11 @@ impl Cluster {
                 let runtimes = runtimes.clone();
                 let obs = self.obs.clone();
                 let net = self.groups[0].transport().clone();
+                let peer_http = self.peer_http.clone();
                 Arc::new(move || {
+                    let sources = member_sources(&runtimes.lock(), &peer_http);
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
-                    aggregate_metrics(&runtimes.lock(), &obs, &live)
+                    federate_metrics(&sources, &live, &obs).render()
                 }) as Arc<dyn Fn() -> String + Send + Sync>
             };
             let timeseries = {
@@ -712,6 +797,9 @@ impl Cluster {
                     introspect,
                     cluster_metrics,
                     timeseries,
+                    snapshot,
+                    spans,
+                    cluster_trace,
                 },
             ) {
                 Ok(exp) => {
@@ -739,28 +827,42 @@ impl Cluster {
         self.exporters.lock().get(&host).map(|e| e.addr())
     }
 
-    /// Assemble the cross-replica span tree for one AGS from every
-    /// member's span log — the same view `/trace/<id>` serves over HTTP.
+    /// Assemble the cluster-wide span tree for one AGS — the same view
+    /// `/trace/<id>` and `/cluster/trace/<id>` serve over HTTP. Every
+    /// member in this process contributes its span logs directly; under
+    /// [`Transport::Tcp`] with a fixed HTTP base port, every live peer
+    /// process is additionally scraped at `/spans/<id>` and its spans
+    /// merged in with per-host attribution.
     /// [`linda_obs::TraceTree::truncated`] is set when any member's span
     /// ring has already evicted spans recent enough to belong to this
-    /// trace, so an incomplete tree is never silently presented as the
-    /// whole story.
+    /// trace, and live peers that could not be reached are listed in
+    /// [`linda_obs::TraceTree::truncated_hosts`] — an incomplete tree is
+    /// never silently presented as the whole story.
     pub fn trace(&self, id: linda_obs::TraceId) -> linda_obs::TraceTree {
-        assemble_trace(&self.runtimes.lock(), id)
-    }
-
-    /// One Prometheus text page for the whole group: the cluster
-    /// registry (divergence counter, push counters) merged with every
-    /// *live* member's registry — counters/gauges/family children sum,
-    /// histograms merge bucket-wise. Served as `/metrics/cluster` on
-    /// every member's exporter.
-    pub fn cluster_metrics_text(&self) -> String {
+        let sources = member_sources(&self.runtimes.lock(), &self.peer_http);
         let live: HashSet<HostId> = self.groups[0]
             .transport()
             .live_hosts()
             .into_iter()
             .collect();
-        aggregate_metrics(&self.runtimes.lock(), &self.obs, &live)
+        federate_trace(&sources, &live, id)
+    }
+
+    /// One Prometheus text page for the whole group: the cluster
+    /// registry (divergence counter, push counters) merged with every
+    /// *live* member's registry — counters/gauges/family children sum,
+    /// histograms merge bucket-wise. Under [`Transport::Tcp`] the live
+    /// peers' registries are fetched over `/metrics/snapshot`, so the
+    /// page has the same shape as the in-process Sim one. Served as
+    /// `/metrics/cluster` on every member's exporter.
+    pub fn cluster_metrics_text(&self) -> String {
+        let sources = member_sources(&self.runtimes.lock(), &self.peer_http);
+        let live: HashSet<HostId> = self.groups[0]
+            .transport()
+            .live_hosts()
+            .into_iter()
+            .collect();
+        federate_metrics(&sources, &live, &self.obs).render()
     }
 
     fn spawn_pusher(&self, url: String, interval: Duration) {
@@ -878,17 +980,11 @@ impl Cluster {
                             .set(i64::try_from(s.ordered_multicasts()).unwrap_or(i64::MAX));
                     }
                     let live: HashSet<HostId> = net.live_hosts().into_iter().collect();
+                    // Local-only federation: the sampler must never pay
+                    // a peer connect timeout on its 1 s tick.
                     let snap = {
                         let map = runtimes.lock();
-                        let mut snap = obs.snapshot();
-                        for rt in map
-                            .iter()
-                            .filter(|(h, _)| live.contains(h))
-                            .map(|(_, rt)| rt)
-                        {
-                            snap.merge(&rt.metrics_snapshot());
-                        }
-                        snap
+                        federate_metrics(&member_sources(&map, &[]), &live, &obs)
                     };
                     // Tuple loads per shard, summed over replicas — the
                     // replication factor is uniform, so the imbalance
@@ -1118,45 +1214,42 @@ impl Cluster {
 /// How many hot signatures `/introspect` lists cluster-wide.
 const HOT_SIGNATURES_TOP_K: usize = 10;
 
-/// Gather the spans of `id` from every member's log into one tree,
-/// marking it truncated when any member's ring has evicted spans recent
-/// enough that parts of this trace may be missing.
-fn assemble_trace(
+/// Every member as a federation source: the runtimes in this process
+/// directly, plus one remote source per known peer exporter (TCP with a
+/// fixed HTTP base; peers already present locally are not duplicated).
+fn member_sources(
     runtimes: &HashMap<HostId, Runtime>,
-    id: linda_obs::TraceId,
-) -> linda_obs::TraceTree {
-    let mut spans: Vec<linda_obs::SpanRecord> = Vec::new();
-    let mut horizons: Vec<Option<u64>> = Vec::new();
-    for rt in runtimes.values() {
-        // One span log per shard registry; local-id bases keep trace
-        // ids disjoint across shards, so collecting from all is safe.
-        for obs in rt.obs_all() {
-            let log = obs.spans();
-            spans.extend(log.spans_of(id));
-            horizons.push(log.evicted_newest_micros());
+    peer_http: &[(HostId, SocketAddr)],
+) -> Vec<MemberSource> {
+    let mut out: Vec<MemberSource> = runtimes
+        .values()
+        .cloned()
+        .map(MemberSource::Local)
+        .collect();
+    for (h, addr) in peer_http {
+        if !runtimes.contains_key(h) {
+            out.push(MemberSource::Remote {
+                host: *h,
+                http: *addr,
+            });
         }
     }
-    let mut tree = linda_obs::TraceTree::assemble(id, spans);
-    tree.mark_truncation(horizons);
-    tree
+    out.sort_by_key(|s| s.host().0);
+    out
 }
 
 /// Merge the cluster registry with every live member's registry into one
-/// Prometheus text page.
+/// Prometheus text page. Local-only (no peer scraping): the sampler and
+/// pusher run on tight periodic loops where a dead peer's connect
+/// timeout would stall the tick, so they federate over in-process
+/// sources; the scrape-time pages ([`Cluster::cluster_metrics_text`])
+/// fan out to peers.
 fn aggregate_metrics(
     runtimes: &HashMap<HostId, Runtime>,
     obs: &linda_obs::Registry,
     live: &HashSet<HostId>,
 ) -> String {
-    let mut snap = obs.snapshot();
-    let mut hosts: Vec<&HostId> = runtimes.keys().collect();
-    hosts.sort_by_key(|h| h.0);
-    for h in hosts {
-        if live.contains(h) {
-            snap.merge(&runtimes[h].metrics_snapshot());
-        }
-    }
-    snap.render()
+    federate_metrics(&member_sources(runtimes, &[]), live, obs).render()
 }
 
 /// The `/healthz` JSON for one member: liveness, applied position,

@@ -37,18 +37,21 @@
 
 mod cluster;
 mod error;
+mod federation;
 mod flight;
 mod runtime;
 mod server;
 
 pub use cluster::{Cluster, ClusterBuilder, TcpClusterConfig, Transport};
 pub use error::FtError;
+pub use federation::{federate_metrics, federate_trace, MemberSource, FEDERATION_TIMEOUT};
 pub use flight::{FlightRecorder, FlightSection};
 pub use runtime::{
     pattern_fields, rebuild_tuple, AgsHandle, CompletionOk, FtEvent, Runtime, RuntimeConfig,
 };
 pub use server::{
-    events_json_lines, http_post_metrics, ExporterSources, HttpExporter, RpcClient, TupleServer,
+    events_json_lines, http_get, http_post_metrics, ExporterSources, HttpExporter, RpcClient,
+    TupleServer,
 };
 
 // Re-export the pieces users need to build AGSs and patterns.

@@ -589,7 +589,7 @@ impl Runtime {
         ags: &Ags,
         keys: Vec<(TsId, u64)>,
         deadline: Option<Instant>,
-    ) -> Result<AgsOutcome, FtError> {
+    ) -> Result<(AgsOutcome, linda_obs::TraceId), FtError> {
         let k = self.shared.lanes.len() as u32;
         let mut by_shard: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
         for (ts, sig) in &keys {
@@ -668,7 +668,7 @@ impl Runtime {
                         "xcommit",
                         vec![("attempts".into(), attempt.to_string())],
                     );
-                    return Ok(o);
+                    return Ok((o, linda_obs::TraceId::for_xid(xid)));
                 }
                 XStageResult::Failed(e) => {
                     self.xspan_origin(
@@ -755,11 +755,20 @@ impl Runtime {
 
     /// Execute an AGS, blocking until it fires (or fails).
     pub fn execute(&self, ags: &Ags) -> Result<AgsOutcome, FtError> {
+        self.execute_traced(ags).map(|(o, _)| o)
+    }
+
+    /// Execute an AGS and return the [`linda_obs::TraceId`] its spans
+    /// were recorded under, so the caller can fetch the assembled tree
+    /// from `/trace/<id>` (or [`crate::Cluster::trace`]) afterwards. For
+    /// a cross-shard AGS this is the transaction trace of the attempt
+    /// that actually committed (retried attempts get fresh xids).
+    pub fn execute_traced(&self, ags: &Ags) -> Result<(AgsOutcome, linda_obs::TraceId), FtError> {
         match self.route(ags)? {
             RouteTo::Single(s) => {
-                let (rx, _) = self.submit_on(s, &Request::Ags(ags.clone()));
+                let (rx, local) = self.submit_on(s, &Request::Ags(ags.clone()));
                 match self.await_ok(rx, None)? {
-                    CompletionOk::Ags(o) => Ok(o),
+                    CompletionOk::Ags(o) => Ok((o, linda_obs::TraceId::new(self.host.0, local))),
                     other => unreachable!("AGS resolved as {other:?}"),
                 }
             }
@@ -790,7 +799,10 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("ftlinda-xdriver-{}", self.host))
                     .spawn(move || {
-                        let _ = tx.send(rt.execute_cross(&ags, keys, None).map(CompletionOk::Ags));
+                        let _ = tx.send(
+                            rt.execute_cross(&ags, keys, None)
+                                .map(|(o, _)| CompletionOk::Ags(o)),
+                        );
                     })
                     .expect("spawn cross-shard driver");
                 AgsHandle {
@@ -824,7 +836,9 @@ impl Runtime {
             // The deadline bounds the Blocked-retry loop; individual
             // protocol legs complete at ordering-layer speed and are
             // never abandoned half-way (that would leave shards frozen).
-            RouteTo::Cross(keys) => self.execute_cross(ags, keys, Some(Instant::now() + t)),
+            RouteTo::Cross(keys) => self
+                .execute_cross(ags, keys, Some(Instant::now() + t))
+                .map(|(o, _)| o),
         }
     }
 

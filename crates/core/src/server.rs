@@ -186,6 +186,19 @@ pub struct ExporterSources {
     /// `/timeseries`: the bounded ring of periodic metric snapshots as
     /// JSON; `None` renders 404 (sampler disabled on this cluster).
     pub timeseries: Arc<dyn Fn() -> Option<String> + Send + Sync>,
+    /// `/metrics/snapshot`: this process's merged registry snapshot in
+    /// the `ftlsnap` wire format ([`linda_obs::RegistrySnapshot::to_wire`]).
+    /// The federation *leaf*: it never fans out to peers, so fan-out
+    /// endpoints can fetch it without recursion.
+    pub snapshot: Arc<dyn Fn() -> String + Send + Sync>,
+    /// `/spans/<id>`: this process's local spans of one trace in the
+    /// `ftlspans` wire format ([`linda_obs::spans_wire`]) — the other
+    /// federation leaf, fetched by peers assembling a cluster trace.
+    pub spans: Arc<dyn Fn(TraceId) -> String + Send + Sync>,
+    /// `/cluster/trace/<id>`: the federated span tree — local spans
+    /// merged with every live peer's `/spans/<id>` — as JSON, with
+    /// unreachable members listed in `truncated_hosts`.
+    pub cluster_trace: Arc<dyn Fn(TraceId) -> String + Send + Sync>,
 }
 
 /// A tiny std-only HTTP/1.1 listener serving one member's observability
@@ -288,6 +301,10 @@ fn serve_connection(mut stream: TcpStream, sources: &ExporterSources) -> std::io
             let body = (sources.cluster_metrics)();
             respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
         }
+        "/metrics/snapshot" => {
+            let body = (sources.snapshot)();
+            respond(&mut stream, 200, "text/plain", &body)
+        }
         "/introspect" => match (sources.introspect)() {
             Some(body) => respond(&mut stream, 200, "application/json", &body),
             None => respond(&mut stream, 404, "text/plain", "introspection disabled"),
@@ -311,11 +328,27 @@ fn serve_connection(mut stream: TcpStream, sources: &ExporterSources) -> std::io
             }
             Err(e) => respond(&mut stream, 400, "text/plain", &e.to_string()),
         },
+        p if p.starts_with("/spans/") => match p["/spans/".len()..].parse::<TraceId>() {
+            Ok(id) => {
+                let body = (sources.spans)(id);
+                respond(&mut stream, 200, "text/plain", &body)
+            }
+            Err(e) => respond(&mut stream, 400, "text/plain", &e.to_string()),
+        },
+        p if p.starts_with("/cluster/trace/") => {
+            match p["/cluster/trace/".len()..].parse::<TraceId>() {
+                Ok(id) => {
+                    let body = (sources.cluster_trace)(id);
+                    respond(&mut stream, 200, "application/json", &body)
+                }
+                Err(e) => respond(&mut stream, 400, "text/plain", &e.to_string()),
+            }
+        }
         _ => respond(
             &mut stream,
             404,
             "text/plain",
-            "not found; try /metrics /metrics/cluster /introspect /timeseries /healthz /events /trace/<origin>-<local>",
+            "not found; try /metrics /metrics/cluster /metrics/snapshot /introspect /timeseries /healthz /events /trace/<origin>-<local> /spans/<id> /cluster/trace/<id>",
         ),
     }
 }
@@ -363,6 +396,62 @@ pub fn events_json_lines(events: &[linda_obs::Event]) -> String {
         out.push_str("}}\n");
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// HTTP client
+// ---------------------------------------------------------------------------
+
+/// GET `path` from another member's exporter at `addr`, returning
+/// `(status, body)`. std-only with hard connect/read/write timeouts —
+/// the federation endpoints call this per live peer, so a hung member
+/// must cost a bounded wait, not a stuck scrape.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    // The exporter always closes after one response, so read to EOF.
+    let mut raw = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "response timed out",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response timed out",
+            ));
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
 }
 
 // ---------------------------------------------------------------------------

@@ -33,7 +33,8 @@
 mod trace;
 
 pub use trace::{
-    json_escape, now_micros, span_json, ParseTraceIdError, SpanLog, SpanRecord, TraceId, TraceTree,
+    json_escape, now_micros, parse_spans_wire, span_json, spans_wire, wire_escape, wire_unescape,
+    ParseTraceIdError, SpanLog, SpanRecord, TraceId, TraceTree,
 };
 
 use std::collections::{BTreeMap, VecDeque};
@@ -201,6 +202,56 @@ impl GaugeFamily {
         self.lock()
             .iter()
             .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+}
+
+/// A labeled family of [`Histogram`]s: one metric name, one child
+/// histogram per label set (`name_bucket{peer="2",le="…"}`), every child
+/// sharing the family's bucket bounds. Used for per-link latency
+/// attribution (wire RTT per peer) where a scalar histogram would blur
+/// all links together. See [`CounterFamily`] for the child
+/// identity/cardinality rules.
+#[derive(Debug)]
+pub struct HistogramFamily {
+    bounds: Vec<f64>,
+    children: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for HistogramFamily {
+    fn default() -> Self {
+        Self::new(DEFAULT_LATENCY_BOUNDS)
+    }
+}
+
+impl HistogramFamily {
+    /// A family whose children all use the given bucket upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        HistogramFamily {
+            bounds: bounds.to_vec(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Histogram>>> {
+        self.children.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the child for `labels` (order-sensitive).
+    pub fn with(&self, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = render_labels(labels);
+        self.lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Histogram::new(&self.bounds)))
+            .clone()
+    }
+
+    /// `(rendered-labels, snapshot)` for every child, sorted by label
+    /// text.
+    pub fn snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect()
     }
 }
@@ -609,6 +660,7 @@ struct Instruments {
     histograms: BTreeMap<String, (String, Arc<Histogram>)>,
     counter_families: BTreeMap<String, (String, Arc<CounterFamily>)>,
     gauge_families: BTreeMap<String, (String, Arc<GaugeFamily>)>,
+    histogram_families: BTreeMap<String, (String, Arc<HistogramFamily>)>,
 }
 
 /// A named collection of instruments with Prometheus text rendering.
@@ -706,6 +758,33 @@ impl Registry {
             .clone()
     }
 
+    /// Get or create the labeled histogram family `name` (default
+    /// 1µs–10s latency bucket ladder for every child).
+    pub fn histogram_family(&self, name: &str, help: &str) -> Arc<HistogramFamily> {
+        self.lock()
+            .histogram_families
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(HistogramFamily::default())))
+            .1
+            .clone()
+    }
+
+    /// Get or create histogram family `name` with explicit bucket upper
+    /// bounds for its children. The bounds only apply on first creation.
+    pub fn histogram_family_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+    ) -> Arc<HistogramFamily> {
+        self.lock()
+            .histogram_families
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(HistogramFamily::new(bounds))))
+            .1
+            .clone()
+    }
+
     /// The registry's structured-event sink.
     pub fn events(&self) -> &EventSink {
         &self.events
@@ -749,6 +828,10 @@ impl Registry {
         }
         for (name, (help, f)) in &ins.gauge_families {
             snap.gauge_families
+                .insert(name.clone(), (help.clone(), f.snapshot()));
+        }
+        for (name, (help, f)) in &ins.histogram_families {
+            snap.histogram_families
                 .insert(name.clone(), (help.clone(), f.snapshot()));
         }
         drop(ins);
@@ -810,6 +893,7 @@ pub struct RegistrySnapshot {
     histograms: BTreeMap<String, (String, HistogramSnapshot)>,
     counter_families: BTreeMap<String, (String, BTreeMap<String, u64>)>,
     gauge_families: BTreeMap<String, (String, BTreeMap<String, i64>)>,
+    histogram_families: BTreeMap<String, (String, BTreeMap<String, HistogramSnapshot>)>,
 }
 
 impl RegistrySnapshot {
@@ -866,6 +950,24 @@ impl RegistrySnapshot {
                 *e.1.entry(labels.clone()).or_insert(0) += v;
             }
         }
+        for (name, (help, children)) in &other.histogram_families {
+            let e = self
+                .histogram_families
+                .entry(name.clone())
+                .or_insert_with(|| (help.clone(), BTreeMap::new()));
+            for (labels, h) in children {
+                match e.1.get_mut(labels) {
+                    // On layout mismatch keep ours, as for scalar
+                    // histograms.
+                    Some(mine) => {
+                        let _ = mine.merge(h);
+                    }
+                    None => {
+                        e.1.insert(labels.clone(), h.clone());
+                    }
+                }
+            }
+        }
     }
 
     /// Value of plain counter `name`, if present.
@@ -888,6 +990,33 @@ impl RegistrySnapshot {
     /// if present.
     pub fn gauge_family(&self, name: &str) -> Option<&BTreeMap<String, i64>> {
         self.gauge_families.get(name).map(|(_, c)| c)
+    }
+
+    /// Snapshot of scalar histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name).map(|(_, h)| h)
+    }
+
+    /// Children of histogram family `name` (rendered label string →
+    /// snapshot), if present.
+    pub fn histogram_family(&self, name: &str) -> Option<&BTreeMap<String, HistogramSnapshot>> {
+        self.histogram_families.get(name).map(|(_, c)| c)
+    }
+
+    /// The bucket-wise merge of every child of histogram family `name` —
+    /// the "all links together" view of a per-peer latency family.
+    /// `None` when the family is absent or empty, or when children
+    /// disagree on bucket layout.
+    pub fn histogram_family_merged(&self, name: &str) -> Option<HistogramSnapshot> {
+        let children = self.histogram_family(name)?;
+        let mut iter = children.values();
+        let mut merged = iter.next()?.clone();
+        for h in iter {
+            if !merged.merge(h) {
+                return None;
+            }
+        }
+        Some(merged)
     }
 
     /// Flatten selected series into `(name, value)` pairs for
@@ -967,7 +1096,288 @@ impl RegistrySnapshot {
             let _ = writeln!(out, "{name}_sum {}", snap.sum_seconds);
             let _ = writeln!(out, "{name}_count {}", snap.count);
         }
+        for (name, (help, children)) in &self.histogram_families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (labels, snap) in children {
+                let mut cumulative = 0u64;
+                for (i, n) in snap.buckets.iter().enumerate() {
+                    cumulative += n;
+                    match snap.bounds.get(i) {
+                        Some(b) => {
+                            let _ =
+                                writeln!(out, "{name}_bucket{{{labels},le=\"{b}\"}} {cumulative}");
+                        }
+                        None => {
+                            let _ =
+                                writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {cumulative}");
+                        }
+                    }
+                }
+                let _ = writeln!(out, "{name}_sum{{{labels}}} {}", snap.sum_seconds);
+                let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
+            }
+        }
         out
+    }
+
+    /// Serialize the snapshot as the tab-separated registry wire format:
+    /// the transport-agnostic federation payload served on
+    /// `/metrics/snapshot`. Unlike the Prometheus text form this carries
+    /// gauge merge modes and exact histogram layouts, so a remote
+    /// aggregator can fold members' snapshots with [`Self::merge`]
+    /// under identical rules to the in-process path.
+    ///
+    /// Line 1 is `ftlsnap <version>`; each further line is one record,
+    /// tagged by its first field: `c` counter, `g` gauge, `h` histogram,
+    /// `cf`/`gf`/`hf` family declarations, `cc`/`gc`/`hc` family
+    /// children. Strings are [`wire_escape`]d; `f64` values use Rust's
+    /// shortest-roundtrip `Display` form.
+    pub fn to_wire(&self) -> String {
+        fn f64s(v: f64) -> String {
+            // `Display` prints integral floats without a dot; keep the
+            // value parseable as f64 either way.
+            format!("{v}")
+        }
+        fn hist_fields(h: &HistogramSnapshot) -> String {
+            let bounds = h
+                .bounds
+                .iter()
+                .map(|b| f64s(*b))
+                .collect::<Vec<_>>()
+                .join(",");
+            let buckets = h
+                .buckets
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{}\t{}\t{}\t{}",
+                h.count,
+                f64s(h.sum_seconds),
+                bounds,
+                buckets
+            )
+        }
+        let mut out = String::with_capacity(1024);
+        out.push_str("ftlsnap\t1\n");
+        for (name, (help, v)) in &self.counters {
+            let _ = writeln!(out, "c\t{}\t{}\t{v}", wire_escape(name), wire_escape(help));
+        }
+        for (name, (help, v, merge)) in &self.gauges {
+            let m = match merge {
+                GaugeMerge::Sum => "sum",
+                GaugeMerge::Max => "max",
+            };
+            let _ = writeln!(
+                out,
+                "g\t{}\t{}\t{v}\t{m}",
+                wire_escape(name),
+                wire_escape(help)
+            );
+        }
+        for (name, (help, h)) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "h\t{}\t{}\t{}",
+                wire_escape(name),
+                wire_escape(help),
+                hist_fields(h)
+            );
+        }
+        for (name, (help, children)) in &self.counter_families {
+            let _ = writeln!(out, "cf\t{}\t{}", wire_escape(name), wire_escape(help));
+            for (labels, v) in children {
+                let _ = writeln!(
+                    out,
+                    "cc\t{}\t{}\t{v}",
+                    wire_escape(name),
+                    wire_escape(labels)
+                );
+            }
+        }
+        for (name, (help, children)) in &self.gauge_families {
+            let _ = writeln!(out, "gf\t{}\t{}", wire_escape(name), wire_escape(help));
+            for (labels, v) in children {
+                let _ = writeln!(
+                    out,
+                    "gc\t{}\t{}\t{v}",
+                    wire_escape(name),
+                    wire_escape(labels)
+                );
+            }
+        }
+        for (name, (help, children)) in &self.histogram_families {
+            let _ = writeln!(out, "hf\t{}\t{}", wire_escape(name), wire_escape(help));
+            for (labels, h) in children {
+                let _ = writeln!(
+                    out,
+                    "hc\t{}\t{}\t{}",
+                    wire_escape(name),
+                    wire_escape(labels),
+                    hist_fields(h)
+                );
+            }
+        }
+        out
+    }
+
+    /// Parse the registry wire format produced by [`Self::to_wire`].
+    /// Structured errors, no panics — the input crossed a process
+    /// boundary.
+    pub fn from_wire(text: &str) -> Result<RegistrySnapshot, String> {
+        fn parse_hist(parts: &[&str], ln: usize) -> Result<HistogramSnapshot, String> {
+            if parts.len() != 4 {
+                return Err(format!("line {ln}: histogram needs 4 value fields"));
+            }
+            let count: u64 = parts[0]
+                .parse()
+                .map_err(|e| format!("line {ln}: bad count: {e}"))?;
+            let sum_seconds: f64 = parts[1]
+                .parse()
+                .map_err(|e| format!("line {ln}: bad sum: {e}"))?;
+            let bounds: Vec<f64> = if parts[2].is_empty() {
+                Vec::new()
+            } else {
+                parts[2]
+                    .split(',')
+                    .map(|b| b.parse().map_err(|e| format!("line {ln}: bad bound: {e}")))
+                    .collect::<Result<_, _>>()?
+            };
+            let buckets: Vec<u64> = if parts[3].is_empty() {
+                Vec::new()
+            } else {
+                parts[3]
+                    .split(',')
+                    .map(|b| b.parse().map_err(|e| format!("line {ln}: bad bucket: {e}")))
+                    .collect::<Result<_, _>>()?
+            };
+            if buckets.len() != bounds.len() + 1 {
+                return Err(format!(
+                    "line {ln}: {} buckets for {} bounds",
+                    buckets.len(),
+                    bounds.len()
+                ));
+            }
+            Ok(HistogramSnapshot {
+                bounds,
+                buckets,
+                count,
+                sum_seconds,
+            })
+        }
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty snapshot wire payload")?;
+        let mut hp = header.split('\t');
+        if hp.next() != Some("ftlsnap") {
+            return Err("missing ftlsnap header".into());
+        }
+        if hp.next() != Some("1") {
+            return Err("unsupported snapshot wire version".into());
+        }
+        let mut snap = RegistrySnapshot::default();
+        for (i, line) in lines {
+            let ln = i + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            let need = |n: usize| -> Result<(), String> {
+                if parts.len() != n {
+                    Err(format!(
+                        "line {ln}: expected {n} fields, got {}",
+                        parts.len()
+                    ))
+                } else {
+                    Ok(())
+                }
+            };
+            match parts[0] {
+                "c" => {
+                    need(4)?;
+                    let v: u64 = parts[3]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: bad counter: {e}"))?;
+                    snap.counters
+                        .insert(wire_unescape(parts[1]), (wire_unescape(parts[2]), v));
+                }
+                "g" => {
+                    need(5)?;
+                    let v: i64 = parts[3]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: bad gauge: {e}"))?;
+                    let merge = match parts[4] {
+                        "sum" => GaugeMerge::Sum,
+                        "max" => GaugeMerge::Max,
+                        other => return Err(format!("line {ln}: unknown merge mode {other:?}")),
+                    };
+                    snap.gauges
+                        .insert(wire_unescape(parts[1]), (wire_unescape(parts[2]), v, merge));
+                }
+                "h" => {
+                    if parts.len() != 7 {
+                        return Err(format!("line {ln}: expected 7 fields"));
+                    }
+                    let h = parse_hist(&parts[3..], ln)?;
+                    snap.histograms
+                        .insert(wire_unescape(parts[1]), (wire_unescape(parts[2]), h));
+                }
+                "cf" => {
+                    need(3)?;
+                    snap.counter_families
+                        .entry(wire_unescape(parts[1]))
+                        .or_insert_with(|| (wire_unescape(parts[2]), BTreeMap::new()));
+                }
+                "cc" => {
+                    need(4)?;
+                    let v: u64 = parts[3]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: bad counter child: {e}"))?;
+                    snap.counter_families
+                        .entry(wire_unescape(parts[1]))
+                        .or_insert_with(|| (String::new(), BTreeMap::new()))
+                        .1
+                        .insert(wire_unescape(parts[2]), v);
+                }
+                "gf" => {
+                    need(3)?;
+                    snap.gauge_families
+                        .entry(wire_unescape(parts[1]))
+                        .or_insert_with(|| (wire_unescape(parts[2]), BTreeMap::new()));
+                }
+                "gc" => {
+                    need(4)?;
+                    let v: i64 = parts[3]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: bad gauge child: {e}"))?;
+                    snap.gauge_families
+                        .entry(wire_unescape(parts[1]))
+                        .or_insert_with(|| (String::new(), BTreeMap::new()))
+                        .1
+                        .insert(wire_unescape(parts[2]), v);
+                }
+                "hf" => {
+                    need(3)?;
+                    snap.histogram_families
+                        .entry(wire_unescape(parts[1]))
+                        .or_insert_with(|| (wire_unescape(parts[2]), BTreeMap::new()));
+                }
+                "hc" => {
+                    if parts.len() != 7 {
+                        return Err(format!("line {ln}: expected 7 fields"));
+                    }
+                    let h = parse_hist(&parts[3..], ln)?;
+                    snap.histogram_families
+                        .entry(wire_unescape(parts[1]))
+                        .or_insert_with(|| (String::new(), BTreeMap::new()))
+                        .1
+                        .insert(wire_unescape(parts[2]), h);
+                }
+                other => return Err(format!("line {ln}: unknown record tag {other:?}")),
+            }
+        }
+        Ok(snap)
     }
 }
 
@@ -1233,6 +1643,93 @@ mod tests {
                 ),
             ]
         );
+    }
+
+    #[test]
+    fn histogram_family_children_render_and_merge() {
+        let r = Registry::new();
+        let f = r.histogram_family("rtt_seconds", "wire RTT by peer");
+        f.with(&[("peer", "1")]).observe(Duration::from_millis(1));
+        f.with(&[("peer", "1")]).observe(Duration::from_millis(2));
+        f.with(&[("peer", "2")]).observe(Duration::from_micros(10));
+        let text = r.render();
+        assert!(text.contains("# TYPE rtt_seconds histogram"));
+        assert!(text.contains("rtt_seconds_bucket{peer=\"1\",le=\"+Inf\"} 2"));
+        assert!(text.contains("rtt_seconds_count{peer=\"1\"} 2"));
+        assert!(text.contains("rtt_seconds_count{peer=\"2\"} 1"));
+        // Merging two registries sums children bucket-wise.
+        let r2 = Registry::new();
+        r2.histogram_family("rtt_seconds", "wire RTT by peer")
+            .with(&[("peer", "1")])
+            .observe(Duration::from_millis(5));
+        let mut merged = r.snapshot();
+        merged.merge(&r2.snapshot());
+        let children = merged.histogram_family("rtt_seconds").unwrap();
+        assert_eq!(children["peer=\"1\""].count(), 3);
+        assert_eq!(children["peer=\"2\""].count(), 1);
+        // The all-peers merge folds every child together.
+        let all = merged.histogram_family_merged("rtt_seconds").unwrap();
+        assert_eq!(all.count(), 4);
+        assert!(merged.histogram_family_merged("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip() {
+        let r = Registry::new();
+        r.counter("reqs_total", "help with\ttab").add(7);
+        r.gauge("depth", "a level").set(-3);
+        r.gauge_merged("cfg", "shared config", GaugeMerge::Max)
+            .set(512);
+        r.histogram("lat_seconds", "latency")
+            .observe(Duration::from_millis(2));
+        r.counter_family("ops_total", "ops")
+            .with(&[("kind", "in")])
+            .add(4);
+        r.gauge_family("ftlinda_shard_tuples", "tuples")
+            .with(&[("shard", "0")])
+            .set(9);
+        r.histogram_family("rtt_seconds", "rtt")
+            .with(&[("peer", "1")])
+            .observe(Duration::from_micros(30));
+        // An empty family must survive the trip too.
+        r.counter_family("empty_total", "no children yet");
+        let snap = r.snapshot();
+        let wire = snap.to_wire();
+        let back = RegistrySnapshot::from_wire(&wire).expect("parse");
+        assert_eq!(back.counter("reqs_total"), Some(7));
+        assert_eq!(back.gauge("depth"), Some(-3));
+        assert_eq!(back.gauge("cfg"), Some(512));
+        assert_eq!(back.histogram("lat_seconds").unwrap().count(), 1);
+        assert_eq!(back.counter_family("ops_total").unwrap()["kind=\"in\""], 4);
+        assert!(back.counter_family("empty_total").unwrap().is_empty());
+        assert_eq!(
+            back.histogram_family("rtt_seconds").unwrap()["peer=\"1\""].count(),
+            1
+        );
+        // The parsed snapshot renders the identical Prometheus page and
+        // re-serializes to the identical wire form.
+        assert_eq!(back.render(), snap.render());
+        assert_eq!(back.to_wire(), wire);
+        // Merge modes survive: folding the parsed snapshot into itself
+        // sums levels but not max-merged config gauges.
+        let mut folded = back.clone();
+        folded.merge(&back);
+        assert_eq!(folded.gauge("depth"), Some(-6));
+        assert_eq!(folded.gauge("cfg"), Some(512));
+        assert_eq!(folded.counter("reqs_total"), Some(14));
+    }
+
+    #[test]
+    fn snapshot_wire_rejects_malformed_input() {
+        assert!(RegistrySnapshot::from_wire("").is_err());
+        assert!(RegistrySnapshot::from_wire("nonsense\t1\n").is_err());
+        assert!(RegistrySnapshot::from_wire("ftlsnap\t9\n").is_err());
+        assert!(RegistrySnapshot::from_wire("ftlsnap\t1\nc\tx\th").is_err());
+        assert!(RegistrySnapshot::from_wire("ftlsnap\t1\nc\tx\th\tNaN").is_err());
+        assert!(RegistrySnapshot::from_wire("ftlsnap\t1\ng\tx\th\t1\tavg").is_err());
+        assert!(RegistrySnapshot::from_wire("ftlsnap\t1\nzz\tx").is_err());
+        // Histogram bucket/bound arity mismatch is rejected.
+        assert!(RegistrySnapshot::from_wire("ftlsnap\t1\nh\tx\th\t1\t0.5\t0.1\t1,2,3").is_err());
     }
 
     #[test]

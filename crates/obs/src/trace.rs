@@ -290,6 +290,11 @@ pub struct TraceTree {
     /// incomplete because of ring eviction, not because the pipeline
     /// failed to run a stage.
     pub truncated: bool,
+    /// Hosts whose span logs could not be collected at all — a federated
+    /// assembly marks every unreachable live member here
+    /// ([`TraceTree::mark_host_truncated`]), so "this member's exporter
+    /// was down" is distinguishable from "the pipeline skipped a stage".
+    pub truncated_hosts: Vec<u32>,
 }
 
 impl TraceTree {
@@ -308,6 +313,18 @@ impl TraceTree {
             trace,
             spans,
             truncated: false,
+            truncated_hosts: Vec::new(),
+        }
+    }
+
+    /// Record that `host`'s span log could not be collected (e.g. its
+    /// exporter was unreachable during a federated assembly). The tree is
+    /// marked truncated and the host appears in `truncated_hosts`.
+    pub fn mark_host_truncated(&mut self, host: u32) {
+        self.truncated = true;
+        if !self.truncated_hosts.contains(&host) {
+            self.truncated_hosts.push(host);
+            self.truncated_hosts.sort_unstable();
         }
     }
 
@@ -449,7 +466,14 @@ impl TraceTree {
         out.push_str(&self.spans.len().to_string());
         out.push_str(",\"truncated\":");
         out.push_str(if self.truncated { "true" } else { "false" });
-        out.push_str(",\"shards\":[");
+        out.push_str(",\"truncated_hosts\":[");
+        for (i, h) in self.truncated_hosts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&h.to_string());
+        }
+        out.push_str("],\"shards\":[");
         for (i, s) in self.shards().iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -492,6 +516,132 @@ pub fn span_json(s: &SpanRecord) -> String {
     }
     out.push_str("}}");
     out
+}
+
+/// Escape a string for one field of the tab-separated wire formats
+/// (span shipping and registry-snapshot federation): `\` → `\\`,
+/// tab → `\t`, newline → `\n`, CR → `\r`.
+pub fn wire_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`wire_escape`]. Unknown escapes pass the escaped
+/// character through; a trailing lone `\` is dropped.
+pub fn wire_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Serialize spans plus the owning log's eviction horizon as the
+/// tab-separated span wire format — the payload a member's `/spans/<id>`
+/// endpoint serves so a federated assembler can merge remote spans
+/// without a JSON parser. Line 1 is the header
+/// `ftlspans <version> <horizon µs | ->`; each further line is one span:
+/// `origin <TAB> local <TAB> stage <TAB> host <TAB> at_us
+/// [<TAB> key <TAB> value]…` with every string field [`wire_escape`]d.
+pub fn spans_wire(spans: &[SpanRecord], horizon: Option<u64>) -> String {
+    let mut out = String::with_capacity(32 + spans.len() * 96);
+    out.push_str("ftlspans\t1\t");
+    match horizon {
+        Some(h) => out.push_str(&h.to_string()),
+        None => out.push('-'),
+    }
+    out.push('\n');
+    for s in spans {
+        out.push_str(&s.trace.origin.to_string());
+        out.push('\t');
+        out.push_str(&s.trace.local.to_string());
+        out.push('\t');
+        out.push_str(&wire_escape(&s.stage));
+        out.push('\t');
+        out.push_str(&s.host.to_string());
+        out.push('\t');
+        out.push_str(&s.at_micros.to_string());
+        for (k, v) in &s.fields {
+            out.push('\t');
+            out.push_str(&wire_escape(k));
+            out.push('\t');
+            out.push_str(&wire_escape(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the span wire format produced by [`spans_wire`]. Returns the
+/// spans and the sending log's eviction horizon. Structured errors, no
+/// panics — the input crossed a process boundary.
+pub fn parse_spans_wire(text: &str) -> Result<(Vec<SpanRecord>, Option<u64>), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty span wire payload")?;
+    let mut hp = header.split('\t');
+    if hp.next() != Some("ftlspans") {
+        return Err("missing ftlspans header".into());
+    }
+    if hp.next() != Some("1") {
+        return Err("unsupported span wire version".into());
+    }
+    let horizon = match hp.next() {
+        Some("-") => None,
+        Some(h) => Some(h.parse::<u64>().map_err(|e| format!("bad horizon: {e}"))?),
+        None => return Err("truncated ftlspans header".into()),
+    };
+    let mut spans = Vec::new();
+    for (ln, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() < 5 || !(parts.len() - 5).is_multiple_of(2) {
+            return Err(format!("span line {}: wrong field count", ln + 2));
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|e| format!("span line {}: bad {what}: {e}", ln + 2))
+        };
+        let origin = u32::try_from(parse_u64(parts[0], "origin")?)
+            .map_err(|_| format!("span line {}: origin overflow", ln + 2))?;
+        let local = parse_u64(parts[1], "local")?;
+        let host = u32::try_from(parse_u64(parts[3], "host")?)
+            .map_err(|_| format!("span line {}: host overflow", ln + 2))?;
+        let at_micros = parse_u64(parts[4], "at_us")?;
+        let fields = parts[5..]
+            .chunks(2)
+            .map(|kv| (wire_unescape(kv[0]), wire_unescape(kv[1])))
+            .collect();
+        spans.push(SpanRecord {
+            trace: TraceId::new(origin, local),
+            stage: wire_unescape(parts[2]),
+            host,
+            at_micros,
+            fields,
+        });
+    }
+    Ok((spans, horizon))
 }
 
 /// Escape a string for embedding inside a JSON string literal.
@@ -692,6 +842,61 @@ mod tests {
         let tree = TraceTree::assemble(id, spans);
         let order: Vec<&str> = tree.spans.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(order, vec!["xbegin", "xlock", "xexec", "xrelease"]);
+    }
+
+    #[test]
+    fn host_truncation_is_listed_and_rendered() {
+        let id = TraceId::for_xid(1 << 48);
+        let mut tree = TraceTree::assemble(id, vec![span(id, "xbegin", 1, 5)]);
+        assert!(!tree.truncated);
+        assert!(tree.to_json().contains("\"truncated_hosts\":[]"));
+        tree.mark_host_truncated(2);
+        tree.mark_host_truncated(0);
+        tree.mark_host_truncated(2); // idempotent
+        assert!(tree.truncated);
+        assert_eq!(tree.truncated_hosts, vec![0, 2]);
+        assert!(tree.to_json().contains("\"truncated\":true"));
+        assert!(tree.to_json().contains("\"truncated_hosts\":[0,2]"));
+    }
+
+    #[test]
+    fn span_wire_roundtrip() {
+        let id = TraceId::for_xid((3u64 << 48) | 9);
+        let mut s1 = span(id, "xlock", 1, 100);
+        s1.fields.push(("shard".into(), "0".into()));
+        s1.fields
+            .push(("note".into(), "tab\there\nand\\slash".into()));
+        let s2 = span(id, "xcommit", 3, 200);
+        let text = spans_wire(&[s1.clone(), s2.clone()], Some(42));
+        let (back, horizon) = parse_spans_wire(&text).expect("parse");
+        assert_eq!(horizon, Some(42));
+        assert_eq!(back, vec![s1, s2]);
+        // No horizon → `-` marker.
+        let text = spans_wire(&[], None);
+        let (back, horizon) = parse_spans_wire(&text).expect("parse empty");
+        assert!(back.is_empty());
+        assert_eq!(horizon, None);
+    }
+
+    #[test]
+    fn span_wire_rejects_malformed_input() {
+        assert!(parse_spans_wire("").is_err());
+        assert!(parse_spans_wire("nonsense\t1\t-").is_err());
+        assert!(parse_spans_wire("ftlspans\t9\t-").is_err(), "bad version");
+        assert!(parse_spans_wire("ftlspans\t1\tnotanum").is_err());
+        // Wrong field count and non-numeric fields error, never panic.
+        assert!(parse_spans_wire("ftlspans\t1\t-\n1\t2\tstage").is_err());
+        assert!(parse_spans_wire("ftlspans\t1\t-\n1\t2\tstage\t0\t5\tk").is_err());
+        assert!(parse_spans_wire("ftlspans\t1\t-\nx\t2\tstage\t0\t5").is_err());
+    }
+
+    #[test]
+    fn wire_escape_roundtrip() {
+        for s in ["plain", "with\ttab", "with\nnewline", "back\\slash", "\r"] {
+            assert_eq!(wire_unescape(&wire_escape(s)), s);
+            let escaped = wire_escape(s);
+            assert!(!escaped.contains('\t') && !escaped.contains('\n'));
+        }
     }
 
     #[test]

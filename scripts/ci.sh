@@ -52,12 +52,17 @@ echo "==> long-history rejoin smoke (O(state) checkpoint transfer)"
 cargo test --release -q -p ftlinda --test checkpoint_tests \
     rejoin_bytes_scale_with_state_not_history -- --exact
 
-echo "==> TCP transport smoke (3 processes, kill -9 + rejoin, pingpong bench)"
+echo "==> TCP transport smoke (3 processes, aggregator, federated trace, kill -9 + rejoin)"
 # Boots a 3-process 2-shard cluster over real localhost sockets via the
 # launcher, curls every member's /healthz and per-link net counters,
+# runs the ftlinda-top aggregator against all three exporters (merged
+# page must carry shard-labeled families and every host's wire RTT),
+# assembles a federated cross-shard trace from a non-origin member,
 # SIGKILLs one member, relaunches it with --rejoin as the pingpong
-# driver, and requires the BENCH_tcp_pingpong.json artifact it writes.
+# driver, and requires the BENCH_tcp_pingpong.json and
+# BENCH_cluster_top.json artifacts the run writes.
 BENCH_TCP_PINGPONG_JSON="${BENCH_TCP_PINGPONG_JSON:-$PWD/BENCH_tcp_pingpong.json}" \
+BENCH_CLUSTER_TOP_JSON="${BENCH_CLUSTER_TOP_JSON:-$PWD/BENCH_cluster_top.json}" \
     ./scripts/tcp_smoke.sh
 
 echo "CI green."

@@ -18,6 +18,9 @@
 //!   `out ("pong", i)` — forever.
 //! - `ping`: `--count` round trips of `out ("ping", i)` / `in ("pong", i)`,
 //!   then write latency statistics to `--bench-out` and exit.
+//! - `xtrace`: execute one cross-shard AGS with a trace id, print
+//!   `XTRACE id=<trace>`, and keep serving HTTP so any member's
+//!   `/cluster/trace/<id>` can assemble the federated tree.
 
 use ftlinda::{
     Ags, Cluster, ClusterBuilder, FtError, HostId, MatchField as MF, Operand, Runtime,
@@ -108,7 +111,7 @@ fn parse_opts() -> Opts {
         eprintln!("ftlinda-node: --id must index into --peers");
         usage()
     }
-    if !matches!(o.role.as_str(), "idle" | "ping" | "pong") {
+    if !matches!(o.role.as_str(), "idle" | "ping" | "pong" | "xtrace") {
         eprintln!("ftlinda-node: unknown role {}", o.role);
         usage()
     }
@@ -181,6 +184,7 @@ fn main() {
     match o.role.as_str() {
         "ping" => run_ping(&rt, ts, o.count, &o.bench_out, o.peers.len(), o.shards),
         "pong" => run_pong(&rt, ts, o.run_secs),
+        "xtrace" => run_xtrace(&rt, ts, o.shards, o.run_secs),
         _ => match o.run_secs {
             Some(s) => std::thread::sleep(Duration::from_secs(s)),
             None => loop {
@@ -221,6 +225,50 @@ fn run_pong(rt: &Runtime, ts: ftlinda::TsId, run_secs: Option<u64>) {
                 std::process::exit(4);
             }
         }
+    }
+}
+
+/// `--role xtrace`: seed `("x", 41)` on one shard, then fire a
+/// cross-shard AGS — guard `in ("x", ?int)` on the `[Str, Int]` shard,
+/// body `out ("y", "done")` on the `[Str, Str]` shard — via
+/// `execute_traced`, and announce the committing attempt's trace id so a
+/// harness can fetch `/cluster/trace/<id>` from any member. The process
+/// then idles (serving its exporter) for `--run-secs`.
+fn run_xtrace(rt: &Runtime, ts: ftlinda::TsId, shards: u32, run_secs: Option<u64>) {
+    let sig = |tags: &[TypeTag]| linda_tuple::Signature::new(tags.to_vec()).stable_hash();
+    let guard_shard = ftlinda_ags::shard_of(ts, sig(&[TypeTag::Str, TypeTag::Int]), shards);
+    let body_shard = ftlinda_ags::shard_of(ts, sig(&[TypeTag::Str, TypeTag::Str]), shards);
+    if guard_shard == body_shard {
+        eprintln!(
+            "ftlinda-node: xtrace needs its two signatures on distinct shards \
+             (both landed on {guard_shard} with --shards {shards})"
+        );
+        std::process::exit(4);
+    }
+    if let Err(e) = rt.execute(&Ags::out_one(
+        ts,
+        vec![Operand::cst("x"), Operand::cst(41i64)],
+    )) {
+        eprintln!("ftlinda-node: xtrace seed failed: {e}");
+        std::process::exit(4);
+    }
+    let ags = Ags::builder()
+        .guard_in(ts, vec![MF::actual("x"), MF::bind(TypeTag::Int)])
+        .out(ts, vec![Operand::cst("y"), Operand::cst("done")])
+        .build()
+        .expect("xtrace AGS is statically valid");
+    match rt.execute_traced(&ags) {
+        Ok((_, id)) => println!("XTRACE id={id}"),
+        Err(e) => {
+            eprintln!("ftlinda-node: xtrace execute failed: {e}");
+            std::process::exit(4);
+        }
+    }
+    match run_secs {
+        Some(s) => std::thread::sleep(Duration::from_secs(s)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
     }
 }
 
@@ -267,15 +315,32 @@ fn run_ping(rt: &Runtime, ts: ftlinda::TsId, count: u64, out: &str, hosts: usize
     rtt_us.sort_unstable();
     let pct = |p: f64| rtt_us[((rtt_us.len() - 1) as f64 * p) as usize];
     let mean = rtt_us.iter().sum::<u64>() as f64 / rtt_us.len() as f64;
+    // Wire-level RTT, measured by the heartbeat timestamp piggyback
+    // (`ftlinda_net_rtt_seconds`, one histogram child per peer, merged
+    // here across peers and lanes). Unlike the closed-loop numbers above
+    // it excludes sequencing and kernel work — pure network round trip.
+    let wire = rt
+        .metrics_snapshot()
+        .histogram_family_merged("ftlinda_net_rtt_seconds");
+    let wire_us = |q: f64| -> f64 {
+        wire.as_ref()
+            .and_then(|h| h.quantile(q))
+            .map_or(0.0, |s| s * 1e6)
+    };
     let json = format!(
         "{{\"bench\":\"tcp_pingpong\",\"transport\":\"tcp\",\"hosts\":{hosts},\
          \"shards\":{shards},\"count\":{count},\"elapsed_secs\":{:.6},\
          \"ops_per_sec\":{:.1},\"rtt_mean_us\":{mean:.1},\"rtt_p50_us\":{},\
-         \"rtt_p99_us\":{}}}\n",
+         \"rtt_p99_us\":{},\"wire_rtt_samples\":{},\"wire_rtt_p50_us\":{:.1},\
+         \"wire_rtt_p95_us\":{:.1},\"wire_rtt_p99_us\":{:.1}}}\n",
         elapsed.as_secs_f64(),
         count as f64 / elapsed.as_secs_f64(),
         pct(0.50),
         pct(0.99),
+        wire.as_ref().map_or(0, |h| h.count()),
+        wire_us(0.50),
+        wire_us(0.95),
+        wire_us(0.99),
     );
     if let Err(e) = std::fs::write(out, &json) {
         eprintln!("ftlinda-node: writing {out} failed: {e}");
